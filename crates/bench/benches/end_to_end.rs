@@ -1,0 +1,114 @@
+//! Wall-clock benchmarks of whole pipeline stages on a small fixed world:
+//! simulation, detection, tracking, and each candidate-selection algorithm
+//! over one window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tm_core::{
+    Baseline, CandidateSelector, LcbConfig, LowerConfidenceBound, ProportionalSampling, PsConfig,
+    SelectionInput, TMerge, TMergeConfig,
+};
+use tm_datasets::{crowd_scenario, SceneParams};
+use tm_detect::{Detector, DetectorConfig};
+use tm_reid::{AppearanceConfig, AppearanceModel, CostModel, Device, ReidSession};
+use tm_track::{track_video, Sort, SortConfig};
+use tm_types::{ids::classes, Detection, TrackPair, TrackSet};
+
+fn small_scene() -> SceneParams {
+    SceneParams {
+        n_frames: 300,
+        width: 1400.0,
+        height: 900.0,
+        n_actors: 12,
+        min_life: 100,
+        max_life: 280,
+        speed: (2.0, 5.0),
+        actor_w: (35.0, 60.0),
+        actor_h: (90.0, 150.0),
+        loiter_fraction: 0.2,
+        n_pillars: 2,
+        pillar_w: (90.0, 150.0),
+        n_glare: 1,
+        class: classes::PEDESTRIAN,
+        seed: 5,
+    }
+}
+
+fn fixture() -> (AppearanceModel, TrackSet, Vec<TrackPair>, Vec<Vec<Detection>>) {
+    let gt = crowd_scenario(&small_scene()).simulate();
+    let detections = Detector::new(DetectorConfig::default()).detect(&gt, 1);
+    let model = AppearanceModel::new(AppearanceConfig::default());
+    let mut tracker = Sort::new(SortConfig::default());
+    let tracks = track_video(&mut tracker, &detections);
+    let pairs: Vec<TrackPair> = tm_core::build_window_pairs(&tracks, 300, 600)
+        .unwrap()
+        .into_iter()
+        .flat_map(|w| w.pairs)
+        .collect();
+    (model, tracks, pairs, detections)
+}
+
+fn bench_front_end(c: &mut Criterion) {
+    c.bench_function("simulate_300_frames", |b| {
+        let scene = small_scene();
+        b.iter(|| black_box(crowd_scenario(&scene).simulate()))
+    });
+    let gt = crowd_scenario(&small_scene()).simulate();
+    c.bench_function("detect_300_frames", |b| {
+        let det = Detector::new(DetectorConfig::default());
+        b.iter(|| black_box(det.detect(&gt, 1)))
+    });
+    let (_, _, _, detections) = fixture();
+    c.bench_function("sort_track_300_frames", |b| {
+        b.iter(|| {
+            let mut tracker = Sort::new(SortConfig::default());
+            black_box(track_video(&mut tracker, &detections))
+        })
+    });
+}
+
+fn bench_selectors(c: &mut Criterion) {
+    let (model, tracks, pairs, _) = fixture();
+    let mut group = c.benchmark_group("selector_per_window");
+    group.sample_size(10);
+    let selectors: Vec<(&str, Box<dyn CandidateSelector>)> = vec![
+        ("baseline", Box::new(Baseline)),
+        (
+            "ps_eta_0.02",
+            Box::new(ProportionalSampling::new(PsConfig { eta: 0.02, seed: 1 })),
+        ),
+        (
+            "lcb_tau_2000",
+            Box::new(LowerConfidenceBound::new(LcbConfig {
+                tau_max: 2_000,
+                seed: 1,
+                record_history: false,
+            })),
+        ),
+        (
+            "tmerge_tau_2000",
+            Box::new(TMerge::new(TMergeConfig {
+                tau_max: 2_000,
+                seed: 1,
+                ..TMergeConfig::default()
+            })),
+        ),
+    ];
+    for (name, selector) in &selectors {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let input = SelectionInput {
+                    pairs: &pairs,
+                    tracks: &tracks,
+                    k: 0.05,
+                };
+                let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+                black_box(selector.select(&input, &mut session))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(end_to_end, bench_front_end, bench_selectors);
+criterion_main!(end_to_end);

@@ -1,0 +1,111 @@
+//! Wall-clock micro-benchmarks of the algorithmic kernels (the simulated
+//! cost model covers the paper's FPS comparisons; these measure the real
+//! CPU cost of this implementation's hot paths).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use tm_core::sampling::WithoutReplacement;
+use tm_core::{merge_mapping, UnionFind};
+use tm_track::hungarian::min_cost_assignment;
+use tm_track::{KalmanBoxFilter, KalmanConfig};
+use tm_reid::{AppearanceConfig, AppearanceModel, Feature};
+use tm_types::{BBox, FrameIdx, GtObjectId, TrackId, TrackPair};
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for n in [8usize, 32, 128] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.random_range(0.0..1.0)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cost, |b, cost| {
+            b.iter(|| min_cost_assignment(black_box(cost)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kalman(c: &mut Criterion) {
+    c.bench_function("kalman_predict_update", |b| {
+        let mut kf = KalmanBoxFilter::new(
+            &BBox::from_center(100.0, 100.0, 40.0, 80.0),
+            KalmanConfig::default(),
+        );
+        let mut f = 0u64;
+        b.iter(|| {
+            f += 1;
+            kf.predict();
+            kf.update(&BBox::from_center(100.0 + f as f64, 100.0, 40.0, 80.0));
+            black_box(kf.current_box())
+        })
+    });
+}
+
+fn bench_reid(c: &mut Criterion) {
+    let model = AppearanceModel::new(AppearanceConfig::default());
+    c.bench_function("reid_feature_inference", |b| {
+        let mut f = 0u64;
+        b.iter(|| {
+            f += 1;
+            black_box(model.observe(GtObjectId(f % 30), FrameIdx(f), 0.9))
+        })
+    });
+    let fa = model.observe(GtObjectId(1), FrameIdx(0), 1.0);
+    let fb = model.observe(GtObjectId(2), FrameIdx(0), 1.0);
+    c.bench_function("reid_euclidean_distance", |b| {
+        b.iter(|| black_box(&fa).euclidean(black_box(&fb)))
+    });
+    c.bench_function("feature_normalize_32d", |b| {
+        let raw: Vec<f64> = (0..32).map(|i| i as f64 * 0.1 - 1.5).collect();
+        b.iter(|| Feature::normalized(black_box(raw.clone())))
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    c.bench_function("without_replacement_draw", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sampler = WithoutReplacement::new(u64::MAX / 2);
+        b.iter(|| black_box(sampler.draw(&mut rng)))
+    });
+    c.bench_function("beta_posterior_draw", |b| {
+        use rand_distr::{Beta, Distribution};
+        let mut rng = StdRng::seed_from_u64(3);
+        let beta = Beta::new(12.0, 30.0).unwrap();
+        b.iter(|| black_box(beta.sample(&mut rng)))
+    });
+}
+
+fn bench_union_find(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let pairs: Vec<TrackPair> = (0..500)
+        .filter_map(|_| {
+            TrackPair::new(
+                TrackId(rng.random_range(0..200)),
+                TrackId(rng.random_range(0..200)),
+            )
+        })
+        .collect();
+    c.bench_function("merge_mapping_500_pairs", |b| {
+        b.iter(|| merge_mapping(black_box(&pairs)))
+    });
+    c.bench_function("union_find_union", |b| {
+        let mut uf = UnionFind::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            uf.union(TrackId(i % 1000), TrackId((i * 7) % 1000))
+        })
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_hungarian,
+    bench_kalman,
+    bench_reid,
+    bench_sampling,
+    bench_union_find
+);
+criterion_main!(kernels);

@@ -1,0 +1,51 @@
+//! Ablation of this reproduction's one documented deviation (DESIGN.md §1
+//! "Final ranking"): ranking candidates by the prior-shrunk continuous
+//! sample mean vs. the literal Bernoulli posterior mean `S/(S+F)`.
+
+use tm_bench::experiments::{sweep::averaged_outcome, ExpConfig};
+use tm_bench::harness::{CurvePoint, DatasetRun};
+use tm_bench::report::{f2, f3, header, save_json, table};
+use std::collections::BTreeMap;
+use tm_core::{TMerge, TMergeConfig};
+use tm_datasets::mot17;
+use tm_reid::{CostModel, Device};
+use tm_track::TrackerKind;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let spec = cfg.limit(mot17(), 7);
+    let ds = DatasetRun::prepare(&spec, TrackerKind::Tracktor, None);
+    let cost = CostModel::calibrated();
+    let mut curves: BTreeMap<String, Vec<CurvePoint>> = BTreeMap::new();
+    for (label, literal) in [("shrunk sample mean (default)", false), ("S/(S+F) (paper literal)", true)] {
+        let points: Vec<CurvePoint> = cfg
+            .tau_grid()
+            .into_iter()
+            .map(|tau| {
+                let out = averaged_outcome(&ds, cost, Device::Cpu, cfg.trials, cfg.seed, &|seed| {
+                    Box::new(TMerge::new(TMergeConfig {
+                        tau_max: tau,
+                        seed,
+                        rank_by_bernoulli_posterior: literal,
+                        ..TMergeConfig::default()
+                    }))
+                });
+                CurvePoint {
+                    param: format!("tau={tau}"),
+                    outcome: out,
+                }
+            })
+            .collect();
+        curves.insert(label.to_string(), points);
+    }
+    header("Ranking ablation: continuous shrunk mean vs literal Bernoulli posterior (MOT-17)");
+    for (label, points) in &curves {
+        println!("\n{label}:");
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| vec![p.param.clone(), f3(p.outcome.rec), f2(p.outcome.fps)])
+            .collect();
+        table(&["param", "REC", "FPS"], &rows);
+    }
+    save_json("ablation_ranking", &curves);
+}

@@ -1,0 +1,43 @@
+//! §IV-C footnote 4 — correlations of the track-pair score with spatial
+//! and temporal distances (the empirical basis for BetaInit).
+
+use tm_bench::experiments::{corr::corr_analysis, ExpConfig};
+use tm_bench::report::{f3, header, save_json, table};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let rows_data = corr_analysis(&cfg);
+    header("Correlation of score with DisS / DisT (paper: DisS >= 0.3, DisT < 0.1)");
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                f3(r.corr_spatial),
+                f3(r.corr_temporal),
+                f3(r.poly_within_thr),
+                f3(r.distinct_within_thr),
+                r.n_pairs.to_string(),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "dataset",
+            "corr(score, DisS)",
+            "corr(score, DisT)",
+            "P(DisS<200 | poly)",
+            "P(DisS<200 | distinct)",
+            "pairs",
+        ],
+        &rows,
+    );
+    println!(
+        "\nNote: the simulator reproduces the *sign and usefulness* of the\n\
+         spatial prior (polyonymous pairs concentrate below thr_S, which is\n\
+         all BetaInit consumes), not the paper's global Pearson magnitude —\n\
+         that is driven by background bleed in real ReID crops, a pixel-level\n\
+         effect outside this simulation's scope."
+    );
+    save_json("corr_analysis", &rows_data);
+}

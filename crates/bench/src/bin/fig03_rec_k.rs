@@ -1,0 +1,20 @@
+//! Fig. 3 — REC–K curves of the baseline on the three datasets.
+
+use tm_bench::experiments::{fig03::fig03, ExpConfig};
+use tm_bench::report::{f3, header, save_json, table};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let curves = fig03(&cfg);
+    header("Fig. 3 — REC-K curves (BL, L=2000)");
+    for c in &curves {
+        println!("\n[{}]", c.dataset);
+        let rows: Vec<Vec<String>> = c
+            .points
+            .iter()
+            .map(|(k, rec)| vec![format!("{k:.3}"), f3(*rec)])
+            .collect();
+        table(&["K", "REC"], &rows);
+    }
+    save_json("fig03_rec_k", &curves);
+}

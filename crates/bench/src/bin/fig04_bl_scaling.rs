@@ -1,0 +1,22 @@
+//! Fig. 4 — baseline runtime and pair count vs. video length.
+
+use tm_bench::experiments::{fig04::fig04, ExpConfig};
+use tm_bench::report::{f2, header, save_json, table};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let points = fig04(&cfg);
+    header("Fig. 4 — BL runtime & accumulated pairs vs video length (PathTrack-like, L=2000)");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.n_frames.to_string(),
+                p.n_pairs.to_string(),
+                f2(p.runtime_s),
+            ]
+        })
+        .collect();
+    table(&["frames", "track pairs", "BL runtime (s)"], &rows);
+    save_json("fig04_bl_scaling", &points);
+}

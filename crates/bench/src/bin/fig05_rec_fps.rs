@@ -1,0 +1,23 @@
+//! Fig. 5 — REC–FPS curves of BL / PS / LCB / TMerge on three datasets
+//! (CPU).
+
+use tm_bench::experiments::{sweep::fig05, ExpConfig};
+use tm_bench::report::{f2, f3, header, save_json, table};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let all = fig05(&cfg);
+    header("Fig. 5 — REC-FPS curves (CPU)");
+    for curves in &all {
+        println!("\n[{} / {}]", curves.dataset, curves.device);
+        for (algo, points) in &curves.curves {
+            let rows: Vec<Vec<String>> = points
+                .iter()
+                .map(|p| vec![p.param.clone(), f3(p.outcome.rec), f2(p.outcome.fps)])
+                .collect();
+            println!("{algo}:");
+            table(&["param", "REC", "FPS"], &rows);
+        }
+    }
+    save_json("fig05_rec_fps", &all);
+}

@@ -1,0 +1,23 @@
+//! Fig. 6 — REC–FPS curves of the batched (`-B`) algorithms,
+//! B ∈ {10, 100}, on three datasets.
+
+use tm_bench::experiments::{sweep::fig06, ExpConfig};
+use tm_bench::report::{f2, f3, header, save_json, table};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let all = fig06(&cfg);
+    header("Fig. 6 — REC-FPS curves of batched algorithms");
+    for curves in &all {
+        println!("\n[{} / {}]", curves.dataset, curves.device);
+        for (algo, points) in &curves.curves {
+            let rows: Vec<Vec<String>> = points
+                .iter()
+                .map(|p| vec![p.param.clone(), f3(p.outcome.rec), f2(p.outcome.fps)])
+                .collect();
+            println!("{algo}-B:");
+            table(&["param", "REC", "FPS"], &rows);
+        }
+    }
+    save_json("fig06_rec_fps_batched", &all);
+}

@@ -1,0 +1,29 @@
+//! Fig. 7 — Runtime and REC of TMerge-B (B = 10) vs. τ_max on MOT-17.
+
+use tm_bench::experiments::{fig07::fig07, ExpConfig};
+use tm_bench::report::{f2, f3, header, save_json, table};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let result = fig07(&cfg);
+    header("Fig. 7 — TMerge-B (B=10) runtime & REC vs tau_max on MOT-17");
+    let rows: Vec<Vec<String>> = result
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.tau_max.to_string(),
+                f3(p.rec),
+                f2(p.runtime_s),
+                f3(p.hit_rate),
+            ]
+        })
+        .collect();
+    table(&["tau_max", "REC", "runtime (s)", "cache hit rate"], &rows);
+    println!(
+        "\nBL-B reference: runtime {} s at REC {} (paper: 2762 s for all MOT-17 videos)",
+        f2(result.bl_b_runtime_s),
+        f3(result.bl_rec)
+    );
+    save_json("fig07_tau_sweep", &result);
+}

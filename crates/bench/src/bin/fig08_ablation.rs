@@ -1,0 +1,19 @@
+//! Fig. 8 — ablation: TMerge vs. −BetaInit vs. −ULB on MOT-17.
+
+use tm_bench::experiments::{fig08::fig08, ExpConfig};
+use tm_bench::report::{f2, f3, header, save_json, table};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let result = fig08(&cfg);
+    header("Fig. 8 — ablation study (MOT-17, CPU)");
+    for (variant, points) in &result.curves {
+        println!("\n{variant}:");
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| vec![p.param.clone(), f3(p.outcome.rec), f2(p.outcome.fps)])
+            .collect();
+        table(&["param", "REC", "FPS"], &rows);
+    }
+    save_json("fig08_ablation", &result);
+}

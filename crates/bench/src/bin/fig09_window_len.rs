@@ -1,0 +1,23 @@
+//! Fig. 9 — REC of BL and TMerge vs. window length L on PathTrack.
+
+use tm_bench::experiments::{fig09::fig09, ExpConfig};
+use tm_bench::report::{f3, header, save_json, table};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let points = fig09(&cfg);
+    header("Fig. 9 — REC vs window length L (PathTrack, L_max=1000)");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.window_len.to_string(),
+                f3(p.bl_rec),
+                f3(p.tmerge_rec),
+                p.n_pairs.to_string(),
+            ]
+        })
+        .collect();
+    table(&["L", "BL REC", "TMerge REC", "pairs"], &rows);
+    save_json("fig09_window_len", &points);
+}

@@ -1,0 +1,19 @@
+//! Fig. 10 — REC–FPS of TMerge varying the BetaInit threshold thr_S.
+
+use tm_bench::experiments::{fig10::fig10, ExpConfig};
+use tm_bench::report::{f2, f3, header, save_json, table};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let result = fig10(&cfg);
+    header("Fig. 10 — REC-FPS varying thr_S (MOT-17, CPU)");
+    for (label, points) in &result.curves {
+        println!("\n{label}:");
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| vec![p.param.clone(), f3(p.outcome.rec), f2(p.outcome.fps)])
+            .collect();
+        table(&["param", "REC", "FPS"], &rows);
+    }
+    save_json("fig10_thr_s", &result);
+}

@@ -1,0 +1,23 @@
+//! Fig. 11 — polyonymous rates of three trackers with and without TMerge.
+
+use tm_bench::experiments::{quality::fig11, ExpConfig};
+use tm_bench::report::{header, save_json, table};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let rows_data = fig11(&cfg);
+    header("Fig. 11 — polyonymous rate with/without TMerge (MOT-17; lower is better)");
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.tracker.clone(),
+                format!("{:.3}%", 100.0 * r.rate_without),
+                format!("{:.3}%", 100.0 * r.rate_with),
+                format!("{:.1}x", r.rate_without / r.rate_with.max(1e-9)),
+            ]
+        })
+        .collect();
+    table(&["tracker", "without TMerge", "with TMerge", "reduction"], &rows);
+    save_json("fig11_poly_rate", &rows_data);
+}

@@ -1,0 +1,34 @@
+//! Fig. 12 — IDF1/IDP/IDR of Tracktor on MOT-17, with and without TMerge.
+
+use tm_bench::experiments::{quality::fig12, ExpConfig};
+use tm_bench::report::{f3, header, save_json, table};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let r = fig12(&cfg);
+    header("Fig. 12 — identity metrics with/without TMerge (Tracktor, MOT-17; higher is better)");
+    let rows = vec![
+        vec![
+            "without TMerge".to_string(),
+            f3(r.without.idf1),
+            f3(r.without.idp),
+            f3(r.without.idr),
+            r.id_switches.0.to_string(),
+            f3(r.mota.0),
+            f3(r.hota.0),
+            f3(r.ass_a.0),
+        ],
+        vec![
+            "with TMerge".to_string(),
+            f3(r.with.idf1),
+            f3(r.with.idp),
+            f3(r.with.idr),
+            r.id_switches.1.to_string(),
+            f3(r.mota.1),
+            f3(r.hota.1),
+            f3(r.ass_a.1),
+        ],
+    ];
+    table(&["", "IDF1", "IDP", "IDR", "IDSW", "MOTA", "HOTA", "AssA"], &rows);
+    save_json("fig12_id_metrics", &r);
+}

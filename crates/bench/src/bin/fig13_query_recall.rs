@@ -1,0 +1,25 @@
+//! Fig. 13 — recall of the Count and Co-occurring-Objects queries with and
+//! without TMerge.
+
+use tm_bench::experiments::{quality::fig13, ExpConfig};
+use tm_bench::report::{f3, header, save_json, table};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let r = fig13(&cfg);
+    header("Fig. 13 — query recall with/without TMerge (Tracktor, MOT-17; higher is better)");
+    let rows = vec![
+        vec![
+            "Count (>200 frames)".to_string(),
+            f3(r.count.0),
+            f3(r.count.1),
+        ],
+        vec![
+            "Co-occurring objects (3 / >50 frames)".to_string(),
+            f3(r.co_occurrence.0),
+            f3(r.co_occurrence.1),
+        ],
+    ];
+    table(&["query", "without TMerge", "with TMerge"], &rows);
+    save_json("fig13_query_recall", &r);
+}

@@ -1,0 +1,25 @@
+//! §IV-E extension — empirical average regret of TMerge vs. the
+//! O(√(|P|·ln τ / τ)) bound shape.
+
+use tm_bench::experiments::{regret::regret_curve, ExpConfig};
+use tm_bench::report::{f3, header, save_json, table};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let r = regret_curve(&cfg);
+    header("Average regret of TMerge (first MOT-17 window)");
+    println!("pairs: {}, s_min: {}", r.n_pairs, f3(r.s_min));
+    let rows: Vec<Vec<String>> = r
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.tau.to_string(),
+                format!("{:.4}", p.avg_regret),
+                format!("{:.4}", p.bound_shape),
+            ]
+        })
+        .collect();
+    table(&["tau", "avg regret R(tau)", "bound shape"], &rows);
+    save_json("regret_curve", &r);
+}

@@ -1,0 +1,53 @@
+//! Runs every experiment in sequence (pass `--quick` for the reduced
+//! scale), regenerating all tables and figures of the paper.
+
+use tm_bench::experiments::{self, ExpConfig};
+use tm_bench::report::{header, save_json};
+use std::time::Instant;
+
+fn timed<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    let t0 = Instant::now();
+    let out = f();
+    println!("[{name} done in {:.1}s]", t0.elapsed().as_secs_f64());
+    out
+}
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    header(&format!(
+        "Running all experiments ({} scale)",
+        if cfg.quick { "quick" } else { "full" }
+    ));
+
+    let fig03 = timed("fig03", || experiments::fig03::fig03(&cfg));
+    save_json("fig03_rec_k", &fig03);
+    let fig04 = timed("fig04", || experiments::fig04::fig04(&cfg));
+    save_json("fig04_bl_scaling", &fig04);
+    let fig05 = timed("fig05", || experiments::sweep::fig05(&cfg));
+    save_json("fig05_rec_fps", &fig05);
+    let fig06 = timed("fig06", || experiments::sweep::fig06(&cfg));
+    save_json("fig06_rec_fps_batched", &fig06);
+    let table2 = timed("table2", || experiments::sweep::table2(&cfg));
+    save_json("table2_fps", &table2);
+    let fig07 = timed("fig07", || experiments::fig07::fig07(&cfg));
+    save_json("fig07_tau_sweep", &fig07);
+    let fig08 = timed("fig08", || experiments::fig08::fig08(&cfg));
+    save_json("fig08_ablation", &fig08);
+    let fig09 = timed("fig09", || experiments::fig09::fig09(&cfg));
+    save_json("fig09_window_len", &fig09);
+    let fig10 = timed("fig10", || experiments::fig10::fig10(&cfg));
+    save_json("fig10_thr_s", &fig10);
+    let fig11 = timed("fig11", || experiments::quality::fig11(&cfg));
+    save_json("fig11_poly_rate", &fig11);
+    let fig12 = timed("fig12", || experiments::quality::fig12(&cfg));
+    save_json("fig12_id_metrics", &fig12);
+    let fig13 = timed("fig13", || experiments::quality::fig13(&cfg));
+    save_json("fig13_query_recall", &fig13);
+    let regret = timed("regret", || experiments::regret::regret_curve(&cfg));
+    save_json("regret_curve", &regret);
+    let corr = timed("corr", || experiments::corr::corr_analysis(&cfg));
+    save_json("corr_analysis", &corr);
+
+    println!("\nAll experiments complete; JSON in results/.");
+    println!("Render EXPERIMENTS.md with: cargo run --release -p tm-bench --bin render_experiments");
+}

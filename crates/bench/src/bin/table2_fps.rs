@@ -1,0 +1,30 @@
+//! Table II — FPS of all methods at REC = 0.80 and REC = 0.93 on MOT-17.
+
+use tm_bench::experiments::{sweep::table2, ExpConfig};
+use tm_bench::report::{f2, header, save_json, table};
+
+fn fmt(v: Option<f64>) -> String {
+    v.map(f2).unwrap_or_else(|| "-".to_string())
+}
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let t = table2(&cfg);
+    header("Table II — FPS at REC=0.80 / REC=0.93 on MOT-17");
+    println!("\nCPU:");
+    let rows: Vec<Vec<String>> = t
+        .cpu
+        .iter()
+        .map(|r| vec![r.method.clone(), fmt(r.fps_at_080), fmt(r.fps_at_093)])
+        .collect();
+    table(&["method", "REC=0.80", "REC=0.93"], &rows);
+    for (batch, rows_b) in &t.gpu {
+        println!("\nGPU {batch}:");
+        let rows: Vec<Vec<String>> = rows_b
+            .iter()
+            .map(|r| vec![r.method.clone(), fmt(r.fps_at_080), fmt(r.fps_at_093)])
+            .collect();
+        table(&["method", "REC=0.80", "REC=0.93"], &rows);
+    }
+    save_json("table2_fps", &t);
+}

@@ -1,0 +1,226 @@
+//! End-to-end quality experiments: Fig. 11 (polyonymous rate per tracker
+//! ± TMerge), Fig. 12 (identity metrics ± TMerge) and Fig. 13 (query
+//! recall ± TMerge), all on the MOT-17-like suite.
+//!
+//! Candidate merges are verified before application (the paper's "further
+//! human inspection", §I/§III) by the exact correspondence oracle — the
+//! simulator-world equivalent of a human confirming that two fragments show
+//! the same object.
+
+use crate::experiments::{sweep::K, ExpConfig};
+use crate::harness::VideoRun;
+use serde::Serialize;
+use tm_core::{run_pipeline, PipelineConfig, SelectorKind, TMergeConfig};
+use tm_datasets::{mot17, prepare, DatasetSpec};
+use tm_metrics::{clear_mot, hota, identity_metrics, polyonymous_rate, ClearMotConfig, Correspondence};
+use tm_query::{co_occurrence_recall, count_recall};
+use tm_reid::{CostModel, Device};
+use tm_track::TrackerKind;
+use tm_types::TrackSet;
+
+fn pipeline_config(seed: u64) -> PipelineConfig {
+    PipelineConfig {
+        window_len: 2000,
+        k: K,
+        selector: SelectorKind::TMerge(TMergeConfig {
+            tau_max: 10_000,
+            seed,
+            ..TMergeConfig::default()
+        }),
+        device: Device::Gpu { batch: 10 },
+        cost: CostModel::calibrated(),
+    }
+}
+
+/// Runs the verified TMerge pipeline on a prepared video, returning the
+/// merged track set.
+fn merged_tracks(run: &VideoRun, seed: u64) -> TrackSet {
+    let model = run.video.model();
+    let corr = &run.video.correspondence;
+    let verifier = |p: &tm_types::TrackPair| corr.is_polyonymous(p);
+    run_pipeline(
+        &run.video.tracks,
+        run.video.n_frames,
+        &model,
+        &pipeline_config(seed),
+        Some(&verifier),
+    )
+    .expect("valid pipeline config")
+    .merged
+}
+
+/// Fig. 11 — polyonymous rate of a tracker's output, before and after
+/// TMerge.
+#[derive(Debug, Clone, Serialize)]
+pub struct PolyRateRow {
+    /// Tracker name.
+    pub tracker: String,
+    /// `|P*| / |P|` without TMerge.
+    pub rate_without: f64,
+    /// `|P* \ P̂*| / |P|` with TMerge (Eq. in §V-G).
+    pub rate_with: f64,
+}
+
+/// Computes Fig. 11 for the trackers the paper compares (Tracktor,
+/// DeepSORT, UMA).
+pub fn fig11(cfg: &ExpConfig) -> Vec<PolyRateRow> {
+    let spec = cfg.limit(mot17(), 7);
+    [TrackerKind::Tracktor, TrackerKind::DeepSort, TrackerKind::Uma]
+        .into_iter()
+        .map(|kind| {
+            let mut n_pairs = 0usize;
+            let mut n_poly = 0usize;
+            let mut n_poly_left = 0usize;
+            for video in &spec.videos {
+                let run = VideoRun::new(prepare(video, kind), spec.window_len);
+                let model = run.video.model();
+                let report = run_pipeline(
+                    &run.video.tracks,
+                    run.video.n_frames,
+                    &model,
+                    &pipeline_config(cfg.seed),
+                    None,
+                )
+                .expect("valid pipeline config");
+                let found: std::collections::BTreeSet<_> =
+                    report.candidates.iter().copied().collect();
+                n_pairs += run.n_pairs();
+                n_poly += run.truth.len();
+                n_poly_left += run.truth.difference(&found).count();
+            }
+            PolyRateRow {
+                tracker: kind.name().to_string(),
+                rate_without: polyonymous_rate(n_poly, n_pairs),
+                rate_with: polyonymous_rate(n_poly_left, n_pairs),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 12 — identity metrics of Tracktor on MOT-17 with and without
+/// TMerge (plus MOTA/IDS from CLEAR-MOT as supporting numbers).
+#[derive(Debug, Clone, Serialize)]
+pub struct IdMetricsResult {
+    /// IDF1/IDP/IDR without TMerge.
+    pub without: IdTriple,
+    /// IDF1/IDP/IDR with TMerge.
+    pub with: IdTriple,
+    /// ID switches without / with TMerge (CLEAR-MOT).
+    pub id_switches: (u64, u64),
+    /// MOTA without / with TMerge.
+    pub mota: (f64, f64),
+    /// HOTA without / with TMerge (extension metric; fragmentation moves
+    /// its association component only).
+    pub hota: (f64, f64),
+    /// HOTA's association accuracy AssA without / with TMerge.
+    pub ass_a: (f64, f64),
+}
+
+/// A compact IDF1/IDP/IDR triple.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct IdTriple {
+    /// Identity F1.
+    pub idf1: f64,
+    /// Identity precision.
+    pub idp: f64,
+    /// Identity recall.
+    pub idr: f64,
+}
+
+/// Computes Fig. 12.
+pub fn fig12(cfg: &ExpConfig) -> IdMetricsResult {
+    let spec = cfg.limit(mot17(), 7);
+    let mut acc = [(0.0, 0.0, 0.0); 2];
+    let mut idsw = [0u64; 2];
+    let mut mota = [0.0f64; 2];
+    let mut hota_acc = [0.0f64; 2];
+    let mut ass_acc = [0.0f64; 2];
+    let n = spec.videos.len() as f64;
+    for video in &spec.videos {
+        let run = VideoRun::new(prepare(video, TrackerKind::Tracktor), spec.window_len);
+        let merged = merged_tracks(&run, cfg.seed);
+        for (i, tracks) in [&run.video.tracks, &merged].into_iter().enumerate() {
+            let id = identity_metrics(&run.video.gt_tracks, tracks, 0.5);
+            acc[i].0 += id.idf1;
+            acc[i].1 += id.idp;
+            acc[i].2 += id.idr;
+            let cm = clear_mot(&run.video.gt_tracks, tracks, ClearMotConfig::default());
+            idsw[i] += cm.id_switches;
+            mota[i] += cm.mota;
+            let h = hota(&run.video.gt_tracks, tracks);
+            hota_acc[i] += h.hota;
+            ass_acc[i] += h.ass_a;
+        }
+    }
+    let triple = |(a, b, c): (f64, f64, f64)| IdTriple {
+        idf1: a / n,
+        idp: b / n,
+        idr: c / n,
+    };
+    IdMetricsResult {
+        without: triple(acc[0]),
+        with: triple(acc[1]),
+        id_switches: (idsw[0], idsw[1]),
+        mota: (mota[0] / n, mota[1] / n),
+        hota: (hota_acc[0] / n, hota_acc[1] / n),
+        ass_a: (ass_acc[0] / n, ass_acc[1] / n),
+    }
+}
+
+/// Fig. 13 — recall of the two §V-H queries with and without TMerge.
+#[derive(Debug, Clone, Serialize)]
+pub struct QueryRecallResult {
+    /// *Count* query (objects visible > 200 frames): recall without /
+    /// with TMerge.
+    pub count: (f64, f64),
+    /// *Co-occurring Objects* (3 objects jointly > 50 frames): recall
+    /// without / with TMerge.
+    pub co_occurrence: (f64, f64),
+}
+
+/// Count-query duration threshold (frames), as in the paper's example.
+pub const COUNT_MIN_FRAMES: u64 = 200;
+/// Co-occurrence group size, as in the paper's example.
+pub const CO_OCCUR_GROUP: usize = 3;
+/// Co-occurrence minimum joint duration (frames).
+pub const CO_OCCUR_MIN_FRAMES: u64 = 50;
+
+/// Computes Fig. 13.
+pub fn fig13(cfg: &ExpConfig) -> QueryRecallResult {
+    let spec: DatasetSpec = cfg.limit(mot17(), 7);
+    let mut count = (0.0, 0.0);
+    let mut co = (0.0, 0.0);
+    let n = spec.videos.len() as f64;
+    for video in &spec.videos {
+        let run = VideoRun::new(prepare(video, TrackerKind::Tracktor), spec.window_len);
+        let merged = merged_tracks(&run, cfg.seed);
+        // The merged set changes ids; recompute its attribution.
+        let merged_corr = Correspondence::from_tracks(&merged, 0.5);
+        let gt = &run.video.gt_tracks;
+        count.0 += count_recall(
+            &run.video.tracks,
+            gt,
+            COUNT_MIN_FRAMES,
+            run.video.correspondence.as_map(),
+        );
+        count.1 += count_recall(&merged, gt, COUNT_MIN_FRAMES, merged_corr.as_map());
+        co.0 += co_occurrence_recall(
+            &run.video.tracks,
+            gt,
+            CO_OCCUR_GROUP,
+            CO_OCCUR_MIN_FRAMES,
+            run.video.correspondence.as_map(),
+        );
+        co.1 += co_occurrence_recall(
+            &merged,
+            gt,
+            CO_OCCUR_GROUP,
+            CO_OCCUR_MIN_FRAMES,
+            merged_corr.as_map(),
+        );
+    }
+    QueryRecallResult {
+        count: (count.0 / n, count.1 / n),
+        co_occurrence: (co.0 / n, co.1 / n),
+    }
+}

@@ -1,0 +1,93 @@
+//! Result reporting: aligned stdout tables plus JSON files in `results/`.
+
+use serde::Serialize;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory the experiment binaries write their JSON results to.
+pub fn results_dir() -> PathBuf {
+    // Walk up from the crate to the workspace root when run via cargo.
+    let candidates = ["results", "../results", "../../results"];
+    for c in candidates {
+        if Path::new(c).is_dir() {
+            return PathBuf::from(c);
+        }
+    }
+    // Create ./results as a fallback.
+    let p = PathBuf::from("results");
+    let _ = fs::create_dir_all(&p);
+    p
+}
+
+/// Serializes a result structure to `results/<name>.json`.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("(saved {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Prints a header box for an experiment.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints an aligned table: a header row and data rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let n = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(n) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i.min(n - 1)]))
+            .collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a float with 2 decimals (FPS, seconds).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals (REC, rates).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f3(0.94999), "0.950");
+    }
+
+    #[test]
+    fn table_does_not_panic_on_ragged_rows() {
+        table(
+            &["a", "b"],
+            &[vec!["1".into()], vec!["1".into(), "2".into(), "3".into()]],
+        );
+    }
+}

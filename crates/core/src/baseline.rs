@@ -1,0 +1,126 @@
+//! BL — the brute-force baseline (Algorithm 1 of the paper).
+//!
+//! Computes the exact score of every pair by evaluating **all** BBox pairs,
+//! ranks ascending, and returns the top-`⌈K·|P_c|⌉`. Exact but quadratic in
+//! boxes per pair — the scalability problem motivating TMerge (Fig. 4).
+//! Running it on a GPU session makes it the paper's BL-B.
+
+use crate::score::exact_scores;
+use crate::selector::{top_m_by_score, CandidateSelector, SelectionInput, SelectionResult};
+use tm_reid::ReidSession;
+
+/// The baseline selector (Algorithm 1). Stateless.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Baseline;
+
+impl CandidateSelector for Baseline {
+    fn name(&self) -> String {
+        "BL".to_string()
+    }
+
+    fn select(&self, input: &SelectionInput<'_>, session: &mut ReidSession<'_>) -> SelectionResult {
+        let before = session.stats().distances;
+        let scores = exact_scores(input, session)
+            .expect("pair set references tracks absent from the track set");
+        let candidates = top_m_by_score(&scores, input.m());
+        SelectionResult {
+            candidates,
+            scores: scores.into_iter().collect(),
+            distance_evals: session.stats().distances - before,
+            history: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_reid::{AppearanceConfig, AppearanceModel, CostModel, Device};
+    use tm_types::{ids::classes, BBox, FrameIdx, GtObjectId, Track, TrackBox, TrackId, TrackPair, TrackSet};
+
+    fn track(id: u64, actor: u64, start: u64, n: usize) -> Track {
+        Track::with_boxes(
+            TrackId(id),
+            classes::PEDESTRIAN,
+            (0..n)
+                .map(|i| {
+                    TrackBox::new(
+                        FrameIdx(start + i as u64),
+                        BBox::new(i as f64 * 5.0, 100.0, 40.0, 80.0),
+                    )
+                    .with_provenance(GtObjectId(actor))
+                })
+                .collect(),
+        )
+    }
+
+    /// 6 tracks: actors 10 and 11 fragmented into two tracks each, plus two
+    /// singleton actors. True polyonymous pairs: (1,2) and (3,4).
+    fn fixture() -> (AppearanceModel, TrackSet, Vec<TrackPair>) {
+        let model = AppearanceModel::new(AppearanceConfig::default());
+        let tracks = TrackSet::from_tracks(vec![
+            track(1, 10, 0, 8),
+            track(2, 10, 40, 8),
+            track(3, 11, 0, 8),
+            track(4, 11, 40, 8),
+            track(5, 12, 0, 8),
+            track(6, 13, 0, 8),
+        ]);
+        let ids: Vec<u64> = (1..=6).collect();
+        let mut pairs = Vec::new();
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                pairs.push(TrackPair::new(TrackId(a), TrackId(b)).unwrap());
+            }
+        }
+        (model, tracks, pairs)
+    }
+
+    #[test]
+    fn baseline_finds_polyonymous_pairs_at_small_k() {
+        let (model, tracks, pairs) = fixture();
+        // K chosen so m = 2 (15 pairs → ⌈0.14·15⌉ = 3... use 2/15).
+        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 2.0 / 15.0 };
+        assert_eq!(input.m(), 2);
+        let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+        let result = Baseline.select(&input, &mut session);
+        let expect_a = TrackPair::new(TrackId(1), TrackId(2)).unwrap();
+        let expect_b = TrackPair::new(TrackId(3), TrackId(4)).unwrap();
+        assert!(result.candidates.contains(&expect_a), "{:?}", result.candidates);
+        assert!(result.candidates.contains(&expect_b), "{:?}", result.candidates);
+    }
+
+    #[test]
+    fn baseline_evaluates_every_bbox_pair() {
+        let (model, tracks, pairs) = fixture();
+        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.1 };
+        let mut session = ReidSession::new(&model, CostModel::calibrated(), Device::Cpu);
+        let result = Baseline.select(&input, &mut session);
+        // 15 pairs × 64 bbox pairs.
+        assert_eq!(result.distance_evals, 15 * 64);
+        assert_eq!(session.stats().distances, 15 * 64);
+    }
+
+    #[test]
+    fn gpu_variant_is_cheaper_and_identical() {
+        let (model, tracks, pairs) = fixture();
+        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.2 };
+        let mut cpu = ReidSession::new(&model, CostModel::calibrated(), Device::Cpu);
+        let r_cpu = Baseline.select(&input, &mut cpu);
+        let mut gpu =
+            ReidSession::new(&model, CostModel::calibrated(), Device::Gpu { batch: 10 });
+        let r_gpu = Baseline.select(&input, &mut gpu);
+        assert_eq!(r_cpu.candidates, r_gpu.candidates);
+        assert!(gpu.elapsed_ms() < cpu.elapsed_ms());
+    }
+
+    #[test]
+    fn empty_pair_set_is_fine() {
+        let (model, tracks, _) = fixture();
+        let input = SelectionInput { pairs: &[], tracks: &tracks, k: 0.5 };
+        let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+        let result = Baseline.select(&input, &mut session);
+        assert!(result.candidates.is_empty());
+        assert_eq!(result.distance_evals, 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! ε-greedy selection — an extension comparison point.
+//!
+//! The simplest bandit heuristic: with probability ε sample a uniformly
+//! random live pair, otherwise sample the pair with the lowest current
+//! sample mean. Classic bandit theory (and the paper's choice of Thompson
+//! sampling) predicts it wastes exploration on clearly-bad arms at a
+//! constant rate; the `extension` benches let that prediction be checked
+//! against TMerge and LCB on the same workloads.
+
+use crate::sampling::WithoutReplacement;
+use crate::score::PairBoxes;
+use crate::selector::{top_m_by_score, CandidateSelector, SelectionInput, SelectionResult};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tm_reid::{ReidSession, NORMALIZER};
+use tm_types::TrackPair;
+
+/// ε-greedy parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EGreedyConfig {
+    /// Evaluation budget (`τ_max`).
+    pub tau_max: u64,
+    /// Exploration probability ε ∈ [0, 1].
+    pub epsilon: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EGreedyConfig {
+    fn default() -> Self {
+        Self {
+            tau_max: 10_000,
+            epsilon: 0.1,
+            seed: 0,
+        }
+    }
+}
+
+/// The ε-greedy selector.
+#[derive(Debug, Clone, Copy)]
+pub struct EpsilonGreedy {
+    config: EGreedyConfig,
+}
+
+impl EpsilonGreedy {
+    /// Creates the selector.
+    pub fn new(config: EGreedyConfig) -> Self {
+        Self { config }
+    }
+}
+
+struct ArmState<'a> {
+    boxes: PairBoxes<'a>,
+    sampler: WithoutReplacement,
+    n: u64,
+    sum: f64,
+}
+
+impl ArmState<'_> {
+    fn mean(&self) -> f64 {
+        if self.n == 0 {
+            // Optimistic-for-minimization prior so unexplored arms are
+            // tried before committing to a greedy choice.
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+}
+
+impl CandidateSelector for EpsilonGreedy {
+    fn name(&self) -> String {
+        format!("eGreedy(ε={})", self.config.epsilon)
+    }
+
+    fn select(&self, input: &SelectionInput<'_>, session: &mut ReidSession<'_>) -> SelectionResult {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let eps = self.config.epsilon.clamp(0.0, 1.0);
+        let mut arms: Vec<ArmState<'_>> = input
+            .pairs
+            .iter()
+            .map(|&p| {
+                let boxes = PairBoxes::resolve(p, input.tracks)
+                    .expect("pair set references tracks absent from the track set");
+                let sampler = WithoutReplacement::new(boxes.total_bbox_pairs());
+                ArmState {
+                    boxes,
+                    sampler,
+                    n: 0,
+                    sum: 0.0,
+                }
+            })
+            .collect();
+
+        let mut tau = 0u64;
+        while tau < self.config.tau_max {
+            session.charge_thompson_scan(arms.len());
+            let live: Vec<usize> = (0..arms.len())
+                .filter(|&i| !arms[i].sampler.is_exhausted())
+                .collect();
+            if live.is_empty() {
+                break;
+            }
+            let i = if rng.random_bool(eps) {
+                live[rng.random_range(0..live.len())]
+            } else {
+                *live
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        arms[a]
+                            .mean()
+                            .partial_cmp(&arms[b].mean())
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("live is non-empty")
+            };
+            let flat = arms[i].sampler.draw(&mut rng).expect("live arm");
+            let (a, b) = arms[i].boxes.bbox_pair(flat);
+            let d = session.pair_distance(a, b) / NORMALIZER;
+            arms[i].n += 1;
+            arms[i].sum += d;
+            tau += 1;
+        }
+
+        let scores: Vec<(TrackPair, f64)> = arms
+            .iter()
+            .map(|a| {
+                // Unexplored arms rank last, not first, in the final answer.
+                let s = if a.n == 0 { 1.0 } else { a.mean() };
+                (a.boxes.pair, s)
+            })
+            .collect();
+        let candidates = top_m_by_score(&scores, input.m());
+        SelectionResult {
+            candidates,
+            scores: scores.into_iter().collect(),
+            distance_evals: tau,
+            history: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_reid::{AppearanceConfig, AppearanceModel, CostModel, Device};
+    use tm_types::{ids::classes, BBox, FrameIdx, GtObjectId, Track, TrackBox, TrackId, TrackSet};
+
+    fn track(id: u64, actor: u64, start: u64, n: usize) -> Track {
+        Track::with_boxes(
+            TrackId(id),
+            classes::PEDESTRIAN,
+            (0..n)
+                .map(|i| {
+                    TrackBox::new(
+                        FrameIdx(start + i as u64),
+                        BBox::new(i as f64 * 5.0, 100.0, 40.0, 80.0),
+                    )
+                    .with_provenance(GtObjectId(actor))
+                })
+                .collect(),
+        )
+    }
+
+    fn fixture() -> (AppearanceModel, TrackSet, Vec<TrackPair>) {
+        let model = AppearanceModel::new(AppearanceConfig::default());
+        let tracks = TrackSet::from_tracks(vec![
+            track(1, 10, 0, 10),
+            track(2, 10, 40, 10),
+            track(3, 11, 0, 10),
+            track(4, 12, 0, 10),
+        ]);
+        let ids: Vec<u64> = (1..=4).collect();
+        let mut pairs = Vec::new();
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                pairs.push(TrackPair::new(TrackId(a), TrackId(b)).unwrap());
+            }
+        }
+        (model, tracks, pairs)
+    }
+
+    #[test]
+    fn finds_the_polyonymous_pair() {
+        let (model, tracks, pairs) = fixture();
+        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 1.0 / 6.0 };
+        let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+        let eg = EpsilonGreedy::new(EGreedyConfig { tau_max: 300, epsilon: 0.15, seed: 3 });
+        let r = eg.select(&input, &mut session);
+        assert_eq!(r.candidates, vec![TrackPair::new(TrackId(1), TrackId(2)).unwrap()]);
+    }
+
+    #[test]
+    fn respects_budget_and_is_deterministic() {
+        let (model, tracks, pairs) = fixture();
+        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.5 };
+        let run = || {
+            let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+            EpsilonGreedy::new(EGreedyConfig { tau_max: 123, epsilon: 0.2, seed: 9 })
+                .select(&input, &mut session)
+        };
+        let a = run();
+        assert_eq!(a.distance_evals, 123);
+        assert_eq!(a.candidates, run().candidates);
+    }
+
+    #[test]
+    fn epsilon_zero_is_pure_greedy_and_still_terminates() {
+        let (model, tracks, pairs) = fixture();
+        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.5 };
+        let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+        let eg = EpsilonGreedy::new(EGreedyConfig { tau_max: 10_000, epsilon: 0.0, seed: 0 });
+        let r = eg.select(&input, &mut session);
+        // 6 pairs × 100 bbox pairs: budget exceeds all pools.
+        assert_eq!(r.distance_evals, 600);
+    }
+}

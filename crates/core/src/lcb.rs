@@ -1,0 +1,255 @@
+//! LCB — Lower-Confidence-Bound selection (§V-B, compared algorithm 3).
+//!
+//! The UCB1 algorithm of the bandit literature adapted to *minimization*:
+//! each iteration recomputes every pair's lower confidence bound
+//! `s̃' − √(2·ln τ / n)`, samples one BBox pair from the minimizer, and
+//! updates. Each iteration depends on the previous one's result, so the
+//! `-B` variant can only batch the (two) feature inferences of a single
+//! iteration — the reason LCB "cannot benefit much from GPU acceleration"
+//! (§V-B, Fig. 6).
+
+use crate::sampling::WithoutReplacement;
+use crate::score::PairBoxes;
+use crate::selector::{top_m_by_score, CandidateSelector, SelectionInput, SelectionResult};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tm_reid::{ReidSession, NORMALIZER};
+use tm_types::TrackPair;
+
+/// LCB parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LcbConfig {
+    /// Total BBox-pair evaluation budget `τ_max` (shared with TMerge's
+    /// notion of iterations; the initial one-sample-per-pair pass counts).
+    pub tau_max: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Record the per-iteration normalized distances.
+    pub record_history: bool,
+}
+
+impl Default for LcbConfig {
+    fn default() -> Self {
+        Self {
+            tau_max: 10_000,
+            seed: 0,
+            record_history: false,
+        }
+    }
+}
+
+/// The LCB selector.
+#[derive(Debug, Clone, Copy)]
+pub struct LowerConfidenceBound {
+    config: LcbConfig,
+}
+
+impl LowerConfidenceBound {
+    /// Creates the selector.
+    pub fn new(config: LcbConfig) -> Self {
+        Self { config }
+    }
+}
+
+struct PairState<'a> {
+    boxes: PairBoxes<'a>,
+    sampler: WithoutReplacement,
+    n: u64,
+    sum: f64,
+}
+
+impl PairState<'_> {
+    fn mean(&self) -> f64 {
+        if self.n == 0 {
+            1.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+}
+
+impl CandidateSelector for LowerConfidenceBound {
+    fn name(&self) -> String {
+        "LCB".to_string()
+    }
+
+    fn select(&self, input: &SelectionInput<'_>, session: &mut ReidSession<'_>) -> SelectionResult {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut history = Vec::new();
+        let mut states: Vec<PairState<'_>> = input
+            .pairs
+            .iter()
+            .map(|&p| {
+                let boxes = PairBoxes::resolve(p, input.tracks)
+                    .expect("pair set references tracks absent from the track set");
+                let sampler = WithoutReplacement::new(boxes.total_bbox_pairs());
+                PairState {
+                    boxes,
+                    sampler,
+                    n: 0,
+                    sum: 0.0,
+                }
+            })
+            .collect();
+
+        let mut tau = 0u64;
+        // Initialization: play every arm once (standard UCB bootstrap).
+        for st in states.iter_mut() {
+            if tau >= self.config.tau_max || st.sampler.is_exhausted() {
+                continue;
+            }
+            let flat = st.sampler.draw(&mut rng).expect("non-empty pool");
+            let (a, b) = st.boxes.bbox_pair(flat);
+            let d = session.pair_distance(a, b) / NORMALIZER;
+            st.n += 1;
+            st.sum += d;
+            tau += 1;
+            if self.config.record_history {
+                history.push(d);
+            }
+        }
+
+        // Main loop: one sequentially dependent evaluation per iteration.
+        while tau < self.config.tau_max {
+            session.charge_lcb_scan(states.len());
+            let mut best: Option<(usize, f64)> = None;
+            let log_term = 2.0 * (tau.max(2) as f64).ln();
+            for (i, st) in states.iter().enumerate() {
+                if st.sampler.is_exhausted() || st.n == 0 {
+                    continue;
+                }
+                let lcb = st.mean() - (log_term / st.n as f64).sqrt();
+                if best.is_none_or(|(_, b)| lcb < b) {
+                    best = Some((i, lcb));
+                }
+            }
+            let Some((i, _)) = best else { break };
+            let st = &mut states[i];
+            let flat = st.sampler.draw(&mut rng).expect("checked non-exhausted");
+            let (a, b) = st.boxes.bbox_pair(flat);
+            let d = session.pair_distance(a, b) / NORMALIZER;
+            st.n += 1;
+            st.sum += d;
+            tau += 1;
+            if self.config.record_history {
+                history.push(d);
+            }
+        }
+
+        let scores: Vec<(TrackPair, f64)> =
+            states.iter().map(|st| (st.boxes.pair, st.mean())).collect();
+        let candidates = top_m_by_score(&scores, input.m());
+        SelectionResult {
+            candidates,
+            scores: scores.into_iter().collect(),
+            distance_evals: tau,
+            history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_reid::{AppearanceConfig, AppearanceModel, CostModel, Device};
+    use tm_types::{ids::classes, BBox, FrameIdx, GtObjectId, Track, TrackBox, TrackId, TrackSet};
+
+    fn track(id: u64, actor: u64, start: u64, n: usize) -> Track {
+        Track::with_boxes(
+            TrackId(id),
+            classes::PEDESTRIAN,
+            (0..n)
+                .map(|i| {
+                    TrackBox::new(
+                        FrameIdx(start + i as u64),
+                        BBox::new(i as f64 * 5.0, 100.0, 40.0, 80.0),
+                    )
+                    .with_provenance(GtObjectId(actor))
+                })
+                .collect(),
+        )
+    }
+
+    fn fixture() -> (AppearanceModel, TrackSet, Vec<TrackPair>) {
+        let model = AppearanceModel::new(AppearanceConfig::default());
+        let tracks = TrackSet::from_tracks(vec![
+            track(1, 10, 0, 10),
+            track(2, 10, 40, 10),
+            track(3, 11, 0, 10),
+            track(4, 12, 0, 10),
+            track(5, 13, 0, 10),
+        ]);
+        let ids: Vec<u64> = (1..=5).collect();
+        let mut pairs = Vec::new();
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                pairs.push(TrackPair::new(TrackId(a), TrackId(b)).unwrap());
+            }
+        }
+        (model, tracks, pairs)
+    }
+
+    #[test]
+    fn finds_polyonymous_pair_with_small_budget() {
+        let (model, tracks, pairs) = fixture();
+        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.1 };
+        let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+        let lcb = LowerConfidenceBound::new(LcbConfig { tau_max: 120, seed: 4, record_history: false });
+        let r = lcb.select(&input, &mut session);
+        assert_eq!(r.candidates, vec![TrackPair::new(TrackId(1), TrackId(2)).unwrap()]);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let (model, tracks, pairs) = fixture();
+        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.1 };
+        let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+        let lcb = LowerConfidenceBound::new(LcbConfig { tau_max: 37, seed: 0, record_history: true });
+        let r = lcb.select(&input, &mut session);
+        assert_eq!(r.distance_evals, 37);
+        assert_eq!(r.history.len(), 37);
+        assert_eq!(session.stats().distances, 37);
+    }
+
+    #[test]
+    fn biases_sampling_toward_the_low_score_pair() {
+        let (model, tracks, pairs) = fixture();
+        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.1 };
+        let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+        let lcb = LowerConfidenceBound::new(LcbConfig { tau_max: 200, seed: 2, record_history: true });
+        let r = lcb.select(&input, &mut session);
+        // Late samples should be dominated by low distances (the
+        // polyonymous pair); compare mean of last quarter vs first quarter.
+        let q = r.history.len() / 4;
+        let early: f64 = r.history[..q].iter().sum::<f64>() / q as f64;
+        let late: f64 = r.history[r.history.len() - q..].iter().sum::<f64>() / q as f64;
+        assert!(late < early, "late {late} should be below early {early}");
+    }
+
+    #[test]
+    fn exhausted_pools_stop_gracefully() {
+        let (model, tracks, _) = fixture();
+        let pairs = vec![TrackPair::new(TrackId(1), TrackId(2)).unwrap()];
+        // Budget far beyond the pool size (100 bbox pairs).
+        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 1.0 };
+        let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+        let lcb = LowerConfidenceBound::new(LcbConfig { tau_max: 10_000, seed: 0, record_history: false });
+        let r = lcb.select(&input, &mut session);
+        assert_eq!(r.distance_evals, 100, "must stop at pool exhaustion");
+    }
+
+    #[test]
+    fn gpu_batching_barely_helps_lcb() {
+        // The paper's point: LCB-B pays a round per iteration.
+        let (model, tracks, pairs) = fixture();
+        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.1 };
+        let cfg = LcbConfig { tau_max: 150, seed: 1, record_history: false };
+        let mut gpu10 = ReidSession::new(&model, CostModel::calibrated(), Device::Gpu { batch: 10 });
+        LowerConfidenceBound::new(cfg).select(&input, &mut gpu10);
+        let mut gpu100 = ReidSession::new(&model, CostModel::calibrated(), Device::Gpu { batch: 100 });
+        LowerConfidenceBound::new(cfg).select(&input, &mut gpu100);
+        // Larger batch size changes essentially nothing.
+        let ratio = gpu10.elapsed_ms() / gpu100.elapsed_ms();
+        assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+}

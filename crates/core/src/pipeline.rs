@@ -1,0 +1,265 @@
+//! The end-to-end ingestion pipeline: window → select candidates → merge.
+//!
+//! This is TMerge as deployed (§I, §V-H): a pre-processing step between the
+//! tracker and downstream query processing. The pipeline walks the video's
+//! half-overlapping windows, runs a candidate selector on each window's
+//! pair set (sharing one ReID session per video so features are reused
+//! across windows), optionally verifies candidates (the paper's "further
+//! human inspection" — supplied as a callback), and applies the accepted
+//! merges via union-find.
+
+use crate::baseline::Baseline;
+use crate::lcb::{LcbConfig, LowerConfidenceBound};
+use crate::pairs::build_window_pairs;
+use crate::ps::{ProportionalSampling, PsConfig};
+use crate::selector::{CandidateSelector, SelectionInput};
+use crate::tmerge::{TMerge, TMergeConfig};
+use crate::union::merge_mapping;
+use tm_reid::{AppearanceModel, CostModel, Device, ReidSession, ReidStats};
+use tm_types::{Result, TrackPair, TrackSet};
+
+/// Which candidate-selection algorithm the pipeline runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelectorKind {
+    /// The exact baseline (Algorithm 1).
+    Baseline,
+    /// Proportional stratified sampling.
+    Ps(PsConfig),
+    /// Lower-confidence-bound bandit.
+    Lcb(LcbConfig),
+    /// Thompson sampling (the paper's contribution).
+    TMerge(TMergeConfig),
+}
+
+impl SelectorKind {
+    /// Instantiates the selector.
+    pub fn build(&self) -> Box<dyn CandidateSelector> {
+        match self {
+            SelectorKind::Baseline => Box::new(Baseline),
+            SelectorKind::Ps(c) => Box::new(ProportionalSampling::new(*c)),
+            SelectorKind::Lcb(c) => Box::new(LowerConfidenceBound::new(*c)),
+            SelectorKind::TMerge(c) => Box::new(TMerge::new(*c)),
+        }
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Window length `L` (frames, even).
+    pub window_len: u64,
+    /// Candidate budget `K`.
+    pub k: f64,
+    /// The selection algorithm.
+    pub selector: SelectorKind,
+    /// Device the ReID session runs on (CPU, or GPU for `-B` variants).
+    pub device: Device,
+    /// Simulated cost constants.
+    pub cost: CostModel,
+}
+
+impl Default for PipelineConfig {
+    /// The paper's defaults: `L = 2000`, `K = 5%`, TMerge on CPU.
+    fn default() -> Self {
+        Self {
+            window_len: 2000,
+            k: 0.05,
+            selector: SelectorKind::TMerge(TMergeConfig::default()),
+            device: Device::Cpu,
+            cost: CostModel::calibrated(),
+        }
+    }
+}
+
+/// What one pipeline run produced.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// The corrected track set (candidates merged).
+    pub merged: TrackSet,
+    /// Every candidate pair the selector proposed, across windows.
+    pub candidates: Vec<TrackPair>,
+    /// Candidates that survived verification and were merged.
+    pub accepted: Vec<TrackPair>,
+    /// Total pairs examined (`Σ_c |P_c|`).
+    pub n_pairs: usize,
+    /// Total distance evaluations across windows.
+    pub distance_evals: u64,
+    /// Simulated processing time, milliseconds.
+    pub elapsed_ms: f64,
+    /// ReID work counters.
+    pub stats: ReidStats,
+}
+
+impl PipelineReport {
+    /// Frames processed per simulated second (the paper's *FPS* metric).
+    pub fn fps(&self, n_frames: u64) -> f64 {
+        if self.elapsed_ms <= 0.0 {
+            f64::INFINITY
+        } else {
+            n_frames as f64 / (self.elapsed_ms / 1000.0)
+        }
+    }
+}
+
+/// Runs the full merging pipeline over a video's tracker output.
+///
+/// `verifier`, when provided, plays the role of the paper's optional human
+/// inspection: only candidates it accepts are merged. Pass `None` to merge
+/// every candidate.
+pub fn run_pipeline(
+    tracks: &TrackSet,
+    n_frames: u64,
+    model: &AppearanceModel,
+    config: &PipelineConfig,
+    verifier: Option<&dyn Fn(&TrackPair) -> bool>,
+) -> Result<PipelineReport> {
+    let windows = build_window_pairs(tracks, n_frames, config.window_len)?;
+    let selector = config.selector.build();
+    let mut session = ReidSession::new(model, config.cost, config.device);
+
+    let mut candidates = Vec::new();
+    let mut n_pairs = 0usize;
+    let mut distance_evals = 0u64;
+    for wp in &windows {
+        if wp.pairs.is_empty() {
+            continue;
+        }
+        n_pairs += wp.pairs.len();
+        let input = SelectionInput {
+            pairs: &wp.pairs,
+            tracks,
+            k: config.k,
+        };
+        let result = selector.select(&input, &mut session);
+        distance_evals += result.distance_evals;
+        candidates.extend(result.candidates);
+    }
+
+    let accepted: Vec<TrackPair> = match verifier {
+        Some(v) => candidates.iter().filter(|p| v(p)).copied().collect(),
+        None => candidates.clone(),
+    };
+    let mapping = merge_mapping(&accepted);
+    let merged = tracks.relabeled(&mapping);
+
+    Ok(PipelineReport {
+        merged,
+        candidates,
+        accepted,
+        n_pairs,
+        distance_evals,
+        elapsed_ms: session.elapsed_ms(),
+        stats: session.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_types::{ids::classes, BBox, FrameIdx, GtObjectId, Track, TrackBox, TrackId};
+
+    fn track(id: u64, actor: u64, start: u64, n: usize, x0: f64) -> Track {
+        Track::with_boxes(
+            TrackId(id),
+            classes::PEDESTRIAN,
+            (0..n)
+                .map(|i| {
+                    TrackBox::new(
+                        FrameIdx(start + i as u64),
+                        BBox::new(x0 + i as f64 * 5.0, 100.0, 40.0, 80.0),
+                    )
+                    .with_provenance(GtObjectId(actor))
+                })
+                .collect(),
+        )
+    }
+
+    fn fixture() -> (AppearanceModel, TrackSet) {
+        let model = AppearanceModel::new(tm_reid::AppearanceConfig::default());
+        let tracks = TrackSet::from_tracks(vec![
+            track(1, 10, 0, 20, 0.0),
+            track(2, 10, 60, 20, 110.0), // fragment of actor 10
+            track(3, 11, 0, 20, 400.0),
+            track(4, 12, 0, 20, 800.0),
+            track(5, 13, 50, 20, 1200.0),
+        ]);
+        (model, tracks)
+    }
+
+    fn config() -> PipelineConfig {
+        PipelineConfig {
+            window_len: 200,
+            k: 0.1, // m = 1 for the single 10-pair window
+            selector: SelectorKind::TMerge(TMergeConfig {
+                tau_max: 800,
+                seed: 2,
+                ..Default::default()
+            }),
+            device: Device::Cpu,
+            cost: CostModel::calibrated(),
+        }
+    }
+
+    #[test]
+    fn pipeline_merges_the_fragmented_actor() {
+        let (model, tracks) = fixture();
+        let report = run_pipeline(&tracks, 200, &model, &config(), None).unwrap();
+        let poly = TrackPair::new(TrackId(1), TrackId(2)).unwrap();
+        assert!(report.candidates.contains(&poly), "{:?}", report.candidates);
+        // Tracks 1 and 2 are now one track.
+        assert!(report.merged.get(TrackId(1)).is_some());
+        assert!(report.merged.get(TrackId(2)).is_none());
+        assert_eq!(report.merged.get(TrackId(1)).unwrap().len(), 40);
+    }
+
+    #[test]
+    fn verifier_filters_candidates() {
+        let (model, tracks) = fixture();
+        let reject_all = |_: &TrackPair| false;
+        let report =
+            run_pipeline(&tracks, 200, &model, &config(), Some(&reject_all)).unwrap();
+        assert!(report.accepted.is_empty());
+        // Nothing merged.
+        assert_eq!(report.merged.len(), tracks.len());
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let (model, tracks) = fixture();
+        let report = run_pipeline(&tracks, 200, &model, &config(), None).unwrap();
+        assert!(report.n_pairs > 0);
+        assert!(report.distance_evals > 0);
+        assert!(report.elapsed_ms > 0.0);
+        assert_eq!(report.stats.distances, report.distance_evals);
+        assert!(report.fps(200) > 0.0);
+    }
+
+    #[test]
+    fn baseline_selector_works_through_pipeline() {
+        let (model, tracks) = fixture();
+        let mut cfg = config();
+        cfg.selector = SelectorKind::Baseline;
+        let report = run_pipeline(&tracks, 200, &model, &cfg, None).unwrap();
+        let poly = TrackPair::new(TrackId(1), TrackId(2)).unwrap();
+        assert!(report.candidates.contains(&poly));
+    }
+
+    #[test]
+    fn gpu_pipeline_is_faster_than_cpu() {
+        let (model, tracks) = fixture();
+        let cpu = run_pipeline(&tracks, 200, &model, &config(), None).unwrap();
+        let mut gpu_cfg = config();
+        gpu_cfg.device = Device::Gpu { batch: 10 };
+        let gpu = run_pipeline(&tracks, 200, &model, &gpu_cfg, None).unwrap();
+        assert!(gpu.elapsed_ms < cpu.elapsed_ms);
+    }
+
+    #[test]
+    fn empty_track_set_is_fine() {
+        let (model, _) = fixture();
+        let report =
+            run_pipeline(&TrackSet::new(), 200, &model, &config(), None).unwrap();
+        assert!(report.merged.is_empty());
+        assert_eq!(report.n_pairs, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! PS — proportional stratified sampling (§V-B, compared algorithm 2).
+//!
+//! Each track pair is a stratum; a fixed proportion `η` of its BBox pairs
+//! is sampled uniformly without replacement and the sample mean estimates
+//! the score. Unlike TMerge the effort is spread evenly: promising and
+//! hopeless pairs receive the same budget, which is exactly the
+//! inefficiency the bandit formulation removes.
+
+use crate::sampling::WithoutReplacement;
+use crate::score::{PairBoxes, MAX_ROUND_ITEMS};
+use crate::selector::{top_m_by_score, CandidateSelector, SelectionInput, SelectionResult};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tm_reid::{ReidSession, NORMALIZER};
+use tm_types::TrackPair;
+
+/// PS parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PsConfig {
+    /// Fraction of each pair's BBox pairs to evaluate, `η ∈ (0, 1]`.
+    /// At least one BBox pair is always sampled per stratum.
+    pub eta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PsConfig {
+    fn default() -> Self {
+        Self { eta: 0.05, seed: 0 }
+    }
+}
+
+/// The PS selector.
+#[derive(Debug, Clone, Copy)]
+pub struct ProportionalSampling {
+    config: PsConfig,
+}
+
+impl ProportionalSampling {
+    /// Creates the selector.
+    pub fn new(config: PsConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl CandidateSelector for ProportionalSampling {
+    fn name(&self) -> String {
+        format!("PS(η={})", self.config.eta)
+    }
+
+    fn select(&self, input: &SelectionInput<'_>, session: &mut ReidSession<'_>) -> SelectionResult {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let eta = self.config.eta.clamp(0.0, 1.0);
+        let batch = session.device().batch();
+        let before = session.stats().distances;
+
+        let mut scores: Vec<(TrackPair, f64)> = Vec::with_capacity(input.pairs.len());
+        // Process `batch` track pairs per round (§IV-F semantics).
+        for group in input.pairs.chunks(batch.max(1)) {
+            let resolved: Vec<PairBoxes<'_>> = group
+                .iter()
+                .map(|&p| {
+                    PairBoxes::resolve(p, input.tracks)
+                        .expect("pair set references tracks absent from the track set")
+                })
+                .collect();
+            let mut sums = vec![(0.0f64, 0u64); resolved.len()];
+            let mut round: Vec<tm_reid::BoxPairRef<'_>> = Vec::new();
+            let mut owners: Vec<usize> = Vec::new();
+            for (pi, pb) in resolved.iter().enumerate() {
+                let total = pb.total_bbox_pairs();
+                if total == 0 {
+                    continue;
+                }
+                let n_samples = ((eta * total as f64).ceil() as u64).clamp(1, total);
+                let mut sampler = WithoutReplacement::new(total);
+                for _ in 0..n_samples {
+                    let flat = sampler.draw(&mut rng).expect("n_samples ≤ total");
+                    round.push(pb.bbox_pair(flat));
+                    owners.push(pi);
+                    if round.len() >= MAX_ROUND_ITEMS {
+                        drain_round(session, &mut round, &mut owners, &mut sums);
+                    }
+                }
+            }
+            drain_round(session, &mut round, &mut owners, &mut sums);
+            for (pb, (sum, count)) in resolved.iter().zip(&sums) {
+                let score = if *count == 0 { 1.0 } else { sum / *count as f64 };
+                scores.push((pb.pair, score));
+            }
+        }
+
+        let candidates = top_m_by_score(&scores, input.m());
+        SelectionResult {
+            candidates,
+            scores: scores.into_iter().collect(),
+            distance_evals: session.stats().distances - before,
+            history: Vec::new(),
+        }
+    }
+}
+
+fn drain_round(
+    session: &mut ReidSession<'_>,
+    round: &mut Vec<tm_reid::BoxPairRef<'_>>,
+    owners: &mut Vec<usize>,
+    sums: &mut [(f64, u64)],
+) {
+    if round.is_empty() {
+        return;
+    }
+    let ds = session.pair_distances_batch(round);
+    for (owner, d) in owners.iter().zip(&ds) {
+        sums[*owner].0 += d / NORMALIZER;
+        sums[*owner].1 += 1;
+    }
+    round.clear();
+    owners.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::Baseline;
+    use tm_reid::{AppearanceConfig, AppearanceModel, CostModel, Device};
+    use tm_types::TrackId;
+    use tm_types::{ids::classes, BBox, FrameIdx, GtObjectId, Track, TrackBox, TrackSet};
+
+    fn track(id: u64, actor: u64, start: u64, n: usize) -> Track {
+        Track::with_boxes(
+            TrackId(id),
+            classes::PEDESTRIAN,
+            (0..n)
+                .map(|i| {
+                    TrackBox::new(
+                        FrameIdx(start + i as u64),
+                        BBox::new(i as f64 * 5.0, 100.0, 40.0, 80.0),
+                    )
+                    .with_provenance(GtObjectId(actor))
+                })
+                .collect(),
+        )
+    }
+
+    fn fixture() -> (AppearanceModel, TrackSet, Vec<TrackPair>) {
+        let model = AppearanceModel::new(AppearanceConfig::default());
+        let tracks = TrackSet::from_tracks(vec![
+            track(1, 10, 0, 12),
+            track(2, 10, 40, 12),
+            track(3, 11, 0, 12),
+            track(4, 12, 0, 12),
+        ]);
+        let ids: Vec<u64> = (1..=4).collect();
+        let mut pairs = Vec::new();
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                pairs.push(TrackPair::new(TrackId(a), TrackId(b)).unwrap());
+            }
+        }
+        (model, tracks, pairs)
+    }
+
+    #[test]
+    fn samples_the_requested_fraction() {
+        let (model, tracks, pairs) = fixture();
+        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.5 };
+        let mut session = ReidSession::new(&model, CostModel::calibrated(), Device::Cpu);
+        let ps = ProportionalSampling::new(PsConfig { eta: 0.25, seed: 1 });
+        let r = ps.select(&input, &mut session);
+        // Each pair has 144 bbox pairs → 36 samples each, 6 pairs → 216.
+        assert_eq!(r.distance_evals, 6 * 36);
+    }
+
+    #[test]
+    fn eta_one_equals_baseline_scores() {
+        let (model, tracks, pairs) = fixture();
+        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 1.0 };
+        let mut s1 = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+        let full = ProportionalSampling::new(PsConfig { eta: 1.0, seed: 3 }).select(&input, &mut s1);
+        let mut s2 = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+        let bl = Baseline.select(&input, &mut s2);
+        for (p, s) in &full.scores {
+            assert!((s - bl.scores[p]).abs() < 1e-9, "pair {p}");
+        }
+    }
+
+    #[test]
+    fn finds_the_polyonymous_pair() {
+        let (model, tracks, pairs) = fixture();
+        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 1.0 / 6.0 };
+        let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+        let ps = ProportionalSampling::new(PsConfig { eta: 0.3, seed: 7 });
+        let r = ps.select(&input, &mut session);
+        assert_eq!(r.candidates, vec![TrackPair::new(TrackId(1), TrackId(2)).unwrap()]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (model, tracks, pairs) = fixture();
+        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.5 };
+        let run = |seed| {
+            let mut s = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+            ProportionalSampling::new(PsConfig { eta: 0.1, seed }).select(&input, &mut s)
+        };
+        assert_eq!(run(5).candidates, run(5).candidates);
+    }
+
+    #[test]
+    fn minimum_one_sample_per_stratum() {
+        let (model, tracks, pairs) = fixture();
+        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 1.0 };
+        let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+        let ps = ProportionalSampling::new(PsConfig { eta: 1e-9, seed: 0 });
+        let r = ps.select(&input, &mut session);
+        assert_eq!(r.distance_evals, 6); // one per pair
+        assert_eq!(r.scores.len(), 6);
+    }
+}

@@ -1,0 +1,154 @@
+//! Sampling BBox pairs from a track pair **without replacement** (Algorithm
+//! 2, line 7).
+//!
+//! A track pair `(t_i, t_j)` owns `|t_i| · |t_j|` BBox pairs, addressed by a
+//! flat index `k = α·|t_j| + β`. Uniform sampling without replacement uses a
+//! *virtual Fisher–Yates shuffle*: instead of materializing the (possibly
+//! ~10⁴-element) index range, displaced entries are kept in a small hash
+//! map, giving O(1) time and O(samples) memory per draw.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::collections::HashMap;
+
+/// Uniform without-replacement sampler over `0..total`.
+#[derive(Debug, Clone)]
+pub struct WithoutReplacement {
+    total: u64,
+    remaining: u64,
+    displaced: HashMap<u64, u64>,
+}
+
+impl WithoutReplacement {
+    /// A sampler over the range `0..total`.
+    pub fn new(total: u64) -> Self {
+        Self {
+            total,
+            remaining: total,
+            displaced: HashMap::new(),
+        }
+    }
+
+    /// Number of indices not yet drawn.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// True once every index has been drawn.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Total size of the range.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Draws one index uniformly among those not yet drawn.
+    pub fn draw(&mut self, rng: &mut StdRng) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let slot = rng.random_range(0..self.remaining);
+        let value = self.displaced.get(&slot).copied().unwrap_or(slot);
+        let last = self.remaining - 1;
+        // Move whatever occupies the last slot into the drawn slot.
+        let last_value = self.displaced.remove(&last).unwrap_or(last);
+        if slot != last {
+            self.displaced.insert(slot, last_value);
+        }
+        self.remaining = last;
+        Some(value)
+    }
+}
+
+/// Converts a flat BBox-pair index back to `(α, β)` box indices given the
+/// second track's box count.
+pub fn split_flat_index(flat: u64, b_len: usize) -> (usize, usize) {
+    debug_assert!(b_len > 0);
+    ((flat / b_len as u64) as usize, (flat % b_len as u64) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn draws_every_index_exactly_once() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = WithoutReplacement::new(100);
+        let mut seen = BTreeSet::new();
+        while let Some(v) = s.draw(&mut rng) {
+            assert!(v < 100);
+            assert!(seen.insert(v), "index {v} drawn twice");
+        }
+        assert_eq!(seen.len(), 100);
+        assert!(s.is_exhausted());
+        assert!(s.draw(&mut rng).is_none());
+    }
+
+    #[test]
+    fn zero_total_is_immediately_exhausted() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = WithoutReplacement::new(0);
+        assert!(s.is_exhausted());
+        assert!(s.draw(&mut rng).is_none());
+    }
+
+    #[test]
+    fn remaining_decrements() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = WithoutReplacement::new(5);
+        assert_eq!(s.remaining(), 5);
+        s.draw(&mut rng);
+        s.draw(&mut rng);
+        assert_eq!(s.remaining(), 3);
+    }
+
+    #[test]
+    fn draws_are_roughly_uniform() {
+        // First draw over 0..10, repeated with many seeds: every index
+        // should appear a reasonable number of times.
+        let mut counts = [0usize; 10];
+        for seed in 0..2000 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = WithoutReplacement::new(10);
+            counts[s.draw(&mut rng).unwrap() as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((120..=280).contains(&c), "index {i} drawn {c}/2000 times");
+        }
+    }
+
+    #[test]
+    fn split_flat_index_round_trips() {
+        let b_len = 7;
+        for alpha in 0..5usize {
+            for beta in 0..b_len {
+                let flat = (alpha * b_len + beta) as u64;
+                assert_eq!(split_flat_index(flat, b_len), (alpha, beta));
+            }
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn exhaustive_and_unique(total in 0u64..200, seed in 0u64..1000) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut s = WithoutReplacement::new(total);
+                let mut seen = BTreeSet::new();
+                while let Some(v) = s.draw(&mut rng) {
+                    prop_assert!(v < total);
+                    prop_assert!(seen.insert(v));
+                }
+                prop_assert_eq!(seen.len() as u64, total);
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Track-pair scores (Definition 3.1) and exact score evaluation.
+
+use crate::sampling::split_flat_index;
+use std::collections::HashMap;
+use crate::selector::SelectionInput;
+use tm_reid::{ReidSession, NORMALIZER};
+use tm_types::{Result, Track, TrackBox, TrackId, TrackPair, TrackSet};
+
+/// Maximum BBox pairs evaluated per batch round. One logical GPU round per
+/// `batch` track pairs may be split into several calls at this cap to bound
+/// memory; the extra per-call overhead charged is negligible relative to
+/// the items (see `tm_reid::CostModel`).
+pub const MAX_ROUND_ITEMS: usize = 65_536;
+
+/// A resolved track pair: both tracks with their box sequences.
+#[derive(Debug, Clone, Copy)]
+pub struct PairBoxes<'a> {
+    /// The pair.
+    pub pair: TrackPair,
+    /// The track with the smaller id.
+    pub a: &'a Track,
+    /// The track with the larger id.
+    pub b: &'a Track,
+}
+
+impl<'a> PairBoxes<'a> {
+    /// Looks both tracks up.
+    pub fn resolve(pair: TrackPair, tracks: &'a TrackSet) -> Result<Self> {
+        Ok(Self {
+            pair,
+            a: tracks.require(pair.lo())?,
+            b: tracks.require(pair.hi())?,
+        })
+    }
+
+    /// `|t_i| · |t_j|` — the size of the BBox-pair pool.
+    pub fn total_bbox_pairs(&self) -> u64 {
+        self.a.len() as u64 * self.b.len() as u64
+    }
+
+    /// The BBox pair at a flat index in `0..total_bbox_pairs()`.
+    pub fn bbox_pair(&self, flat: u64) -> ((TrackId, &'a TrackBox), (TrackId, &'a TrackBox)) {
+        let (alpha, beta) = split_flat_index(flat, self.b.len());
+        (
+            (self.a.id, &self.a.boxes[alpha]),
+            (self.b.id, &self.b.boxes[beta]),
+        )
+    }
+
+    /// The spatial distance `DisS` (§IV-C): Euclidean distance between the
+    /// centre of the chronologically earlier track's *last* box and the
+    /// later track's *first* box. `None` when either track is empty.
+    pub fn spatial_distance(&self) -> Option<f64> {
+        let (earlier, later) = if self.a.first_frame() <= self.b.first_frame() {
+            (self.a, self.b)
+        } else {
+            (self.b, self.a)
+        };
+        Some(earlier.last_center()?.distance(&later.first_center()?))
+    }
+
+    /// The temporal distance `DisT` (§IV-C footnote 4): frames between the
+    /// chronologically earlier track's last box and the later track's first
+    /// box. The paper measured it as essentially uncorrelated with the
+    /// score (Pearson < 0.1) and left it out of BetaInit; the
+    /// `corr_analysis` experiment binary reproduces that measurement.
+    pub fn temporal_distance(&self) -> Option<i64> {
+        let (earlier, later) = if self.a.first_frame() <= self.b.first_frame() {
+            (self.a, self.b)
+        } else {
+            (self.b, self.a)
+        };
+        Some(later.first_frame()?.delta(earlier.last_frame()?))
+    }
+}
+
+/// Computes the **exact** normalized score `s̃_{i,j}` of every pair: the
+/// mean normalized feature distance over *all* BBox pairs (Eq. 5). This is
+/// the inner loop of the baseline (Algorithm 1).
+///
+/// Track pairs are processed in groups of the session device's batch size
+/// `B` (one logical GPU round per group, §IV-F), with rounds split at
+/// [`MAX_ROUND_ITEMS`] to bound memory. Pairs with an empty pool score the
+/// worst possible value (1.0).
+pub fn exact_scores(
+    input: &SelectionInput<'_>,
+    session: &mut ReidSession<'_>,
+) -> Result<Vec<(TrackPair, f64)>> {
+    let batch = session.device().batch();
+    // Dense per-track feature matrices, flattened (track id → row-major
+    // [n_boxes × dim]); built lazily as the pair groups need them so GPU
+    // rounds stay aligned with the group (batch) structure.
+    let mut dense: HashMap<TrackId, Vec<f64>> = HashMap::new();
+    let mut dim = 0usize;
+    let mut out = Vec::with_capacity(input.pairs.len());
+    for group in input.pairs.chunks(batch.max(1)) {
+        let resolved: Vec<PairBoxes<'_>> = group
+            .iter()
+            .map(|&p| PairBoxes::resolve(p, input.tracks))
+            .collect::<Result<_>>()?;
+        // One inference round for every box of the group not yet extracted.
+        let mut missing: Vec<(TrackId, &TrackBox)> = Vec::new();
+        for pb in &resolved {
+            for t in [pb.a, pb.b] {
+                if !dense.contains_key(&t.id) {
+                    missing.extend(t.boxes.iter().map(|b| (t.id, b)));
+                }
+            }
+        }
+        session.ensure_features(&missing);
+        for pb in &resolved {
+            for t in [pb.a, pb.b] {
+                if dense.contains_key(&t.id) {
+                    continue;
+                }
+                let mut flat = Vec::new();
+                for b in &t.boxes {
+                    let f = session
+                        .cached_feature(t.id, b.frame)
+                        .expect("ensured above");
+                    dim = f.dim();
+                    flat.extend_from_slice(f.as_slice());
+                }
+                dense.insert(t.id, flat);
+            }
+        }
+        // Dense O(|t_i|·|t_j|·dim) scoring loop.
+        for pb in &resolved {
+            let total = pb.total_bbox_pairs();
+            if total == 0 || dim == 0 {
+                out.push((pb.pair, 1.0));
+                continue;
+            }
+            session.charge_distance_batch(total as usize);
+            let fa = &dense[&pb.a.id];
+            let fb = &dense[&pb.b.id];
+            let mut sum = 0.0f64;
+            for ra in fa.chunks_exact(dim) {
+                for rb in fb.chunks_exact(dim) {
+                    let mut acc = 0.0;
+                    for (x, y) in ra.iter().zip(rb) {
+                        let d = x - y;
+                        acc += d * d;
+                    }
+                    sum += acc.sqrt();
+                }
+            }
+            out.push((pb.pair, sum / (NORMALIZER * total as f64)));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_reid::{AppearanceConfig, AppearanceModel, CostModel, Device};
+    use tm_types::{ids::classes, BBox, FrameIdx, GtObjectId};
+
+    fn track(id: u64, actor: u64, start: u64, n: usize) -> Track {
+        Track::with_boxes(
+            TrackId(id),
+            classes::PEDESTRIAN,
+            (0..n)
+                .map(|i| {
+                    TrackBox::new(
+                        FrameIdx(start + i as u64),
+                        BBox::new(i as f64 * 5.0, 100.0, 40.0, 80.0),
+                    )
+                    .with_provenance(GtObjectId(actor))
+                })
+                .collect(),
+        )
+    }
+
+    fn setup() -> (AppearanceModel, TrackSet) {
+        let model = AppearanceModel::new(AppearanceConfig::default());
+        let tracks = TrackSet::from_tracks(vec![
+            track(1, 10, 0, 5),
+            track(2, 10, 30, 5), // same actor as 1 → polyonymous with it
+            track(3, 11, 0, 5),
+        ]);
+        (model, tracks)
+    }
+
+    fn pairs() -> Vec<TrackPair> {
+        vec![
+            TrackPair::new(TrackId(1), TrackId(2)).unwrap(),
+            TrackPair::new(TrackId(1), TrackId(3)).unwrap(),
+            TrackPair::new(TrackId(2), TrackId(3)).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn pair_boxes_indexing() {
+        let (_, tracks) = setup();
+        let pb = PairBoxes::resolve(pairs()[0], &tracks).unwrap();
+        assert_eq!(pb.total_bbox_pairs(), 25);
+        let ((ta, ba), (tb, bb)) = pb.bbox_pair(7); // α=1, β=2
+        assert_eq!(ta, TrackId(1));
+        assert_eq!(tb, TrackId(2));
+        assert_eq!(ba.frame, FrameIdx(1));
+        assert_eq!(bb.frame, FrameIdx(32));
+    }
+
+    #[test]
+    fn spatial_distance_orders_by_time() {
+        let (_, tracks) = setup();
+        // Track 1 ends at frame 4 box x=20 (centre 40,140); track 2 starts
+        // at frame 30 box x=0 (centre 20,140): DisS = 20.
+        let pb = PairBoxes::resolve(pairs()[0], &tracks).unwrap();
+        assert!((pb.spatial_distance().unwrap() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polyonymous_pair_scores_lowest() {
+        let (model, tracks) = setup();
+        let ps = pairs();
+        let input = SelectionInput { pairs: &ps, tracks: &tracks, k: 1.0 };
+        let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+        let scores = exact_scores(&input, &mut session).unwrap();
+        let get = |a: u64, b: u64| {
+            scores
+                .iter()
+                .find(|(p, _)| *p == TrackPair::new(TrackId(a), TrackId(b)).unwrap())
+                .unwrap()
+                .1
+        };
+        assert!(get(1, 2) < get(1, 3), "same-actor pair must score lower");
+        assert!(get(1, 2) < get(2, 3));
+        for (_, s) in &scores {
+            assert!((0.0..=1.0).contains(s));
+        }
+    }
+
+    #[test]
+    fn batched_scores_match_sequential() {
+        let (model, tracks) = setup();
+        let ps = pairs();
+        let input = SelectionInput { pairs: &ps, tracks: &tracks, k: 1.0 };
+        let mut cpu = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+        let seq = exact_scores(&input, &mut cpu).unwrap();
+        let mut gpu = ReidSession::new(&model, CostModel::zero(), Device::Gpu { batch: 2 });
+        let bat = exact_scores(&input, &mut gpu).unwrap();
+        for ((p1, s1), (p2, s2)) in seq.iter().zip(&bat) {
+            assert_eq!(p1, p2);
+            assert!((s1 - s2).abs() < 1e-12, "batched result differs");
+        }
+    }
+
+    #[test]
+    fn exact_scores_count_every_bbox_pair() {
+        let (model, tracks) = setup();
+        let ps = pairs();
+        let input = SelectionInput { pairs: &ps, tracks: &tracks, k: 1.0 };
+        let mut session = ReidSession::new(&model, CostModel::calibrated(), Device::Cpu);
+        exact_scores(&input, &mut session).unwrap();
+        // 3 pairs × 25 bbox pairs each.
+        assert_eq!(session.stats().distances, 75);
+        // 15 distinct boxes → 15 inferences, rest cache hits.
+        assert_eq!(session.stats().inferences, 15);
+    }
+}

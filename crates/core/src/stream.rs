@@ -1,0 +1,400 @@
+//! Streaming ingestion: process an unbounded video feed window by window.
+//!
+//! §II frames the video as potentially unbounded, with windows processed
+//! "in order of succession" during metadata extraction. The offline
+//! [`crate::run_pipeline`] needs the whole video; [`StreamingMerger`] is
+//! the online counterpart: feed it the tracker's output as frames arrive,
+//! and it runs candidate selection for each window as soon as that window
+//! has fully elapsed, maintaining the cross-window pair deduplication and a
+//! running union-find of accepted merges.
+//!
+//! The decisions are *incremental*: after any `advance` call you can ask
+//! for the current id [`StreamingMerger::mapping`] and relabel the metadata
+//! emitted so far — exactly what a query engine ingesting a live feed
+//! needs.
+
+use crate::pairs::tracks_in_first_half;
+use crate::selector::{CandidateSelector, SelectionInput};
+use crate::union::UnionFind;
+use crate::window::Window;
+use std::collections::{BTreeSet, HashMap};
+use tm_reid::{AppearanceModel, ReidSession};
+use tm_types::{FrameIdx, Result, TmError, TrackId, TrackPair, TrackSet};
+
+/// Configuration of the streaming merger (mirrors
+/// [`crate::PipelineConfig`] minus the device/cost, which live on the
+/// session).
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Window length `L` (frames, even, ≥ 2·L_max).
+    pub window_len: u64,
+    /// Candidate budget `K`.
+    pub k: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            window_len: 2000,
+            k: 0.05,
+        }
+    }
+}
+
+/// What one processed window produced.
+#[derive(Debug, Clone)]
+pub struct WindowDecision {
+    /// The window that was processed.
+    pub window: Window,
+    /// Pairs examined in this window (`|P_c|`).
+    pub n_pairs: usize,
+    /// Candidates selected in this window.
+    pub candidates: Vec<TrackPair>,
+}
+
+/// An online, window-at-a-time merger.
+pub struct StreamingMerger<'m, S> {
+    config: StreamConfig,
+    selector: S,
+    session: ReidSession<'m>,
+    /// Index of the next unprocessed window.
+    next_window: usize,
+    /// `T_{c−1}`: tracks of the previous window's first half.
+    prev_ids: Vec<TrackId>,
+    /// Pairs already examined (never re-examined, §II).
+    seen: BTreeSet<TrackPair>,
+    /// Accepted merges so far.
+    uf: UnionFind,
+    merged_ids: Vec<TrackPair>,
+}
+
+impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
+    /// Creates a streaming merger over a ReID session.
+    pub fn new(
+        model: &'m AppearanceModel,
+        session_cost: tm_reid::CostModel,
+        device: tm_reid::Device,
+        selector: S,
+        config: StreamConfig,
+    ) -> Result<Self> {
+        if config.window_len == 0 || !config.window_len.is_multiple_of(2) {
+            return Err(TmError::invalid("window_len", "must be positive and even"));
+        }
+        Ok(Self {
+            config,
+            selector,
+            session: ReidSession::new(model, session_cost, device),
+            next_window: 0,
+            prev_ids: Vec::new(),
+            seen: BTreeSet::new(),
+            uf: UnionFind::new(),
+            merged_ids: Vec::new(),
+        })
+    }
+
+    /// The window with index `c` (start `c·L/2`, unbounded stream).
+    fn window(&self, c: usize) -> Window {
+        let half = self.config.window_len / 2;
+        let start = c as u64 * half;
+        Window {
+            index: c,
+            start: FrameIdx(start),
+            end: FrameIdx(start + self.config.window_len),
+            half_end: FrameIdx(start + half),
+        }
+    }
+
+    /// Feeds the current tracker state. `tracks` must contain every track
+    /// observed so far (with boxes up to `frames_available`); the merger
+    /// processes every window that has fully elapsed and returns one
+    /// decision per newly processed window.
+    pub fn advance(
+        &mut self,
+        tracks: &TrackSet,
+        frames_available: u64,
+    ) -> Vec<WindowDecision> {
+        let mut out = Vec::new();
+        loop {
+            let w = self.window(self.next_window);
+            if w.end.get() > frames_available {
+                break;
+            }
+            out.push(self.process_window(tracks, w));
+            self.next_window += 1;
+        }
+        out
+    }
+
+    /// Flushes the final (possibly partial) window at end of stream.
+    pub fn finish(&mut self, tracks: &TrackSet, total_frames: u64) -> Vec<WindowDecision> {
+        let mut out = self.advance(tracks, total_frames);
+        let w = self.window(self.next_window);
+        if w.start.get() < total_frames {
+            let clipped = Window {
+                end: FrameIdx(total_frames.min(w.end.get())),
+                half_end: FrameIdx(total_frames.min(w.half_end.get())),
+                ..w
+            };
+            out.push(self.process_window(tracks, clipped));
+            self.next_window += 1;
+        }
+        out
+    }
+
+    fn process_window(&mut self, tracks: &TrackSet, w: Window) -> WindowDecision {
+        let cur_ids = tracks_in_first_half(tracks, &w);
+        let mut pairs: Vec<TrackPair> = Vec::new();
+        {
+            let mut push = |a: TrackId, b: TrackId| {
+                let (Some(ta), Some(tb)) = (tracks.get(a), tracks.get(b)) else {
+                    return;
+                };
+                if ta.class != tb.class {
+                    return;
+                }
+                if let Some(p) = TrackPair::new(a, b) {
+                    if self.seen.insert(p) {
+                        pairs.push(p);
+                    }
+                }
+            };
+            for (i, &a) in cur_ids.iter().enumerate() {
+                for &b in &cur_ids[i + 1..] {
+                    push(a, b);
+                }
+            }
+            for &a in &cur_ids {
+                for &b in &self.prev_ids {
+                    push(a, b);
+                }
+            }
+        }
+        pairs.sort();
+        self.prev_ids = cur_ids;
+
+        let candidates = if pairs.is_empty() {
+            Vec::new()
+        } else {
+            let input = SelectionInput {
+                pairs: &pairs,
+                tracks,
+                k: self.config.k,
+            };
+            self.selector.select(&input, &mut self.session).candidates
+        };
+        for p in &candidates {
+            self.uf.union(p.lo(), p.hi());
+            self.merged_ids.push(*p);
+        }
+        WindowDecision {
+            window: w,
+            n_pairs: pairs.len(),
+            candidates,
+        }
+    }
+
+    /// The current relabelling implied by all accepted merges: each merged
+    /// group maps to its smallest id.
+    pub fn mapping(&mut self) -> HashMap<TrackId, TrackId> {
+        crate::union::merge_mapping(&self.merged_ids)
+    }
+
+    /// All candidates accepted so far.
+    pub fn accepted(&self) -> &[TrackPair] {
+        &self.merged_ids
+    }
+
+    /// Simulated time consumed by the ReID session so far.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.session.elapsed_ms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_pipeline, PipelineConfig, SelectorKind};
+    use crate::tmerge::{TMerge, TMergeConfig};
+    use tm_reid::{AppearanceConfig, CostModel, Device};
+    use tm_types::{ids::classes, BBox, GtObjectId, Track, TrackBox};
+
+    fn track(id: u64, actor: u64, start: u64, n: usize, x0: f64) -> Track {
+        Track::with_boxes(
+            TrackId(id),
+            classes::PEDESTRIAN,
+            (0..n)
+                .map(|i| {
+                    TrackBox::new(
+                        FrameIdx(start + i as u64),
+                        BBox::new(x0 + i as f64 * 5.0, 100.0, 40.0, 80.0),
+                    )
+                    .with_provenance(GtObjectId(actor))
+                })
+                .collect(),
+        )
+    }
+
+    fn fixture() -> (AppearanceModel, TrackSet) {
+        let model = AppearanceModel::new(AppearanceConfig::default());
+        let tracks = TrackSet::from_tracks(vec![
+            track(1, 10, 0, 30, 0.0),
+            track(2, 10, 80, 30, 160.0), // fragment of actor 10
+            track(3, 11, 0, 40, 400.0),
+            track(4, 12, 60, 40, 800.0),
+            track(5, 13, 200, 40, 1200.0),
+            track(6, 13, 280, 30, 1400.0), // fragment of actor 13
+        ]);
+        (model, tracks)
+    }
+
+    fn selector() -> TMerge {
+        TMerge::new(TMergeConfig {
+            tau_max: 1_500,
+            seed: 4,
+            ..TMergeConfig::default()
+        })
+    }
+
+    fn config() -> StreamConfig {
+        StreamConfig {
+            window_len: 200,
+            k: 0.1,
+        }
+    }
+
+    #[test]
+    fn rejects_odd_window() {
+        let (model, _) = fixture();
+        assert!(StreamingMerger::new(
+            &model,
+            CostModel::zero(),
+            Device::Cpu,
+            selector(),
+            StreamConfig { window_len: 99, k: 0.1 },
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn advance_processes_only_elapsed_windows() {
+        let (model, tracks) = fixture();
+        let mut m = StreamingMerger::new(
+            &model,
+            CostModel::zero(),
+            Device::Cpu,
+            selector(),
+            config(),
+        )
+        .unwrap();
+        // 150 frames available: window [0,200) has not elapsed yet.
+        assert!(m.advance(&tracks, 150).is_empty());
+        let d = m.advance(&tracks, 250);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].window.index, 0);
+        // Re-advancing with the same frame count does nothing.
+        assert!(m.advance(&tracks, 250).is_empty());
+    }
+
+    #[test]
+    fn streaming_finds_fragments_incrementally() {
+        let (model, tracks) = fixture();
+        let mut m = StreamingMerger::new(
+            &model,
+            CostModel::zero(),
+            Device::Cpu,
+            selector(),
+            config(),
+        )
+        .unwrap();
+        let mut decisions = Vec::new();
+        for frames in [200, 300, 320, 400] {
+            decisions.extend(m.advance(&tracks, frames));
+        }
+        decisions.extend(m.finish(&tracks, 400));
+        let early = TrackPair::new(TrackId(1), TrackId(2)).unwrap();
+        assert!(
+            m.accepted().contains(&early),
+            "early fragment pair not merged: {:?}",
+            m.accepted()
+        );
+        let late = TrackPair::new(TrackId(5), TrackId(6)).unwrap();
+        assert!(
+            m.accepted().contains(&late),
+            "late fragment pair not merged: {:?}",
+            m.accepted()
+        );
+        // The mapping merges both groups.
+        let mapping = m.mapping();
+        assert_eq!(mapping.get(&TrackId(2)), Some(&TrackId(1)));
+        assert_eq!(mapping.get(&TrackId(6)), Some(&TrackId(5)));
+    }
+
+    #[test]
+    fn no_pair_is_examined_twice_across_windows() {
+        let (model, tracks) = fixture();
+        let mut m = StreamingMerger::new(
+            &model,
+            CostModel::zero(),
+            Device::Cpu,
+            selector(),
+            config(),
+        )
+        .unwrap();
+        let mut seen = BTreeSet::new();
+        let mut decisions = m.advance(&tracks, 400);
+        decisions.extend(m.finish(&tracks, 400));
+        for d in &decisions {
+            for p in crate::pairs::build_window_pairs(&tracks, 400, 200)
+                .unwrap()
+                .iter()
+                .filter(|wp| wp.window.index == d.window.index)
+                .flat_map(|wp| &wp.pairs)
+            {
+                assert!(seen.insert(*p), "pair {p} seen twice");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_offline_pipeline() {
+        let (model, tracks) = fixture();
+        let mut m = StreamingMerger::new(
+            &model,
+            CostModel::calibrated(),
+            Device::Cpu,
+            selector(),
+            config(),
+        )
+        .unwrap();
+        // Feed in irregular increments.
+        for frames in [100, 230, 390, 400] {
+            m.advance(&tracks, frames);
+        }
+        m.finish(&tracks, 400);
+
+        let offline = run_pipeline(
+            &tracks,
+            400,
+            &model,
+            &PipelineConfig {
+                window_len: 200,
+                k: 0.1,
+                selector: SelectorKind::TMerge(TMergeConfig {
+                    tau_max: 1_500,
+                    seed: 4,
+                    ..TMergeConfig::default()
+                }),
+                device: Device::Cpu,
+                cost: CostModel::calibrated(),
+            },
+            None,
+        )
+        .unwrap();
+        let mut streaming: Vec<TrackPair> = m.accepted().to_vec();
+        let mut batch: Vec<TrackPair> = offline.candidates.clone();
+        streaming.sort();
+        batch.sort();
+        assert_eq!(streaming, batch, "streaming and offline disagree");
+        assert!((m.elapsed_ms() - offline.elapsed_ms).abs() < 1e-6);
+    }
+}

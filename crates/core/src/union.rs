@@ -1,0 +1,184 @@
+//! Merge application: union-find over track ids.
+//!
+//! Accepted candidate pairs are merged transitively — if `(a, b)` and
+//! `(b, c)` are both accepted, all three tracks receive one id. Each group
+//! is relabelled to its smallest member id, matching how
+//! [`tm_types::TrackSet::relabeled`] consumes the mapping.
+
+use std::collections::HashMap;
+use tm_types::{TrackId, TrackPair};
+
+/// Union-find (disjoint sets) over [`TrackId`]s with path compression and
+/// union by size.
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    parent: HashMap<TrackId, TrackId>,
+    size: HashMap<TrackId, usize>,
+}
+
+impl UnionFind {
+    /// An empty structure; ids are added lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The representative of `id`'s set.
+    pub fn find(&mut self, id: TrackId) -> TrackId {
+        let parent = *self.parent.entry(id).or_insert(id);
+        if parent == id {
+            return id;
+        }
+        let root = self.find(parent);
+        self.parent.insert(id, root);
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns the new root.
+    pub fn union(&mut self, a: TrackId, b: TrackId) -> TrackId {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        let sa = *self.size.get(&ra).unwrap_or(&1);
+        let sb = *self.size.get(&rb).unwrap_or(&1);
+        let (big, small) = if sa >= sb { (ra, rb) } else { (rb, ra) };
+        self.parent.insert(small, big);
+        self.size.insert(big, sa + sb);
+        big
+    }
+
+    /// True when `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: TrackId, b: TrackId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// All ids ever touched, grouped by set.
+    pub fn groups(&mut self) -> Vec<Vec<TrackId>> {
+        let ids: Vec<TrackId> = self.parent.keys().copied().collect();
+        let mut by_root: HashMap<TrackId, Vec<TrackId>> = HashMap::new();
+        for id in ids {
+            let root = self.find(id);
+            by_root.entry(root).or_default().push(id);
+        }
+        let mut groups: Vec<Vec<TrackId>> = by_root.into_values().collect();
+        for g in &mut groups {
+            g.sort();
+        }
+        groups.sort();
+        groups
+    }
+}
+
+/// Builds the relabelling mapping implied by a set of accepted merge pairs:
+/// every track in a merged group maps to the group's smallest id. Ids not
+/// involved in any pair are absent (identity).
+///
+/// ```
+/// use tm_core::merge_mapping;
+/// use tm_types::{TrackId, TrackPair};
+/// let pair = |a, b| TrackPair::new(TrackId(a), TrackId(b)).unwrap();
+/// let mapping = merge_mapping(&[pair(3, 7), pair(7, 9)]);
+/// assert_eq!(mapping[&TrackId(7)], TrackId(3));
+/// assert_eq!(mapping[&TrackId(9)], TrackId(3));
+/// ```
+pub fn merge_mapping(accepted: &[TrackPair]) -> HashMap<TrackId, TrackId> {
+    let mut uf = UnionFind::new();
+    for p in accepted {
+        uf.union(p.lo(), p.hi());
+    }
+    let mut mapping = HashMap::new();
+    for group in uf.groups() {
+        let target = group[0];
+        for &id in &group[1..] {
+            mapping.insert(id, target);
+        }
+    }
+    mapping
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(a: u64, b: u64) -> TrackPair {
+        TrackPair::new(TrackId(a), TrackId(b)).unwrap()
+    }
+
+    #[test]
+    fn union_and_find() {
+        let mut uf = UnionFind::new();
+        assert!(!uf.connected(TrackId(1), TrackId(2)));
+        uf.union(TrackId(1), TrackId(2));
+        assert!(uf.connected(TrackId(1), TrackId(2)));
+        uf.union(TrackId(3), TrackId(4));
+        assert!(!uf.connected(TrackId(1), TrackId(3)));
+        uf.union(TrackId(2), TrackId(3));
+        assert!(uf.connected(TrackId(1), TrackId(4)));
+    }
+
+    #[test]
+    fn mapping_targets_smallest_id() {
+        let mapping = merge_mapping(&[pair(7, 3), pair(7, 9)]);
+        assert_eq!(mapping.get(&TrackId(7)), Some(&TrackId(3)));
+        assert_eq!(mapping.get(&TrackId(9)), Some(&TrackId(3)));
+        assert_eq!(mapping.get(&TrackId(3)), None, "root maps to itself implicitly");
+    }
+
+    #[test]
+    fn transitive_chains_collapse() {
+        let mapping = merge_mapping(&[pair(1, 2), pair(2, 3), pair(3, 4), pair(10, 11)]);
+        for id in [2, 3, 4] {
+            assert_eq!(mapping.get(&TrackId(id)), Some(&TrackId(1)));
+        }
+        assert_eq!(mapping.get(&TrackId(11)), Some(&TrackId(10)));
+        assert_eq!(mapping.len(), 4);
+    }
+
+    #[test]
+    fn empty_input_empty_mapping() {
+        assert!(merge_mapping(&[]).is_empty());
+    }
+
+    #[test]
+    fn groups_are_sorted_and_complete() {
+        let mut uf = UnionFind::new();
+        uf.union(TrackId(5), TrackId(1));
+        uf.union(TrackId(9), TrackId(5));
+        uf.find(TrackId(7)); // singleton
+        let groups = uf.groups();
+        assert_eq!(groups, vec![
+            vec![TrackId(1), TrackId(5), TrackId(9)],
+            vec![TrackId(7)],
+        ]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn mapping_is_idempotent_and_decreasing(
+                edges in proptest::collection::vec((0u64..30, 0u64..30), 0..40)
+            ) {
+                let pairs: Vec<TrackPair> = edges
+                    .into_iter()
+                    .filter_map(|(a, b)| TrackPair::new(TrackId(a), TrackId(b)))
+                    .collect();
+                let mapping = merge_mapping(&pairs);
+                for (from, to) in &mapping {
+                    // Targets are strictly smaller and are themselves roots.
+                    prop_assert!(to < from);
+                    prop_assert!(!mapping.contains_key(to));
+                }
+                // Connectivity is preserved: both ends of each accepted pair
+                // resolve to the same final id.
+                let resolve = |id: TrackId| *mapping.get(&id).unwrap_or(&id);
+                for p in &pairs {
+                    prop_assert_eq!(resolve(p.lo()), resolve(p.hi()));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Dev probe: prints dataset statistics for calibration.
+use tm_core::build_window_pairs;
+use tm_datasets::{kitti, mot17, pathtrack, prepare};
+use tm_track::TrackerKind;
+
+fn main() {
+    for spec in [mot17(), kitti(), pathtrack()] {
+        println!("== {} ==", spec.name);
+        for video in spec.videos.iter().take(3) {
+            for kind in [TrackerKind::Tracktor, TrackerKind::Sort, TrackerKind::DeepSort, TrackerKind::Uma] {
+                let v = prepare(video, kind);
+                let wps = build_window_pairs(&v.tracks, v.n_frames, spec.window_len).unwrap();
+                let n_pairs: usize = wps.iter().map(|w| w.pairs.len()).sum();
+                let all: Vec<_> = wps.iter().flat_map(|w| w.pairs.clone()).collect();
+                let poly = v.poly_truth(&all);
+                let boxes = v.tracks.total_boxes();
+                println!(
+                    "{} {:>10}: gt_tracks={} tracks={} boxes={} pairs={} poly={} rate={:.3}%",
+                    v.name, kind.name(), v.gt_tracks.len(), v.tracks.len(), boxes, n_pairs, poly.len(),
+                    100.0 * poly.len() as f64 / n_pairs.max(1) as f64
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # tm-datasets
+//!
+//! Synthetic stand-ins for the three datasets of the paper's evaluation
+//! (§V-A): **MOT-17** [21], **KITTI** [29] and **PathTrack** [25].
+//!
+//! The pixel videos are replaced by `tm-synth` scenarios whose parameters
+//! are calibrated so the *statistics the paper reports* hold on the
+//! generated data (see DESIGN.md §1):
+//!
+//! * MOT-17-like: 7 crowded pedestrian scenes of ~825 frames, ~12k visible
+//!   boxes per video, a few hundred track pairs per video, ~2% of them
+//!   polyonymous; each video is treated as a single window.
+//! * KITTI-like: 8 short street scenes with sparse pedestrians, a wide
+//!   low-resolution viewport and ego-like fast crossings.
+//! * PathTrack-like: 9 two-minute (3600-frame) YouTube-style scenes with a
+//!   large cast; `L_max = 1000` frames, processed with half-overlapping
+//!   windows of `L = 2000` by default.
+//!
+//! Every video is fully determined by its seed. [`prepare`] runs the whole
+//! front of the pipeline — simulate → detect → track — and returns
+//! everything the merging experiments need, including the exact
+//! polyonymous-pair ground truth.
+
+pub mod scenario;
+pub mod suite;
+
+pub use scenario::{crowd_scenario, SceneParams};
+pub use suite::{mot17, kitti, pathtrack, prepare, DatasetSpec, PreparedVideo, VideoSpec};

@@ -1,0 +1,230 @@
+//! Random crowd-scene generation.
+//!
+//! Builds `tm-synth` scenarios with the ingredients that produce realistic
+//! track fragmentation: actors crossing the scene at varying speeds and
+//! depths, opaque pillars wide enough that passing behind one exceeds a
+//! tracker's patience, occasional loiterers, and glare events.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tm_synth::{ActorSpec, GlareEvent, MotionModel, Occluder, SceneConfig, Scenario};
+use tm_types::{BBox, ClassId, FrameIdx, GtObjectId, Point};
+
+/// Parameters of a random crowd scene.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SceneParams {
+    /// Video length in frames.
+    pub n_frames: u64,
+    /// Viewport width in pixels.
+    pub width: f64,
+    /// Viewport height in pixels.
+    pub height: f64,
+    /// Number of ground-truth actors.
+    pub n_actors: usize,
+    /// Minimum actor lifetime (frames).
+    pub min_life: u64,
+    /// Maximum actor lifetime (frames) — bounds the dataset's `L_max`.
+    pub max_life: u64,
+    /// Horizontal speed range (pixels/frame).
+    pub speed: (f64, f64),
+    /// Actor width range.
+    pub actor_w: (f64, f64),
+    /// Actor height range.
+    pub actor_h: (f64, f64),
+    /// Fraction of actors that loiter (random walk) instead of crossing.
+    pub loiter_fraction: f64,
+    /// Number of opaque static pillars.
+    pub n_pillars: usize,
+    /// Pillar width range — wide pillars hide crossers long enough to kill
+    /// their track.
+    pub pillar_w: (f64, f64),
+    /// Number of glare events.
+    pub n_glare: usize,
+    /// Object class of all actors.
+    pub class: ClassId,
+    /// Scene seed (actors, pillars, glare placement and all motion noise).
+    pub seed: u64,
+}
+
+fn sample(rng: &mut StdRng, range: (f64, f64)) -> f64 {
+    if range.0 >= range.1 {
+        range.0
+    } else {
+        rng.random_range(range.0..range.1)
+    }
+}
+
+/// Builds a deterministic crowd scenario from the parameters.
+pub fn crowd_scenario(p: &SceneParams) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut scenario = Scenario::new(
+        SceneConfig::new(p.width, p.height, p.n_frames),
+        p.seed ^ 0x00C0_FFEE,
+    );
+
+    // The horizontal band actors walk in (street level).
+    let y_lo = p.height * 0.45;
+    let y_hi = p.height * 0.9;
+
+    for a in 0..p.n_actors {
+        let w = sample(&mut rng, p.actor_w);
+        let h = sample(&mut rng, p.actor_h);
+        let life = rng.random_range(p.min_life..=p.max_life).min(p.n_frames);
+        // Stagger entries so the scene density stays roughly constant; a
+        // few actors are present from the first frame.
+        let enter = if a % 4 == 0 || p.n_frames <= life {
+            0
+        } else {
+            rng.random_range(0..p.n_frames.saturating_sub(life / 2).max(1))
+        };
+        let exit = (enter + life).min(p.n_frames);
+        let y = sample(&mut rng, (y_lo, y_hi));
+        let motion = if rng.random_bool(p.loiter_fraction.clamp(0.0, 1.0)) {
+            MotionModel::RandomWalk {
+                start: Point::new(sample(&mut rng, (p.width * 0.1, p.width * 0.9)), y),
+                drift_x: sample(&mut rng, (-0.4, 0.4)),
+                drift_y: 0.0,
+                sigma: 0.8,
+            }
+        } else {
+            // Crossers: enter from one side and walk to the other; actors
+            // already present at frame 0 start somewhere inside.
+            let speed = sample(&mut rng, p.speed);
+            let ltr = rng.random_bool(0.5);
+            let x0 = if enter == 0 {
+                sample(&mut rng, (0.0, p.width))
+            } else if ltr {
+                -w / 2.0
+            } else {
+                p.width + w / 2.0
+            };
+            let vx = if ltr { speed } else { -speed };
+            if rng.random_bool(0.2) {
+                MotionModel::StopAndGo {
+                    start: Point::new(x0, y),
+                    vx,
+                    vy: sample(&mut rng, (-0.2, 0.2)),
+                    go_frames: rng.random_range(30..90),
+                    stop_frames: rng.random_range(10..40),
+                }
+            } else {
+                MotionModel::linear(Point::new(x0, y), vx, sample(&mut rng, (-0.2, 0.2)))
+            }
+        };
+        scenario.push_actor(ActorSpec::new(
+            GtObjectId(a as u64),
+            p.class,
+            w,
+            h,
+            FrameIdx(enter),
+            FrameIdx(exit),
+            motion,
+        ));
+    }
+
+    // Pillars: opaque foreground obstacles spanning the walking band.
+    for _ in 0..p.n_pillars {
+        let w = sample(&mut rng, p.pillar_w);
+        let x = sample(&mut rng, (p.width * 0.15, p.width * 0.85 - w));
+        // Tall enough to fully cover any actor in the band.
+        let y0 = y_lo - p.actor_h.1;
+        let h = (y_hi + p.actor_h.1) - y0;
+        scenario.push_occluder(Occluder::static_box(BBox::new(x, y0, w, h)));
+    }
+
+    // Glare: a bright region washing out detections for a stretch.
+    for _ in 0..p.n_glare {
+        let gw = p.width * sample(&mut rng, (0.15, 0.3));
+        let gh = p.height * sample(&mut rng, (0.3, 0.6));
+        let gx = sample(&mut rng, (0.0, p.width - gw));
+        let gy = sample(&mut rng, (0.0, p.height - gh));
+        let dur = rng.random_range(40..120).min(p.n_frames.max(1));
+        let start = rng.random_range(0..p.n_frames.saturating_sub(dur).max(1));
+        scenario.push_glare(GlareEvent::new(
+            BBox::new(gx, gy, gw, gh),
+            FrameIdx(start),
+            FrameIdx(start + dur),
+            sample(&mut rng, (0.75, 0.95)),
+        ));
+    }
+
+    scenario
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_types::ids::classes;
+
+    fn params(seed: u64) -> SceneParams {
+        SceneParams {
+            n_frames: 400,
+            width: 1600.0,
+            height: 900.0,
+            n_actors: 12,
+            min_life: 100,
+            max_life: 350,
+            speed: (2.0, 5.0),
+            actor_w: (35.0, 60.0),
+            actor_h: (90.0, 150.0),
+            loiter_fraction: 0.2,
+            n_pillars: 2,
+            pillar_w: (90.0, 150.0),
+            n_glare: 1,
+            class: classes::PEDESTRIAN,
+            seed,
+        }
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let a = crowd_scenario(&params(7));
+        let b = crowd_scenario(&params(7));
+        assert_eq!(a, b);
+        let c = crowd_scenario(&params(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn counts_match_parameters() {
+        let s = crowd_scenario(&params(3));
+        assert_eq!(s.actors.len(), 12);
+        assert_eq!(s.occluders.len(), 2);
+        assert_eq!(s.glare.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_respect_bounds() {
+        let p = params(5);
+        let s = crowd_scenario(&p);
+        for a in &s.actors {
+            let life = a.exit.get() - a.enter.get();
+            assert!(life <= p.max_life, "actor lifetime {life} > max_life");
+            assert!(a.exit.get() <= p.n_frames);
+        }
+    }
+
+    #[test]
+    fn simulation_produces_visible_actors_and_occlusion() {
+        let s = crowd_scenario(&params(11));
+        let gt = s.simulate();
+        let visible = gt.total_visible_instances(0.3);
+        assert!(visible > 500, "only {visible} visible instances");
+        // Some instances are heavily occluded (behind pillars or others).
+        let occluded = gt
+            .frames()
+            .iter()
+            .flat_map(|f| &f.instances)
+            .filter(|i| i.visibility < 0.2 && i.visible_bbox.is_some())
+            .count();
+        assert!(occluded > 10, "no meaningful occlusion happened ({occluded})");
+    }
+
+    #[test]
+    fn l_max_is_bounded_by_max_life() {
+        let p = params(13);
+        let s = crowd_scenario(&p);
+        let gt = s.simulate();
+        assert!(gt.l_max(0.1) <= p.max_life);
+    }
+}

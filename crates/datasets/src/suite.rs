@@ -1,0 +1,295 @@
+//! The three dataset suites and the simulate → detect → track front end.
+
+use crate::scenario::{crowd_scenario, SceneParams};
+use tm_detect::{Detector, DetectorConfig};
+use tm_metrics::Correspondence;
+use tm_reid::{AppearanceConfig, AppearanceModel};
+use tm_track::{track_video, TrackerKind};
+use tm_types::{ids::classes, Detection, TrackPair, TrackSet};
+
+/// One video of a dataset: scene parameters plus the detector and
+/// appearance-world configuration used on it.
+#[derive(Debug, Clone)]
+pub struct VideoSpec {
+    /// Video name, e.g. `MOT17-03`.
+    pub name: String,
+    /// The scene to simulate.
+    pub scene: SceneParams,
+    /// Detector error characteristics.
+    pub detector: DetectorConfig,
+    /// Appearance world (ReID simulator) configuration.
+    pub appearance: AppearanceConfig,
+    /// Detector noise seed.
+    pub det_seed: u64,
+}
+
+/// A dataset: a name, its videos, and the window length its experiments
+/// use (`L`; MOT-17 and KITTI treat each whole video as one window, §V-A).
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Dataset display name.
+    pub name: &'static str,
+    /// The videos.
+    pub videos: Vec<VideoSpec>,
+    /// Default window length for processing this dataset.
+    pub window_len: u64,
+    /// The dataset's `L_max` (longest GT track, §II).
+    pub l_max: u64,
+}
+
+/// A fully prepared video: simulated, detected and tracked, with exact
+/// polyonymous ground truth attached.
+#[derive(Debug, Clone)]
+pub struct PreparedVideo {
+    /// Video name.
+    pub name: String,
+    /// Video length in frames.
+    pub n_frames: u64,
+    /// Ground-truth tracks (ids = GT actor ids).
+    pub gt_tracks: TrackSet,
+    /// Per-frame simulated detections.
+    pub detections: Vec<Vec<Detection>>,
+    /// Tracker output — the input to the merging algorithms.
+    pub tracks: TrackSet,
+    /// Appearance-world configuration (rebuild the model with
+    /// [`PreparedVideo::model`]).
+    pub appearance: AppearanceConfig,
+    /// Track → GT-actor attribution.
+    pub correspondence: Correspondence,
+}
+
+impl PreparedVideo {
+    /// The ReID simulator for this video.
+    pub fn model(&self) -> AppearanceModel {
+        AppearanceModel::new(self.appearance)
+    }
+
+    /// The true polyonymous pairs within a given pair-set scope
+    /// (`P* ∩ P_c`).
+    pub fn poly_truth(&self, pairs: &[TrackPair]) -> std::collections::BTreeSet<TrackPair> {
+        self.correspondence.polyonymous_in(pairs)
+    }
+}
+
+/// Runs the pipeline front end (simulate → detect → track) for a video.
+pub fn prepare(video: &VideoSpec, tracker: TrackerKind) -> PreparedVideo {
+    let gt = crowd_scenario(&video.scene).simulate();
+    let detections = Detector::new(video.detector).detect(&gt, video.det_seed);
+    let model = AppearanceModel::new(video.appearance);
+    let mut t = tracker.build(&model);
+    let tracks = track_video(t.as_mut(), &detections);
+    let correspondence = Correspondence::from_tracks(&tracks, 0.5);
+    PreparedVideo {
+        name: video.name.clone(),
+        n_frames: gt.n_frames(),
+        gt_tracks: gt.gt_tracks(0.1),
+        detections,
+        tracks,
+        appearance: video.appearance,
+        correspondence,
+    }
+}
+
+fn appearance(seed: u64, n_archetypes: u64) -> AppearanceConfig {
+    AppearanceConfig {
+        n_archetypes,
+        seed,
+        ..AppearanceConfig::default()
+    }
+}
+
+/// The MOT-17-like suite: 7 crowded indoor/outdoor pedestrian scenes of
+/// ~825 frames (the paper reports 825 frames and ~11.9k boxes per video on
+/// average). Whole videos are processed as single windows.
+pub fn mot17() -> DatasetSpec {
+    let videos = (0..7)
+        .map(|i| {
+            let seed = 1_700 + i as u64 * 131;
+            VideoSpec {
+                name: format!("MOT17-{:02}", i + 1),
+                scene: SceneParams {
+                    n_frames: 825,
+                    width: 1920.0,
+                    height: 1080.0,
+                    n_actors: 26,
+                    min_life: 200,
+                    max_life: 750,
+                    speed: (2.0, 4.5),
+                    actor_w: (35.0, 60.0),
+                    actor_h: (95.0, 160.0),
+                    loiter_fraction: 0.25,
+                    n_pillars: 3,
+                    pillar_w: (80.0, 160.0),
+                    n_glare: 1,
+                    class: classes::PEDESTRIAN,
+                    seed,
+                },
+                detector: DetectorConfig::default(),
+                appearance: appearance(seed ^ 0xA11CE, 16),
+                det_seed: seed ^ 0xDE7EC7,
+            }
+        })
+        .collect();
+    DatasetSpec {
+        name: "MOT-17",
+        videos,
+        window_len: 2000, // > video length → one window per video
+        l_max: 750,
+    }
+}
+
+/// The KITTI-like suite: 8 street scenes from a vehicle viewpoint with a
+/// wide, low viewport and sparse, fast-crossing pedestrians.
+pub fn kitti() -> DatasetSpec {
+    let videos = (0..8)
+        .map(|i| {
+            let seed = 2_900 + i as u64 * 173;
+            VideoSpec {
+                name: format!("KITTI-{:02}", i + 1),
+                scene: SceneParams {
+                    n_frames: 420,
+                    width: 1242.0,
+                    height: 375.0,
+                    n_actors: 14,
+                    min_life: 80,
+                    max_life: 380,
+                    speed: (3.0, 7.0),
+                    actor_w: (22.0, 42.0),
+                    actor_h: (55.0, 100.0),
+                    loiter_fraction: 0.1,
+                    n_pillars: 2,
+                    pillar_w: (70.0, 130.0),
+                    n_glare: 1,
+                    class: classes::PEDESTRIAN,
+                    seed,
+                },
+                detector: DetectorConfig {
+                    // Small, fast objects: slightly worse detector.
+                    detect_prob: 0.96,
+                    fp_rate: 0.05,
+                    ..DetectorConfig::default()
+                },
+                appearance: appearance(seed ^ 0xA11CE, 8),
+                det_seed: seed ^ 0xDE7EC7,
+            }
+        })
+        .collect();
+    DatasetSpec {
+        name: "KITTI",
+        videos,
+        window_len: 2000,
+        l_max: 380,
+    }
+}
+
+/// The PathTrack-like suite: 9 two-minute YouTube-style sequences with a
+/// large cast; `L_max = 1000` frames (the paper quotes the PathTrack
+/// authors' annotation), processed with windows of `L = 2000`.
+pub fn pathtrack() -> DatasetSpec {
+    let videos = (0..9)
+        .map(|i| {
+            let seed = 4_100 + i as u64 * 197;
+            VideoSpec {
+                name: format!("PathTrack-{:02}", i + 1),
+                scene: SceneParams {
+                    n_frames: 3600,
+                    width: 1280.0,
+                    height: 720.0,
+                    n_actors: 40,
+                    min_life: 250,
+                    max_life: 1000,
+                    speed: (1.5, 4.0),
+                    actor_w: (30.0, 55.0),
+                    actor_h: (80.0, 140.0),
+                    loiter_fraction: 0.3,
+                    n_pillars: 4,
+                    pillar_w: (80.0, 150.0),
+                    n_glare: 2,
+                    class: classes::PEDESTRIAN,
+                    seed,
+                },
+                detector: DetectorConfig::default(),
+                appearance: appearance(seed ^ 0xA11CE, 16),
+                det_seed: seed ^ 0xDE7EC7,
+            }
+        })
+        .collect();
+    DatasetSpec {
+        name: "PathTrack",
+        videos,
+        window_len: 2000,
+        l_max: 1000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_core::build_window_pairs;
+    use tm_metrics::polyonymous_rate;
+
+    #[test]
+    fn suites_have_the_documented_shapes() {
+        let m = mot17();
+        assert_eq!(m.videos.len(), 7);
+        assert_eq!(m.videos[0].scene.n_frames, 825);
+        let k = kitti();
+        assert_eq!(k.videos.len(), 8);
+        let p = pathtrack();
+        assert_eq!(p.videos.len(), 9);
+        assert_eq!(p.l_max, 1000);
+        assert!(p.window_len >= 2 * 1000, "L ≥ 2·L_max must hold");
+    }
+
+    #[test]
+    fn prepare_is_deterministic() {
+        let spec = &mot17().videos[0];
+        let a = prepare(spec, TrackerKind::Tracktor);
+        let b = prepare(spec, TrackerKind::Tracktor);
+        assert_eq!(a.tracks, b.tracks);
+        assert_eq!(a.gt_tracks, b.gt_tracks);
+    }
+
+    #[test]
+    fn mot17_video_statistics_are_in_the_papers_range() {
+        let spec = &mot17().videos[0];
+        let v = prepare(spec, TrackerKind::Tracktor);
+        // Tracker produced a meaningful number of tracks...
+        let n_tracks = v.tracks.len();
+        assert!(
+            (20..90).contains(&n_tracks),
+            "unexpected track count {n_tracks}"
+        );
+        // ...with a few hundred pairs for the whole-video window...
+        let pairs = build_window_pairs(&v.tracks, v.n_frames, 2000).unwrap();
+        let n_pairs: usize = pairs.iter().map(|w| w.pairs.len()).sum();
+        assert!((150..2500).contains(&n_pairs), "unexpected pair count {n_pairs}");
+        // ...a small but non-empty polyonymous subset (the paper reports
+        // ~2% on MOT-17).
+        let all: Vec<_> = pairs.iter().flat_map(|w| w.pairs.clone()).collect();
+        let poly = v.poly_truth(&all);
+        let rate = polyonymous_rate(poly.len(), n_pairs);
+        assert!(
+            !poly.is_empty() && rate < 0.12,
+            "polyonymous rate {rate} ({} of {n_pairs})",
+            poly.len()
+        );
+    }
+
+    #[test]
+    fn fragile_trackers_fragment_more() {
+        let spec = &mot17().videos[1];
+        let count_poly = |kind: TrackerKind| {
+            let v = prepare(spec, kind);
+            let pairs = build_window_pairs(&v.tracks, v.n_frames, 2000).unwrap();
+            let all: Vec<_> = pairs.iter().flat_map(|w| w.pairs.clone()).collect();
+            v.poly_truth(&all).len()
+        };
+        let tracktor = count_poly(TrackerKind::Tracktor);
+        let sort = count_poly(TrackerKind::Sort);
+        assert!(
+            sort > tracktor,
+            "SORT ({sort}) should fragment more than Tracktor ({tracktor})"
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! The CLEAR-MOT metrics (Bernardin & Stiefelhagen, 2008 [30]).
+//!
+//! Frame-sequential evaluation with correspondence continuity: an existing
+//! GT↔prediction correspondence is kept as long as it remains valid (IoU ≥
+//! threshold), and only the unmatched remainder is re-assigned per frame
+//! with the Hungarian algorithm. Counted events:
+//!
+//! * **FN** — GT boxes with no corresponding prediction,
+//! * **FP** — predicted boxes with no corresponding GT,
+//! * **IDSW** — a GT object's corresponding track id changes,
+//! * **Frag** — a GT object's tracked status is interrupted
+//!   (tracked → untracked → tracked),
+//! * **MOTA** `= 1 − (FN + FP + IDSW) / total GT boxes`,
+//! * **MOTP** — mean IoU over matched pairs (higher is better in this
+//!   IoU-based formulation).
+
+use std::collections::HashMap;
+use tm_track::hungarian::assign_with_threshold;
+use tm_types::{BBox, FrameIdx, GtObjectId, TrackId, TrackSet};
+
+/// Evaluation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClearMotConfig {
+    /// Minimum IoU for a GT box and a predicted box to correspond.
+    pub iou_threshold: f64,
+}
+
+impl Default for ClearMotConfig {
+    fn default() -> Self {
+        Self { iou_threshold: 0.5 }
+    }
+}
+
+/// The CLEAR-MOT counts and scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClearMot {
+    /// Multiple-object tracking accuracy.
+    pub mota: f64,
+    /// Mean IoU of matched pairs.
+    pub motp: f64,
+    /// False negatives (missed GT boxes).
+    pub false_negatives: u64,
+    /// False positives (spurious predicted boxes).
+    pub false_positives: u64,
+    /// Identity switches.
+    pub id_switches: u64,
+    /// Track fragmentations.
+    pub fragmentations: u64,
+    /// Total GT boxes.
+    pub gt_boxes: u64,
+    /// Total matched (true positive) boxes.
+    pub matches: u64,
+}
+
+/// Runs the CLEAR-MOT evaluation. `gt` uses [`GtObjectId`]-valued track ids
+/// (as produced by `GroundTruth::gt_tracks`).
+pub fn clear_mot(gt: &TrackSet, pred: &TrackSet, config: ClearMotConfig) -> ClearMot {
+    // Index boxes per frame.
+    let mut gt_frames: HashMap<FrameIdx, Vec<(GtObjectId, BBox)>> = HashMap::new();
+    let mut last_frame = FrameIdx(0);
+    for t in gt.iter() {
+        for b in &t.boxes {
+            gt_frames
+                .entry(b.frame)
+                .or_default()
+                .push((GtObjectId(t.id.get()), b.bbox));
+            last_frame = last_frame.max(b.frame);
+        }
+    }
+    let mut pred_frames: HashMap<FrameIdx, Vec<(TrackId, BBox)>> = HashMap::new();
+    for t in pred.iter() {
+        for b in &t.boxes {
+            pred_frames.entry(b.frame).or_default().push((t.id, b.bbox));
+            last_frame = last_frame.max(b.frame);
+        }
+    }
+
+    let mut correspondences: HashMap<GtObjectId, TrackId> = HashMap::new();
+    // Last track ever matched to a GT object (for ID switches across gaps).
+    let mut last_match: HashMap<GtObjectId, TrackId> = HashMap::new();
+    // Whether the object was tracked in the previous frame it appeared, and
+    // whether it has ever been tracked (for fragmentation counting).
+    let mut was_tracked: HashMap<GtObjectId, bool> = HashMap::new();
+
+    let mut fn_count = 0u64;
+    let mut fp_count = 0u64;
+    let mut idsw = 0u64;
+    let mut frag = 0u64;
+    let mut matches = 0u64;
+    let mut iou_sum = 0.0f64;
+    let mut gt_total = 0u64;
+
+    let empty_gt: Vec<(GtObjectId, BBox)> = Vec::new();
+    let empty_pred: Vec<(TrackId, BBox)> = Vec::new();
+    for f in 0..=last_frame.get() {
+        let frame = FrameIdx(f);
+        let gts = gt_frames.get(&frame).unwrap_or(&empty_gt);
+        let preds = pred_frames.get(&frame).unwrap_or(&empty_pred);
+        gt_total += gts.len() as u64;
+
+        let mut gt_matched = vec![false; gts.len()];
+        let mut pred_matched = vec![false; preds.len()];
+        let mut frame_pairs: Vec<(usize, usize)> = Vec::new();
+
+        // 1. Keep still-valid correspondences from the previous frame.
+        for (gi, (gid, gbox)) in gts.iter().enumerate() {
+            if let Some(tid) = correspondences.get(gid) {
+                if let Some(pi) = preds.iter().position(|(p, _)| p == tid) {
+                    if gbox.iou(&preds[pi].1) >= config.iou_threshold && !pred_matched[pi] {
+                        gt_matched[gi] = true;
+                        pred_matched[pi] = true;
+                        frame_pairs.push((gi, pi));
+                    }
+                }
+            }
+        }
+
+        // 2. Hungarian on the remainder.
+        let free_gt: Vec<usize> = (0..gts.len()).filter(|&i| !gt_matched[i]).collect();
+        let free_pred: Vec<usize> = (0..preds.len()).filter(|&i| !pred_matched[i]).collect();
+        if !free_gt.is_empty() && !free_pred.is_empty() {
+            let cost: Vec<Vec<f64>> = free_gt
+                .iter()
+                .map(|&gi| {
+                    free_pred
+                        .iter()
+                        .map(|&pi| 1.0 - gts[gi].1.iou(&preds[pi].1))
+                        .collect()
+                })
+                .collect();
+            for (r, c) in assign_with_threshold(&cost, 1.0 - config.iou_threshold) {
+                let gi = free_gt[r];
+                let pi = free_pred[c];
+                gt_matched[gi] = true;
+                pred_matched[pi] = true;
+                frame_pairs.push((gi, pi));
+            }
+        }
+
+        // 3. Update correspondences and count events.
+        let mut new_corr: HashMap<GtObjectId, TrackId> = HashMap::new();
+        for (gi, pi) in frame_pairs {
+            let (gid, gbox) = gts[gi];
+            let (tid, pbox) = preds[pi];
+            matches += 1;
+            iou_sum += gbox.iou(&pbox);
+            if let Some(&prev) = last_match.get(&gid) {
+                if prev != tid {
+                    idsw += 1;
+                }
+            }
+            // Fragmentation: the object was known, untracked last time it
+            // appeared, and is tracked again now.
+            if let Some(false) = was_tracked.get(&gid) {
+                frag += 1;
+            }
+            last_match.insert(gid, tid);
+            new_corr.insert(gid, tid);
+        }
+        for (gi, (gid, _)) in gts.iter().enumerate() {
+            if !gt_matched[gi] {
+                fn_count += 1;
+                was_tracked.insert(*gid, false);
+            } else {
+                was_tracked.insert(*gid, true);
+            }
+        }
+        fp_count += pred_matched.iter().filter(|m| !**m).count() as u64;
+        correspondences = new_corr;
+    }
+
+    let mota = if gt_total == 0 {
+        0.0
+    } else {
+        1.0 - (fn_count + fp_count + idsw) as f64 / gt_total as f64
+    };
+    let motp = if matches == 0 {
+        0.0
+    } else {
+        iou_sum / matches as f64
+    };
+    ClearMot {
+        mota,
+        motp,
+        false_negatives: fn_count,
+        false_positives: fp_count,
+        id_switches: idsw,
+        fragmentations: frag,
+        gt_boxes: gt_total,
+        matches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_types::{ids::classes, Track, TrackBox};
+
+    fn track(id: u64, frames: std::ops::Range<u64>, x: f64) -> Track {
+        Track::with_boxes(
+            TrackId(id),
+            classes::PEDESTRIAN,
+            frames
+                .map(|f| TrackBox::new(FrameIdx(f), BBox::new(x, 0.0, 10.0, 10.0)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn perfect_tracking_has_mota_one() {
+        let gt = TrackSet::from_tracks(vec![track(1, 0..30, 0.0), track(2, 0..30, 100.0)]);
+        let pred = TrackSet::from_tracks(vec![track(7, 0..30, 0.0), track(8, 0..30, 100.0)]);
+        let m = clear_mot(&gt, &pred, ClearMotConfig::default());
+        assert_eq!(m.mota, 1.0);
+        assert_eq!(m.false_negatives, 0);
+        assert_eq!(m.false_positives, 0);
+        assert_eq!(m.id_switches, 0);
+        assert_eq!(m.fragmentations, 0);
+        assert!(m.motp > 0.99);
+    }
+
+    #[test]
+    fn missed_frames_are_false_negatives() {
+        let gt = TrackSet::from_tracks(vec![track(1, 0..30, 0.0)]);
+        let pred = TrackSet::from_tracks(vec![track(7, 0..20, 0.0)]);
+        let m = clear_mot(&gt, &pred, ClearMotConfig::default());
+        assert_eq!(m.false_negatives, 10);
+        assert_eq!(m.false_positives, 0);
+        assert!((m.mota - (1.0 - 10.0 / 30.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spurious_boxes_are_false_positives() {
+        let gt = TrackSet::from_tracks(vec![track(1, 0..10, 0.0)]);
+        let pred = TrackSet::from_tracks(vec![track(7, 0..10, 0.0), track(8, 0..10, 500.0)]);
+        let m = clear_mot(&gt, &pred, ClearMotConfig::default());
+        assert_eq!(m.false_positives, 10);
+    }
+
+    #[test]
+    fn fragment_causes_id_switch_and_frag() {
+        // GT continuous; prediction splits with a 5-frame hole.
+        let gt = TrackSet::from_tracks(vec![track(1, 0..40, 0.0)]);
+        let pred = TrackSet::from_tracks(vec![track(7, 0..20, 0.0), track(8, 25..40, 0.0)]);
+        let m = clear_mot(&gt, &pred, ClearMotConfig::default());
+        assert_eq!(m.id_switches, 1);
+        assert_eq!(m.fragmentations, 1);
+        assert_eq!(m.false_negatives, 5);
+    }
+
+    #[test]
+    fn id_switch_without_gap_counts_no_frag() {
+        let gt = TrackSet::from_tracks(vec![track(1, 0..40, 0.0)]);
+        let pred = TrackSet::from_tracks(vec![track(7, 0..20, 0.0), track(8, 20..40, 0.0)]);
+        let m = clear_mot(&gt, &pred, ClearMotConfig::default());
+        assert_eq!(m.id_switches, 1);
+        assert_eq!(m.fragmentations, 0);
+        assert_eq!(m.false_negatives, 0);
+    }
+
+    #[test]
+    fn correspondence_is_sticky() {
+        // Two predictions overlap the GT; the one matched first must be
+        // kept even if the other is momentarily closer.
+        let gt = TrackSet::from_tracks(vec![track(1, 0..10, 0.0)]);
+        let close = track(7, 0..10, 0.0);
+        let slightly_off = track(8, 0..10, 2.0);
+        let pred = TrackSet::from_tracks(vec![close, slightly_off]);
+        let m = clear_mot(&gt, &pred, ClearMotConfig::default());
+        assert_eq!(m.id_switches, 0);
+        // One prediction always unmatched → 10 FPs.
+        assert_eq!(m.false_positives, 10);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty = TrackSet::new();
+        let m = clear_mot(&empty, &empty, ClearMotConfig::default());
+        assert_eq!(m.mota, 0.0);
+        assert_eq!(m.gt_boxes, 0);
+    }
+
+    #[test]
+    fn merging_fragments_improves_mota() {
+        let gt = TrackSet::from_tracks(vec![track(1, 0..40, 0.0)]);
+        let frag = TrackSet::from_tracks(vec![track(7, 0..20, 0.0), track(8, 20..40, 0.0)]);
+        let mut map = HashMap::new();
+        map.insert(TrackId(8), TrackId(7));
+        let merged = frag.relabeled(&map);
+        let before = clear_mot(&gt, &frag, ClearMotConfig::default());
+        let after = clear_mot(&gt, &merged, ClearMotConfig::default());
+        assert!(after.mota > before.mota);
+        assert_eq!(after.id_switches, 0);
+    }
+}

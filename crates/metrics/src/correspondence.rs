@@ -1,0 +1,227 @@
+//! Predicted-track ↔ ground-truth-actor correspondence and the derived
+//! polyonymous-pair ground truth.
+//!
+//! The paper identifies the true polyonymous pairs by comparing tracker
+//! output to GT annotations with the CLEAR-MOT tooling [30] (plus manual
+//! labelling for un-annotated test sets). With simulator ground truth the
+//! correspondence is exact: every track box carries the identity of the
+//! actor whose detection produced it, and a track corresponds to the actor
+//! owning the majority of its boxes.
+
+use std::collections::{BTreeSet, HashMap};
+use tm_types::{GtObjectId, Track, TrackId, TrackPair, TrackSet};
+
+/// The track → actor mapping for a tracker's output.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Correspondence {
+    map: HashMap<TrackId, GtObjectId>,
+}
+
+impl Correspondence {
+    /// Builds the correspondence by majority vote over box provenance.
+    ///
+    /// `min_purity` is the fraction of a track's boxes the majority actor
+    /// must own for the track to be attributed at all (guards against
+    /// heavily contaminated tracks); `0.5` is a sensible default.
+    pub fn from_tracks(tracks: &TrackSet, min_purity: f64) -> Self {
+        let mut map = HashMap::new();
+        for t in tracks.iter() {
+            if let Some((actor, votes)) = t.majority_actor() {
+                if !t.is_empty() && votes as f64 / t.len() as f64 >= min_purity {
+                    map.insert(t.id, actor);
+                }
+            }
+        }
+        Self { map }
+    }
+
+    /// The actor a track is attributed to (if any).
+    pub fn actor_of(&self, track: TrackId) -> Option<GtObjectId> {
+        self.map.get(&track).copied()
+    }
+
+    /// True when the two tracks of `pair` are attributed to the same actor:
+    /// the pair is **polyonymous** (`t_i ∼ t_j` in the paper).
+    pub fn is_polyonymous(&self, pair: &TrackPair) -> bool {
+        match (self.actor_of(pair.lo()), self.actor_of(pair.hi())) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// The polyonymous subset of `pairs` — the paper's `P* ∩ P` for a
+    /// window's pair set.
+    pub fn polyonymous_in(&self, pairs: &[TrackPair]) -> BTreeSet<TrackPair> {
+        pairs
+            .iter()
+            .filter(|p| self.is_polyonymous(p))
+            .copied()
+            .collect()
+    }
+
+    /// All polyonymous pairs among the given tracks (every unordered pair
+    /// attributed to the same actor).
+    pub fn all_polyonymous(&self, tracks: &[&Track]) -> BTreeSet<TrackPair> {
+        let mut by_actor: HashMap<GtObjectId, Vec<TrackId>> = HashMap::new();
+        for t in tracks {
+            if let Some(actor) = self.actor_of(t.id) {
+                by_actor.entry(actor).or_default().push(t.id);
+            }
+        }
+        let mut out = BTreeSet::new();
+        for ids in by_actor.values() {
+            for (i, &a) in ids.iter().enumerate() {
+                for &b in &ids[i + 1..] {
+                    if let Some(p) = TrackPair::new(a, b) {
+                        out.insert(p);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The raw attribution map (e.g. for `tm-query`'s recall evaluation).
+    pub fn as_map(&self) -> &HashMap<TrackId, GtObjectId> {
+        &self.map
+    }
+
+    /// Number of attributed tracks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no track could be attributed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// A merge mapping that relabels every group of polyonymous tracks to
+    /// the group's smallest TID — the "perfect oracle" merge used as an
+    /// upper bound in experiments.
+    pub fn oracle_merge_mapping(&self, tracks: &TrackSet) -> HashMap<TrackId, TrackId> {
+        let mut by_actor: HashMap<GtObjectId, Vec<TrackId>> = HashMap::new();
+        for t in tracks.iter() {
+            if let Some(actor) = self.actor_of(t.id) {
+                by_actor.entry(actor).or_default().push(t.id);
+            }
+        }
+        let mut mapping = HashMap::new();
+        for ids in by_actor.values_mut() {
+            ids.sort();
+            let target = ids[0];
+            for &id in &ids[1..] {
+                mapping.insert(id, target);
+            }
+        }
+        mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_types::{ids::classes, BBox, FrameIdx, TrackBox};
+
+    fn track(id: u64, actor: u64, frames: std::ops::Range<u64>) -> Track {
+        Track::with_boxes(
+            TrackId(id),
+            classes::PEDESTRIAN,
+            frames
+                .map(|f| {
+                    TrackBox::new(FrameIdx(f), BBox::new(0.0, 0.0, 10.0, 10.0))
+                        .with_provenance(GtObjectId(actor))
+                })
+                .collect(),
+        )
+    }
+
+    fn set(tracks: Vec<Track>) -> TrackSet {
+        TrackSet::from_tracks(tracks)
+    }
+
+    #[test]
+    fn attribution_by_majority() {
+        let ts = set(vec![track(1, 7, 0..10), track(2, 7, 20..30), track(3, 8, 0..10)]);
+        let c = Correspondence::from_tracks(&ts, 0.5);
+        assert_eq!(c.actor_of(TrackId(1)), Some(GtObjectId(7)));
+        assert_eq!(c.actor_of(TrackId(2)), Some(GtObjectId(7)));
+        assert_eq!(c.actor_of(TrackId(3)), Some(GtObjectId(8)));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn polyonymous_detection() {
+        let ts = set(vec![track(1, 7, 0..10), track(2, 7, 20..30), track(3, 8, 0..10)]);
+        let c = Correspondence::from_tracks(&ts, 0.5);
+        let poly = TrackPair::new(TrackId(1), TrackId(2)).unwrap();
+        let not = TrackPair::new(TrackId(1), TrackId(3)).unwrap();
+        assert!(c.is_polyonymous(&poly));
+        assert!(!c.is_polyonymous(&not));
+    }
+
+    #[test]
+    fn all_polyonymous_enumerates_groups() {
+        let ts = set(vec![
+            track(1, 7, 0..10),
+            track(2, 7, 20..30),
+            track(3, 7, 40..50),
+            track(4, 8, 0..10),
+        ]);
+        let c = Correspondence::from_tracks(&ts, 0.5);
+        let tracks: Vec<&Track> = ts.iter().collect();
+        let poly = c.all_polyonymous(&tracks);
+        // 3 fragments of actor 7 → C(3,2) = 3 pairs.
+        assert_eq!(poly.len(), 3);
+    }
+
+    #[test]
+    fn impure_tracks_are_unattributed() {
+        let mut t = track(1, 7, 0..4);
+        // Contaminate: 4 boxes of actor 7, 6 of actor 9.
+        for f in 4..10 {
+            t.push(
+                TrackBox::new(FrameIdx(f), BBox::new(0.0, 0.0, 10.0, 10.0))
+                    .with_provenance(GtObjectId(9)),
+            );
+        }
+        let ts = set(vec![t]);
+        let c = Correspondence::from_tracks(&ts, 0.7);
+        assert_eq!(c.actor_of(TrackId(1)), None);
+        // With a laxer purity floor it is attributed to the majority actor.
+        let c = Correspondence::from_tracks(&ts, 0.5);
+        assert_eq!(c.actor_of(TrackId(1)), Some(GtObjectId(9)));
+    }
+
+    #[test]
+    fn fp_only_tracks_are_unattributed() {
+        let t = Track::with_boxes(
+            TrackId(1),
+            classes::PEDESTRIAN,
+            vec![TrackBox::new(FrameIdx(0), BBox::new(0.0, 0.0, 5.0, 5.0))],
+        );
+        let c = Correspondence::from_tracks(&set(vec![t]), 0.5);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn oracle_merge_maps_to_smallest_id() {
+        let ts = set(vec![track(5, 7, 0..10), track(2, 7, 20..30), track(9, 7, 40..50)]);
+        let c = Correspondence::from_tracks(&ts, 0.5);
+        let m = c.oracle_merge_mapping(&ts);
+        assert_eq!(m.get(&TrackId(5)), Some(&TrackId(2)));
+        assert_eq!(m.get(&TrackId(9)), Some(&TrackId(2)));
+        assert_eq!(m.get(&TrackId(2)), None);
+        // Applying it produces a single track.
+        assert_eq!(ts.relabeled(&m).len(), 1);
+    }
+
+    #[test]
+    fn polyonymous_in_filters_scope() {
+        let ts = set(vec![track(1, 7, 0..10), track(2, 7, 20..30), track(3, 7, 40..50)]);
+        let c = Correspondence::from_tracks(&ts, 0.5);
+        let scope = vec![TrackPair::new(TrackId(1), TrackId(2)).unwrap()];
+        let poly = c.polyonymous_in(&scope);
+        assert_eq!(poly.len(), 1);
+    }
+}

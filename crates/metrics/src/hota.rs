@@ -1,0 +1,213 @@
+//! HOTA — Higher Order Tracking Accuracy (Luiten et al., IJCV 2021).
+//!
+//! The modern MOT benchmark headline metric, included as an extension to
+//! the paper's CLEAR-MOT / IDF1 evaluation. HOTA decomposes tracking
+//! quality into **detection accuracy** (DetA — are the boxes found?) and
+//! **association accuracy** (AssA — are they linked to the right
+//! identity?), combined as `HOTA_α = √(DetA_α · AssA_α)` and averaged over
+//! localization thresholds α.
+//!
+//! Because track fragmentation is purely an *association* error, TMerge
+//! moves AssA (and hence HOTA) while leaving DetA untouched — a cleaner
+//! signal than MOTA, which buries fragmentation among detection errors.
+//!
+//! Implementation follows the published formulation: per threshold α,
+//! a per-frame Hungarian matching maximizes (primarily) the number of
+//! matches; `A(c)` for a matched pair `c = (gt id, pred id)` is the Jaccard
+//! overlap of their trajectories' matched frames, and
+//! `AssA = mean_{c ∈ TP} A(c)`.
+
+use std::collections::HashMap;
+use tm_track::hungarian::assign_with_threshold;
+use tm_types::{BBox, FrameIdx, GtObjectId, TrackId, TrackSet};
+
+/// HOTA scores at the standard thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hota {
+    /// The headline score: mean over α of `√(DetA·AssA)`.
+    pub hota: f64,
+    /// Detection accuracy, averaged over α.
+    pub det_a: f64,
+    /// Association accuracy, averaged over α.
+    pub ass_a: f64,
+}
+
+/// Computes HOTA averaged over `α ∈ {0.05, 0.1, …, 0.95}` (the benchmark's
+/// grid). Use [`hota_at`] for a single threshold.
+pub fn hota(gt: &TrackSet, pred: &TrackSet) -> Hota {
+    let mut h = 0.0;
+    let mut d = 0.0;
+    let mut a = 0.0;
+    let mut n = 0;
+    let mut alpha = 0.05;
+    while alpha < 0.96 {
+        let at = hota_at(gt, pred, alpha);
+        h += at.hota;
+        d += at.det_a;
+        a += at.ass_a;
+        n += 1;
+        alpha += 0.05;
+    }
+    Hota {
+        hota: h / n as f64,
+        det_a: d / n as f64,
+        ass_a: a / n as f64,
+    }
+}
+
+/// HOTA at a single localization threshold α.
+pub fn hota_at(gt: &TrackSet, pred: &TrackSet, alpha: f64) -> Hota {
+    // Per-frame box lists.
+    let mut gt_frames: HashMap<FrameIdx, Vec<(GtObjectId, BBox)>> = HashMap::new();
+    let mut total_gt = 0u64;
+    for t in gt.iter() {
+        for b in &t.boxes {
+            gt_frames
+                .entry(b.frame)
+                .or_default()
+                .push((GtObjectId(t.id.get()), b.bbox));
+            total_gt += 1;
+        }
+    }
+    let mut pred_frames: HashMap<FrameIdx, Vec<(TrackId, BBox)>> = HashMap::new();
+    let mut total_pred = 0u64;
+    for t in pred.iter() {
+        for b in &t.boxes {
+            pred_frames.entry(b.frame).or_default().push((t.id, b.bbox));
+            total_pred += 1;
+        }
+    }
+
+    // Per-frame matching at IoU ≥ α; count matches per (gt, pred) identity
+    // pair.
+    let mut tp = 0u64;
+    let mut pair_matches: HashMap<(GtObjectId, TrackId), u64> = HashMap::new();
+    for (frame, gts) in &gt_frames {
+        let Some(preds) = pred_frames.get(frame) else {
+            continue;
+        };
+        let cost: Vec<Vec<f64>> = gts
+            .iter()
+            .map(|(_, gb)| preds.iter().map(|(_, pb)| 1.0 - gb.iou(pb)).collect())
+            .collect();
+        for (gi, pi) in assign_with_threshold(&cost, 1.0 - alpha) {
+            tp += 1;
+            *pair_matches.entry((gts[gi].0, preds[pi].0)).or_insert(0) += 1;
+        }
+    }
+    let fn_count = total_gt - tp;
+    let fp_count = total_pred - tp;
+    let det_a = if tp + fn_count + fp_count == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_count + fp_count) as f64
+    };
+
+    // Association accuracy: for every TP (weighted by pair match count),
+    // A(c) = TPA / (TPA + FNA + FPA) where TPA is the pair's match count,
+    // FNA the GT identity's frames outside the pair (other matches and
+    // misses alike), FPA likewise for the predicted identity.
+    let gt_sizes: HashMap<GtObjectId, u64> = gt
+        .iter()
+        .map(|t| (GtObjectId(t.id.get()), t.len() as u64))
+        .collect();
+    let pred_sizes: HashMap<TrackId, u64> = pred.iter().map(|t| (t.id, t.len() as u64)).collect();
+
+    let mut ass_sum = 0.0;
+    for ((g, p), &m) in &pair_matches {
+        let tpa = m;
+        // FNA: frames of the GT identity not explained by this pair —
+        // whether matched to other predictions or missed entirely, each GT
+        // frame outside the pair counts exactly once.
+        let fna = gt_sizes[g] - tpa;
+        // FPA symmetrically for the predicted identity.
+        let fpa = pred_sizes[p] - tpa;
+        ass_sum += m as f64 * (tpa as f64 / (tpa + fna + fpa) as f64);
+    }
+    let ass_a = if tp == 0 { 0.0 } else { ass_sum / tp as f64 };
+    Hota {
+        hota: (det_a * ass_a).sqrt(),
+        det_a,
+        ass_a,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_types::{ids::classes, Track, TrackBox};
+
+    fn track(id: u64, frames: std::ops::Range<u64>, x: f64) -> Track {
+        Track::with_boxes(
+            TrackId(id),
+            classes::PEDESTRIAN,
+            frames
+                .map(|f| TrackBox::new(FrameIdx(f), BBox::new(x, 0.0, 10.0, 10.0)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn perfect_tracking_scores_one() {
+        let gt = TrackSet::from_tracks(vec![track(1, 0..50, 0.0), track(2, 0..50, 100.0)]);
+        let pred = TrackSet::from_tracks(vec![track(10, 0..50, 0.0), track(20, 0..50, 100.0)]);
+        let h = hota(&gt, &pred);
+        assert!((h.hota - 1.0).abs() < 1e-9, "{h:?}");
+        assert!((h.det_a - 1.0).abs() < 1e-9);
+        assert!((h.ass_a - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fragmentation_hits_ass_a_not_det_a() {
+        let gt = TrackSet::from_tracks(vec![track(1, 0..100, 0.0)]);
+        let frag = TrackSet::from_tracks(vec![track(10, 0..50, 0.0), track(11, 50..100, 0.0)]);
+        let h = hota(&gt, &frag);
+        assert!((h.det_a - 1.0).abs() < 1e-9, "every box is detected: {h:?}");
+        // Each fragment's A(c) = 50 / (100 + 50 - 50) = 0.5.
+        assert!((h.ass_a - 0.5).abs() < 1e-9, "{h:?}");
+        assert!((h.hota - 0.5f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merging_fragments_restores_hota() {
+        let gt = TrackSet::from_tracks(vec![track(1, 0..100, 0.0)]);
+        let frag = TrackSet::from_tracks(vec![track(10, 0..50, 0.0), track(11, 50..100, 0.0)]);
+        let mut map = HashMap::new();
+        map.insert(TrackId(11), TrackId(10));
+        let merged = frag.relabeled(&map);
+        let before = hota(&gt, &frag);
+        let after = hota(&gt, &merged);
+        assert!(after.hota > before.hota);
+        assert!((after.hota - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missed_boxes_hit_det_a() {
+        let gt = TrackSet::from_tracks(vec![track(1, 0..100, 0.0)]);
+        let pred = TrackSet::from_tracks(vec![track(10, 0..50, 0.0)]);
+        let h = hota(&gt, &pred);
+        // TP 50, FN 50, FP 0 → DetA = 0.5. Per the published definition
+        // FNA also counts the GT identity's entirely-missed frames, so
+        // A(c) = 50/(50+50+0) = 0.5 as well.
+        assert!((h.det_a - 0.5).abs() < 1e-9, "{h:?}");
+        assert!((h.ass_a - 0.5).abs() < 1e-9, "{h:?}");
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        let empty = TrackSet::new();
+        let h = hota(&empty, &empty);
+        assert_eq!(h.hota, 0.0);
+    }
+
+    #[test]
+    fn localization_threshold_matters() {
+        let gt = TrackSet::from_tracks(vec![track(1, 0..10, 0.0)]);
+        // Offset boxes: IoU = (10-4)/(10+4) ≈ 0.43 horizontally shifted 4px.
+        let pred = TrackSet::from_tracks(vec![track(10, 0..10, 4.0)]);
+        let strict = hota_at(&gt, &pred, 0.9);
+        let lax = hota_at(&gt, &pred, 0.2);
+        assert_eq!(strict.det_a, 0.0);
+        assert!(lax.det_a > 0.9);
+    }
+}

@@ -1,0 +1,223 @@
+//! Identity metrics IDF1 / IDP / IDR (Ristani et al., ECCV 2016 [33]).
+//!
+//! The identity metrics score how well predicted identities align with true
+//! identities *globally*: a bipartite matching between GT trajectories and
+//! predicted trajectories is chosen to maximize the number of per-frame box
+//! matches; under that matching,
+//!
+//! * `IDTP` — boxes of a GT trajectory covered by its matched prediction,
+//! * `IDFP` — predicted boxes not covered (`total_pred − IDTP`),
+//! * `IDFN` — GT boxes not covered (`total_gt − IDTP`),
+//! * `IDP = IDTP/(IDTP+IDFP)`, `IDR = IDTP/(IDTP+IDFN)`,
+//!   `IDF1 = 2·IDTP/(2·IDTP+IDFP+IDFN)`.
+//!
+//! Because each GT trajectory can match at most one predicted trajectory, a
+//! fragmented (polyonymous) track necessarily leaves boxes unmatched — this
+//! is why the paper's Fig. 12 shows IDF1/IDP/IDR rising once TMerge merges
+//! the fragments.
+
+use std::collections::HashMap;
+use tm_track::hungarian::min_cost_assignment;
+use tm_types::{FrameIdx, Track, TrackSet};
+
+/// The identity-metric scores and their building blocks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdentityMetrics {
+    /// Identity F1 score in `[0, 1]`.
+    pub idf1: f64,
+    /// Identity precision.
+    pub idp: f64,
+    /// Identity recall.
+    pub idr: f64,
+    /// True-positive box count under the optimal identity matching.
+    pub idtp: u64,
+    /// Predicted boxes not explained by the matching.
+    pub idfp: u64,
+    /// GT boxes not explained by the matching.
+    pub idfn: u64,
+}
+
+/// Computes IDF1/IDP/IDR between ground-truth and predicted track sets.
+///
+/// Two boxes in the same frame *match* when their IoU is at least
+/// `iou_threshold` (0.5 in the MOT benchmarks and in this repository's
+/// experiments).
+pub fn identity_metrics(gt: &TrackSet, pred: &TrackSet, iou_threshold: f64) -> IdentityMetrics {
+    let gt_tracks: Vec<&Track> = gt.iter().collect();
+    let pred_tracks: Vec<&Track> = pred.iter().collect();
+    let total_gt: u64 = gt_tracks.iter().map(|t| t.len() as u64).sum();
+    let total_pred: u64 = pred_tracks.iter().map(|t| t.len() as u64).sum();
+
+    if gt_tracks.is_empty() || pred_tracks.is_empty() {
+        return finalize(0, total_pred, total_gt);
+    }
+
+    // Per-frame index of predicted boxes: frame → [(pred idx, bbox)].
+    let mut pred_by_frame: HashMap<FrameIdx, Vec<(usize, tm_types::BBox)>> = HashMap::new();
+    for (pi, p) in pred_tracks.iter().enumerate() {
+        for b in &p.boxes {
+            pred_by_frame.entry(b.frame).or_default().push((pi, b.bbox));
+        }
+    }
+
+    // Overlap counts: how many frames of GT track g are matched by pred
+    // track p at the IoU threshold.
+    let mut overlap = vec![vec![0u64; pred_tracks.len()]; gt_tracks.len()];
+    for (gi, g) in gt_tracks.iter().enumerate() {
+        for b in &g.boxes {
+            if let Some(cands) = pred_by_frame.get(&b.frame) {
+                for (pi, pb) in cands {
+                    if b.bbox.iou(pb) >= iou_threshold {
+                        overlap[gi][*pi] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Maximum-overlap bipartite matching: minimize negated overlaps.
+    let cost: Vec<Vec<f64>> = overlap
+        .iter()
+        .map(|row| row.iter().map(|&o| -(o as f64)).collect())
+        .collect();
+    let assignment = min_cost_assignment(&cost);
+    let idtp: u64 = assignment
+        .iter()
+        .enumerate()
+        .filter_map(|(gi, pi)| pi.map(|pi| overlap[gi][pi]))
+        .sum();
+
+    finalize(idtp, total_pred, total_gt)
+}
+
+fn finalize(idtp: u64, total_pred: u64, total_gt: u64) -> IdentityMetrics {
+    let idfp = total_pred - idtp.min(total_pred);
+    let idfn = total_gt - idtp.min(total_gt);
+    let idp = ratio(idtp, idtp + idfp);
+    let idr = ratio(idtp, idtp + idfn);
+    let idf1 = ratio(2 * idtp, 2 * idtp + idfp + idfn);
+    IdentityMetrics {
+        idf1,
+        idp,
+        idr,
+        idtp,
+        idfp,
+        idfn,
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_types::{ids::classes, BBox, TrackBox, TrackId};
+
+    fn track(id: u64, frames: std::ops::Range<u64>, x: f64) -> Track {
+        Track::with_boxes(
+            TrackId(id),
+            classes::PEDESTRIAN,
+            frames
+                .map(|f| TrackBox::new(FrameIdx(f), BBox::new(x, 0.0, 10.0, 10.0)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn perfect_tracking_scores_one() {
+        let gt = TrackSet::from_tracks(vec![track(1, 0..50, 0.0), track(2, 0..50, 100.0)]);
+        let pred = TrackSet::from_tracks(vec![track(10, 0..50, 0.0), track(20, 0..50, 100.0)]);
+        let m = identity_metrics(&gt, &pred, 0.5);
+        assert_eq!(m.idtp, 100);
+        assert_eq!((m.idfp, m.idfn), (0, 0));
+        assert_eq!(m.idf1, 1.0);
+        assert_eq!(m.idp, 1.0);
+        assert_eq!(m.idr, 1.0);
+    }
+
+    #[test]
+    fn fragmentation_halves_credit() {
+        // GT: one 100-frame track. Pred: two 50-frame fragments.
+        let gt = TrackSet::from_tracks(vec![track(1, 0..100, 0.0)]);
+        let pred = TrackSet::from_tracks(vec![track(10, 0..50, 0.0), track(11, 50..100, 0.0)]);
+        let m = identity_metrics(&gt, &pred, 0.5);
+        // Only one fragment can match the GT identity.
+        assert_eq!(m.idtp, 50);
+        assert_eq!(m.idfp, 50);
+        assert_eq!(m.idfn, 50);
+        assert!((m.idf1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merging_fragments_restores_idf1() {
+        let gt = TrackSet::from_tracks(vec![track(1, 0..100, 0.0)]);
+        let fragments =
+            TrackSet::from_tracks(vec![track(10, 0..50, 0.0), track(11, 50..100, 0.0)]);
+        let mut mapping = HashMap::new();
+        mapping.insert(TrackId(11), TrackId(10));
+        let merged = fragments.relabeled(&mapping);
+        let before = identity_metrics(&gt, &fragments, 0.5);
+        let after = identity_metrics(&gt, &merged, 0.5);
+        assert!(after.idf1 > before.idf1);
+        assert_eq!(after.idf1, 1.0);
+    }
+
+    #[test]
+    fn spatially_wrong_prediction_gets_no_credit() {
+        let gt = TrackSet::from_tracks(vec![track(1, 0..10, 0.0)]);
+        let pred = TrackSet::from_tracks(vec![track(10, 0..10, 500.0)]);
+        let m = identity_metrics(&gt, &pred, 0.5);
+        assert_eq!(m.idtp, 0);
+        assert_eq!(m.idf1, 0.0);
+    }
+
+    #[test]
+    fn empty_sets_are_safe() {
+        let empty = TrackSet::new();
+        let some = TrackSet::from_tracks(vec![track(1, 0..10, 0.0)]);
+        let m = identity_metrics(&empty, &some, 0.5);
+        assert_eq!(m.idtp, 0);
+        assert_eq!(m.idfp, 10);
+        let m = identity_metrics(&some, &empty, 0.5);
+        assert_eq!(m.idfn, 10);
+        let m = identity_metrics(&empty, &empty, 0.5);
+        assert_eq!(m.idf1, 0.0);
+    }
+
+    #[test]
+    fn id_swap_costs_both_tracks() {
+        // Two GT tracks; prediction swaps identities halfway.
+        let gt = TrackSet::from_tracks(vec![track(1, 0..40, 0.0), track(2, 0..40, 100.0)]);
+        let pred_a = Track::with_boxes(
+            TrackId(10),
+            classes::PEDESTRIAN,
+            (0..40)
+                .map(|f| {
+                    let x = if f < 20 { 0.0 } else { 100.0 };
+                    TrackBox::new(FrameIdx(f), BBox::new(x, 0.0, 10.0, 10.0))
+                })
+                .collect(),
+        );
+        let pred_b = Track::with_boxes(
+            TrackId(11),
+            classes::PEDESTRIAN,
+            (0..40)
+                .map(|f| {
+                    let x = if f < 20 { 100.0 } else { 0.0 };
+                    TrackBox::new(FrameIdx(f), BBox::new(x, 0.0, 10.0, 10.0))
+                })
+                .collect(),
+        );
+        let pred = TrackSet::from_tracks(vec![pred_a, pred_b]);
+        let m = identity_metrics(&gt, &pred, 0.5);
+        // Each GT track can be credited for at most one half.
+        assert_eq!(m.idtp, 40);
+        assert!((m.idf1 - 0.5).abs() < 1e-12);
+    }
+}

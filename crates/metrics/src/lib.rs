@@ -1,0 +1,29 @@
+//! # tm-metrics
+//!
+//! Evaluation machinery for tracking output:
+//!
+//! * [`correspondence`] — maps each predicted track to the ground-truth
+//!   actor it covers (the simulator-exact analogue of the paper's manual
+//!   CLEAR-MOT labelling), and derives the **polyonymous-pair ground
+//!   truth** `P*` from it,
+//! * [`polyonymous`] — pair-set utilities: `REC` (Eq. 3 of the paper),
+//!   polyonymous rate (§V-G),
+//! * [`clear_mot`] — the CLEAR-MOT metrics (MOTA, FP, FN, ID switches,
+//!   fragmentations) of Bernardin & Stiefelhagen [30],
+//! * [`identity`] — the identity metrics IDF1 / IDP / IDR of Ristani et
+//!   al. [33], computed via a global min-cost bipartite matching between GT
+//!   and predicted trajectories.
+
+pub mod clear_mot;
+pub mod correspondence;
+pub mod hota;
+pub mod identity;
+pub mod polyonymous;
+pub mod stats;
+
+pub use clear_mot::{clear_mot, ClearMot, ClearMotConfig};
+pub use correspondence::Correspondence;
+pub use hota::{hota, hota_at, Hota};
+pub use identity::{identity_metrics, IdentityMetrics};
+pub use polyonymous::{polyonymous_rate, recall};
+pub use stats::{mean, pearson};

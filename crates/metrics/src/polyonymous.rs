@@ -1,0 +1,91 @@
+//! Pair-set metrics: recall (the paper's `REC`, Eq. 3) and the polyonymous
+//! rate (§V-G).
+
+use std::collections::BTreeSet;
+use tm_types::TrackPair;
+
+/// `REC(P̂) = |P̂ ∩ P*| / |P*|` — the fraction of true polyonymous pairs
+/// captured by a candidate set (Eq. 3). Defined as 1 when `P*` is empty
+/// (there was nothing to find).
+///
+/// ```
+/// use tm_metrics::recall;
+/// use tm_types::{TrackId, TrackPair};
+/// let pair = |a, b| TrackPair::new(TrackId(a), TrackId(b)).unwrap();
+/// let truth = [pair(1, 2), pair(3, 4)].into_iter().collect();
+/// let found = [pair(1, 2), pair(5, 6)];
+/// assert_eq!(recall(found.iter(), &truth), 0.5);
+/// ```
+pub fn recall<'a, I>(candidates: I, truth: &BTreeSet<TrackPair>) -> f64
+where
+    I: IntoIterator<Item = &'a TrackPair>,
+{
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let hit = candidates
+        .into_iter()
+        .filter(|p| truth.contains(p))
+        .count();
+    hit as f64 / truth.len() as f64
+}
+
+/// `|P*| / |P|` — the fraction of track pairs that are polyonymous
+/// (Fig. 11's *Polyonymous Rate*). Zero when there are no pairs.
+pub fn polyonymous_rate(n_polyonymous: usize, n_pairs: usize) -> f64 {
+    if n_pairs == 0 {
+        0.0
+    } else {
+        n_polyonymous as f64 / n_pairs as f64
+    }
+}
+
+/// Number of unordered pairs among `n` tracks: `n·(n−1)/2`.
+pub fn n_unordered_pairs(n: usize) -> usize {
+    n * n.saturating_sub(1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_types::TrackId;
+
+    fn pair(a: u64, b: u64) -> TrackPair {
+        TrackPair::new(TrackId(a), TrackId(b)).unwrap()
+    }
+
+    #[test]
+    fn recall_counts_intersection() {
+        let truth: BTreeSet<_> = [pair(1, 2), pair(3, 4), pair(5, 6)].into_iter().collect();
+        let cands = [pair(1, 2), pair(5, 6), pair(7, 8)];
+        assert!((recall(cands.iter(), &truth) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_of_empty_truth_is_one() {
+        let truth = BTreeSet::new();
+        assert_eq!(recall([pair(1, 2)].iter(), &truth), 1.0);
+        assert_eq!(recall([].iter(), &truth), 1.0);
+    }
+
+    #[test]
+    fn recall_bounds() {
+        let truth: BTreeSet<_> = [pair(1, 2)].into_iter().collect();
+        assert_eq!(recall([].iter(), &truth), 0.0);
+        assert_eq!(recall([pair(1, 2)].iter(), &truth), 1.0);
+    }
+
+    #[test]
+    fn polyonymous_rate_basics() {
+        assert_eq!(polyonymous_rate(0, 0), 0.0);
+        assert_eq!(polyonymous_rate(2, 100), 0.02);
+    }
+
+    #[test]
+    fn unordered_pair_count() {
+        assert_eq!(n_unordered_pairs(0), 0);
+        assert_eq!(n_unordered_pairs(1), 0);
+        assert_eq!(n_unordered_pairs(4), 6);
+        assert_eq!(n_unordered_pairs(145), 145 * 144 / 2);
+    }
+}

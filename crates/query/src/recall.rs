@@ -1,0 +1,167 @@
+//! Recall of tracker-derived query answers against ground-truth answers
+//! (Fig. 13 of the paper).
+//!
+//! A tracker answer is compared with the ground-truth answer through a
+//! track → actor attribution map: a qualifying GT object is *found* when at
+//! least one qualifying predicted track is attributed to it.
+
+use crate::queries::{co_occurrence_query, count_query};
+use std::collections::{BTreeSet, HashMap};
+use tm_types::{GtObjectId, TrackId, TrackSet};
+
+/// Recall of the *Count* query: the fraction of GT objects visible more
+/// than `min_frames` frames for which some attributed predicted track also
+/// spans more than `min_frames`. 1.0 when no GT object qualifies.
+pub fn count_recall(
+    pred: &TrackSet,
+    gt: &TrackSet,
+    min_frames: u64,
+    attribution: &HashMap<TrackId, GtObjectId>,
+) -> f64 {
+    let gt_hits: BTreeSet<GtObjectId> = count_query(gt, min_frames)
+        .into_iter()
+        .map(|t| GtObjectId(t.get()))
+        .collect();
+    if gt_hits.is_empty() {
+        return 1.0;
+    }
+    let found: BTreeSet<GtObjectId> = count_query(pred, min_frames)
+        .into_iter()
+        .filter_map(|t| attribution.get(&t).copied())
+        .collect();
+    gt_hits.intersection(&found).count() as f64 / gt_hits.len() as f64
+}
+
+/// Recall of the *Co-occurring Objects* query: the fraction of qualifying
+/// GT object groups that are recovered by some qualifying predicted track
+/// group whose members are attributed to exactly those objects. 1.0 when
+/// no GT group qualifies.
+pub fn co_occurrence_recall(
+    pred: &TrackSet,
+    gt: &TrackSet,
+    group_size: usize,
+    min_frames: u64,
+    attribution: &HashMap<TrackId, GtObjectId>,
+) -> f64 {
+    let gt_groups: BTreeSet<Vec<GtObjectId>> = co_occurrence_query(gt, group_size, min_frames)
+        .into_iter()
+        .map(|g| g.into_iter().map(|t| GtObjectId(t.get())).collect())
+        .collect();
+    if gt_groups.is_empty() {
+        return 1.0;
+    }
+    let pred_groups: BTreeSet<Vec<GtObjectId>> =
+        co_occurrence_query(pred, group_size, min_frames)
+            .into_iter()
+            .filter_map(|g| {
+                let mut actors: Vec<GtObjectId> = g
+                    .iter()
+                    .filter_map(|t| attribution.get(t).copied())
+                    .collect();
+                if actors.len() != group_size {
+                    return None; // some member unattributed
+                }
+                actors.sort();
+                actors.dedup();
+                // Members attributed to the same actor do not form a real
+                // group of `group_size` distinct objects.
+                (actors.len() == group_size).then_some(actors)
+            })
+            .collect();
+    gt_groups.intersection(&pred_groups).count() as f64 / gt_groups.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_types::{ids::classes, BBox, FrameIdx, Track, TrackBox};
+
+    fn track(id: u64, first: u64, last: u64) -> Track {
+        Track::with_boxes(
+            TrackId(id),
+            classes::PEDESTRIAN,
+            vec![
+                TrackBox::new(FrameIdx(first), BBox::new(0.0, 0.0, 10.0, 10.0)),
+                TrackBox::new(FrameIdx(last), BBox::new(0.0, 0.0, 10.0, 10.0)),
+            ],
+        )
+    }
+
+    fn attr(pairs: &[(u64, u64)]) -> HashMap<TrackId, GtObjectId> {
+        pairs
+            .iter()
+            .map(|&(t, g)| (TrackId(t), GtObjectId(g)))
+            .collect()
+    }
+
+    #[test]
+    fn fragmentation_lowers_count_recall_and_merging_restores_it() {
+        // GT: actors 1 and 2, both visible 301 frames.
+        let gt = TrackSet::from_tracks(vec![track(1, 0, 300), track(2, 0, 300)]);
+        // Tracker: actor 1 fragmented into tracks 10/11; actor 2 intact as
+        // track 20.
+        let pred = TrackSet::from_tracks(vec![track(10, 0, 150), track(11, 151, 300), track(20, 0, 300)]);
+        let attribution = attr(&[(10, 1), (11, 1), (20, 2)]);
+        let r = count_recall(&pred, &gt, 200, &attribution);
+        assert!((r - 0.5).abs() < 1e-12, "got {r}");
+
+        // Merge the fragments → recall 1.0.
+        let mut map = HashMap::new();
+        map.insert(TrackId(11), TrackId(10));
+        let merged = pred.relabeled(&map);
+        let r = count_recall(&merged, &gt, 200, &attribution);
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn count_recall_is_one_when_nothing_qualifies() {
+        let gt = TrackSet::from_tracks(vec![track(1, 0, 10)]);
+        let pred = TrackSet::new();
+        assert_eq!(count_recall(&pred, &gt, 200, &HashMap::new()), 1.0);
+    }
+
+    #[test]
+    fn co_occurrence_recall_requires_distinct_attributed_members() {
+        // GT: actors 1, 2, 3 jointly present 0..=100.
+        let gt = TrackSet::from_tracks(vec![track(1, 0, 100), track(2, 0, 100), track(3, 0, 100)]);
+        // Perfect prediction.
+        let pred = TrackSet::from_tracks(vec![track(10, 0, 100), track(20, 0, 100), track(30, 0, 100)]);
+        let attribution = attr(&[(10, 1), (20, 2), (30, 3)]);
+        assert_eq!(co_occurrence_recall(&pred, &gt, 3, 50, &attribution), 1.0);
+
+        // Fragmenting actor 3 mid-window destroys the 60-frame joint clip:
+        // neither fragment covers 60 joint frames on its own.
+        let frag = TrackSet::from_tracks(vec![
+            track(10, 0, 100),
+            track(20, 0, 100),
+            track(30, 0, 49),
+            track(31, 50, 100),
+        ]);
+        let attribution = attr(&[(10, 1), (20, 2), (30, 3), (31, 3)]);
+        assert_eq!(co_occurrence_recall(&frag, &gt, 3, 60, &attribution), 0.0);
+        // Merging the fragments restores the group.
+        let mut map = HashMap::new();
+        map.insert(TrackId(31), TrackId(30));
+        let merged = frag.relabeled(&map);
+        assert_eq!(co_occurrence_recall(&merged, &gt, 3, 60, &attribution), 1.0);
+    }
+
+    #[test]
+    fn co_occurrence_recall_rejects_groups_with_duplicate_actors() {
+        let gt = TrackSet::from_tracks(vec![track(1, 0, 100), track(2, 0, 100), track(3, 0, 100)]);
+        // Tracks 10 and 11 both belong to actor 1 and overlap (an ID split
+        // with overlap); the triple (10, 11, 20) is not a real 3-group.
+        let pred = TrackSet::from_tracks(vec![track(10, 0, 100), track(11, 0, 100), track(20, 0, 100)]);
+        let attribution = attr(&[(10, 1), (11, 1), (20, 2)]);
+        assert_eq!(co_occurrence_recall(&pred, &gt, 3, 50, &attribution), 0.0);
+    }
+
+    #[test]
+    fn co_occurrence_recall_one_when_no_gt_groups() {
+        let gt = TrackSet::from_tracks(vec![track(1, 0, 10)]);
+        assert_eq!(
+            co_occurrence_recall(&TrackSet::new(), &gt, 3, 50, &HashMap::new()),
+            1.0
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Region-transit queries — an extension query class in the spirit of the
+//! spatially constrained queries of Bastani et al. [41]: find objects whose
+//! trajectory passes through a region of the frame (a doorway, a crossing,
+//! a restricted zone) for at least a given dwell time.
+//!
+//! Like Count and Co-occurrence, the answer depends on track identity:
+//! a fragmented track can split the dwell interval below the threshold,
+//! hiding the object from the query until TMerge repairs it.
+
+use std::collections::{BTreeSet, HashMap};
+use tm_types::{BBox, GtObjectId, TrackId, TrackSet};
+
+/// Tracks whose boxes intersect `region` in at least `min_frames`
+/// (not necessarily consecutive) observed frames, sorted by id.
+pub fn region_transit_query(tracks: &TrackSet, region: &BBox, min_frames: u64) -> Vec<TrackId> {
+    let mut out: Vec<TrackId> = tracks
+        .iter()
+        .filter(|t| {
+            let dwell = t
+                .boxes
+                .iter()
+                .filter(|b| b.bbox.intersection_area(region) > 0.0)
+                .count() as u64;
+            dwell >= min_frames
+        })
+        .map(|t| t.id)
+        .collect();
+    out.sort();
+    out
+}
+
+/// Recall of the region query: qualifying GT objects recovered by some
+/// attributed qualifying track. 1.0 when nothing qualifies in GT.
+pub fn region_transit_recall(
+    pred: &TrackSet,
+    gt: &TrackSet,
+    region: &BBox,
+    min_frames: u64,
+    attribution: &HashMap<TrackId, GtObjectId>,
+) -> f64 {
+    let gt_hits: BTreeSet<GtObjectId> = region_transit_query(gt, region, min_frames)
+        .into_iter()
+        .map(|t| GtObjectId(t.get()))
+        .collect();
+    if gt_hits.is_empty() {
+        return 1.0;
+    }
+    let found: BTreeSet<GtObjectId> = region_transit_query(pred, region, min_frames)
+        .into_iter()
+        .filter_map(|t| attribution.get(&t).copied())
+        .collect();
+    gt_hits.intersection(&found).count() as f64 / gt_hits.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_types::{ids::classes, FrameIdx, Track, TrackBox};
+
+    fn walking_track(id: u64, frames: std::ops::Range<u64>, x0: f64, vx: f64) -> Track {
+        Track::with_boxes(
+            TrackId(id),
+            classes::PEDESTRIAN,
+            frames
+                .map(|f| {
+                    TrackBox::new(
+                        FrameIdx(f),
+                        BBox::new(x0 + vx * f as f64, 100.0, 20.0, 40.0),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn finds_tracks_crossing_the_region() {
+        // Track 1 walks through x ∈ [0, 300]; region covers x ∈ [100, 160].
+        let ts = TrackSet::from_tracks(vec![
+            walking_track(1, 0..100, 0.0, 3.0),
+            walking_track(2, 0..100, 1000.0, 0.0), // never enters
+        ]);
+        let region = BBox::new(100.0, 0.0, 60.0, 400.0);
+        // The 20-wide box intersects [100,160] for x in [80,160] → ~27
+        // frames at 3 px/frame.
+        let hits = region_transit_query(&ts, &region, 20);
+        assert_eq!(hits, vec![TrackId(1)]);
+        // Raising the dwell requirement excludes it.
+        assert!(region_transit_query(&ts, &region, 40).is_empty());
+    }
+
+    #[test]
+    fn fragmentation_breaks_dwell_and_merge_restores_it() {
+        // Dwell interval split across two fragments: neither passes alone.
+        let region = BBox::new(100.0, 0.0, 300.0, 400.0);
+        let frag = TrackSet::from_tracks(vec![
+            walking_track(1, 0..50, 0.0, 3.0),
+            walking_track(2, 50..100, 0.0, 3.0),
+        ]);
+        // In-region frames: x+20 > 100 → f > 26.6; so track 1 dwells ~23
+        // frames, track 2 dwells 50: with min 60 neither qualifies.
+        assert!(region_transit_query(&frag, &region, 60).is_empty());
+        let mut map = HashMap::new();
+        map.insert(TrackId(2), TrackId(1));
+        let merged = frag.relabeled(&map);
+        assert_eq!(region_transit_query(&merged, &region, 60), vec![TrackId(1)]);
+    }
+
+    #[test]
+    fn recall_accounts_for_attribution() {
+        let region = BBox::new(0.0, 0.0, 2000.0, 400.0);
+        let gt = TrackSet::from_tracks(vec![walking_track(1, 0..100, 0.0, 1.0)]);
+        let pred = TrackSet::from_tracks(vec![walking_track(10, 0..100, 0.0, 1.0)]);
+        let mut attribution = HashMap::new();
+        assert_eq!(region_transit_recall(&pred, &gt, &region, 50, &attribution), 0.0);
+        attribution.insert(TrackId(10), GtObjectId(1));
+        assert_eq!(region_transit_recall(&pred, &gt, &region, 50, &attribution), 1.0);
+    }
+
+    #[test]
+    fn empty_gt_answer_gives_recall_one() {
+        let region = BBox::new(5000.0, 5000.0, 10.0, 10.0);
+        let gt = TrackSet::from_tracks(vec![walking_track(1, 0..10, 0.0, 1.0)]);
+        assert_eq!(
+            region_transit_recall(&TrackSet::new(), &gt, &region, 1, &HashMap::new()),
+            1.0
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! A ReID *session*: model + feature cache + cost accounting.
+//!
+//! All merging algorithms in `tm-core` obtain BBox-pair distances through a
+//! [`ReidSession`]. The session implements the paper's feature-reuse
+//! optimization (§IV-B: "if either of the BBoxes' feature vectors has been
+//! extracted in previous iterations it can be *reused*") and charges the
+//! simulated clock for every inference, distance and GPU round, so the
+//! experiment harness can report Runtime/FPS deterministically.
+
+use crate::appearance::AppearanceModel;
+use crate::cost::{CostModel, Device, ReidStats, SimClock};
+use crate::feature::Feature;
+use std::collections::HashMap;
+use tm_types::{FrameIdx, TrackBox, TrackId};
+
+/// Identifies one box observation: a (track, frame) pair. Each track has at
+/// most one box per frame, so this key is unique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BoxKey {
+    /// The track the box belongs to.
+    pub track: TrackId,
+    /// The frame of the observation.
+    pub frame: FrameIdx,
+}
+
+impl BoxKey {
+    /// Creates a key.
+    pub fn new(track: TrackId, frame: FrameIdx) -> Self {
+        Self { track, frame }
+    }
+}
+
+/// A BBox pair as the selection algorithms hand it to the session: two
+/// `(track, box)` references.
+pub type BoxPairRef<'a> = ((TrackId, &'a TrackBox), (TrackId, &'a TrackBox));
+
+/// A stateful ReID session over one processing unit (typically one window).
+#[derive(Debug, Clone)]
+pub struct ReidSession<'m> {
+    model: &'m AppearanceModel,
+    cost: CostModel,
+    device: Device,
+    clock: SimClock,
+    cache: HashMap<BoxKey, Feature>,
+    stats: ReidStats,
+}
+
+impl<'m> ReidSession<'m> {
+    /// Opens a session.
+    pub fn new(model: &'m AppearanceModel, cost: CostModel, device: Device) -> Self {
+        Self {
+            model,
+            cost,
+            device,
+            clock: SimClock::new(),
+            cache: HashMap::new(),
+            stats: ReidStats::default(),
+        }
+    }
+
+    /// The device this session runs on.
+    pub fn device(&self) -> Device {
+        self.device
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Simulated time consumed so far.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.clock.elapsed_ms()
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> ReidStats {
+        self.stats
+    }
+
+    /// Charges the bookkeeping cost of one Thompson-sampling scan over
+    /// `n_pairs` live track pairs (called by TMerge once per iteration).
+    pub fn charge_thompson_scan(&mut self, n_pairs: usize) {
+        let ms = self.cost.thompson_scan_cost_ms(n_pairs, self.device);
+        self.clock.charge(ms);
+    }
+
+    /// Charges the bookkeeping cost of one LCB scan over `n_pairs` pairs.
+    pub fn charge_lcb_scan(&mut self, n_pairs: usize) {
+        let ms = self.cost.lcb_scan_cost_ms(n_pairs, self.device);
+        self.clock.charge(ms);
+    }
+
+    /// Extracts (or reuses) the feature for one box, charging inference cost
+    /// on a cache miss. Returns a clone (features are small).
+    pub fn feature(&mut self, track: TrackId, tb: &TrackBox) -> Feature {
+        let key = BoxKey::new(track, tb.frame);
+        if let Some(f) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            return f.clone();
+        }
+        let ms = self.cost.infer_cost_ms(1, self.device);
+        self.clock.charge(ms);
+        if self.device.is_gpu() {
+            self.stats.gpu_rounds += 1;
+        }
+        self.stats.inferences += 1;
+        let f = self.model.observe_track_box(tb);
+        self.cache.insert(key, f.clone());
+        f
+    }
+
+    /// The distance of one BBox pair, extracting whatever features are not
+    /// cached in a single inference call (on GPU: one round).
+    pub fn pair_distance(
+        &mut self,
+        (ta, ba): (TrackId, &TrackBox),
+        (tb, bb): (TrackId, &TrackBox),
+    ) -> f64 {
+        self.pair_distances_batch(&[((ta, ba), (tb, bb))])[0]
+    }
+
+    /// Normalized variant of [`ReidSession::pair_distance`] (`d̃ = d/2`).
+    pub fn normalized_pair_distance(
+        &mut self,
+        a: (TrackId, &TrackBox),
+        b: (TrackId, &TrackBox),
+    ) -> f64 {
+        self.pair_distance(a, b) / crate::feature::NORMALIZER
+    }
+
+    /// Evaluates a batch of BBox pairs in one round.
+    ///
+    /// All features missing from the cache are inferred in a single call
+    /// (one GPU round with one launch overhead, or a CPU loop), then the
+    /// pairwise distances are charged and returned in input order. This is
+    /// the primitive behind every `-B` algorithm (§IV-F).
+    pub fn pair_distances_batch(&mut self, pairs: &[BoxPairRef<'_>]) -> Vec<f64> {
+        // Phase 1: collect the cache misses, deduplicated.
+        let mut new_keys: Vec<(BoxKey, &TrackBox)> = Vec::new();
+        for ((ta, ba), (tb, bb)) in pairs {
+            for (t, b) in [(*ta, *ba), (*tb, *bb)] {
+                let key = BoxKey::new(t, b.frame);
+                if self.cache.contains_key(&key) || new_keys.iter().any(|(k, _)| *k == key) {
+                    continue;
+                }
+                new_keys.push((key, b));
+            }
+        }
+        // Phase 2: one inference call for all misses.
+        let n_new = new_keys.len();
+        if n_new > 0 {
+            let ms = self.cost.infer_cost_ms(n_new, self.device);
+            self.clock.charge(ms);
+            if self.device.is_gpu() {
+                self.stats.gpu_rounds += 1;
+            }
+            self.stats.inferences += n_new as u64;
+            for (key, b) in new_keys {
+                let f = self.model.observe_track_box(b);
+                self.cache.insert(key, f);
+            }
+        }
+        // Phase 3: distances (every feature now cached).
+        let ms = self.cost.distance_cost_ms(pairs.len(), self.device);
+        self.clock.charge(ms);
+        self.stats.distances += pairs.len() as u64;
+        pairs
+            .iter()
+            .map(|((ta, ba), (tb, bb))| {
+                self.stats.cache_hits += 2;
+                let fa = &self.cache[&BoxKey::new(*ta, ba.frame)];
+                let fb = &self.cache[&BoxKey::new(*tb, bb.frame)];
+                fa.euclidean(fb)
+            })
+            .collect()
+    }
+
+    /// Number of distinct features currently cached.
+    pub fn cached_features(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Ensures every listed box has a cached feature, inferring all misses
+    /// in **one** call (one GPU round). Returns nothing; read the features
+    /// back with [`ReidSession::cached_feature`]. This is the bulk-ingest
+    /// path used by the exact (baseline) scorer, where per-item cache
+    /// lookups would dominate wall-clock.
+    pub fn ensure_features(&mut self, boxes: &[(TrackId, &TrackBox)]) {
+        let mut new_keys: Vec<(BoxKey, &TrackBox)> = Vec::new();
+        for (t, b) in boxes {
+            let key = BoxKey::new(*t, b.frame);
+            if self.cache.contains_key(&key) || new_keys.iter().any(|(k, _)| *k == key) {
+                continue;
+            }
+            new_keys.push((key, b));
+        }
+        let n_new = new_keys.len();
+        if n_new == 0 {
+            return;
+        }
+        let ms = self.cost.infer_cost_ms(n_new, self.device);
+        self.clock.charge(ms);
+        if self.device.is_gpu() {
+            self.stats.gpu_rounds += 1;
+        }
+        self.stats.inferences += n_new as u64;
+        for (key, b) in new_keys {
+            let f = self.model.observe_track_box(b);
+            self.cache.insert(key, f);
+        }
+    }
+
+    /// Reads a cached feature (populated by a prior extraction).
+    pub fn cached_feature(&self, track: TrackId, frame: FrameIdx) -> Option<&Feature> {
+        self.cache.get(&BoxKey::new(track, frame))
+    }
+
+    /// Charges the cost of `n` pairwise distances computed outside the
+    /// session (bulk scoring keeps the arithmetic in a dense loop and
+    /// reports the work here so the simulated clock stays exact).
+    pub fn charge_distance_batch(&mut self, n: usize) {
+        let ms = self.cost.distance_cost_ms(n, self.device);
+        self.clock.charge(ms);
+        self.stats.distances += n as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::appearance::AppearanceConfig;
+    use tm_types::{BBox, GtObjectId};
+
+    fn tb(frame: u64, actor: u64) -> TrackBox {
+        TrackBox::new(FrameIdx(frame), BBox::new(0.0, 0.0, 10.0, 10.0))
+            .with_provenance(GtObjectId(actor))
+    }
+
+    fn model() -> AppearanceModel {
+        AppearanceModel::new(AppearanceConfig::default())
+    }
+
+    #[test]
+    fn features_are_cached_and_reused() {
+        let m = model();
+        let mut s = ReidSession::new(&m, CostModel::calibrated(), Device::Cpu);
+        let b = tb(3, 1);
+        let f1 = s.feature(TrackId(1), &b);
+        let cost_after_first = s.elapsed_ms();
+        let f2 = s.feature(TrackId(1), &b);
+        assert_eq!(f1, f2);
+        assert_eq!(s.elapsed_ms(), cost_after_first, "cache hit must be free");
+        assert_eq!(s.stats().inferences, 1);
+        assert_eq!(s.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn pair_distance_charges_inference_and_distance() {
+        let m = model();
+        let cost = CostModel::calibrated();
+        let mut s = ReidSession::new(&m, cost, Device::Cpu);
+        let d = s.pair_distance((TrackId(1), &tb(0, 1)), (TrackId(2), &tb(0, 2)));
+        assert!(d > 0.0);
+        let expected = 2.0 * cost.cpu_infer_ms + cost.cpu_dist_ms;
+        assert!((s.elapsed_ms() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_actor_distance_below_cross_actor() {
+        let m = model();
+        let mut s = ReidSession::new(&m, CostModel::zero(), Device::Cpu);
+        let same = s.pair_distance((TrackId(1), &tb(0, 5)), (TrackId(2), &tb(10, 5)));
+        let cross = s.pair_distance((TrackId(1), &tb(0, 5)), (TrackId(3), &tb(10, 6)));
+        assert!(same < cross, "same {same} cross {cross}");
+    }
+
+    #[test]
+    fn batch_charges_one_gpu_round() {
+        let m = model();
+        let cost = CostModel::calibrated();
+        let gpu = Device::Gpu { batch: 10 };
+        let mut s = ReidSession::new(&m, cost, gpu);
+        let pairs: Vec<_> = (0..10u64)
+            .map(|i| ((TrackId(1), tb(i, 1)), (TrackId(2), tb(i, 2))))
+            .collect();
+        let borrowed: Vec<_> = pairs
+            .iter()
+            .map(|((t1, b1), (t2, b2))| ((*t1, b1), (*t2, b2)))
+            .collect();
+        let ds = s.pair_distances_batch(&borrowed);
+        assert_eq!(ds.len(), 10);
+        assert_eq!(s.stats().gpu_rounds, 1);
+        assert_eq!(s.stats().inferences, 20);
+        let expected = cost.gpu_call_overhead_ms
+            + 20.0 * cost.gpu_infer_item_ms
+            + 10.0 * cost.gpu_dist_item_ms;
+        assert!((s.elapsed_ms() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_dedupes_shared_boxes() {
+        let m = model();
+        let mut s = ReidSession::new(&m, CostModel::calibrated(), Device::Cpu);
+        let shared = tb(0, 1);
+        let other1 = tb(0, 2);
+        let other2 = tb(1, 2);
+        // The shared box appears in both pairs → only 3 inferences.
+        let ds = s.pair_distances_batch(&[
+            ((TrackId(1), &shared), (TrackId(2), &other1)),
+            ((TrackId(1), &shared), (TrackId(2), &other2)),
+        ]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(s.stats().inferences, 3);
+    }
+
+    #[test]
+    fn batch_reuses_cross_call_cache() {
+        let m = model();
+        let cost = CostModel::calibrated();
+        let mut s = ReidSession::new(&m, cost, Device::Cpu);
+        let a = tb(0, 1);
+        let b = tb(0, 2);
+        s.pair_distance((TrackId(1), &a), (TrackId(2), &b));
+        let before = s.elapsed_ms();
+        s.pair_distance((TrackId(1), &a), (TrackId(2), &b));
+        // Second call: no inference, only one distance.
+        assert!((s.elapsed_ms() - before - cost.cpu_dist_ms).abs() < 1e-9);
+        assert_eq!(s.stats().inferences, 2);
+    }
+
+    #[test]
+    fn distances_match_direct_model_evaluation() {
+        let m = model();
+        let mut s = ReidSession::new(&m, CostModel::zero(), Device::Cpu);
+        let a = tb(4, 7);
+        let b = tb(9, 8);
+        let via_session = s.pair_distance((TrackId(1), &a), (TrackId(2), &b));
+        let direct = m.observe_track_box(&a).euclidean(&m.observe_track_box(&b));
+        assert!((via_session - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_distance_is_in_unit_interval() {
+        let m = model();
+        let mut s = ReidSession::new(&m, CostModel::zero(), Device::Cpu);
+        for i in 0..20u64 {
+            let d = s.normalized_pair_distance(
+                (TrackId(1), &tb(i, i % 5)),
+                (TrackId(2), &tb(i + 1, (i + 1) % 5)),
+            );
+            assert!((0.0..=1.0).contains(&d), "d̃={d}");
+        }
+    }
+
+    #[test]
+    fn scan_charges_follow_device() {
+        let m = model();
+        let cost = CostModel::calibrated();
+        let mut cpu = ReidSession::new(&m, cost, Device::Cpu);
+        cpu.charge_thompson_scan(400);
+        let mut gpu = ReidSession::new(&m, cost, Device::Gpu { batch: 10 });
+        gpu.charge_thompson_scan(400);
+        assert!(gpu.elapsed_ms() < cpu.elapsed_ms());
+    }
+}

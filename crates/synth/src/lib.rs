@@ -1,0 +1,47 @@
+//! # tm-synth
+//!
+//! A deterministic 2-D world simulator that stands in for the pixel videos
+//! of MOT-17 / KITTI / PathTrack (see DESIGN.md §1 for the substitution
+//! argument). It simulates *actors* (pedestrians, cars, …) moving through a
+//! camera viewport according to configurable [`MotionModel`]s, *occluders*
+//! (static street furniture or moving foreground objects) that hide actors,
+//! and *glare events* that degrade appearance quality in a region for a
+//! stretch of frames.
+//!
+//! The output is a [`GroundTruth`]: per-frame object instances with exact
+//! boxes and visibility fractions, plus the true identity of every instance.
+//! Downstream, `tm-detect` turns this into noisy detections, `tm-track`
+//! turns detections into (fragmented) tracks, and `tm-core` repairs the
+//! fragmentation — which is the paper's subject.
+//!
+//! Everything is seeded: the same [`Scenario`] always produces the same
+//! world, which keeps every experiment in the repository reproducible.
+//!
+//! ```
+//! use tm_synth::{Scenario, SceneConfig, ActorSpec, MotionModel, Occluder};
+//! use tm_types::{ids::classes, FrameIdx, GtObjectId, Point};
+//!
+//! let mut scenario = Scenario::new(SceneConfig::new(1920.0, 1080.0, 300), 42);
+//! scenario.push_actor(ActorSpec::new(
+//!     GtObjectId(0),
+//!     classes::PEDESTRIAN,
+//!     40.0,
+//!     100.0,
+//!     FrameIdx(0),
+//!     FrameIdx(300),
+//!     MotionModel::linear(Point::new(0.0, 500.0), 4.0, 0.0),
+//! ));
+//! scenario.push_occluder(Occluder::static_box(tm_types::BBox::new(900.0, 400.0, 120.0, 300.0)));
+//! let gt = scenario.simulate();
+//! assert_eq!(gt.frames().len(), 300);
+//! ```
+
+pub mod ground_truth;
+pub mod motion;
+pub mod occlusion;
+pub mod scene;
+
+pub use ground_truth::{GroundTruth, GtFrame, GtInstance};
+pub use motion::MotionModel;
+pub use occlusion::{GlareEvent, Occluder};
+pub use scene::{ActorSpec, SceneConfig, Scenario};

@@ -1,0 +1,155 @@
+//! Association cost matrices between active tracks and detections.
+
+use crate::hungarian::FORBIDDEN;
+use crate::lifecycle::ActiveTrack;
+use tm_reid::Feature;
+use tm_types::Detection;
+
+/// IoU cost matrix: `1 − IoU(predicted track box, detection box)`, with
+/// class mismatches forbidden. Rows are tracks, columns detections.
+pub fn iou_cost(tracks: &[ActiveTrack], dets: &[Detection]) -> Vec<Vec<f64>> {
+    tracks
+        .iter()
+        .map(|t| {
+            dets.iter()
+                .map(|d| {
+                    if t.class != d.class {
+                        FORBIDDEN
+                    } else {
+                        1.0 - t.predicted.iou(&d.bbox)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Appearance cost matrix: normalized Euclidean feature distance in
+/// `[0, 1]`. Tracks without a gallery feature get a neutral cost of 0.5;
+/// class mismatches are forbidden.
+pub fn appearance_cost(
+    tracks: &[ActiveTrack],
+    dets: &[Detection],
+    det_features: &[Feature],
+) -> Vec<Vec<f64>> {
+    debug_assert_eq!(dets.len(), det_features.len());
+    tracks
+        .iter()
+        .map(|t| {
+            dets.iter()
+                .zip(det_features)
+                .map(|(d, f)| {
+                    if t.class != d.class {
+                        FORBIDDEN
+                    } else {
+                        match &t.feature {
+                            Some(g) => g.normalized_distance(f),
+                            None => 0.5,
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Convex combination `λ·a + (1−λ)·b`, preserving forbidden entries.
+pub fn combined_cost(a: &[Vec<f64>], b: &[Vec<f64>], lambda: f64) -> Vec<Vec<f64>> {
+    let l = lambda.clamp(0.0, 1.0);
+    a.iter()
+        .zip(b)
+        .map(|(ra, rb)| {
+            ra.iter()
+                .zip(rb)
+                .map(|(&ca, &cb)| {
+                    if ca >= FORBIDDEN || cb >= FORBIDDEN {
+                        FORBIDDEN
+                    } else {
+                        l * ca + (1.0 - l) * cb
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kalman::KalmanConfig;
+    use crate::lifecycle::{LifecycleConfig, TrackManager};
+    use tm_types::{ids::classes, BBox, Detection, FrameIdx, GtObjectId};
+
+    fn det_at(x: f64, class: tm_types::ClassId) -> Detection {
+        Detection::of_actor(
+            FrameIdx(0),
+            BBox::new(x, 0.0, 10.0, 10.0),
+            0.9,
+            class,
+            1.0,
+            GtObjectId(1),
+        )
+    }
+
+    fn manager_with_track(x: f64) -> TrackManager {
+        let mut m = TrackManager::new(LifecycleConfig {
+            max_age: 5,
+            min_hits: 1,
+            min_confidence: 0.1,
+            kalman: KalmanConfig::default(),
+        });
+        m.spawn(&det_at(x, classes::PEDESTRIAN), None);
+        m
+    }
+
+    #[test]
+    fn iou_cost_zero_for_identical_boxes() {
+        let m = manager_with_track(5.0);
+        let cost = iou_cost(&m.active, &[det_at(5.0, classes::PEDESTRIAN)]);
+        assert!(cost[0][0] < 1e-9);
+    }
+
+    #[test]
+    fn iou_cost_one_for_disjoint_boxes() {
+        let m = manager_with_track(0.0);
+        let cost = iou_cost(&m.active, &[det_at(100.0, classes::PEDESTRIAN)]);
+        assert!((cost[0][0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_mismatch_is_forbidden() {
+        let m = manager_with_track(0.0);
+        let cost = iou_cost(&m.active, &[det_at(0.0, classes::CAR)]);
+        assert_eq!(cost[0][0], FORBIDDEN);
+    }
+
+    #[test]
+    fn appearance_cost_neutral_without_gallery() {
+        let m = manager_with_track(0.0);
+        let d = det_at(0.0, classes::PEDESTRIAN);
+        let f = Feature::normalized(vec![1.0, 0.0]);
+        let cost = appearance_cost(&m.active, &[d], &[f]);
+        assert_eq!(cost[0][0], 0.5);
+    }
+
+    #[test]
+    fn appearance_cost_uses_gallery_distance() {
+        let mut m = manager_with_track(0.0);
+        m.active[0].feature = Some(Feature::normalized(vec![1.0, 0.0]));
+        let d = det_at(0.0, classes::PEDESTRIAN);
+        let same = Feature::normalized(vec![1.0, 0.0]);
+        let opposite = Feature::normalized(vec![-1.0, 0.0]);
+        let cost = appearance_cost(&m.active, &[d, d], &[same, opposite]);
+        assert!(cost[0][0] < 1e-9);
+        assert!((cost[0][1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combined_cost_interpolates_and_keeps_forbidden() {
+        let a = vec![vec![0.0, FORBIDDEN]];
+        let b = vec![vec![1.0, 0.0]];
+        let c = combined_cost(&a, &b, 0.25);
+        assert!((c[0][0] - 0.75).abs() < 1e-9);
+        assert_eq!(c[0][1], FORBIDDEN);
+    }
+}

@@ -1,0 +1,416 @@
+//! A constant-velocity Kalman filter over the SORT state space.
+//!
+//! State `x = [cx, cy, s, r, v_cx, v_cy, v_s]ᵀ`: box centre, scale (area),
+//! aspect ratio and the velocities of the first three (the aspect ratio is
+//! modelled as constant, exactly as in SORT [3]). Observations are
+//! `z = [cx, cy, s, r]ᵀ` from [`tm_types::BBox::to_cxcysr`].
+//!
+//! The linear algebra is hand-rolled over fixed-size arrays — the dimensions
+//! are small and static, and keeping the filter dependency-free makes it a
+//! reusable substrate piece.
+
+// Index-based loops mirror the textbook matrix formulas; iterator forms
+// obscure them here.
+#![allow(clippy::needless_range_loop)]
+
+use tm_types::BBox;
+
+const NX: usize = 7; // state dimension
+const NZ: usize = 4; // observation dimension
+
+type Vx = [f64; NX];
+type Mx = [[f64; NX]; NX];
+type Mz = [[f64; NZ]; NZ];
+
+/// Process/observation noise configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KalmanConfig {
+    /// Process noise on the position/scale block.
+    pub q_pos: f64,
+    /// Process noise on the velocity block.
+    pub q_vel: f64,
+    /// Observation noise on centre coordinates.
+    pub r_pos: f64,
+    /// Observation noise on scale and ratio.
+    pub r_scale: f64,
+    /// Initial velocity uncertainty.
+    pub p0_vel: f64,
+}
+
+impl Default for KalmanConfig {
+    /// Noise levels in the spirit of the original SORT implementation.
+    fn default() -> Self {
+        Self {
+            q_pos: 1.0,
+            q_vel: 0.01,
+            r_pos: 1.0,
+            r_scale: 10.0,
+            p0_vel: 1000.0,
+        }
+    }
+}
+
+/// A constant-velocity Kalman filter tracking one bounding box.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KalmanBoxFilter {
+    x: Vx,
+    p: Mx,
+    config: KalmanConfig,
+}
+
+impl KalmanBoxFilter {
+    /// Initializes the filter on a first observed box, with zero velocity
+    /// and large velocity uncertainty.
+    pub fn new(bbox: &BBox, config: KalmanConfig) -> Self {
+        let z = bbox.to_cxcysr();
+        let mut x = [0.0; NX];
+        x[..NZ].copy_from_slice(&z);
+        let mut p = [[0.0; NX]; NX];
+        for (i, row) in p.iter_mut().enumerate() {
+            row[i] = if i < NZ { 10.0 } else { config.p0_vel };
+        }
+        Self { x, p, config }
+    }
+
+    /// Advances the state one frame under the constant-velocity model and
+    /// returns the predicted box.
+    pub fn predict(&mut self) -> BBox {
+        // Keep scale non-negative under a strongly negative scale velocity,
+        // as the reference SORT implementation does.
+        if self.x[2] + self.x[6] <= 0.0 {
+            self.x[6] = 0.0;
+        }
+        let f = transition();
+        self.x = mat_vec(&f, &self.x);
+        let fp = mat_mul(&f, &self.p);
+        self.p = mat_add(&mat_mul_t(&fp, &f), &self.process_noise());
+        self.current_box()
+    }
+
+    /// Fuses an observed box into the state.
+    pub fn update(&mut self, bbox: &BBox) {
+        let z = bbox.to_cxcysr();
+        // Innovation y = z − Hx (H selects the first 4 state entries).
+        let mut y = [0.0; NZ];
+        for i in 0..NZ {
+            y[i] = z[i] - self.x[i];
+        }
+        // S = H P Hᵀ + R  — the top-left 4×4 block of P plus R.
+        let mut s = [[0.0; NZ]; NZ];
+        for i in 0..NZ {
+            for j in 0..NZ {
+                s[i][j] = self.p[i][j];
+            }
+            s[i][i] += self.obs_noise_diag(i);
+        }
+        let s_inv = invert4(&s);
+        // K = P Hᵀ S⁻¹ : (7×4) — P's first four columns times S⁻¹.
+        let mut k = [[0.0; NZ]; NX];
+        for i in 0..NX {
+            for j in 0..NZ {
+                let mut acc = 0.0;
+                for l in 0..NZ {
+                    acc += self.p[i][l] * s_inv[l][j];
+                }
+                k[i][j] = acc;
+            }
+        }
+        // x ← x + K y
+        for i in 0..NX {
+            let mut acc = 0.0;
+            for (j, yj) in y.iter().enumerate() {
+                acc += k[i][j] * yj;
+            }
+            self.x[i] += acc;
+        }
+        // P ← (I − K H) P ; KH only touches the first four columns.
+        let mut kh = [[0.0; NX]; NX];
+        for i in 0..NX {
+            for j in 0..NZ {
+                kh[i][j] = k[i][j];
+            }
+        }
+        let mut ikh = [[0.0; NX]; NX];
+        for i in 0..NX {
+            for j in 0..NX {
+                ikh[i][j] = f64::from(u8::from(i == j)) - kh[i][j];
+            }
+        }
+        self.p = mat_mul(&ikh, &self.p);
+    }
+
+    /// The box implied by the current state.
+    pub fn current_box(&self) -> BBox {
+        BBox::from_cxcysr([self.x[0], self.x[1], self.x[2].max(0.0), self.x[3].max(1e-6)])
+    }
+
+    /// Estimated per-frame velocity of the box centre.
+    pub fn velocity(&self) -> (f64, f64) {
+        (self.x[4], self.x[5])
+    }
+
+    /// Squared Mahalanobis-style normalized distance of an observed centre
+    /// from the predicted centre (used for gating in UMA-like tracking).
+    pub fn center_gate_distance(&self, bbox: &BBox) -> f64 {
+        let z = bbox.to_cxcysr();
+        let sx = (self.p[0][0] + self.config.r_pos).max(1e-6);
+        let sy = (self.p[1][1] + self.config.r_pos).max(1e-6);
+        let dx = z[0] - self.x[0];
+        let dy = z[1] - self.x[1];
+        dx * dx / sx + dy * dy / sy
+    }
+
+    fn process_noise(&self) -> Mx {
+        let mut q = [[0.0; NX]; NX];
+        for (i, row) in q.iter_mut().enumerate() {
+            row[i] = if i < NZ {
+                self.config.q_pos
+            } else {
+                self.config.q_vel
+            };
+        }
+        q
+    }
+
+    fn obs_noise_diag(&self, i: usize) -> f64 {
+        if i < 2 {
+            self.config.r_pos
+        } else {
+            self.config.r_scale
+        }
+    }
+}
+
+/// The constant-velocity transition matrix.
+fn transition() -> Mx {
+    let mut f = [[0.0; NX]; NX];
+    for (i, row) in f.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    f[0][4] = 1.0;
+    f[1][5] = 1.0;
+    f[2][6] = 1.0;
+    f
+}
+
+fn mat_vec(m: &Mx, v: &Vx) -> Vx {
+    let mut out = [0.0; NX];
+    for i in 0..NX {
+        let mut acc = 0.0;
+        for (j, vj) in v.iter().enumerate() {
+            acc += m[i][j] * vj;
+        }
+        out[i] = acc;
+    }
+    out
+}
+
+fn mat_mul(a: &Mx, b: &Mx) -> Mx {
+    let mut out = [[0.0; NX]; NX];
+    for i in 0..NX {
+        for l in 0..NX {
+            let ail = a[i][l];
+            if ail == 0.0 {
+                continue;
+            }
+            for j in 0..NX {
+                out[i][j] += ail * b[l][j];
+            }
+        }
+    }
+    out
+}
+
+/// `a · bᵀ`.
+fn mat_mul_t(a: &Mx, b: &Mx) -> Mx {
+    let mut out = [[0.0; NX]; NX];
+    for i in 0..NX {
+        for j in 0..NX {
+            let mut acc = 0.0;
+            for l in 0..NX {
+                acc += a[i][l] * b[j][l];
+            }
+            out[i][j] = acc;
+        }
+    }
+    out
+}
+
+fn mat_add(a: &Mx, b: &Mx) -> Mx {
+    let mut out = [[0.0; NX]; NX];
+    for i in 0..NX {
+        for j in 0..NX {
+            out[i][j] = a[i][j] + b[i][j];
+        }
+    }
+    out
+}
+
+/// Gauss–Jordan inversion of a 4×4 matrix. The innovation covariance is
+/// positive definite by construction, so a vanishing pivot indicates a bug;
+/// we fall back to the identity in release builds to avoid NaN poisoning.
+fn invert4(m: &Mz) -> Mz {
+    let mut a = *m;
+    let mut inv = [[0.0; NZ]; NZ];
+    for (i, row) in inv.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for col in 0..NZ {
+        // Partial pivoting.
+        let mut pivot = col;
+        for r in col + 1..NZ {
+            if a[r][col].abs() > a[pivot][col].abs() {
+                pivot = r;
+            }
+        }
+        if a[pivot][col].abs() < 1e-12 {
+            debug_assert!(false, "singular innovation covariance");
+            return identity4();
+        }
+        a.swap(col, pivot);
+        inv.swap(col, pivot);
+        let d = a[col][col];
+        for j in 0..NZ {
+            a[col][j] /= d;
+            inv[col][j] /= d;
+        }
+        for r in 0..NZ {
+            if r == col {
+                continue;
+            }
+            let factor = a[r][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in 0..NZ {
+                a[r][j] -= factor * a[col][j];
+                inv[r][j] -= factor * inv[col][j];
+            }
+        }
+    }
+    inv
+}
+
+fn identity4() -> Mz {
+    let mut id = [[0.0; NZ]; NZ];
+    for (i, row) in id.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn moving_box(frame: u64) -> BBox {
+        BBox::from_center(100.0 + 5.0 * frame as f64, 200.0 - 2.0 * frame as f64, 40.0, 80.0)
+    }
+
+    #[test]
+    fn initial_state_matches_observation() {
+        let b = BBox::from_center(50.0, 60.0, 20.0, 40.0);
+        let kf = KalmanBoxFilter::new(&b, KalmanConfig::default());
+        let cur = kf.current_box();
+        assert!((cur.center().x - 50.0).abs() < 1e-9);
+        assert!((cur.center().y - 60.0).abs() < 1e-9);
+        assert!((cur.area() - b.area()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn filter_learns_constant_velocity() {
+        let mut kf = KalmanBoxFilter::new(&moving_box(0), KalmanConfig::default());
+        for f in 1..30 {
+            kf.predict();
+            kf.update(&moving_box(f));
+        }
+        let (vx, vy) = kf.velocity();
+        assert!((vx - 5.0).abs() < 0.5, "vx={vx}");
+        assert!((vy + 2.0).abs() < 0.5, "vy={vy}");
+        // Prediction without update lands close to the true next position.
+        let pred = kf.predict();
+        let truth = moving_box(30);
+        assert!(pred.center().distance(&truth.center()) < 3.0);
+    }
+
+    #[test]
+    fn coasting_extrapolates_linearly() {
+        let mut kf = KalmanBoxFilter::new(&moving_box(0), KalmanConfig::default());
+        for f in 1..20 {
+            kf.predict();
+            kf.update(&moving_box(f));
+        }
+        // Coast 10 frames with no updates (an occlusion).
+        let mut last = kf.current_box();
+        for _ in 0..10 {
+            last = kf.predict();
+        }
+        let truth = moving_box(29);
+        assert!(
+            last.center().distance(&truth.center()) < 8.0,
+            "coasted centre {:?} vs truth {:?}",
+            last.center(),
+            truth.center()
+        );
+    }
+
+    #[test]
+    fn update_pulls_state_toward_observation() {
+        let mut kf = KalmanBoxFilter::new(&BBox::from_center(0.0, 0.0, 10.0, 10.0), KalmanConfig::default());
+        kf.predict();
+        kf.update(&BBox::from_center(10.0, 0.0, 10.0, 10.0));
+        let c = kf.current_box().center();
+        assert!(c.x > 1.0 && c.x <= 10.0, "cx={}", c.x);
+    }
+
+    #[test]
+    fn scale_never_goes_negative() {
+        let mut kf = KalmanBoxFilter::new(&BBox::from_center(0.0, 0.0, 10.0, 10.0), KalmanConfig::default());
+        // Feed shrinking boxes to build a negative scale velocity.
+        for f in 1..10 {
+            kf.predict();
+            let s = (10.0 - f as f64).max(1.0);
+            kf.update(&BBox::from_center(0.0, 0.0, s, s));
+        }
+        for _ in 0..50 {
+            let b = kf.predict();
+            assert!(b.area() >= 0.0);
+            assert!(b.w.is_finite() && b.h.is_finite());
+        }
+    }
+
+    #[test]
+    fn invert4_inverts() {
+        let m = [
+            [4.0, 1.0, 0.0, 0.5],
+            [1.0, 3.0, 0.2, 0.0],
+            [0.0, 0.2, 5.0, 1.0],
+            [0.5, 0.0, 1.0, 2.0],
+        ];
+        let inv = invert4(&m);
+        // m · inv ≈ I
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut acc = 0.0;
+                for l in 0..4 {
+                    acc += m[i][l] * inv[l][j];
+                }
+                let expect = f64::from(u8::from(i == j));
+                assert!((acc - expect).abs() < 1e-9, "({i},{j}) = {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn gate_distance_grows_with_offset() {
+        let mut kf = KalmanBoxFilter::new(&moving_box(0), KalmanConfig::default());
+        for f in 1..10 {
+            kf.predict();
+            kf.update(&moving_box(f));
+        }
+        kf.predict();
+        let near = kf.center_gate_distance(&moving_box(10));
+        let far = kf.center_gate_distance(&moving_box(30));
+        assert!(near < far);
+    }
+}

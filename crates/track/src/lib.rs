@@ -1,0 +1,32 @@
+//! # tm-track
+//!
+//! The multi-object tracking substrate: the components a tracking paper
+//! takes for granted, implemented from scratch —
+//!
+//! * a constant-velocity [`KalmanBoxFilter`] over the SORT state space,
+//! * the Hungarian algorithm ([`hungarian::min_cost_assignment`]) for
+//!   globally optimal association,
+//! * association cost matrices (IoU, appearance, combined) in [`assoc`],
+//! * shared track lifecycle management in [`lifecycle`], and
+//! * five trackers behind one [`Tracker`] trait: [`Sort`], [`DeepSort`],
+//!   [`TracktorLike`], [`CenterTrackLike`] and [`UmaLike`] — the algorithms
+//!   the paper evaluates (§V-A, §V-G).
+//!
+//! These trackers consume the simulated detections from `tm-detect` and
+//! produce the fragmented [`tm_types::TrackSet`]s whose repair is the
+//! paper's subject. See DESIGN.md §1 for exactly which parts are published
+//! algorithm and which are simulation surrogates.
+
+pub mod assoc;
+pub mod hungarian;
+pub mod kalman;
+pub mod lifecycle;
+pub mod trackers;
+
+pub use kalman::{KalmanBoxFilter, KalmanConfig};
+pub use lifecycle::{ActiveTrack, LifecycleConfig, TrackManager};
+pub use trackers::{
+    track_video, ByteTrack, ByteTrackConfig, CenterTrackLike, CenterTrackLikeConfig, DeepSort,
+    DeepSortConfig, IouTracker, IouTrackerConfig, Sort, SortConfig, Tracker, TrackerKind,
+    TracktorLike, TracktorLikeConfig, UmaLike, UmaLikeConfig,
+};

@@ -1,0 +1,363 @@
+//! Shared track-lifecycle machinery used by every tracker.
+//!
+//! All five trackers in this crate follow the same online skeleton —
+//! predict, associate, update/spawn, age, kill — and differ in their
+//! association strategy and patience parameters. The [`TrackManager`]
+//! implements the shared parts: Kalman state per active track, hit counting,
+//! time-since-update aging, termination after `max_age` missed frames, and
+//! final export as a [`TrackSet`].
+//!
+//! Track termination after an occlusion longer than `max_age`, followed by a
+//! fresh spawn on re-detection, is precisely the mechanism that produces the
+//! paper's *polyonymous tracks*.
+
+use crate::kalman::{KalmanBoxFilter, KalmanConfig};
+use tm_reid::Feature;
+use tm_types::{BBox, ClassId, Detection, Track, TrackBox, TrackId, TrackSet};
+
+/// Lifecycle parameters shared by all trackers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifecycleConfig {
+    /// Kill a track after this many consecutive frames without a matched
+    /// detection. Small values fragment aggressively under occlusion.
+    pub max_age: u64,
+    /// Only export tracks that accumulated at least this many matched
+    /// detections (suppresses tracks born from false positives).
+    pub min_hits: u64,
+    /// Ignore detections below this confidence when spawning new tracks.
+    pub min_confidence: f64,
+    /// Kalman noise configuration.
+    pub kalman: KalmanConfig,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> Self {
+        Self {
+            max_age: 10,
+            min_hits: 3,
+            min_confidence: 0.45,
+            kalman: KalmanConfig::default(),
+        }
+    }
+}
+
+/// One track currently being maintained by a tracker.
+#[derive(Debug, Clone)]
+pub struct ActiveTrack {
+    /// Assigned tracking identifier.
+    pub id: TrackId,
+    /// Object class (fixed at spawn).
+    pub class: ClassId,
+    /// Motion filter.
+    pub kf: KalmanBoxFilter,
+    /// Box predicted for the current frame (set by `predict_all`).
+    pub predicted: BBox,
+    /// Number of matched detections so far.
+    pub hits: u64,
+    /// Consecutive frames without a match.
+    pub time_since_update: u64,
+    /// Confidence of the last matched detection.
+    pub last_confidence: f64,
+    /// Exponential-moving-average appearance feature (appearance-based
+    /// trackers only).
+    pub feature: Option<Feature>,
+    /// Whether a detection was committed to this track this frame.
+    updated_this_frame: bool,
+    boxes: Vec<TrackBox>,
+}
+
+impl ActiveTrack {
+    /// The committed boxes so far (for diagnostics).
+    pub fn n_boxes(&self) -> usize {
+        self.boxes.len()
+    }
+}
+
+/// Shared lifecycle state: active tracks, finished tracks, id assignment.
+#[derive(Debug, Clone)]
+pub struct TrackManager {
+    config: LifecycleConfig,
+    next_id: u64,
+    /// Tracks currently alive. Public so association strategies can read
+    /// predicted boxes / features; mutation goes through the manager.
+    pub active: Vec<ActiveTrack>,
+    finished: Vec<Track>,
+}
+
+impl TrackManager {
+    /// Creates a manager with no tracks; ids are assigned from 1 upward.
+    pub fn new(config: LifecycleConfig) -> Self {
+        Self {
+            config,
+            next_id: 1,
+            active: Vec::new(),
+            finished: Vec::new(),
+        }
+    }
+
+    /// The lifecycle configuration.
+    pub fn config(&self) -> &LifecycleConfig {
+        &self.config
+    }
+
+    /// Advances every active track's motion model one frame and records the
+    /// predicted boxes. Call once at the start of each frame.
+    pub fn predict_all(&mut self) {
+        for t in &mut self.active {
+            t.predicted = t.kf.predict();
+        }
+    }
+
+    /// Commits a matched detection to the active track at `idx`.
+    ///
+    /// `feature` (if provided) is folded into the track's appearance with
+    /// EMA weight `feature_momentum` (0 → replace, 1 → never change).
+    pub fn commit_match(
+        &mut self,
+        idx: usize,
+        det: &Detection,
+        feature: Option<Feature>,
+        feature_momentum: f64,
+    ) {
+        let t = &mut self.active[idx];
+        t.kf.update(&det.bbox);
+        t.hits += 1;
+        t.time_since_update = 0;
+        t.updated_this_frame = true;
+        t.last_confidence = det.confidence;
+        t.boxes.push(
+            TrackBox::new(det.frame, det.bbox)
+                .with_confidence(det.confidence)
+                .with_visibility(det.visibility)
+                .with_provenance_opt(det.provenance),
+        );
+        if let Some(new_f) = feature {
+            t.feature = Some(match t.feature.take() {
+                None => new_f,
+                Some(old) => {
+                    let m = feature_momentum.clamp(0.0, 1.0);
+                    let mixed: Vec<f64> = old
+                        .as_slice()
+                        .iter()
+                        .zip(new_f.as_slice())
+                        .map(|(o, n)| m * o + (1.0 - m) * n)
+                        .collect();
+                    Feature::normalized(mixed)
+                }
+            });
+        }
+    }
+
+    /// Spawns a new track from an unmatched detection, if it clears the
+    /// confidence floor. Returns the new track's id if spawned.
+    pub fn spawn(&mut self, det: &Detection, feature: Option<Feature>) -> Option<TrackId> {
+        if det.confidence < self.config.min_confidence {
+            return None;
+        }
+        let id = TrackId(self.next_id);
+        self.next_id += 1;
+        let boxes = vec![TrackBox::new(det.frame, det.bbox)
+            .with_confidence(det.confidence)
+            .with_visibility(det.visibility)
+            .with_provenance_opt(det.provenance)];
+        self.active.push(ActiveTrack {
+            id,
+            class: det.class,
+            kf: KalmanBoxFilter::new(&det.bbox, self.config.kalman),
+            predicted: det.bbox,
+            hits: 1,
+            time_since_update: 0,
+            last_confidence: det.confidence,
+            feature,
+            updated_this_frame: true,
+            boxes,
+        });
+        Some(id)
+    }
+
+    /// Ends the frame: ages unmatched tracks and terminates those that
+    /// exceeded `max_age` misses. Call once per frame after association.
+    pub fn finalize_frame(&mut self) {
+        let max_age = self.config.max_age;
+        let min_hits = self.config.min_hits;
+        let mut idx = 0;
+        while idx < self.active.len() {
+            let t = &mut self.active[idx];
+            if t.updated_this_frame {
+                t.updated_this_frame = false;
+                idx += 1;
+                continue;
+            }
+            t.time_since_update += 1;
+            if t.time_since_update > max_age {
+                let dead = self.active.swap_remove(idx);
+                if dead.hits >= min_hits {
+                    self.finished
+                        .push(Track::with_boxes(dead.id, dead.class, dead.boxes));
+                }
+            } else {
+                idx += 1;
+            }
+        }
+    }
+
+    /// Flushes every remaining active track and returns the full result.
+    pub fn finish(&mut self) -> TrackSet {
+        let min_hits = self.config.min_hits;
+        for t in self.active.drain(..) {
+            if t.hits >= min_hits {
+                self.finished.push(Track::with_boxes(t.id, t.class, t.boxes));
+            }
+        }
+        let mut tracks = std::mem::take(&mut self.finished);
+        tracks.sort_by_key(|t| t.id);
+        TrackSet::from_tracks(tracks)
+    }
+}
+
+/// Extension to build a `TrackBox` from an optional provenance without
+/// branching at every call site.
+trait TrackBoxExt {
+    fn with_provenance_opt(self, p: Option<tm_types::GtObjectId>) -> Self;
+}
+
+impl TrackBoxExt for TrackBox {
+    fn with_provenance_opt(mut self, p: Option<tm_types::GtObjectId>) -> Self {
+        self.provenance = p;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_types::{ids::classes, FrameIdx, GtObjectId};
+
+    fn det(frame: u64, x: f64, conf: f64) -> Detection {
+        Detection::of_actor(
+            FrameIdx(frame),
+            BBox::new(x, 100.0, 40.0, 80.0),
+            conf,
+            classes::PEDESTRIAN,
+            1.0,
+            GtObjectId(1),
+        )
+    }
+
+    fn cfg(max_age: u64, min_hits: u64) -> LifecycleConfig {
+        LifecycleConfig {
+            max_age,
+            min_hits,
+            min_confidence: 0.4,
+            kalman: KalmanConfig::default(),
+        }
+    }
+
+    #[test]
+    fn spawn_respects_confidence_floor() {
+        let mut m = TrackManager::new(cfg(5, 1));
+        assert!(m.spawn(&det(0, 0.0, 0.2), None).is_none());
+        assert!(m.spawn(&det(0, 0.0, 0.9), None).is_some());
+        assert_eq!(m.active.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let mut m = TrackManager::new(cfg(5, 1));
+        let a = m.spawn(&det(0, 0.0, 0.9), None).unwrap();
+        let b = m.spawn(&det(0, 100.0, 0.9), None).unwrap();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn unmatched_track_dies_after_max_age() {
+        let mut m = TrackManager::new(cfg(3, 1));
+        m.spawn(&det(0, 0.0, 0.9), None);
+        m.finalize_frame(); // spawned this frame → survives untouched
+        for _ in 0..3 {
+            m.predict_all();
+            m.finalize_frame();
+        }
+        assert_eq!(m.active.len(), 1, "at max_age misses the track still lives");
+        m.predict_all();
+        m.finalize_frame();
+        assert!(m.active.is_empty(), "beyond max_age the track must die");
+        let out = m.finish();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn min_hits_suppresses_short_tracks() {
+        let mut m = TrackManager::new(cfg(1, 3));
+        m.spawn(&det(0, 0.0, 0.9), None);
+        m.finalize_frame();
+        // Only one hit → suppressed at finish.
+        assert_eq!(m.finish().len(), 0);
+
+        let mut m = TrackManager::new(cfg(1, 3));
+        m.spawn(&det(0, 0.0, 0.9), None);
+        m.finalize_frame();
+        for f in 1..3 {
+            m.predict_all();
+            m.commit_match(0, &det(f, f as f64 * 2.0, 0.9), None, 0.9);
+            m.finalize_frame();
+        }
+        assert_eq!(m.finish().len(), 1);
+    }
+
+    #[test]
+    fn commit_match_resets_age_and_records_boxes() {
+        let mut m = TrackManager::new(cfg(5, 1));
+        m.spawn(&det(0, 0.0, 0.9), None);
+        m.finalize_frame();
+        m.predict_all();
+        m.finalize_frame(); // one miss
+        assert_eq!(m.active[0].time_since_update, 1);
+        m.predict_all();
+        m.commit_match(0, &det(2, 4.0, 0.8), None, 0.9);
+        m.finalize_frame();
+        assert_eq!(m.active[0].time_since_update, 0);
+        assert_eq!(m.active[0].n_boxes(), 2);
+        assert_eq!(m.active[0].hits, 2);
+    }
+
+    #[test]
+    fn feature_ema_updates() {
+        let mut m = TrackManager::new(cfg(5, 1));
+        let f0 = Feature::normalized(vec![1.0, 0.0]);
+        let f1 = Feature::normalized(vec![0.0, 1.0]);
+        m.spawn(&det(0, 0.0, 0.9), Some(f0.clone()));
+        m.finalize_frame();
+        m.predict_all();
+        m.commit_match(0, &det(1, 2.0, 0.9), Some(f1.clone()), 0.5);
+        let mixed = m.active[0].feature.clone().unwrap();
+        // Equal mix of orthogonal units, re-normalized → (√2/2, √2/2).
+        assert!((mixed.as_slice()[0] - mixed.as_slice()[1]).abs() < 1e-9);
+        assert!(mixed.cosine_similarity(&f0) > 0.5);
+        assert!(mixed.cosine_similarity(&f1) > 0.5);
+    }
+
+    #[test]
+    fn finish_drains_active_and_sorts_by_id() {
+        let mut m = TrackManager::new(cfg(5, 1));
+        m.spawn(&det(0, 0.0, 0.9), None);
+        m.spawn(&det(0, 200.0, 0.9), None);
+        m.finalize_frame();
+        let out = m.finish();
+        assert_eq!(out.len(), 2);
+        let ids: Vec<TrackId> = out.ids().collect();
+        assert_eq!(ids, vec![TrackId(1), TrackId(2)]);
+        // Manager is reusable-empty afterwards.
+        assert!(m.finish().is_empty());
+    }
+
+    #[test]
+    fn provenance_flows_into_track_boxes() {
+        let mut m = TrackManager::new(cfg(5, 1));
+        m.spawn(&det(0, 0.0, 0.9), None);
+        m.finalize_frame();
+        let out = m.finish();
+        let t = out.get(TrackId(1)).unwrap();
+        assert_eq!(t.boxes[0].provenance, Some(GtObjectId(1)));
+    }
+}

@@ -1,0 +1,227 @@
+//! A ByteTrack-style tracker (Zhang et al., 2022) — two-stage association.
+//!
+//! ByteTrack's insight: do not discard low-confidence detections. Stage 1
+//! associates high-confidence detections to tracks by IoU (Hungarian);
+//! stage 2 associates the *remaining* tracks to the low-confidence
+//! detections — often exactly the half-occluded objects other trackers
+//! miss, which is why ByteTrack fragments less through partial occlusions.
+//! Only unmatched high-confidence detections spawn new tracks.
+//!
+//! Published after the TMerge paper's comparison set; included here as an
+//! extension tracker for the fragmentation studies.
+
+use crate::assoc::iou_cost;
+use crate::hungarian::assign_with_threshold;
+use crate::lifecycle::{ActiveTrack, LifecycleConfig, TrackManager};
+use crate::trackers::Tracker;
+use tm_types::{Detection, FrameIdx, TrackSet};
+
+/// ByteTrack parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ByteTrackConfig {
+    /// Detections at or above this confidence enter stage 1.
+    pub high_conf: f64,
+    /// Detections at or above this (but below `high_conf`) enter stage 2.
+    pub low_conf: f64,
+    /// IoU gate of stage 1.
+    pub iou_min_high: f64,
+    /// IoU gate of stage 2 (stricter: low-confidence boxes are noisy).
+    pub iou_min_low: f64,
+    /// Lifecycle parameters.
+    pub lifecycle: LifecycleConfig,
+}
+
+impl Default for ByteTrackConfig {
+    fn default() -> Self {
+        Self {
+            high_conf: 0.6,
+            low_conf: 0.1,
+            iou_min_high: 0.3,
+            iou_min_low: 0.5,
+            lifecycle: LifecycleConfig {
+                max_age: 10,
+                min_hits: 3,
+                min_confidence: 0.6,
+                ..LifecycleConfig::default()
+            },
+        }
+    }
+}
+
+/// The ByteTrack-style tracker.
+#[derive(Debug, Clone)]
+pub struct ByteTrack {
+    config: ByteTrackConfig,
+    manager: TrackManager,
+}
+
+impl ByteTrack {
+    /// Creates a ByteTrack-style tracker.
+    pub fn new(config: ByteTrackConfig) -> Self {
+        Self {
+            manager: TrackManager::new(config.lifecycle),
+            config,
+        }
+    }
+
+    /// Hungarian IoU association of a detection subset against a track
+    /// subset; commits matches and returns which detections were used.
+    fn associate(
+        &mut self,
+        track_idxs: &[usize],
+        detections: &[Detection],
+        det_idxs: &[usize],
+        iou_min: f64,
+    ) -> (Vec<usize>, Vec<usize>) {
+        if track_idxs.is_empty() || det_idxs.is_empty() {
+            return (track_idxs.to_vec(), det_idxs.to_vec());
+        }
+        let sub_tracks: Vec<ActiveTrack> = track_idxs
+            .iter()
+            .map(|&i| self.manager.active[i].clone())
+            .collect();
+        let sub_dets: Vec<Detection> = det_idxs.iter().map(|&i| detections[i]).collect();
+        let cost = iou_cost(&sub_tracks, &sub_dets);
+        let mut track_used = vec![false; track_idxs.len()];
+        let mut det_used = vec![false; det_idxs.len()];
+        for (st, sd) in assign_with_threshold(&cost, 1.0 - iou_min) {
+            self.manager
+                .commit_match(track_idxs[st], &detections[det_idxs[sd]], None, 1.0);
+            track_used[st] = true;
+            det_used[sd] = true;
+        }
+        let free_tracks = track_idxs
+            .iter()
+            .zip(&track_used)
+            .filter(|(_, used)| !**used)
+            .map(|(&i, _)| i)
+            .collect();
+        let free_dets = det_idxs
+            .iter()
+            .zip(&det_used)
+            .filter(|(_, used)| !**used)
+            .map(|(&i, _)| i)
+            .collect();
+        (free_tracks, free_dets)
+    }
+}
+
+impl Tracker for ByteTrack {
+    fn name(&self) -> &'static str {
+        "ByteTrack"
+    }
+
+    fn step(&mut self, _frame: FrameIdx, detections: &[Detection]) {
+        self.manager.predict_all();
+        let high: Vec<usize> = (0..detections.len())
+            .filter(|&i| detections[i].confidence >= self.config.high_conf)
+            .collect();
+        let low: Vec<usize> = (0..detections.len())
+            .filter(|&i| {
+                detections[i].confidence >= self.config.low_conf
+                    && detections[i].confidence < self.config.high_conf
+            })
+            .collect();
+        let all_tracks: Vec<usize> = (0..self.manager.active.len()).collect();
+
+        // Stage 1: high-confidence detections vs all tracks.
+        let (free_tracks, free_high) =
+            self.associate(&all_tracks, detections, &high, self.config.iou_min_high);
+        // Stage 2: the leftover tracks try the low-confidence detections.
+        let (_, _) = self.associate(&free_tracks, detections, &low, self.config.iou_min_low);
+
+        // Only unmatched high-confidence detections start new tracks.
+        for di in free_high {
+            self.manager.spawn(&detections[di], None);
+        }
+        self.manager.finalize_frame();
+    }
+
+    fn finish(&mut self) -> TrackSet {
+        self.manager.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trackers::track_video;
+    use tm_types::{ids::classes, BBox, GtObjectId};
+
+    fn det_conf(frame: u64, x: f64, conf: f64) -> Detection {
+        Detection::of_actor(
+            FrameIdx(frame),
+            BBox::new(x, 100.0, 40.0, 80.0),
+            conf,
+            classes::PEDESTRIAN,
+            conf, // visibility tracks confidence in this toy input
+            GtObjectId(1),
+        )
+    }
+
+    #[test]
+    fn clean_video_single_track() {
+        let frames: Vec<Vec<Detection>> = (0..40)
+            .map(|f| vec![det_conf(f, 10.0 + 3.0 * f as f64, 0.9)])
+            .collect();
+        let mut t = ByteTrack::new(ByteTrackConfig::default());
+        let tracks = track_video(&mut t, &frames);
+        assert_eq!(tracks.len(), 1);
+        assert_eq!(tracks.iter().next().unwrap().len(), 40);
+    }
+
+    #[test]
+    fn low_confidence_stretch_is_bridged_by_stage_two() {
+        // Confidence collapses to 0.3 for 20 frames (a partial occlusion).
+        // SORT-style single-stage trackers with min_confidence 0.5 would
+        // lose the object and fragment; ByteTrack's stage 2 keeps it.
+        let frames: Vec<Vec<Detection>> = (0..60)
+            .map(|f| {
+                let conf = if (20..40).contains(&f) { 0.3 } else { 0.9 };
+                vec![det_conf(f, 10.0 + 3.0 * f as f64, conf)]
+            })
+            .collect();
+        let mut t = ByteTrack::new(ByteTrackConfig::default());
+        let tracks = track_video(&mut t, &frames);
+        assert_eq!(tracks.len(), 1, "stage 2 must bridge the low-conf stretch");
+        assert_eq!(tracks.iter().next().unwrap().len(), 60);
+    }
+
+    #[test]
+    fn low_confidence_detections_never_spawn() {
+        let frames: Vec<Vec<Detection>> = (0..30)
+            .map(|f| vec![det_conf(f, 10.0, 0.3)])
+            .collect();
+        let mut t = ByteTrack::new(ByteTrackConfig::default());
+        let tracks = track_video(&mut t, &frames);
+        assert!(tracks.is_empty(), "0.3-confidence boxes must not spawn tracks");
+    }
+
+    #[test]
+    fn full_gap_still_fragments() {
+        // Total detection loss beyond max_age still splits the track:
+        // ByteTrack reduces, not eliminates, fragmentation.
+        let frames: Vec<Vec<Detection>> = (0..80)
+            .map(|f| {
+                if (30..55).contains(&f) {
+                    vec![]
+                } else {
+                    vec![det_conf(f, 10.0 + 3.0 * f as f64, 0.9)]
+                }
+            })
+            .collect();
+        let mut t = ByteTrack::new(ByteTrackConfig::default());
+        let tracks = track_video(&mut t, &frames);
+        assert_eq!(tracks.len(), 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let frames: Vec<Vec<Detection>> = (0..30)
+            .map(|f| vec![det_conf(f, 10.0 + 3.0 * f as f64, 0.9)])
+            .collect();
+        let a = track_video(&mut ByteTrack::new(ByteTrackConfig::default()), &frames);
+        let b = track_video(&mut ByteTrack::new(ByteTrackConfig::default()), &frames);
+        assert_eq!(a, b);
+    }
+}

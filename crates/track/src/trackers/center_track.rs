@@ -1,0 +1,188 @@
+//! A CenterTrack-style point tracker (Zhou et al., 2020) surrogate.
+//!
+//! CenterTrack represents objects as centre points and associates a
+//! detection to the previous frame's object whose predicted centre (point +
+//! learned offset) is nearest, using a greedy match within a size-dependent
+//! radius. The learned offset head is surrogated by the Kalman velocity;
+//! the greedy nearest-centre association is the published one.
+
+use crate::lifecycle::{LifecycleConfig, TrackManager};
+use crate::trackers::Tracker;
+use tm_types::{Detection, FrameIdx, TrackSet};
+
+/// CenterTrack-surrogate parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CenterTrackLikeConfig {
+    /// Match radius as a multiple of the track box's geometric mean size
+    /// (`κ·√(w·h)`).
+    pub radius_factor: f64,
+    /// Lifecycle parameters.
+    pub lifecycle: LifecycleConfig,
+}
+
+impl Default for CenterTrackLikeConfig {
+    fn default() -> Self {
+        Self {
+            radius_factor: 0.8,
+            lifecycle: LifecycleConfig {
+                max_age: 5,
+                min_hits: 3,
+                min_confidence: 0.5,
+                ..LifecycleConfig::default()
+            },
+        }
+    }
+}
+
+/// The CenterTrack-style tracker.
+#[derive(Debug, Clone)]
+pub struct CenterTrackLike {
+    config: CenterTrackLikeConfig,
+    manager: TrackManager,
+}
+
+impl CenterTrackLike {
+    /// Creates a CenterTrack-style tracker.
+    pub fn new(config: CenterTrackLikeConfig) -> Self {
+        Self {
+            manager: TrackManager::new(config.lifecycle),
+            config,
+        }
+    }
+}
+
+impl Tracker for CenterTrackLike {
+    fn name(&self) -> &'static str {
+        "CenterTrack"
+    }
+
+    fn step(&mut self, _frame: FrameIdx, detections: &[Detection]) {
+        self.manager.predict_all();
+
+        // Greedy: detections in descending confidence claim the nearest
+        // unclaimed track centre within the radius (CenterTrack's greedy
+        // decode order).
+        let mut det_order: Vec<usize> = (0..detections.len()).collect();
+        det_order.sort_by(|&a, &b| {
+            detections[b]
+                .confidence
+                .partial_cmp(&detections[a].confidence)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut track_claimed = vec![false; self.manager.active.len()];
+        let mut pending: Vec<(usize, usize)> = Vec::new(); // (track, det)
+        let mut det_matched = vec![false; detections.len()];
+        for &di in &det_order {
+            let d = &detections[di];
+            let mut best: Option<(usize, f64)> = None;
+            for (ti, t) in self.manager.active.iter().enumerate() {
+                if track_claimed[ti] || t.class != d.class {
+                    continue;
+                }
+                let radius = self.config.radius_factor * t.predicted.area().sqrt();
+                let dist = t.predicted.center().distance(&d.bbox.center());
+                if dist <= radius && best.is_none_or(|(_, b)| dist < b) {
+                    best = Some((ti, dist));
+                }
+            }
+            if let Some((ti, _)) = best {
+                track_claimed[ti] = true;
+                det_matched[di] = true;
+                pending.push((ti, di));
+            }
+        }
+        for (ti, di) in pending {
+            self.manager.commit_match(ti, &detections[di], None, 1.0);
+        }
+        for (di, d) in detections.iter().enumerate() {
+            if !det_matched[di] {
+                self.manager.spawn(d, None);
+            }
+        }
+        self.manager.finalize_frame();
+    }
+
+    fn finish(&mut self) -> TrackSet {
+        self.manager.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trackers::track_video;
+    use tm_types::{ids::classes, BBox, GtObjectId};
+
+    fn det(frame: u64, x: f64, y: f64, actor: u64) -> Detection {
+        Detection::of_actor(
+            FrameIdx(frame),
+            BBox::new(x, y, 40.0, 80.0),
+            0.9,
+            classes::PEDESTRIAN,
+            1.0,
+            GtObjectId(actor),
+        )
+    }
+
+    #[test]
+    fn clean_video_yields_one_track_per_actor() {
+        let frames: Vec<Vec<Detection>> = (0..50u64)
+            .map(|f| {
+                vec![
+                    det(f, 10.0 + 3.0 * f as f64, 100.0, 1),
+                    det(f, 10.0 + 3.0 * f as f64, 500.0, 2),
+                ]
+            })
+            .collect();
+        let mut t = CenterTrackLike::new(CenterTrackLikeConfig::default());
+        let tracks = track_video(&mut t, &frames);
+        assert_eq!(tracks.len(), 2);
+        for tr in tracks.iter() {
+            assert_eq!(tr.len(), 50);
+        }
+    }
+
+    #[test]
+    fn gap_beyond_patience_fragments() {
+        let mut frames: Vec<Vec<Detection>> = Vec::new();
+        for f in 0..60u64 {
+            if (25..40).contains(&f) {
+                frames.push(vec![]);
+            } else {
+                frames.push(vec![det(f, 10.0 + 3.0 * f as f64, 100.0, 1)]);
+            }
+        }
+        let mut t = CenterTrackLike::new(CenterTrackLikeConfig::default());
+        let tracks = track_video(&mut t, &frames);
+        assert_eq!(tracks.len(), 2);
+    }
+
+    #[test]
+    fn distant_detection_does_not_match() {
+        // An actor teleporting far outside the radius becomes a new track.
+        let mut frames: Vec<Vec<Detection>> = (0..20u64)
+            .map(|f| vec![det(f, 10.0, 100.0, 1)])
+            .collect();
+        frames.extend((20..40u64).map(|f| vec![det(f, 800.0, 600.0, 1)]));
+        let mut t = CenterTrackLike::new(CenterTrackLikeConfig::default());
+        let tracks = track_video(&mut t, &frames);
+        assert_eq!(tracks.len(), 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let frames: Vec<Vec<Detection>> = (0..30u64)
+            .map(|f| vec![det(f, 10.0 + 3.0 * f as f64, 100.0, 1)])
+            .collect();
+        let a = track_video(
+            &mut CenterTrackLike::new(CenterTrackLikeConfig::default()),
+            &frames,
+        );
+        let b = track_video(
+            &mut CenterTrackLike::new(CenterTrackLikeConfig::default()),
+            &frames,
+        );
+        assert_eq!(a, b);
+    }
+}

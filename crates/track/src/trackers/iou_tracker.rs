@@ -1,0 +1,150 @@
+//! The plain IoU tracker (Bochinski et al., 2017) — the simplest published
+//! multi-object tracker: greedy frame-to-frame IoU association with no
+//! motion model at all.
+//!
+//! Included as the weakest reasonable baseline for the fragmentation
+//! studies: with zero coasting ability it fragments on every missed
+//! detection, which makes it a useful stress generator for TMerge.
+
+use crate::lifecycle::{LifecycleConfig, TrackManager};
+use crate::trackers::Tracker;
+use tm_types::{Detection, FrameIdx, TrackSet};
+
+/// IoU-tracker parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IouTrackerConfig {
+    /// Minimum IoU between a track's last box and a detection.
+    pub iou_min: f64,
+    /// Lifecycle parameters (`max_age` is typically 0–2: the original
+    /// algorithm terminates a track on the first miss).
+    pub lifecycle: LifecycleConfig,
+}
+
+impl Default for IouTrackerConfig {
+    fn default() -> Self {
+        Self {
+            iou_min: 0.4,
+            lifecycle: LifecycleConfig {
+                max_age: 1,
+                min_hits: 3,
+                min_confidence: 0.5,
+                ..LifecycleConfig::default()
+            },
+        }
+    }
+}
+
+/// The greedy IoU tracker.
+#[derive(Debug, Clone)]
+pub struct IouTracker {
+    config: IouTrackerConfig,
+    manager: TrackManager,
+}
+
+impl IouTracker {
+    /// Creates an IoU tracker.
+    pub fn new(config: IouTrackerConfig) -> Self {
+        Self {
+            manager: TrackManager::new(config.lifecycle),
+            config,
+        }
+    }
+}
+
+impl Tracker for IouTracker {
+    fn name(&self) -> &'static str {
+        "IoU"
+    }
+
+    fn step(&mut self, _frame: FrameIdx, detections: &[Detection]) {
+        // No motion model: "prediction" is the last committed box. The
+        // shared manager still advances the Kalman state, but association
+        // uses the raw predicted box which, with IoU-tracker noise
+        // settings, stays glued to the last observation; for fidelity we
+        // associate greedily per track in id order, as the original does.
+        self.manager.predict_all();
+        let mut det_claimed = vec![false; detections.len()];
+        let order: Vec<usize> = (0..self.manager.active.len()).collect();
+        for ti in order {
+            let t = &self.manager.active[ti];
+            let mut best: Option<(usize, f64)> = None;
+            for (di, d) in detections.iter().enumerate() {
+                if det_claimed[di] || d.class != t.class {
+                    continue;
+                }
+                let iou = t.predicted.iou(&d.bbox);
+                if iou >= self.config.iou_min && best.is_none_or(|(_, b)| iou > b) {
+                    best = Some((di, iou));
+                }
+            }
+            if let Some((di, _)) = best {
+                det_claimed[di] = true;
+                self.manager.commit_match(ti, &detections[di], None, 1.0);
+            }
+        }
+        for (di, d) in detections.iter().enumerate() {
+            if !det_claimed[di] {
+                self.manager.spawn(d, None);
+            }
+        }
+        self.manager.finalize_frame();
+    }
+
+    fn finish(&mut self) -> TrackSet {
+        self.manager.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trackers::track_video;
+    use tm_types::{ids::classes, BBox, GtObjectId};
+
+    fn det(frame: u64, x: f64, actor: u64) -> Detection {
+        Detection::of_actor(
+            FrameIdx(frame),
+            BBox::new(x, 100.0, 40.0, 80.0),
+            0.9,
+            classes::PEDESTRIAN,
+            1.0,
+            GtObjectId(actor),
+        )
+    }
+
+    #[test]
+    fn tracks_a_slow_object() {
+        let frames: Vec<Vec<Detection>> = (0..40)
+            .map(|f| vec![det(f, 10.0 + 2.0 * f as f64, 1)])
+            .collect();
+        let mut t = IouTracker::new(IouTrackerConfig::default());
+        let tracks = track_video(&mut t, &frames);
+        assert_eq!(tracks.len(), 1);
+    }
+
+    #[test]
+    fn fragments_on_a_two_frame_gap() {
+        let frames: Vec<Vec<Detection>> = (0..40)
+            .map(|f| {
+                if (20..23).contains(&f) {
+                    vec![]
+                } else {
+                    vec![det(f, 10.0 + 2.0 * f as f64, 1)]
+                }
+            })
+            .collect();
+        let mut t = IouTracker::new(IouTrackerConfig::default());
+        let tracks = track_video(&mut t, &frames);
+        assert_eq!(tracks.len(), 2, "max_age 1 must split on a 3-frame gap");
+    }
+
+    #[test]
+    fn deterministic() {
+        let frames: Vec<Vec<Detection>> = (0..30)
+            .map(|f| vec![det(f, 10.0 + 2.0 * f as f64, 1)])
+            .collect();
+        let a = track_video(&mut IouTracker::new(IouTrackerConfig::default()), &frames);
+        let b = track_video(&mut IouTracker::new(IouTrackerConfig::default()), &frames);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,121 @@
+//! The tracker implementations and their shared interface.
+
+pub mod byte_track;
+pub mod center_track;
+pub mod deep_sort;
+pub mod iou_tracker;
+pub mod sort;
+pub mod tracktor;
+pub mod uma;
+
+pub use byte_track::{ByteTrack, ByteTrackConfig};
+pub use center_track::{CenterTrackLike, CenterTrackLikeConfig};
+pub use deep_sort::{DeepSort, DeepSortConfig};
+pub use iou_tracker::{IouTracker, IouTrackerConfig};
+pub use sort::{Sort, SortConfig};
+pub use tracktor::{TracktorLike, TracktorLikeConfig};
+pub use uma::{UmaLike, UmaLikeConfig};
+
+use tm_reid::AppearanceModel;
+use tm_types::{Detection, FrameIdx, TrackSet};
+
+/// An online multi-object tracker.
+///
+/// Call [`Tracker::step`] once per frame in order, then [`Tracker::finish`]
+/// to obtain the full track set. The [`track_video`] helper does exactly
+/// that.
+pub trait Tracker {
+    /// Human-readable tracker name (used by the experiment harness).
+    fn name(&self) -> &'static str;
+
+    /// Processes one frame's detections.
+    fn step(&mut self, frame: FrameIdx, detections: &[Detection]);
+
+    /// Flushes all state and returns every track produced.
+    fn finish(&mut self) -> TrackSet;
+}
+
+/// Runs a tracker over a whole video (one detection list per frame).
+pub fn track_video<T: Tracker + ?Sized>(
+    tracker: &mut T,
+    detection_frames: &[Vec<Detection>],
+) -> TrackSet {
+    for (f, dets) in detection_frames.iter().enumerate() {
+        tracker.step(FrameIdx(f as u64), dets);
+    }
+    tracker.finish()
+}
+
+/// The tracking algorithms available for experiments (§V-A / §V-G of the
+/// paper evaluates SORT, DeepSORT, Tracktor, UMA and CenterTrack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrackerKind {
+    /// SORT [3]: Kalman + IoU Hungarian, short patience.
+    Sort,
+    /// DeepSORT [4]: adds appearance association and longer patience.
+    DeepSort,
+    /// Tracktor [5] surrogate: regression-style greedy propagation
+    /// (part-to-whole strategy); the paper's best performer.
+    Tracktor,
+    /// CenterTrack [32] surrogate: point-offset greedy association.
+    CenterTrack,
+    /// UMA [31] surrogate: unified motion + affinity Hungarian.
+    Uma,
+    /// ByteTrack [extension]: two-stage association that also uses
+    /// low-confidence detections (published after the paper's comparison).
+    ByteTrack,
+    /// Plain greedy IoU tracker [extension]: the weakest baseline, with no
+    /// motion model and near-zero patience.
+    Iou,
+}
+
+impl TrackerKind {
+    /// The kinds the paper's experiments compare, in its order.
+    pub const ALL: [TrackerKind; 5] = [
+        TrackerKind::Tracktor,
+        TrackerKind::DeepSort,
+        TrackerKind::Uma,
+        TrackerKind::Sort,
+        TrackerKind::CenterTrack,
+    ];
+
+    /// Every tracker including the extension kinds.
+    pub const EXTENDED: [TrackerKind; 7] = [
+        TrackerKind::Tracktor,
+        TrackerKind::DeepSort,
+        TrackerKind::Uma,
+        TrackerKind::Sort,
+        TrackerKind::CenterTrack,
+        TrackerKind::ByteTrack,
+        TrackerKind::Iou,
+    ];
+
+    /// Instantiates the tracker with its default configuration.
+    /// Appearance-based trackers borrow the ReID model.
+    pub fn build<'m>(self, model: &'m AppearanceModel) -> Box<dyn Tracker + 'm> {
+        match self {
+            TrackerKind::Sort => Box::new(Sort::new(SortConfig::default())),
+            TrackerKind::DeepSort => Box::new(DeepSort::new(DeepSortConfig::default(), model)),
+            TrackerKind::Tracktor => Box::new(TracktorLike::new(TracktorLikeConfig::default())),
+            TrackerKind::CenterTrack => {
+                Box::new(CenterTrackLike::new(CenterTrackLikeConfig::default()))
+            }
+            TrackerKind::Uma => Box::new(UmaLike::new(UmaLikeConfig::default(), model)),
+            TrackerKind::ByteTrack => Box::new(ByteTrack::new(ByteTrackConfig::default())),
+            TrackerKind::Iou => Box::new(IouTracker::new(IouTrackerConfig::default())),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrackerKind::Sort => "SORT",
+            TrackerKind::DeepSort => "DeepSORT",
+            TrackerKind::Tracktor => "Tracktor",
+            TrackerKind::CenterTrack => "CenterTrack",
+            TrackerKind::Uma => "UMA",
+            TrackerKind::ByteTrack => "ByteTrack",
+            TrackerKind::Iou => "IoU",
+        }
+    }
+}

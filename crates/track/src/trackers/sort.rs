@@ -1,0 +1,208 @@
+//! SORT — Simple Online and Realtime Tracking (Bewley et al., 2016).
+//!
+//! The published association logic, implemented faithfully: Kalman
+//! prediction, Hungarian assignment on an IoU cost with a hard IoU gate,
+//! immediate spawning of unmatched detections, and a short `max_age`
+//! patience. SORT's short patience makes it the most fragmentation-prone
+//! tracker in this crate — useful for stress-testing TMerge.
+
+use crate::assoc::iou_cost;
+use crate::hungarian::assign_with_threshold;
+use crate::lifecycle::{LifecycleConfig, TrackManager};
+use crate::trackers::Tracker;
+use tm_types::{Detection, FrameIdx, TrackSet};
+
+/// SORT parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SortConfig {
+    /// Reject matches with IoU below this gate.
+    pub iou_min: f64,
+    /// Lifecycle parameters (patience, confirmation, confidence floor).
+    pub lifecycle: LifecycleConfig,
+}
+
+impl Default for SortConfig {
+    fn default() -> Self {
+        Self {
+            iou_min: 0.3,
+            lifecycle: LifecycleConfig {
+                max_age: 3,
+                min_hits: 3,
+                min_confidence: 0.5,
+                ..LifecycleConfig::default()
+            },
+        }
+    }
+}
+
+/// The SORT tracker.
+#[derive(Debug, Clone)]
+pub struct Sort {
+    config: SortConfig,
+    manager: TrackManager,
+}
+
+impl Sort {
+    /// Creates a SORT tracker.
+    pub fn new(config: SortConfig) -> Self {
+        Self {
+            manager: TrackManager::new(config.lifecycle),
+            config,
+        }
+    }
+}
+
+impl Tracker for Sort {
+    fn name(&self) -> &'static str {
+        "SORT"
+    }
+
+    fn step(&mut self, _frame: FrameIdx, detections: &[Detection]) {
+        self.manager.predict_all();
+        let cost = iou_cost(&self.manager.active, detections);
+        let matches = assign_with_threshold(&cost, 1.0 - self.config.iou_min);
+        let mut det_matched = vec![false; detections.len()];
+        for (ti, di) in matches {
+            self.manager.commit_match(ti, &detections[di], None, 1.0);
+            det_matched[di] = true;
+        }
+        for (di, d) in detections.iter().enumerate() {
+            if !det_matched[di] {
+                self.manager.spawn(d, None);
+            }
+        }
+        self.manager.finalize_frame();
+    }
+
+    fn finish(&mut self) -> TrackSet {
+        self.manager.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trackers::track_video;
+    use tm_types::{ids::classes, BBox, GtObjectId, TrackId};
+
+    fn det(frame: u64, x: f64, y: f64, actor: u64) -> Detection {
+        Detection::of_actor(
+            FrameIdx(frame),
+            BBox::new(x, y, 40.0, 80.0),
+            0.9,
+            classes::PEDESTRIAN,
+            1.0,
+            GtObjectId(actor),
+        )
+    }
+
+    /// Two well-separated actors moving linearly, fully detected.
+    fn clean_two_actor_video(n: u64) -> Vec<Vec<Detection>> {
+        (0..n)
+            .map(|f| {
+                vec![
+                    det(f, 10.0 + 3.0 * f as f64, 100.0, 1),
+                    det(f, 10.0 + 3.0 * f as f64, 500.0, 2),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_video_yields_one_track_per_actor() {
+        let mut sort = Sort::new(SortConfig::default());
+        let tracks = track_video(&mut sort, &clean_two_actor_video(50));
+        assert_eq!(tracks.len(), 2);
+        for t in tracks.iter() {
+            assert_eq!(t.len(), 50);
+            // Pure tracks: one actor each.
+            let (actor, votes) = t.majority_actor().unwrap();
+            assert_eq!(votes, 50, "track mixed actors");
+            assert!(actor == GtObjectId(1) || actor == GtObjectId(2));
+        }
+    }
+
+    #[test]
+    fn detection_gap_beyond_max_age_fragments_track() {
+        // One actor, detections vanish for 10 frames (>> max_age = 3).
+        let mut frames: Vec<Vec<Detection>> = Vec::new();
+        for f in 0..60u64 {
+            if (25..35).contains(&f) {
+                frames.push(vec![]);
+            } else {
+                frames.push(vec![det(f, 10.0 + 3.0 * f as f64, 100.0, 1)]);
+            }
+        }
+        let mut sort = Sort::new(SortConfig::default());
+        let tracks = track_video(&mut sort, &frames);
+        assert_eq!(tracks.len(), 2, "occlusion gap must split the track");
+        // Both fragments belong to the same GT actor → polyonymous pair.
+        for t in tracks.iter() {
+            assert_eq!(t.majority_actor().unwrap().0, GtObjectId(1));
+        }
+    }
+
+    #[test]
+    fn short_gap_within_max_age_is_bridged() {
+        let mut frames: Vec<Vec<Detection>> = Vec::new();
+        for f in 0..40u64 {
+            if (20..22).contains(&f) {
+                frames.push(vec![]);
+            } else {
+                frames.push(vec![det(f, 10.0 + 3.0 * f as f64, 100.0, 1)]);
+            }
+        }
+        let mut sort = Sort::new(SortConfig::default());
+        let tracks = track_video(&mut sort, &frames);
+        assert_eq!(tracks.len(), 1, "a 2-frame gap must be coasted over");
+    }
+
+    #[test]
+    fn low_confidence_detections_do_not_spawn() {
+        let mut frames = clean_two_actor_video(20);
+        // A persistent low-confidence false positive.
+        for (f, dets) in frames.iter_mut().enumerate() {
+            dets.push(Detection::false_positive(
+                FrameIdx(f as u64),
+                BBox::new(700.0, 700.0, 30.0, 30.0),
+                0.3,
+                classes::PEDESTRIAN,
+            ));
+        }
+        let mut sort = Sort::new(SortConfig::default());
+        let tracks = track_video(&mut sort, &frames);
+        assert_eq!(tracks.len(), 2);
+    }
+
+    #[test]
+    fn crossing_actors_keep_distinct_ids_mostly() {
+        // Two actors crossing paths; SORT may swap but must keep 2 tracks.
+        let frames: Vec<Vec<Detection>> = (0..60u64)
+            .map(|f| {
+                vec![
+                    det(f, 10.0 + 5.0 * f as f64, 100.0, 1),
+                    det(f, 310.0 - 5.0 * f as f64, 110.0, 2),
+                ]
+            })
+            .collect();
+        let mut sort = Sort::new(SortConfig::default());
+        let tracks = track_video(&mut sort, &frames);
+        assert!(tracks.len() >= 2, "got {} tracks", tracks.len());
+        assert_eq!(tracks.iter().map(|t| t.len()).sum::<usize>(), 120);
+    }
+
+    #[test]
+    fn tracker_is_deterministic() {
+        let frames = clean_two_actor_video(30);
+        let a = track_video(&mut Sort::new(SortConfig::default()), &frames);
+        let b = track_video(&mut Sort::new(SortConfig::default()), &frames);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ids_start_at_one(){
+        let frames = clean_two_actor_video(10);
+        let tracks = track_video(&mut Sort::new(SortConfig::default()), &frames);
+        assert!(tracks.get(TrackId(1)).is_some());
+    }
+}

@@ -1,0 +1,213 @@
+//! A Tracktor-style regression tracker (Bergmann et al., 2019) surrogate.
+//!
+//! Tracktor has no explicit data association: each track carries its own
+//! box forward by *regressing* it onto the object in the new frame, using
+//! the detector's regression head, and claims the detection it lands on.
+//! Without a CNN the regression is surrogated by the track's own motion
+//! extrapolation followed by a greedy claim of the best-overlapping
+//! detection (the part-to-whole strategy: a partially visible object can
+//! still be claimed at a modest IoU). New tracks spawn only from detections
+//! that no existing track overlaps — Tracktor's "detections far from any
+//! active track" rule.
+//!
+//! With its long patience and greedy high-overlap claims this is the best
+//! fragmenter-avoider in the crate, mirroring the paper's finding that
+//! Tracktor produces the fewest polyonymous tracks.
+
+use crate::lifecycle::{LifecycleConfig, TrackManager};
+use crate::trackers::Tracker;
+use tm_types::{Detection, FrameIdx, TrackSet};
+
+/// Tracktor-surrogate parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracktorLikeConfig {
+    /// Minimum IoU between the regressed track box and a detection for the
+    /// track to claim it (`σ_active` in the Tracktor paper).
+    pub sigma_active: f64,
+    /// A new track spawns from a detection only when its IoU with every
+    /// active track is below this (`λ_new`).
+    pub lambda_new: f64,
+    /// Lifecycle parameters.
+    pub lifecycle: LifecycleConfig,
+}
+
+impl Default for TracktorLikeConfig {
+    fn default() -> Self {
+        Self {
+            sigma_active: 0.25,
+            lambda_new: 0.3,
+            lifecycle: LifecycleConfig {
+                max_age: 25,
+                min_hits: 3,
+                min_confidence: 0.5,
+                ..LifecycleConfig::default()
+            },
+        }
+    }
+}
+
+/// The Tracktor-style tracker.
+#[derive(Debug, Clone)]
+pub struct TracktorLike {
+    config: TracktorLikeConfig,
+    manager: TrackManager,
+}
+
+impl TracktorLike {
+    /// Creates a Tracktor-style tracker.
+    pub fn new(config: TracktorLikeConfig) -> Self {
+        Self {
+            manager: TrackManager::new(config.lifecycle),
+            config,
+        }
+    }
+}
+
+impl Tracker for TracktorLike {
+    fn name(&self) -> &'static str {
+        "Tracktor"
+    }
+
+    fn step(&mut self, _frame: FrameIdx, detections: &[Detection]) {
+        self.manager.predict_all();
+
+        // Greedy claims, highest-confidence tracks first (Tracktor processes
+        // its own detections in score order).
+        let mut order: Vec<usize> = (0..self.manager.active.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.manager.active[b]
+                .last_confidence
+                .partial_cmp(&self.manager.active[a].last_confidence)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(self.manager.active[a].id.cmp(&self.manager.active[b].id))
+        });
+        let mut det_claimed = vec![false; detections.len()];
+        for ti in order {
+            let t = &self.manager.active[ti];
+            let mut best: Option<(usize, f64)> = None;
+            for (di, d) in detections.iter().enumerate() {
+                if det_claimed[di] || d.class != t.class {
+                    continue;
+                }
+                let iou = t.predicted.iou(&d.bbox);
+                if iou >= self.config.sigma_active
+                    && best.is_none_or(|(_, b)| iou > b)
+                {
+                    best = Some((di, iou));
+                }
+            }
+            if let Some((di, _)) = best {
+                det_claimed[di] = true;
+                self.manager.commit_match(ti, &detections[di], None, 1.0);
+            }
+        }
+
+        // Spawn rule: a detection starts a new track only if it is far from
+        // every active track (claimed or not).
+        for (di, d) in detections.iter().enumerate() {
+            if det_claimed[di] {
+                continue;
+            }
+            let near_existing = self
+                .manager
+                .active
+                .iter()
+                .any(|t| t.predicted.iou(&d.bbox) >= self.config.lambda_new);
+            if !near_existing {
+                self.manager.spawn(d, None);
+            }
+        }
+        self.manager.finalize_frame();
+    }
+
+    fn finish(&mut self) -> TrackSet {
+        self.manager.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trackers::track_video;
+    use tm_types::{ids::classes, BBox, GtObjectId};
+
+    fn det(frame: u64, x: f64, y: f64, actor: u64) -> Detection {
+        Detection::of_actor(
+            FrameIdx(frame),
+            BBox::new(x, y, 40.0, 80.0),
+            0.9,
+            classes::PEDESTRIAN,
+            1.0,
+            GtObjectId(actor),
+        )
+    }
+
+    #[test]
+    fn clean_video_yields_one_track_per_actor() {
+        let frames: Vec<Vec<Detection>> = (0..50u64)
+            .map(|f| {
+                vec![
+                    det(f, 10.0 + 3.0 * f as f64, 100.0, 1),
+                    det(f, 10.0 + 3.0 * f as f64, 500.0, 2),
+                ]
+            })
+            .collect();
+        let mut t = TracktorLike::new(TracktorLikeConfig::default());
+        let tracks = track_video(&mut t, &frames);
+        assert_eq!(tracks.len(), 2);
+    }
+
+    #[test]
+    fn long_patience_bridges_wide_gaps() {
+        let mut frames: Vec<Vec<Detection>> = Vec::new();
+        for f in 0..80u64 {
+            if (30..50).contains(&f) {
+                frames.push(vec![]);
+            } else {
+                frames.push(vec![det(f, 10.0 + 3.0 * f as f64, 100.0, 1)]);
+            }
+        }
+        let mut t = TracktorLike::new(TracktorLikeConfig::default());
+        let tracks = track_video(&mut t, &frames);
+        assert_eq!(tracks.len(), 1, "20-frame gap within patience 25");
+    }
+
+    #[test]
+    fn fragments_beyond_patience() {
+        let mut frames: Vec<Vec<Detection>> = Vec::new();
+        for f in 0..120u64 {
+            if (30..70).contains(&f) {
+                frames.push(vec![]);
+            } else {
+                frames.push(vec![det(f, 10.0 + 3.0 * f as f64, 100.0, 1)]);
+            }
+        }
+        let mut t = TracktorLike::new(TracktorLikeConfig::default());
+        let tracks = track_video(&mut t, &frames);
+        assert_eq!(tracks.len(), 2);
+    }
+
+    #[test]
+    fn spawn_rule_suppresses_overlapping_detections() {
+        // Duplicate detections of the same object must not spawn twins.
+        let frames: Vec<Vec<Detection>> = (0..30u64)
+            .map(|f| {
+                let x = 10.0 + 3.0 * f as f64;
+                vec![det(f, x, 100.0, 1), det(f, x + 5.0, 102.0, 1)]
+            })
+            .collect();
+        let mut t = TracktorLike::new(TracktorLikeConfig::default());
+        let tracks = track_video(&mut t, &frames);
+        assert_eq!(tracks.len(), 1, "near-duplicate detections spawned twins");
+    }
+
+    #[test]
+    fn deterministic() {
+        let frames: Vec<Vec<Detection>> = (0..30u64)
+            .map(|f| vec![det(f, 10.0 + 3.0 * f as f64, 100.0, 1)])
+            .collect();
+        let a = track_video(&mut TracktorLike::new(TracktorLikeConfig::default()), &frames);
+        let b = track_video(&mut TracktorLike::new(TracktorLikeConfig::default()), &frames);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,207 @@
+//! A UMA-style tracker (Yin et al., 2020) surrogate.
+//!
+//! UMA learns a *Unified Motion and Affinity* model: a single cost that
+//! blends motion consistency with appearance affinity, solved as a global
+//! assignment. The published paper does not specify its internals at the
+//! level SORT/DeepSORT do, so this is explicitly a surrogate (DESIGN.md §1):
+//! a Kalman-gated Mahalanobis motion cost combined with ReID appearance
+//! affinity under one Hungarian assignment.
+
+use crate::assoc::appearance_cost;
+use crate::hungarian::{assign_with_threshold, FORBIDDEN};
+use crate::lifecycle::{LifecycleConfig, TrackManager};
+use crate::trackers::Tracker;
+use tm_reid::{AppearanceModel, Feature};
+use tm_types::{Detection, FrameIdx, TrackSet};
+
+/// UMA-surrogate parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UmaLikeConfig {
+    /// Weight of the motion term (the rest is appearance).
+    pub lambda_motion: f64,
+    /// Gating threshold on the normalized Mahalanobis centre distance;
+    /// larger distances are forbidden.
+    pub motion_gate: f64,
+    /// Reject matches whose combined cost exceeds this.
+    pub max_cost: f64,
+    /// EMA momentum of the appearance gallery.
+    pub feature_momentum: f64,
+    /// Lifecycle parameters.
+    pub lifecycle: LifecycleConfig,
+}
+
+impl Default for UmaLikeConfig {
+    fn default() -> Self {
+        Self {
+            lambda_motion: 0.5,
+            motion_gate: 50.0,
+            max_cost: 0.5,
+            feature_momentum: 0.85,
+            lifecycle: LifecycleConfig {
+                max_age: 8,
+                min_hits: 3,
+                min_confidence: 0.5,
+                ..LifecycleConfig::default()
+            },
+        }
+    }
+}
+
+/// The UMA-style tracker.
+#[derive(Debug, Clone)]
+pub struct UmaLike<'m> {
+    config: UmaLikeConfig,
+    manager: TrackManager,
+    model: &'m AppearanceModel,
+}
+
+impl<'m> UmaLike<'m> {
+    /// Creates a UMA-style tracker over the given appearance model.
+    pub fn new(config: UmaLikeConfig, model: &'m AppearanceModel) -> Self {
+        Self {
+            manager: TrackManager::new(config.lifecycle),
+            config,
+            model,
+        }
+    }
+}
+
+impl Tracker for UmaLike<'_> {
+    fn name(&self) -> &'static str {
+        "UMA"
+    }
+
+    fn step(&mut self, _frame: FrameIdx, detections: &[Detection]) {
+        self.manager.predict_all();
+        let det_features: Vec<Feature> = detections
+            .iter()
+            .map(|d| self.model.observe_detection(d))
+            .collect();
+
+        // Motion cost: gated Mahalanobis centre distance, normalized to the
+        // gate so it lands in [0, 1].
+        let motion: Vec<Vec<f64>> = self
+            .manager
+            .active
+            .iter()
+            .map(|t| {
+                detections
+                    .iter()
+                    .map(|d| {
+                        if t.class != d.class {
+                            return FORBIDDEN;
+                        }
+                        let g = t.kf.center_gate_distance(&d.bbox);
+                        if g > self.config.motion_gate {
+                            FORBIDDEN
+                        } else {
+                            g / self.config.motion_gate
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let appearance = appearance_cost(&self.manager.active, detections, &det_features);
+        let cost = crate::assoc::combined_cost(&motion, &appearance, self.config.lambda_motion);
+
+        let mut det_matched = vec![false; detections.len()];
+        for (ti, di) in assign_with_threshold(&cost, self.config.max_cost) {
+            self.manager.commit_match(
+                ti,
+                &detections[di],
+                Some(det_features[di].clone()),
+                self.config.feature_momentum,
+            );
+            det_matched[di] = true;
+        }
+        for (di, d) in detections.iter().enumerate() {
+            if !det_matched[di] {
+                self.manager.spawn(d, Some(det_features[di].clone()));
+            }
+        }
+        self.manager.finalize_frame();
+    }
+
+    fn finish(&mut self) -> TrackSet {
+        self.manager.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trackers::track_video;
+    use tm_reid::AppearanceConfig;
+    use tm_types::{ids::classes, BBox, GtObjectId};
+
+    fn model() -> AppearanceModel {
+        AppearanceModel::new(AppearanceConfig::default())
+    }
+
+    fn det(frame: u64, x: f64, y: f64, actor: u64) -> Detection {
+        Detection::of_actor(
+            FrameIdx(frame),
+            BBox::new(x, y, 40.0, 80.0),
+            0.9,
+            classes::PEDESTRIAN,
+            1.0,
+            GtObjectId(actor),
+        )
+    }
+
+    #[test]
+    fn clean_video_yields_one_track_per_actor() {
+        let m = model();
+        let frames: Vec<Vec<Detection>> = (0..50u64)
+            .map(|f| {
+                vec![
+                    det(f, 10.0 + 3.0 * f as f64, 100.0, 1),
+                    det(f, 10.0 + 3.0 * f as f64, 500.0, 2),
+                ]
+            })
+            .collect();
+        let mut t = UmaLike::new(UmaLikeConfig::default(), &m);
+        let tracks = track_video(&mut t, &frames);
+        assert_eq!(tracks.len(), 2);
+    }
+
+    #[test]
+    fn fragments_beyond_patience() {
+        let m = model();
+        let mut frames: Vec<Vec<Detection>> = Vec::new();
+        for f in 0..80u64 {
+            if (30..55).contains(&f) {
+                frames.push(vec![]);
+            } else {
+                frames.push(vec![det(f, 10.0 + 3.0 * f as f64, 100.0, 1)]);
+            }
+        }
+        let mut t = UmaLike::new(UmaLikeConfig::default(), &m);
+        let tracks = track_video(&mut t, &frames);
+        assert_eq!(tracks.len(), 2);
+    }
+
+    #[test]
+    fn motion_gate_prevents_teleport_matches() {
+        let m = model();
+        let mut frames: Vec<Vec<Detection>> = (0..20u64)
+            .map(|f| vec![det(f, 10.0, 100.0, 1)])
+            .collect();
+        // Same actor suddenly at the other end of the scene.
+        frames.extend((20..40u64).map(|f| vec![det(f, 900.0, 700.0, 1)]));
+        let mut t = UmaLike::new(UmaLikeConfig::default(), &m);
+        let tracks = track_video(&mut t, &frames);
+        assert_eq!(tracks.len(), 2, "teleport must break the motion gate");
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = model();
+        let frames: Vec<Vec<Detection>> = (0..30u64)
+            .map(|f| vec![det(f, 10.0 + 3.0 * f as f64, 100.0, 1)])
+            .collect();
+        let a = track_video(&mut UmaLike::new(UmaLikeConfig::default(), &m), &frames);
+        let b = track_video(&mut UmaLike::new(UmaLikeConfig::default(), &m), &frames);
+        assert_eq!(a, b);
+    }
+}

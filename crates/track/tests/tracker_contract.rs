@@ -1,0 +1,131 @@
+//! Contract tests every tracker must satisfy, run against all five
+//! implementations through the `Tracker` trait.
+
+use tm_reid::{AppearanceConfig, AppearanceModel};
+use tm_track::{track_video, TrackerKind};
+use tm_types::{ids::classes, BBox, Detection, FrameIdx, GtObjectId, TrackSet};
+
+fn det(frame: u64, x: f64, y: f64, actor: u64) -> Detection {
+    Detection::of_actor(
+        FrameIdx(frame),
+        BBox::new(x, y, 40.0, 80.0),
+        0.9,
+        classes::PEDESTRIAN,
+        1.0,
+        GtObjectId(actor),
+    )
+}
+
+fn clean_video(n: u64) -> Vec<Vec<Detection>> {
+    (0..n)
+        .map(|f| {
+            vec![
+                det(f, 10.0 + 3.0 * f as f64, 100.0, 1),
+                det(f, 900.0 - 3.0 * f as f64, 400.0, 2),
+            ]
+        })
+        .collect()
+}
+
+fn run(kind: TrackerKind, frames: &[Vec<Detection>]) -> TrackSet {
+    let model = AppearanceModel::new(AppearanceConfig::default());
+    let mut t = kind.build(&model);
+    track_video(t.as_mut(), frames)
+}
+
+#[test]
+fn empty_video_yields_empty_tracks() {
+    for kind in TrackerKind::EXTENDED {
+        let tracks = run(kind, &[]);
+        assert!(tracks.is_empty(), "{}", kind.name());
+    }
+}
+
+#[test]
+fn all_empty_frames_yield_empty_tracks() {
+    let frames: Vec<Vec<Detection>> = vec![vec![]; 50];
+    for kind in TrackerKind::EXTENDED {
+        let tracks = run(kind, &frames);
+        assert!(tracks.is_empty(), "{}", kind.name());
+    }
+}
+
+#[test]
+fn clean_video_one_track_per_actor_for_every_tracker() {
+    let frames = clean_video(60);
+    for kind in TrackerKind::EXTENDED {
+        let tracks = run(kind, &frames);
+        assert_eq!(tracks.len(), 2, "{}", kind.name());
+        for t in tracks.iter() {
+            let (_, votes) = t.majority_actor().expect("attributed");
+            assert_eq!(votes, t.len(), "{} produced a mixed track", kind.name());
+        }
+    }
+}
+
+#[test]
+fn every_tracker_is_deterministic() {
+    let frames = clean_video(40);
+    for kind in TrackerKind::EXTENDED {
+        assert_eq!(run(kind, &frames), run(kind, &frames), "{}", kind.name());
+    }
+}
+
+#[test]
+fn every_committed_box_comes_from_a_detection() {
+    // Trackers must not invent boxes: each track box equals some detection
+    // box of that frame.
+    let frames = clean_video(40);
+    for kind in TrackerKind::EXTENDED {
+        let tracks = run(kind, &frames);
+        for t in tracks.iter() {
+            for b in &t.boxes {
+                let frame_dets = &frames[b.frame.get() as usize];
+                assert!(
+                    frame_dets.iter().any(|d| d.bbox == b.bbox),
+                    "{} committed a box not among frame {} detections",
+                    kind.name(),
+                    b.frame
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn finish_is_drain_and_repeatable() {
+    let model = AppearanceModel::new(AppearanceConfig::default());
+    let frames = clean_video(30);
+    for kind in TrackerKind::EXTENDED {
+        let mut t = kind.build(&model);
+        let first = track_video(t.as_mut(), &frames);
+        assert!(!first.is_empty(), "{}", kind.name());
+        // A second finish on the drained tracker yields nothing.
+        let second = t.finish();
+        assert!(second.is_empty(), "{} finish() is not a drain", kind.name());
+    }
+}
+
+#[test]
+fn track_ids_are_unique_per_run() {
+    let frames = clean_video(60);
+    for kind in TrackerKind::EXTENDED {
+        let tracks = run(kind, &frames);
+        let mut ids: Vec<_> = tracks.ids().collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "{} reused an id", kind.name());
+    }
+}
+
+#[test]
+fn single_frame_video() {
+    // min_hits filtering means one detection never confirms a track; the
+    // contract is simply "no panic, no garbage".
+    let frames = vec![vec![det(0, 10.0, 100.0, 1)]];
+    for kind in TrackerKind::EXTENDED {
+        let tracks = run(kind, &frames);
+        assert!(tracks.len() <= 1, "{}", kind.name());
+    }
+}

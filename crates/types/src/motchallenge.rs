@@ -1,0 +1,188 @@
+//! MOTChallenge text-format interop.
+//!
+//! The MOT-16/17/20 benchmarks exchange tracking results as CSV lines
+//!
+//! ```text
+//! <frame>,<id>,<bb_left>,<bb_top>,<bb_width>,<bb_height>,<conf>,<x>,<y>,<z>
+//! ```
+//!
+//! with 1-based frames and `-1` in the unused trailing fields. This module
+//! parses and writes that format, so tracker output produced by real
+//! MOT-17 pipelines (or this repository's own trackers) can round-trip
+//! through files and be fed to TMerge.
+//!
+//! Parsing is tolerant of the common variations: ground-truth files carry
+//! `<conf>,<class>,<visibility>` in the trailing columns (the visibility is
+//! preserved into [`crate::TrackBox::visibility`]), comment lines starting
+//! with `#` are skipped, and both comma and space separators are accepted.
+
+use crate::{BBox, ClassId, FrameIdx, Result, TmError, Track, TrackBox, TrackId, TrackSet};
+use std::collections::BTreeMap;
+
+/// Parses MOTChallenge-format text into a [`TrackSet`].
+///
+/// `class` is assigned to every track (the det/result format does not
+/// carry a class; GT files carry one but benchmarks filter to pedestrians
+/// before evaluation anyway).
+pub fn parse_motchallenge(text: &str, class: ClassId) -> Result<TrackSet> {
+    let mut per_track: BTreeMap<TrackId, Track> = BTreeMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = if line.contains(',') {
+            line.split(',').map(str::trim).collect()
+        } else {
+            line.split_whitespace().collect()
+        };
+        if fields.len() < 6 {
+            return Err(TmError::invalid(
+                "motchallenge",
+                format!("line {}: expected ≥6 fields, got {}", lineno + 1, fields.len()),
+            ));
+        }
+        let num = |i: usize| -> Result<f64> {
+            fields[i].parse::<f64>().map_err(|_| {
+                TmError::invalid(
+                    "motchallenge",
+                    format!("line {}: field {} (`{}`) is not a number", lineno + 1, i + 1, fields[i]),
+                )
+            })
+        };
+        let frame = num(0)?;
+        if frame < 1.0 {
+            return Err(TmError::invalid(
+                "motchallenge",
+                format!("line {}: frames are 1-based", lineno + 1),
+            ));
+        }
+        let id = num(1)?;
+        let (x, y, w, h) = (num(2)?, num(3)?, num(4)?, num(5)?);
+        let conf = if fields.len() > 6 { num(6)? } else { 1.0 };
+        // GT layout: frame,id,x,y,w,h,conf/active,class,visibility.
+        let visibility = if fields.len() > 8 {
+            num(8)?.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let tid = TrackId(id as u64);
+        let tb = TrackBox::new(FrameIdx(frame as u64 - 1), BBox::new(x, y, w, h))
+            .with_confidence(conf.clamp(0.0, 1.0))
+            .with_visibility(visibility);
+        per_track
+            .entry(tid)
+            .or_insert_with(|| Track::new(tid, class))
+            .push(tb);
+    }
+    Ok(per_track.into_values().collect())
+}
+
+/// Writes a [`TrackSet`] as MOTChallenge result lines (1-based frames,
+/// `-1,-1,-1` world coordinates), sorted by frame then id — the order the
+/// benchmark devkit expects.
+pub fn write_motchallenge(tracks: &TrackSet) -> String {
+    let mut rows: Vec<(u64, u64, String)> = Vec::new();
+    for t in tracks.iter() {
+        for b in &t.boxes {
+            rows.push((
+                b.frame.get() + 1,
+                t.id.get(),
+                format!(
+                    "{},{},{:.2},{:.2},{:.2},{:.2},{:.2},-1,-1,-1",
+                    b.frame.get() + 1,
+                    t.id.get(),
+                    b.bbox.x,
+                    b.bbox.y,
+                    b.bbox.w,
+                    b.bbox.h,
+                    b.confidence
+                ),
+            ));
+        }
+    }
+    rows.sort();
+    let mut out = String::with_capacity(rows.len() * 48);
+    for (_, _, line) in rows {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::classes;
+
+    const SAMPLE: &str = "\
+1,1,912.0,484.0,97.0,109.0,0.9,-1,-1,-1
+2,1,912.0,484.0,97.0,109.0,0.8,-1,-1,-1
+1,2,100.0,200.0,50.0,120.0,0.7,-1,-1,-1
+";
+
+    #[test]
+    fn parses_result_format() {
+        let ts = parse_motchallenge(SAMPLE, classes::PEDESTRIAN).unwrap();
+        assert_eq!(ts.len(), 2);
+        let t1 = ts.get(TrackId(1)).unwrap();
+        assert_eq!(t1.len(), 2);
+        // Frames converted to 0-based.
+        assert_eq!(t1.first_frame(), Some(FrameIdx(0)));
+        assert_eq!(t1.boxes[0].bbox, BBox::new(912.0, 484.0, 97.0, 109.0));
+        assert!((t1.boxes[1].confidence - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_gt_format_with_visibility() {
+        let gt = "1,7,10,20,30,40,1,1,0.45\n";
+        let ts = parse_motchallenge(gt, classes::PEDESTRIAN).unwrap();
+        let t = ts.get(TrackId(7)).unwrap();
+        assert!((t.boxes[0].visibility - 0.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines_and_accepts_spaces() {
+        let text = "# header\n\n1 3 0 0 10 10 1.0\n";
+        let ts = parse_motchallenge(text, classes::PEDESTRIAN).unwrap();
+        assert_eq!(ts.len(), 1);
+        assert!(ts.get(TrackId(3)).is_some());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_motchallenge("1,2,3", classes::PEDESTRIAN).is_err());
+        assert!(parse_motchallenge("0,1,0,0,10,10,1", classes::PEDESTRIAN).is_err());
+        assert!(parse_motchallenge("1,x,0,0,10,10,1", classes::PEDESTRIAN).is_err());
+    }
+
+    #[test]
+    fn write_then_parse_round_trips() {
+        let original = parse_motchallenge(SAMPLE, classes::PEDESTRIAN).unwrap();
+        let text = write_motchallenge(&original);
+        let back = parse_motchallenge(&text, classes::PEDESTRIAN).unwrap();
+        assert_eq!(back.len(), original.len());
+        for t in original.iter() {
+            let rt = back.get(t.id).unwrap();
+            assert_eq!(rt.len(), t.len());
+            for (a, b) in t.boxes.iter().zip(&rt.boxes) {
+                assert_eq!(a.frame, b.frame);
+                assert!((a.bbox.x - b.bbox.x).abs() < 0.01);
+                assert!((a.bbox.w - b.bbox.w).abs() < 0.01);
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_frame_sorted() {
+        let ts = parse_motchallenge(SAMPLE, classes::PEDESTRIAN).unwrap();
+        let text = write_motchallenge(&ts);
+        let frames: Vec<u64> = text
+            .lines()
+            .map(|l| l.split(',').next().unwrap().parse().unwrap())
+            .collect();
+        let mut sorted = frames.clone();
+        sorted.sort();
+        assert_eq!(frames, sorted);
+    }
+}

@@ -1,0 +1,431 @@
+//! Tracks — sequences of boxes sharing a tracking identifier — and sets of
+//! tracks, the central data structure handed from trackers to TMerge and on
+//! to metrics and query processing.
+
+use crate::{BBox, ClassId, FrameIdx, GtObjectId, Point, Result, TmError, TrackId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One observation of a track in one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrackBox {
+    /// Frame of the observation.
+    pub frame: FrameIdx,
+    /// The box the tracker committed for this frame.
+    pub bbox: BBox,
+    /// Confidence of the underlying detection (1.0 for coasted/predicted
+    /// boxes some trackers emit).
+    pub confidence: f64,
+    /// Visibility of the underlying detection (see [`crate::Detection`]).
+    pub visibility: f64,
+    /// Simulation side-channel: GT actor behind the underlying detection.
+    pub provenance: Option<GtObjectId>,
+}
+
+impl TrackBox {
+    /// Creates a track box.
+    pub fn new(frame: FrameIdx, bbox: BBox) -> Self {
+        Self {
+            frame,
+            bbox,
+            confidence: 1.0,
+            visibility: 1.0,
+            provenance: None,
+        }
+    }
+
+    /// Attaches a provenance actor (builder style).
+    pub fn with_provenance(mut self, actor: GtObjectId) -> Self {
+        self.provenance = Some(actor);
+        self
+    }
+
+    /// Sets visibility (builder style).
+    pub fn with_visibility(mut self, v: f64) -> Self {
+        self.visibility = v.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets confidence (builder style).
+    pub fn with_confidence(mut self, c: f64) -> Self {
+        self.confidence = c.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// A track: the boxes a tracker assigned to one tracking identifier, in
+/// frame order.
+///
+/// The paper denotes a track `t_{c,k}` and its box sequence `B_{t_{c,k}}`
+/// (`Track::boxes` here). Boxes are kept sorted by frame; [`Track::push`]
+/// maintains the invariant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Track {
+    /// The tracking identifier (TID).
+    pub id: TrackId,
+    /// Object class the tracker committed for this track.
+    pub class: ClassId,
+    /// Observations in ascending frame order.
+    pub boxes: Vec<TrackBox>,
+}
+
+impl Track {
+    /// Creates an empty track.
+    pub fn new(id: TrackId, class: ClassId) -> Self {
+        Self {
+            id,
+            class,
+            boxes: Vec::new(),
+        }
+    }
+
+    /// Creates a track from pre-sorted boxes (sorted defensively).
+    pub fn with_boxes(id: TrackId, class: ClassId, mut boxes: Vec<TrackBox>) -> Self {
+        boxes.sort_by_key(|b| b.frame);
+        Self { id, class, boxes }
+    }
+
+    /// Appends an observation, keeping boxes sorted by frame.
+    pub fn push(&mut self, tb: TrackBox) {
+        match self.boxes.last() {
+            Some(last) if last.frame > tb.frame => {
+                let pos = self.boxes.partition_point(|b| b.frame <= tb.frame);
+                self.boxes.insert(pos, tb);
+            }
+            _ => self.boxes.push(tb),
+        }
+    }
+
+    /// Number of observations, `|t|` in the paper.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// True when the track has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// First observation.
+    pub fn first(&self) -> Option<&TrackBox> {
+        self.boxes.first()
+    }
+
+    /// Last observation.
+    pub fn last(&self) -> Option<&TrackBox> {
+        self.boxes.last()
+    }
+
+    /// First frame the track appears in.
+    pub fn first_frame(&self) -> Option<FrameIdx> {
+        self.first().map(|b| b.frame)
+    }
+
+    /// Last frame the track appears in.
+    pub fn last_frame(&self) -> Option<FrameIdx> {
+        self.last().map(|b| b.frame)
+    }
+
+    /// Temporal span in frames (inclusive): `last - first + 1`; 0 if empty.
+    pub fn span(&self) -> u64 {
+        match (self.first_frame(), self.last_frame()) {
+            (Some(a), Some(z)) => z.get() - a.get() + 1,
+            _ => 0,
+        }
+    }
+
+    /// The observation at exactly `frame`, if any (binary search).
+    pub fn box_at(&self, frame: FrameIdx) -> Option<&TrackBox> {
+        self.boxes
+            .binary_search_by_key(&frame, |b| b.frame)
+            .ok()
+            .map(|i| &self.boxes[i])
+    }
+
+    /// True when the track has an observation in `frame`.
+    pub fn present_at(&self, frame: FrameIdx) -> bool {
+        self.box_at(frame).is_some()
+    }
+
+    /// True when any observation falls inside `[start, end)` (frame range).
+    pub fn overlaps_range(&self, start: FrameIdx, end: FrameIdx) -> bool {
+        match (self.first_frame(), self.last_frame()) {
+            (Some(a), Some(z)) => a < end && z >= start,
+            _ => false,
+        }
+    }
+
+    /// Centre of the first box — used for the spatial distance `DisS`.
+    pub fn first_center(&self) -> Option<Point> {
+        self.first().map(|b| b.bbox.center())
+    }
+
+    /// Centre of the last box — used for the spatial distance `DisS`.
+    pub fn last_center(&self) -> Option<Point> {
+        self.last().map(|b| b.bbox.center())
+    }
+
+    /// The GT actor this track covers most, with the number of covered
+    /// boxes attributed to it. Boxes without provenance (false positives)
+    /// are ignored. Returns `None` when no box has provenance.
+    ///
+    /// This majority vote is the simulator-exact analogue of the manual
+    /// GT-correspondence labelling the paper performs with CLEAR-MOT
+    /// tooling [30].
+    pub fn majority_actor(&self) -> Option<(GtObjectId, usize)> {
+        let mut counts: HashMap<GtObjectId, usize> = HashMap::new();
+        for b in &self.boxes {
+            if let Some(g) = b.provenance {
+                *counts.entry(g).or_insert(0) += 1;
+            }
+        }
+        counts
+            .into_iter()
+            // Deterministic tie-break: highest count, then smallest id.
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+    }
+}
+
+/// An indexed collection of tracks, the unit handed between pipeline stages.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrackSet {
+    tracks: Vec<Track>,
+    #[serde(skip)]
+    index: HashMap<TrackId, usize>,
+}
+
+impl TrackSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from tracks; later duplicates of an id replace earlier
+    /// entries (the index always points at the surviving track).
+    pub fn from_tracks(tracks: Vec<Track>) -> Self {
+        let mut set = Self::new();
+        for t in tracks {
+            set.insert(t);
+        }
+        set
+    }
+
+    /// Inserts (or replaces) a track.
+    pub fn insert(&mut self, track: Track) {
+        match self.index.get(&track.id) {
+            Some(&i) => self.tracks[i] = track,
+            None => {
+                self.index.insert(track.id, self.tracks.len());
+                self.tracks.push(track);
+            }
+        }
+    }
+
+    /// Number of tracks.
+    pub fn len(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// True when the set holds no tracks.
+    pub fn is_empty(&self) -> bool {
+        self.tracks.is_empty()
+    }
+
+    /// Looks a track up by id.
+    pub fn get(&self, id: TrackId) -> Option<&Track> {
+        self.index.get(&id).map(|&i| &self.tracks[i])
+    }
+
+    /// Looks a track up by id, erroring when absent.
+    pub fn require(&self, id: TrackId) -> Result<&Track> {
+        self.get(id).ok_or(TmError::UnknownTrack(id))
+    }
+
+    /// Iterates tracks in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Track> {
+        self.tracks.iter()
+    }
+
+    /// All track ids in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = TrackId> + '_ {
+        self.tracks.iter().map(|t| t.id)
+    }
+
+    /// Tracks whose lifetime intersects the frame range `[start, end)`.
+    pub fn overlapping_range(
+        &self,
+        start: FrameIdx,
+        end: FrameIdx,
+    ) -> impl Iterator<Item = &Track> {
+        self.iter().filter(move |t| t.overlaps_range(start, end))
+    }
+
+    /// Total number of boxes across all tracks.
+    pub fn total_boxes(&self) -> usize {
+        self.tracks.iter().map(Track::len).sum()
+    }
+
+    /// Applies a track-id relabelling, concatenating tracks that map to the
+    /// same new id (their boxes are merged in frame order; the class of the
+    /// first contributing track wins). Ids absent from `mapping` keep their
+    /// original id.
+    ///
+    /// This is how accepted TMerge candidates are materialized into a
+    /// corrected track set.
+    pub fn relabeled(&self, mapping: &HashMap<TrackId, TrackId>) -> TrackSet {
+        let mut merged: HashMap<TrackId, Track> = HashMap::new();
+        let mut order: Vec<TrackId> = Vec::new();
+        for t in &self.tracks {
+            let new_id = *mapping.get(&t.id).unwrap_or(&t.id);
+            let entry = merged.entry(new_id).or_insert_with(|| {
+                order.push(new_id);
+                Track::new(new_id, t.class)
+            });
+            entry.boxes.extend(t.boxes.iter().copied());
+        }
+        let mut out = TrackSet::new();
+        for id in order {
+            let mut t = merged.remove(&id).expect("id recorded in order");
+            t.boxes.sort_by_key(|b| b.frame);
+            out.insert(t);
+        }
+        out
+    }
+
+    /// Consumes the set, returning the tracks in insertion order.
+    pub fn into_tracks(self) -> Vec<Track> {
+        self.tracks
+    }
+}
+
+impl FromIterator<Track> for TrackSet {
+    fn from_iter<I: IntoIterator<Item = Track>>(iter: I) -> Self {
+        Self::from_tracks(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tb(frame: u64, x: f64) -> TrackBox {
+        TrackBox::new(FrameIdx(frame), BBox::new(x, 0.0, 10.0, 10.0))
+    }
+
+    fn track(id: u64, frames: &[u64]) -> Track {
+        Track::with_boxes(
+            TrackId(id),
+            ClassId(1),
+            frames.iter().map(|&f| tb(f, f as f64)).collect(),
+        )
+    }
+
+    #[test]
+    fn push_keeps_frame_order() {
+        let mut t = Track::new(TrackId(1), ClassId(1));
+        t.push(tb(5, 0.0));
+        t.push(tb(2, 0.0));
+        t.push(tb(9, 0.0));
+        let frames: Vec<u64> = t.boxes.iter().map(|b| b.frame.get()).collect();
+        assert_eq!(frames, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn span_and_endpoints() {
+        let t = track(1, &[10, 12, 20]);
+        assert_eq!(t.first_frame(), Some(FrameIdx(10)));
+        assert_eq!(t.last_frame(), Some(FrameIdx(20)));
+        assert_eq!(t.span(), 11);
+        assert_eq!(Track::new(TrackId(2), ClassId(1)).span(), 0);
+    }
+
+    #[test]
+    fn box_at_uses_binary_search() {
+        let t = track(1, &[1, 3, 5, 7]);
+        assert!(t.box_at(FrameIdx(5)).is_some());
+        assert!(t.box_at(FrameIdx(4)).is_none());
+        assert!(t.present_at(FrameIdx(7)));
+    }
+
+    #[test]
+    fn overlaps_range_boundaries() {
+        let t = track(1, &[10, 20]);
+        assert!(t.overlaps_range(FrameIdx(0), FrameIdx(11)));
+        assert!(t.overlaps_range(FrameIdx(20), FrameIdx(21)));
+        assert!(!t.overlaps_range(FrameIdx(0), FrameIdx(10)));
+        assert!(!t.overlaps_range(FrameIdx(21), FrameIdx(30)));
+    }
+
+    #[test]
+    fn majority_actor_votes_and_breaks_ties_deterministically() {
+        let mut t = Track::new(TrackId(1), ClassId(1));
+        t.push(tb(0, 0.0).with_provenance(GtObjectId(7)));
+        t.push(tb(1, 0.0).with_provenance(GtObjectId(7)));
+        t.push(tb(2, 0.0).with_provenance(GtObjectId(9)));
+        t.push(tb(3, 0.0)); // false positive, ignored
+        assert_eq!(t.majority_actor(), Some((GtObjectId(7), 2)));
+
+        // Tie: smaller id wins.
+        let mut tie = Track::new(TrackId(2), ClassId(1));
+        tie.push(tb(0, 0.0).with_provenance(GtObjectId(9)));
+        tie.push(tb(1, 0.0).with_provenance(GtObjectId(3)));
+        assert_eq!(tie.majority_actor().unwrap().0, GtObjectId(3));
+    }
+
+    #[test]
+    fn majority_actor_none_for_pure_fp_track() {
+        let mut t = Track::new(TrackId(1), ClassId(1));
+        t.push(tb(0, 0.0));
+        assert_eq!(t.majority_actor(), None);
+    }
+
+    #[test]
+    fn trackset_insert_replaces_by_id() {
+        let mut s = TrackSet::new();
+        s.insert(track(1, &[0]));
+        s.insert(track(2, &[0, 1]));
+        s.insert(track(1, &[0, 1, 2]));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(TrackId(1)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn trackset_require_errors_on_missing() {
+        let s = TrackSet::new();
+        assert_eq!(
+            s.require(TrackId(4)).unwrap_err(),
+            TmError::UnknownTrack(TrackId(4))
+        );
+    }
+
+    #[test]
+    fn relabel_merges_and_sorts() {
+        let s = TrackSet::from_tracks(vec![track(1, &[0, 1]), track(2, &[5, 6]), track(3, &[3])]);
+        let mut map = HashMap::new();
+        map.insert(TrackId(2), TrackId(1));
+        map.insert(TrackId(3), TrackId(1));
+        let out = s.relabeled(&map);
+        assert_eq!(out.len(), 1);
+        let t = out.get(TrackId(1)).unwrap();
+        let frames: Vec<u64> = t.boxes.iter().map(|b| b.frame.get()).collect();
+        assert_eq!(frames, vec![0, 1, 3, 5, 6]);
+    }
+
+    #[test]
+    fn relabel_identity_preserves_everything() {
+        let s = TrackSet::from_tracks(vec![track(1, &[0]), track(2, &[4])]);
+        let out = s.relabeled(&HashMap::new());
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.total_boxes(), 2);
+    }
+
+    #[test]
+    fn overlapping_range_filters() {
+        let s = TrackSet::from_tracks(vec![track(1, &[0, 5]), track(2, &[100, 110])]);
+        let hits: Vec<TrackId> = s
+            .overlapping_range(FrameIdx(0), FrameIdx(50))
+            .map(|t| t.id)
+            .collect();
+        assert_eq!(hits, vec![TrackId(1)]);
+    }
+}

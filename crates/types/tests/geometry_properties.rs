@@ -1,0 +1,92 @@
+//! Property tests for the geometry layer.
+
+use proptest::prelude::*;
+use tm_types::{BBox, Point};
+
+fn bbox_strategy() -> impl Strategy<Value = BBox> {
+    (
+        -500.0f64..500.0,
+        -500.0f64..500.0,
+        0.0f64..300.0,
+        0.0f64..300.0,
+    )
+        .prop_map(|(x, y, w, h)| BBox::new(x, y, w, h))
+}
+
+proptest! {
+    #[test]
+    fn iou_is_symmetric_and_bounded(a in bbox_strategy(), b in bbox_strategy()) {
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab), "iou {ab}");
+    }
+
+    #[test]
+    fn iou_with_self_is_one_for_nonempty(a in bbox_strategy()) {
+        if a.area() > 0.0 {
+            prop_assert!((a.iou(&a) - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(a.iou(&a), 0.0);
+        }
+    }
+
+    #[test]
+    fn intersection_area_at_most_either_area(a in bbox_strategy(), b in bbox_strategy()) {
+        let inter = a.intersection_area(&b);
+        prop_assert!(inter <= a.area() + 1e-9);
+        prop_assert!(inter <= b.area() + 1e-9);
+        prop_assert!(inter >= 0.0);
+    }
+
+    #[test]
+    fn union_rect_contains_both(a in bbox_strategy(), b in bbox_strategy()) {
+        let u = a.union_rect(&b);
+        for bx in [&a, &b] {
+            prop_assert!(u.x <= bx.x + 1e-9);
+            prop_assert!(u.y <= bx.y + 1e-9);
+            prop_assert!(u.x2() >= bx.x2() - 1e-9);
+            prop_assert!(u.y2() >= bx.y2() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn coverage_is_bounded(a in bbox_strategy(), b in bbox_strategy()) {
+        let c = a.coverage_by(&b);
+        prop_assert!((0.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn clip_never_grows(a in bbox_strategy(), vp in bbox_strategy()) {
+        if let Some(c) = a.clip_to(&vp) {
+            prop_assert!(c.area() <= a.area() + 1e-9);
+            prop_assert!(c.area() <= vp.area() + 1e-9);
+            // The clipped box is inside both.
+            prop_assert!(c.x >= a.x - 1e-9 && c.x2() <= a.x2() + 1e-9);
+            prop_assert!(c.x >= vp.x - 1e-9 && c.x2() <= vp.x2() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cxcysr_round_trip(a in bbox_strategy()) {
+        prop_assume!(a.w > 0.1 && a.h > 0.1);
+        let back = BBox::from_cxcysr(a.to_cxcysr());
+        prop_assert!((back.x - a.x).abs() < 1e-6);
+        prop_assert!((back.y - a.y).abs() < 1e-6);
+        prop_assert!((back.w - a.w).abs() < 1e-6);
+        prop_assert!((back.h - a.h).abs() < 1e-6);
+    }
+
+    #[test]
+    fn point_distance_triangle_inequality(
+        ax in -100.0f64..100.0, ay in -100.0f64..100.0,
+        bx in -100.0f64..100.0, by in -100.0f64..100.0,
+        cx in -100.0f64..100.0, cy in -100.0f64..100.0,
+    ) {
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        let c = Point::new(cx, cy);
+        prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+        prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+    }
+}

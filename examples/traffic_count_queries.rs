@@ -1,0 +1,70 @@
+//! Declarative video queries over track metadata: how fragmentation breaks
+//! *Count* (congestion / loitering) and *Co-occurring Objects* queries, and
+//! how TMerge restores their recall (§V-H of the paper).
+//!
+//! ```sh
+//! cargo run --release --example traffic_count_queries
+//! ```
+
+use tmerge::prelude::*;
+use tmerge::query::{co_occurrence_query, count_query};
+
+fn main() {
+    // A crowded MOT-17-like scene tracked by Tracktor.
+    let spec = &mot17().videos[2];
+    let video = prepare(spec, TrackerKind::Tracktor);
+    let gt = &video.gt_tracks;
+    println!(
+        "{}: {} GT objects, tracker reported {} tracks",
+        video.name,
+        gt.len(),
+        video.tracks.len()
+    );
+
+    // Merge with TMerge (verified candidates, as the paper's deployment
+    // with human inspection would).
+    let model = video.model();
+    let corr = &video.correspondence;
+    let verifier = |p: &TrackPair| corr.is_polyonymous(p);
+    let report = run_pipeline(
+        &video.tracks,
+        video.n_frames,
+        &model,
+        &PipelineConfig::default(),
+        Some(&verifier),
+    )
+    .expect("valid pipeline configuration");
+    let merged = report.merged;
+    let merged_corr = Correspondence::from_tracks(&merged, 0.5);
+
+    // --- Query 1: Count objects visible for more than 200 frames. ---
+    let min_frames = 200;
+    let gt_hits = count_query(gt, min_frames).len();
+    let raw_hits = count_query(&video.tracks, min_frames).len();
+    let merged_hits = count_query(&merged, min_frames).len();
+    println!("\nCount(> {min_frames} frames):");
+    println!("  ground truth answer: {gt_hits} objects");
+    println!(
+        "  raw tracks:    {raw_hits} (recall {:.3})",
+        count_recall(&video.tracks, gt, min_frames, corr.as_map())
+    );
+    println!(
+        "  after TMerge:  {merged_hits} (recall {:.3})",
+        count_recall(&merged, gt, min_frames, merged_corr.as_map())
+    );
+
+    // --- Query 2: clips where the same 3 objects appear jointly > 50
+    //     frames. ---
+    let (k, min_len) = (3, 50);
+    let gt_groups = co_occurrence_query(gt, k, min_len).len();
+    println!("\nCoOccurrence({k} objects, > {min_len} frames):");
+    println!("  ground truth answer: {gt_groups} groups");
+    println!(
+        "  raw tracks recall:   {:.3}",
+        co_occurrence_recall(&video.tracks, gt, k, min_len, corr.as_map())
+    );
+    println!(
+        "  after TMerge recall: {:.3}",
+        co_occurrence_recall(&merged, gt, k, min_len, merged_corr.as_map())
+    );
+}

@@ -1,0 +1,89 @@
+//! # tmerge
+//!
+//! A complete Rust reproduction of **“Track Merging for Effective Video
+//! Query Processing”** (Chao, Chen, Koudas, Yu — ICDE 2023): the TMerge
+//! Thompson-sampling algorithm for identifying and merging *polyonymous
+//! tracks* (fragments of one object's trajectory carrying different
+//! tracking IDs), together with every substrate the paper's pipeline
+//! depends on — a world/video simulator, a detection simulator, five
+//! multi-object trackers, a ReID feature simulator with an explicit
+//! inference cost model, CLEAR-MOT / identity metrics, and a downstream
+//! video query engine.
+//!
+//! This crate is the umbrella: it re-exports each layer under a module
+//! named after its role. Depend on the individual `tm-*` crates instead if
+//! you only need one layer.
+//!
+//! ## The pipeline at a glance
+//!
+//! ```text
+//! tm-synth ──► tm-detect ──► tm-track ──► tm-core (TMerge) ──► tm-query
+//!  world        noisy         fragmented    merged              accurate
+//!  truth        detections    tracks        tracks              answers
+//!                    ╲            │            │
+//!                     ╰── tm-reid (appearance features + cost model)
+//!                              tm-metrics (REC, IDF1, MOTA, …)
+//! ```
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tmerge::prelude::*;
+//!
+//! // 1. A world with one pedestrian crossing behind a pillar.
+//! let mut scenario = Scenario::new(SceneConfig::new(1200.0, 800.0, 240), 7);
+//! scenario.push_actor(ActorSpec::new(
+//!     GtObjectId(0), classes::PEDESTRIAN, 40.0, 100.0,
+//!     FrameIdx(0), FrameIdx(240),
+//!     MotionModel::linear(Point::new(30.0, 400.0), 4.0, 0.0),
+//! ));
+//! scenario.push_occluder(Occluder::static_box(BBox::new(450.0, 250.0, 140.0, 350.0)));
+//! let gt = scenario.simulate();
+//!
+//! // 2. Detect and track: the occlusion fragments the track.
+//! let detections = Detector::new(DetectorConfig::default()).detect(&gt, 1);
+//! let model = AppearanceModel::new(AppearanceConfig::default());
+//! let mut tracker = Sort::new(SortConfig::default());
+//! let tracks = track_video(&mut tracker, &detections);
+//! assert!(tracks.len() > 1, "the pillar should split the track");
+//!
+//! // 3. TMerge repairs it.
+//! let report = run_pipeline(&tracks, 240, &model, &PipelineConfig::default(), None).unwrap();
+//! assert!(report.merged.len() < tracks.len());
+//! ```
+
+pub use tm_core as core;
+pub use tm_datasets as datasets;
+pub use tm_detect as detect;
+pub use tm_metrics as metrics;
+pub use tm_query as query;
+pub use tm_reid as reid;
+pub use tm_synth as synth;
+pub use tm_track as track;
+pub use tm_types as types;
+
+/// The most commonly used items of every layer, for glob import.
+pub mod prelude {
+    pub use tm_core::{
+        run_pipeline, Baseline, LcbConfig, LowerConfidenceBound, PipelineConfig, PipelineReport,
+        ProportionalSampling, PsConfig, SelectorKind, TMerge, TMergeConfig,
+    };
+    pub use tm_datasets::{kitti, mot17, pathtrack, prepare};
+    pub use tm_detect::{Detector, DetectorConfig};
+    pub use tm_metrics::{
+        clear_mot, identity_metrics, polyonymous_rate, recall, ClearMotConfig, Correspondence,
+    };
+    pub use tm_query::{co_occurrence_recall, count_recall, Query};
+    pub use tm_reid::{AppearanceConfig, AppearanceModel, CostModel, Device, ReidSession};
+    pub use tm_synth::{
+        ActorSpec, GlareEvent, GroundTruth, MotionModel, Occluder, SceneConfig, Scenario,
+    };
+    pub use tm_track::{
+        track_video, DeepSort, DeepSortConfig, Sort, SortConfig, Tracker, TrackerKind,
+        TracktorLike, TracktorLikeConfig,
+    };
+    pub use tm_types::{
+        ids::classes, BBox, ClassId, Detection, FrameIdx, GtObjectId, Point, Track, TrackId,
+        TrackPair, TrackSet,
+    };
+}

@@ -1,0 +1,143 @@
+//! Cross-crate property tests: invariants that hold across the stack for
+//! randomized worlds.
+
+use proptest::prelude::*;
+use tmerge::core::{build_window_pairs, merge_mapping};
+use tmerge::prelude::*;
+
+/// Builds a random small world and tracks it.
+fn tracked_world(
+    seed: u64,
+    n_actors: usize,
+    n_frames: u64,
+) -> (GroundTruth, TrackSet) {
+    let mut s = Scenario::new(SceneConfig::new(1200.0, 800.0, n_frames), seed);
+    for i in 0..n_actors {
+        let y = 400.0 + 40.0 * (i as f64);
+        let ltr = i % 2 == 0;
+        let speed = 2.0 + (i as f64) * 0.7;
+        s.push_actor(ActorSpec::new(
+            GtObjectId(i as u64),
+            classes::PEDESTRIAN,
+            40.0,
+            100.0,
+            FrameIdx((i as u64 * 13) % (n_frames / 2)),
+            FrameIdx(n_frames),
+            MotionModel::linear(
+                Point::new(if ltr { 10.0 } else { 1190.0 }, y),
+                if ltr { speed } else { -speed },
+                0.0,
+            ),
+        ));
+    }
+    s.push_occluder(Occluder::static_box(BBox::new(550.0, 300.0, 120.0, 500.0)));
+    let gt = s.simulate();
+    let dets = Detector::new(DetectorConfig::default()).detect(&gt, seed ^ 77);
+    let mut tracker = Sort::new(SortConfig::default());
+    let tracks = track_video(&mut tracker, &dets);
+    (gt, tracks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn track_boxes_are_frame_sorted_and_in_viewport(
+        seed in 0u64..50, n_actors in 1usize..6
+    ) {
+        let (gt, tracks) = tracked_world(seed, n_actors, 200);
+        let vp = gt.config().viewport();
+        for t in tracks.iter() {
+            let mut prev = None;
+            for b in &t.boxes {
+                if let Some(p) = prev {
+                    prop_assert!(b.frame > p, "boxes out of order in {}", t.id);
+                }
+                prev = Some(b.frame);
+                prop_assert!(b.bbox.x >= vp.x - 1e-6 && b.bbox.x2() <= vp.x2() + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn window_pairs_are_unique_and_canonical(
+        seed in 0u64..50, n_actors in 2usize..6, window_len in 1u64..5
+    ) {
+        let window_len = window_len * 100; // 100..400, even
+        let (_, tracks) = tracked_world(seed, n_actors, 300);
+        let wps = build_window_pairs(&tracks, 300, window_len).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for w in &wps {
+            for p in &w.pairs {
+                prop_assert!(p.lo() < p.hi(), "non-canonical pair {p}");
+                prop_assert!(seen.insert(*p), "pair {p} emitted twice");
+            }
+        }
+    }
+
+    #[test]
+    fn merging_never_increases_identity_error(
+        seed in 0u64..30
+    ) {
+        // Oracle merges (exact polyonymous groups) must never hurt IDF1.
+        let (gt, tracks) = tracked_world(seed, 4, 300);
+        let corr = Correspondence::from_tracks(&tracks, 0.5);
+        let mapping = corr.oracle_merge_mapping(&tracks);
+        let merged = tracks.relabeled(&mapping);
+        let before = identity_metrics(&gt.gt_tracks(0.1), &tracks, 0.5);
+        let after = identity_metrics(&gt.gt_tracks(0.1), &merged, 0.5);
+        prop_assert!(after.idf1 >= before.idf1 - 1e-9,
+            "oracle merge hurt IDF1: {} -> {}", before.idf1, after.idf1);
+    }
+
+    #[test]
+    fn rec_is_monotone_in_k(seed in 0u64..20) {
+        let (gt, tracks) = tracked_world(seed, 5, 300);
+        let corr = Correspondence::from_tracks(&tracks, 0.5);
+        let all: Vec<&Track> = tracks.iter().collect();
+        let truth = corr.all_polyonymous(&all);
+        prop_assume!(!truth.is_empty());
+        let model = AppearanceModel::new(AppearanceConfig::default());
+        let mut last = -1.0;
+        for k in [0.05, 0.1, 0.3, 0.6, 1.0] {
+            let config = PipelineConfig {
+                window_len: 600,
+                k,
+                selector: SelectorKind::Baseline,
+                ..PipelineConfig::default()
+            };
+            let report =
+                run_pipeline(&tracks, gt.n_frames(), &model, &config, None).unwrap();
+            let rec = recall(report.candidates.iter(), &truth);
+            prop_assert!(rec + 1e-9 >= last, "REC not monotone in K");
+            last = rec;
+        }
+        prop_assert!((last - 1.0).abs() < 1e-9, "K=1 must reach full recall");
+    }
+
+    #[test]
+    fn merge_mapping_preserves_box_count(
+        edges in proptest::collection::vec((1u64..20, 1u64..20), 0..15)
+    ) {
+        // Relabelling through any accepted pair set preserves every box.
+        let tracks: TrackSet = (1..20u64)
+            .map(|id| {
+                Track::with_boxes(
+                    TrackId(id),
+                    classes::PEDESTRIAN,
+                    vec![tmerge::types::TrackBox::new(
+                        FrameIdx(id),
+                        BBox::new(0.0, 0.0, 10.0, 10.0),
+                    )],
+                )
+            })
+            .collect();
+        let pairs: Vec<TrackPair> = edges
+            .into_iter()
+            .filter_map(|(a, b)| TrackPair::new(TrackId(a), TrackId(b)))
+            .collect();
+        let mapping = merge_mapping(&pairs);
+        let merged = tracks.relabeled(&mapping);
+        prop_assert_eq!(merged.total_boxes(), tracks.total_boxes());
+    }
+}

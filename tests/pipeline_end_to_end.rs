@@ -1,0 +1,209 @@
+//! End-to-end integration: world → detector → tracker → TMerge → metrics,
+//! exercised through the public umbrella API only.
+
+use tmerge::prelude::*;
+
+/// A scene engineered to fragment: three pedestrians, one pillar wide
+/// enough to exceed every tracker's patience, plus a glare event.
+fn scene(seed: u64) -> Scenario {
+    let mut s = Scenario::new(SceneConfig::new(1400.0, 900.0, 400), seed);
+    for (i, (y, v, x0)) in [(500.0, 3.5, 10.0), (600.0, -3.0, 1390.0), (700.0, 2.5, 10.0)]
+        .iter()
+        .enumerate()
+    {
+        s.push_actor(ActorSpec::new(
+            GtObjectId(i as u64),
+            classes::PEDESTRIAN,
+            40.0,
+            100.0,
+            FrameIdx(0),
+            FrameIdx(400),
+            MotionModel::linear(Point::new(*x0, *y), *v, 0.0),
+        ));
+    }
+    s.push_occluder(Occluder::static_box(BBox::new(600.0, 380.0, 160.0, 500.0)));
+    s.push_glare(GlareEvent::new(
+        BBox::new(1000.0, 400.0, 300.0, 400.0),
+        FrameIdx(250),
+        FrameIdx(300),
+        0.9,
+    ));
+    s
+}
+
+fn fragmented_tracks(seed: u64) -> (GroundTruth, TrackSet, AppearanceModel) {
+    let gt = scene(seed).simulate();
+    let detections = Detector::new(DetectorConfig::default()).detect(&gt, seed ^ 1);
+    let model = AppearanceModel::new(AppearanceConfig::default());
+    let mut tracker = Sort::new(SortConfig::default());
+    let tracks = track_video(&mut tracker, &detections);
+    (gt, tracks, model)
+}
+
+#[test]
+fn occlusion_fragments_and_tmerge_repairs() {
+    let (gt, tracks, model) = fragmented_tracks(3);
+    let n_objects = gt.gt_tracks(0.1).len();
+    assert!(
+        tracks.len() > n_objects,
+        "expected fragmentation: {} tracks for {} objects",
+        tracks.len(),
+        n_objects
+    );
+
+    let config = PipelineConfig {
+        window_len: 800,
+        k: 0.2,
+        selector: SelectorKind::TMerge(TMergeConfig {
+            tau_max: 3_000,
+            ..TMergeConfig::default()
+        }),
+        ..PipelineConfig::default()
+    };
+    let report = run_pipeline(&tracks, gt.n_frames(), &model, &config, None).unwrap();
+    assert!(
+        report.merged.len() < tracks.len(),
+        "TMerge should have merged fragments"
+    );
+
+    // The repair improves the identity metrics against GT.
+    let before = identity_metrics(&gt.gt_tracks(0.1), &tracks, 0.5);
+    let after = identity_metrics(&gt.gt_tracks(0.1), &report.merged, 0.5);
+    assert!(
+        after.idf1 > before.idf1,
+        "IDF1 {} -> {} did not improve",
+        before.idf1,
+        after.idf1
+    );
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let (gt, tracks_a, model) = fragmented_tracks(9);
+    let (_, tracks_b, _) = fragmented_tracks(9);
+    assert_eq!(tracks_a, tracks_b, "tracker output must be reproducible");
+
+    let config = PipelineConfig {
+        window_len: 800,
+        k: 0.2,
+        selector: SelectorKind::TMerge(TMergeConfig {
+            tau_max: 1_500,
+            ..TMergeConfig::default()
+        }),
+        ..PipelineConfig::default()
+    };
+    let a = run_pipeline(&tracks_a, gt.n_frames(), &model, &config, None).unwrap();
+    let b = run_pipeline(&tracks_b, gt.n_frames(), &model, &config, None).unwrap();
+    assert_eq!(a.candidates, b.candidates);
+    assert_eq!(a.merged, b.merged);
+    assert_eq!(a.elapsed_ms, b.elapsed_ms, "cost accounting must be deterministic");
+}
+
+#[test]
+fn all_selectors_agree_on_an_easy_instance() {
+    let (gt, tracks, model) = fragmented_tracks(5);
+    let corr = Correspondence::from_tracks(&tracks, 0.5);
+    let all: Vec<&Track> = tracks.iter().collect();
+    let truth = corr.all_polyonymous(&all);
+    assert!(!truth.is_empty(), "scene must produce polyonymous pairs");
+
+    for (name, selector) in [
+        ("BL", SelectorKind::Baseline),
+        ("PS", SelectorKind::Ps(PsConfig { eta: 0.3, seed: 1 })),
+        (
+            "LCB",
+            SelectorKind::Lcb(LcbConfig {
+                tau_max: 3_000,
+                seed: 1,
+                record_history: false,
+            }),
+        ),
+        (
+            "TMerge",
+            SelectorKind::TMerge(TMergeConfig {
+                tau_max: 3_000,
+                seed: 1,
+                ..TMergeConfig::default()
+            }),
+        ),
+    ] {
+        let config = PipelineConfig {
+            window_len: 800,
+            k: 0.25,
+            selector,
+            ..PipelineConfig::default()
+        };
+        let report = run_pipeline(&tracks, gt.n_frames(), &model, &config, None).unwrap();
+        let rec = recall(report.candidates.iter(), &truth);
+        assert!(
+            rec >= 0.99,
+            "{name} found only {rec:.2} of the polyonymous pairs"
+        );
+    }
+}
+
+#[test]
+fn batched_pipeline_is_cheaper_and_as_accurate() {
+    let (gt, tracks, model) = fragmented_tracks(7);
+    let base = PipelineConfig {
+        window_len: 800,
+        k: 0.2,
+        selector: SelectorKind::TMerge(TMergeConfig {
+            tau_max: 2_000,
+            ..TMergeConfig::default()
+        }),
+        ..PipelineConfig::default()
+    };
+    let cpu = run_pipeline(&tracks, gt.n_frames(), &model, &base, None).unwrap();
+    let gpu_cfg = PipelineConfig {
+        device: Device::Gpu { batch: 10 },
+        ..base
+    };
+    let gpu = run_pipeline(&tracks, gt.n_frames(), &model, &gpu_cfg, None).unwrap();
+    assert!(
+        gpu.elapsed_ms < cpu.elapsed_ms / 2.0,
+        "batching should cut simulated time: {} vs {}",
+        gpu.elapsed_ms,
+        cpu.elapsed_ms
+    );
+    let corr = Correspondence::from_tracks(&tracks, 0.5);
+    let all: Vec<&Track> = tracks.iter().collect();
+    let truth = corr.all_polyonymous(&all);
+    let rec_cpu = recall(cpu.candidates.iter(), &truth);
+    let rec_gpu = recall(gpu.candidates.iter(), &truth);
+    assert!(
+        (rec_cpu - rec_gpu).abs() < 0.5,
+        "accuracies diverged: {rec_cpu} vs {rec_gpu}"
+    );
+}
+
+#[test]
+fn glare_alone_can_fragment() {
+    // Remove the pillar; keep glare. At 0.9 intensity the detector misses
+    // long enough for SORT to drop the track.
+    let mut s = Scenario::new(SceneConfig::new(1400.0, 900.0, 400), 11);
+    s.push_actor(ActorSpec::new(
+        GtObjectId(0),
+        classes::PEDESTRIAN,
+        40.0,
+        100.0,
+        FrameIdx(0),
+        FrameIdx(400),
+        MotionModel::linear(Point::new(10.0, 500.0), 3.0, 0.0),
+    ));
+    s.push_glare(GlareEvent::new(
+        BBox::new(500.0, 300.0, 400.0, 500.0),
+        FrameIdx(120),
+        FrameIdx(260),
+        0.95,
+    ));
+    let gt = s.simulate();
+    let detections = Detector::new(DetectorConfig::default()).detect(&gt, 2);
+    let mut tracker = Sort::new(SortConfig::default());
+    let tracks = track_video(&mut tracker, &detections);
+    assert!(
+        tracks.len() >= 2,
+        "glare should fragment the single object's track (got {})",
+        tracks.len()
+    );
+}
