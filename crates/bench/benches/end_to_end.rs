@@ -34,7 +34,12 @@ fn small_scene() -> SceneParams {
     }
 }
 
-fn fixture() -> (AppearanceModel, TrackSet, Vec<TrackPair>, Vec<Vec<Detection>>) {
+fn fixture() -> (
+    AppearanceModel,
+    TrackSet,
+    Vec<TrackPair>,
+    Vec<Vec<Detection>>,
+) {
     let gt = crowd_scenario(&small_scene()).simulate();
     let detections = Detector::new(DetectorConfig::default()).detect(&gt, 1);
     let model = AppearanceModel::new(AppearanceConfig::default());

@@ -7,11 +7,16 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
 use tm_core::sampling::WithoutReplacement;
-use tm_core::{merge_mapping, UnionFind};
+use tm_core::score::{
+    exact_scores, exact_scores_reference, sum_pairwise_distances_naive, sum_pairwise_unit_distances,
+};
+use tm_core::{merge_mapping, SelectionInput, UnionFind};
+use tm_reid::{AppearanceConfig, AppearanceModel, CostModel, Device, Feature, ReidSession};
 use tm_track::hungarian::min_cost_assignment;
 use tm_track::{KalmanBoxFilter, KalmanConfig};
-use tm_reid::{AppearanceConfig, AppearanceModel, Feature};
-use tm_types::{BBox, FrameIdx, GtObjectId, TrackId, TrackPair};
+use tm_types::{
+    ids::classes, BBox, FrameIdx, GtObjectId, Track, TrackBox, TrackId, TrackPair, TrackSet,
+};
 
 fn bench_hungarian(c: &mut Criterion) {
     let mut group = c.benchmark_group("hungarian");
@@ -100,12 +105,94 @@ fn bench_union_find(c: &mut Criterion) {
     });
 }
 
+/// The two pairwise-sum kernels head-to-head on model-generated unit-norm
+/// feature matrices (`n × n` row pairs, dim 32): the blocked dot-product
+/// rewrite in `exact_scores` vs the reference subtract-square kernel.
+fn bench_dense_score_kernel(c: &mut Criterion) {
+    let model = AppearanceModel::new(AppearanceConfig::default());
+    let mut group = c.benchmark_group("pairwise_distance_sum");
+    for n in [32usize, 128, 512] {
+        let pack = |actor: u64, offset: u64| -> Vec<f64> {
+            (0..n as u64)
+                .flat_map(|f| {
+                    model
+                        .observe(GtObjectId(actor), FrameIdx(offset + f), 0.9)
+                        .as_slice()
+                        .to_vec()
+                })
+                .collect()
+        };
+        let fa = pack(1, 0);
+        let fb = pack(2, 100_000);
+        let dim = fa.len() / n;
+        group.bench_with_input(BenchmarkId::new("blocked_dot", n), &n, |b, _| {
+            b.iter(|| sum_pairwise_unit_distances(black_box(&fa), black_box(&fb), dim))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| sum_pairwise_distances_naive(black_box(&fa), black_box(&fb), dim))
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end exact scoring of a synthetic window (12 tracks × 40 boxes,
+/// all 66 pairs): the parallel dense rewrite vs the serial reference.
+fn bench_exact_scores(c: &mut Criterion) {
+    let model = AppearanceModel::new(AppearanceConfig::default());
+    let tracks = TrackSet::from_tracks(
+        (0..12u64)
+            .map(|id| {
+                Track::with_boxes(
+                    TrackId(id + 1),
+                    classes::PEDESTRIAN,
+                    (0..40u64)
+                        .map(|i| {
+                            TrackBox::new(
+                                FrameIdx(id * 1_000 + i),
+                                BBox::new(i as f64 * 5.0, 100.0, 40.0, 80.0),
+                            )
+                            .with_provenance(GtObjectId(id % 5))
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    );
+    let mut pairs_all = Vec::new();
+    for i in 1..=12u64 {
+        for j in (i + 1)..=12u64 {
+            pairs_all.push(TrackPair::new(TrackId(i), TrackId(j)).unwrap());
+        }
+    }
+    let input = SelectionInput {
+        pairs: &pairs_all,
+        tracks: &tracks,
+        k: 1.0,
+    };
+    let mut group = c.benchmark_group("exact_scores");
+    group.bench_function("rewrite", |b| {
+        b.iter(|| {
+            let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+            black_box(exact_scores(&input, &mut session).unwrap())
+        })
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| {
+            let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+            black_box(exact_scores_reference(&input, &mut session).unwrap())
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     kernels,
     bench_hungarian,
     bench_kalman,
     bench_reid,
     bench_sampling,
-    bench_union_find
+    bench_union_find,
+    bench_dense_score_kernel,
+    bench_exact_scores
 );
 criterion_main!(kernels);

@@ -2,10 +2,10 @@
 //! "Final ranking"): ranking candidates by the prior-shrunk continuous
 //! sample mean vs. the literal Bernoulli posterior mean `S/(S+F)`.
 
+use std::collections::BTreeMap;
 use tm_bench::experiments::{sweep::averaged_outcome, ExpConfig};
 use tm_bench::harness::{CurvePoint, DatasetRun};
 use tm_bench::report::{f2, f3, header, save_json, table};
-use std::collections::BTreeMap;
 use tm_core::{TMerge, TMergeConfig};
 use tm_datasets::mot17;
 use tm_reid::{CostModel, Device};
@@ -17,7 +17,10 @@ fn main() {
     let ds = DatasetRun::prepare(&spec, TrackerKind::Tracktor, None);
     let cost = CostModel::calibrated();
     let mut curves: BTreeMap<String, Vec<CurvePoint>> = BTreeMap::new();
-    for (label, literal) in [("shrunk sample mean (default)", false), ("S/(S+F) (paper literal)", true)] {
+    for (label, literal) in [
+        ("shrunk sample mean (default)", false),
+        ("S/(S+F) (paper literal)", true),
+    ] {
         let points: Vec<CurvePoint> = cfg
             .tau_grid()
             .into_iter()

@@ -18,6 +18,9 @@ fn main() {
             ]
         })
         .collect();
-    table(&["tracker", "without TMerge", "with TMerge", "reduction"], &rows);
+    table(
+        &["tracker", "without TMerge", "with TMerge", "reduction"],
+        &rows,
+    );
     save_json("fig11_poly_rate", &rows_data);
 }

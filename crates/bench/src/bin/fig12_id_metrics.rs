@@ -29,6 +29,9 @@ fn main() {
             f3(r.ass_a.1),
         ],
     ];
-    table(&["", "IDF1", "IDP", "IDR", "IDSW", "MOTA", "HOTA", "AssA"], &rows);
+    table(
+        &["", "IDF1", "IDP", "IDR", "IDSW", "MOTA", "HOTA", "AssA"],
+        &rows,
+    );
     save_json("fig12_id_metrics", &r);
 }

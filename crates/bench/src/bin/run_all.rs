@@ -1,16 +1,16 @@
-//! Runs every experiment in sequence (pass `--quick` for the reduced
-//! scale), regenerating all tables and figures of the paper.
+//! Runs every experiment (pass `--quick` for the reduced scale),
+//! regenerating all tables and figures of the paper.
+//!
+//! Experiments fan out over worker threads (`TMERGE_THREADS`, see
+//! `tm_par`), each writing its own JSON file on completion — so the
+//! `[name done in ...]` lines may interleave, but every `results/*.json`
+//! is byte-identical to a serial run (all aggregation inside the
+//! experiments is index-ordered and the simulated clocks are
+//! per-video/per-window, never wall-clock).
 
+use std::time::Instant;
 use tm_bench::experiments::{self, ExpConfig};
 use tm_bench::report::{header, save_json};
-use std::time::Instant;
-
-fn timed<T>(name: &str, f: impl FnOnce() -> T) -> T {
-    let t0 = Instant::now();
-    let out = f();
-    println!("[{name} done in {:.1}s]", t0.elapsed().as_secs_f64());
-    out
-}
 
 fn main() {
     let cfg = ExpConfig::from_args();
@@ -19,35 +19,77 @@ fn main() {
         if cfg.quick { "quick" } else { "full" }
     ));
 
-    let fig03 = timed("fig03", || experiments::fig03::fig03(&cfg));
-    save_json("fig03_rec_k", &fig03);
-    let fig04 = timed("fig04", || experiments::fig04::fig04(&cfg));
-    save_json("fig04_bl_scaling", &fig04);
-    let fig05 = timed("fig05", || experiments::sweep::fig05(&cfg));
-    save_json("fig05_rec_fps", &fig05);
-    let fig06 = timed("fig06", || experiments::sweep::fig06(&cfg));
-    save_json("fig06_rec_fps_batched", &fig06);
-    let table2 = timed("table2", || experiments::sweep::table2(&cfg));
-    save_json("table2_fps", &table2);
-    let fig07 = timed("fig07", || experiments::fig07::fig07(&cfg));
-    save_json("fig07_tau_sweep", &fig07);
-    let fig08 = timed("fig08", || experiments::fig08::fig08(&cfg));
-    save_json("fig08_ablation", &fig08);
-    let fig09 = timed("fig09", || experiments::fig09::fig09(&cfg));
-    save_json("fig09_window_len", &fig09);
-    let fig10 = timed("fig10", || experiments::fig10::fig10(&cfg));
-    save_json("fig10_thr_s", &fig10);
-    let fig11 = timed("fig11", || experiments::quality::fig11(&cfg));
-    save_json("fig11_poly_rate", &fig11);
-    let fig12 = timed("fig12", || experiments::quality::fig12(&cfg));
-    save_json("fig12_id_metrics", &fig12);
-    let fig13 = timed("fig13", || experiments::quality::fig13(&cfg));
-    save_json("fig13_query_recall", &fig13);
-    let regret = timed("regret", || experiments::regret::regret_curve(&cfg));
-    save_json("regret_curve", &regret);
-    let corr = timed("corr", || experiments::corr::corr_analysis(&cfg));
-    save_json("corr_analysis", &corr);
+    type Task = Box<dyn Fn() + Sync>;
+    let tasks: Vec<(&str, Task)> = vec![
+        (
+            "fig03",
+            Box::new(move || save_json("fig03_rec_k", &experiments::fig03::fig03(&cfg))),
+        ),
+        (
+            "fig04",
+            Box::new(move || save_json("fig04_bl_scaling", &experiments::fig04::fig04(&cfg))),
+        ),
+        (
+            "fig05",
+            Box::new(move || save_json("fig05_rec_fps", &experiments::sweep::fig05(&cfg))),
+        ),
+        (
+            "fig06",
+            Box::new(move || save_json("fig06_rec_fps_batched", &experiments::sweep::fig06(&cfg))),
+        ),
+        (
+            "table2",
+            Box::new(move || save_json("table2_fps", &experiments::sweep::table2(&cfg))),
+        ),
+        (
+            "fig07",
+            Box::new(move || save_json("fig07_tau_sweep", &experiments::fig07::fig07(&cfg))),
+        ),
+        (
+            "fig08",
+            Box::new(move || save_json("fig08_ablation", &experiments::fig08::fig08(&cfg))),
+        ),
+        (
+            "fig09",
+            Box::new(move || save_json("fig09_window_len", &experiments::fig09::fig09(&cfg))),
+        ),
+        (
+            "fig10",
+            Box::new(move || save_json("fig10_thr_s", &experiments::fig10::fig10(&cfg))),
+        ),
+        (
+            "fig11",
+            Box::new(move || save_json("fig11_poly_rate", &experiments::quality::fig11(&cfg))),
+        ),
+        (
+            "fig12",
+            Box::new(move || save_json("fig12_id_metrics", &experiments::quality::fig12(&cfg))),
+        ),
+        (
+            "fig13",
+            Box::new(move || save_json("fig13_query_recall", &experiments::quality::fig13(&cfg))),
+        ),
+        (
+            "regret",
+            Box::new(move || save_json("regret_curve", &experiments::regret::regret_curve(&cfg))),
+        ),
+        (
+            "corr",
+            Box::new(move || save_json("corr_analysis", &experiments::corr::corr_analysis(&cfg))),
+        ),
+    ];
 
-    println!("\nAll experiments complete; JSON in results/.");
-    println!("Render EXPERIMENTS.md with: cargo run --release -p tm-bench --bin render_experiments");
+    let t_all = Instant::now();
+    tm_par::par_for_each(&tasks, |(name, task)| {
+        let t0 = Instant::now();
+        task();
+        println!("[{name} done in {:.1}s]", t0.elapsed().as_secs_f64());
+    });
+    println!(
+        "\nAll experiments complete in {:.1}s; JSON in results/.",
+        t_all.elapsed().as_secs_f64()
+    );
+    println!(
+        "Render EXPERIMENTS.md with: cargo run --release -p tm-bench --bin render_experiments"
+    );
 }

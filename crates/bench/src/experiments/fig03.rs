@@ -63,31 +63,33 @@ pub fn fig03(cfg: &ExpConfig) -> Vec<RecKCurve> {
         cfg.limit(kitti(), 8),
         cfg.limit(pathtrack(), if cfg.quick { 2 } else { 5 }),
     ];
-    datasets
-        .iter()
-        .map(|spec| {
-            let ds = DatasetRun::prepare(spec, tm_track::TrackerKind::Tracktor, None);
-            // Average per-video REC at each K (videos without polyonymous
-            // pairs contribute nothing to the average).
-            let mut sums = vec![0.0f64; ks.len()];
-            let mut n = 0usize;
-            for run in &ds.runs {
-                if run.truth.is_empty() {
-                    continue;
-                }
-                for (s, r) in sums.iter_mut().zip(rec_k_for_video(run, &ks)) {
-                    *s += r;
-                }
-                n += 1;
+    tm_par::par_map(&datasets, |spec| {
+        let ds = DatasetRun::prepare(spec, tm_track::TrackerKind::Tracktor, None);
+        // Average per-video REC at each K (videos without polyonymous
+        // pairs contribute nothing to the average). Videos fan out over
+        // threads; the fold runs in video order for determinism.
+        let per_video = tm_par::par_map(&ds.runs, |run| {
+            if run.truth.is_empty() {
+                None
+            } else {
+                Some(rec_k_for_video(run, &ks))
             }
-            RecKCurve {
-                dataset: ds.name.to_string(),
-                points: ks
-                    .iter()
-                    .zip(&sums)
-                    .map(|(&k, &s)| (k, if n == 0 { 1.0 } else { s / n as f64 }))
-                    .collect(),
+        });
+        let mut sums = vec![0.0f64; ks.len()];
+        let mut n = 0usize;
+        for recs in per_video.into_iter().flatten() {
+            for (s, r) in sums.iter_mut().zip(recs) {
+                *s += r;
             }
-        })
-        .collect()
+            n += 1;
+        }
+        RecKCurve {
+            dataset: ds.name.to_string(),
+            points: ks
+                .iter()
+                .zip(&sums)
+                .map(|(&k, &s)| (k, if n == 0 { 1.0 } else { s / n as f64 }))
+                .collect(),
+        }
+    })
 }

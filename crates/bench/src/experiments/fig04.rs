@@ -31,27 +31,24 @@ pub fn fig04(cfg: &ExpConfig) -> Vec<ScalingPoint> {
         vec![2_000, 4_000, 6_000, 8_000, 10_000]
     };
     let base = pathtrack();
-    lengths
-        .into_iter()
-        .map(|n_frames| {
-            // Scale the cast with the length so scene density stays fixed
-            // (a longer video sees proportionally more passers-by).
-            let mut spec = base.videos[0].clone();
-            spec.scene.n_frames = n_frames;
-            spec.scene.n_actors = (40 * n_frames / 3600).max(8) as usize;
-            let run = VideoRun::new(prepare(&spec, TrackerKind::Tracktor), base.window_len);
-            let outcome = crate::harness::run_selector(
-                std::slice::from_ref(&run),
-                &Baseline,
-                crate::experiments::sweep::K,
-                CostModel::calibrated(),
-                Device::Cpu,
-            );
-            ScalingPoint {
-                n_frames,
-                n_pairs: run.n_pairs(),
-                runtime_s: outcome.runtime_s,
-            }
-        })
-        .collect()
+    tm_par::par_map(&lengths, |&n_frames| {
+        // Scale the cast with the length so scene density stays fixed
+        // (a longer video sees proportionally more passers-by).
+        let mut spec = base.videos[0].clone();
+        spec.scene.n_frames = n_frames;
+        spec.scene.n_actors = (40 * n_frames / 3600).max(8) as usize;
+        let run = VideoRun::new(prepare(&spec, TrackerKind::Tracktor), base.window_len);
+        let outcome = crate::harness::run_selector(
+            std::slice::from_ref(&run),
+            &Baseline,
+            crate::experiments::sweep::K,
+            CostModel::calibrated(),
+            Device::Cpu,
+        );
+        ScalingPoint {
+            n_frames,
+            n_pairs: run.n_pairs(),
+            runtime_s: outcome.runtime_s,
+        }
+    })
 }

@@ -45,26 +45,23 @@ pub fn fig07(cfg: &ExpConfig) -> Fig07 {
     } else {
         vec![500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000]
     };
-    let points = taus
-        .into_iter()
-        .map(|tau| {
-            // Re-run per point with a fresh session (hit-rate diagnostics
-            // need per-point stats, so no trial averaging here; REC noise
-            // across videos is already averaged).
-            let tm = TMerge::new(TMergeConfig {
-                tau_max: tau,
-                seed: cfg.seed,
-                ..TMergeConfig::default()
-            });
-            let out = run_selector(&ds.runs, &tm, K, cost, device);
-            TauPoint {
-                tau_max: tau,
-                rec: out.rec,
-                runtime_s: out.runtime_s,
-                hit_rate: out.hit_rate(),
-            }
-        })
-        .collect();
+    let points = tm_par::par_map(&taus, |&tau| {
+        // Re-run per point with a fresh session (hit-rate diagnostics
+        // need per-point stats, so no trial averaging here; REC noise
+        // across videos is already averaged).
+        let tm = TMerge::new(TMergeConfig {
+            tau_max: tau,
+            seed: cfg.seed,
+            ..TMergeConfig::default()
+        });
+        let out = run_selector(&ds.runs, &tm, K, cost, device);
+        TauPoint {
+            tau_max: tau,
+            rec: out.rec,
+            runtime_s: out.runtime_s,
+            hit_rate: out.hit_rate(),
+        }
+    });
     let bl = run_selector(&ds.runs, &Baseline, K, cost, device);
     Fig07 {
         points,

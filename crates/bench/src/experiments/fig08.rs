@@ -45,24 +45,21 @@ pub fn fig08(cfg: &ExpConfig) -> Fig08 {
     let ds = DatasetRun::prepare(&spec, TrackerKind::Tracktor, None);
     let cost = CostModel::calibrated();
     let mut curves = BTreeMap::new();
+    let taus = cfg.tau_grid();
     for (name, variant) in variants() {
-        let points = cfg
-            .tau_grid()
-            .into_iter()
-            .map(|tau| {
-                let out = averaged_outcome(&ds, cost, Device::Cpu, cfg.trials, cfg.seed, &|seed| {
-                    Box::new(TMerge::new(TMergeConfig {
-                        tau_max: tau,
-                        seed,
-                        ..variant
-                    }))
-                });
-                CurvePoint {
-                    param: format!("tau={tau}"),
-                    outcome: out,
-                }
-            })
-            .collect();
+        let points = tm_par::par_map(&taus, |&tau| {
+            let out = averaged_outcome(&ds, cost, Device::Cpu, cfg.trials, cfg.seed, &|seed| {
+                Box::new(TMerge::new(TMergeConfig {
+                    tau_max: tau,
+                    seed,
+                    ..variant
+                }))
+            });
+            CurvePoint {
+                param: format!("tau={tau}"),
+                outcome: out,
+            }
+        });
         curves.insert(name.to_string(), points);
     }
     Fig08 { curves }

@@ -35,22 +35,20 @@ pub fn fig09(cfg: &ExpConfig) -> Vec<WindowLenPoint> {
         vec![1_000, 1_500, 2_000, 3_000, 4_000]
     };
     let cost = CostModel::calibrated();
-    lens.into_iter()
-        .map(|window_len| {
-            let ds = DatasetRun::prepare(&spec, TrackerKind::Tracktor, Some(window_len));
-            let bl = run_selector(&ds.runs, &Baseline, K, cost, Device::Cpu);
-            let tm = TMerge::new(TMergeConfig {
-                tau_max: 10_000,
-                seed: cfg.seed,
-                ..TMergeConfig::default()
-            });
-            let tmerge = run_selector(&ds.runs, &tm, K, cost, Device::Cpu);
-            WindowLenPoint {
-                window_len,
-                bl_rec: bl.rec,
-                tmerge_rec: tmerge.rec,
-                n_pairs: ds.runs.iter().map(|r| r.n_pairs()).sum(),
-            }
-        })
-        .collect()
+    tm_par::par_map(&lens, |&window_len| {
+        let ds = DatasetRun::prepare(&spec, TrackerKind::Tracktor, Some(window_len));
+        let bl = run_selector(&ds.runs, &Baseline, K, cost, Device::Cpu);
+        let tm = TMerge::new(TMergeConfig {
+            tau_max: 10_000,
+            seed: cfg.seed,
+            ..TMergeConfig::default()
+        });
+        let tmerge = run_selector(&ds.runs, &tm, K, cost, Device::Cpu);
+        WindowLenPoint {
+            window_len,
+            bl_rec: bl.rec,
+            tmerge_rec: tmerge.rec,
+            n_pairs: ds.runs.iter().map(|r| r.n_pairs()).sum(),
+        }
+    })
 }

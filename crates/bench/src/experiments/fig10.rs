@@ -28,27 +28,28 @@ pub fn fig10(cfg: &ExpConfig) -> Fig10 {
         ("thr_S=200".into(), Some(200.0)),
         ("thr_S=300".into(), Some(300.0)),
     ];
+    // All (thr_S, τ) combinations fan out together; each setting's points
+    // are collected in grid order.
+    let taus = cfg.tau_grid();
+    let per_setting = tm_par::par_map(&settings, |(_, thr_s)| {
+        tm_par::par_map(&taus, |&tau| {
+            let out = averaged_outcome(&ds, cost, Device::Cpu, cfg.trials, cfg.seed, &|seed| {
+                Box::new(TMerge::new(TMergeConfig {
+                    tau_max: tau,
+                    thr_s: *thr_s,
+                    seed,
+                    ..TMergeConfig::default()
+                }))
+            });
+            CurvePoint {
+                param: format!("tau={tau}"),
+                outcome: out,
+            }
+        })
+    });
     let mut curves = BTreeMap::new();
-    for (label, thr_s) in settings {
-        let points = cfg
-            .tau_grid()
-            .into_iter()
-            .map(|tau| {
-                let out = averaged_outcome(&ds, cost, Device::Cpu, cfg.trials, cfg.seed, &|seed| {
-                    Box::new(TMerge::new(TMergeConfig {
-                        tau_max: tau,
-                        thr_s,
-                        seed,
-                        ..TMergeConfig::default()
-                    }))
-                });
-                CurvePoint {
-                    param: format!("tau={tau}"),
-                    outcome: out,
-                }
-            })
-            .collect();
-        curves.insert(label, points);
+    for ((label, _), points) in settings.iter().zip(per_setting) {
+        curves.insert(label.clone(), points);
     }
     Fig10 { curves }
 }

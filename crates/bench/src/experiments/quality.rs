@@ -12,7 +12,9 @@ use crate::harness::VideoRun;
 use serde::Serialize;
 use tm_core::{run_pipeline, PipelineConfig, SelectorKind, TMergeConfig};
 use tm_datasets::{mot17, prepare, DatasetSpec};
-use tm_metrics::{clear_mot, hota, identity_metrics, polyonymous_rate, ClearMotConfig, Correspondence};
+use tm_metrics::{
+    clear_mot, hota, identity_metrics, polyonymous_rate, ClearMotConfig, Correspondence,
+};
 use tm_query::{co_occurrence_recall, count_recall};
 use tm_reid::{CostModel, Device};
 use tm_track::TrackerKind;
@@ -65,36 +67,44 @@ pub struct PolyRateRow {
 /// DeepSORT, UMA).
 pub fn fig11(cfg: &ExpConfig) -> Vec<PolyRateRow> {
     let spec = cfg.limit(mot17(), 7);
-    [TrackerKind::Tracktor, TrackerKind::DeepSort, TrackerKind::Uma]
-        .into_iter()
-        .map(|kind| {
-            let mut n_pairs = 0usize;
-            let mut n_poly = 0usize;
-            let mut n_poly_left = 0usize;
-            for video in &spec.videos {
-                let run = VideoRun::new(prepare(video, kind), spec.window_len);
-                let model = run.video.model();
-                let report = run_pipeline(
-                    &run.video.tracks,
-                    run.video.n_frames,
-                    &model,
-                    &pipeline_config(cfg.seed),
-                    None,
-                )
-                .expect("valid pipeline config");
-                let found: std::collections::BTreeSet<_> =
-                    report.candidates.iter().copied().collect();
-                n_pairs += run.n_pairs();
-                n_poly += run.truth.len();
-                n_poly_left += run.truth.difference(&found).count();
-            }
-            PolyRateRow {
-                tracker: kind.name().to_string(),
-                rate_without: polyonymous_rate(n_poly, n_pairs),
-                rate_with: polyonymous_rate(n_poly_left, n_pairs),
-            }
-        })
-        .collect()
+    let trackers = [
+        TrackerKind::Tracktor,
+        TrackerKind::DeepSort,
+        TrackerKind::Uma,
+    ];
+    tm_par::par_map(&trackers, |&kind| {
+        let per_video = tm_par::par_map(&spec.videos, |video| {
+            let run = VideoRun::new(prepare(video, kind), spec.window_len);
+            let model = run.video.model();
+            let report = run_pipeline(
+                &run.video.tracks,
+                run.video.n_frames,
+                &model,
+                &pipeline_config(cfg.seed),
+                None,
+            )
+            .expect("valid pipeline config");
+            let found: std::collections::BTreeSet<_> = report.candidates.iter().copied().collect();
+            (
+                run.n_pairs(),
+                run.truth.len(),
+                run.truth.difference(&found).count(),
+            )
+        });
+        let mut n_pairs = 0usize;
+        let mut n_poly = 0usize;
+        let mut n_poly_left = 0usize;
+        for (pairs, poly, left) in per_video {
+            n_pairs += pairs;
+            n_poly += poly;
+            n_poly_left += left;
+        }
+        PolyRateRow {
+            tracker: kind.name().to_string(),
+            rate_without: polyonymous_rate(n_poly, n_pairs),
+            rate_with: polyonymous_rate(n_poly_left, n_pairs),
+        }
+    })
 }
 
 /// Fig. 12 — identity metrics of Tracktor on MOT-17 with and without
@@ -130,24 +140,31 @@ pub struct IdTriple {
 /// Computes Fig. 12.
 pub fn fig12(cfg: &ExpConfig) -> IdMetricsResult {
     let spec = cfg.limit(mot17(), 7);
+    let n = spec.videos.len() as f64;
+    // Per-video metric pairs (without, with), computed concurrently and
+    // folded in video order.
+    let per_video = tm_par::par_map(&spec.videos, |video| {
+        let run = VideoRun::new(prepare(video, TrackerKind::Tracktor), spec.window_len);
+        let merged = merged_tracks(&run, cfg.seed);
+        [&run.video.tracks, &merged].map(|tracks| {
+            let id = identity_metrics(&run.video.gt_tracks, tracks, 0.5);
+            let cm = clear_mot(&run.video.gt_tracks, tracks, ClearMotConfig::default());
+            let h = hota(&run.video.gt_tracks, tracks);
+            (id, cm, h)
+        })
+    });
     let mut acc = [(0.0, 0.0, 0.0); 2];
     let mut idsw = [0u64; 2];
     let mut mota = [0.0f64; 2];
     let mut hota_acc = [0.0f64; 2];
     let mut ass_acc = [0.0f64; 2];
-    let n = spec.videos.len() as f64;
-    for video in &spec.videos {
-        let run = VideoRun::new(prepare(video, TrackerKind::Tracktor), spec.window_len);
-        let merged = merged_tracks(&run, cfg.seed);
-        for (i, tracks) in [&run.video.tracks, &merged].into_iter().enumerate() {
-            let id = identity_metrics(&run.video.gt_tracks, tracks, 0.5);
+    for both in per_video {
+        for (i, (id, cm, h)) in both.into_iter().enumerate() {
             acc[i].0 += id.idf1;
             acc[i].1 += id.idp;
             acc[i].2 += id.idr;
-            let cm = clear_mot(&run.video.gt_tracks, tracks, ClearMotConfig::default());
             idsw[i] += cm.id_switches;
             mota[i] += cm.mota;
-            let h = hota(&run.video.gt_tracks, tracks);
             hota_acc[i] += h.hota;
             ass_acc[i] += h.ass_a;
         }
@@ -188,36 +205,47 @@ pub const CO_OCCUR_MIN_FRAMES: u64 = 50;
 /// Computes Fig. 13.
 pub fn fig13(cfg: &ExpConfig) -> QueryRecallResult {
     let spec: DatasetSpec = cfg.limit(mot17(), 7);
-    let mut count = (0.0, 0.0);
-    let mut co = (0.0, 0.0);
     let n = spec.videos.len() as f64;
-    for video in &spec.videos {
+    let per_video = tm_par::par_map(&spec.videos, |video| {
         let run = VideoRun::new(prepare(video, TrackerKind::Tracktor), spec.window_len);
         let merged = merged_tracks(&run, cfg.seed);
         // The merged set changes ids; recompute its attribution.
         let merged_corr = Correspondence::from_tracks(&merged, 0.5);
         let gt = &run.video.gt_tracks;
-        count.0 += count_recall(
-            &run.video.tracks,
-            gt,
-            COUNT_MIN_FRAMES,
-            run.video.correspondence.as_map(),
+        let count = (
+            count_recall(
+                &run.video.tracks,
+                gt,
+                COUNT_MIN_FRAMES,
+                run.video.correspondence.as_map(),
+            ),
+            count_recall(&merged, gt, COUNT_MIN_FRAMES, merged_corr.as_map()),
         );
-        count.1 += count_recall(&merged, gt, COUNT_MIN_FRAMES, merged_corr.as_map());
-        co.0 += co_occurrence_recall(
-            &run.video.tracks,
-            gt,
-            CO_OCCUR_GROUP,
-            CO_OCCUR_MIN_FRAMES,
-            run.video.correspondence.as_map(),
+        let co = (
+            co_occurrence_recall(
+                &run.video.tracks,
+                gt,
+                CO_OCCUR_GROUP,
+                CO_OCCUR_MIN_FRAMES,
+                run.video.correspondence.as_map(),
+            ),
+            co_occurrence_recall(
+                &merged,
+                gt,
+                CO_OCCUR_GROUP,
+                CO_OCCUR_MIN_FRAMES,
+                merged_corr.as_map(),
+            ),
         );
-        co.1 += co_occurrence_recall(
-            &merged,
-            gt,
-            CO_OCCUR_GROUP,
-            CO_OCCUR_MIN_FRAMES,
-            merged_corr.as_map(),
-        );
+        (count, co)
+    });
+    let mut count = (0.0, 0.0);
+    let mut co = (0.0, 0.0);
+    for ((c0, c1), (o0, o1)) in per_video {
+        count.0 += c0;
+        count.1 += c1;
+        co.0 += o0;
+        co.1 += o1;
     }
     QueryRecallResult {
         count: (count.0 / n, count.1 / n),

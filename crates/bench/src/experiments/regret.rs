@@ -5,8 +5,8 @@
 use crate::experiments::ExpConfig;
 use crate::harness::DatasetRun;
 use serde::Serialize;
-use tm_core::{score::exact_scores, SelectionInput, TMerge, TMergeConfig};
 use tm_core::selector::CandidateSelector;
+use tm_core::{score::exact_scores, SelectionInput, TMerge, TMergeConfig};
 use tm_datasets::mot17;
 use tm_reid::{CostModel, Device, ReidSession};
 use tm_track::TrackerKind;
@@ -55,10 +55,7 @@ pub fn regret_curve(cfg: &ExpConfig) -> RegretCurve {
     // analysis harness, not the algorithm).
     let mut oracle = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
     let scores = exact_scores(&input, &mut oracle).expect("valid pairs");
-    let s_min = scores
-        .iter()
-        .map(|(_, s)| *s)
-        .fold(f64::INFINITY, f64::min);
+    let s_min = scores.iter().map(|(_, s)| *s).fold(f64::INFINITY, f64::min);
 
     // A single long TMerge run with history recording.
     let tau_max = if cfg.quick { 5_000 } else { 50_000 };
@@ -83,8 +80,7 @@ pub fn regret_curve(cfg: &ExpConfig) -> RegretCurve {
             points.push(RegretPoint {
                 tau,
                 avg_regret: cum / tau as f64,
-                bound_shape: (wp.pairs.len() as f64 * (tau.max(2) as f64).ln() / tau as f64)
-                    .sqrt(),
+                bound_shape: (wp.pairs.len() as f64 * (tau.max(2) as f64).ln() / tau as f64).sqrt(),
             });
             next_sample = (next_sample as f64 * 1.6).ceil() as u64;
         }

@@ -28,18 +28,24 @@ pub struct AlgoCurves {
 }
 
 /// Averages an outcome over `trials` differently-seeded selector builds.
+///
+/// Trials fan out over worker threads and are folded in trial order, so the
+/// average is bit-identical to a serial loop for any `TMERGE_THREADS`.
 pub fn averaged_outcome(
     ds: &DatasetRun,
     cost: CostModel,
     device: Device,
     trials: u64,
     base_seed: u64,
-    build: &dyn Fn(u64) -> Box<dyn CandidateSelector>,
+    build: &(dyn Fn(u64) -> Box<dyn CandidateSelector> + Sync),
 ) -> RunOutcome {
+    let seeds: Vec<u64> = (0..trials.max(1)).map(|t| base_seed + 1000 * t).collect();
+    let outcomes = tm_par::par_map(&seeds, |&seed| {
+        let selector = build(seed);
+        run_selector(&ds.runs, selector.as_ref(), K, cost, device)
+    });
     let mut acc: Option<RunOutcome> = None;
-    for t in 0..trials.max(1) {
-        let selector = build(base_seed + 1000 * t);
-        let out = run_selector(&ds.runs, selector.as_ref(), K, cost, device);
+    for out in outcomes {
         acc = Some(match acc {
             None => out,
             Some(a) => RunOutcome {
@@ -64,6 +70,10 @@ pub fn averaged_outcome(
 }
 
 /// Builds the four algorithms' REC–FPS curves on one dataset/device.
+///
+/// Sweep points within each algorithm's grid fan out over worker threads;
+/// points are collected in grid order, so curve JSON is identical to a
+/// serial sweep.
 pub fn rec_fps_curves(ds: &DatasetRun, device: Device, cfg: &ExpConfig) -> AlgoCurves {
     let cost = CostModel::calibrated();
     let mut curves: BTreeMap<String, Vec<CurvePoint>> = BTreeMap::new();
@@ -79,21 +89,21 @@ pub fn rec_fps_curves(ds: &DatasetRun, device: Device, cfg: &ExpConfig) -> AlgoC
     );
 
     // PS: sweep η.
-    let mut ps_points = Vec::new();
-    for eta in cfg.eta_grid() {
+    let etas = cfg.eta_grid();
+    let ps_points = tm_par::par_map(&etas, |&eta| {
         let out = averaged_outcome(ds, cost, device, cfg.trials, cfg.seed, &|seed| {
             Box::new(ProportionalSampling::new(PsConfig { eta, seed }))
         });
-        ps_points.push(CurvePoint {
+        CurvePoint {
             param: format!("eta={eta}"),
             outcome: out,
-        });
-    }
+        }
+    });
     curves.insert("PS".into(), ps_points);
 
     // LCB: sweep τ_max.
-    let mut lcb_points = Vec::new();
-    for tau in cfg.tau_grid() {
+    let taus = cfg.tau_grid();
+    let lcb_points = tm_par::par_map(&taus, |&tau| {
         let out = averaged_outcome(ds, cost, device, cfg.trials, cfg.seed, &|seed| {
             Box::new(LowerConfidenceBound::new(LcbConfig {
                 tau_max: tau,
@@ -101,16 +111,15 @@ pub fn rec_fps_curves(ds: &DatasetRun, device: Device, cfg: &ExpConfig) -> AlgoC
                 record_history: false,
             }))
         });
-        lcb_points.push(CurvePoint {
+        CurvePoint {
             param: format!("tau={tau}"),
             outcome: out,
-        });
-    }
+        }
+    });
     curves.insert("LCB".into(), lcb_points);
 
     // TMerge: sweep τ_max.
-    let mut tm_points = Vec::new();
-    for tau in cfg.tau_grid() {
+    let tm_points = tm_par::par_map(&taus, |&tau| {
         let out = averaged_outcome(ds, cost, device, cfg.trials, cfg.seed, &|seed| {
             Box::new(TMerge::new(TMergeConfig {
                 tau_max: tau,
@@ -118,11 +127,11 @@ pub fn rec_fps_curves(ds: &DatasetRun, device: Device, cfg: &ExpConfig) -> AlgoC
                 ..TMergeConfig::default()
             }))
         });
-        tm_points.push(CurvePoint {
+        CurvePoint {
             param: format!("tau={tau}"),
             outcome: out,
-        });
-    }
+        }
+    });
     curves.insert("TMerge".into(), tm_points);
 
     AlgoCurves {
@@ -142,13 +151,10 @@ pub fn fig05(cfg: &ExpConfig) -> Vec<AlgoCurves> {
         cfg.limit(kitti(), 8),
         cfg.limit(pathtrack(), if cfg.quick { 2 } else { 5 }),
     ];
-    datasets
-        .iter()
-        .map(|spec| {
-            let ds = DatasetRun::prepare(spec, TrackerKind::Tracktor, None);
-            rec_fps_curves(&ds, Device::Cpu, cfg)
-        })
-        .collect()
+    tm_par::par_map(&datasets, |spec| {
+        let ds = DatasetRun::prepare(spec, TrackerKind::Tracktor, None);
+        rec_fps_curves(&ds, Device::Cpu, cfg)
+    })
 }
 
 /// Fig. 6: batched (`-B`) REC–FPS curves, `B ∈ {10, 100}`, on the three
@@ -159,14 +165,16 @@ pub fn fig06(cfg: &ExpConfig) -> Vec<AlgoCurves> {
         cfg.limit(kitti(), 8),
         cfg.limit(pathtrack(), if cfg.quick { 2 } else { 5 }),
     ];
-    let mut out = Vec::new();
-    for spec in &datasets {
+    tm_par::par_map(&datasets, |spec| {
         let ds = DatasetRun::prepare(spec, TrackerKind::Tracktor, None);
-        for batch in [10usize, 100] {
-            out.push(rec_fps_curves(&ds, Device::Gpu { batch }, cfg));
-        }
-    }
-    out
+        [10usize, 100]
+            .iter()
+            .map(|&batch| rec_fps_curves(&ds, Device::Gpu { batch }, cfg))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// One Table II row: an algorithm's FPS at the two REC targets.
@@ -216,16 +224,21 @@ fn rows_from_curves(curves: &AlgoCurves, suffix: &str) -> Vec<Table2Row> {
         .collect()
 }
 
-/// Computes Table II.
+/// Computes Table II. The three device configurations (CPU, GPU B=10,
+/// GPU B=100) run concurrently against one prepared dataset.
 pub fn table2(cfg: &ExpConfig) -> Table2 {
     let spec = cfg.limit(mot17(), 7);
     let ds = DatasetRun::prepare(&spec, TrackerKind::Tracktor, None);
-    let cpu_curves = rec_fps_curves(&ds, Device::Cpu, cfg);
-    let cpu = rows_from_curves(&cpu_curves, "");
+    let devices = [
+        Device::Cpu,
+        Device::Gpu { batch: 10 },
+        Device::Gpu { batch: 100 },
+    ];
+    let all = tm_par::par_map(&devices, |&device| rec_fps_curves(&ds, device, cfg));
+    let cpu = rows_from_curves(&all[0], "");
     let mut gpu = BTreeMap::new();
-    for batch in [10usize, 100] {
-        let curves = rec_fps_curves(&ds, Device::Gpu { batch }, cfg);
-        gpu.insert(format!("B={batch}"), rows_from_curves(&curves, "-B"));
+    for (curves, batch) in all[1..].iter().zip([10usize, 100]) {
+        gpu.insert(format!("B={batch}"), rows_from_curves(curves, "-B"));
     }
     Table2 { cpu, gpu }
 }

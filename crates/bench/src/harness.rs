@@ -74,9 +74,27 @@ impl RunOutcome {
     }
 }
 
+/// What one video's worker produced; folded in video order so the
+/// aggregate is bit-identical to the serial loop for any thread count.
+struct VideoOutcome {
+    elapsed_ms: f64,
+    frames: u64,
+    evals: u64,
+    n_candidates: usize,
+    inferences: u64,
+    cache_hits: u64,
+    rec: Option<f64>,
+}
+
 /// Runs a selector over every window of every video, one ReID session per
 /// video (features are reused across that video's windows), and aggregates
 /// REC and FPS.
+///
+/// Videos fan out over worker threads (`TMERGE_THREADS`, see `tm_par`);
+/// per-video results are collected into index-ordered buffers and folded in
+/// video order, so the outcome is bit-identical to a serial run. Each video
+/// keeps its own simulated clock, and the clocks are summed — parallelism
+/// changes wall-clock only, never the reported FPS/REC.
 pub fn run_selector(
     runs: &[VideoRun],
     selector: &dyn CandidateSelector,
@@ -84,17 +102,11 @@ pub fn run_selector(
     cost: CostModel,
     device: Device,
 ) -> RunOutcome {
-    let mut total_ms = 0.0;
-    let mut total_frames = 0u64;
-    let mut total_evals = 0u64;
-    let mut n_candidates = 0usize;
-    let mut inferences = 0u64;
-    let mut cache_hits = 0u64;
-    let mut recs: Vec<f64> = Vec::new();
-    for run in runs {
+    let outcomes = tm_par::par_map(runs, |run| {
         let model = run.video.model();
         let mut session = ReidSession::new(&model, cost, device);
         let mut candidates: Vec<TrackPair> = Vec::new();
+        let mut evals = 0u64;
         for wp in &run.windows {
             if wp.pairs.is_empty() {
                 continue;
@@ -105,17 +117,38 @@ pub fn run_selector(
                 k,
             };
             let result = selector.select(&input, &mut session);
-            total_evals += result.distance_evals;
+            evals += result.distance_evals;
             candidates.extend(result.candidates);
         }
-        total_ms += session.elapsed_ms();
-        inferences += session.stats().inferences;
-        cache_hits += session.stats().cache_hits;
-        total_frames += run.video.n_frames;
-        n_candidates += candidates.len();
-        if !run.truth.is_empty() {
-            recs.push(recall(candidates.iter(), &run.truth));
+        VideoOutcome {
+            elapsed_ms: session.elapsed_ms(),
+            frames: run.video.n_frames,
+            evals,
+            n_candidates: candidates.len(),
+            inferences: session.stats().inferences,
+            cache_hits: session.stats().cache_hits,
+            rec: if run.truth.is_empty() {
+                None
+            } else {
+                Some(recall(candidates.iter(), &run.truth))
+            },
         }
+    });
+    let mut total_ms = 0.0;
+    let mut total_frames = 0u64;
+    let mut total_evals = 0u64;
+    let mut n_candidates = 0usize;
+    let mut inferences = 0u64;
+    let mut cache_hits = 0u64;
+    let mut recs: Vec<f64> = Vec::new();
+    for o in outcomes {
+        total_ms += o.elapsed_ms;
+        total_frames += o.frames;
+        total_evals += o.evals;
+        n_candidates += o.n_candidates;
+        inferences += o.inferences;
+        cache_hits += o.cache_hits;
+        recs.extend(o.rec);
     }
     let rec = if recs.is_empty() {
         1.0

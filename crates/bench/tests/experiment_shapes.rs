@@ -51,7 +51,10 @@ fn fig07_rec_saturates_and_runtime_grows() {
     assert!(r.points.len() >= 2);
     let first = &r.points[0];
     let last = r.points.last().unwrap();
-    assert!(last.rec >= first.rec, "more budget must not lose recall on average");
+    assert!(
+        last.rec >= first.rec,
+        "more budget must not lose recall on average"
+    );
     assert!(last.runtime_s > first.runtime_s);
     // TMerge-B stays far below the BL-B reference runtime.
     assert!(last.runtime_s * 3.0 < r.bl_b_runtime_s);
@@ -116,5 +119,8 @@ fn regret_decreases_with_tau() {
     assert!(r.points.len() >= 3);
     let early = r.points[1].avg_regret;
     let late = r.points.last().unwrap().avg_regret;
-    assert!(late < early, "average regret must shrink: {early} -> {late}");
+    assert!(
+        late < early,
+        "average regret must shrink: {early} -> {late}"
+    );
 }

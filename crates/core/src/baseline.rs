@@ -36,7 +36,9 @@ impl CandidateSelector for Baseline {
 mod tests {
     use super::*;
     use tm_reid::{AppearanceConfig, AppearanceModel, CostModel, Device};
-    use tm_types::{ids::classes, BBox, FrameIdx, GtObjectId, Track, TrackBox, TrackId, TrackPair, TrackSet};
+    use tm_types::{
+        ids::classes, BBox, FrameIdx, GtObjectId, Track, TrackBox, TrackId, TrackPair, TrackSet,
+    };
 
     fn track(id: u64, actor: u64, start: u64, n: usize) -> Track {
         Track::with_boxes(
@@ -80,20 +82,36 @@ mod tests {
     fn baseline_finds_polyonymous_pairs_at_small_k() {
         let (model, tracks, pairs) = fixture();
         // K chosen so m = 2 (15 pairs → ⌈0.14·15⌉ = 3... use 2/15).
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 2.0 / 15.0 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 2.0 / 15.0,
+        };
         assert_eq!(input.m(), 2);
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let result = Baseline.select(&input, &mut session);
         let expect_a = TrackPair::new(TrackId(1), TrackId(2)).unwrap();
         let expect_b = TrackPair::new(TrackId(3), TrackId(4)).unwrap();
-        assert!(result.candidates.contains(&expect_a), "{:?}", result.candidates);
-        assert!(result.candidates.contains(&expect_b), "{:?}", result.candidates);
+        assert!(
+            result.candidates.contains(&expect_a),
+            "{:?}",
+            result.candidates
+        );
+        assert!(
+            result.candidates.contains(&expect_b),
+            "{:?}",
+            result.candidates
+        );
     }
 
     #[test]
     fn baseline_evaluates_every_bbox_pair() {
         let (model, tracks, pairs) = fixture();
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.1 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 0.1,
+        };
         let mut session = ReidSession::new(&model, CostModel::calibrated(), Device::Cpu);
         let result = Baseline.select(&input, &mut session);
         // 15 pairs × 64 bbox pairs.
@@ -104,11 +122,14 @@ mod tests {
     #[test]
     fn gpu_variant_is_cheaper_and_identical() {
         let (model, tracks, pairs) = fixture();
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.2 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 0.2,
+        };
         let mut cpu = ReidSession::new(&model, CostModel::calibrated(), Device::Cpu);
         let r_cpu = Baseline.select(&input, &mut cpu);
-        let mut gpu =
-            ReidSession::new(&model, CostModel::calibrated(), Device::Gpu { batch: 10 });
+        let mut gpu = ReidSession::new(&model, CostModel::calibrated(), Device::Gpu { batch: 10 });
         let r_gpu = Baseline.select(&input, &mut gpu);
         assert_eq!(r_cpu.candidates, r_gpu.candidates);
         assert!(gpu.elapsed_ms() < cpu.elapsed_ms());
@@ -117,7 +138,11 @@ mod tests {
     #[test]
     fn empty_pair_set_is_fine() {
         let (model, tracks, _) = fixture();
-        let input = SelectionInput { pairs: &[], tracks: &tracks, k: 0.5 };
+        let input = SelectionInput {
+            pairs: &[],
+            tracks: &tracks,
+            k: 0.5,
+        };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let result = Baseline.select(&input, &mut session);
         assert!(result.candidates.is_empty());

@@ -183,21 +183,40 @@ mod tests {
     #[test]
     fn finds_the_polyonymous_pair() {
         let (model, tracks, pairs) = fixture();
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 1.0 / 6.0 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 1.0 / 6.0,
+        };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
-        let eg = EpsilonGreedy::new(EGreedyConfig { tau_max: 300, epsilon: 0.15, seed: 3 });
+        let eg = EpsilonGreedy::new(EGreedyConfig {
+            tau_max: 300,
+            epsilon: 0.15,
+            seed: 3,
+        });
         let r = eg.select(&input, &mut session);
-        assert_eq!(r.candidates, vec![TrackPair::new(TrackId(1), TrackId(2)).unwrap()]);
+        assert_eq!(
+            r.candidates,
+            vec![TrackPair::new(TrackId(1), TrackId(2)).unwrap()]
+        );
     }
 
     #[test]
     fn respects_budget_and_is_deterministic() {
         let (model, tracks, pairs) = fixture();
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.5 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 0.5,
+        };
         let run = || {
             let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
-            EpsilonGreedy::new(EGreedyConfig { tau_max: 123, epsilon: 0.2, seed: 9 })
-                .select(&input, &mut session)
+            EpsilonGreedy::new(EGreedyConfig {
+                tau_max: 123,
+                epsilon: 0.2,
+                seed: 9,
+            })
+            .select(&input, &mut session)
         };
         let a = run();
         assert_eq!(a.distance_evals, 123);
@@ -207,9 +226,17 @@ mod tests {
     #[test]
     fn epsilon_zero_is_pure_greedy_and_still_terminates() {
         let (model, tracks, pairs) = fixture();
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.5 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 0.5,
+        };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
-        let eg = EpsilonGreedy::new(EGreedyConfig { tau_max: 10_000, epsilon: 0.0, seed: 0 });
+        let eg = EpsilonGreedy::new(EGreedyConfig {
+            tau_max: 10_000,
+            epsilon: 0.0,
+            seed: 0,
+        });
         let r = eg.select(&input, &mut session);
         // 6 pairs × 100 bbox pairs: budget exceeds all pools.
         assert_eq!(r.distance_evals, 600);

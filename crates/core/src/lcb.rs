@@ -192,19 +192,38 @@ mod tests {
     #[test]
     fn finds_polyonymous_pair_with_small_budget() {
         let (model, tracks, pairs) = fixture();
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.1 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 0.1,
+        };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
-        let lcb = LowerConfidenceBound::new(LcbConfig { tau_max: 120, seed: 4, record_history: false });
+        let lcb = LowerConfidenceBound::new(LcbConfig {
+            tau_max: 120,
+            seed: 4,
+            record_history: false,
+        });
         let r = lcb.select(&input, &mut session);
-        assert_eq!(r.candidates, vec![TrackPair::new(TrackId(1), TrackId(2)).unwrap()]);
+        assert_eq!(
+            r.candidates,
+            vec![TrackPair::new(TrackId(1), TrackId(2)).unwrap()]
+        );
     }
 
     #[test]
     fn respects_budget() {
         let (model, tracks, pairs) = fixture();
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.1 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 0.1,
+        };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
-        let lcb = LowerConfidenceBound::new(LcbConfig { tau_max: 37, seed: 0, record_history: true });
+        let lcb = LowerConfidenceBound::new(LcbConfig {
+            tau_max: 37,
+            seed: 0,
+            record_history: true,
+        });
         let r = lcb.select(&input, &mut session);
         assert_eq!(r.distance_evals, 37);
         assert_eq!(r.history.len(), 37);
@@ -214,9 +233,17 @@ mod tests {
     #[test]
     fn biases_sampling_toward_the_low_score_pair() {
         let (model, tracks, pairs) = fixture();
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.1 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 0.1,
+        };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
-        let lcb = LowerConfidenceBound::new(LcbConfig { tau_max: 200, seed: 2, record_history: true });
+        let lcb = LowerConfidenceBound::new(LcbConfig {
+            tau_max: 200,
+            seed: 2,
+            record_history: true,
+        });
         let r = lcb.select(&input, &mut session);
         // Late samples should be dominated by low distances (the
         // polyonymous pair); compare mean of last quarter vs first quarter.
@@ -231,9 +258,17 @@ mod tests {
         let (model, tracks, _) = fixture();
         let pairs = vec![TrackPair::new(TrackId(1), TrackId(2)).unwrap()];
         // Budget far beyond the pool size (100 bbox pairs).
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 1.0 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 1.0,
+        };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
-        let lcb = LowerConfidenceBound::new(LcbConfig { tau_max: 10_000, seed: 0, record_history: false });
+        let lcb = LowerConfidenceBound::new(LcbConfig {
+            tau_max: 10_000,
+            seed: 0,
+            record_history: false,
+        });
         let r = lcb.select(&input, &mut session);
         assert_eq!(r.distance_evals, 100, "must stop at pool exhaustion");
     }
@@ -242,11 +277,21 @@ mod tests {
     fn gpu_batching_barely_helps_lcb() {
         // The paper's point: LCB-B pays a round per iteration.
         let (model, tracks, pairs) = fixture();
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.1 };
-        let cfg = LcbConfig { tau_max: 150, seed: 1, record_history: false };
-        let mut gpu10 = ReidSession::new(&model, CostModel::calibrated(), Device::Gpu { batch: 10 });
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 0.1,
+        };
+        let cfg = LcbConfig {
+            tau_max: 150,
+            seed: 1,
+            record_history: false,
+        };
+        let mut gpu10 =
+            ReidSession::new(&model, CostModel::calibrated(), Device::Gpu { batch: 10 });
         LowerConfidenceBound::new(cfg).select(&input, &mut gpu10);
-        let mut gpu100 = ReidSession::new(&model, CostModel::calibrated(), Device::Gpu { batch: 100 });
+        let mut gpu100 =
+            ReidSession::new(&model, CostModel::calibrated(), Device::Gpu { batch: 100 });
         LowerConfidenceBound::new(cfg).select(&input, &mut gpu100);
         // Larger batch size changes essentially nothing.
         let ratio = gpu10.elapsed_ms() / gpu100.elapsed_ms();

@@ -49,8 +49,11 @@ pub use baseline::Baseline;
 pub use egreedy::{EGreedyConfig, EpsilonGreedy};
 pub use lcb::{LcbConfig, LowerConfidenceBound};
 pub use pairs::{all_pairs, build_window_pairs, WindowPairs};
-pub use pipeline::{run_pipeline, PipelineConfig, PipelineReport, SelectorKind};
+pub use pipeline::{
+    run_pipeline, run_pipeline_parallel, PipelineConfig, PipelineReport, SelectorKind,
+};
 pub use ps::{ProportionalSampling, PsConfig};
+pub use score::{exact_scores, exact_scores_reference, sum_pairwise_unit_distances};
 pub use selector::{CandidateSelector, SelectionInput, SelectionResult};
 pub use stream::{StreamConfig, StreamingMerger, WindowDecision};
 pub use tmerge::{TMerge, TMergeConfig};

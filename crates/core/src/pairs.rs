@@ -133,7 +133,10 @@ mod tests {
         // Window 0 first half = [0, 50): only track 1 → no pairs.
         assert!(wp[0].pairs.is_empty());
         // Window 1 first half = [50, 100): track 2; T_0 = {1} → pair (1,2).
-        assert_eq!(wp[1].pairs, vec![TrackPair::new(TrackId(1), TrackId(2)).unwrap()]);
+        assert_eq!(
+            wp[1].pairs,
+            vec![TrackPair::new(TrackId(1), TrackId(2)).unwrap()]
+        );
     }
 
     #[test]
@@ -151,10 +154,7 @@ mod tests {
 
     #[test]
     fn different_classes_are_never_paired() {
-        let ts = TrackSet::from_tracks(vec![
-            ped(1, 0, 50),
-            track_span(2, classes::CAR, 0, 50),
-        ]);
+        let ts = TrackSet::from_tracks(vec![ped(1, 0, 50), track_span(2, classes::CAR, 0, 50)]);
         let wp = build_window_pairs(&ts, 100, 100).unwrap();
         assert!(wp.iter().all(|w| w.pairs.is_empty()));
     }

@@ -15,7 +15,8 @@ use crate::ps::{ProportionalSampling, PsConfig};
 use crate::selector::{CandidateSelector, SelectionInput};
 use crate::tmerge::{TMerge, TMergeConfig};
 use crate::union::merge_mapping;
-use tm_reid::{AppearanceModel, CostModel, Device, ReidSession, ReidStats};
+use std::sync::Arc;
+use tm_reid::{AppearanceModel, CostModel, Device, ReidSession, ReidStats, SharedFeatureCache};
 use tm_types::{Result, TrackPair, TrackSet};
 
 /// Which candidate-selection algorithm the pipeline runs.
@@ -153,6 +154,106 @@ pub fn run_pipeline(
     })
 }
 
+/// What one window's worker produced (folded in window order afterwards).
+struct WindowOutcome {
+    candidates: Vec<TrackPair>,
+    n_pairs: usize,
+    distance_evals: u64,
+    elapsed_ms: f64,
+    stats: ReidStats,
+}
+
+/// Runs the merging pipeline with the windows fanned out over threads
+/// (`TMERGE_THREADS`, see `tm_par`).
+///
+/// Each window gets its own [`ReidSession`], all reading through one
+/// [`SharedFeatureCache`] — the parallel analogue of the serial pipeline's
+/// single cross-window session. Results are folded in **window order**, so
+/// candidate order matches [`run_pipeline`] exactly.
+///
+/// ## Cost-accounting semantics
+///
+/// Every window runs against its own simulated clock; the report's
+/// `elapsed_ms` is the **sum** of the per-window clocks — i.e. total
+/// simulated work, directly comparable to the serial pipeline's clock, not
+/// a parallel wall-clock estimate. Each distinct box is inferred (and
+/// charged) exactly once across all windows — the first session to request
+/// it pays, racers reuse it for free — so on CPU, where inference cost is
+/// linear per item, the summed clock is identical to the serial run's. On
+/// GPU, *which* window's round a feature lands in depends on scheduling,
+/// so the round count (and the summed per-round launch overhead) can
+/// differ from the serial run by at most one overhead per window.
+/// Candidates, distance evaluations and total inference counts are
+/// scheduling-independent: features are deterministic in (actor, frame),
+/// so every selector sees the same distances regardless of which session
+/// computed the underlying features.
+pub fn run_pipeline_parallel(
+    tracks: &TrackSet,
+    n_frames: u64,
+    model: &AppearanceModel,
+    config: &PipelineConfig,
+    verifier: Option<&dyn Fn(&TrackPair) -> bool>,
+) -> Result<PipelineReport> {
+    let windows = build_window_pairs(tracks, n_frames, config.window_len)?;
+    let selector = config.selector.build();
+    let cache = Arc::new(SharedFeatureCache::new());
+
+    let outcomes = tm_par::par_map(&windows, |wp| {
+        if wp.pairs.is_empty() {
+            return None;
+        }
+        let mut session =
+            ReidSession::with_shared_cache(model, config.cost, config.device, Arc::clone(&cache));
+        let input = SelectionInput {
+            pairs: &wp.pairs,
+            tracks,
+            k: config.k,
+        };
+        let result = selector.select(&input, &mut session);
+        Some(WindowOutcome {
+            candidates: result.candidates,
+            n_pairs: wp.pairs.len(),
+            distance_evals: result.distance_evals,
+            elapsed_ms: session.elapsed_ms(),
+            stats: session.stats(),
+        })
+    });
+
+    // Window-ordered fold: identical aggregation order to the serial walk.
+    let mut candidates = Vec::new();
+    let mut n_pairs = 0usize;
+    let mut distance_evals = 0u64;
+    let mut elapsed_ms = 0.0f64;
+    let mut stats = ReidStats::default();
+    for outcome in outcomes.into_iter().flatten() {
+        candidates.extend(outcome.candidates);
+        n_pairs += outcome.n_pairs;
+        distance_evals += outcome.distance_evals;
+        elapsed_ms += outcome.elapsed_ms;
+        stats.inferences += outcome.stats.inferences;
+        stats.cache_hits += outcome.stats.cache_hits;
+        stats.distances += outcome.stats.distances;
+        stats.gpu_rounds += outcome.stats.gpu_rounds;
+    }
+
+    let accepted: Vec<TrackPair> = match verifier {
+        Some(v) => candidates.iter().filter(|p| v(p)).copied().collect(),
+        None => candidates.clone(),
+    };
+    let mapping = merge_mapping(&accepted);
+    let merged = tracks.relabeled(&mapping);
+
+    Ok(PipelineReport {
+        merged,
+        candidates,
+        accepted,
+        n_pairs,
+        distance_evals,
+        elapsed_ms,
+        stats,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,8 +317,7 @@ mod tests {
     fn verifier_filters_candidates() {
         let (model, tracks) = fixture();
         let reject_all = |_: &TrackPair| false;
-        let report =
-            run_pipeline(&tracks, 200, &model, &config(), Some(&reject_all)).unwrap();
+        let report = run_pipeline(&tracks, 200, &model, &config(), Some(&reject_all)).unwrap();
         assert!(report.accepted.is_empty());
         // Nothing merged.
         assert_eq!(report.merged.len(), tracks.len());
@@ -255,10 +355,47 @@ mod tests {
     }
 
     #[test]
+    fn parallel_pipeline_matches_serial() {
+        let (model, tracks) = fixture();
+        let mut cfg = config();
+        cfg.window_len = 100; // several half-overlapping windows
+        let serial = run_pipeline(&tracks, 200, &model, &cfg, None).unwrap();
+        std::env::set_var(tm_par::THREADS_ENV, "4");
+        let parallel = run_pipeline_parallel(&tracks, 200, &model, &cfg, None).unwrap();
+        std::env::remove_var(tm_par::THREADS_ENV);
+        assert_eq!(serial.candidates, parallel.candidates);
+        assert_eq!(serial.accepted, parallel.accepted);
+        assert_eq!(serial.n_pairs, parallel.n_pairs);
+        assert_eq!(serial.distance_evals, parallel.distance_evals);
+        // The shared cache charges each distinct box exactly once globally,
+        // like the serial session's cross-window reuse.
+        assert_eq!(serial.stats.inferences, parallel.stats.inferences);
+        assert_eq!(serial.stats.distances, parallel.stats.distances);
+        // CPU inference cost is linear per item, so the summed per-window
+        // clocks reproduce the serial clock (up to float association).
+        assert!(
+            (serial.elapsed_ms - parallel.elapsed_ms).abs() < 1e-6,
+            "serial {} vs parallel {}",
+            serial.elapsed_ms,
+            parallel.elapsed_ms
+        );
+        assert_eq!(serial.merged.len(), parallel.merged.len());
+    }
+
+    #[test]
+    fn parallel_pipeline_applies_verifier() {
+        let (model, tracks) = fixture();
+        let reject_all = |_: &TrackPair| false;
+        let report =
+            run_pipeline_parallel(&tracks, 200, &model, &config(), Some(&reject_all)).unwrap();
+        assert!(report.accepted.is_empty());
+        assert_eq!(report.merged.len(), tracks.len());
+    }
+
+    #[test]
     fn empty_track_set_is_fine() {
         let (model, _) = fixture();
-        let report =
-            run_pipeline(&TrackSet::new(), 200, &model, &config(), None).unwrap();
+        let report = run_pipeline(&TrackSet::new(), 200, &model, &config(), None).unwrap();
         assert!(report.merged.is_empty());
         assert_eq!(report.n_pairs, 0);
     }

@@ -85,7 +85,11 @@ impl CandidateSelector for ProportionalSampling {
             }
             drain_round(session, &mut round, &mut owners, &mut sums);
             for (pb, (sum, count)) in resolved.iter().zip(&sums) {
-                let score = if *count == 0 { 1.0 } else { sum / *count as f64 };
+                let score = if *count == 0 {
+                    1.0
+                } else {
+                    sum / *count as f64
+                };
                 scores.push((pb.pair, score));
             }
         }
@@ -163,7 +167,11 @@ mod tests {
     #[test]
     fn samples_the_requested_fraction() {
         let (model, tracks, pairs) = fixture();
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.5 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 0.5,
+        };
         let mut session = ReidSession::new(&model, CostModel::calibrated(), Device::Cpu);
         let ps = ProportionalSampling::new(PsConfig { eta: 0.25, seed: 1 });
         let r = ps.select(&input, &mut session);
@@ -174,9 +182,14 @@ mod tests {
     #[test]
     fn eta_one_equals_baseline_scores() {
         let (model, tracks, pairs) = fixture();
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 1.0 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 1.0,
+        };
         let mut s1 = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
-        let full = ProportionalSampling::new(PsConfig { eta: 1.0, seed: 3 }).select(&input, &mut s1);
+        let full =
+            ProportionalSampling::new(PsConfig { eta: 1.0, seed: 3 }).select(&input, &mut s1);
         let mut s2 = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let bl = Baseline.select(&input, &mut s2);
         for (p, s) in &full.scores {
@@ -187,17 +200,28 @@ mod tests {
     #[test]
     fn finds_the_polyonymous_pair() {
         let (model, tracks, pairs) = fixture();
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 1.0 / 6.0 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 1.0 / 6.0,
+        };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let ps = ProportionalSampling::new(PsConfig { eta: 0.3, seed: 7 });
         let r = ps.select(&input, &mut session);
-        assert_eq!(r.candidates, vec![TrackPair::new(TrackId(1), TrackId(2)).unwrap()]);
+        assert_eq!(
+            r.candidates,
+            vec![TrackPair::new(TrackId(1), TrackId(2)).unwrap()]
+        );
     }
 
     #[test]
     fn deterministic_under_seed() {
         let (model, tracks, pairs) = fixture();
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.5 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 0.5,
+        };
         let run = |seed| {
             let mut s = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
             ProportionalSampling::new(PsConfig { eta: 0.1, seed }).select(&input, &mut s)
@@ -208,7 +232,11 @@ mod tests {
     #[test]
     fn minimum_one_sample_per_stratum() {
         let (model, tracks, pairs) = fixture();
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 1.0 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 1.0,
+        };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let ps = ProportionalSampling::new(PsConfig { eta: 1e-9, seed: 0 });
         let r = ps.select(&input, &mut session);

@@ -66,7 +66,10 @@ impl WithoutReplacement {
 /// second track's box count.
 pub fn split_flat_index(flat: u64, b_len: usize) -> (usize, usize) {
     debug_assert!(b_len > 0);
-    ((flat / b_len as u64) as usize, (flat % b_len as u64) as usize)
+    (
+        (flat / b_len as u64) as usize,
+        (flat % b_len as u64) as usize,
+    )
 }
 
 #[cfg(test)]

@@ -23,8 +23,7 @@ pub struct SelectionInput<'a> {
 impl SelectionInput<'_> {
     /// The candidate-set size `m = ⌈K·|P_c|⌉` (at most `|P_c|`).
     pub fn m(&self) -> usize {
-        ((self.k.clamp(0.0, 1.0) * self.pairs.len() as f64).ceil() as usize)
-            .min(self.pairs.len())
+        ((self.k.clamp(0.0, 1.0) * self.pairs.len() as f64).ceil() as usize).min(self.pairs.len())
     }
 }
 
@@ -48,7 +47,13 @@ pub struct SelectionResult {
 /// A candidate-selection algorithm. The [`ReidSession`] provides distances
 /// and carries all cost accounting; selectors must route every model
 /// invocation through it.
-pub trait CandidateSelector {
+///
+/// Selectors are `Send + Sync` so the parallel pipeline and the experiment
+/// engine can share one boxed selector across worker threads. All mutable
+/// per-run state (RNGs, posteriors) lives inside `select`, which seeds a
+/// fresh RNG from the configured seed per call — so a shared selector is
+/// indistinguishable from a per-thread instance.
+pub trait CandidateSelector: Send + Sync {
     /// Display name for tables/figures (e.g. "TMerge", "BL").
     fn name(&self) -> String;
 
@@ -81,13 +86,29 @@ mod tests {
     fn m_is_ceil_of_fraction() {
         let pairs: Vec<TrackPair> = (0..10).map(|i| pair(i, i + 100)).collect();
         let tracks = TrackSet::new();
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.05 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 0.05,
+        };
         assert_eq!(input.m(), 1); // ⌈0.5⌉
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.25 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 0.25,
+        };
         assert_eq!(input.m(), 3); // ⌈2.5⌉
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 1.0 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 1.0,
+        };
         assert_eq!(input.m(), 10);
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.0 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 0.0,
+        };
         assert_eq!(input.m(), 0);
     }
 
@@ -95,7 +116,11 @@ mod tests {
     fn m_clamps_out_of_range_k() {
         let pairs: Vec<TrackPair> = (0..4).map(|i| pair(i, i + 100)).collect();
         let tracks = TrackSet::new();
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 2.0 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 2.0,
+        };
         assert_eq!(input.m(), 4);
     }
 

@@ -108,11 +108,7 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
     /// observed so far (with boxes up to `frames_available`); the merger
     /// processes every window that has fully elapsed and returns one
     /// decision per newly processed window.
-    pub fn advance(
-        &mut self,
-        tracks: &TrackSet,
-        frames_available: u64,
-    ) -> Vec<WindowDecision> {
+    pub fn advance(&mut self, tracks: &TrackSet, frames_available: u64) -> Vec<WindowDecision> {
         let mut out = Vec::new();
         loop {
             let w = self.window(self.next_window);
@@ -270,7 +266,10 @@ mod tests {
             CostModel::zero(),
             Device::Cpu,
             selector(),
-            StreamConfig { window_len: 99, k: 0.1 },
+            StreamConfig {
+                window_len: 99,
+                k: 0.1
+            },
         )
         .is_err());
     }
@@ -278,14 +277,9 @@ mod tests {
     #[test]
     fn advance_processes_only_elapsed_windows() {
         let (model, tracks) = fixture();
-        let mut m = StreamingMerger::new(
-            &model,
-            CostModel::zero(),
-            Device::Cpu,
-            selector(),
-            config(),
-        )
-        .unwrap();
+        let mut m =
+            StreamingMerger::new(&model, CostModel::zero(), Device::Cpu, selector(), config())
+                .unwrap();
         // 150 frames available: window [0,200) has not elapsed yet.
         assert!(m.advance(&tracks, 150).is_empty());
         let d = m.advance(&tracks, 250);
@@ -298,14 +292,9 @@ mod tests {
     #[test]
     fn streaming_finds_fragments_incrementally() {
         let (model, tracks) = fixture();
-        let mut m = StreamingMerger::new(
-            &model,
-            CostModel::zero(),
-            Device::Cpu,
-            selector(),
-            config(),
-        )
-        .unwrap();
+        let mut m =
+            StreamingMerger::new(&model, CostModel::zero(), Device::Cpu, selector(), config())
+                .unwrap();
         let mut decisions = Vec::new();
         for frames in [200, 300, 320, 400] {
             decisions.extend(m.advance(&tracks, frames));
@@ -332,14 +321,9 @@ mod tests {
     #[test]
     fn no_pair_is_examined_twice_across_windows() {
         let (model, tracks) = fixture();
-        let mut m = StreamingMerger::new(
-            &model,
-            CostModel::zero(),
-            Device::Cpu,
-            selector(),
-            config(),
-        )
-        .unwrap();
+        let mut m =
+            StreamingMerger::new(&model, CostModel::zero(), Device::Cpu, selector(), config())
+                .unwrap();
         let mut seen = BTreeSet::new();
         let mut decisions = m.advance(&tracks, 400);
         decisions.extend(m.finish(&tracks, 400));

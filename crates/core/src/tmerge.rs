@@ -206,8 +206,7 @@ impl CandidateSelector for TMerge {
             let mut draws: Vec<(usize, f64)> = live
                 .iter()
                 .map(|&i| {
-                    let beta =
-                        Beta::new(arms[i].s, arms[i].f).expect("shape params are ≥ 1");
+                    let beta = Beta::new(arms[i].s, arms[i].f).expect("shape params are ≥ 1");
                     (i, beta.sample(&mut rng))
                 })
                 .collect();
@@ -218,8 +217,7 @@ impl CandidateSelector for TMerge {
             // Line 7: sample a BBox pair (without replacement) from each
             // chosen arm; evaluate as one (GPU) round.
             let mut chosen: Vec<usize> = Vec::with_capacity(take);
-            let mut items: Vec<tm_reid::BoxPairRef<'_>> =
-                Vec::with_capacity(take);
+            let mut items: Vec<tm_reid::BoxPairRef<'_>> = Vec::with_capacity(take);
             for &(i, _) in &draws {
                 let flat = arms[i]
                     .sampler
@@ -413,10 +411,18 @@ mod tests {
     fn finds_polyonymous_pairs_with_a_fraction_of_the_work() {
         let (model, tracks, pairs) = fixture();
         // 28 pairs; m = 2.
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 2.0 / 28.0 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 2.0 / 28.0,
+        };
         assert_eq!(input.m(), 2);
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
-        let tm = TMerge::new(TMergeConfig { tau_max: 500, seed: 11, ..Default::default() });
+        let tm = TMerge::new(TMergeConfig {
+            tau_max: 500,
+            seed: 11,
+            ..Default::default()
+        });
         let r = tm.select(&input, &mut session);
         for p in poly_pairs() {
             assert!(r.candidates.contains(&p), "missing {p}: {:?}", r.candidates);
@@ -428,7 +434,11 @@ mod tests {
     #[test]
     fn respects_tau_budget_exactly() {
         let (model, tracks, pairs) = fixture();
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.1 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 0.1,
+        };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let tm = TMerge::new(TMergeConfig {
             tau_max: 123,
@@ -444,9 +454,17 @@ mod tests {
     #[test]
     fn batched_variant_respects_budget_and_quality() {
         let (model, tracks, pairs) = fixture();
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 2.0 / 28.0 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 2.0 / 28.0,
+        };
         let mut gpu = ReidSession::new(&model, CostModel::calibrated(), Device::Gpu { batch: 10 });
-        let tm = TMerge::new(TMergeConfig { tau_max: 600, seed: 3, ..Default::default() });
+        let tm = TMerge::new(TMergeConfig {
+            tau_max: 600,
+            seed: 3,
+            ..Default::default()
+        });
         let r = tm.select(&input, &mut gpu);
         assert!(r.distance_evals <= 600);
         for p in poly_pairs() {
@@ -480,7 +498,11 @@ mod tests {
                 pairs.push(TrackPair::new(TrackId(a), TrackId(b)).unwrap());
             }
         }
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.1 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 0.1,
+        };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let tm = TMerge::new(TMergeConfig {
             tau_max: 600,
@@ -501,7 +523,11 @@ mod tests {
         // With an enormous thr_S every pair gets F=2; with None, F=1.
         // Verify through the prior posterior mean on a zero-budget run.
         let (model, tracks, pairs) = fixture();
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 1.0 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 1.0,
+        };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let tm = TMerge::new(TMergeConfig {
             tau_max: 0,
@@ -510,9 +536,16 @@ mod tests {
         });
         let r = tm.select(&input, &mut session);
         for s in r.scores.values() {
-            assert!((s - 1.0 / 3.0).abs() < 1e-12, "prior mean should be 1/3, got {s}");
+            assert!(
+                (s - 1.0 / 3.0).abs() < 1e-12,
+                "prior mean should be 1/3, got {s}"
+            );
         }
-        let tm = TMerge::new(TMergeConfig { tau_max: 0, thr_s: None, ..Default::default() });
+        let tm = TMerge::new(TMergeConfig {
+            tau_max: 0,
+            thr_s: None,
+            ..Default::default()
+        });
         let r = tm.select(&input, &mut session);
         for s in r.scores.values() {
             assert!((s - 0.5).abs() < 1e-12);
@@ -522,7 +555,11 @@ mod tests {
     #[test]
     fn ulb_prunes_and_preserves_quality() {
         let (model, tracks, pairs) = fixture();
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 2.0 / 28.0 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 2.0 / 28.0,
+        };
         let run = |ulb: bool| {
             let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
             let tm = TMerge::new(TMergeConfig {
@@ -546,11 +583,19 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let (model, tracks, pairs) = fixture();
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.2 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 0.2,
+        };
         let run = || {
             let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
-            TMerge::new(TMergeConfig { tau_max: 300, seed: 42, ..Default::default() })
-                .select(&input, &mut session)
+            TMerge::new(TMergeConfig {
+                tau_max: 300,
+                seed: 42,
+                ..Default::default()
+            })
+            .select(&input, &mut session)
         };
         let a = run();
         let b = run();
@@ -563,9 +608,23 @@ mod tests {
         let (model, tracks, pairs) = fixture();
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let tm = TMerge::new(TMergeConfig::default());
-        let r = tm.select(&SelectionInput { pairs: &[], tracks: &tracks, k: 0.5 }, &mut session);
+        let r = tm.select(
+            &SelectionInput {
+                pairs: &[],
+                tracks: &tracks,
+                k: 0.5,
+            },
+            &mut session,
+        );
         assert!(r.candidates.is_empty());
-        let r = tm.select(&SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.0 }, &mut session);
+        let r = tm.select(
+            &SelectionInput {
+                pairs: &pairs,
+                tracks: &tracks,
+                k: 0.0,
+            },
+            &mut session,
+        );
         assert!(r.candidates.is_empty());
         assert_eq!(r.distance_evals, 0);
     }
@@ -574,7 +633,11 @@ mod tests {
     fn budget_beyond_all_pools_stops_at_exhaustion() {
         let (model, tracks, _) = fixture();
         let pairs = vec![TrackPair::new(TrackId(1), TrackId(2)).unwrap()];
-        let input = SelectionInput { pairs: &pairs, tracks: &tracks, k: 1.0 };
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 1.0,
+        };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let tm = TMerge::new(TMergeConfig {
             tau_max: 100_000,

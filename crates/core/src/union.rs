@@ -122,7 +122,11 @@ mod tests {
         let mapping = merge_mapping(&[pair(7, 3), pair(7, 9)]);
         assert_eq!(mapping.get(&TrackId(7)), Some(&TrackId(3)));
         assert_eq!(mapping.get(&TrackId(9)), Some(&TrackId(3)));
-        assert_eq!(mapping.get(&TrackId(3)), None, "root maps to itself implicitly");
+        assert_eq!(
+            mapping.get(&TrackId(3)),
+            None,
+            "root maps to itself implicitly"
+        );
     }
 
     #[test]
@@ -147,10 +151,10 @@ mod tests {
         uf.union(TrackId(9), TrackId(5));
         uf.find(TrackId(7)); // singleton
         let groups = uf.groups();
-        assert_eq!(groups, vec![
-            vec![TrackId(1), TrackId(5), TrackId(9)],
-            vec![TrackId(7)],
-        ]);
+        assert_eq!(
+            groups,
+            vec![vec![TrackId(1), TrackId(5), TrackId(9)], vec![TrackId(7)],]
+        );
     }
 
     mod properties {

@@ -119,7 +119,10 @@ mod tests {
                 covered[f as usize] = true;
             }
         }
-        assert!(covered.iter().all(|&c| c), "some frame missed all first halves");
+        assert!(
+            covered.iter().all(|&c| c),
+            "some frame missed all first halves"
+        );
     }
 
     #[test]

@@ -8,10 +8,15 @@ use tm_core::{
     SelectorKind, TMerge, TMergeConfig,
 };
 use tm_reid::{AppearanceConfig, AppearanceModel, CostModel, Device, ReidSession};
-use tm_types::{ids::classes, BBox, FrameIdx, GtObjectId, Track, TrackBox, TrackId, TrackPair, TrackSet};
+use tm_types::{
+    ids::classes, BBox, FrameIdx, GtObjectId, Track, TrackBox, TrackId, TrackPair, TrackSet,
+};
 
 fn single_box_track(id: u64, actor: Option<u64>, frame: u64) -> Track {
-    let mut tb = TrackBox::new(FrameIdx(frame), BBox::new(10.0 * id as f64, 0.0, 20.0, 40.0));
+    let mut tb = TrackBox::new(
+        FrameIdx(frame),
+        BBox::new(10.0 * id as f64, 0.0, 20.0, 40.0),
+    );
     if let Some(a) = actor {
         tb = tb.with_provenance(GtObjectId(a));
     }
@@ -105,12 +110,20 @@ fn zero_and_full_k_are_consistent_for_all_selectors() {
     for selector in selectors() {
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let none = selector.select(
-            &SelectionInput { pairs: &pairs, tracks: &tracks, k: 0.0 },
+            &SelectionInput {
+                pairs: &pairs,
+                tracks: &tracks,
+                k: 0.0,
+            },
             &mut session,
         );
         assert!(none.candidates.is_empty(), "{} with k=0", selector.name());
         let all = selector.select(
-            &SelectionInput { pairs: &pairs, tracks: &tracks, k: 1.0 },
+            &SelectionInput {
+                pairs: &pairs,
+                tracks: &tracks,
+                k: 1.0,
+            },
             &mut session,
         );
         assert_eq!(all.candidates.len(), 1, "{} with k=1", selector.name());
@@ -187,7 +200,11 @@ fn tmerge_with_budget_one_still_returns_m_candidates() {
         ..TMergeConfig::default()
     });
     let r = tm.select(
-        &SelectionInput { pairs: &pairs, tracks: &tracks, k: 2.0 / 3.0 },
+        &SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 2.0 / 3.0,
+        },
         &mut session,
     );
     assert_eq!(r.candidates.len(), 2);

@@ -7,7 +7,12 @@ fn main() {
     for spec in [mot17(), kitti(), pathtrack()] {
         println!("== {} ==", spec.name);
         for video in spec.videos.iter().take(3) {
-            for kind in [TrackerKind::Tracktor, TrackerKind::Sort, TrackerKind::DeepSort, TrackerKind::Uma] {
+            for kind in [
+                TrackerKind::Tracktor,
+                TrackerKind::Sort,
+                TrackerKind::DeepSort,
+                TrackerKind::Uma,
+            ] {
                 let v = prepare(video, kind);
                 let wps = build_window_pairs(&v.tracks, v.n_frames, spec.window_len).unwrap();
                 let n_pairs: usize = wps.iter().map(|w| w.pairs.len()).sum();
@@ -16,7 +21,13 @@ fn main() {
                 let boxes = v.tracks.total_boxes();
                 println!(
                     "{} {:>10}: gt_tracks={} tracks={} boxes={} pairs={} poly={} rate={:.3}%",
-                    v.name, kind.name(), v.gt_tracks.len(), v.tracks.len(), boxes, n_pairs, poly.len(),
+                    v.name,
+                    kind.name(),
+                    v.gt_tracks.len(),
+                    v.tracks.len(),
+                    boxes,
+                    n_pairs,
+                    poly.len(),
                     100.0 * poly.len() as f64 / n_pairs.max(1) as f64
                 );
             }

@@ -1,6 +1,6 @@
 //! Dev probe: why does TMerge rank some polyonymous pairs low?
-use tm_core::{CandidateSelector, SelectionInput, TMerge, TMergeConfig, score::exact_scores};
 use tm_core::build_window_pairs;
+use tm_core::{score::exact_scores, CandidateSelector, SelectionInput, TMerge, TMergeConfig};
 use tm_datasets::{mot17, prepare};
 use tm_reid::{CostModel, Device, ReidSession};
 use tm_track::TrackerKind;
@@ -13,31 +13,54 @@ fn main() {
     let truth = v.poly_truth(pairs);
     println!("pairs={} truth={}", pairs.len(), truth.len());
     let model = v.model();
-    let input = SelectionInput { pairs, tracks: &v.tracks, k: 0.05 };
+    let input = SelectionInput {
+        pairs,
+        tracks: &v.tracks,
+        k: 0.05,
+    };
     println!("m={}", input.m());
 
     // Exact scores for reference.
     let mut oracle = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
     let exact = exact_scores(&input, &mut oracle).unwrap();
     let mut sorted = exact.clone();
-    sorted.sort_by(|a,b| a.1.partial_cmp(&b.1).unwrap());
-    for (rank,(p,s)) in sorted.iter().enumerate().take(40) {
-        println!("exact rank {rank}: {p} score={s:.3} poly={}", truth.contains(p));
+    sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    for (rank, (p, s)) in sorted.iter().enumerate().take(40) {
+        println!(
+            "exact rank {rank}: {p} score={s:.3} poly={}",
+            truth.contains(p)
+        );
     }
-    let poly_ranks: Vec<usize> = sorted.iter().enumerate().filter(|(_,(p,_))| truth.contains(p)).map(|(i,_)| i).collect();
+    let poly_ranks: Vec<usize> = sorted
+        .iter()
+        .enumerate()
+        .filter(|(_, (p, _))| truth.contains(p))
+        .map(|(i, _)| i)
+        .collect();
     println!("exact poly ranks: {poly_ranks:?}");
 
     for tau in [5000u64, 20000] {
-        let tm = TMerge::new(TMergeConfig { tau_max: tau, seed: 7, use_ulb: true, ..Default::default() });
+        let tm = TMerge::new(TMergeConfig {
+            tau_max: tau,
+            seed: 7,
+            use_ulb: true,
+            ..Default::default()
+        });
         let mut s = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let r = tm.select(&input, &mut s);
         let found = truth.iter().filter(|p| r.candidates.contains(p)).count();
         // rank poly pairs by posterior mean
         let mut ranked: Vec<_> = r.scores.iter().collect();
-        ranked.sort_by(|a,b| a.1.partial_cmp(b.1).unwrap());
-        let ranks: Vec<(usize,String)> = ranked.iter().enumerate()
-            .filter(|(_,(p,_))| truth.contains(p))
-            .map(|(i,(p,s))| (i, format!("{p}@{s:.3}"))).collect();
-        println!("tau={tau}: found {found}/{} poly ranks by posterior: {ranks:?}", truth.len());
+        ranked.sort_by(|a, b| a.1.partial_cmp(b.1).unwrap());
+        let ranks: Vec<(usize, String)> = ranked
+            .iter()
+            .enumerate()
+            .filter(|(_, (p, _))| truth.contains(p))
+            .map(|(i, (p, s))| (i, format!("{p}@{s:.3}")))
+            .collect();
+        println!(
+            "tau={tau}: found {found}/{} poly ranks by posterior: {ranks:?}",
+            truth.len()
+        );
     }
 }

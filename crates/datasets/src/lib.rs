@@ -25,4 +25,4 @@ pub mod scenario;
 pub mod suite;
 
 pub use scenario::{crowd_scenario, SceneParams};
-pub use suite::{mot17, kitti, pathtrack, prepare, DatasetSpec, PreparedVideo, VideoSpec};
+pub use suite::{kitti, mot17, pathtrack, prepare, DatasetSpec, PreparedVideo, VideoSpec};

@@ -7,7 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use tm_synth::{ActorSpec, GlareEvent, MotionModel, Occluder, SceneConfig, Scenario};
+use tm_synth::{ActorSpec, GlareEvent, MotionModel, Occluder, Scenario, SceneConfig};
 use tm_types::{BBox, ClassId, FrameIdx, GtObjectId, Point};
 
 /// Parameters of a random crowd scene.
@@ -217,7 +217,10 @@ mod tests {
             .flat_map(|f| &f.instances)
             .filter(|i| i.visibility < 0.2 && i.visible_bbox.is_some())
             .count();
-        assert!(occluded > 10, "no meaningful occlusion happened ({occluded})");
+        assert!(
+            occluded > 10,
+            "no meaningful occlusion happened ({occluded})"
+        );
     }
 
     #[test]

@@ -263,7 +263,10 @@ mod tests {
         // ...with a few hundred pairs for the whole-video window...
         let pairs = build_window_pairs(&v.tracks, v.n_frames, 2000).unwrap();
         let n_pairs: usize = pairs.iter().map(|w| w.pairs.len()).sum();
-        assert!((150..2500).contains(&n_pairs), "unexpected pair count {n_pairs}");
+        assert!(
+            (150..2500).contains(&n_pairs),
+            "unexpected pair count {n_pairs}"
+        );
         // ...a small but non-empty polyonymous subset (the paper reports
         // ~2% on MOT-17).
         let all: Vec<_> = pairs.iter().flat_map(|w| w.pairs.clone()).collect();

@@ -145,7 +145,9 @@ impl Detector {
             .map(|frame| {
                 let mut dets = Vec::new();
                 for inst in &frame.instances {
-                    let Some(vb) = inst.visible_bbox else { continue };
+                    let Some(vb) = inst.visible_bbox else {
+                        continue;
+                    };
                     let p = self
                         .config
                         .detection_probability(inst.visibility, inst.glare);
@@ -158,14 +160,17 @@ impl Detector {
                     let jx = vb.w * self.config.pos_jitter * pos_noise.sample(&mut rng);
                     let jy = vb.h * self.config.pos_jitter * pos_noise.sample(&mut rng);
                     let c = vb.center();
-                    let noisy =
-                        BBox::from_center(c.x + jx, c.y + jy, (vb.w + jw).max(1.0), (vb.h + jh).max(1.0));
+                    let noisy = BBox::from_center(
+                        c.x + jx,
+                        c.y + jy,
+                        (vb.w + jw).max(1.0),
+                        (vb.h + jh).max(1.0),
+                    );
                     let Some(clipped) = noisy.clip_to(&viewport) else {
                         continue;
                     };
                     let conf_mean = 0.55 + 0.45 * inst.visibility - 0.25 * inst.glare;
-                    let conf =
-                        conf_mean + self.config.conf_noise * pos_noise.sample(&mut rng);
+                    let conf = conf_mean + self.config.conf_noise * pos_noise.sample(&mut rng);
                     dets.push(Detection::of_actor(
                         frame.frame,
                         clipped,
@@ -215,7 +220,7 @@ impl Detector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tm_synth::{ActorSpec, MotionModel, Occluder, SceneConfig, Scenario};
+    use tm_synth::{ActorSpec, MotionModel, Occluder, Scenario, SceneConfig};
     use tm_types::{ids::classes, GtObjectId, Point};
 
     fn simple_gt(n_frames: u64) -> GroundTruth {
@@ -239,7 +244,10 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let c = DetectorConfig { detect_prob: 1.5, ..DetectorConfig::default() };
+        let c = DetectorConfig {
+            detect_prob: 1.5,
+            ..DetectorConfig::default()
+        };
         assert!(c.validate().is_err());
         let c = DetectorConfig {
             min_visibility: 0.9,
@@ -247,7 +255,10 @@ mod tests {
             ..DetectorConfig::default()
         };
         assert!(c.validate().is_err());
-        let c = DetectorConfig { fp_rate: -1.0, ..DetectorConfig::default() };
+        let c = DetectorConfig {
+            fp_rate: -1.0,
+            ..DetectorConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -274,7 +285,10 @@ mod tests {
     #[test]
     fn visible_actor_is_detected_most_frames() {
         let gt = simple_gt(200);
-        let cfg = DetectorConfig { fp_rate: 0.0, ..DetectorConfig::default() };
+        let cfg = DetectorConfig {
+            fp_rate: 0.0,
+            ..DetectorConfig::default()
+        };
         let frames = Detector::new(cfg).detect(&gt, 1);
         let hits = frames.iter().filter(|f| !f.is_empty()).count();
         assert!(hits > 180, "only {hits}/200 frames had detections");
@@ -300,7 +314,10 @@ mod tests {
         // Pillar fully covering x in [250, 400] at the actor's height.
         s.push_occluder(Occluder::static_box(BBox::new(250.0, 300.0, 150.0, 250.0)));
         let gt = s.simulate();
-        let cfg = DetectorConfig { fp_rate: 0.0, ..DetectorConfig::default() };
+        let cfg = DetectorConfig {
+            fp_rate: 0.0,
+            ..DetectorConfig::default()
+        };
         let frames = Detector::new(cfg).detect(&gt, 1);
         // While the actor centre is deep behind the pillar (x in [290,360],
         // i.e. frames 48..62) detections must vanish.
@@ -314,7 +331,10 @@ mod tests {
     #[test]
     fn false_positive_rate_is_respected() {
         let gt = simple_gt(2000);
-        let cfg = DetectorConfig { fp_rate: 0.25, ..DetectorConfig::default() };
+        let cfg = DetectorConfig {
+            fp_rate: 0.25,
+            ..DetectorConfig::default()
+        };
         let frames = Detector::new(cfg).detect(&gt, 9);
         let fps: usize = frames
             .iter()
@@ -339,7 +359,10 @@ mod tests {
     #[test]
     fn confidence_tracks_visibility() {
         let gt = simple_gt(300);
-        let cfg = DetectorConfig { fp_rate: 0.0, ..DetectorConfig::default() };
+        let cfg = DetectorConfig {
+            fp_rate: 0.0,
+            ..DetectorConfig::default()
+        };
         let frames = Detector::new(cfg).detect(&gt, 2);
         let mean: f64 = {
             let confs: Vec<f64> = frames.iter().flatten().map(|d| d.confidence).collect();

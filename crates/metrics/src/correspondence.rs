@@ -142,7 +142,11 @@ mod tests {
 
     #[test]
     fn attribution_by_majority() {
-        let ts = set(vec![track(1, 7, 0..10), track(2, 7, 20..30), track(3, 8, 0..10)]);
+        let ts = set(vec![
+            track(1, 7, 0..10),
+            track(2, 7, 20..30),
+            track(3, 8, 0..10),
+        ]);
         let c = Correspondence::from_tracks(&ts, 0.5);
         assert_eq!(c.actor_of(TrackId(1)), Some(GtObjectId(7)));
         assert_eq!(c.actor_of(TrackId(2)), Some(GtObjectId(7)));
@@ -152,7 +156,11 @@ mod tests {
 
     #[test]
     fn polyonymous_detection() {
-        let ts = set(vec![track(1, 7, 0..10), track(2, 7, 20..30), track(3, 8, 0..10)]);
+        let ts = set(vec![
+            track(1, 7, 0..10),
+            track(2, 7, 20..30),
+            track(3, 8, 0..10),
+        ]);
         let c = Correspondence::from_tracks(&ts, 0.5);
         let poly = TrackPair::new(TrackId(1), TrackId(2)).unwrap();
         let not = TrackPair::new(TrackId(1), TrackId(3)).unwrap();
@@ -206,7 +214,11 @@ mod tests {
 
     #[test]
     fn oracle_merge_maps_to_smallest_id() {
-        let ts = set(vec![track(5, 7, 0..10), track(2, 7, 20..30), track(9, 7, 40..50)]);
+        let ts = set(vec![
+            track(5, 7, 0..10),
+            track(2, 7, 20..30),
+            track(9, 7, 40..50),
+        ]);
         let c = Correspondence::from_tracks(&ts, 0.5);
         let m = c.oracle_merge_mapping(&ts);
         assert_eq!(m.get(&TrackId(5)), Some(&TrackId(2)));
@@ -218,7 +230,11 @@ mod tests {
 
     #[test]
     fn polyonymous_in_filters_scope() {
-        let ts = set(vec![track(1, 7, 0..10), track(2, 7, 20..30), track(3, 7, 40..50)]);
+        let ts = set(vec![
+            track(1, 7, 0..10),
+            track(2, 7, 20..30),
+            track(3, 7, 40..50),
+        ]);
         let c = Correspondence::from_tracks(&ts, 0.5);
         let scope = vec![TrackPair::new(TrackId(1), TrackId(2)).unwrap()];
         let poly = c.polyonymous_in(&scope);

@@ -157,8 +157,7 @@ mod tests {
     #[test]
     fn merging_fragments_restores_idf1() {
         let gt = TrackSet::from_tracks(vec![track(1, 0..100, 0.0)]);
-        let fragments =
-            TrackSet::from_tracks(vec![track(10, 0..50, 0.0), track(11, 50..100, 0.0)]);
+        let fragments = TrackSet::from_tracks(vec![track(10, 0..50, 0.0), track(11, 50..100, 0.0)]);
         let mut mapping = HashMap::new();
         mapping.insert(TrackId(11), TrackId(10));
         let merged = fragments.relabeled(&mapping);

@@ -23,10 +23,7 @@ where
     if truth.is_empty() {
         return 1.0;
     }
-    let hit = candidates
-        .into_iter()
-        .filter(|p| truth.contains(p))
-        .count();
+    let hit = candidates.into_iter().filter(|p| truth.contains(p)).count();
     hit as f64 / truth.len() as f64
 }
 

@@ -1,0 +1,232 @@
+//! # tm-par
+//!
+//! The workspace's deterministic fork-join engine. Every fan-out in the
+//! repro — per-video runs, sweep points, whole experiments, pipeline
+//! windows, dense-kernel pair scoring — goes through [`par_map`] (or its
+//! indexed/`for_each` variants), which guarantees:
+//!
+//! - **Determinism.** Results are collected into index-ordered buffers, so
+//!   the output of `par_map(items, f)` is exactly `items.iter().map(f)`
+//!   regardless of thread count or scheduling. Callers that fold floats do
+//!   so over the returned, ordered `Vec`, which makes every aggregate
+//!   bit-identical to the serial run (`TMERGE_THREADS=1`).
+//! - **Bounded threads under nesting.** A global permit pool caps the
+//!   number of live worker threads at [`max_threads`]` - 1` (the calling
+//!   threads themselves do work too). Nested `par_map` calls that find the
+//!   pool empty simply run inline — no deadlock, no thread explosion when
+//!   experiments × sweeps × videos × kernels all fan out at once.
+//! - **`TMERGE_THREADS` override.** `TMERGE_THREADS=1` forces fully serial
+//!   execution; `TMERGE_THREADS=N` caps the fan-out width; unset or `0`
+//!   uses all hardware threads.
+//!
+//! This crate is std-only by design: the build environment is offline, so
+//! pulling `rayon` from a registry is not an option, and the workload —
+//! coarse shared-nothing tasks — needs only scoped threads plus an atomic
+//! work-stealing counter, not rayon's full scheduler.
+
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable controlling the engine's thread cap.
+pub const THREADS_ENV: &str = "TMERGE_THREADS";
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The engine's current thread cap: `TMERGE_THREADS` when set to a positive
+/// integer, otherwise all hardware threads. Re-read on every fan-out so
+/// tests (and long-lived processes) can change the cap between calls.
+pub fn max_threads() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => hardware_threads(),
+        },
+        Err(_) => hardware_threads(),
+    }
+}
+
+/// Live extra workers across the whole process (calling threads excluded).
+fn active_extra() -> &'static AtomicUsize {
+    static POOL: OnceLock<AtomicUsize> = OnceLock::new();
+    POOL.get_or_init(|| AtomicUsize::new(0))
+}
+
+/// Tries to reserve up to `want` extra workers under the cap; returns how
+/// many were granted (possibly 0, in which case the caller runs inline).
+fn try_acquire(want: usize, cap: usize) -> usize {
+    let pool = active_extra();
+    let budget = cap.saturating_sub(1); // one slot is the calling thread
+    let mut cur = pool.load(Ordering::Relaxed);
+    loop {
+        let take = want.min(budget.saturating_sub(cur));
+        if take == 0 {
+            return 0;
+        }
+        match pool.compare_exchange_weak(cur, cur + take, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return take,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Releases permits on drop so a panicking task cannot leak the pool.
+struct Permits(usize);
+
+impl Drop for Permits {
+    fn drop(&mut self) {
+        if self.0 > 0 {
+            active_extra().fetch_sub(self.0, Ordering::Release);
+        }
+    }
+}
+
+/// Parallel, order-preserving map over a slice.
+///
+/// Equivalent to `items.iter().map(f).collect()` — same results, same
+/// order, any thread count. See the crate docs for the guarantees.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items, |_, item| f(item))
+}
+
+/// [`par_map`] with the item index passed to the closure.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let serial = || items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    if n <= 1 {
+        return serial();
+    }
+    let permits = Permits(try_acquire(n - 1, max_threads()));
+    if permits.0 == 0 {
+        return serial();
+    }
+
+    // Dynamic scheduling: workers steal the next index off a shared
+    // counter, so uneven items (quadratic pairs, long videos) balance.
+    let next = AtomicUsize::new(0);
+    let worker = || {
+        let mut local: Vec<(usize, R)> = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            local.push((i, f(i, &items[i])));
+        }
+        local
+    };
+
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..permits.0).map(|_| scope.spawn(&worker)).collect();
+        let own = worker();
+        let mut all = vec![own];
+        for h in handles {
+            match h.join() {
+                Ok(bucket) => all.push(bucket),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        all
+    });
+    drop(permits);
+
+    // Index-ordered collection: scheduling cannot affect the output.
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index is claimed exactly once"))
+        .collect()
+}
+
+/// Runs `f` over every item in parallel, discarding results. Used where
+/// the tasks' only output is a side effect on disjoint state (e.g. each
+/// experiment writing its own JSON file).
+pub fn par_for_each<T, F>(items: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(&T) + Sync,
+{
+    let _units: Vec<()> = par_map(items, |t| f(t));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn matches_serial_map_in_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map(&items, |&x| x * x + 1);
+        let expect: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn indexed_variant_sees_correct_indices() {
+        let items = vec!["a"; 100];
+        let out = par_map_indexed(&items, |i, _| i);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u8], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn nested_calls_do_not_deadlock() {
+        let rows: Vec<u64> = (0..20).collect();
+        let out = par_map(&rows, |&r| {
+            let cols: Vec<u64> = (0..20).collect();
+            par_map(&cols, |&c| r * 100 + c).iter().sum::<u64>()
+        });
+        let expect: Vec<u64> = rows
+            .iter()
+            .map(|&r| (0..20).map(|c| r * 100 + c).sum())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let hits = AtomicU64::new(0);
+        let items: Vec<u32> = (0..1000).collect();
+        par_for_each(&items, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn pool_is_restored_after_use() {
+        let before = active_extra().load(Ordering::Relaxed);
+        let items: Vec<u64> = (0..64).collect();
+        let _ = par_map(&items, |&x| x + 1);
+        assert_eq!(active_extra().load(Ordering::Relaxed), before);
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -193,7 +193,10 @@ mod tests {
     #[test]
     fn co_occurrence_pairs_and_identity_cases() {
         let ts = TrackSet::from_tracks(vec![track(1, 0, 100), track(2, 50, 160)]);
-        assert_eq!(co_occurrence_query(&ts, 2, 51), vec![vec![TrackId(1), TrackId(2)]]);
+        assert_eq!(
+            co_occurrence_query(&ts, 2, 51),
+            vec![vec![TrackId(1), TrackId(2)]]
+        );
         assert!(co_occurrence_query(&ts, 2, 52).is_empty());
         assert!(co_occurrence_query(&ts, 0, 10).is_empty());
         // group_size 1 degenerates to the duration predicate.
@@ -207,7 +210,13 @@ mod tests {
             evaluate(&ts, Query::Count { min_frames: 200 }),
             QueryAnswer::Count(vec![TrackId(1)])
         );
-        let a = evaluate(&ts, Query::CoOccurrence { group_size: 2, min_frames: 10 });
+        let a = evaluate(
+            &ts,
+            Query::CoOccurrence {
+                group_size: 2,
+                min_frames: 10,
+            },
+        );
         assert!(a.is_empty());
     }
 }

@@ -50,24 +50,23 @@ pub fn co_occurrence_recall(
     if gt_groups.is_empty() {
         return 1.0;
     }
-    let pred_groups: BTreeSet<Vec<GtObjectId>> =
-        co_occurrence_query(pred, group_size, min_frames)
-            .into_iter()
-            .filter_map(|g| {
-                let mut actors: Vec<GtObjectId> = g
-                    .iter()
-                    .filter_map(|t| attribution.get(t).copied())
-                    .collect();
-                if actors.len() != group_size {
-                    return None; // some member unattributed
-                }
-                actors.sort();
-                actors.dedup();
-                // Members attributed to the same actor do not form a real
-                // group of `group_size` distinct objects.
-                (actors.len() == group_size).then_some(actors)
-            })
-            .collect();
+    let pred_groups: BTreeSet<Vec<GtObjectId>> = co_occurrence_query(pred, group_size, min_frames)
+        .into_iter()
+        .filter_map(|g| {
+            let mut actors: Vec<GtObjectId> = g
+                .iter()
+                .filter_map(|t| attribution.get(t).copied())
+                .collect();
+            if actors.len() != group_size {
+                return None; // some member unattributed
+            }
+            actors.sort();
+            actors.dedup();
+            // Members attributed to the same actor do not form a real
+            // group of `group_size` distinct objects.
+            (actors.len() == group_size).then_some(actors)
+        })
+        .collect();
     gt_groups.intersection(&pred_groups).count() as f64 / gt_groups.len() as f64
 }
 
@@ -100,7 +99,11 @@ mod tests {
         let gt = TrackSet::from_tracks(vec![track(1, 0, 300), track(2, 0, 300)]);
         // Tracker: actor 1 fragmented into tracks 10/11; actor 2 intact as
         // track 20.
-        let pred = TrackSet::from_tracks(vec![track(10, 0, 150), track(11, 151, 300), track(20, 0, 300)]);
+        let pred = TrackSet::from_tracks(vec![
+            track(10, 0, 150),
+            track(11, 151, 300),
+            track(20, 0, 300),
+        ]);
         let attribution = attr(&[(10, 1), (11, 1), (20, 2)]);
         let r = count_recall(&pred, &gt, 200, &attribution);
         assert!((r - 0.5).abs() < 1e-12, "got {r}");
@@ -125,7 +128,11 @@ mod tests {
         // GT: actors 1, 2, 3 jointly present 0..=100.
         let gt = TrackSet::from_tracks(vec![track(1, 0, 100), track(2, 0, 100), track(3, 0, 100)]);
         // Perfect prediction.
-        let pred = TrackSet::from_tracks(vec![track(10, 0, 100), track(20, 0, 100), track(30, 0, 100)]);
+        let pred = TrackSet::from_tracks(vec![
+            track(10, 0, 100),
+            track(20, 0, 100),
+            track(30, 0, 100),
+        ]);
         let attribution = attr(&[(10, 1), (20, 2), (30, 3)]);
         assert_eq!(co_occurrence_recall(&pred, &gt, 3, 50, &attribution), 1.0);
 
@@ -151,7 +158,11 @@ mod tests {
         let gt = TrackSet::from_tracks(vec![track(1, 0, 100), track(2, 0, 100), track(3, 0, 100)]);
         // Tracks 10 and 11 both belong to actor 1 and overlap (an ID split
         // with overlap); the triple (10, 11, 20) is not a real 3-group.
-        let pred = TrackSet::from_tracks(vec![track(10, 0, 100), track(11, 0, 100), track(20, 0, 100)]);
+        let pred = TrackSet::from_tracks(vec![
+            track(10, 0, 100),
+            track(11, 0, 100),
+            track(20, 0, 100),
+        ]);
         let attribution = attr(&[(10, 1), (11, 1), (20, 2)]);
         assert_eq!(co_occurrence_recall(&pred, &gt, 3, 50, &attribution), 0.0);
     }

@@ -111,9 +111,15 @@ mod tests {
         let gt = TrackSet::from_tracks(vec![walking_track(1, 0..100, 0.0, 1.0)]);
         let pred = TrackSet::from_tracks(vec![walking_track(10, 0..100, 0.0, 1.0)]);
         let mut attribution = HashMap::new();
-        assert_eq!(region_transit_recall(&pred, &gt, &region, 50, &attribution), 0.0);
+        assert_eq!(
+            region_transit_recall(&pred, &gt, &region, 50, &attribution),
+            0.0
+        );
         attribution.insert(TrackId(10), GtObjectId(1));
-        assert_eq!(region_transit_recall(&pred, &gt, &region, 50, &attribution), 1.0);
+        assert_eq!(
+            region_transit_recall(&pred, &gt, &region, 50, &attribution),
+            1.0
+        );
     }
 
     #[test]

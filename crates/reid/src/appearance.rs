@@ -277,6 +277,9 @@ mod tests {
         );
         let f = m.observe_detection(&fp);
         let d = f.euclidean(&m.latent(GtObjectId(0)));
-        assert!(d > 0.5, "FP feature suspiciously close to a real actor: {d}");
+        assert!(
+            d > 0.5,
+            "FP feature suspiciously close to a real actor: {d}"
+        );
     }
 }

@@ -1,0 +1,168 @@
+//! A sharded, read-through feature cache shared by concurrent sessions.
+//!
+//! The parallel pipeline (`tm_core::run_pipeline_parallel`) gives every
+//! window its own [`crate::ReidSession`] but lets all of them share one
+//! `SharedFeatureCache`, mirroring the serial pipeline's cross-window
+//! feature reuse (§IV-B). Each cache slot is a once-cell: the first session
+//! to miss a key computes (and is charged for) the feature while concurrent
+//! requesters for the same key block briefly and then reuse it for free —
+//! so every distinct box is inferred, and charged, exactly once per cache,
+//! just as in the serial run.
+//!
+//! Sharding bounds lock contention; `std::sync::RwLock` is used so the
+//! crate stays dependency-free in offline builds (reads — the hot path
+//! after warm-up — take the shard lock only briefly to clone an `Arc`).
+
+use crate::feature::Feature;
+use crate::session::BoxKey;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Number of shards; a power of two so the shard index is a mask.
+const N_SHARDS: usize = 16;
+
+type Slot = Arc<OnceLock<Arc<Feature>>>;
+
+/// A concurrent `BoxKey → Feature` cache. See the module docs.
+#[derive(Debug, Default)]
+pub struct SharedFeatureCache {
+    shards: [RwLock<HashMap<BoxKey, Slot>>; N_SHARDS],
+}
+
+impl SharedFeatureCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, key: &BoxKey) -> &RwLock<HashMap<BoxKey, Slot>> {
+        // SplitMix64-style avalanche of the (track, frame) pair.
+        let mut z = key
+            .track
+            .get()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(key.frame.get());
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 27;
+        &self.shards[(z as usize) & (N_SHARDS - 1)]
+    }
+
+    /// The cached feature for `key`, if some session already computed it.
+    /// A slot whose computation is still in flight counts as a miss (the
+    /// caller will join it through [`SharedFeatureCache::get_or_compute`]).
+    pub fn get(&self, key: &BoxKey) -> Option<Arc<Feature>> {
+        let shard = self.shard(key).read().expect("cache lock poisoned");
+        shard.get(key).and_then(|slot| slot.get().cloned())
+    }
+
+    /// Read-through lookup: returns the feature for `key`, running
+    /// `compute` iff no other session has (or is) computing it. The
+    /// returned flag is `true` when *this* call did the work — that caller
+    /// owns the simulated inference cost.
+    pub fn get_or_compute(
+        &self,
+        key: BoxKey,
+        compute: impl FnOnce() -> Feature,
+    ) -> (Arc<Feature>, bool) {
+        let slot: Slot = {
+            let lock = self.shard(&key);
+            if let Some(slot) = lock.read().expect("cache lock poisoned").get(&key) {
+                Arc::clone(slot)
+            } else {
+                let mut shard = lock.write().expect("cache lock poisoned");
+                Arc::clone(shard.entry(key).or_default())
+            }
+        };
+        // Outside the shard lock: losers of the race block on the cell,
+        // not on the shard, so unrelated keys stay accessible.
+        let mut computed = false;
+        let feature = slot
+            .get_or_init(|| {
+                computed = true;
+                Arc::new(compute())
+            })
+            .clone();
+        (feature, computed)
+    }
+
+    /// Number of fully-computed features in the cache.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("cache lock poisoned")
+                    .values()
+                    .filter(|slot| slot.get().is_some())
+                    .count()
+            })
+            .sum()
+    }
+
+    /// True when no feature has been computed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_types::{FrameIdx, TrackId};
+
+    fn key(t: u64, f: u64) -> BoxKey {
+        BoxKey::new(TrackId(t), FrameIdx(f))
+    }
+
+    fn feat(x: f64) -> Feature {
+        Feature::normalized(vec![x, 1.0])
+    }
+
+    #[test]
+    fn first_caller_computes_second_reuses() {
+        let cache = SharedFeatureCache::new();
+        let (f1, computed1) = cache.get_or_compute(key(1, 2), || feat(3.0));
+        assert!(computed1);
+        let (f2, computed2) = cache.get_or_compute(key(1, 2), || panic!("must reuse"));
+        assert!(!computed2);
+        assert_eq!(f1, f2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn get_misses_until_computed() {
+        let cache = SharedFeatureCache::new();
+        assert!(cache.get(&key(4, 5)).is_none());
+        cache.get_or_compute(key(4, 5), || feat(1.0));
+        assert!(cache.get(&key(4, 5)).is_some());
+    }
+
+    #[test]
+    fn distinct_keys_occupy_distinct_slots() {
+        let cache = SharedFeatureCache::new();
+        for t in 0..50u64 {
+            cache.get_or_compute(key(t, t + 1), || feat(t as f64));
+        }
+        assert_eq!(cache.len(), 50);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_racers_compute_once() {
+        let cache = Arc::new(SharedFeatureCache::new());
+        let n_computed = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let (_, computed) = cache.get_or_compute(key(9, 9), || {
+                        n_computed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        feat(2.0)
+                    });
+                    let _ = computed;
+                });
+            }
+        });
+        assert_eq!(n_computed.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -104,9 +104,7 @@ impl CostModel {
         }
         match device {
             Device::Cpu => n_new as f64 * self.cpu_infer_ms,
-            Device::Gpu { .. } => {
-                self.gpu_call_overhead_ms + n_new as f64 * self.gpu_infer_item_ms
-            }
+            Device::Gpu { .. } => self.gpu_call_overhead_ms + n_new as f64 * self.gpu_infer_item_ms,
         }
     }
 

@@ -30,11 +30,13 @@
 //! + clock and is what the merging algorithms in `tm-core` consume.
 
 pub mod appearance;
+pub mod cache;
 pub mod cost;
 pub mod feature;
 pub mod session;
 
 pub use appearance::{AppearanceConfig, AppearanceModel};
+pub use cache::SharedFeatureCache;
 pub use cost::{CostModel, Device, ReidStats, SimClock};
 pub use feature::{Feature, NORMALIZER};
 pub use session::{BoxKey, BoxPairRef, ReidSession};

@@ -6,11 +6,30 @@
 //! extracted in previous iterations it can be *reused*") and charges the
 //! simulated clock for every inference, distance and GPU round, so the
 //! experiment harness can report Runtime/FPS deterministically.
+//!
+//! ## Cache backends and cost semantics
+//!
+//! A session caches features either **privately** (the default: one
+//! `HashMap` owned by the session, exactly the serial semantics the
+//! experiments are calibrated against) or through a **shared**
+//! [`SharedFeatureCache`] (`ReidSession::with_shared_cache`), which is how
+//! `tm_core::run_pipeline_parallel` gives concurrent per-window sessions
+//! the serial pipeline's cross-window reuse. With a shared cache, each
+//! distinct box is inferred — and its inference cost charged — exactly
+//! once across *all* participating sessions (the computing session pays;
+//! racers block on the slot and then reuse for free, counted as cache
+//! hits). Summing the per-window clocks therefore reproduces the serial
+//! pipeline's total inference cost on CPU exactly; on GPU, *which* window
+//! pays a round's launch overhead (and hence the round count) can shift
+//! with scheduling, bounding the total's wobble by one launch overhead per
+//! window.
 
 use crate::appearance::AppearanceModel;
+use crate::cache::SharedFeatureCache;
 use crate::cost::{CostModel, Device, ReidStats, SimClock};
 use crate::feature::Feature;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use tm_types::{FrameIdx, TrackBox, TrackId};
 
 /// Identifies one box observation: a (track, frame) pair. Each track has at
@@ -34,6 +53,15 @@ impl BoxKey {
 /// `(track, box)` references.
 pub type BoxPairRef<'a> = ((TrackId, &'a TrackBox), (TrackId, &'a TrackBox));
 
+/// Where a session's features live (see the module docs).
+#[derive(Debug, Clone)]
+enum CacheBackend {
+    /// Session-owned map; `Arc` so cache hits are allocation-free.
+    Private(HashMap<BoxKey, Arc<Feature>>),
+    /// A cache shared with other sessions (cloning the session shares it).
+    Shared(Arc<SharedFeatureCache>),
+}
+
 /// A stateful ReID session over one processing unit (typically one window).
 #[derive(Debug, Clone)]
 pub struct ReidSession<'m> {
@@ -41,19 +69,38 @@ pub struct ReidSession<'m> {
     cost: CostModel,
     device: Device,
     clock: SimClock,
-    cache: HashMap<BoxKey, Feature>,
+    cache: CacheBackend,
     stats: ReidStats,
 }
 
 impl<'m> ReidSession<'m> {
-    /// Opens a session.
+    /// Opens a session with a private feature cache.
     pub fn new(model: &'m AppearanceModel, cost: CostModel, device: Device) -> Self {
         Self {
             model,
             cost,
             device,
             clock: SimClock::new(),
-            cache: HashMap::new(),
+            cache: CacheBackend::Private(HashMap::new()),
+            stats: ReidStats::default(),
+        }
+    }
+
+    /// Opens a session whose features are read through (and published to)
+    /// a cache shared with other sessions. See the module docs for the
+    /// cost-accounting semantics.
+    pub fn with_shared_cache(
+        model: &'m AppearanceModel,
+        cost: CostModel,
+        device: Device,
+        cache: Arc<SharedFeatureCache>,
+    ) -> Self {
+        Self {
+            model,
+            cost,
+            device,
+            clock: SimClock::new(),
+            cache: CacheBackend::Shared(cache),
             stats: ReidStats::default(),
         }
     }
@@ -91,23 +138,89 @@ impl<'m> ReidSession<'m> {
         self.clock.charge(ms);
     }
 
-    /// Extracts (or reuses) the feature for one box, charging inference cost
-    /// on a cache miss. Returns a clone (features are small).
-    pub fn feature(&mut self, track: TrackId, tb: &TrackBox) -> Feature {
-        let key = BoxKey::new(track, tb.frame);
-        if let Some(f) = self.cache.get(&key) {
-            self.stats.cache_hits += 1;
-            return f.clone();
+    /// Cache lookup without any charging.
+    fn cache_get(&self, key: &BoxKey) -> Option<Arc<Feature>> {
+        match &self.cache {
+            CacheBackend::Private(map) => map.get(key).cloned(),
+            CacheBackend::Shared(cache) => cache.get(key),
         }
-        let ms = self.cost.infer_cost_ms(1, self.device);
+    }
+
+    /// Extracts (or reuses) the feature for one box, charging inference cost
+    /// on a cache miss. Hits return a shared handle without copying the
+    /// vector.
+    pub fn feature(&mut self, track: TrackId, tb: &TrackBox) -> Arc<Feature> {
+        let key = BoxKey::new(track, tb.frame);
+        if let Some(f) = self.cache_get(&key) {
+            self.stats.cache_hits += 1;
+            return f;
+        }
+        match &mut self.cache {
+            CacheBackend::Private(map) => {
+                let f = Arc::new(self.model.observe_track_box(tb));
+                map.insert(key, Arc::clone(&f));
+                self.charge_inference_round(1);
+                f
+            }
+            CacheBackend::Shared(cache) => {
+                let model = self.model;
+                let (f, computed) = cache.get_or_compute(key, || model.observe_track_box(tb));
+                if computed {
+                    self.charge_inference_round(1);
+                } else {
+                    // Another session computed it while we raced: free reuse.
+                    self.stats.cache_hits += 1;
+                }
+                f
+            }
+        }
+    }
+
+    /// Charges one inference call of `n_new` items and counts it.
+    fn charge_inference_round(&mut self, n_new: usize) {
+        if n_new == 0 {
+            return;
+        }
+        let ms = self.cost.infer_cost_ms(n_new, self.device);
         self.clock.charge(ms);
         if self.device.is_gpu() {
             self.stats.gpu_rounds += 1;
         }
-        self.stats.inferences += 1;
-        let f = self.model.observe_track_box(tb);
-        self.cache.insert(key, f.clone());
-        f
+        self.stats.inferences += n_new as u64;
+    }
+
+    /// Makes sure every key in `misses` (pre-deduplicated cache misses) is
+    /// cached, charging **one** inference call for however many features
+    /// this session ends up computing itself.
+    fn infer_misses(&mut self, misses: Vec<(BoxKey, &TrackBox)>) {
+        if misses.is_empty() {
+            return;
+        }
+        match &mut self.cache {
+            CacheBackend::Private(map) => {
+                let n = misses.len();
+                for (key, b) in misses {
+                    map.insert(key, Arc::new(self.model.observe_track_box(b)));
+                }
+                self.charge_inference_round(n);
+            }
+            CacheBackend::Shared(cache) => {
+                let cache = Arc::clone(cache);
+                let mut n_mine = 0usize;
+                let mut n_reused = 0u64;
+                for (key, b) in misses {
+                    let model = self.model;
+                    let (_, computed) = cache.get_or_compute(key, || model.observe_track_box(b));
+                    if computed {
+                        n_mine += 1;
+                    } else {
+                        n_reused += 1;
+                    }
+                }
+                self.stats.cache_hits += n_reused;
+                self.charge_inference_round(n_mine);
+            }
+        }
     }
 
     /// The distance of one BBox pair, extracting whatever features are not
@@ -136,31 +249,21 @@ impl<'m> ReidSession<'m> {
     /// pairwise distances are charged and returned in input order. This is
     /// the primitive behind every `-B` algorithm (§IV-F).
     pub fn pair_distances_batch(&mut self, pairs: &[BoxPairRef<'_>]) -> Vec<f64> {
-        // Phase 1: collect the cache misses, deduplicated.
-        let mut new_keys: Vec<(BoxKey, &TrackBox)> = Vec::new();
+        // Phase 1: collect the cache misses, deduplicated by a set so large
+        // rounds stay linear in the number of misses.
+        let mut seen: HashSet<BoxKey> = HashSet::new();
+        let mut misses: Vec<(BoxKey, &TrackBox)> = Vec::new();
         for ((ta, ba), (tb, bb)) in pairs {
             for (t, b) in [(*ta, *ba), (*tb, *bb)] {
                 let key = BoxKey::new(t, b.frame);
-                if self.cache.contains_key(&key) || new_keys.iter().any(|(k, _)| *k == key) {
+                if !seen.insert(key) || self.cache_get(&key).is_some() {
                     continue;
                 }
-                new_keys.push((key, b));
+                misses.push((key, b));
             }
         }
         // Phase 2: one inference call for all misses.
-        let n_new = new_keys.len();
-        if n_new > 0 {
-            let ms = self.cost.infer_cost_ms(n_new, self.device);
-            self.clock.charge(ms);
-            if self.device.is_gpu() {
-                self.stats.gpu_rounds += 1;
-            }
-            self.stats.inferences += n_new as u64;
-            for (key, b) in new_keys {
-                let f = self.model.observe_track_box(b);
-                self.cache.insert(key, f);
-            }
-        }
+        self.infer_misses(misses);
         // Phase 3: distances (every feature now cached).
         let ms = self.cost.distance_cost_ms(pairs.len(), self.device);
         self.clock.charge(ms);
@@ -169,16 +272,24 @@ impl<'m> ReidSession<'m> {
             .iter()
             .map(|((ta, ba), (tb, bb))| {
                 self.stats.cache_hits += 2;
-                let fa = &self.cache[&BoxKey::new(*ta, ba.frame)];
-                let fb = &self.cache[&BoxKey::new(*tb, bb.frame)];
-                fa.euclidean(fb)
+                let fa = self
+                    .cache_get(&BoxKey::new(*ta, ba.frame))
+                    .expect("inferred in phase 2");
+                let fb = self
+                    .cache_get(&BoxKey::new(*tb, bb.frame))
+                    .expect("inferred in phase 2");
+                fa.euclidean(&fb)
             })
             .collect()
     }
 
-    /// Number of distinct features currently cached.
+    /// Number of distinct features currently cached (shared backend: the
+    /// whole shared cache, not just this session's contributions).
     pub fn cached_features(&self) -> usize {
-        self.cache.len()
+        match &self.cache {
+            CacheBackend::Private(map) => map.len(),
+            CacheBackend::Shared(cache) => cache.len(),
+        }
     }
 
     /// Ensures every listed box has a cached feature, inferring all misses
@@ -187,33 +298,21 @@ impl<'m> ReidSession<'m> {
     /// path used by the exact (baseline) scorer, where per-item cache
     /// lookups would dominate wall-clock.
     pub fn ensure_features(&mut self, boxes: &[(TrackId, &TrackBox)]) {
-        let mut new_keys: Vec<(BoxKey, &TrackBox)> = Vec::new();
+        let mut seen: HashSet<BoxKey> = HashSet::new();
+        let mut misses: Vec<(BoxKey, &TrackBox)> = Vec::new();
         for (t, b) in boxes {
             let key = BoxKey::new(*t, b.frame);
-            if self.cache.contains_key(&key) || new_keys.iter().any(|(k, _)| *k == key) {
+            if !seen.insert(key) || self.cache_get(&key).is_some() {
                 continue;
             }
-            new_keys.push((key, b));
+            misses.push((key, b));
         }
-        let n_new = new_keys.len();
-        if n_new == 0 {
-            return;
-        }
-        let ms = self.cost.infer_cost_ms(n_new, self.device);
-        self.clock.charge(ms);
-        if self.device.is_gpu() {
-            self.stats.gpu_rounds += 1;
-        }
-        self.stats.inferences += n_new as u64;
-        for (key, b) in new_keys {
-            let f = self.model.observe_track_box(b);
-            self.cache.insert(key, f);
-        }
+        self.infer_misses(misses);
     }
 
     /// Reads a cached feature (populated by a prior extraction).
-    pub fn cached_feature(&self, track: TrackId, frame: FrameIdx) -> Option<&Feature> {
-        self.cache.get(&BoxKey::new(track, frame))
+    pub fn cached_feature(&self, track: TrackId, frame: FrameIdx) -> Option<Arc<Feature>> {
+        self.cache_get(&BoxKey::new(track, frame))
     }
 
     /// Charges the cost of `n` pairwise distances computed outside the
@@ -250,6 +349,7 @@ mod tests {
         let cost_after_first = s.elapsed_ms();
         let f2 = s.feature(TrackId(1), &b);
         assert_eq!(f1, f2);
+        assert!(Arc::ptr_eq(&f1, &f2), "cache hit must reuse the allocation");
         assert_eq!(s.elapsed_ms(), cost_after_first, "cache hit must be free");
         assert_eq!(s.stats().inferences, 1);
         assert_eq!(s.stats().cache_hits, 1);
@@ -362,5 +462,38 @@ mod tests {
         let mut gpu = ReidSession::new(&m, cost, Device::Gpu { batch: 10 });
         gpu.charge_thompson_scan(400);
         assert!(gpu.elapsed_ms() < cpu.elapsed_ms());
+    }
+
+    #[test]
+    fn shared_cache_charges_each_feature_once_across_sessions() {
+        let m = model();
+        let cost = CostModel::calibrated();
+        let cache = Arc::new(SharedFeatureCache::new());
+        let mut s1 = ReidSession::with_shared_cache(&m, cost, Device::Cpu, Arc::clone(&cache));
+        let mut s2 = ReidSession::with_shared_cache(&m, cost, Device::Cpu, Arc::clone(&cache));
+        let b = tb(3, 1);
+        let f1 = s1.feature(TrackId(1), &b);
+        // Session 2 reuses session 1's work for free.
+        let f2 = s2.feature(TrackId(1), &b);
+        assert_eq!(f1, f2);
+        assert_eq!(s1.stats().inferences, 1);
+        assert_eq!(s2.stats().inferences, 0);
+        assert_eq!(s2.stats().cache_hits, 1);
+        assert_eq!(s2.elapsed_ms(), 0.0);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(s1.cached_features(), 1);
+    }
+
+    #[test]
+    fn shared_cache_matches_private_distances() {
+        let m = model();
+        let cache = Arc::new(SharedFeatureCache::new());
+        let mut shared = ReidSession::with_shared_cache(&m, CostModel::zero(), Device::Cpu, cache);
+        let mut private = ReidSession::new(&m, CostModel::zero(), Device::Cpu);
+        let a = tb(0, 1);
+        let b = tb(7, 2);
+        let d_shared = shared.pair_distance((TrackId(1), &a), (TrackId(2), &b));
+        let d_private = private.pair_distance((TrackId(1), &a), (TrackId(2), &b));
+        assert_eq!(d_shared, d_private);
     }
 }

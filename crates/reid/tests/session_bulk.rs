@@ -54,7 +54,7 @@ fn bulk_features_match_pair_distance_path() {
     bulk.ensure_features(&[(TrackId(1), &a), (TrackId(2), &b)]);
     let fa = bulk.cached_feature(TrackId(1), a.frame).unwrap();
     let fb = bulk.cached_feature(TrackId(2), b.frame).unwrap();
-    assert!((fa.euclidean(fb) - d_direct).abs() < 1e-12);
+    assert!((fa.euclidean(&fb) - d_direct).abs() < 1e-12);
 }
 
 #[test]

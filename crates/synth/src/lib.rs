@@ -44,4 +44,4 @@ pub mod scene;
 pub use ground_truth::{GroundTruth, GtFrame, GtInstance};
 pub use motion::MotionModel;
 pub use occlusion::{GlareEvent, Occluder};
-pub use scene::{ActorSpec, SceneConfig, Scenario};
+pub use scene::{ActorSpec, Scenario, SceneConfig};

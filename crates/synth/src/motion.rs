@@ -97,10 +97,7 @@ impl MotionModel {
                 let mut out = Vec::with_capacity(n);
                 for _ in 0..n {
                     out.push(pos);
-                    pos = pos.offset(
-                        drift_x + normal.sample(rng),
-                        drift_y + normal.sample(rng),
-                    );
+                    pos = pos.offset(drift_x + normal.sample(rng), drift_y + normal.sample(rng));
                 }
                 out
             }
@@ -174,11 +171,14 @@ mod tests {
     fn linear_advances_by_velocity() {
         let m = MotionModel::linear(Point::new(0.0, 10.0), 2.0, -1.0);
         let p = m.positions(3, &mut rng());
-        assert_eq!(p, vec![
-            Point::new(0.0, 10.0),
-            Point::new(2.0, 9.0),
-            Point::new(4.0, 8.0),
-        ]);
+        assert_eq!(
+            p,
+            vec![
+                Point::new(0.0, 10.0),
+                Point::new(2.0, 9.0),
+                Point::new(4.0, 8.0),
+            ]
+        );
     }
 
     #[test]
@@ -221,13 +221,19 @@ mod tests {
 
     #[test]
     fn empty_and_single_waypoints_are_safe() {
-        let empty = MotionModel::Waypoints { points: vec![], speed: 1.0 };
+        let empty = MotionModel::Waypoints {
+            points: vec![],
+            speed: 1.0,
+        };
         assert_eq!(empty.positions(2, &mut rng()).len(), 2);
         let single = MotionModel::Waypoints {
             points: vec![Point::new(1.0, 2.0)],
             speed: 1.0,
         };
-        assert!(single.positions(3, &mut rng()).iter().all(|&q| q == Point::new(1.0, 2.0)));
+        assert!(single
+            .positions(3, &mut rng())
+            .iter()
+            .all(|&q| q == Point::new(1.0, 2.0)));
     }
 
     #[test]
@@ -276,7 +282,10 @@ mod tests {
         for m in [
             MotionModel::linear(Point::default(), 1.0, 1.0),
             MotionModel::parked(Point::default()),
-            MotionModel::Waypoints { points: vec![Point::default()], speed: 1.0 },
+            MotionModel::Waypoints {
+                points: vec![Point::default()],
+                speed: 1.0,
+            },
         ] {
             assert_eq!(m.positions(0, &mut rng()).len(), 0);
             assert_eq!(m.positions(17, &mut rng()).len(), 17);

@@ -45,7 +45,11 @@ impl Occluder {
 
     /// Materializes the occluder's box at every frame of an `n_frames`
     /// video. `None` where the occluder does not exist.
-    pub fn boxes_per_frame<R: Rng + ?Sized>(&self, n_frames: u64, rng: &mut R) -> Vec<Option<BBox>> {
+    pub fn boxes_per_frame<R: Rng + ?Sized>(
+        &self,
+        n_frames: u64,
+        rng: &mut R,
+    ) -> Vec<Option<BBox>> {
         match self {
             Occluder::Static { bbox } => vec![Some(*bbox); n_frames as usize],
             Occluder::Moving {
@@ -199,7 +203,10 @@ mod tests {
     fn union_coverage_full_none_and_half() {
         let t = BBox::new(0.0, 0.0, 80.0, 80.0);
         assert_eq!(union_coverage(&t, &[]), 0.0);
-        assert_eq!(union_coverage(&t, &[BBox::new(-1.0, -1.0, 100.0, 100.0)]), 1.0);
+        assert_eq!(
+            union_coverage(&t, &[BBox::new(-1.0, -1.0, 100.0, 100.0)]),
+            1.0
+        );
         let half = union_coverage(&t, &[BBox::new(0.0, 0.0, 40.0, 80.0)]);
         assert!((half - 0.5).abs() < 0.05, "got {half}");
     }
@@ -216,6 +223,9 @@ mod tests {
     #[test]
     fn union_coverage_empty_target_is_zero() {
         let t = BBox::new(0.0, 0.0, 0.0, 0.0);
-        assert_eq!(union_coverage(&t, &[BBox::new(-5.0, -5.0, 10.0, 10.0)]), 0.0);
+        assert_eq!(
+            union_coverage(&t, &[BBox::new(-5.0, -5.0, 10.0, 10.0)]),
+            0.0
+        );
     }
 }

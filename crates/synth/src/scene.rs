@@ -83,7 +83,10 @@ impl ActorSpec {
 
     /// Lifetime length in frames (clipped to the video).
     pub fn lifetime(&self, n_frames: u64) -> u64 {
-        self.exit.get().min(n_frames).saturating_sub(self.enter.get())
+        self.exit
+            .get()
+            .min(n_frames)
+            .saturating_sub(self.enter.get())
     }
 }
 
@@ -331,8 +334,16 @@ mod tests {
         let inst = &gt.frames()[0].instances;
         let far = inst.iter().find(|i| i.actor == GtObjectId(1)).unwrap();
         let near = inst.iter().find(|i| i.actor == GtObjectId(2)).unwrap();
-        assert!(far.visibility < 0.35, "far actor visibility {}", far.visibility);
-        assert!(near.visibility > 0.9, "near actor visibility {}", near.visibility);
+        assert!(
+            far.visibility < 0.35,
+            "far actor visibility {}",
+            far.visibility
+        );
+        assert!(
+            near.visibility > 0.9,
+            "near actor visibility {}",
+            near.visibility
+        );
     }
 
     #[test]

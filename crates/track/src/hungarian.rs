@@ -273,10 +273,7 @@ mod tests {
 
         fn matrix_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
             (1usize..5, 1usize..5).prop_flat_map(|(n, m)| {
-                proptest::collection::vec(
-                    proptest::collection::vec(0.0f64..100.0, m..=m),
-                    n..=n,
-                )
+                proptest::collection::vec(proptest::collection::vec(0.0f64..100.0, m..=m), n..=n)
             })
         }
 

@@ -141,7 +141,12 @@ impl KalmanBoxFilter {
 
     /// The box implied by the current state.
     pub fn current_box(&self) -> BBox {
-        BBox::from_cxcysr([self.x[0], self.x[1], self.x[2].max(0.0), self.x[3].max(1e-6)])
+        BBox::from_cxcysr([
+            self.x[0],
+            self.x[1],
+            self.x[2].max(0.0),
+            self.x[3].max(1e-6),
+        ])
     }
 
     /// Estimated per-frame velocity of the box centre.
@@ -304,7 +309,12 @@ mod tests {
     use super::*;
 
     fn moving_box(frame: u64) -> BBox {
-        BBox::from_center(100.0 + 5.0 * frame as f64, 200.0 - 2.0 * frame as f64, 40.0, 80.0)
+        BBox::from_center(
+            100.0 + 5.0 * frame as f64,
+            200.0 - 2.0 * frame as f64,
+            40.0,
+            80.0,
+        )
     }
 
     #[test]
@@ -356,7 +366,10 @@ mod tests {
 
     #[test]
     fn update_pulls_state_toward_observation() {
-        let mut kf = KalmanBoxFilter::new(&BBox::from_center(0.0, 0.0, 10.0, 10.0), KalmanConfig::default());
+        let mut kf = KalmanBoxFilter::new(
+            &BBox::from_center(0.0, 0.0, 10.0, 10.0),
+            KalmanConfig::default(),
+        );
         kf.predict();
         kf.update(&BBox::from_center(10.0, 0.0, 10.0, 10.0));
         let c = kf.current_box().center();
@@ -365,7 +378,10 @@ mod tests {
 
     #[test]
     fn scale_never_goes_negative() {
-        let mut kf = KalmanBoxFilter::new(&BBox::from_center(0.0, 0.0, 10.0, 10.0), KalmanConfig::default());
+        let mut kf = KalmanBoxFilter::new(
+            &BBox::from_center(0.0, 0.0, 10.0, 10.0),
+            KalmanConfig::default(),
+        );
         // Feed shrinking boxes to build a negative scale velocity.
         for f in 1..10 {
             kf.predict();

@@ -206,7 +206,8 @@ impl TrackManager {
         let min_hits = self.config.min_hits;
         for t in self.active.drain(..) {
             if t.hits >= min_hits {
-                self.finished.push(Track::with_boxes(t.id, t.class, t.boxes));
+                self.finished
+                    .push(Track::with_boxes(t.id, t.class, t.boxes));
             }
         }
         let mut tracks = std::mem::take(&mut self.finished);

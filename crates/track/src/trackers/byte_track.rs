@@ -189,12 +189,13 @@ mod tests {
 
     #[test]
     fn low_confidence_detections_never_spawn() {
-        let frames: Vec<Vec<Detection>> = (0..30)
-            .map(|f| vec![det_conf(f, 10.0, 0.3)])
-            .collect();
+        let frames: Vec<Vec<Detection>> = (0..30).map(|f| vec![det_conf(f, 10.0, 0.3)]).collect();
         let mut t = ByteTrack::new(ByteTrackConfig::default());
         let tracks = track_video(&mut t, &frames);
-        assert!(tracks.is_empty(), "0.3-confidence boxes must not spawn tracks");
+        assert!(
+            tracks.is_empty(),
+            "0.3-confidence boxes must not spawn tracks"
+        );
     }
 
     #[test]

@@ -161,9 +161,8 @@ mod tests {
     #[test]
     fn distant_detection_does_not_match() {
         // An actor teleporting far outside the radius becomes a new track.
-        let mut frames: Vec<Vec<Detection>> = (0..20u64)
-            .map(|f| vec![det(f, 10.0, 100.0, 1)])
-            .collect();
+        let mut frames: Vec<Vec<Detection>> =
+            (0..20u64).map(|f| vec![det(f, 10.0, 100.0, 1)]).collect();
         frames.extend((20..40u64).map(|f| vec![det(f, 800.0, 600.0, 1)]));
         let mut t = CenterTrackLike::new(CenterTrackLikeConfig::default());
         let tracks = track_video(&mut t, &frames);

@@ -112,7 +112,8 @@ impl Tracker for DeepSort<'_> {
                 .map(|&i| self.manager.active[i].clone())
                 .collect();
             let sub_dets: Vec<Detection> = det_idxs.iter().map(|&i| detections[i]).collect();
-            let sub_feats: Vec<Feature> = det_idxs.iter().map(|&i| det_features[i].clone()).collect();
+            let sub_feats: Vec<Feature> =
+                det_idxs.iter().map(|&i| det_features[i].clone()).collect();
 
             let iou = iou_cost(&sub_tracks, &sub_dets);
             let app = appearance_cost(&sub_tracks, &sub_dets, &sub_feats);
@@ -227,7 +228,11 @@ mod tests {
         }
         let mut ds = DeepSort::new(DeepSortConfig::default(), &m);
         let tracks = track_video(&mut ds, &frames);
-        assert_eq!(tracks.len(), 2, "a 30-frame gap exceeds DeepSORT's patience");
+        assert_eq!(
+            tracks.len(),
+            2,
+            "a 30-frame gap exceeds DeepSORT's patience"
+        );
     }
 
     #[test]

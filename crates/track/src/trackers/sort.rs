@@ -200,7 +200,7 @@ mod tests {
     }
 
     #[test]
-    fn ids_start_at_one(){
+    fn ids_start_at_one() {
         let frames = clean_two_actor_video(10);
         let tracks = track_video(&mut Sort::new(SortConfig::default()), &frames);
         assert!(tracks.get(TrackId(1)).is_some());

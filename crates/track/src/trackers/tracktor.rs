@@ -90,9 +90,7 @@ impl Tracker for TracktorLike {
                     continue;
                 }
                 let iou = t.predicted.iou(&d.bbox);
-                if iou >= self.config.sigma_active
-                    && best.is_none_or(|(_, b)| iou > b)
-                {
+                if iou >= self.config.sigma_active && best.is_none_or(|(_, b)| iou > b) {
                     best = Some((di, iou));
                 }
             }
@@ -206,8 +204,14 @@ mod tests {
         let frames: Vec<Vec<Detection>> = (0..30u64)
             .map(|f| vec![det(f, 10.0 + 3.0 * f as f64, 100.0, 1)])
             .collect();
-        let a = track_video(&mut TracktorLike::new(TracktorLikeConfig::default()), &frames);
-        let b = track_video(&mut TracktorLike::new(TracktorLikeConfig::default()), &frames);
+        let a = track_video(
+            &mut TracktorLike::new(TracktorLikeConfig::default()),
+            &frames,
+        );
+        let b = track_video(
+            &mut TracktorLike::new(TracktorLikeConfig::default()),
+            &frames,
+        );
         assert_eq!(a, b);
     }
 }

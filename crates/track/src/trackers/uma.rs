@@ -184,9 +184,8 @@ mod tests {
     #[test]
     fn motion_gate_prevents_teleport_matches() {
         let m = model();
-        let mut frames: Vec<Vec<Detection>> = (0..20u64)
-            .map(|f| vec![det(f, 10.0, 100.0, 1)])
-            .collect();
+        let mut frames: Vec<Vec<Detection>> =
+            (0..20u64).map(|f| vec![det(f, 10.0, 100.0, 1)]).collect();
         // Same actor suddenly at the other end of the scene.
         frames.extend((20..40u64).map(|f| vec![det(f, 900.0, 700.0, 1)]));
         let mut t = UmaLike::new(UmaLikeConfig::default(), &m);

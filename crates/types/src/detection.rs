@@ -91,7 +91,8 @@ mod tests {
 
     #[test]
     fn false_positive_has_no_provenance() {
-        let d = Detection::false_positive(FrameIdx(3), BBox::new(0.0, 0.0, 5.0, 5.0), 0.4, ClassId(1));
+        let d =
+            Detection::false_positive(FrameIdx(3), BBox::new(0.0, 0.0, 5.0, 5.0), 0.4, ClassId(1));
         assert!(!d.is_true_positive());
         assert_eq!(d.visibility, 0.0);
         assert_eq!(d.provenance, None);

@@ -332,7 +332,10 @@ mod tests {
         let v = b(0.0, 0.0, 100.0, 100.0);
         let partly = b(-10.0, -10.0, 20.0, 20.0);
         let clipped = partly.clip_to(&v).unwrap();
-        assert_eq!((clipped.x, clipped.y, clipped.w, clipped.h), (0.0, 0.0, 10.0, 10.0));
+        assert_eq!(
+            (clipped.x, clipped.y, clipped.w, clipped.h),
+            (0.0, 0.0, 10.0, 10.0)
+        );
         assert!(b(200.0, 200.0, 5.0, 5.0).clip_to(&v).is_none());
     }
 

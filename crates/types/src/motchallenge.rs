@@ -39,14 +39,23 @@ pub fn parse_motchallenge(text: &str, class: ClassId) -> Result<TrackSet> {
         if fields.len() < 6 {
             return Err(TmError::invalid(
                 "motchallenge",
-                format!("line {}: expected ≥6 fields, got {}", lineno + 1, fields.len()),
+                format!(
+                    "line {}: expected ≥6 fields, got {}",
+                    lineno + 1,
+                    fields.len()
+                ),
             ));
         }
         let num = |i: usize| -> Result<f64> {
             fields[i].parse::<f64>().map_err(|_| {
                 TmError::invalid(
                     "motchallenge",
-                    format!("line {}: field {} (`{}`) is not a number", lineno + 1, i + 1, fields[i]),
+                    format!(
+                        "line {}: field {} (`{}`) is not a number",
+                        lineno + 1,
+                        i + 1,
+                        fields[i]
+                    ),
                 )
             })
         };

@@ -31,7 +31,11 @@ fn main() {
     ));
     scenario.push_occluder(Occluder::static_box(BBox::new(500.0, 380.0, 140.0, 300.0)));
     let gt = scenario.simulate();
-    println!("simulated {} frames, {} GT tracks", gt.n_frames(), gt.gt_tracks(0.1).len());
+    println!(
+        "simulated {} frames, {} GT tracks",
+        gt.n_frames(),
+        gt.gt_tracks(0.1).len()
+    );
 
     // 2. Detect and track.
     let detections = Detector::new(DetectorConfig::default()).detect(&gt, 1);

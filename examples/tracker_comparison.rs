@@ -18,12 +18,11 @@ fn main() {
 
     for kind in TrackerKind::EXTENDED {
         let video = prepare(spec, kind);
-        let pairs: Vec<TrackPair> =
-            build_window_pairs(&video.tracks, video.n_frames, 2000)
-                .expect("even window length")
-                .into_iter()
-                .flat_map(|w| w.pairs)
-                .collect();
+        let pairs: Vec<TrackPair> = build_window_pairs(&video.tracks, video.n_frames, 2000)
+            .expect("even window length")
+            .into_iter()
+            .flat_map(|w| w.pairs)
+            .collect();
         let truth = video.poly_truth(&pairs);
 
         // Run TMerge and compute the residual polyonymous rate.

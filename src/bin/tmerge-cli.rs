@@ -59,7 +59,10 @@ impl Args {
     }
 
     fn str(&self, key: &str, default: &str) -> String {
-        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
@@ -157,15 +160,32 @@ fn cmd_pipeline(args: &Args) {
         let all: Vec<&Track> = video.tracks.iter().collect();
         video.correspondence.all_polyonymous(&all)
     };
-    println!("video:            {} ({} frames)", video.name, video.n_frames);
-    println!("tracks:           {} -> {}", video.tracks.len(), report.merged.len());
+    println!(
+        "video:            {} ({} frames)",
+        video.name, video.n_frames
+    );
+    println!(
+        "tracks:           {} -> {}",
+        video.tracks.len(),
+        report.merged.len()
+    );
     println!("pairs examined:   {}", report.n_pairs);
     println!("distance evals:   {}", report.distance_evals);
-    println!("reid inferences:  {} ({} cache hits)", report.stats.inferences, report.stats.cache_hits);
-    println!("simulated time:   {:.2} s  ({:.2} FPS)", report.elapsed_ms / 1000.0, report.fps(video.n_frames));
+    println!(
+        "reid inferences:  {} ({} cache hits)",
+        report.stats.inferences, report.stats.cache_hits
+    );
+    println!(
+        "simulated time:   {:.2} s  ({:.2} FPS)",
+        report.elapsed_ms / 1000.0,
+        report.fps(video.n_frames)
+    );
     println!("candidates:       {}", report.candidates.len());
     println!("true poly pairs:  {}", truth.len());
-    println!("recall:           {:.3}", recall(report.candidates.iter(), &truth));
+    println!(
+        "recall:           {:.3}",
+        recall(report.candidates.iter(), &truth)
+    );
     let before = identity_metrics(&video.gt_tracks, &video.tracks, 0.5);
     let after = identity_metrics(&video.gt_tracks, &report.merged, 0.5);
     println!("IDF1:             {:.3} -> {:.3}", before.idf1, after.idf1);
@@ -224,7 +244,10 @@ fn cmd_query(args: &Args) {
     let merged_corr = Correspondence::from_tracks(&report.merged, 0.5);
     let gt = &video.gt_tracks;
     println!("Count(> {min_frames} frames):");
-    println!("  ground truth: {} objects", count_query(gt, min_frames).len());
+    println!(
+        "  ground truth: {} objects",
+        count_query(gt, min_frames).len()
+    );
     println!(
         "  raw tracks:   {} objects, recall {:.3}",
         count_query(&video.tracks, min_frames).len(),

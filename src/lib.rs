@@ -76,7 +76,7 @@ pub mod prelude {
     pub use tm_query::{co_occurrence_recall, count_recall, Query};
     pub use tm_reid::{AppearanceConfig, AppearanceModel, CostModel, Device, ReidSession};
     pub use tm_synth::{
-        ActorSpec, GlareEvent, GroundTruth, MotionModel, Occluder, SceneConfig, Scenario,
+        ActorSpec, GlareEvent, GroundTruth, MotionModel, Occluder, Scenario, SceneConfig,
     };
     pub use tm_track::{
         track_video, DeepSort, DeepSortConfig, Sort, SortConfig, Tracker, TrackerKind,

@@ -6,11 +6,7 @@ use tmerge::core::{build_window_pairs, merge_mapping};
 use tmerge::prelude::*;
 
 /// Builds a random small world and tracks it.
-fn tracked_world(
-    seed: u64,
-    n_actors: usize,
-    n_frames: u64,
-) -> (GroundTruth, TrackSet) {
+fn tracked_world(seed: u64, n_actors: usize, n_frames: u64) -> (GroundTruth, TrackSet) {
     let mut s = Scenario::new(SceneConfig::new(1200.0, 800.0, n_frames), seed);
     for i in 0..n_actors {
         let y = 400.0 + 40.0 * (i as f64);

@@ -7,9 +7,13 @@ use tmerge::prelude::*;
 /// enough to exceed every tracker's patience, plus a glare event.
 fn scene(seed: u64) -> Scenario {
     let mut s = Scenario::new(SceneConfig::new(1400.0, 900.0, 400), seed);
-    for (i, (y, v, x0)) in [(500.0, 3.5, 10.0), (600.0, -3.0, 1390.0), (700.0, 2.5, 10.0)]
-        .iter()
-        .enumerate()
+    for (i, (y, v, x0)) in [
+        (500.0, 3.5, 10.0),
+        (600.0, -3.0, 1390.0),
+        (700.0, 2.5, 10.0),
+    ]
+    .iter()
+    .enumerate()
     {
         s.push_actor(ActorSpec::new(
             GtObjectId(i as u64),
@@ -96,7 +100,10 @@ fn whole_stack_is_deterministic() {
     let b = run_pipeline(&tracks_b, gt.n_frames(), &model, &config, None).unwrap();
     assert_eq!(a.candidates, b.candidates);
     assert_eq!(a.merged, b.merged);
-    assert_eq!(a.elapsed_ms, b.elapsed_ms, "cost accounting must be deterministic");
+    assert_eq!(
+        a.elapsed_ms, b.elapsed_ms,
+        "cost accounting must be deterministic"
+    );
 }
 
 #[test]
