@@ -26,6 +26,11 @@ pub struct WindowPairs {
 }
 
 /// Tracks whose lifetime intersects the first half of `w`.
+///
+/// Linear scan — right for streaming callers whose track set changes
+/// between windows. The batch path ([`build_window_pairs`]) uses a
+/// [`tm_types::FrameIndex`] instead, answering the same query in
+/// O(log n + k) per window.
 pub fn tracks_in_first_half(tracks: &TrackSet, w: &Window) -> Vec<TrackId> {
     let mut ids: Vec<TrackId> = tracks
         .overlapping_range(w.start, w.half_end)
@@ -46,11 +51,15 @@ pub fn build_window_pairs(
     window_len: u64,
 ) -> Result<Vec<WindowPairs>> {
     let ws = windows(n_frames, window_len)?;
+    let idx = tracks.frame_index();
+    let mut positions: Vec<u32> = Vec::new();
     let mut seen: BTreeSet<TrackPair> = BTreeSet::new();
     let mut out = Vec::with_capacity(ws.len());
     let mut prev_ids: Vec<TrackId> = Vec::new();
     for w in ws {
-        let cur_ids = tracks_in_first_half(tracks, &w);
+        idx.overlapping_positions(w.start, w.half_end, &mut positions);
+        let mut cur_ids: Vec<TrackId> = positions.iter().map(|&p| idx.track(p).id).collect();
+        cur_ids.sort();
         let mut pairs: Vec<TrackPair> = Vec::new();
         let mut push = |a: TrackId, b: TrackId, pairs: &mut Vec<TrackPair>| {
             let (Some(ta), Some(tb)) = (tracks.get(a), tracks.get(b)) else {
@@ -181,5 +190,66 @@ mod tests {
         let ts = TrackSet::new();
         let wp = build_window_pairs(&ts, 100, 50).unwrap();
         assert!(wp.iter().all(|w| w.pairs.is_empty()));
+    }
+
+    /// The indexed window scan must produce exactly the pair sets the
+    /// direct per-window filter produces, on a crowded synthetic layout.
+    #[test]
+    fn indexed_pairs_match_direct_filter() {
+        // 40 tracks with staggered, overlapping, duplicate and edge-case
+        // spans, two classes interleaved.
+        let mut tracks = Vec::new();
+        for i in 0u64..40 {
+            let class = if i % 3 == 0 {
+                classes::CAR
+            } else {
+                classes::PEDESTRIAN
+            };
+            let start = (i * 37) % 500;
+            let end = start + 1 + (i * 13) % 160;
+            tracks.push(track_span(i + 1, class, start, end));
+        }
+        let ts = TrackSet::from_tracks(tracks);
+
+        // Direct-filter reimplementation of Eq. (1) over the same windows.
+        let ws = crate::window::windows(600, 100).unwrap();
+        let mut seen: BTreeSet<TrackPair> = BTreeSet::new();
+        let mut expected: Vec<Vec<TrackPair>> = Vec::new();
+        let mut prev_ids: Vec<TrackId> = Vec::new();
+        for w in ws {
+            let cur_ids = tracks_in_first_half(&ts, &w);
+            let mut pairs = Vec::new();
+            let mut push = |a: TrackId, b: TrackId, pairs: &mut Vec<TrackPair>| {
+                let (ta, tb) = (ts.get(a).unwrap(), ts.get(b).unwrap());
+                if ta.class != tb.class {
+                    return;
+                }
+                if let Some(p) = TrackPair::new(a, b) {
+                    if seen.insert(p) {
+                        pairs.push(p);
+                    }
+                }
+            };
+            for (i, &a) in cur_ids.iter().enumerate() {
+                for &b in &cur_ids[i + 1..] {
+                    push(a, b, &mut pairs);
+                }
+            }
+            for &a in &cur_ids {
+                for &b in &prev_ids {
+                    push(a, b, &mut pairs);
+                }
+            }
+            pairs.sort();
+            expected.push(pairs);
+            prev_ids = cur_ids;
+        }
+
+        let got: Vec<Vec<TrackPair>> = build_window_pairs(&ts, 600, 100)
+            .unwrap()
+            .into_iter()
+            .map(|wp| wp.pairs)
+            .collect();
+        assert_eq!(got, expected);
     }
 }

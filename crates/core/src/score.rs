@@ -139,7 +139,7 @@ fn dot(x: &[f64], y: &[f64]) -> f64 {
 /// fixed regardless of thread count (the function itself is sequential;
 /// callers parallelize *across* pairs).
 pub fn sum_pairwise_unit_distances(fa: &[f64], fb: &[f64], dim: usize) -> f64 {
-    debug_assert!(dim > 0 && fa.len() % dim == 0 && fb.len() % dim == 0);
+    debug_assert!(dim > 0 && fa.len().is_multiple_of(dim) && fb.len().is_multiple_of(dim));
     let mut sum = 0.0f64;
     for tile_a in fa.chunks(BLOCK_A * dim) {
         for tile_b in fb.chunks(BLOCK_B * dim) {
@@ -156,7 +156,7 @@ pub fn sum_pairwise_unit_distances(fa: &[f64], fb: &[f64], dim: usize) -> f64 {
 /// The naive subtract-square-accumulate kernel the reference scorer uses;
 /// exposed so benchmarks can compare the kernels head-to-head.
 pub fn sum_pairwise_distances_naive(fa: &[f64], fb: &[f64], dim: usize) -> f64 {
-    debug_assert!(dim > 0 && fa.len() % dim == 0 && fb.len() % dim == 0);
+    debug_assert!(dim > 0 && fa.len().is_multiple_of(dim) && fb.len().is_multiple_of(dim));
     let mut sum = 0.0f64;
     for ra in fa.chunks_exact(dim) {
         for rb in fb.chunks_exact(dim) {

@@ -15,7 +15,7 @@
 //!   IoU-based formulation).
 
 use std::collections::HashMap;
-use tm_track::hungarian::assign_with_threshold;
+use tm_track::assign::{iou_threshold_matches, BoxMatchScratch};
 use tm_types::{BBox, FrameIdx, GtObjectId, TrackId, TrackSet};
 
 /// Evaluation parameters.
@@ -55,25 +55,15 @@ pub struct ClearMot {
 /// Runs the CLEAR-MOT evaluation. `gt` uses [`GtObjectId`]-valued track ids
 /// (as produced by `GroundTruth::gt_tracks`).
 pub fn clear_mot(gt: &TrackSet, pred: &TrackSet, config: ClearMotConfig) -> ClearMot {
-    // Index boxes per frame.
-    let mut gt_frames: HashMap<FrameIdx, Vec<(GtObjectId, BBox)>> = HashMap::new();
-    let mut last_frame = FrameIdx(0);
-    for t in gt.iter() {
-        for b in &t.boxes {
-            gt_frames
-                .entry(b.frame)
-                .or_default()
-                .push((GtObjectId(t.id.get()), b.bbox));
-            last_frame = last_frame.max(b.frame);
-        }
-    }
-    let mut pred_frames: HashMap<FrameIdx, Vec<(TrackId, BBox)>> = HashMap::new();
-    for t in pred.iter() {
-        for b in &t.boxes {
-            pred_frames.entry(b.frame).or_default().push((t.id, b.bbox));
-            last_frame = last_frame.max(b.frame);
-        }
-    }
+    // Frame-interval indices give each frame's boxes (in track insertion
+    // order, like the per-frame lists this loop historically built) and an
+    // id → position lookup for the sticky pass.
+    let gt_idx = gt.frame_index();
+    let pred_idx = pred.frame_index();
+    let last_frame = gt_idx
+        .max_frame()
+        .unwrap_or(FrameIdx(0))
+        .max(pred_idx.max_frame().unwrap_or(FrameIdx(0)));
 
     let mut correspondences: HashMap<GtObjectId, TrackId> = HashMap::new();
     // Last track ever matched to a GT object (for ID switches across gaps).
@@ -90,22 +80,28 @@ pub fn clear_mot(gt: &TrackSet, pred: &TrackSet, config: ClearMotConfig) -> Clea
     let mut iou_sum = 0.0f64;
     let mut gt_total = 0u64;
 
-    let empty_gt: Vec<(GtObjectId, BBox)> = Vec::new();
-    let empty_pred: Vec<(TrackId, BBox)> = Vec::new();
+    let mut scratch = BoxMatchScratch::new();
+    let mut free_gt_boxes: Vec<BBox> = Vec::new();
+    let mut free_pred_boxes: Vec<BBox> = Vec::new();
     for f in 0..=last_frame.get() {
         let frame = FrameIdx(f);
-        let gts = gt_frames.get(&frame).unwrap_or(&empty_gt);
-        let preds = pred_frames.get(&frame).unwrap_or(&empty_pred);
+        let gts = gt_idx.boxes_at(frame);
+        let preds = pred_idx.boxes_at(frame);
+        let gid_of = |gi: usize| GtObjectId(gt_idx.track(gts[gi].0).id.get());
+        let tid_of = |pi: usize| pred_idx.track(preds[pi].0).id;
         gt_total += gts.len() as u64;
 
         let mut gt_matched = vec![false; gts.len()];
         let mut pred_matched = vec![false; preds.len()];
         let mut frame_pairs: Vec<(usize, usize)> = Vec::new();
 
-        // 1. Keep still-valid correspondences from the previous frame.
-        for (gi, (gid, gbox)) in gts.iter().enumerate() {
-            if let Some(tid) = correspondences.get(gid) {
-                if let Some(pi) = preds.iter().position(|(p, _)| p == tid) {
+        // 1. Keep still-valid correspondences from the previous frame. The
+        // per-frame id lookup replaces a linear scan of the frame's
+        // predictions per GT object.
+        for (gi, &(_, gbox)) in gts.iter().enumerate() {
+            if let Some(tid) = correspondences.get(&gid_of(gi)) {
+                if let Some(pi) = pred_idx.position_at(frame, *tid) {
+                    let pi = pi as usize;
                     if gbox.iou(&preds[pi].1) >= config.iou_threshold && !pred_matched[pi] {
                         gt_matched[gi] = true;
                         pred_matched[pi] = true;
@@ -115,22 +111,23 @@ pub fn clear_mot(gt: &TrackSet, pred: &TrackSet, config: ClearMotConfig) -> Clea
             }
         }
 
-        // 2. Hungarian on the remainder.
+        // 2. Hungarian on the remainder, spatially gated: only plausibly
+        // overlapping (GT, prediction) pairs are scored.
         let free_gt: Vec<usize> = (0..gts.len()).filter(|&i| !gt_matched[i]).collect();
         let free_pred: Vec<usize> = (0..preds.len()).filter(|&i| !pred_matched[i]).collect();
         if !free_gt.is_empty() && !free_pred.is_empty() {
-            let cost: Vec<Vec<f64>> = free_gt
-                .iter()
-                .map(|&gi| {
-                    free_pred
-                        .iter()
-                        .map(|&pi| 1.0 - gts[gi].1.iou(&preds[pi].1))
-                        .collect()
-                })
-                .collect();
-            for (r, c) in assign_with_threshold(&cost, 1.0 - config.iou_threshold) {
-                let gi = free_gt[r];
-                let pi = free_pred[c];
+            free_gt_boxes.clear();
+            free_gt_boxes.extend(free_gt.iter().map(|&gi| gts[gi].1));
+            free_pred_boxes.clear();
+            free_pred_boxes.extend(free_pred.iter().map(|&pi| preds[pi].1));
+            for &(r, c) in iou_threshold_matches(
+                &free_gt_boxes,
+                &free_pred_boxes,
+                1.0 - config.iou_threshold,
+                &mut scratch,
+            ) {
+                let gi = free_gt[r as usize];
+                let pi = free_pred[c as usize];
                 gt_matched[gi] = true;
                 pred_matched[pi] = true;
                 frame_pairs.push((gi, pi));
@@ -140,8 +137,8 @@ pub fn clear_mot(gt: &TrackSet, pred: &TrackSet, config: ClearMotConfig) -> Clea
         // 3. Update correspondences and count events.
         let mut new_corr: HashMap<GtObjectId, TrackId> = HashMap::new();
         for (gi, pi) in frame_pairs {
-            let (gid, gbox) = gts[gi];
-            let (tid, pbox) = preds[pi];
+            let (gid, gbox) = (gid_of(gi), gts[gi].1);
+            let (tid, pbox) = (tid_of(pi), preds[pi].1);
             matches += 1;
             iou_sum += gbox.iou(&pbox);
             if let Some(&prev) = last_match.get(&gid) {
@@ -157,13 +154,11 @@ pub fn clear_mot(gt: &TrackSet, pred: &TrackSet, config: ClearMotConfig) -> Clea
             last_match.insert(gid, tid);
             new_corr.insert(gid, tid);
         }
-        for (gi, (gid, _)) in gts.iter().enumerate() {
-            if !gt_matched[gi] {
+        for (gi, &matched) in gt_matched.iter().enumerate() {
+            if !matched {
                 fn_count += 1;
-                was_tracked.insert(*gid, false);
-            } else {
-                was_tracked.insert(*gid, true);
             }
+            was_tracked.insert(gid_of(gi), matched);
         }
         fp_count += pred_matched.iter().filter(|m| !**m).count() as u64;
         correspondences = new_corr;

@@ -18,8 +18,8 @@
 //! `AssA = mean_{c ∈ TP} A(c)`.
 
 use std::collections::HashMap;
-use tm_track::hungarian::assign_with_threshold;
-use tm_types::{BBox, FrameIdx, GtObjectId, TrackId, TrackSet};
+use tm_track::assign::{iou_threshold_matches, BoxMatchScratch};
+use tm_types::{FrameIdx, GtObjectId, TrackId, TrackSet};
 
 /// HOTA scores at the standard thresholds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,42 +57,36 @@ pub fn hota(gt: &TrackSet, pred: &TrackSet) -> Hota {
 
 /// HOTA at a single localization threshold α.
 pub fn hota_at(gt: &TrackSet, pred: &TrackSet, alpha: f64) -> Hota {
-    // Per-frame box lists.
-    let mut gt_frames: HashMap<FrameIdx, Vec<(GtObjectId, BBox)>> = HashMap::new();
-    let mut total_gt = 0u64;
-    for t in gt.iter() {
-        for b in &t.boxes {
-            gt_frames
-                .entry(b.frame)
-                .or_default()
-                .push((GtObjectId(t.id.get()), b.bbox));
-            total_gt += 1;
-        }
-    }
-    let mut pred_frames: HashMap<FrameIdx, Vec<(TrackId, BBox)>> = HashMap::new();
-    let mut total_pred = 0u64;
-    for t in pred.iter() {
-        for b in &t.boxes {
-            pred_frames.entry(b.frame).or_default().push((t.id, b.bbox));
-            total_pred += 1;
-        }
-    }
+    let gt_idx = gt.frame_index();
+    let pred_idx = pred.frame_index();
+    let total_gt = gt.total_boxes() as u64;
+    let total_pred = pred.total_boxes() as u64;
 
-    // Per-frame matching at IoU ≥ α; count matches per (gt, pred) identity
-    // pair.
+    // Per-frame matching at IoU ≥ α (spatially gated: IoU is only scored
+    // for plausibly overlapping pairs); count matches per (gt, pred)
+    // identity pair. Frames are visited in ascending order.
     let mut tp = 0u64;
     let mut pair_matches: HashMap<(GtObjectId, TrackId), u64> = HashMap::new();
-    for (frame, gts) in &gt_frames {
-        let Some(preds) = pred_frames.get(frame) else {
+    let mut scratch = BoxMatchScratch::new();
+    let mut gt_boxes = Vec::new();
+    let mut pred_boxes = Vec::new();
+    let last = gt_idx.max_frame().unwrap_or(FrameIdx(0));
+    for f in 0..=last.get() {
+        let frame = FrameIdx(f);
+        let gts = gt_idx.boxes_at(frame);
+        let preds = pred_idx.boxes_at(frame);
+        if gts.is_empty() || preds.is_empty() {
             continue;
-        };
-        let cost: Vec<Vec<f64>> = gts
-            .iter()
-            .map(|(_, gb)| preds.iter().map(|(_, pb)| 1.0 - gb.iou(pb)).collect())
-            .collect();
-        for (gi, pi) in assign_with_threshold(&cost, 1.0 - alpha) {
+        }
+        gt_boxes.clear();
+        gt_boxes.extend(gts.iter().map(|&(_, b)| b));
+        pred_boxes.clear();
+        pred_boxes.extend(preds.iter().map(|&(_, b)| b));
+        for &(gi, pi) in iou_threshold_matches(&gt_boxes, &pred_boxes, 1.0 - alpha, &mut scratch) {
             tp += 1;
-            *pair_matches.entry((gts[gi].0, preds[pi].0)).or_insert(0) += 1;
+            let gid = GtObjectId(gt_idx.track(gts[gi as usize].0).id.get());
+            let tid = pred_idx.track(preds[pi as usize].0).id;
+            *pair_matches.entry((gid, tid)).or_insert(0) += 1;
         }
     }
     let fn_count = total_gt - tp;
@@ -113,8 +107,12 @@ pub fn hota_at(gt: &TrackSet, pred: &TrackSet, alpha: f64) -> Hota {
         .collect();
     let pred_sizes: HashMap<TrackId, u64> = pred.iter().map(|t| (t.id, t.len() as u64)).collect();
 
+    // Accumulate in sorted pair order: HashMap iteration order would make
+    // the floating-point sum (and hence AssA's last bits) vary run to run.
+    let mut pairs: Vec<(&(GtObjectId, TrackId), &u64)> = pair_matches.iter().collect();
+    pairs.sort_unstable();
     let mut ass_sum = 0.0;
-    for ((g, p), &m) in &pair_matches {
+    for ((g, p), &m) in pairs {
         let tpa = m;
         // FNA: frames of the GT identity not explained by this pair —
         // whether matched to other predictions or missed entirely, each GT
@@ -135,7 +133,7 @@ pub fn hota_at(gt: &TrackSet, pred: &TrackSet, alpha: f64) -> Hota {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tm_types::{ids::classes, Track, TrackBox};
+    use tm_types::{ids::classes, BBox, Track, TrackBox};
 
     fn track(id: u64, frames: std::ops::Range<u64>, x: f64) -> Track {
         Track::with_boxes(

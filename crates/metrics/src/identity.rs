@@ -17,8 +17,8 @@
 //! the fragments.
 
 use std::collections::HashMap;
-use tm_track::hungarian::min_cost_assignment;
-use tm_types::{FrameIdx, Track, TrackSet};
+use tm_track::assign::{assign_sparse_with_fill, AssignmentScratch, Edge};
+use tm_types::{Track, TrackSet};
 
 /// The identity-metric scores and their building blocks.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,40 +52,45 @@ pub fn identity_metrics(gt: &TrackSet, pred: &TrackSet, iou_threshold: f64) -> I
         return finalize(0, total_pred, total_gt);
     }
 
-    // Per-frame index of predicted boxes: frame → [(pred idx, bbox)].
-    let mut pred_by_frame: HashMap<FrameIdx, Vec<(usize, tm_types::BBox)>> = HashMap::new();
-    for (pi, p) in pred_tracks.iter().enumerate() {
-        for b in &p.boxes {
-            pred_by_frame.entry(b.frame).or_default().push((pi, b.bbox));
-        }
-    }
-
-    // Overlap counts: how many frames of GT track g are matched by pred
-    // track p at the IoU threshold.
-    let mut overlap = vec![vec![0u64; pred_tracks.len()]; gt_tracks.len()];
+    // Sparse overlap counts: how many frames of GT track g are matched by
+    // pred track p at the IoU threshold. Only (g, p) pairs that actually
+    // co-occur in a frame get an entry — the dense gt × pred matrix the
+    // old implementation materialized is overwhelmingly zeros.
+    let pred_idx = pred.frame_index();
+    let mut overlap: HashMap<(u32, u32), u64> = HashMap::new();
     for (gi, g) in gt_tracks.iter().enumerate() {
         for b in &g.boxes {
-            if let Some(cands) = pred_by_frame.get(&b.frame) {
-                for (pi, pb) in cands {
-                    if b.bbox.iou(pb) >= iou_threshold {
-                        overlap[gi][*pi] += 1;
-                    }
+            for &(pi, pb) in pred_idx.boxes_at(b.frame) {
+                if b.bbox.iou(&pb) >= iou_threshold {
+                    *overlap.entry((gi as u32, pi)).or_insert(0) += 1;
                 }
             }
         }
     }
 
-    // Maximum-overlap bipartite matching: minimize negated overlaps.
-    let cost: Vec<Vec<f64>> = overlap
+    // Maximum-overlap bipartite matching: minimize negated overlaps. Only
+    // positive-overlap pairs carry weight, so the zero-filled component
+    // solve reaches the same total as a dense solve over the full matrix.
+    let mut edges: Vec<Edge> = overlap
         .iter()
-        .map(|row| row.iter().map(|&o| -(o as f64)).collect())
+        .map(|(&(gi, pi), &o)| Edge {
+            row: gi,
+            col: pi,
+            cost: -(o as f64),
+        })
         .collect();
-    let assignment = min_cost_assignment(&cost);
-    let idtp: u64 = assignment
-        .iter()
-        .enumerate()
-        .filter_map(|(gi, pi)| pi.map(|pi| overlap[gi][pi]))
-        .sum();
+    edges.sort_unstable_by_key(|a| (a.row, a.col));
+    let mut scratch = AssignmentScratch::new();
+    let idtp: u64 = assign_sparse_with_fill(
+        gt_tracks.len(),
+        pred_tracks.len(),
+        &edges,
+        0.0,
+        &mut scratch,
+    )
+    .iter()
+    .map(|&(gi, pi)| overlap[&(gi, pi)])
+    .sum();
 
     finalize(idtp, total_pred, total_gt)
 }
@@ -117,7 +122,7 @@ fn ratio(num: u64, den: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tm_types::{ids::classes, BBox, TrackBox, TrackId};
+    use tm_types::{ids::classes, BBox, FrameIdx, TrackBox, TrackId};
 
     fn track(id: u64, frames: std::ops::Range<u64>, x: f64) -> Track {
         Track::with_boxes(

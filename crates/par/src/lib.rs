@@ -131,6 +131,9 @@ where
     };
 
     let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        // The borrow is load-bearing: `worker` is spawned N times and then
+        // called on this thread, so it cannot be moved into any one spawn.
+        #[allow(clippy::needless_borrows_for_generic_args)]
         let handles: Vec<_> = (0..permits.0).map(|_| scope.spawn(&worker)).collect();
         let own = worker();
         let mut all = vec![own];

@@ -66,11 +66,18 @@ impl SharedFeatureCache {
     ) -> (Arc<Feature>, bool) {
         let slot: Slot = {
             let lock = self.shard(&key);
-            if let Some(slot) = lock.read().expect("cache lock poisoned").get(&key) {
-                Arc::clone(slot)
-            } else {
-                let mut shard = lock.write().expect("cache lock poisoned");
-                Arc::clone(shard.entry(key).or_default())
+            // The read guard must drop before the write lock is taken: under
+            // the 2021 edition an `if let` scrutinee's temporaries live
+            // through the `else` branch, so reading and upgrading in one
+            // `if let` self-deadlocks on the first miss. `cloned()` ends the
+            // borrow at the end of this statement.
+            let found = lock.read().expect("cache lock poisoned").get(&key).cloned();
+            match found {
+                Some(slot) => slot,
+                None => {
+                    let mut shard = lock.write().expect("cache lock poisoned");
+                    Arc::clone(shard.entry(key).or_default())
+                }
             }
         };
         // Outside the shard lock: losers of the race block on the cell,

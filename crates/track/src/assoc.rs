@@ -1,5 +1,14 @@
-//! Association cost matrices between active tracks and detections.
+//! Association costs between active tracks and detections.
+//!
+//! Two generations of API live here. The dense matrix builders
+//! ([`iou_cost`], [`appearance_cost`], [`combined_cost`]) score every
+//! track × detection pair and mark inadmissible ones with [`FORBIDDEN`];
+//! they remain as the reference path. The edge builders ([`iou_edges`],
+//! [`iou_edges_sub`], [`combined_edges_sub`]) produce only the admissible
+//! pairs, using a [`BoxGrid`] to skip pairs that cannot pass an IoU gate,
+//! and feed [`crate::assign::assign_sparse`] — same matches, less work.
 
+use crate::assign::{AssignmentScratch, BoxGrid, Edge};
 use crate::hungarian::FORBIDDEN;
 use crate::lifecycle::ActiveTrack;
 use tm_reid::Feature;
@@ -71,6 +80,187 @@ pub fn combined_cost(a: &[Vec<f64>], b: &[Vec<f64>], lambda: f64) -> Vec<Vec<f64
                 .collect()
         })
         .collect()
+}
+
+/// Reusable working memory for edge building and assignment in a tracker's
+/// per-frame loop. One per tracker instance; no per-frame allocations after
+/// warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct AssocScratch {
+    grid: BoxGrid,
+    det_boxes: Vec<tm_types::BBox>,
+    cand: Vec<u32>,
+    track_idx_buf: Vec<usize>,
+    det_idx_buf: Vec<usize>,
+    /// Admissible edges produced by the last builder call, sorted by
+    /// `(row, col)` — ready for [`crate::assign::assign_sparse`].
+    pub edges: Vec<Edge>,
+    /// Solver scratch, borrowable disjointly from `edges`.
+    pub assign: AssignmentScratch,
+}
+
+impl AssocScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Builds into `s.edges` the admissible IoU edges between all `tracks` and
+/// all `dets`: pair `(t, d)` is admissible iff the classes match and
+/// `1 − IoU(t.predicted, d.bbox) ≤ max_cost`.
+///
+/// Produces exactly the `≤ max_cost` entries of [`iou_cost`], but when
+/// `max_cost < 1.0` (so zero-IoU pairs are inadmissible) only grid
+/// candidate pairs are ever scored.
+pub fn iou_edges(tracks: &[ActiveTrack], dets: &[Detection], max_cost: f64, s: &mut AssocScratch) {
+    let track_idxs = std::mem::take(&mut s.track_idx_buf);
+    let det_idxs = std::mem::take(&mut s.det_idx_buf);
+    let track_idxs = refill_identity(track_idxs, tracks.len());
+    let det_idxs = refill_identity(det_idxs, dets.len());
+    iou_edges_sub(tracks, &track_idxs, dets, &det_idxs, max_cost, s);
+    s.track_idx_buf = track_idxs;
+    s.det_idx_buf = det_idxs;
+}
+
+fn refill_identity(mut buf: Vec<usize>, n: usize) -> Vec<usize> {
+    buf.clear();
+    buf.extend(0..n);
+    buf
+}
+
+/// [`iou_edges`] over index subsets: row `r` of the produced edges is
+/// `tracks[track_idxs[r]]`, column `c` is `dets[det_idxs[c]]`. Lets stage /
+/// cascade trackers associate subsets without cloning tracks or detections.
+pub fn iou_edges_sub(
+    tracks: &[ActiveTrack],
+    track_idxs: &[usize],
+    dets: &[Detection],
+    det_idxs: &[usize],
+    max_cost: f64,
+    s: &mut AssocScratch,
+) {
+    s.edges.clear();
+    // A pair with zero IoU costs exactly 1.0, so the spatial gate is sound
+    // only when such pairs are inadmissible.
+    let gated = max_cost < 1.0;
+    if gated {
+        s.det_boxes.clear();
+        s.det_boxes.extend(det_idxs.iter().map(|&i| dets[i].bbox));
+        s.grid.rebuild(&s.det_boxes);
+    }
+    for (r, &ti) in track_idxs.iter().enumerate() {
+        let t = &tracks[ti];
+        if gated {
+            s.grid.candidates(&t.predicted, &mut s.cand);
+            for &c in &s.cand {
+                let d = &dets[det_idxs[c as usize]];
+                if t.class != d.class {
+                    continue;
+                }
+                let cost = 1.0 - t.predicted.iou(&d.bbox);
+                if cost <= max_cost {
+                    s.edges.push(Edge {
+                        row: r as u32,
+                        col: c,
+                        cost,
+                    });
+                }
+            }
+        } else {
+            for (c, &di) in det_idxs.iter().enumerate() {
+                let d = &dets[di];
+                if t.class != d.class {
+                    continue;
+                }
+                let cost = 1.0 - t.predicted.iou(&d.bbox);
+                if cost <= max_cost {
+                    s.edges.push(Edge {
+                        row: r as u32,
+                        col: c as u32,
+                        cost,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Builds into `s.edges` the admissible combined IoU + appearance edges
+/// over index subsets, with the same arithmetic as
+/// [`combined_cost`]`(`[`iou_cost`]`, `[`appearance_cost`]`, lambda_iou)`:
+/// `λ·(1 − IoU) + (1 − λ)·appearance ≤ max_cost`, classes must match.
+///
+/// `det_features` is indexed by *original* detection index (like `dets`).
+/// `iou_min_recent`, when set, additionally requires
+/// `1 − IoU ≤ 1 − iou_min_recent` (DeepSORT's recent-track gate); since
+/// that bounds admissible pairs to intersecting boxes, the grid applies and
+/// appearance distances are only computed for pairs that pass the IoU gate.
+/// Without it appearance-only matches are legal and every class-matching
+/// pair is scored.
+#[allow(clippy::too_many_arguments)]
+pub fn combined_edges_sub(
+    tracks: &[ActiveTrack],
+    track_idxs: &[usize],
+    dets: &[Detection],
+    det_idxs: &[usize],
+    det_features: &[Feature],
+    lambda_iou: f64,
+    max_cost: f64,
+    iou_min_recent: Option<f64>,
+    s: &mut AssocScratch,
+) {
+    s.edges.clear();
+    let l = lambda_iou.clamp(0.0, 1.0);
+    let iou_gate = iou_min_recent.map(|g| 1.0 - g);
+    let gated = matches!(iou_gate, Some(g) if g < 1.0);
+    if gated {
+        s.det_boxes.clear();
+        s.det_boxes.extend(det_idxs.iter().map(|&i| dets[i].bbox));
+        s.grid.rebuild(&s.det_boxes);
+    }
+    let push = |r: usize, c: usize, t: &ActiveTrack, di: usize, edges: &mut Vec<Edge>| {
+        let d = &dets[di];
+        if t.class != d.class {
+            return;
+        }
+        let cost_iou = 1.0 - t.predicted.iou(&d.bbox);
+        if let Some(g) = iou_gate {
+            if cost_iou > g {
+                return;
+            }
+        }
+        // Appearance cost is ≥ 0, so the IoU term alone can disqualify the
+        // pair before the (more expensive) feature distance is touched.
+        if l * cost_iou > max_cost {
+            return;
+        }
+        let cost_app = match &t.feature {
+            Some(gallery) => gallery.normalized_distance(&det_features[di]),
+            None => 0.5,
+        };
+        let cost = l * cost_iou + (1.0 - l) * cost_app;
+        if cost <= max_cost {
+            edges.push(Edge {
+                row: r as u32,
+                col: c as u32,
+                cost,
+            });
+        }
+    };
+    for (r, &ti) in track_idxs.iter().enumerate() {
+        let t = &tracks[ti];
+        if gated {
+            s.grid.candidates(&t.predicted, &mut s.cand);
+            for &c in &s.cand {
+                push(r, c as usize, t, det_idxs[c as usize], &mut s.edges);
+            }
+        } else {
+            for (c, &di) in det_idxs.iter().enumerate() {
+                push(r, c, t, di, &mut s.edges);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -151,5 +341,234 @@ mod tests {
         let c = combined_cost(&a, &b, 0.25);
         assert!((c[0][0] - 0.75).abs() < 1e-9);
         assert_eq!(c[0][1], FORBIDDEN);
+    }
+
+    mod edge_equivalence {
+        use super::super::{
+            appearance_cost, combined_cost, combined_edges_sub, iou_cost, iou_edges, iou_edges_sub,
+            AssocScratch,
+        };
+        use crate::assign::assign_sparse;
+        use crate::hungarian::{assign_with_threshold_reference, FORBIDDEN};
+        use crate::kalman::KalmanConfig;
+        use crate::lifecycle::{ActiveTrack, LifecycleConfig, TrackManager};
+        use proptest::prelude::*;
+        use tm_reid::Feature;
+        use tm_types::{ids::classes, BBox, ClassId, Detection, FrameIdx, GtObjectId};
+
+        /// Spawns one confirmed track per `(box, class)` pair; `predicted`
+        /// equals the spawn box, which is all the builders read.
+        fn tracks_of(boxes: &[(BBox, ClassId)]) -> TrackManager {
+            let mut m = TrackManager::new(LifecycleConfig {
+                max_age: 5,
+                min_hits: 1,
+                min_confidence: 0.1,
+                kalman: KalmanConfig::default(),
+            });
+            for (b, class) in boxes {
+                let d = Detection::of_actor(FrameIdx(0), *b, 0.9, *class, 1.0, GtObjectId(1));
+                m.spawn(&d, None);
+            }
+            m
+        }
+
+        fn dets_of(boxes: &[(BBox, ClassId)]) -> Vec<Detection> {
+            boxes
+                .iter()
+                .map(|(b, class)| {
+                    Detection::of_actor(FrameIdx(1), *b, 0.9, *class, 1.0, GtObjectId(1))
+                })
+                .collect()
+        }
+
+        /// The admissible `(row, col, cost)` triples of a dense matrix —
+        /// what a correct edge builder must produce, in row-major order.
+        fn dense_admissible(dense: &[Vec<f64>], max_cost: f64) -> Vec<(u32, u32, f64)> {
+            let mut out = Vec::new();
+            for (i, row) in dense.iter().enumerate() {
+                for (j, &c) in row.iter().enumerate() {
+                    if c <= max_cost {
+                        out.push((i as u32, j as u32, c));
+                    }
+                }
+            }
+            out
+        }
+
+        fn edge_triples(s: &AssocScratch) -> Vec<(u32, u32, f64)> {
+            s.edges.iter().map(|e| (e.row, e.col, e.cost)).collect()
+        }
+
+        fn boxes_strategy(max_len: usize) -> impl Strategy<Value = Vec<(BBox, ClassId)>> {
+            proptest::collection::vec(
+                (
+                    0.0f64..300.0,
+                    0.0f64..300.0,
+                    5.0f64..60.0,
+                    5.0f64..60.0,
+                    any::<bool>(),
+                ),
+                0..max_len,
+            )
+            .prop_map(|raw| {
+                raw.into_iter()
+                    .map(|(x, y, w, h, ped)| {
+                        let class = if ped {
+                            classes::PEDESTRIAN
+                        } else {
+                            classes::CAR
+                        };
+                        (BBox::new(x, y, w, h), class)
+                    })
+                    .collect()
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// The gated IoU edge builder produces exactly the admissible
+            /// cells of the dense `iou_cost` matrix (grid gating loses
+            /// nothing, costs are bit-identical), and the sparse solve
+            /// reproduces the dense reference's matches. With `max_cost =
+            /// 1.0` disjoint boxes are admissible at cost exactly 1.0,
+            /// which creates genuine exact ties; on ties the sentinel
+            /// reference's match permutation is an artifact of its forced
+            /// `FORBIDDEN` placements (see `assign.rs`), so there the
+            /// comparison is cardinality + total cost.
+            #[test]
+            fn iou_edges_match_dense_reference(
+                track_boxes in boxes_strategy(20),
+                det_boxes in boxes_strategy(20),
+                max_cost in proptest::sample::select(vec![0.3, 0.5, 0.7, 1.0]),
+            ) {
+                let manager = tracks_of(&track_boxes);
+                let dets = dets_of(&det_boxes);
+                let dense = iou_cost(&manager.active, &dets);
+                let expected = assign_with_threshold_reference(&dense, max_cost);
+                let mut s = AssocScratch::new();
+                iou_edges(&manager.active, &dets, max_cost, &mut s);
+                prop_assert_eq!(edge_triples(&s), dense_admissible(&dense, max_cost));
+                let got: Vec<(usize, usize)> =
+                    assign_sparse(manager.active.len(), dets.len(), &s.edges, &mut s.assign)
+                        .iter()
+                        .map(|&(r, c)| (r as usize, c as usize))
+                        .collect();
+                if max_cost < 1.0 {
+                    // Continuous boxes make sub-1.0 cost ties measure-zero:
+                    // exact match equality.
+                    prop_assert_eq!(got, expected);
+                } else {
+                    prop_assert_eq!(got.len(), expected.len());
+                    let total = |ms: &[(usize, usize)]| -> f64 {
+                        ms.iter().map(|&(r, c)| dense[r][c]).sum()
+                    };
+                    prop_assert!((total(&got) - total(&expected)).abs() < 1e-9,
+                        "total {} vs reference {}", total(&got), total(&expected));
+                }
+            }
+
+            /// The subset builder agrees with cloning the subsets out and
+            /// running the dense reference on them (ByteTrack's old path).
+            #[test]
+            fn iou_edges_sub_match_dense_reference(
+                track_boxes in boxes_strategy(16),
+                det_boxes in boxes_strategy(16),
+                keep in proptest::collection::vec(any::<bool>(), 32),
+            ) {
+                let manager = tracks_of(&track_boxes);
+                let dets = dets_of(&det_boxes);
+                let track_idxs: Vec<usize> = (0..manager.active.len())
+                    .filter(|&i| keep[i])
+                    .collect();
+                let det_idxs: Vec<usize> = (0..dets.len())
+                    .filter(|&i| keep[16 + i])
+                    .collect();
+                let sub_tracks: Vec<ActiveTrack> = track_idxs
+                    .iter()
+                    .map(|&i| manager.active[i].clone())
+                    .collect();
+                let sub_dets: Vec<Detection> = det_idxs.iter().map(|&i| dets[i]).collect();
+                let max_cost = 0.7;
+                let dense = iou_cost(&sub_tracks, &sub_dets);
+                let expected = assign_with_threshold_reference(&dense, max_cost);
+                let mut s = AssocScratch::new();
+                iou_edges_sub(&manager.active, &track_idxs, &dets, &det_idxs, max_cost, &mut s);
+                prop_assert_eq!(edge_triples(&s), dense_admissible(&dense, max_cost));
+                let got: Vec<(usize, usize)> =
+                    assign_sparse(track_idxs.len(), det_idxs.len(), &s.edges, &mut s.assign)
+                        .iter()
+                        .map(|&(r, c)| (r as usize, c as usize))
+                        .collect();
+                prop_assert_eq!(got, expected);
+            }
+
+            /// Combined-cost edges reproduce the dense
+            /// `combined_cost(iou, appearance)` reference, with and without
+            /// the recent-track IoU gate.
+            #[test]
+            fn combined_edges_match_dense_reference(
+                track_boxes in boxes_strategy(14),
+                det_boxes in boxes_strategy(14),
+                with_gate in any::<bool>(),
+            ) {
+                let mut manager = tracks_of(&track_boxes);
+                // Give every other track a gallery feature so both arms of
+                // the appearance cost are exercised. Every gallery and every
+                // detection feature is distinct, so no two admissible pairs
+                // can carry the exact same combined cost (the no-gallery
+                // 0.5-appearance arm only matters for intersecting boxes,
+                // whose IoU term is continuous): exact ties cannot occur
+                // and match sets must agree exactly with the reference.
+                for (i, t) in manager.active.iter_mut().enumerate() {
+                    if i % 2 == 0 {
+                        t.feature =
+                            Some(Feature::normalized(vec![1.0, 0.3 + 0.17 * i as f64]));
+                    }
+                }
+                let dets = dets_of(&det_boxes);
+                let det_features: Vec<Feature> = (0..dets.len())
+                    .map(|i| {
+                        Feature::normalized(vec![1.0, 0.05 + 0.11 * i as f64])
+                    })
+                    .collect();
+                let (lambda_iou, max_cost) = (0.4, 0.45);
+                let iou = iou_cost(&manager.active, &dets);
+                let app = appearance_cost(&manager.active, &dets, &det_features);
+                let mut dense = combined_cost(&iou, &app, lambda_iou);
+                let gate = if with_gate { Some(0.2) } else { None };
+                if let Some(g) = gate {
+                    for (r, row) in dense.iter_mut().enumerate() {
+                        for (c, v) in row.iter_mut().enumerate() {
+                            if iou[r][c] > 1.0 - g {
+                                *v = FORBIDDEN;
+                            }
+                        }
+                    }
+                }
+                let expected = assign_with_threshold_reference(&dense, max_cost);
+                let mut s = AssocScratch::new();
+                let track_idxs: Vec<usize> = (0..manager.active.len()).collect();
+                let det_idxs: Vec<usize> = (0..dets.len()).collect();
+                combined_edges_sub(
+                    &manager.active,
+                    &track_idxs,
+                    &dets,
+                    &det_idxs,
+                    &det_features,
+                    lambda_iou,
+                    max_cost,
+                    gate,
+                    &mut s,
+                );
+                prop_assert_eq!(edge_triples(&s), dense_admissible(&dense, max_cost));
+                let got: Vec<(usize, usize)> =
+                    assign_sparse(track_idxs.len(), det_idxs.len(), &s.edges, &mut s.assign)
+                        .iter()
+                        .map(|&(r, c)| (r as usize, c as usize))
+                        .collect();
+                prop_assert_eq!(got, expected);
+            }
+        }
     }
 }

@@ -3,9 +3,24 @@
 //! The O(n²m) potentials formulation. Used by the trackers to associate
 //! detections to tracks and by `tm-metrics` for the CLEAR-MOT / identity
 //! correspondences.
+//!
+//! The allocating solver here is the *reference*: the production paths run
+//! on [`crate::assign`] (flat storage, reusable scratch, spatial gating and
+//! connected-component decomposition), which is proptest-pinned to produce
+//! bit-identical assignments. The convenience wrappers
+//! [`min_cost_assignment`] and [`assign_with_threshold`] delegate to the
+//! fast core.
+
+use crate::assign::{assign_sparse, min_cost_assignment_flat, AssignmentScratch, Edge};
 
 /// Cost used to mark a forbidden pairing. Large but finite so the potential
 /// updates stay well-conditioned.
+///
+/// Note: the sentinel-matrix style (`cost[i][j] = FORBIDDEN`, solve dense,
+/// filter) is superseded by explicit gating — build only admissible
+/// [`crate::assign::Edge`]s and call [`crate::assign::assign_sparse`].
+/// `FORBIDDEN` remains for the reference solver, for legacy dense-matrix
+/// call sites, and as the in-component fill cost of the sparse path.
 pub const FORBIDDEN: f64 = 1e9;
 
 /// Solves the minimum-cost assignment for a rectangular cost matrix.
@@ -16,12 +31,33 @@ pub const FORBIDDEN: f64 = 1e9;
 ///
 /// `cost[i][j]` must be finite; use [`FORBIDDEN`] for disallowed pairs.
 ///
+/// Delegates to the flat solver (identical results, see
+/// [`min_cost_assignment_reference`]); per-frame loops should call
+/// [`crate::assign::min_cost_assignment_flat`] directly with a reused
+/// [`AssignmentScratch`] to avoid the flattening copy.
+///
 /// ```
 /// use tm_track::hungarian::min_cost_assignment;
 /// let cost = vec![vec![4.0, 1.0], vec![2.0, 8.0]];
 /// assert_eq!(min_cost_assignment(&cost), vec![Some(1), Some(0)]);
 /// ```
 pub fn min_cost_assignment(cost: &[Vec<f64>]) -> Vec<Option<usize>> {
+    let n = cost.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = cost[0].len();
+    debug_assert!(cost.iter().all(|r| r.len() == m), "ragged cost matrix");
+    let mut flat = Vec::with_capacity(n * m);
+    for row in cost {
+        flat.extend_from_slice(row);
+    }
+    min_cost_assignment_flat(&flat, n, m, &mut AssignmentScratch::new())
+}
+
+/// The original allocating solver, kept verbatim as the equivalence oracle
+/// for the flat/gated paths in [`crate::assign`].
+pub fn min_cost_assignment_reference(cost: &[Vec<f64>]) -> Vec<Option<usize>> {
     let n = cost.len();
     if n == 0 {
         return Vec::new();
@@ -36,7 +72,7 @@ pub fn min_cost_assignment(cost: &[Vec<f64>]) -> Vec<Option<usize>> {
         let t: Vec<Vec<f64>> = (0..m)
             .map(|j| (0..n).map(|i| cost[i][j]).collect())
             .collect();
-        let col_to_row = min_cost_assignment(&t);
+        let col_to_row = min_cost_assignment_reference(&t);
         let mut out = vec![None; n];
         for (j, row) in col_to_row.iter().enumerate() {
             if let Some(i) = row {
@@ -113,8 +149,35 @@ pub fn min_cost_assignment(cost: &[Vec<f64>]) -> Vec<Option<usize>> {
 /// returned as `(row, col)` pairs.
 ///
 /// This is the form trackers use: "match detections to tracks, but never
-/// accept an IoU below the gate".
+/// accept an IoU below the gate". The threshold is folded into the solver
+/// as a gate — admissible pairs become [`Edge`]s and the component solver
+/// runs on those alone; no masked matrix copy is allocated. Results are
+/// identical to [`assign_with_threshold_reference`].
 pub fn assign_with_threshold(cost: &[Vec<f64>], max_cost: f64) -> Vec<(usize, usize)> {
+    let n = cost.len();
+    let m = cost.first().map_or(0, |r| r.len());
+    let mut edges = Vec::new();
+    for (i, row) in cost.iter().enumerate() {
+        for (j, &c) in row.iter().enumerate() {
+            if c <= max_cost {
+                edges.push(Edge {
+                    row: i as u32,
+                    col: j as u32,
+                    cost: c,
+                });
+            }
+        }
+    }
+    let mut scratch = AssignmentScratch::new();
+    assign_sparse(n, m, &edges, &mut scratch)
+        .iter()
+        .map(|&(r, c)| (r as usize, c as usize))
+        .collect()
+}
+
+/// The original clone-and-mask thresholded assignment over
+/// [`min_cost_assignment_reference`]; the oracle for the gated path.
+pub fn assign_with_threshold_reference(cost: &[Vec<f64>], max_cost: f64) -> Vec<(usize, usize)> {
     let masked: Vec<Vec<f64>> = cost
         .iter()
         .map(|row| {
@@ -123,7 +186,7 @@ pub fn assign_with_threshold(cost: &[Vec<f64>], max_cost: f64) -> Vec<(usize, us
                 .collect()
         })
         .collect();
-    min_cost_assignment(&masked)
+    min_cost_assignment_reference(&masked)
         .into_iter()
         .enumerate()
         .filter_map(|(i, j)| j.map(|j| (i, j)))
@@ -301,6 +364,26 @@ mod tests {
                 prop_assert_eq!(cols.len(), total);
                 // Complete on the smaller side.
                 prop_assert_eq!(total, n.min(m));
+            }
+
+            /// The public wrappers are pinned to the reference solver.
+            #[test]
+            fn wrapper_equals_reference(cost in matrix_strategy()) {
+                prop_assert_eq!(
+                    min_cost_assignment(&cost),
+                    min_cost_assignment_reference(&cost)
+                );
+            }
+
+            #[test]
+            fn threshold_equals_reference(
+                cost in matrix_strategy(),
+                max_cost in 0.0f64..100.0,
+            ) {
+                prop_assert_eq!(
+                    assign_with_threshold(&cost, max_cost),
+                    assign_with_threshold_reference(&cost, max_cost)
+                );
             }
         }
     }

@@ -5,7 +5,8 @@
 //!
 //! * a constant-velocity [`KalmanBoxFilter`] over the SORT state space,
 //! * the Hungarian algorithm ([`hungarian::min_cost_assignment`]) for
-//!   globally optimal association,
+//!   globally optimal association, with a flat, spatially gated,
+//!   component-decomposed production path in [`assign`],
 //! * association cost matrices (IoU, appearance, combined) in [`assoc`],
 //! * shared track lifecycle management in [`lifecycle`], and
 //! * five trackers behind one [`Tracker`] trait: [`Sort`], [`DeepSort`],
@@ -17,6 +18,7 @@
 //! paper's subject. See DESIGN.md §1 for exactly which parts are published
 //! algorithm and which are simulation surrogates.
 
+pub mod assign;
 pub mod assoc;
 pub mod hungarian;
 pub mod kalman;

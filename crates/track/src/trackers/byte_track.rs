@@ -10,9 +10,9 @@
 //! Published after the TMerge paper's comparison set; included here as an
 //! extension tracker for the fragmentation studies.
 
-use crate::assoc::iou_cost;
-use crate::hungarian::assign_with_threshold;
-use crate::lifecycle::{ActiveTrack, LifecycleConfig, TrackManager};
+use crate::assign::assign_sparse;
+use crate::assoc::{self, AssocScratch};
+use crate::lifecycle::{LifecycleConfig, TrackManager};
 use crate::trackers::Tracker;
 use tm_types::{Detection, FrameIdx, TrackSet};
 
@@ -53,6 +53,7 @@ impl Default for ByteTrackConfig {
 pub struct ByteTrack {
     config: ByteTrackConfig,
     manager: TrackManager,
+    scratch: AssocScratch,
 }
 
 impl ByteTrack {
@@ -61,11 +62,14 @@ impl ByteTrack {
         Self {
             manager: TrackManager::new(config.lifecycle),
             config,
+            scratch: AssocScratch::new(),
         }
     }
 
     /// Hungarian IoU association of a detection subset against a track
     /// subset; commits matches and returns which detections were used.
+    /// Both subsets are addressed by index — no tracks or detections are
+    /// cloned out.
     fn associate(
         &mut self,
         track_idxs: &[usize],
@@ -76,15 +80,24 @@ impl ByteTrack {
         if track_idxs.is_empty() || det_idxs.is_empty() {
             return (track_idxs.to_vec(), det_idxs.to_vec());
         }
-        let sub_tracks: Vec<ActiveTrack> = track_idxs
-            .iter()
-            .map(|&i| self.manager.active[i].clone())
-            .collect();
-        let sub_dets: Vec<Detection> = det_idxs.iter().map(|&i| detections[i]).collect();
-        let cost = iou_cost(&sub_tracks, &sub_dets);
+        assoc::iou_edges_sub(
+            &self.manager.active,
+            track_idxs,
+            detections,
+            det_idxs,
+            1.0 - iou_min,
+            &mut self.scratch,
+        );
+        let matches = assign_sparse(
+            track_idxs.len(),
+            det_idxs.len(),
+            &self.scratch.edges,
+            &mut self.scratch.assign,
+        );
         let mut track_used = vec![false; track_idxs.len()];
         let mut det_used = vec![false; det_idxs.len()];
-        for (st, sd) in assign_with_threshold(&cost, 1.0 - iou_min) {
+        for &(st, sd) in matches {
+            let (st, sd) = (st as usize, sd as usize);
             self.manager
                 .commit_match(track_idxs[st], &detections[det_idxs[sd]], None, 1.0);
             track_used[st] = true;

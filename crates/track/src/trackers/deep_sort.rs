@@ -10,8 +10,8 @@
 //! The learned CNN descriptor is replaced by the `tm-reid` appearance
 //! simulator; the association logic is the published one.
 
-use crate::assoc::{appearance_cost, combined_cost, iou_cost};
-use crate::hungarian::assign_with_threshold;
+use crate::assign::assign_sparse;
+use crate::assoc::{self, AssocScratch};
 use crate::lifecycle::{LifecycleConfig, TrackManager};
 use crate::trackers::Tracker;
 use tm_reid::{AppearanceModel, Feature};
@@ -62,6 +62,7 @@ pub struct DeepSort<'m> {
     config: DeepSortConfig,
     manager: TrackManager,
     model: &'m AppearanceModel,
+    scratch: AssocScratch,
 }
 
 impl<'m> DeepSort<'m> {
@@ -71,6 +72,7 @@ impl<'m> DeepSort<'m> {
             manager: TrackManager::new(config.lifecycle),
             config,
             model,
+            scratch: AssocScratch::new(),
         }
     }
 }
@@ -107,32 +109,32 @@ impl Tracker for DeepSort<'_> {
             if det_idxs.is_empty() {
                 break;
             }
-            let sub_tracks: Vec<_> = track_idxs
-                .iter()
-                .map(|&i| self.manager.active[i].clone())
-                .collect();
-            let sub_dets: Vec<Detection> = det_idxs.iter().map(|&i| detections[i]).collect();
-            let sub_feats: Vec<Feature> =
-                det_idxs.iter().map(|&i| det_features[i].clone()).collect();
-
-            let iou = iou_cost(&sub_tracks, &sub_dets);
-            let app = appearance_cost(&sub_tracks, &sub_dets, &sub_feats);
-            let mut cost = combined_cost(&iou, &app, self.config.lambda_iou);
             // Recent tracks additionally require a minimum IoU (they should
             // not teleport); coasted tracks are allowed appearance-only
-            // matches since their motion prediction has drifted.
-            if age == 0 {
-                for (r, row) in cost.iter_mut().enumerate() {
-                    for (c, v) in row.iter_mut().enumerate() {
-                        if iou[r][c] > 1.0 - self.config.iou_min_recent {
-                            *v = crate::hungarian::FORBIDDEN;
-                        }
-                    }
-                }
-            }
-            for (sub_t, sub_d) in assign_with_threshold(&cost, self.config.max_cost) {
-                let ti = track_idxs[sub_t];
-                let di = det_idxs[sub_d];
+            // matches since their motion prediction has drifted. The IoU
+            // gate also makes the recent tier spatially gateable, so its
+            // appearance distances are only computed for intersecting pairs.
+            let iou_gate = (age == 0).then_some(self.config.iou_min_recent);
+            assoc::combined_edges_sub(
+                &self.manager.active,
+                &track_idxs,
+                detections,
+                &det_idxs,
+                &det_features,
+                self.config.lambda_iou,
+                self.config.max_cost,
+                iou_gate,
+                &mut self.scratch,
+            );
+            let matches = assign_sparse(
+                track_idxs.len(),
+                det_idxs.len(),
+                &self.scratch.edges,
+                &mut self.scratch.assign,
+            );
+            for &(sub_t, sub_d) in matches {
+                let ti = track_idxs[sub_t as usize];
+                let di = det_idxs[sub_d as usize];
                 self.manager.commit_match(
                     ti,
                     &detections[di],

@@ -6,8 +6,8 @@
 //! patience. SORT's short patience makes it the most fragmentation-prone
 //! tracker in this crate — useful for stress-testing TMerge.
 
-use crate::assoc::iou_cost;
-use crate::hungarian::assign_with_threshold;
+use crate::assign::assign_sparse;
+use crate::assoc::{self, AssocScratch};
 use crate::lifecycle::{LifecycleConfig, TrackManager};
 use crate::trackers::Tracker;
 use tm_types::{Detection, FrameIdx, TrackSet};
@@ -40,6 +40,7 @@ impl Default for SortConfig {
 pub struct Sort {
     config: SortConfig,
     manager: TrackManager,
+    scratch: AssocScratch,
 }
 
 impl Sort {
@@ -48,6 +49,7 @@ impl Sort {
         Self {
             manager: TrackManager::new(config.lifecycle),
             config,
+            scratch: AssocScratch::new(),
         }
     }
 }
@@ -59,12 +61,23 @@ impl Tracker for Sort {
 
     fn step(&mut self, _frame: FrameIdx, detections: &[Detection]) {
         self.manager.predict_all();
-        let cost = iou_cost(&self.manager.active, detections);
-        let matches = assign_with_threshold(&cost, 1.0 - self.config.iou_min);
+        assoc::iou_edges(
+            &self.manager.active,
+            detections,
+            1.0 - self.config.iou_min,
+            &mut self.scratch,
+        );
+        let matches = assign_sparse(
+            self.manager.active.len(),
+            detections.len(),
+            &self.scratch.edges,
+            &mut self.scratch.assign,
+        );
         let mut det_matched = vec![false; detections.len()];
-        for (ti, di) in matches {
-            self.manager.commit_match(ti, &detections[di], None, 1.0);
-            det_matched[di] = true;
+        for &(ti, di) in matches {
+            self.manager
+                .commit_match(ti as usize, &detections[di as usize], None, 1.0);
+            det_matched[di as usize] = true;
         }
         for (di, d) in detections.iter().enumerate() {
             if !det_matched[di] {

@@ -14,9 +14,10 @@
 //! fragmenter-avoider in the crate, mirroring the paper's finding that
 //! Tracktor produces the fewest polyonymous tracks.
 
+use crate::assign::BoxGrid;
 use crate::lifecycle::{LifecycleConfig, TrackManager};
 use crate::trackers::Tracker;
-use tm_types::{Detection, FrameIdx, TrackSet};
+use tm_types::{BBox, Detection, FrameIdx, TrackSet};
 
 /// Tracktor-surrogate parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +52,9 @@ impl Default for TracktorLikeConfig {
 pub struct TracktorLike {
     config: TracktorLikeConfig,
     manager: TrackManager,
+    grid: BoxGrid,
+    boxes: Vec<BBox>,
+    cand: Vec<u32>,
 }
 
 impl TracktorLike {
@@ -59,6 +63,9 @@ impl TracktorLike {
         Self {
             manager: TrackManager::new(config.lifecycle),
             config,
+            grid: BoxGrid::new(),
+            boxes: Vec::new(),
+            cand: Vec::new(),
         }
     }
 }
@@ -82,16 +89,37 @@ impl Tracker for TracktorLike {
                 .then(self.manager.active[a].id.cmp(&self.manager.active[b].id))
         });
         let mut det_claimed = vec![false; detections.len()];
+        // Claims need iou ≥ sigma_active, so when the gate is positive a
+        // claimable detection must intersect the predicted box and the grid
+        // restricts the scan; candidates come back in ascending detection
+        // order, preserving the full scan's first-wins tie behavior.
+        let claim_gated = self.config.sigma_active > 0.0;
+        if claim_gated {
+            self.boxes.clear();
+            self.boxes.extend(detections.iter().map(|d| d.bbox));
+            self.grid.rebuild(&self.boxes);
+        }
         for ti in order {
             let t = &self.manager.active[ti];
             let mut best: Option<(usize, f64)> = None;
-            for (di, d) in detections.iter().enumerate() {
+            let consider = |di: usize, best: &mut Option<(usize, f64)>| {
+                let d = &detections[di];
                 if det_claimed[di] || d.class != t.class {
-                    continue;
+                    return;
                 }
                 let iou = t.predicted.iou(&d.bbox);
                 if iou >= self.config.sigma_active && best.is_none_or(|(_, b)| iou > b) {
-                    best = Some((di, iou));
+                    *best = Some((di, iou));
+                }
+            };
+            if claim_gated {
+                self.grid.candidates(&t.predicted, &mut self.cand);
+                for &di in &self.cand {
+                    consider(di as usize, &mut best);
+                }
+            } else {
+                for di in 0..detections.len() {
+                    consider(di, &mut best);
                 }
             }
             if let Some((di, _)) = best {
@@ -101,16 +129,37 @@ impl Tracker for TracktorLike {
         }
 
         // Spawn rule: a detection starts a new track only if it is far from
-        // every active track (claimed or not).
+        // every active track (claimed or not) — *including* tracks spawned
+        // earlier in this very loop, which is what suppresses duplicate
+        // detections of one new object. The grid covers the tracks that
+        // existed at the start of the loop; the (few) freshly spawned ones
+        // are scanned directly.
+        let n_preexisting = self.manager.active.len();
+        let spawn_gated = self.config.lambda_new > 0.0;
+        if spawn_gated {
+            self.boxes.clear();
+            self.boxes
+                .extend(self.manager.active.iter().map(|t| t.predicted));
+            self.grid.rebuild(&self.boxes);
+        }
         for (di, d) in detections.iter().enumerate() {
             if det_claimed[di] {
                 continue;
             }
-            let near_existing = self
-                .manager
-                .active
-                .iter()
-                .any(|t| t.predicted.iou(&d.bbox) >= self.config.lambda_new);
+            let near_existing = if spawn_gated {
+                self.grid.candidates(&d.bbox, &mut self.cand);
+                self.cand.iter().any(|&tj| {
+                    self.manager.active[tj as usize].predicted.iou(&d.bbox)
+                        >= self.config.lambda_new
+                }) || self.manager.active[n_preexisting..]
+                    .iter()
+                    .any(|t| t.predicted.iou(&d.bbox) >= self.config.lambda_new)
+            } else {
+                self.manager
+                    .active
+                    .iter()
+                    .any(|t| t.predicted.iou(&d.bbox) >= self.config.lambda_new)
+            };
             if !near_existing {
                 self.manager.spawn(d, None);
             }

@@ -7,8 +7,8 @@
 //! a Kalman-gated Mahalanobis motion cost combined with ReID appearance
 //! affinity under one Hungarian assignment.
 
-use crate::assoc::appearance_cost;
-use crate::hungarian::{assign_with_threshold, FORBIDDEN};
+use crate::assign::{assign_sparse, Edge};
+use crate::assoc::AssocScratch;
 use crate::lifecycle::{LifecycleConfig, TrackManager};
 use crate::trackers::Tracker;
 use tm_reid::{AppearanceModel, Feature};
@@ -53,6 +53,7 @@ pub struct UmaLike<'m> {
     config: UmaLikeConfig,
     manager: TrackManager,
     model: &'m AppearanceModel,
+    scratch: AssocScratch,
 }
 
 impl<'m> UmaLike<'m> {
@@ -62,6 +63,7 @@ impl<'m> UmaLike<'m> {
             manager: TrackManager::new(config.lifecycle),
             config,
             model,
+            scratch: AssocScratch::new(),
         }
     }
 }
@@ -79,35 +81,52 @@ impl Tracker for UmaLike<'_> {
             .collect();
 
         // Motion cost: gated Mahalanobis centre distance, normalized to the
-        // gate so it lands in [0, 1].
-        let motion: Vec<Vec<f64>> = self
-            .manager
-            .active
-            .iter()
-            .map(|t| {
-                detections
-                    .iter()
-                    .map(|d| {
-                        if t.class != d.class {
-                            return FORBIDDEN;
-                        }
-                        let g = t.kf.center_gate_distance(&d.bbox);
-                        if g > self.config.motion_gate {
-                            FORBIDDEN
-                        } else {
-                            g / self.config.motion_gate
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
-        let appearance = appearance_cost(&self.manager.active, detections, &det_features);
-        let cost = crate::assoc::combined_cost(&motion, &appearance, self.config.lambda_motion);
+        // gate so it lands in [0, 1]. The motion term is checked first so
+        // appearance distances are never computed for class-mismatched or
+        // motion-gated pairs.
+        let l = self.config.lambda_motion.clamp(0.0, 1.0);
+        self.scratch.edges.clear();
+        for (r, t) in self.manager.active.iter().enumerate() {
+            for (c, d) in detections.iter().enumerate() {
+                if t.class != d.class {
+                    continue;
+                }
+                let g = t.kf.center_gate_distance(&d.bbox);
+                if g > self.config.motion_gate {
+                    continue;
+                }
+                let cost_motion = g / self.config.motion_gate;
+                // Appearance cost is ≥ 0: the motion term alone can already
+                // exceed the acceptance threshold.
+                if l * cost_motion > self.config.max_cost {
+                    continue;
+                }
+                let cost_app = match &t.feature {
+                    Some(gallery) => gallery.normalized_distance(&det_features[c]),
+                    None => 0.5,
+                };
+                let cost = l * cost_motion + (1.0 - l) * cost_app;
+                if cost <= self.config.max_cost {
+                    self.scratch.edges.push(Edge {
+                        row: r as u32,
+                        col: c as u32,
+                        cost,
+                    });
+                }
+            }
+        }
+        let matches = assign_sparse(
+            self.manager.active.len(),
+            detections.len(),
+            &self.scratch.edges,
+            &mut self.scratch.assign,
+        );
 
         let mut det_matched = vec![false; detections.len()];
-        for (ti, di) in assign_with_threshold(&cost, self.config.max_cost) {
+        for &(ti, di) in matches {
+            let di = di as usize;
             self.manager.commit_match(
-                ti,
+                ti as usize,
                 &detections[di],
                 Some(det_features[di].clone()),
                 self.config.feature_momentum,

@@ -252,12 +252,24 @@ impl TrackSet {
     }
 
     /// Tracks whose lifetime intersects the frame range `[start, end)`.
+    ///
+    /// This is a linear filter over the whole set — fine for a one-off
+    /// query. Repeated range scans (per-window pair construction, per-frame
+    /// metric loops) should build a [`FrameIndex`] once via
+    /// [`TrackSet::frame_index`] and query that instead.
     pub fn overlapping_range(
         &self,
         start: FrameIdx,
         end: FrameIdx,
     ) -> impl Iterator<Item = &Track> {
         self.iter().filter(move |t| t.overlaps_range(start, end))
+    }
+
+    /// Builds a [`FrameIndex`] over the current tracks. The index borrows
+    /// the set and is a snapshot: inserting tracks afterwards requires
+    /// rebuilding it.
+    pub fn frame_index(&self) -> FrameIndex<'_> {
+        FrameIndex::build(self)
     }
 
     /// Total number of boxes across all tracks.
@@ -301,6 +313,227 @@ impl TrackSet {
 impl FromIterator<Track> for TrackSet {
     fn from_iter<I: IntoIterator<Item = Track>>(iter: I) -> Self {
         Self::from_tracks(iter.into_iter().collect())
+    }
+}
+
+/// A frame-interval index over a [`TrackSet`] snapshot.
+///
+/// Two query families, both answered without rescanning every track:
+///
+/// * **Interval queries** — which tracks live in a frame range
+///   ([`FrameIndex::overlapping_positions`]), backed by a span list sorted
+///   by first frame plus a max-last-frame segment tree, O(log n + k) per
+///   query instead of O(n).
+/// * **Per-frame queries** — the boxes present in one frame
+///   ([`FrameIndex::boxes_at`], in track insertion order, which is what the
+///   metric loops historically iterated) and the position of a given track
+///   id inside that frame's list ([`FrameIndex::position_at`]), replacing
+///   the per-frame linear `position()` scans of the CLEAR-MOT sticky pass.
+///
+/// Tracks are addressed by their *position* (insertion order index) in the
+/// underlying set; [`FrameIndex::track`] resolves a position back to the
+/// track.
+#[derive(Debug, Clone)]
+pub struct FrameIndex<'a> {
+    set: &'a TrackSet,
+    /// Non-empty track positions sorted by (first frame, position).
+    order: Vec<u32>,
+    /// First frames, parallel to `order` (ascending).
+    firsts: Vec<u64>,
+    /// Segment tree over the last frames of `order` (max), 1-based heap
+    /// layout.
+    seg: Vec<u64>,
+    /// Sorted distinct frames that hold at least one box.
+    frame_keys: Vec<u64>,
+    /// CSR offsets into `frame_entries` / `frame_by_id`.
+    frame_starts: Vec<u32>,
+    /// Per frame: `(track position, box)` in track insertion order (a
+    /// track with several boxes in one frame contributes them in box
+    /// order).
+    frame_entries: Vec<(u32, BBox)>,
+    /// Per frame: `(track id, local index into the frame's entry slice)`,
+    /// sorted by (id, local index) for binary lookup.
+    frame_by_id: Vec<(TrackId, u32)>,
+}
+
+impl<'a> FrameIndex<'a> {
+    fn build(set: &'a TrackSet) -> Self {
+        let mut order: Vec<u32> = (0..set.tracks.len() as u32)
+            .filter(|&i| !set.tracks[i as usize].is_empty())
+            .collect();
+        order.sort_by_key(|&i| {
+            (
+                set.tracks[i as usize]
+                    .first_frame()
+                    .expect("non-empty")
+                    .get(),
+                i,
+            )
+        });
+        let firsts: Vec<u64> = order
+            .iter()
+            .map(|&i| {
+                set.tracks[i as usize]
+                    .first_frame()
+                    .expect("non-empty")
+                    .get()
+            })
+            .collect();
+        let lasts: Vec<u64> = order
+            .iter()
+            .map(|&i| {
+                set.tracks[i as usize]
+                    .last_frame()
+                    .expect("non-empty")
+                    .get()
+            })
+            .collect();
+        let mut seg = vec![0u64; 4 * order.len().max(1)];
+        if !lasts.is_empty() {
+            Self::seg_build(&mut seg, &lasts, 1, 0, lasts.len());
+        }
+
+        // Per-frame CSR: distinct frames, then a stable counting-sort
+        // scatter so each frame's entries keep track insertion order.
+        let mut frame_keys: Vec<u64> = set
+            .tracks
+            .iter()
+            .flat_map(|t| t.boxes.iter().map(|b| b.frame.get()))
+            .collect();
+        frame_keys.sort_unstable();
+        frame_keys.dedup();
+        let mut counts = vec![0u32; frame_keys.len() + 1];
+        for t in &set.tracks {
+            for b in &t.boxes {
+                let k = frame_keys
+                    .binary_search(&b.frame.get())
+                    .expect("frame key present");
+                counts[k + 1] += 1;
+            }
+        }
+        for k in 0..frame_keys.len() {
+            counts[k + 1] += counts[k];
+        }
+        let frame_starts = counts;
+        let total = *frame_starts.last().unwrap_or(&0) as usize;
+        let mut cursor = frame_starts.clone();
+        let mut frame_entries = vec![(0u32, BBox::new(0.0, 0.0, 0.0, 0.0)); total];
+        for (pos, t) in set.tracks.iter().enumerate() {
+            for b in &t.boxes {
+                let k = frame_keys
+                    .binary_search(&b.frame.get())
+                    .expect("frame key present");
+                frame_entries[cursor[k] as usize] = (pos as u32, b.bbox);
+                cursor[k] += 1;
+            }
+        }
+        let mut frame_by_id: Vec<(TrackId, u32)> = Vec::with_capacity(total);
+        for k in 0..frame_keys.len() {
+            let (s, e) = (frame_starts[k] as usize, frame_starts[k + 1] as usize);
+            let base = frame_by_id.len();
+            for (local, &(pos, _)) in frame_entries[s..e].iter().enumerate() {
+                frame_by_id.push((set.tracks[pos as usize].id, local as u32));
+            }
+            frame_by_id[base..].sort_unstable();
+        }
+
+        Self {
+            set,
+            order,
+            firsts,
+            seg,
+            frame_keys,
+            frame_starts,
+            frame_entries,
+            frame_by_id,
+        }
+    }
+
+    fn seg_build(seg: &mut [u64], lasts: &[u64], node: usize, lo: usize, hi: usize) {
+        if hi - lo == 1 {
+            seg[node] = lasts[lo];
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        Self::seg_build(seg, lasts, 2 * node, lo, mid);
+        Self::seg_build(seg, lasts, 2 * node + 1, mid, hi);
+        seg[node] = seg[2 * node].max(seg[2 * node + 1]);
+    }
+
+    /// Collects, into `out`, the `order` indices in `[lo, hi) ∩ [0, limit)`
+    /// whose last frame is ≥ `start`.
+    fn seg_collect(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        limit: usize,
+        start: u64,
+        out: &mut Vec<u32>,
+    ) {
+        if lo >= limit || self.seg[node] < start {
+            return;
+        }
+        if hi - lo == 1 {
+            out.push(self.order[lo]);
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        self.seg_collect(2 * node, lo, mid, limit, start, out);
+        self.seg_collect(2 * node + 1, mid, hi, limit, start, out);
+    }
+
+    /// The underlying track at insertion position `pos`.
+    pub fn track(&self, pos: u32) -> &'a Track {
+        &self.set.tracks[pos as usize]
+    }
+
+    /// The last frame holding any box, if the set is non-empty.
+    pub fn max_frame(&self) -> Option<FrameIdx> {
+        self.frame_keys.last().map(|&f| FrameIdx(f))
+    }
+
+    /// Appends to `out` the positions of all tracks whose lifetime
+    /// intersects `[start, end)`, in ascending position (= insertion)
+    /// order — the same tracks [`TrackSet::overlapping_range`] yields.
+    pub fn overlapping_positions(&self, start: FrameIdx, end: FrameIdx, out: &mut Vec<u32>) {
+        out.clear();
+        if self.order.is_empty() {
+            return;
+        }
+        // Candidates: the prefix with first_frame < end; among those, keep
+        // last_frame >= start via the segment tree.
+        let limit = self.firsts.partition_point(|&f| f < end.get());
+        if limit == 0 {
+            return;
+        }
+        self.seg_collect(1, 0, self.firsts.len(), limit, start.get(), out);
+        out.sort_unstable();
+    }
+
+    /// The boxes present in `frame` as `(track position, box)`, in track
+    /// insertion order; empty for frames holding no box.
+    pub fn boxes_at(&self, frame: FrameIdx) -> &[(u32, BBox)] {
+        match self.frame_keys.binary_search(&frame.get()) {
+            Ok(k) => {
+                &self.frame_entries
+                    [self.frame_starts[k] as usize..self.frame_starts[k + 1] as usize]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// The first position of track `id` inside `frame`'s
+    /// [`FrameIndex::boxes_at`] slice, if the track has a box there.
+    pub fn position_at(&self, frame: FrameIdx, id: TrackId) -> Option<u32> {
+        let k = self.frame_keys.binary_search(&frame.get()).ok()?;
+        let slice =
+            &self.frame_by_id[self.frame_starts[k] as usize..self.frame_starts[k + 1] as usize];
+        let at = slice.partition_point(|&(tid, _)| tid < id);
+        match slice.get(at) {
+            Some(&(tid, local)) if tid == id => Some(local),
+            _ => None,
+        }
     }
 }
 
@@ -427,5 +660,131 @@ mod tests {
             .map(|t| t.id)
             .collect();
         assert_eq!(hits, vec![TrackId(1)]);
+    }
+
+    mod frame_index {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[test]
+        fn boxes_at_preserves_insertion_order() {
+            let s =
+                TrackSet::from_tracks(vec![track(9, &[0, 1]), track(2, &[1, 2]), track(5, &[1])]);
+            let idx = s.frame_index();
+            let at1: Vec<TrackId> = idx
+                .boxes_at(FrameIdx(1))
+                .iter()
+                .map(|&(pos, _)| idx.track(pos).id)
+                .collect();
+            assert_eq!(at1, vec![TrackId(9), TrackId(2), TrackId(5)]);
+            assert!(idx.boxes_at(FrameIdx(7)).is_empty());
+            assert_eq!(idx.max_frame(), Some(FrameIdx(2)));
+        }
+
+        #[test]
+        fn position_at_finds_first_duplicate() {
+            // One track with two boxes in the same frame: position_at must
+            // return the first, like the linear scans it replaces.
+            let mut t = track(3, &[4]);
+            t.boxes.push(tb(4, 50.0));
+            let s = TrackSet::from_tracks(vec![track(1, &[4]), t]);
+            let idx = s.frame_index();
+            assert_eq!(idx.position_at(FrameIdx(4), TrackId(3)), Some(1));
+            assert_eq!(idx.position_at(FrameIdx(4), TrackId(1)), Some(0));
+            assert_eq!(idx.position_at(FrameIdx(4), TrackId(9)), None);
+            assert_eq!(idx.position_at(FrameIdx(5), TrackId(1)), None);
+        }
+
+        #[test]
+        fn empty_set_and_empty_tracks() {
+            let idx_owner = TrackSet::new();
+            let idx = idx_owner.frame_index();
+            let mut out = Vec::new();
+            idx.overlapping_positions(FrameIdx(0), FrameIdx(100), &mut out);
+            assert!(out.is_empty());
+            assert_eq!(idx.max_frame(), None);
+
+            let s = TrackSet::from_tracks(vec![Track::new(TrackId(1), ClassId(1))]);
+            let idx = s.frame_index();
+            idx.overlapping_positions(FrameIdx(0), FrameIdx(100), &mut out);
+            assert!(out.is_empty(), "empty tracks never overlap a range");
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The interval query returns exactly the tracks the naive
+            /// linear filter returns, in the same (insertion) order.
+            #[test]
+            fn overlapping_positions_equal_linear_filter(
+                spans in proptest::collection::vec(
+                    (0u64..200, 0u64..40, any::<bool>()), 0..20),
+                start in 0u64..220,
+                len in 0u64..80,
+            ) {
+                let tracks: Vec<Track> = spans
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(first, span, empty))| {
+                        let frames: Vec<u64> = if empty {
+                            Vec::new()
+                        } else {
+                            (first..=first + span).collect()
+                        };
+                        track(i as u64 + 1, &frames)
+                    })
+                    .collect();
+                let s = TrackSet::from_tracks(tracks);
+                let idx = s.frame_index();
+                let (start, end) = (FrameIdx(start), FrameIdx(start + len));
+                let mut out = Vec::new();
+                idx.overlapping_positions(start, end, &mut out);
+                let got: Vec<TrackId> = out.iter().map(|&p| idx.track(p).id).collect();
+                let expected: Vec<TrackId> =
+                    s.overlapping_range(start, end).map(|t| t.id).collect();
+                prop_assert_eq!(got, expected);
+            }
+
+            /// Per-frame lookups agree with scanning every track.
+            #[test]
+            fn per_frame_queries_equal_linear_scan(
+                spans in proptest::collection::vec((0u64..50, 0u64..10), 0..12),
+                frame in 0u64..60,
+            ) {
+                let tracks: Vec<Track> = spans
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(first, span))| {
+                        let frames: Vec<u64> = (first..=first + span).collect();
+                        track(i as u64 + 1, &frames)
+                    })
+                    .collect();
+                let s = TrackSet::from_tracks(tracks);
+                let idx = s.frame_index();
+                let frame = FrameIdx(frame);
+                let expected: Vec<(TrackId, BBox)> = s
+                    .iter()
+                    .flat_map(|t| {
+                        t.boxes
+                            .iter()
+                            .filter(|b| b.frame == frame)
+                            .map(|b| (t.id, b.bbox))
+                    })
+                    .collect();
+                let got: Vec<(TrackId, BBox)> = idx
+                    .boxes_at(frame)
+                    .iter()
+                    .map(|&(pos, b)| (idx.track(pos).id, b))
+                    .collect();
+                prop_assert_eq!(&got, &expected);
+                for t in s.iter() {
+                    let naive = got.iter().position(|&(id, _)| id == t.id);
+                    prop_assert_eq!(
+                        idx.position_at(frame, t.id).map(|p| p as usize),
+                        naive
+                    );
+                }
+            }
+        }
     }
 }
