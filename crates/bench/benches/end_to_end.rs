@@ -108,7 +108,7 @@ fn bench_selectors(c: &mut Criterion) {
                     k: 0.05,
                 };
                 let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
-                black_box(selector.select(&input, &mut session))
+                black_box(selector.select(&input, &mut session).unwrap())
             })
         });
     }

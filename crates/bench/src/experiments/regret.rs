@@ -67,7 +67,9 @@ pub fn regret_curve(cfg: &ExpConfig) -> RegretCurve {
         ..TMergeConfig::default()
     });
     let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
-    let result = tm.select(&input, &mut session);
+    let result = tm
+        .select(&input, &mut session)
+        .expect("clean backend: selection cannot fail");
 
     // Prefix means of (d̃_τ − s̃_min), sampled at log-spaced τ.
     let mut points = Vec::new();

@@ -116,7 +116,9 @@ pub fn run_selector(
                 tracks: &run.video.tracks,
                 k,
             };
-            let result = selector.select(&input, &mut session);
+            let result = selector
+                .select(&input, &mut session)
+                .expect("clean backend: selection cannot fail");
             evals += result.distance_evals;
             candidates.extend(result.candidates);
         }

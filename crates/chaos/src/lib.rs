@@ -1,0 +1,29 @@
+//! # tm-chaos
+//!
+//! Deterministic fault injection for the TMerge ingestion path.
+//!
+//! Real deployments feed the merger from flaky infrastructure: ReID model
+//! servers time out, GPU workers disappear for whole windows, trackers
+//! deliver corrupt or out-of-order output. This crate simulates all of
+//! that **deterministically** so robustness behaviour is testable:
+//!
+//! * [`FaultPlan`] — a seeded schedule of backend faults. Every decision
+//!   (fail? corrupt? spike?) is a pure hash of `(seed, epoch, box,
+//!   attempt)`, so a given plan produces the identical fault sequence on
+//!   every run, on every thread count, with no RNG state threaded through.
+//! * [`FaultyModel`] — wraps an [`tm_reid::AppearanceModel`] as an
+//!   [`tm_reid::InferenceBackend`] that fails according to the plan. With
+//!   [`FaultPlan::none`] it is bit-for-bit transparent: same features, zero
+//!   extra latency — the zero-fault run is byte-identical to no wrapper.
+//! * [`StreamFaults`] — mutates tracker output the way broken ingestion
+//!   does (dropped observations, duplicated boxes, non-finite
+//!   coordinates), for exercising `TrackSet::validate` and the degraded
+//!   paths downstream.
+
+pub mod model;
+pub mod plan;
+pub mod stream;
+
+pub use model::FaultyModel;
+pub use plan::FaultPlan;
+pub use stream::StreamFaults;

@@ -1,0 +1,208 @@
+//! Seeded fault schedules.
+
+use tm_reid::Attempt;
+
+/// Distinguishes the independent per-attempt decisions so one attempt can
+/// (say) both spike and fail without the draws being correlated.
+const SALT_TRANSIENT: u64 = 0x7261_6e73;
+const SALT_CORRUPT: u64 = 0x636f_7272;
+const SALT_SPIKE: u64 = 0x7370_696b;
+
+/// A deterministic schedule of ReID-backend faults.
+///
+/// Rates are probabilities in `[0, 1]` evaluated **per attempt** by hashing
+/// `(seed, epoch, box, attempt, salt)` — no mutable RNG state, so the same
+/// plan replays the same faults regardless of threading or call order, and
+/// a retry of the same attempt index sees the same outcome.
+///
+/// `hard_down` lists half-open `[start, end)` *epoch* ranges (the merging
+/// layer uses its window cursor as the epoch) during which the backend
+/// refuses all work — the scenario that trips the circuit breaker into
+/// degraded mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed behind every decision hash.
+    pub seed: u64,
+    /// Probability an attempt fails transiently (timeout-style).
+    pub transient_failure_rate: f64,
+    /// Probability an attempt returns a feature full of NaNs.
+    pub corrupt_rate: f64,
+    /// Probability a (successful or failed) attempt takes a latency spike.
+    pub latency_spike_rate: f64,
+    /// Extra simulated milliseconds a latency spike costs.
+    pub latency_spike_ms: f64,
+    /// Simulated milliseconds burned by a failed attempt (time spent
+    /// waiting on the timeout), on top of any spike.
+    pub fault_latency_ms: f64,
+    /// Half-open `[start, end)` epoch ranges of hard unavailability.
+    pub hard_down: Vec<(u64, u64)>,
+}
+
+impl FaultPlan {
+    /// The all-zero plan: no faults, no spikes, no outages. A backend
+    /// driven by this plan behaves identically to the unwrapped model.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            transient_failure_rate: 0.0,
+            corrupt_rate: 0.0,
+            latency_spike_rate: 0.0,
+            latency_spike_ms: 0.0,
+            fault_latency_ms: 0.0,
+            hard_down: Vec::new(),
+        }
+    }
+
+    /// A mildly hostile plan for chaos suites: occasional transient
+    /// failures, rare corruption, occasional latency spikes, no outages.
+    pub fn flaky(seed: u64) -> Self {
+        Self {
+            seed,
+            transient_failure_rate: 0.05,
+            corrupt_rate: 0.02,
+            latency_spike_rate: 0.05,
+            latency_spike_ms: 40.0,
+            fault_latency_ms: 25.0,
+            hard_down: Vec::new(),
+        }
+    }
+
+    /// Adds a hard-down epoch range (builder style).
+    pub fn with_hard_down(mut self, start: u64, end: u64) -> Self {
+        self.hard_down.push((start, end));
+        self
+    }
+
+    /// True when `epoch` falls inside a hard-down range.
+    pub fn is_hard_down(&self, epoch: u64) -> bool {
+        self.hard_down.iter().any(|&(s, e)| s <= epoch && epoch < e)
+    }
+
+    /// True when the plan can never perturb anything.
+    pub fn is_none(&self) -> bool {
+        self.transient_failure_rate == 0.0
+            && self.corrupt_rate == 0.0
+            && self.latency_spike_rate == 0.0
+            && self.hard_down.is_empty()
+    }
+
+    /// Whether an attempt fails transiently.
+    pub fn fails_transiently(&self, at: &Attempt) -> bool {
+        unit(self.seed, SALT_TRANSIENT, at) < self.transient_failure_rate
+    }
+
+    /// Whether an attempt returns a corrupted (NaN) feature.
+    pub fn corrupts(&self, at: &Attempt) -> bool {
+        unit(self.seed, SALT_CORRUPT, at) < self.corrupt_rate
+    }
+
+    /// Whether an attempt takes a latency spike.
+    pub fn spikes(&self, at: &Attempt) -> bool {
+        unit(self.seed, SALT_SPIKE, at) < self.latency_spike_rate
+    }
+}
+
+/// SplitMix64 finalizer — full-avalanche mixing of one word.
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Folds several words into one hash.
+pub(crate) fn hash_words(words: &[u64]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64;
+    for &w in words {
+        h = mix(h.wrapping_add(w).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+    h
+}
+
+/// A uniform draw in `[0, 1)` from the top 53 bits of the hash.
+pub(crate) fn unit_from_words(words: &[u64]) -> f64 {
+    (hash_words(words) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn unit(seed: u64, salt: u64, at: &Attempt) -> f64 {
+    unit_from_words(&[
+        seed,
+        salt,
+        at.epoch,
+        at.attempt as u64,
+        at.key.track.get(),
+        at.key.frame.get(),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_reid::BoxKey;
+    use tm_types::{FrameIdx, TrackId};
+
+    fn at(epoch: u64, attempt: u32, t: u64, f: u64) -> Attempt {
+        Attempt {
+            epoch,
+            attempt,
+            key: BoxKey::new(TrackId(t), FrameIdx(f)),
+        }
+    }
+
+    #[test]
+    fn zero_plan_never_fires() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        for e in 0..20 {
+            for a in 0..4 {
+                let at = at(e, a, e * 7 + 1, e * 13 + 2);
+                assert!(!p.fails_transiently(&at));
+                assert!(!p.corrupts(&at));
+                assert!(!p.spikes(&at));
+            }
+            assert!(!p.is_hard_down(e));
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_attempt_dependent() {
+        let p = FaultPlan::flaky(42);
+        let a0 = at(3, 0, 5, 77);
+        assert_eq!(p.fails_transiently(&a0), p.fails_transiently(&a0));
+        // Across many attempts the rate must bite somewhere and spare
+        // somewhere — i.e. decisions vary with the attempt coordinates.
+        let mut fired = 0;
+        for i in 0..2000u64 {
+            if p.fails_transiently(&at(i % 7, (i % 4) as u32, i, i * 3)) {
+                fired += 1;
+            }
+        }
+        assert!(fired > 0 && fired < 2000, "fired {fired}/2000");
+        // ~5% rate: loose sanity band.
+        assert!((20..400).contains(&fired), "fired {fired}/2000");
+    }
+
+    #[test]
+    fn seeds_change_the_schedule() {
+        let p1 = FaultPlan::flaky(1);
+        let p2 = FaultPlan::flaky(2);
+        let differs = (0..500u64).any(|i| {
+            let a = at(0, 0, i, i + 1);
+            p1.fails_transiently(&a) != p2.fails_transiently(&a)
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn hard_down_ranges_are_half_open() {
+        let p = FaultPlan::none()
+            .with_hard_down(4, 6)
+            .with_hard_down(10, 11);
+        assert!(!p.is_hard_down(3));
+        assert!(p.is_hard_down(4));
+        assert!(p.is_hard_down(5));
+        assert!(!p.is_hard_down(6));
+        assert!(p.is_hard_down(10));
+        assert!(!p.is_hard_down(11));
+        assert!(!p.is_none());
+    }
+}

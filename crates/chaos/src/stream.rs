@@ -1,0 +1,210 @@
+//! Tracker-output stream mutators.
+//!
+//! Faults on the *data* side of ingestion: observations that never arrive,
+//! boxes delivered twice, coordinates trashed in transit, and watermark
+//! sequences that run backwards. These produce exactly the defects
+//! `TrackSet::validate` and the streaming watermark guard are specified to
+//! catch.
+
+use crate::plan::unit_from_words;
+use tm_types::{Track, TrackSet};
+
+const SALT_DROP: u64 = 0x6472_6f70;
+const SALT_DUP: u64 = 0x6475_7063;
+const SALT_NAN: u64 = 0x6e61_6e62;
+const SALT_REGRESS: u64 = 0x7265_6772;
+
+/// A deterministic mutator of tracker output. Each box's fate is a pure
+/// hash of `(seed, track, frame, salt)`, so a given configuration always
+/// produces the same mutated set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamFaults {
+    /// Seed behind every decision hash.
+    pub seed: u64,
+    /// Probability an observation is dropped entirely.
+    pub drop_rate: f64,
+    /// Probability an observation is delivered twice (same frame —
+    /// [`tm_types::TrackDefect::DuplicateFrame`]).
+    pub duplicate_rate: f64,
+    /// Probability a box's coordinates are trashed to NaN
+    /// ([`tm_types::TrackDefect::NonFiniteBox`]).
+    pub corrupt_rate: f64,
+}
+
+impl StreamFaults {
+    /// No mutation at all.
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            corrupt_rate: 0.0,
+        }
+    }
+
+    fn fires(&self, salt: u64, track: u64, frame: u64, rate: f64) -> bool {
+        unit_from_words(&[self.seed, salt, track, frame]) < rate
+    }
+
+    /// Applies the faults to `tracks`, returning the mutated set. With all
+    /// rates zero the output equals the input.
+    pub fn apply(&self, tracks: &TrackSet) -> TrackSet {
+        let mut out: Vec<Track> = Vec::with_capacity(tracks.len());
+        for t in tracks.iter() {
+            let mut mutated = Track::new(t.id, t.class);
+            for b in &t.boxes {
+                let (tid, frame) = (t.id.get(), b.frame.get());
+                if self.fires(SALT_DROP, tid, frame, self.drop_rate) {
+                    continue;
+                }
+                let mut b = *b;
+                if self.fires(SALT_NAN, tid, frame, self.corrupt_rate) {
+                    b.bbox.x = f64::NAN;
+                }
+                mutated.boxes.push(b);
+                if self.fires(SALT_DUP, tid, frame, self.duplicate_rate) {
+                    mutated.boxes.push(b);
+                }
+            }
+            out.push(mutated);
+        }
+        TrackSet::from_tracks(out)
+    }
+}
+
+/// A watermark schedule with injected regressions: walks `step`-sized
+/// increments up to `total_frames`, but each tick has probability
+/// `regress_rate` of reporting a *smaller* frames-available value than its
+/// predecessor — the out-of-order delivery a streaming ingester must
+/// reject cleanly (`TmError::FrameRegression`) rather than corrupt state.
+pub fn regressing_watermarks(
+    seed: u64,
+    total_frames: u64,
+    step: u64,
+    regress_rate: f64,
+) -> Vec<u64> {
+    let step = step.max(1);
+    let mut out = Vec::new();
+    let mut frames = step;
+    while frames < total_frames + step {
+        let tick = frames.min(total_frames);
+        if !out.is_empty() && unit_from_words(&[seed, SALT_REGRESS, tick]) < regress_rate {
+            out.push(tick.saturating_sub(step).saturating_sub(1));
+        }
+        out.push(tick);
+        frames += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_types::{BBox, ClassId, FrameIdx, TrackBox, TrackDefect, TrackId};
+
+    fn set() -> TrackSet {
+        let mut tracks = Vec::new();
+        for id in 1..=10u64 {
+            let boxes = (0..30u64)
+                .map(|f| TrackBox::new(FrameIdx(f), BBox::new(f as f64, 0.0, 8.0, 8.0)))
+                .collect();
+            tracks.push(Track::with_boxes(TrackId(id), ClassId(1), boxes));
+        }
+        TrackSet::from_tracks(tracks)
+    }
+
+    #[test]
+    fn zero_rates_are_identity() {
+        let s = set();
+        assert_eq!(StreamFaults::none(9).apply(&s), s);
+    }
+
+    #[test]
+    fn apply_is_deterministic() {
+        let s = set();
+        let f = StreamFaults {
+            seed: 3,
+            drop_rate: 0.2,
+            duplicate_rate: 0.1,
+            corrupt_rate: 0.1,
+        };
+        // NaN != NaN, so compare the box streams bitwise instead of with
+        // TrackSet's PartialEq.
+        let dump = |ts: &TrackSet| -> Vec<(u64, u64, [u64; 4])> {
+            ts.iter()
+                .flat_map(|t| {
+                    t.boxes.iter().map(move |b| {
+                        (
+                            t.id.get(),
+                            b.frame.get(),
+                            [
+                                b.bbox.x.to_bits(),
+                                b.bbox.y.to_bits(),
+                                b.bbox.w.to_bits(),
+                                b.bbox.h.to_bits(),
+                            ],
+                        )
+                    })
+                })
+                .collect()
+        };
+        assert_eq!(dump(&f.apply(&s)), dump(&f.apply(&s)));
+    }
+
+    #[test]
+    fn duplicates_and_nans_fail_validation() {
+        let s = set();
+        let dup = StreamFaults {
+            seed: 1,
+            drop_rate: 0.0,
+            duplicate_rate: 0.5,
+            corrupt_rate: 0.0,
+        }
+        .apply(&s);
+        match dup.validate().expect_err("duplicates must be rejected") {
+            tm_types::TmError::InvalidTrack { defect, .. } => {
+                assert_eq!(defect, TrackDefect::DuplicateFrame)
+            }
+            e => panic!("unexpected error {e:?}"),
+        }
+        let nan = StreamFaults {
+            seed: 1,
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            corrupt_rate: 0.5,
+        }
+        .apply(&s);
+        match nan.validate().expect_err("NaNs must be rejected") {
+            tm_types::TmError::InvalidTrack { defect, .. } => {
+                assert_eq!(defect, TrackDefect::NonFiniteBox)
+            }
+            e => panic!("unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn drops_shrink_but_stay_valid() {
+        let s = set();
+        let dropped = StreamFaults {
+            seed: 2,
+            drop_rate: 0.3,
+            duplicate_rate: 0.0,
+            corrupt_rate: 0.0,
+        }
+        .apply(&s);
+        assert!(dropped.total_boxes() < s.total_boxes());
+        dropped.validate().expect("drops alone keep tracks valid");
+    }
+
+    #[test]
+    fn regressing_watermarks_regress_and_terminate() {
+        let w = regressing_watermarks(5, 500, 50, 0.5);
+        assert_eq!(*w.last().unwrap(), 500);
+        assert!(w.windows(2).any(|p| p[1] < p[0]), "no regression in {w:?}");
+        // Deterministic.
+        assert_eq!(w, regressing_watermarks(5, 500, 50, 0.5));
+        // Zero rate: strictly increasing.
+        let clean = regressing_watermarks(5, 500, 50, 0.0);
+        assert!(clean.windows(2).all(|p| p[1] > p[0]));
+    }
+}

@@ -8,6 +8,7 @@
 use crate::score::exact_scores;
 use crate::selector::{top_m_by_score, CandidateSelector, SelectionInput, SelectionResult};
 use tm_reid::ReidSession;
+use tm_types::Result;
 
 /// The baseline selector (Algorithm 1). Stateless.
 #[derive(Debug, Clone, Copy, Default)]
@@ -18,17 +19,20 @@ impl CandidateSelector for Baseline {
         "BL".to_string()
     }
 
-    fn select(&self, input: &SelectionInput<'_>, session: &mut ReidSession<'_>) -> SelectionResult {
+    fn select(
+        &self,
+        input: &SelectionInput<'_>,
+        session: &mut ReidSession<'_>,
+    ) -> Result<SelectionResult> {
         let before = session.stats().distances;
-        let scores = exact_scores(input, session)
-            .expect("pair set references tracks absent from the track set");
+        let scores = exact_scores(input, session)?;
         let candidates = top_m_by_score(&scores, input.m());
-        SelectionResult {
+        Ok(SelectionResult {
             candidates,
             scores: scores.into_iter().collect(),
             distance_evals: session.stats().distances - before,
             history: Vec::new(),
-        }
+        })
     }
 }
 
@@ -89,7 +93,7 @@ mod tests {
         };
         assert_eq!(input.m(), 2);
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
-        let result = Baseline.select(&input, &mut session);
+        let result = Baseline.select(&input, &mut session).unwrap();
         let expect_a = TrackPair::new(TrackId(1), TrackId(2)).unwrap();
         let expect_b = TrackPair::new(TrackId(3), TrackId(4)).unwrap();
         assert!(
@@ -113,7 +117,7 @@ mod tests {
             k: 0.1,
         };
         let mut session = ReidSession::new(&model, CostModel::calibrated(), Device::Cpu);
-        let result = Baseline.select(&input, &mut session);
+        let result = Baseline.select(&input, &mut session).unwrap();
         // 15 pairs × 64 bbox pairs.
         assert_eq!(result.distance_evals, 15 * 64);
         assert_eq!(session.stats().distances, 15 * 64);
@@ -128,9 +132,9 @@ mod tests {
             k: 0.2,
         };
         let mut cpu = ReidSession::new(&model, CostModel::calibrated(), Device::Cpu);
-        let r_cpu = Baseline.select(&input, &mut cpu);
+        let r_cpu = Baseline.select(&input, &mut cpu).unwrap();
         let mut gpu = ReidSession::new(&model, CostModel::calibrated(), Device::Gpu { batch: 10 });
-        let r_gpu = Baseline.select(&input, &mut gpu);
+        let r_gpu = Baseline.select(&input, &mut gpu).unwrap();
         assert_eq!(r_cpu.candidates, r_gpu.candidates);
         assert!(gpu.elapsed_ms() < cpu.elapsed_ms());
     }
@@ -144,7 +148,7 @@ mod tests {
             k: 0.5,
         };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
-        let result = Baseline.select(&input, &mut session);
+        let result = Baseline.select(&input, &mut session).unwrap();
         assert!(result.candidates.is_empty());
         assert_eq!(result.distance_evals, 0);
     }

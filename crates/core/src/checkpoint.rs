@@ -1,0 +1,491 @@
+//! Checkpoint/resume for [`StreamingMerger`].
+//!
+//! A long-running ingester must survive being killed: `checkpoint()`
+//! serializes the merger's complete state — window cursor, watermark,
+//! cross-window dedup set, committed merges, degraded stash, decision log,
+//! breaker state and the ReID session (simulated clock, work counters and
+//! feature cache) — and `resume()` reconstructs a merger that continues at
+//! the last completed window with **byte-identical** output to a run that
+//! was never interrupted.
+//!
+//! The format is a hand-rolled little-endian word stream (magic + version,
+//! `u64` words, `f64` via `to_bits`, length-prefixed collections). Floats
+//! round-trip through bits, never through text, so a resumed clock is
+//! bit-equal to the uninterrupted one. The union-find is not serialized:
+//! it is rebuilt by re-unioning the committed merges, which is equivalent
+//! for every query the merger answers. The selector and the appearance
+//! model are code, not data — `resume()` takes them as arguments and the
+//! caller must pass the same ones (and re-install any fault backend with
+//! [`StreamingMerger::with_backend`]) for identical continuation.
+
+use crate::resilience::{
+    Breaker, DecisionMode, DegradedConfig, RobustnessConfig, RobustnessReport,
+};
+use crate::selector::CandidateSelector;
+use crate::stream::{StashedWindow, StreamConfig, StreamingMerger, WindowDecision};
+use crate::union::UnionFind;
+use crate::window::Window;
+use std::collections::BTreeSet;
+use tm_reid::{AppearanceModel, BoxKey, ReidSession, ReidStats, RetryPolicy, SessionSnapshot};
+use tm_types::{FrameIdx, Result, TmError, TrackId, TrackPair};
+
+/// `TMCK` in ASCII.
+const MAGIC: u64 = 0x544d_434b;
+const VERSION: u64 = 1;
+
+fn corrupt(reason: &str) -> TmError {
+    TmError::invalid("checkpoint", reason)
+}
+
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    fn put_bool(&mut self, v: bool) {
+        self.put_u64(v as u64);
+    }
+
+    fn put_pair(&mut self, p: TrackPair) {
+        self.put_u64(p.lo().get());
+        self.put_u64(p.hi().get());
+    }
+
+    fn put_pairs(&mut self, ps: &[TrackPair]) {
+        self.put_u64(ps.len() as u64);
+        for &p in ps {
+            self.put_pair(p);
+        }
+    }
+
+    fn put_window(&mut self, w: &Window) {
+        self.put_u64(w.index as u64);
+        self.put_u64(w.start.get());
+        self.put_u64(w.end.get());
+        self.put_u64(w.half_end.get());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take_u64(&mut self) -> Result<u64> {
+        let end = self
+            .pos
+            .checked_add(8)
+            .ok_or_else(|| corrupt("truncated"))?;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| corrupt("truncated"))?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+    }
+
+    fn take_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    fn take_bool(&mut self) -> Result<bool> {
+        match self.take_u64()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(corrupt("invalid boolean word")),
+        }
+    }
+
+    fn take_len(&mut self) -> Result<usize> {
+        let n = self.take_u64()?;
+        // Each element is at least one word; a length claiming more than
+        // the remaining bytes is corrupt, not an allocation request.
+        if n as usize > self.buf.len().saturating_sub(self.pos) {
+            return Err(corrupt("length prefix exceeds remaining bytes"));
+        }
+        Ok(n as usize)
+    }
+
+    fn take_pair(&mut self) -> Result<TrackPair> {
+        let lo = TrackId(self.take_u64()?);
+        let hi = TrackId(self.take_u64()?);
+        TrackPair::new(lo, hi).ok_or_else(|| corrupt("degenerate track pair"))
+    }
+
+    fn take_pairs(&mut self) -> Result<Vec<TrackPair>> {
+        let n = self.take_len()?;
+        (0..n).map(|_| self.take_pair()).collect()
+    }
+
+    fn take_window(&mut self) -> Result<Window> {
+        Ok(Window {
+            index: self.take_u64()? as usize,
+            start: FrameIdx(self.take_u64()?),
+            end: FrameIdx(self.take_u64()?),
+            half_end: FrameIdx(self.take_u64()?),
+        })
+    }
+
+    fn finish(&self) -> Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(corrupt("trailing bytes after checkpoint payload"))
+        }
+    }
+}
+
+impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
+    /// Serializes the merger's complete state. Call between `advance`
+    /// calls (the merger is always consistent at those points).
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.put_u64(MAGIC);
+        w.put_u64(VERSION);
+
+        w.put_u64(self.config.window_len);
+        w.put_f64(self.config.k);
+
+        w.put_u64(self.robustness.retry.max_attempts as u64);
+        w.put_f64(self.robustness.retry.base_backoff_ms);
+        w.put_f64(self.robustness.retry.backoff_factor);
+        w.put_f64(self.robustness.retry.max_backoff_ms);
+        w.put_u64(self.robustness.breaker_threshold as u64);
+        w.put_f64(self.robustness.degraded.max_spatial_px);
+        w.put_u64(self.robustness.degraded.max_temporal_gap as u64);
+
+        w.put_u64(self.next_window as u64);
+        w.put_u64(self.watermark);
+
+        w.put_u64(self.prev_ids.len() as u64);
+        for id in &self.prev_ids {
+            w.put_u64(id.get());
+        }
+        let seen: Vec<TrackPair> = self.seen.iter().copied().collect();
+        w.put_pairs(&seen);
+        w.put_pairs(&self.merged_ids);
+
+        w.put_u64(self.stash.len() as u64);
+        for sw in &self.stash {
+            w.put_window(&sw.window);
+            w.put_pairs(&sw.pairs);
+            w.put_pairs(&sw.provisional);
+        }
+
+        w.put_u64(self.decisions.len() as u64);
+        for d in &self.decisions {
+            w.put_window(&d.window);
+            w.put_u64(d.n_pairs as u64);
+            w.put_pairs(&d.candidates);
+            w.put_bool(d.mode == DecisionMode::Degraded);
+        }
+
+        w.put_u64(self.breaker.threshold() as u64);
+        w.put_u64(self.breaker.consecutive() as u64);
+        w.put_bool(self.breaker.is_open());
+
+        w.put_u64(self.counters.degraded_windows);
+        w.put_u64(self.counters.reverified_windows);
+        w.put_u64(self.counters.breaker_trips);
+
+        let snap = self.session.snapshot();
+        w.put_f64(snap.elapsed_ms);
+        w.put_u64(snap.stats.inferences);
+        w.put_u64(snap.stats.cache_hits);
+        w.put_u64(snap.stats.distances);
+        w.put_u64(snap.stats.gpu_rounds);
+        w.put_u64(snap.stats.retries);
+        w.put_u64(snap.stats.backend_faults);
+        w.put_u64(snap.cache.len() as u64);
+        for (key, feat) in &snap.cache {
+            w.put_u64(key.track.get());
+            w.put_u64(key.frame.get());
+            w.put_u64(feat.len() as u64);
+            for &c in feat {
+                w.put_f64(c);
+            }
+        }
+
+        w.buf
+    }
+
+    /// Reconstructs a merger from a [`StreamingMerger::checkpoint`].
+    ///
+    /// `model`, `session_cost`, `device` and `selector` are the code half
+    /// of the state and must match the original run; a fault backend, if
+    /// any, is re-installed afterwards with
+    /// [`StreamingMerger::with_backend`]. Corrupt or truncated bytes yield
+    /// an error, never a panic.
+    pub fn resume(
+        model: &'m AppearanceModel,
+        session_cost: tm_reid::CostModel,
+        device: tm_reid::Device,
+        selector: S,
+        bytes: &[u8],
+    ) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        if r.take_u64()? != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        if r.take_u64()? != VERSION {
+            return Err(corrupt("unsupported version"));
+        }
+
+        let config = StreamConfig {
+            window_len: r.take_u64()?,
+            k: r.take_f64()?,
+        };
+        let robustness = RobustnessConfig {
+            retry: RetryPolicy {
+                max_attempts: r.take_u64()? as u32,
+                base_backoff_ms: r.take_f64()?,
+                backoff_factor: r.take_f64()?,
+                max_backoff_ms: r.take_f64()?,
+            },
+            breaker_threshold: r.take_u64()? as u32,
+            degraded: DegradedConfig {
+                max_spatial_px: r.take_f64()?,
+                max_temporal_gap: r.take_u64()? as i64,
+            },
+        };
+
+        let next_window = r.take_u64()? as usize;
+        let watermark = r.take_u64()?;
+
+        let n = r.take_len()?;
+        let prev_ids: Vec<TrackId> = (0..n)
+            .map(|_| r.take_u64().map(TrackId))
+            .collect::<Result<_>>()?;
+        let seen: BTreeSet<TrackPair> = r.take_pairs()?.into_iter().collect();
+        let merged_ids = r.take_pairs()?;
+
+        let n = r.take_len()?;
+        let stash: Vec<StashedWindow> = (0..n)
+            .map(|_| {
+                Ok(StashedWindow {
+                    window: r.take_window()?,
+                    pairs: r.take_pairs()?,
+                    provisional: r.take_pairs()?,
+                })
+            })
+            .collect::<Result<_>>()?;
+
+        let n = r.take_len()?;
+        let decisions: Vec<WindowDecision> = (0..n)
+            .map(|_| {
+                Ok(WindowDecision {
+                    window: r.take_window()?,
+                    n_pairs: r.take_u64()? as usize,
+                    candidates: r.take_pairs()?,
+                    mode: if r.take_bool()? {
+                        DecisionMode::Degraded
+                    } else {
+                        DecisionMode::Normal
+                    },
+                })
+            })
+            .collect::<Result<_>>()?;
+
+        let breaker = Breaker::restore(r.take_u64()? as u32, r.take_u64()? as u32, r.take_bool()?);
+
+        let counters = RobustnessReport {
+            degraded_windows: r.take_u64()?,
+            reverified_windows: r.take_u64()?,
+            breaker_trips: r.take_u64()?,
+            ..RobustnessReport::default()
+        };
+
+        let elapsed_ms = r.take_f64()?;
+        let stats = ReidStats {
+            inferences: r.take_u64()?,
+            cache_hits: r.take_u64()?,
+            distances: r.take_u64()?,
+            gpu_rounds: r.take_u64()?,
+            retries: r.take_u64()?,
+            backend_faults: r.take_u64()?,
+        };
+        let n = r.take_len()?;
+        let cache: Vec<(BoxKey, Vec<f64>)> = (0..n)
+            .map(|_| {
+                let key = BoxKey {
+                    track: TrackId(r.take_u64()?),
+                    frame: FrameIdx(r.take_u64()?),
+                };
+                let len = r.take_len()?;
+                let feat: Vec<f64> = (0..len).map(|_| r.take_f64()).collect::<Result<_>>()?;
+                Ok((key, feat))
+            })
+            .collect::<Result<_>>()?;
+        r.finish()?;
+
+        let mut session =
+            ReidSession::new(model, session_cost, device).with_retry_policy(robustness.retry);
+        session.restore_snapshot(&SessionSnapshot {
+            elapsed_ms,
+            stats,
+            cache,
+        });
+
+        // The union-find is derived state: re-union the committed merges.
+        let mut uf = UnionFind::new();
+        for p in &merged_ids {
+            uf.union(p.lo(), p.hi());
+        }
+
+        Ok(StreamingMerger {
+            config,
+            robustness,
+            selector,
+            session,
+            next_window,
+            watermark,
+            prev_ids,
+            seen,
+            uf,
+            merged_ids,
+            breaker,
+            stash,
+            decisions,
+            counters,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::StreamConfig;
+    use crate::tmerge::{TMerge, TMergeConfig};
+    use tm_reid::{AppearanceConfig, CostModel, Device};
+    use tm_types::{ids::classes, BBox, Track, TrackBox, TrackSet};
+
+    fn track(id: u64, actor: u64, start: u64, n: usize, x0: f64) -> Track {
+        Track::with_boxes(
+            TrackId(id),
+            classes::PEDESTRIAN,
+            (0..n)
+                .map(|i| {
+                    TrackBox::new(
+                        FrameIdx(start + i as u64),
+                        BBox::new(x0 + i as f64 * 5.0, 100.0, 40.0, 80.0),
+                    )
+                    .with_provenance(tm_types::GtObjectId(actor))
+                })
+                .collect(),
+        )
+    }
+
+    fn fixture() -> (AppearanceModel, TrackSet) {
+        let model = AppearanceModel::new(AppearanceConfig::default());
+        let tracks = TrackSet::from_tracks(vec![
+            track(1, 10, 0, 30, 0.0),
+            track(2, 10, 80, 30, 160.0),
+            track(3, 11, 0, 40, 400.0),
+            track(4, 12, 60, 40, 800.0),
+            track(5, 13, 200, 40, 1200.0),
+            track(6, 13, 280, 30, 1400.0),
+        ]);
+        (model, tracks)
+    }
+
+    fn selector() -> TMerge {
+        TMerge::new(TMergeConfig {
+            tau_max: 1_500,
+            seed: 4,
+            ..TMergeConfig::default()
+        })
+    }
+
+    fn config() -> StreamConfig {
+        StreamConfig {
+            window_len: 200,
+            k: 0.1,
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_mid_stream() {
+        let (model, tracks) = fixture();
+        let mut m = StreamingMerger::new(
+            &model,
+            CostModel::calibrated(),
+            Device::Cpu,
+            selector(),
+            config(),
+        )
+        .unwrap();
+        m.advance(&tracks, 250).unwrap();
+        let bytes = m.checkpoint();
+
+        let mut resumed = StreamingMerger::resume(
+            &model,
+            CostModel::calibrated(),
+            Device::Cpu,
+            selector(),
+            &bytes,
+        )
+        .unwrap();
+        assert_eq!(resumed.accepted(), m.accepted());
+        assert_eq!(resumed.decisions(), m.decisions());
+        assert_eq!(
+            resumed.elapsed_ms().to_bits(),
+            m.elapsed_ms().to_bits(),
+            "clock must resume bit-exactly"
+        );
+        assert_eq!(resumed.mapping(), m.mapping());
+    }
+
+    #[test]
+    fn corrupt_bytes_are_clean_errors() {
+        let (model, tracks) = fixture();
+        let mut m = StreamingMerger::new(
+            &model,
+            CostModel::calibrated(),
+            Device::Cpu,
+            selector(),
+            config(),
+        )
+        .unwrap();
+        m.advance(&tracks, 250).unwrap();
+        let bytes = m.checkpoint();
+
+        for bad in [
+            &[] as &[u8],
+            &bytes[..bytes.len() / 2], // truncated
+            &bytes[8..],               // magic stripped
+        ] {
+            let r = StreamingMerger::<TMerge>::resume(
+                &model,
+                CostModel::calibrated(),
+                Device::Cpu,
+                selector(),
+                bad,
+            );
+            assert!(r.is_err(), "{} bytes must not resume", bad.len());
+        }
+        let mut flipped = bytes.clone();
+        flipped[0] ^= 0xff;
+        assert!(StreamingMerger::<TMerge>::resume(
+            &model,
+            CostModel::calibrated(),
+            Device::Cpu,
+            selector(),
+            &flipped,
+        )
+        .is_err());
+    }
+}

@@ -13,7 +13,7 @@ use crate::selector::{top_m_by_score, CandidateSelector, SelectionInput, Selecti
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use tm_reid::{ReidSession, NORMALIZER};
-use tm_types::TrackPair;
+use tm_types::{Result, TmError, TrackPair};
 
 /// ε-greedy parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,24 +73,24 @@ impl CandidateSelector for EpsilonGreedy {
         format!("eGreedy(ε={})", self.config.epsilon)
     }
 
-    fn select(&self, input: &SelectionInput<'_>, session: &mut ReidSession<'_>) -> SelectionResult {
+    fn select(
+        &self,
+        input: &SelectionInput<'_>,
+        session: &mut ReidSession<'_>,
+    ) -> Result<SelectionResult> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let eps = self.config.epsilon.clamp(0.0, 1.0);
-        let mut arms: Vec<ArmState<'_>> = input
-            .pairs
-            .iter()
-            .map(|&p| {
-                let boxes = PairBoxes::resolve(p, input.tracks)
-                    .expect("pair set references tracks absent from the track set");
-                let sampler = WithoutReplacement::new(boxes.total_bbox_pairs());
-                ArmState {
-                    boxes,
-                    sampler,
-                    n: 0,
-                    sum: 0.0,
-                }
-            })
-            .collect();
+        let mut arms: Vec<ArmState<'_>> = Vec::with_capacity(input.pairs.len());
+        for &p in input.pairs {
+            let boxes = PairBoxes::resolve(p, input.tracks)?;
+            let sampler = WithoutReplacement::new(boxes.total_bbox_pairs());
+            arms.push(ArmState {
+                boxes,
+                sampler,
+                n: 0,
+                sum: 0.0,
+            });
+        }
 
         let mut tau = 0u64;
         while tau < self.config.tau_max {
@@ -101,22 +101,26 @@ impl CandidateSelector for EpsilonGreedy {
             if live.is_empty() {
                 break;
             }
+            let greedy = live.iter().copied().min_by(|&a, &b| {
+                arms[a]
+                    .mean()
+                    .partial_cmp(&arms[b].mean())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             let i = if rng.random_bool(eps) {
                 live[rng.random_range(0..live.len())]
             } else {
-                *live
-                    .iter()
-                    .min_by(|&&a, &&b| {
-                        arms[a]
-                            .mean()
-                            .partial_cmp(&arms[b].mean())
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
-                    .expect("live is non-empty")
+                match greedy {
+                    Some(i) => i,
+                    None => break, // unreachable: live is non-empty
+                }
             };
-            let flat = arms[i].sampler.draw(&mut rng).expect("live arm");
+            let flat = arms[i]
+                .sampler
+                .draw(&mut rng)
+                .ok_or(TmError::Empty("live arm bbox-pair pool"))?;
             let (a, b) = arms[i].boxes.bbox_pair(flat);
-            let d = session.pair_distance(a, b) / NORMALIZER;
+            let d = session.try_pair_distance(a, b)? / NORMALIZER;
             arms[i].n += 1;
             arms[i].sum += d;
             tau += 1;
@@ -131,12 +135,12 @@ impl CandidateSelector for EpsilonGreedy {
             })
             .collect();
         let candidates = top_m_by_score(&scores, input.m());
-        SelectionResult {
+        Ok(SelectionResult {
             candidates,
             scores: scores.into_iter().collect(),
             distance_evals: tau,
             history: Vec::new(),
-        }
+        })
     }
 }
 
@@ -194,7 +198,7 @@ mod tests {
             epsilon: 0.15,
             seed: 3,
         });
-        let r = eg.select(&input, &mut session);
+        let r = eg.select(&input, &mut session).unwrap();
         assert_eq!(
             r.candidates,
             vec![TrackPair::new(TrackId(1), TrackId(2)).unwrap()]
@@ -217,6 +221,7 @@ mod tests {
                 seed: 9,
             })
             .select(&input, &mut session)
+            .unwrap()
         };
         let a = run();
         assert_eq!(a.distance_evals, 123);
@@ -237,7 +242,7 @@ mod tests {
             epsilon: 0.0,
             seed: 0,
         });
-        let r = eg.select(&input, &mut session);
+        let r = eg.select(&input, &mut session).unwrap();
         // 6 pairs × 100 bbox pairs: budget exceeds all pools.
         assert_eq!(r.distance_evals, 600);
     }

@@ -14,7 +14,7 @@ use crate::selector::{top_m_by_score, CandidateSelector, SelectionInput, Selecti
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tm_reid::{ReidSession, NORMALIZER};
-use tm_types::TrackPair;
+use tm_types::{Result, TmError, TrackPair};
 
 /// LCB parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,24 +73,24 @@ impl CandidateSelector for LowerConfidenceBound {
         "LCB".to_string()
     }
 
-    fn select(&self, input: &SelectionInput<'_>, session: &mut ReidSession<'_>) -> SelectionResult {
+    fn select(
+        &self,
+        input: &SelectionInput<'_>,
+        session: &mut ReidSession<'_>,
+    ) -> Result<SelectionResult> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut history = Vec::new();
-        let mut states: Vec<PairState<'_>> = input
-            .pairs
-            .iter()
-            .map(|&p| {
-                let boxes = PairBoxes::resolve(p, input.tracks)
-                    .expect("pair set references tracks absent from the track set");
-                let sampler = WithoutReplacement::new(boxes.total_bbox_pairs());
-                PairState {
-                    boxes,
-                    sampler,
-                    n: 0,
-                    sum: 0.0,
-                }
-            })
-            .collect();
+        let mut states: Vec<PairState<'_>> = Vec::with_capacity(input.pairs.len());
+        for &p in input.pairs {
+            let boxes = PairBoxes::resolve(p, input.tracks)?;
+            let sampler = WithoutReplacement::new(boxes.total_bbox_pairs());
+            states.push(PairState {
+                boxes,
+                sampler,
+                n: 0,
+                sum: 0.0,
+            });
+        }
 
         let mut tau = 0u64;
         // Initialization: play every arm once (standard UCB bootstrap).
@@ -98,9 +98,12 @@ impl CandidateSelector for LowerConfidenceBound {
             if tau >= self.config.tau_max || st.sampler.is_exhausted() {
                 continue;
             }
-            let flat = st.sampler.draw(&mut rng).expect("non-empty pool");
+            let flat = st
+                .sampler
+                .draw(&mut rng)
+                .ok_or(TmError::Empty("bbox-pair pool"))?;
             let (a, b) = st.boxes.bbox_pair(flat);
-            let d = session.pair_distance(a, b) / NORMALIZER;
+            let d = session.try_pair_distance(a, b)? / NORMALIZER;
             st.n += 1;
             st.sum += d;
             tau += 1;
@@ -125,9 +128,12 @@ impl CandidateSelector for LowerConfidenceBound {
             }
             let Some((i, _)) = best else { break };
             let st = &mut states[i];
-            let flat = st.sampler.draw(&mut rng).expect("checked non-exhausted");
+            let flat = st
+                .sampler
+                .draw(&mut rng)
+                .ok_or(TmError::Empty("bbox-pair pool"))?;
             let (a, b) = st.boxes.bbox_pair(flat);
-            let d = session.pair_distance(a, b) / NORMALIZER;
+            let d = session.try_pair_distance(a, b)? / NORMALIZER;
             st.n += 1;
             st.sum += d;
             tau += 1;
@@ -139,12 +145,12 @@ impl CandidateSelector for LowerConfidenceBound {
         let scores: Vec<(TrackPair, f64)> =
             states.iter().map(|st| (st.boxes.pair, st.mean())).collect();
         let candidates = top_m_by_score(&scores, input.m());
-        SelectionResult {
+        Ok(SelectionResult {
             candidates,
             scores: scores.into_iter().collect(),
             distance_evals: tau,
             history,
-        }
+        })
     }
 }
 
@@ -203,7 +209,7 @@ mod tests {
             seed: 4,
             record_history: false,
         });
-        let r = lcb.select(&input, &mut session);
+        let r = lcb.select(&input, &mut session).unwrap();
         assert_eq!(
             r.candidates,
             vec![TrackPair::new(TrackId(1), TrackId(2)).unwrap()]
@@ -224,7 +230,7 @@ mod tests {
             seed: 0,
             record_history: true,
         });
-        let r = lcb.select(&input, &mut session);
+        let r = lcb.select(&input, &mut session).unwrap();
         assert_eq!(r.distance_evals, 37);
         assert_eq!(r.history.len(), 37);
         assert_eq!(session.stats().distances, 37);
@@ -244,7 +250,7 @@ mod tests {
             seed: 2,
             record_history: true,
         });
-        let r = lcb.select(&input, &mut session);
+        let r = lcb.select(&input, &mut session).unwrap();
         // Late samples should be dominated by low distances (the
         // polyonymous pair); compare mean of last quarter vs first quarter.
         let q = r.history.len() / 4;
@@ -269,7 +275,7 @@ mod tests {
             seed: 0,
             record_history: false,
         });
-        let r = lcb.select(&input, &mut session);
+        let r = lcb.select(&input, &mut session).unwrap();
         assert_eq!(r.distance_evals, 100, "must stop at pool exhaustion");
     }
 
@@ -289,10 +295,14 @@ mod tests {
         };
         let mut gpu10 =
             ReidSession::new(&model, CostModel::calibrated(), Device::Gpu { batch: 10 });
-        LowerConfidenceBound::new(cfg).select(&input, &mut gpu10);
+        LowerConfidenceBound::new(cfg)
+            .select(&input, &mut gpu10)
+            .unwrap();
         let mut gpu100 =
             ReidSession::new(&model, CostModel::calibrated(), Device::Gpu { batch: 100 });
-        LowerConfidenceBound::new(cfg).select(&input, &mut gpu100);
+        LowerConfidenceBound::new(cfg)
+            .select(&input, &mut gpu100)
+            .unwrap();
         // Larger batch size changes essentially nothing.
         let ratio = gpu10.elapsed_ms() / gpu100.elapsed_ms();
         assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");

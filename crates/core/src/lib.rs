@@ -17,6 +17,8 @@
 //! | §IV-F batched `-B` variants | every selector via a GPU [`tm_reid::Device`] |
 //! | §V-B compared algorithms PS, LCB | [`ps`], [`lcb`] |
 //! | merge application | [`union`], [`pipeline`] |
+//! | §II streaming deployment | [`stream`] |
+//! | fault tolerance, degraded mode, restart | [`resilience`], [`checkpoint`] |
 //!
 //! ## Quick start
 //!
@@ -32,11 +34,13 @@
 //! ```
 
 pub mod baseline;
+pub mod checkpoint;
 pub mod egreedy;
 pub mod lcb;
 pub mod pairs;
 pub mod pipeline;
 pub mod ps;
+pub mod resilience;
 pub mod sampling;
 pub mod score;
 pub mod selector;
@@ -50,9 +54,13 @@ pub use egreedy::{EGreedyConfig, EpsilonGreedy};
 pub use lcb::{LcbConfig, LowerConfidenceBound};
 pub use pairs::{all_pairs, build_window_pairs, WindowPairs};
 pub use pipeline::{
-    run_pipeline, run_pipeline_parallel, PipelineConfig, PipelineReport, SelectorKind,
+    run_pipeline, run_pipeline_parallel, run_pipeline_with_backend, PipelineConfig, PipelineReport,
+    SelectorKind,
 };
 pub use ps::{ProportionalSampling, PsConfig};
+pub use resilience::{
+    degraded_candidates, DecisionMode, DegradedConfig, RobustnessConfig, RobustnessReport,
+};
 pub use score::{exact_scores, exact_scores_reference, sum_pairwise_unit_distances};
 pub use selector::{CandidateSelector, SelectionInput, SelectionResult};
 pub use stream::{StreamConfig, StreamingMerger, WindowDecision};

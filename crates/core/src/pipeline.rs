@@ -7,16 +7,27 @@
 //! across windows), optionally verifies candidates (the paper's "further
 //! human inspection" — supplied as a callback), and applies the accepted
 //! merges via union-find.
+//!
+//! [`run_pipeline_with_backend`] is the fault-tolerant entry point: the
+//! ReID model is reached through an [`InferenceBackend`], failed windows
+//! fall back to degraded spatio-temporal selection behind a circuit
+//! breaker, and degraded windows are re-scored with real ReID once the
+//! backend recovers. [`run_pipeline`] is the same machinery with the model
+//! itself as the (never-failing) backend.
 
 use crate::baseline::Baseline;
 use crate::lcb::{LcbConfig, LowerConfidenceBound};
-use crate::pairs::build_window_pairs;
+use crate::pairs::{build_window_pairs, WindowPairs};
 use crate::ps::{ProportionalSampling, PsConfig};
+use crate::resilience::{degraded_candidates, Breaker, RobustnessConfig, RobustnessReport};
 use crate::selector::{CandidateSelector, SelectionInput};
 use crate::tmerge::{TMerge, TMergeConfig};
 use crate::union::merge_mapping;
 use std::sync::Arc;
-use tm_reid::{AppearanceModel, CostModel, Device, ReidSession, ReidStats, SharedFeatureCache};
+use tm_reid::{
+    AppearanceModel, CostModel, Device, InferenceBackend, ReidSession, ReidStats,
+    SharedFeatureCache,
+};
 use tm_types::{Result, TrackPair, TrackSet};
 
 /// Which candidate-selection algorithm the pipeline runs.
@@ -89,6 +100,8 @@ pub struct PipelineReport {
     pub elapsed_ms: f64,
     /// ReID work counters.
     pub stats: ReidStats,
+    /// Fault-handling counters (all zero on a clean run).
+    pub robustness: RobustnessReport,
 }
 
 impl PipelineReport {
@@ -114,28 +127,180 @@ pub fn run_pipeline(
     config: &PipelineConfig,
     verifier: Option<&dyn Fn(&TrackPair) -> bool>,
 ) -> Result<PipelineReport> {
+    // The model itself is an always-available backend, so this is the
+    // fault-tolerant walk with the fault path never taken.
+    run_pipeline_with_backend(
+        tracks,
+        n_frames,
+        model,
+        config,
+        verifier,
+        model,
+        &RobustnessConfig::default(),
+    )
+}
+
+/// Re-scores still-degraded windows with the (recovered) backend, in window
+/// order, at the session's current epoch. A window that fails again — along
+/// with every window after it — stays provisional in `stash`.
+#[allow(clippy::too_many_arguments)]
+fn reverify_pending(
+    stash: &mut Vec<usize>,
+    windows: &[WindowPairs],
+    tracks: &TrackSet,
+    k: f64,
+    selector: &dyn CandidateSelector,
+    session: &mut ReidSession<'_>,
+    breaker: &mut Breaker,
+    slots: &mut [Vec<TrackPair>],
+    distance_evals: &mut u64,
+    report: &mut RobustnessReport,
+) -> Result<()> {
+    let pending = std::mem::take(stash);
+    for (i, &wi) in pending.iter().enumerate() {
+        let input = SelectionInput {
+            pairs: &windows[wi].pairs,
+            tracks,
+            k,
+        };
+        match selector.select(&input, session) {
+            Ok(r) => {
+                *distance_evals += r.distance_evals;
+                slots[wi] = r.candidates;
+                report.reverified_windows += 1;
+            }
+            Err(e) if e.is_backend() => {
+                // The backend flaked again mid-recovery: the remaining
+                // windows keep their provisional degraded candidates.
+                if breaker.record_failure() {
+                    report.breaker_trips += 1;
+                }
+                stash.extend(&pending[i..]);
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Runs the merging pipeline against a fallible [`InferenceBackend`].
+///
+/// Per window the session's fault epoch is set to the window index, so a
+/// deterministic fault plan (see `tm-chaos`) addresses faults to specific
+/// windows. When a window's selection fails on the backend even after the
+/// session's retry budget:
+///
+/// 1. the window falls back to [`degraded_candidates`] (spatio-temporal
+///    evidence only) and is stashed,
+/// 2. after `robustness.breaker_threshold` consecutive such failures the
+///    circuit breaker opens and later windows skip straight to the degraded
+///    path (no retry storms against a dead backend),
+/// 3. each subsequent window probes availability; on recovery the stashed
+///    windows are re-scored with real ReID — selectors are stateless and
+///    seeded per window, so re-scoring reproduces exactly what the healthy
+///    run would have chosen — before the walk continues.
+///
+/// Still-degraded windows at end of video get one final recovery attempt;
+/// whatever remains provisional is merged on degraded evidence (and counted
+/// in [`RobustnessReport::degraded_windows`] minus `reverified_windows`).
+pub fn run_pipeline_with_backend<'m>(
+    tracks: &TrackSet,
+    n_frames: u64,
+    model: &'m AppearanceModel,
+    config: &PipelineConfig,
+    verifier: Option<&dyn Fn(&TrackPair) -> bool>,
+    backend: &'m dyn InferenceBackend,
+    robustness: &RobustnessConfig,
+) -> Result<PipelineReport> {
+    tracks.validate()?;
     let windows = build_window_pairs(tracks, n_frames, config.window_len)?;
     let selector = config.selector.build();
-    let mut session = ReidSession::new(model, config.cost, config.device);
+    let mut session = ReidSession::new(model, config.cost, config.device)
+        .with_backend(backend)
+        .with_retry_policy(robustness.retry);
 
-    let mut candidates = Vec::new();
+    let mut breaker = Breaker::new(robustness.breaker_threshold);
+    let mut report = RobustnessReport::default();
+    // One candidate slot per window: late re-verification can replace a
+    // degraded decision without disturbing candidate order.
+    let mut slots: Vec<Vec<TrackPair>> = vec![Vec::new(); windows.len()];
+    let mut stash: Vec<usize> = Vec::new();
     let mut n_pairs = 0usize;
     let mut distance_evals = 0u64;
-    for wp in &windows {
+
+    for (wi, wp) in windows.iter().enumerate() {
         if wp.pairs.is_empty() {
             continue;
         }
         n_pairs += wp.pairs.len();
+        session.set_epoch(wp.window.index as u64);
+        if breaker.is_open() && session.backend_available() {
+            breaker.close();
+            reverify_pending(
+                &mut stash,
+                &windows,
+                tracks,
+                config.k,
+                selector.as_ref(),
+                &mut session,
+                &mut breaker,
+                &mut slots,
+                &mut distance_evals,
+                &mut report,
+            )?;
+        }
         let input = SelectionInput {
             pairs: &wp.pairs,
             tracks,
             k: config.k,
         };
-        let result = selector.select(&input, &mut session);
-        distance_evals += result.distance_evals;
-        candidates.extend(result.candidates);
+        if breaker.is_open() {
+            slots[wi] = degraded_candidates(&wp.pairs, tracks, input.m(), &robustness.degraded)?;
+            stash.push(wi);
+            report.degraded_windows += 1;
+            continue;
+        }
+        match selector.select(&input, &mut session) {
+            Ok(r) => {
+                breaker.record_success();
+                distance_evals += r.distance_evals;
+                slots[wi] = r.candidates;
+            }
+            Err(e) if e.is_backend() => {
+                if breaker.record_failure() {
+                    report.breaker_trips += 1;
+                }
+                slots[wi] =
+                    degraded_candidates(&wp.pairs, tracks, input.m(), &robustness.degraded)?;
+                stash.push(wi);
+                report.degraded_windows += 1;
+            }
+            Err(e) => return Err(e),
+        }
     }
 
+    // End-of-video recovery attempt for whatever is still provisional.
+    if !stash.is_empty() {
+        session.set_epoch(windows.len() as u64);
+        if session.backend_available() {
+            breaker.close();
+            reverify_pending(
+                &mut stash,
+                &windows,
+                tracks,
+                config.k,
+                selector.as_ref(),
+                &mut session,
+                &mut breaker,
+                &mut slots,
+                &mut distance_evals,
+                &mut report,
+            )?;
+        }
+    }
+
+    let candidates: Vec<TrackPair> = slots.into_iter().flatten().collect();
     let accepted: Vec<TrackPair> = match verifier {
         Some(v) => candidates.iter().filter(|p| v(p)).copied().collect(),
         None => candidates.clone(),
@@ -143,6 +308,9 @@ pub fn run_pipeline(
     let mapping = merge_mapping(&accepted);
     let merged = tracks.relabeled(&mapping);
 
+    let stats = session.stats();
+    report.retries = stats.retries;
+    report.backend_faults = stats.backend_faults;
     Ok(PipelineReport {
         merged,
         candidates,
@@ -150,7 +318,8 @@ pub fn run_pipeline(
         n_pairs,
         distance_evals,
         elapsed_ms: session.elapsed_ms(),
-        stats: session.stats(),
+        stats,
+        robustness: report,
     })
 }
 
@@ -194,6 +363,7 @@ pub fn run_pipeline_parallel(
     config: &PipelineConfig,
     verifier: Option<&dyn Fn(&TrackPair) -> bool>,
 ) -> Result<PipelineReport> {
+    tracks.validate()?;
     let windows = build_window_pairs(tracks, n_frames, config.window_len)?;
     let selector = config.selector.build();
     let cache = Arc::new(SharedFeatureCache::new());
@@ -209,14 +379,17 @@ pub fn run_pipeline_parallel(
             tracks,
             k: config.k,
         };
-        let result = selector.select(&input, &mut session);
-        Some(WindowOutcome {
-            candidates: result.candidates,
-            n_pairs: wp.pairs.len(),
-            distance_evals: result.distance_evals,
-            elapsed_ms: session.elapsed_ms(),
-            stats: session.stats(),
-        })
+        Some(
+            selector
+                .select(&input, &mut session)
+                .map(|result| WindowOutcome {
+                    candidates: result.candidates,
+                    n_pairs: wp.pairs.len(),
+                    distance_evals: result.distance_evals,
+                    elapsed_ms: session.elapsed_ms(),
+                    stats: session.stats(),
+                }),
+        )
     });
 
     // Window-ordered fold: identical aggregation order to the serial walk.
@@ -226,6 +399,7 @@ pub fn run_pipeline_parallel(
     let mut elapsed_ms = 0.0f64;
     let mut stats = ReidStats::default();
     for outcome in outcomes.into_iter().flatten() {
+        let outcome = outcome?;
         candidates.extend(outcome.candidates);
         n_pairs += outcome.n_pairs;
         distance_evals += outcome.distance_evals;
@@ -234,6 +408,8 @@ pub fn run_pipeline_parallel(
         stats.cache_hits += outcome.stats.cache_hits;
         stats.distances += outcome.stats.distances;
         stats.gpu_rounds += outcome.stats.gpu_rounds;
+        stats.retries += outcome.stats.retries;
+        stats.backend_faults += outcome.stats.backend_faults;
     }
 
     let accepted: Vec<TrackPair> = match verifier {
@@ -251,6 +427,11 @@ pub fn run_pipeline_parallel(
         distance_evals,
         elapsed_ms,
         stats,
+        robustness: RobustnessReport {
+            retries: stats.retries,
+            backend_faults: stats.backend_faults,
+            ..RobustnessReport::default()
+        },
     })
 }
 
@@ -332,6 +513,8 @@ mod tests {
         assert!(report.elapsed_ms > 0.0);
         assert_eq!(report.stats.distances, report.distance_evals);
         assert!(report.fps(200) > 0.0);
+        // Clean backend: the fault path never fires.
+        assert_eq!(report.robustness, RobustnessReport::default());
     }
 
     #[test]
@@ -398,5 +581,19 @@ mod tests {
         let report = run_pipeline(&TrackSet::new(), 200, &model, &config(), None).unwrap();
         assert!(report.merged.is_empty());
         assert_eq!(report.n_pairs, 0);
+    }
+
+    #[test]
+    fn invalid_tracks_are_rejected_up_front() {
+        let (model, _) = fixture();
+        let bad = TrackSet::from_tracks(vec![Track::with_boxes(
+            TrackId(1),
+            classes::PEDESTRIAN,
+            vec![TrackBox::new(FrameIdx(0), BBox::new(0.0, 0.0, -5.0, 10.0))],
+        )]);
+        let err = run_pipeline(&bad, 200, &model, &config(), None);
+        assert!(matches!(err, Err(tm_types::TmError::InvalidTrack { .. })));
+        let err = run_pipeline_parallel(&bad, 200, &model, &config(), None);
+        assert!(matches!(err, Err(tm_types::TmError::InvalidTrack { .. })));
     }
 }

@@ -12,7 +12,7 @@ use crate::selector::{top_m_by_score, CandidateSelector, SelectionInput, Selecti
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tm_reid::{ReidSession, NORMALIZER};
-use tm_types::TrackPair;
+use tm_types::{Result, TmError, TrackPair};
 
 /// PS parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,7 +48,11 @@ impl CandidateSelector for ProportionalSampling {
         format!("PS(η={})", self.config.eta)
     }
 
-    fn select(&self, input: &SelectionInput<'_>, session: &mut ReidSession<'_>) -> SelectionResult {
+    fn select(
+        &self,
+        input: &SelectionInput<'_>,
+        session: &mut ReidSession<'_>,
+    ) -> Result<SelectionResult> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let eta = self.config.eta.clamp(0.0, 1.0);
         let batch = session.device().batch();
@@ -59,11 +63,8 @@ impl CandidateSelector for ProportionalSampling {
         for group in input.pairs.chunks(batch.max(1)) {
             let resolved: Vec<PairBoxes<'_>> = group
                 .iter()
-                .map(|&p| {
-                    PairBoxes::resolve(p, input.tracks)
-                        .expect("pair set references tracks absent from the track set")
-                })
-                .collect();
+                .map(|&p| PairBoxes::resolve(p, input.tracks))
+                .collect::<Result<_>>()?;
             let mut sums = vec![(0.0f64, 0u64); resolved.len()];
             let mut round: Vec<tm_reid::BoxPairRef<'_>> = Vec::new();
             let mut owners: Vec<usize> = Vec::new();
@@ -75,15 +76,17 @@ impl CandidateSelector for ProportionalSampling {
                 let n_samples = ((eta * total as f64).ceil() as u64).clamp(1, total);
                 let mut sampler = WithoutReplacement::new(total);
                 for _ in 0..n_samples {
-                    let flat = sampler.draw(&mut rng).expect("n_samples ≤ total");
+                    let flat = sampler
+                        .draw(&mut rng)
+                        .ok_or(TmError::Empty("stratum bbox-pair pool"))?;
                     round.push(pb.bbox_pair(flat));
                     owners.push(pi);
                     if round.len() >= MAX_ROUND_ITEMS {
-                        drain_round(session, &mut round, &mut owners, &mut sums);
+                        drain_round(session, &mut round, &mut owners, &mut sums)?;
                     }
                 }
             }
-            drain_round(session, &mut round, &mut owners, &mut sums);
+            drain_round(session, &mut round, &mut owners, &mut sums)?;
             for (pb, (sum, count)) in resolved.iter().zip(&sums) {
                 let score = if *count == 0 {
                     1.0
@@ -95,12 +98,12 @@ impl CandidateSelector for ProportionalSampling {
         }
 
         let candidates = top_m_by_score(&scores, input.m());
-        SelectionResult {
+        Ok(SelectionResult {
             candidates,
             scores: scores.into_iter().collect(),
             distance_evals: session.stats().distances - before,
             history: Vec::new(),
-        }
+        })
     }
 }
 
@@ -109,17 +112,18 @@ fn drain_round(
     round: &mut Vec<tm_reid::BoxPairRef<'_>>,
     owners: &mut Vec<usize>,
     sums: &mut [(f64, u64)],
-) {
+) -> Result<()> {
     if round.is_empty() {
-        return;
+        return Ok(());
     }
-    let ds = session.pair_distances_batch(round);
+    let ds = session.try_pair_distances_batch(round)?;
     for (owner, d) in owners.iter().zip(&ds) {
         sums[*owner].0 += d / NORMALIZER;
         sums[*owner].1 += 1;
     }
     round.clear();
     owners.clear();
+    Ok(())
 }
 
 #[cfg(test)]
@@ -174,7 +178,7 @@ mod tests {
         };
         let mut session = ReidSession::new(&model, CostModel::calibrated(), Device::Cpu);
         let ps = ProportionalSampling::new(PsConfig { eta: 0.25, seed: 1 });
-        let r = ps.select(&input, &mut session);
+        let r = ps.select(&input, &mut session).unwrap();
         // Each pair has 144 bbox pairs → 36 samples each, 6 pairs → 216.
         assert_eq!(r.distance_evals, 6 * 36);
     }
@@ -188,10 +192,11 @@ mod tests {
             k: 1.0,
         };
         let mut s1 = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
-        let full =
-            ProportionalSampling::new(PsConfig { eta: 1.0, seed: 3 }).select(&input, &mut s1);
+        let full = ProportionalSampling::new(PsConfig { eta: 1.0, seed: 3 })
+            .select(&input, &mut s1)
+            .unwrap();
         let mut s2 = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
-        let bl = Baseline.select(&input, &mut s2);
+        let bl = Baseline.select(&input, &mut s2).unwrap();
         for (p, s) in &full.scores {
             assert!((s - bl.scores[p]).abs() < 1e-9, "pair {p}");
         }
@@ -207,7 +212,7 @@ mod tests {
         };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let ps = ProportionalSampling::new(PsConfig { eta: 0.3, seed: 7 });
-        let r = ps.select(&input, &mut session);
+        let r = ps.select(&input, &mut session).unwrap();
         assert_eq!(
             r.candidates,
             vec![TrackPair::new(TrackId(1), TrackId(2)).unwrap()]
@@ -224,7 +229,9 @@ mod tests {
         };
         let run = |seed| {
             let mut s = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
-            ProportionalSampling::new(PsConfig { eta: 0.1, seed }).select(&input, &mut s)
+            ProportionalSampling::new(PsConfig { eta: 0.1, seed })
+                .select(&input, &mut s)
+                .unwrap()
         };
         assert_eq!(run(5).candidates, run(5).candidates);
     }
@@ -239,7 +246,7 @@ mod tests {
         };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let ps = ProportionalSampling::new(PsConfig { eta: 1e-9, seed: 0 });
-        let r = ps.select(&input, &mut session);
+        let r = ps.select(&input, &mut session).unwrap();
         assert_eq!(r.distance_evals, 6); // one per pair
         assert_eq!(r.scores.len(), 6);
     }

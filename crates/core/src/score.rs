@@ -222,7 +222,7 @@ pub fn exact_scores(
                 }
             }
         }
-        session.ensure_features(&missing);
+        session.try_ensure_features(&missing)?;
         for pb in &resolved {
             for t in [pb.a, pb.b] {
                 if dense.contains_key(&t.id) {
@@ -230,9 +230,13 @@ pub fn exact_scores(
                 }
                 let mut flat = Vec::new();
                 for b in &t.boxes {
-                    let f = session
-                        .cached_feature(t.id, b.frame)
-                        .expect("ensured above");
+                    // Ensured above on the happy path; the fallback keeps
+                    // the scorer total even if a shared cache was drained
+                    // between the ensure and this read.
+                    let f = match session.cached_feature(t.id, b.frame) {
+                        Some(f) => f,
+                        None => session.try_feature(t.id, b)?,
+                    };
                     dim = f.dim();
                     flat.extend_from_slice(f.as_slice());
                 }

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 use tm_reid::ReidSession;
-use tm_types::{TrackPair, TrackSet};
+use tm_types::{Result, TrackPair, TrackSet};
 
 /// Input to a selection run: one window's pair set.
 #[derive(Debug, Clone, Copy)]
@@ -52,13 +52,28 @@ pub struct SelectionResult {
 /// engine can share one boxed selector across worker threads. All mutable
 /// per-run state (RNGs, posteriors) lives inside `select`, which seeds a
 /// fresh RNG from the configured seed per call — so a shared selector is
-/// indistinguishable from a per-thread instance.
+/// indistinguishable from a per-thread instance. That statelessness is also
+/// what makes degraded-mode recovery possible: re-running `select` on a
+/// stashed window after a backend outage reproduces exactly the result a
+/// healthy run would have produced.
 pub trait CandidateSelector: Send + Sync {
     /// Display name for tables/figures (e.g. "TMerge", "BL").
     fn name(&self) -> String;
 
     /// Runs selection on one window's pair set.
-    fn select(&self, input: &SelectionInput<'_>, session: &mut ReidSession<'_>) -> SelectionResult;
+    ///
+    /// Errors surface problems the selector cannot make progress past:
+    /// pairs referencing tracks absent from the set
+    /// ([`tm_types::TmError::UnknownTrack`]) or a ReID backend that stayed
+    /// down through every retry ([`tm_types::TmError::ReidBackend`]). On
+    /// error the session's clock retains whatever work was charged before
+    /// the failure — callers that retry must snapshot/restore the session
+    /// if they need the failed attempt rolled back.
+    fn select(
+        &self,
+        input: &SelectionInput<'_>,
+        session: &mut ReidSession<'_>,
+    ) -> Result<SelectionResult>;
 }
 
 /// Ranks pairs by ascending score (ties broken by pair order for

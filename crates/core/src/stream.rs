@@ -12,13 +12,27 @@
 //! for the current id [`StreamingMerger::mapping`] and relabel the metadata
 //! emitted so far — exactly what a query engine ingesting a live feed
 //! needs.
+//!
+//! The merger is also *fault-tolerant*: install a fallible
+//! [`InferenceBackend`] with [`StreamingMerger::with_backend`] and windows
+//! whose selection fails (even after the session's retry budget) fall back
+//! to degraded spatio-temporal selection behind a circuit breaker. Degraded
+//! decisions are provisional — visible in [`StreamingMerger::mapping`] so
+//! queries keep working through an outage, but re-scored with real ReID and
+//! only then committed once the backend recovers. And it is *restartable*:
+//! [`StreamingMerger::checkpoint`] serializes the full merger state, and
+//! [`StreamingMerger::resume`] (see `crate::checkpoint`) continues a killed
+//! ingester at the last completed window with byte-identical results.
 
 use crate::pairs::tracks_in_first_half;
+use crate::resilience::{
+    degraded_candidates, Breaker, DecisionMode, RobustnessConfig, RobustnessReport,
+};
 use crate::selector::{CandidateSelector, SelectionInput};
 use crate::union::UnionFind;
 use crate::window::Window;
 use std::collections::{BTreeSet, HashMap};
-use tm_reid::{AppearanceModel, ReidSession};
+use tm_reid::{AppearanceModel, InferenceBackend, ReidSession};
 use tm_types::{FrameIdx, Result, TmError, TrackId, TrackPair, TrackSet};
 
 /// Configuration of the streaming merger (mirrors
@@ -42,7 +56,7 @@ impl Default for StreamConfig {
 }
 
 /// What one processed window produced.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowDecision {
     /// The window that was processed.
     pub window: Window,
@@ -50,22 +64,46 @@ pub struct WindowDecision {
     pub n_pairs: usize,
     /// Candidates selected in this window.
     pub candidates: Vec<TrackPair>,
+    /// How the candidates were decided (degraded decisions are provisional
+    /// at the time they are emitted).
+    pub mode: DecisionMode,
+}
+
+/// A window processed without ReID, awaiting re-verification.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct StashedWindow {
+    pub(crate) window: Window,
+    /// The window's full pair set (needed to re-run the real selector).
+    pub(crate) pairs: Vec<TrackPair>,
+    /// Candidates chosen on spatio-temporal evidence only.
+    pub(crate) provisional: Vec<TrackPair>,
 }
 
 /// An online, window-at-a-time merger.
 pub struct StreamingMerger<'m, S> {
-    config: StreamConfig,
-    selector: S,
-    session: ReidSession<'m>,
+    pub(crate) config: StreamConfig,
+    pub(crate) robustness: RobustnessConfig,
+    pub(crate) selector: S,
+    pub(crate) session: ReidSession<'m>,
     /// Index of the next unprocessed window.
-    next_window: usize,
+    pub(crate) next_window: usize,
+    /// High-water mark of `frames_available` seen so far.
+    pub(crate) watermark: u64,
     /// `T_{c−1}`: tracks of the previous window's first half.
-    prev_ids: Vec<TrackId>,
+    pub(crate) prev_ids: Vec<TrackId>,
     /// Pairs already examined (never re-examined, §II).
-    seen: BTreeSet<TrackPair>,
+    pub(crate) seen: BTreeSet<TrackPair>,
     /// Accepted merges so far.
-    uf: UnionFind,
-    merged_ids: Vec<TrackPair>,
+    pub(crate) uf: UnionFind,
+    pub(crate) merged_ids: Vec<TrackPair>,
+    pub(crate) breaker: Breaker,
+    /// Degraded windows whose merges are provisional.
+    pub(crate) stash: Vec<StashedWindow>,
+    /// Every decision emitted so far, in window order.
+    pub(crate) decisions: Vec<WindowDecision>,
+    /// Degraded/re-verified/breaker counters (retry counters live on the
+    /// session's stats).
+    pub(crate) counters: RobustnessReport,
 }
 
 impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
@@ -80,20 +118,45 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
         if config.window_len == 0 || !config.window_len.is_multiple_of(2) {
             return Err(TmError::invalid("window_len", "must be positive and even"));
         }
+        let robustness = RobustnessConfig::default();
         Ok(Self {
             config,
+            robustness,
             selector,
-            session: ReidSession::new(model, session_cost, device),
+            session: ReidSession::new(model, session_cost, device)
+                .with_retry_policy(robustness.retry),
             next_window: 0,
+            watermark: 0,
             prev_ids: Vec::new(),
             seen: BTreeSet::new(),
             uf: UnionFind::new(),
             merged_ids: Vec::new(),
+            breaker: Breaker::new(robustness.breaker_threshold),
+            stash: Vec::new(),
+            decisions: Vec::new(),
+            counters: RobustnessReport::default(),
         })
     }
 
+    /// Routes the session's feature extraction through `backend` (e.g. a
+    /// `tm-chaos` `FaultyModel`). With the default backend — the model
+    /// itself — the fault path is never taken.
+    pub fn with_backend(mut self, backend: &'m dyn InferenceBackend) -> Self {
+        self.session = self.session.with_backend(backend);
+        self
+    }
+
+    /// Overrides the robustness configuration (retry/backoff policy,
+    /// breaker threshold, degraded gating).
+    pub fn with_robustness(mut self, robustness: RobustnessConfig) -> Self {
+        self.robustness = robustness;
+        self.session = self.session.with_retry_policy(robustness.retry);
+        self.breaker = Breaker::new(robustness.breaker_threshold);
+        self
+    }
+
     /// The window with index `c` (start `c·L/2`, unbounded stream).
-    fn window(&self, c: usize) -> Window {
+    pub(crate) fn window(&self, c: usize) -> Window {
         let half = self.config.window_len / 2;
         let start = c as u64 * half;
         Window {
@@ -108,22 +171,42 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
     /// observed so far (with boxes up to `frames_available`); the merger
     /// processes every window that has fully elapsed and returns one
     /// decision per newly processed window.
-    pub fn advance(&mut self, tracks: &TrackSet, frames_available: u64) -> Vec<WindowDecision> {
+    ///
+    /// # Errors
+    ///
+    /// `frames_available` must not move backwards across calls
+    /// ([`TmError::FrameRegression`]); `tracks` must pass
+    /// [`TrackSet::validate`]. Either error leaves the merger state
+    /// untouched, so the caller can repair the feed and retry.
+    pub fn advance(
+        &mut self,
+        tracks: &TrackSet,
+        frames_available: u64,
+    ) -> Result<Vec<WindowDecision>> {
+        if frames_available < self.watermark {
+            return Err(TmError::FrameRegression {
+                frame: FrameIdx(frames_available),
+                watermark: FrameIdx(self.watermark),
+            });
+        }
+        tracks.validate()?;
+        self.watermark = frames_available;
         let mut out = Vec::new();
         loop {
             let w = self.window(self.next_window);
             if w.end.get() > frames_available {
                 break;
             }
-            out.push(self.process_window(tracks, w));
+            out.push(self.process_window(tracks, w)?);
             self.next_window += 1;
         }
-        out
+        Ok(out)
     }
 
-    /// Flushes the final (possibly partial) window at end of stream.
-    pub fn finish(&mut self, tracks: &TrackSet, total_frames: u64) -> Vec<WindowDecision> {
-        let mut out = self.advance(tracks, total_frames);
+    /// Flushes the final (possibly partial) window at end of stream, then
+    /// makes one last recovery attempt for any still-degraded windows.
+    pub fn finish(&mut self, tracks: &TrackSet, total_frames: u64) -> Result<Vec<WindowDecision>> {
+        let mut out = self.advance(tracks, total_frames)?;
         let w = self.window(self.next_window);
         if w.start.get() < total_frames {
             let clipped = Window {
@@ -131,13 +214,27 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
                 half_end: FrameIdx(total_frames.min(w.half_end.get())),
                 ..w
             };
-            out.push(self.process_window(tracks, clipped));
+            out.push(self.process_window(tracks, clipped)?);
             self.next_window += 1;
         }
-        out
+        if !self.stash.is_empty() {
+            self.session.set_epoch(self.next_window as u64);
+            if self.session.backend_available() {
+                self.breaker.close();
+                self.reverify_stash(tracks)?;
+            }
+        }
+        Ok(out)
     }
 
-    fn process_window(&mut self, tracks: &TrackSet, w: Window) -> WindowDecision {
+    fn process_window(&mut self, tracks: &TrackSet, w: Window) -> Result<WindowDecision> {
+        // The window index is the fault epoch: deterministic fault plans
+        // address outages to specific windows.
+        self.session.set_epoch(w.index as u64);
+        if self.breaker.is_open() && self.session.backend_available() {
+            self.breaker.close();
+            self.reverify_stash(tracks)?;
+        }
         let cur_ids = tracks_in_first_half(tracks, &w);
         let mut pairs: Vec<TrackPair> = Vec::new();
         {
@@ -168,36 +265,136 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
         pairs.sort();
         self.prev_ids = cur_ids;
 
-        let candidates = if pairs.is_empty() {
-            Vec::new()
+        let (candidates, mode) = if pairs.is_empty() {
+            (Vec::new(), DecisionMode::Normal)
+        } else if self.breaker.is_open() {
+            (self.degrade(&w, &pairs, tracks)?, DecisionMode::Degraded)
         } else {
             let input = SelectionInput {
                 pairs: &pairs,
                 tracks,
                 k: self.config.k,
             };
-            self.selector.select(&input, &mut self.session).candidates
+            match self.selector.select(&input, &mut self.session) {
+                Ok(r) => {
+                    self.breaker.record_success();
+                    (r.candidates, DecisionMode::Normal)
+                }
+                Err(e) if e.is_backend() => {
+                    if self.breaker.record_failure() {
+                        self.counters.breaker_trips += 1;
+                    }
+                    (self.degrade(&w, &pairs, tracks)?, DecisionMode::Degraded)
+                }
+                Err(e) => return Err(e),
+            }
         };
-        for p in &candidates {
-            self.uf.union(p.lo(), p.hi());
-            self.merged_ids.push(*p);
+        if mode == DecisionMode::Normal {
+            for p in &candidates {
+                self.uf.union(p.lo(), p.hi());
+                self.merged_ids.push(*p);
+            }
         }
-        WindowDecision {
+        let decision = WindowDecision {
             window: w,
             n_pairs: pairs.len(),
             candidates,
+            mode,
+        };
+        self.decisions.push(decision.clone());
+        Ok(decision)
+    }
+
+    /// Decides a window on spatio-temporal evidence only and stashes it for
+    /// later re-verification. Nothing is committed to the union-find.
+    fn degrade(
+        &mut self,
+        w: &Window,
+        pairs: &[TrackPair],
+        tracks: &TrackSet,
+    ) -> Result<Vec<TrackPair>> {
+        let input = SelectionInput {
+            pairs,
+            tracks,
+            k: self.config.k,
+        };
+        let provisional = degraded_candidates(pairs, tracks, input.m(), &self.robustness.degraded)?;
+        self.stash.push(StashedWindow {
+            window: *w,
+            pairs: pairs.to_vec(),
+            provisional: provisional.clone(),
+        });
+        self.counters.degraded_windows += 1;
+        Ok(provisional)
+    }
+
+    /// Re-scores stashed windows with the (recovered) backend, in window
+    /// order, committing their candidates for good. Selectors are stateless
+    /// and per-window seeded, so a re-run reproduces exactly what the
+    /// healthy run would have chosen. If the backend fails again the
+    /// remaining windows stay provisional.
+    fn reverify_stash(&mut self, tracks: &TrackSet) -> Result<()> {
+        let pending = std::mem::take(&mut self.stash);
+        for (i, sw) in pending.iter().enumerate() {
+            let input = SelectionInput {
+                pairs: &sw.pairs,
+                tracks,
+                k: self.config.k,
+            };
+            match self.selector.select(&input, &mut self.session) {
+                Ok(r) => {
+                    for p in &r.candidates {
+                        self.uf.union(p.lo(), p.hi());
+                        self.merged_ids.push(*p);
+                    }
+                    self.counters.reverified_windows += 1;
+                }
+                Err(e) if e.is_backend() => {
+                    if self.breaker.record_failure() {
+                        self.counters.breaker_trips += 1;
+                    }
+                    self.stash.extend_from_slice(&pending[i..]);
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            }
         }
+        Ok(())
     }
 
-    /// The current relabelling implied by all accepted merges: each merged
-    /// group maps to its smallest id.
+    /// The current relabelling implied by all merges: each merged group
+    /// maps to its smallest id. Provisional (degraded, not yet re-verified)
+    /// merges are included, so queries keep working through an outage.
     pub fn mapping(&mut self) -> HashMap<TrackId, TrackId> {
-        crate::union::merge_mapping(&self.merged_ids)
+        if self.stash.is_empty() {
+            return crate::union::merge_mapping(&self.merged_ids);
+        }
+        let mut all = self.merged_ids.clone();
+        for sw in &self.stash {
+            all.extend_from_slice(&sw.provisional);
+        }
+        crate::union::merge_mapping(&all)
     }
 
-    /// All candidates accepted so far.
+    /// All candidates committed so far (excludes provisional degraded
+    /// merges awaiting re-verification).
     pub fn accepted(&self) -> &[TrackPair] {
         &self.merged_ids
+    }
+
+    /// Every decision emitted so far, in window order.
+    pub fn decisions(&self) -> &[WindowDecision] {
+        &self.decisions
+    }
+
+    /// Fault-handling counters so far (all zero on a clean stream).
+    pub fn robustness(&self) -> RobustnessReport {
+        let stats = self.session.stats();
+        RobustnessReport {
+            retries: stats.retries,
+            backend_faults: stats.backend_faults,
+            ..self.counters
+        }
     }
 
     /// Simulated time consumed by the ReID session so far.
@@ -281,12 +478,110 @@ mod tests {
             StreamingMerger::new(&model, CostModel::zero(), Device::Cpu, selector(), config())
                 .unwrap();
         // 150 frames available: window [0,200) has not elapsed yet.
-        assert!(m.advance(&tracks, 150).is_empty());
-        let d = m.advance(&tracks, 250);
+        assert!(m.advance(&tracks, 150).unwrap().is_empty());
+        let d = m.advance(&tracks, 250).unwrap();
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].window.index, 0);
+        assert_eq!(d[0].mode, DecisionMode::Normal);
         // Re-advancing with the same frame count does nothing.
-        assert!(m.advance(&tracks, 250).is_empty());
+        assert!(m.advance(&tracks, 250).unwrap().is_empty());
+    }
+
+    #[test]
+    fn regressing_watermark_is_a_clean_error() {
+        let (model, tracks) = fixture();
+        let mut m =
+            StreamingMerger::new(&model, CostModel::zero(), Device::Cpu, selector(), config())
+                .unwrap();
+        m.advance(&tracks, 250).unwrap();
+        let before = m.accepted().len();
+        let err = m.advance(&tracks, 100);
+        assert!(
+            matches!(
+                err,
+                Err(TmError::FrameRegression { frame, watermark })
+                    if frame.get() == 100 && watermark.get() == 250
+            ),
+            "{err:?}"
+        );
+        // The failed call changed nothing; the stream continues normally.
+        assert_eq!(m.accepted().len(), before);
+        assert!(m.advance(&tracks, 250).unwrap().is_empty());
+    }
+
+    #[test]
+    fn invalid_tracks_are_a_clean_error() {
+        let (model, _) = fixture();
+        let mut m =
+            StreamingMerger::new(&model, CostModel::zero(), Device::Cpu, selector(), config())
+                .unwrap();
+        let bad = TrackSet::from_tracks(vec![Track::with_boxes(
+            TrackId(1),
+            classes::PEDESTRIAN,
+            vec![TrackBox::new(FrameIdx(0), BBox::new(0.0, 0.0, 0.0, 10.0))],
+        )]);
+        assert!(matches!(
+            m.advance(&bad, 250),
+            Err(TmError::InvalidTrack { .. })
+        ));
+        // Watermark did not move: the good feed can resume from scratch.
+        let (_, tracks) = fixture();
+        assert_eq!(m.advance(&tracks, 250).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_windows_decide_nothing() {
+        let (model, _) = fixture();
+        // All activity is in frames 600+, so the first windows are empty.
+        let tracks = TrackSet::from_tracks(vec![
+            track(1, 10, 600, 30, 0.0),
+            track(2, 10, 680, 30, 160.0),
+        ]);
+        let mut m =
+            StreamingMerger::new(&model, CostModel::zero(), Device::Cpu, selector(), config())
+                .unwrap();
+        let d = m.advance(&tracks, 400).unwrap();
+        assert_eq!(d.len(), 3);
+        for dec in &d {
+            assert_eq!(dec.n_pairs, 0);
+            assert!(dec.candidates.is_empty());
+            assert_eq!(dec.mode, DecisionMode::Normal);
+        }
+        assert!(m.mapping().is_empty());
+    }
+
+    #[test]
+    fn zero_admissible_pairs_is_fine() {
+        let (model, _) = fixture();
+        // Two tracks of different classes: no admissible pair ever forms.
+        let mut car = track(2, 20, 0, 30, 300.0);
+        car.class = classes::CAR;
+        let tracks = TrackSet::from_tracks(vec![track(1, 10, 0, 30, 0.0), car]);
+        let mut m =
+            StreamingMerger::new(&model, CostModel::zero(), Device::Cpu, selector(), config())
+                .unwrap();
+        let d = m.finish(&tracks, 200).unwrap();
+        assert!(d.iter().all(|dec| dec.n_pairs == 0));
+        assert!(m.accepted().is_empty());
+        assert_eq!(m.elapsed_ms(), 0.0);
+    }
+
+    #[test]
+    fn video_shorter_than_one_window() {
+        let (model, _) = fixture();
+        let tracks =
+            TrackSet::from_tracks(vec![track(1, 10, 0, 20, 0.0), track(2, 10, 50, 20, 110.0)]);
+        let mut m =
+            StreamingMerger::new(&model, CostModel::zero(), Device::Cpu, selector(), config())
+                .unwrap();
+        // 80 frames < L = 200: advance can never process a full window…
+        assert!(m.advance(&tracks, 80).unwrap().is_empty());
+        // …but finish clips the window to the stream and still decides it.
+        let d = m.finish(&tracks, 80).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].window.end.get(), 80);
+        let poly = TrackPair::new(TrackId(1), TrackId(2)).unwrap();
+        assert!(m.accepted().contains(&poly), "{:?}", m.accepted());
     }
 
     #[test]
@@ -297,9 +592,9 @@ mod tests {
                 .unwrap();
         let mut decisions = Vec::new();
         for frames in [200, 300, 320, 400] {
-            decisions.extend(m.advance(&tracks, frames));
+            decisions.extend(m.advance(&tracks, frames).unwrap());
         }
-        decisions.extend(m.finish(&tracks, 400));
+        decisions.extend(m.finish(&tracks, 400).unwrap());
         let early = TrackPair::new(TrackId(1), TrackId(2)).unwrap();
         assert!(
             m.accepted().contains(&early),
@@ -316,6 +611,9 @@ mod tests {
         let mapping = m.mapping();
         assert_eq!(mapping.get(&TrackId(2)), Some(&TrackId(1)));
         assert_eq!(mapping.get(&TrackId(6)), Some(&TrackId(5)));
+        // The decision log matches what the calls returned.
+        assert_eq!(m.decisions(), &decisions[..]);
+        assert_eq!(m.robustness(), RobustnessReport::default());
     }
 
     #[test]
@@ -325,8 +623,8 @@ mod tests {
             StreamingMerger::new(&model, CostModel::zero(), Device::Cpu, selector(), config())
                 .unwrap();
         let mut seen = BTreeSet::new();
-        let mut decisions = m.advance(&tracks, 400);
-        decisions.extend(m.finish(&tracks, 400));
+        let mut decisions = m.advance(&tracks, 400).unwrap();
+        decisions.extend(m.finish(&tracks, 400).unwrap());
         for d in &decisions {
             for p in crate::pairs::build_window_pairs(&tracks, 400, 200)
                 .unwrap()
@@ -352,9 +650,9 @@ mod tests {
         .unwrap();
         // Feed in irregular increments.
         for frames in [100, 230, 390, 400] {
-            m.advance(&tracks, frames);
+            m.advance(&tracks, frames).unwrap();
         }
-        m.finish(&tracks, 400);
+        m.finish(&tracks, 400).unwrap();
 
         let offline = run_pipeline(
             &tracks,

@@ -32,7 +32,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rand_distr::{Beta, Distribution};
 use tm_reid::{ReidSession, NORMALIZER};
-use tm_types::TrackPair;
+use tm_types::{Result, TmError, TrackPair};
 
 /// TMerge parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -150,42 +150,42 @@ impl CandidateSelector for TMerge {
         "TMerge".to_string()
     }
 
-    fn select(&self, input: &SelectionInput<'_>, session: &mut ReidSession<'_>) -> SelectionResult {
+    fn select(
+        &self,
+        input: &SelectionInput<'_>,
+        session: &mut ReidSession<'_>,
+    ) -> Result<SelectionResult> {
         let m = input.m();
         if m == 0 || input.pairs.is_empty() {
-            return SelectionResult::default();
+            return Ok(SelectionResult::default());
         }
         let mut rng = StdRng::seed_from_u64(self.config.seed);
 
         // --- BetaInit (Algorithm 3). ---
-        let mut arms: Vec<Arm<'_>> = input
-            .pairs
-            .iter()
-            .map(|&p| {
-                let boxes = PairBoxes::resolve(p, input.tracks)
-                    .expect("pair set references tracks absent from the track set");
-                let mut f = 1.0;
-                if let (Some(thr), Some(dis)) = (self.config.thr_s, boxes.spatial_distance()) {
-                    if dis < thr {
-                        f += 1.0;
-                    }
+        let mut arms: Vec<Arm<'_>> = Vec::with_capacity(input.pairs.len());
+        for &p in input.pairs {
+            let boxes = PairBoxes::resolve(p, input.tracks)?;
+            let mut f = 1.0;
+            if let (Some(thr), Some(dis)) = (self.config.thr_s, boxes.spatial_distance()) {
+                if dis < thr {
+                    f += 1.0;
                 }
-                let sampler = WithoutReplacement::new(boxes.total_bbox_pairs());
-                Arm {
-                    boxes,
-                    sampler,
-                    s: 1.0,
-                    f,
-                    prior_s: 1.0,
-                    prior_f: f,
-                    rank_by_posterior: self.config.rank_by_bernoulli_posterior,
-                    n: 0,
-                    sum: 0.0,
-                    locked_in: false,
-                    pruned_out: false,
-                }
-            })
-            .collect();
+            }
+            let sampler = WithoutReplacement::new(boxes.total_bbox_pairs());
+            arms.push(Arm {
+                boxes,
+                sampler,
+                s: 1.0,
+                f,
+                prior_s: 1.0,
+                prior_f: f,
+                rank_by_posterior: self.config.rank_by_bernoulli_posterior,
+                n: 0,
+                sum: 0.0,
+                locked_in: false,
+                pruned_out: false,
+            });
+        }
 
         let mut tau = 0u64;
         let mut round = 0u64;
@@ -203,13 +203,22 @@ impl CandidateSelector for TMerge {
             session.charge_thompson_scan(live.len());
             let budget_left = (self.config.tau_max - tau) as usize;
             let take = batch.min(live.len()).min(budget_left).max(1);
-            let mut draws: Vec<(usize, f64)> = live
-                .iter()
-                .map(|&i| {
-                    let beta = Beta::new(arms[i].s, arms[i].f).expect("shape params are ≥ 1");
-                    (i, beta.sample(&mut rng))
-                })
-                .collect();
+            let mut draws: Vec<(usize, f64)> = Vec::with_capacity(live.len());
+            for &i in &live {
+                // Shape params start at 1 and only ever increment, so the
+                // constructor can only fail on NaN corruption upstream —
+                // surfaced as an error instead of a panic.
+                let beta = Beta::new(arms[i].s, arms[i].f).map_err(|_| {
+                    TmError::invalid(
+                        "beta_shape",
+                        format!(
+                            "Beta({}, {}) is not a valid posterior",
+                            arms[i].s, arms[i].f
+                        ),
+                    )
+                })?;
+                draws.push((i, beta.sample(&mut rng)));
+            }
             // Line 6: the arg-min draw; TMerge-B takes the B smallest.
             draws.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
             draws.truncate(take);
@@ -222,14 +231,14 @@ impl CandidateSelector for TMerge {
                 let flat = arms[i]
                     .sampler
                     .draw(&mut rng)
-                    .expect("live arms have remaining pool");
+                    .ok_or(TmError::Empty("live arm bbox-pair pool"))?;
                 // `arms[i].boxes` borrows from `input.tracks`, which outlives
                 // the arms — re-borrow through a fresh binding for the batch.
                 let (a, b) = arms[i].boxes.bbox_pair(flat);
                 chosen.push(i);
                 items.push((a, b));
             }
-            let distances = session.pair_distances_batch(&items);
+            let distances = session.try_pair_distances_batch(&items)?;
 
             // Lines 8–13: Bernoulli trials and posterior updates.
             for (&i, d) in chosen.iter().zip(&distances) {
@@ -260,12 +269,12 @@ impl CandidateSelector for TMerge {
             .iter()
             .map(|a| (a.boxes.pair, a.ranking_score()))
             .collect();
-        SelectionResult {
+        Ok(SelectionResult {
             candidates,
             scores,
             distance_evals: tau,
             history,
-        }
+        })
     }
 }
 
@@ -423,7 +432,7 @@ mod tests {
             seed: 11,
             ..Default::default()
         });
-        let r = tm.select(&input, &mut session);
+        let r = tm.select(&input, &mut session).unwrap();
         for p in poly_pairs() {
             assert!(r.candidates.contains(&p), "missing {p}: {:?}", r.candidates);
         }
@@ -446,7 +455,7 @@ mod tests {
             record_history: true,
             ..Default::default()
         });
-        let r = tm.select(&input, &mut session);
+        let r = tm.select(&input, &mut session).unwrap();
         assert_eq!(r.distance_evals, 123);
         assert_eq!(r.history.len(), 123);
     }
@@ -465,14 +474,14 @@ mod tests {
             seed: 3,
             ..Default::default()
         });
-        let r = tm.select(&input, &mut gpu);
+        let r = tm.select(&input, &mut gpu).unwrap();
         assert!(r.distance_evals <= 600);
         for p in poly_pairs() {
             assert!(r.candidates.contains(&p), "missing {p}");
         }
         // And it is much cheaper than the CPU run for the same budget.
         let mut cpu = ReidSession::new(&model, CostModel::calibrated(), Device::Cpu);
-        tm.select(&input, &mut cpu);
+        tm.select(&input, &mut cpu).unwrap();
         assert!(gpu.elapsed_ms() < cpu.elapsed_ms() / 3.0);
     }
 
@@ -511,7 +520,7 @@ mod tests {
             seed: 5,
             ..Default::default()
         });
-        let r = tm.select(&input, &mut session);
+        let r = tm.select(&input, &mut session).unwrap();
         let q = r.history.len() / 4;
         let early: f64 = r.history[..q].iter().sum::<f64>() / q as f64;
         let late: f64 = r.history[r.history.len() - q..].iter().sum::<f64>() / q as f64;
@@ -534,7 +543,7 @@ mod tests {
             thr_s: Some(1e9),
             ..Default::default()
         });
-        let r = tm.select(&input, &mut session);
+        let r = tm.select(&input, &mut session).unwrap();
         for s in r.scores.values() {
             assert!(
                 (s - 1.0 / 3.0).abs() < 1e-12,
@@ -546,7 +555,7 @@ mod tests {
             thr_s: None,
             ..Default::default()
         });
-        let r = tm.select(&input, &mut session);
+        let r = tm.select(&input, &mut session).unwrap();
         for s in r.scores.values() {
             assert!((s - 0.5).abs() < 1e-12);
         }
@@ -568,7 +577,7 @@ mod tests {
                 seed: 9,
                 ..Default::default()
             });
-            tm.select(&input, &mut session)
+            tm.select(&input, &mut session).unwrap()
         };
         let with = run(true);
         let without = run(false);
@@ -596,6 +605,7 @@ mod tests {
                 ..Default::default()
             })
             .select(&input, &mut session)
+            .unwrap()
         };
         let a = run();
         let b = run();
@@ -608,23 +618,27 @@ mod tests {
         let (model, tracks, pairs) = fixture();
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let tm = TMerge::new(TMergeConfig::default());
-        let r = tm.select(
-            &SelectionInput {
-                pairs: &[],
-                tracks: &tracks,
-                k: 0.5,
-            },
-            &mut session,
-        );
+        let r = tm
+            .select(
+                &SelectionInput {
+                    pairs: &[],
+                    tracks: &tracks,
+                    k: 0.5,
+                },
+                &mut session,
+            )
+            .unwrap();
         assert!(r.candidates.is_empty());
-        let r = tm.select(
-            &SelectionInput {
-                pairs: &pairs,
-                tracks: &tracks,
-                k: 0.0,
-            },
-            &mut session,
-        );
+        let r = tm
+            .select(
+                &SelectionInput {
+                    pairs: &pairs,
+                    tracks: &tracks,
+                    k: 0.0,
+                },
+                &mut session,
+            )
+            .unwrap();
         assert!(r.candidates.is_empty());
         assert_eq!(r.distance_evals, 0);
     }
@@ -644,7 +658,7 @@ mod tests {
             use_ulb: false,
             ..Default::default()
         });
-        let r = tm.select(&input, &mut session);
+        let r = tm.select(&input, &mut session).unwrap();
         assert_eq!(r.distance_evals, 100, "1 pair × 10×10 boxes");
     }
 }

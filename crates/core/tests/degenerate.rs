@@ -61,7 +61,7 @@ fn single_box_tracks_are_handled_by_every_selector() {
             tracks: &tracks,
             k: 1.0 / 3.0,
         };
-        let r = selector.select(&input, &mut session);
+        let r = selector.select(&input, &mut session).unwrap();
         assert_eq!(r.candidates.len(), 1, "{}", selector.name());
         // All pools together hold 3 bbox pairs; no algorithm may exceed it.
         assert!(r.distance_evals <= 3, "{}", selector.name());
@@ -91,7 +91,7 @@ fn false_positive_tracks_do_not_poison_selection() {
         tracks: &tracks,
         k: 1.0 / 6.0,
     };
-    let r = Baseline.select(&input, &mut session);
+    let r = Baseline.select(&input, &mut session).unwrap();
     assert_eq!(
         r.candidates,
         vec![TrackPair::new(TrackId(1), TrackId(2)).unwrap()],
@@ -109,23 +109,27 @@ fn zero_and_full_k_are_consistent_for_all_selectors() {
     let model = AppearanceModel::new(AppearanceConfig::default());
     for selector in selectors() {
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
-        let none = selector.select(
-            &SelectionInput {
-                pairs: &pairs,
-                tracks: &tracks,
-                k: 0.0,
-            },
-            &mut session,
-        );
+        let none = selector
+            .select(
+                &SelectionInput {
+                    pairs: &pairs,
+                    tracks: &tracks,
+                    k: 0.0,
+                },
+                &mut session,
+            )
+            .unwrap();
         assert!(none.candidates.is_empty(), "{} with k=0", selector.name());
-        let all = selector.select(
-            &SelectionInput {
-                pairs: &pairs,
-                tracks: &tracks,
-                k: 1.0,
-            },
-            &mut session,
-        );
+        let all = selector
+            .select(
+                &SelectionInput {
+                    pairs: &pairs,
+                    tracks: &tracks,
+                    k: 1.0,
+                },
+                &mut session,
+            )
+            .unwrap();
         assert_eq!(all.candidates.len(), 1, "{} with k=1", selector.name());
     }
 }
@@ -199,14 +203,16 @@ fn tmerge_with_budget_one_still_returns_m_candidates() {
         tau_max: 1,
         ..TMergeConfig::default()
     });
-    let r = tm.select(
-        &SelectionInput {
-            pairs: &pairs,
-            tracks: &tracks,
-            k: 2.0 / 3.0,
-        },
-        &mut session,
-    );
+    let r = tm
+        .select(
+            &SelectionInput {
+                pairs: &pairs,
+                tracks: &tracks,
+                k: 2.0 / 3.0,
+            },
+            &mut session,
+        )
+        .unwrap();
     assert_eq!(r.candidates.len(), 2);
     assert_eq!(r.distance_evals, 1);
 }

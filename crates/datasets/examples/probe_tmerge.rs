@@ -47,7 +47,7 @@ fn main() {
             ..Default::default()
         });
         let mut s = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
-        let r = tm.select(&input, &mut s);
+        let r = tm.select(&input, &mut s).unwrap();
         let found = truth.iter().filter(|p| r.candidates.contains(p)).count();
         // rank poly pairs by posterior mean
         let mut ranked: Vec<_> = r.scores.iter().collect();

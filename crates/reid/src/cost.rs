@@ -176,6 +176,13 @@ impl SimClock {
     pub fn reset(&mut self) {
         self.elapsed_ms = 0.0;
     }
+
+    /// Restores a checkpointed reading, replacing the current one. Resume
+    /// must reproduce the exact accumulated value, so this sets rather than
+    /// charges.
+    pub fn set_elapsed_ms(&mut self, ms: f64) {
+        self.elapsed_ms = ms;
+    }
 }
 
 /// Counters describing how hard the ReID model was worked.
@@ -190,6 +197,13 @@ pub struct ReidStats {
     pub distances: u64,
     /// GPU rounds launched (0 on CPU).
     pub gpu_rounds: u64,
+    /// Extraction attempts re-issued after a backend fault. Zero on the
+    /// fault-free path, so adding the counter leaves historical reports
+    /// unchanged.
+    pub retries: u64,
+    /// Backend faults observed (transient failures, unavailability windows,
+    /// corrupted replies), whether or not a retry eventually succeeded.
+    pub backend_faults: u64,
 }
 
 impl ReidStats {

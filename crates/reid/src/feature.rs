@@ -28,6 +28,21 @@ impl Feature {
         Feature(components)
     }
 
+    /// Wraps raw components **verbatim** — no rescaling. Two callers need
+    /// this: checkpoint restore (re-normalizing an already-unit vector would
+    /// perturb the low bits and break byte-exact resume) and fault injectors
+    /// that deliberately build corrupted (non-finite) vectors. Everybody
+    /// else goes through [`Feature::normalized`].
+    pub fn from_raw(components: Vec<f64>) -> Self {
+        Feature(components)
+    }
+
+    /// True when every component is finite. A backend reply failing this
+    /// check is treated as a corrupted inference and retried.
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|x| x.is_finite())
+    }
+
     /// Dimensionality of the feature space.
     pub fn dim(&self) -> usize {
         self.0.len()

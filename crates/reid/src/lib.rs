@@ -30,13 +30,15 @@
 //! + clock and is what the merging algorithms in `tm-core` consume.
 
 pub mod appearance;
+pub mod backend;
 pub mod cache;
 pub mod cost;
 pub mod feature;
 pub mod session;
 
 pub use appearance::{AppearanceConfig, AppearanceModel};
+pub use backend::{Attempt, BackendFault, BackendReply, InferenceBackend, RetryPolicy};
 pub use cache::SharedFeatureCache;
 pub use cost::{CostModel, Device, ReidStats, SimClock};
 pub use feature::{Feature, NORMALIZER};
-pub use session::{BoxKey, BoxPairRef, ReidSession};
+pub use session::{BoxKey, BoxPairRef, ReidSession, SessionSnapshot};

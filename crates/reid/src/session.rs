@@ -24,17 +24,32 @@
 //! with scheduling, bounding the total's wobble by one launch overhead per
 //! window.
 
+//!
+//! ## Fallible extraction
+//!
+//! Features flow through an [`InferenceBackend`] (default: the appearance
+//! model itself, which never fails). The `try_*` methods are the fallible
+//! mirror of the historical API: each extraction is retried under the
+//! session's [`RetryPolicy`] with capped exponential backoff, all failure
+//! latency (backend-reported extra milliseconds plus backoff) is charged
+//! to the simulated clock, and exhaustion returns
+//! [`tm_types::TmError::ReidBackend`]. With a clean backend the `try_*`
+//! methods charge the clock and bump the counters in **exactly** the same
+//! order as the historical methods, so fault-free runs stay byte-identical.
+
 use crate::appearance::AppearanceModel;
+use crate::backend::{Attempt, InferenceBackend, RetryPolicy};
 use crate::cache::SharedFeatureCache;
 use crate::cost::{CostModel, Device, ReidStats, SimClock};
 use crate::feature::Feature;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use tm_types::{FrameIdx, TrackBox, TrackId};
+use tm_types::{FrameIdx, Result, TmError, TrackBox, TrackId};
 
 /// Identifies one box observation: a (track, frame) pair. Each track has at
-/// most one box per frame, so this key is unique.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// most one box per frame, so this key is unique. Ordered so checkpoint
+/// cache dumps are canonical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BoxKey {
     /// The track the box belongs to.
     pub track: TrackId,
@@ -66,6 +81,9 @@ enum CacheBackend {
 #[derive(Debug, Clone)]
 pub struct ReidSession<'m> {
     model: &'m AppearanceModel,
+    backend: &'m dyn InferenceBackend,
+    retry: RetryPolicy,
+    epoch: u64,
     cost: CostModel,
     device: Device,
     clock: SimClock,
@@ -74,10 +92,14 @@ pub struct ReidSession<'m> {
 }
 
 impl<'m> ReidSession<'m> {
-    /// Opens a session with a private feature cache.
+    /// Opens a session with a private feature cache. The backend defaults
+    /// to the model itself (infallible); see [`ReidSession::with_backend`].
     pub fn new(model: &'m AppearanceModel, cost: CostModel, device: Device) -> Self {
         Self {
             model,
+            backend: model,
+            retry: RetryPolicy::default(),
+            epoch: 0,
             cost,
             device,
             clock: SimClock::new(),
@@ -97,12 +119,52 @@ impl<'m> ReidSession<'m> {
     ) -> Self {
         Self {
             model,
+            backend: model,
+            retry: RetryPolicy::default(),
+            epoch: 0,
             cost,
             device,
             clock: SimClock::new(),
             cache: CacheBackend::Shared(cache),
             stats: ReidStats::default(),
         }
+    }
+
+    /// Routes the `try_*` extraction paths through `backend` instead of the
+    /// model. The historical infallible methods keep evaluating the pure
+    /// model directly, so installing a fault injector cannot perturb them.
+    pub fn with_backend(mut self, backend: &'m dyn InferenceBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the retry policy (builder-style, like `with_backend`).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The retry policy in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Sets the processing epoch handed to the backend with every attempt
+    /// (the merging layer uses the window cursor), so fault plans can
+    /// schedule outages per window.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// The current processing epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Probes whether the backend is accepting work in the current epoch
+    /// (circuit-breaker input; free, charges nothing).
+    pub fn backend_available(&self) -> bool {
+        self.backend.available(self.epoch)
     }
 
     /// The device this session runs on.
@@ -251,8 +313,18 @@ impl<'m> ReidSession<'m> {
     pub fn pair_distances_batch(&mut self, pairs: &[BoxPairRef<'_>]) -> Vec<f64> {
         // Phase 1: collect the cache misses, deduplicated by a set so large
         // rounds stay linear in the number of misses.
+        let misses = self.collect_pair_misses(pairs);
+        // Phase 2: one inference call for all misses.
+        self.infer_misses(misses);
+        // Phase 3: distances (every feature now cached).
+        self.charged_pair_distances(pairs)
+    }
+
+    /// Phase 1 of a batch: the cache misses among the pairs' boxes,
+    /// deduplicated by a set so large rounds stay linear in the misses.
+    fn collect_pair_misses<'a>(&self, pairs: &[BoxPairRef<'a>]) -> Vec<(BoxKey, &'a TrackBox)> {
         let mut seen: HashSet<BoxKey> = HashSet::new();
-        let mut misses: Vec<(BoxKey, &TrackBox)> = Vec::new();
+        let mut misses: Vec<(BoxKey, &'a TrackBox)> = Vec::new();
         for ((ta, ba), (tb, bb)) in pairs {
             for (t, b) in [(*ta, *ba), (*tb, *bb)] {
                 let key = BoxKey::new(t, b.frame);
@@ -262,25 +334,43 @@ impl<'m> ReidSession<'m> {
                 misses.push((key, b));
             }
         }
-        // Phase 2: one inference call for all misses.
-        self.infer_misses(misses);
-        // Phase 3: distances (every feature now cached).
+        misses
+    }
+
+    /// Phase 3 of a batch: charges the distance cost and evaluates every
+    /// pair from the (now warm) cache.
+    fn charged_pair_distances(&mut self, pairs: &[BoxPairRef<'_>]) -> Vec<f64> {
         let ms = self.cost.distance_cost_ms(pairs.len(), self.device);
         self.clock.charge(ms);
         self.stats.distances += pairs.len() as u64;
-        pairs
-            .iter()
-            .map(|((ta, ba), (tb, bb))| {
-                self.stats.cache_hits += 2;
-                let fa = self
-                    .cache_get(&BoxKey::new(*ta, ba.frame))
-                    .expect("inferred in phase 2");
-                let fb = self
-                    .cache_get(&BoxKey::new(*tb, bb.frame))
-                    .expect("inferred in phase 2");
-                fa.euclidean(&fb)
-            })
-            .collect()
+        let mut out = Vec::with_capacity(pairs.len());
+        for ((ta, ba), (tb, bb)) in pairs {
+            self.stats.cache_hits += 2;
+            let fa = self.cached_or_recompute(BoxKey::new(*ta, ba.frame), ba);
+            let fb = self.cached_or_recompute(BoxKey::new(*tb, bb.frame), bb);
+            out.push(fa.euclidean(&fb));
+        }
+        out
+    }
+
+    /// Phase-3 cache read. Phase 2 guarantees every key is cached, but the
+    /// hot path must stay panic-free, so an (unreachable) miss falls back
+    /// to the pure model, uncharged, instead of unwrapping.
+    fn cached_or_recompute(&mut self, key: BoxKey, tb: &TrackBox) -> Arc<Feature> {
+        if let Some(f) = self.cache_get(&key) {
+            return f;
+        }
+        let f = Arc::new(self.model.observe_track_box(tb));
+        match &mut self.cache {
+            CacheBackend::Private(map) => {
+                map.insert(key, Arc::clone(&f));
+                f
+            }
+            CacheBackend::Shared(cache) => {
+                let (g, _) = cache.get_or_compute(key, || (*f).clone());
+                g
+            }
+        }
     }
 
     /// Number of distinct features currently cached (shared backend: the
@@ -323,6 +413,211 @@ impl<'m> ReidSession<'m> {
         self.clock.charge(ms);
         self.stats.distances += n as u64;
     }
+
+    // ------------------------------------------------------------------
+    // Fallible extraction (see the module docs). With a clean backend the
+    // methods below charge and count in exactly the order of their
+    // infallible counterparts above.
+    // ------------------------------------------------------------------
+
+    /// One extraction through the backend with retry/backoff. Charges every
+    /// attempt's backend-reported extra latency and, after each failure
+    /// short of the last, the policy's backoff — all in simulated time.
+    fn try_observe_retry(&mut self, key: BoxKey, tb: &TrackBox) -> Result<Feature> {
+        let max = self.retry.max_attempts.max(1);
+        let mut last_reason = "";
+        for attempt in 0..max {
+            let at = Attempt {
+                epoch: self.epoch,
+                attempt,
+                key,
+            };
+            let reply = self.backend.try_observe(tb, &at);
+            self.clock.charge(reply.extra_ms);
+            last_reason = match reply.outcome {
+                Ok(f) if f.is_finite() => return Ok(f),
+                Ok(_) => "non-finite feature components",
+                Err(fault) => fault.reason(),
+            };
+            self.stats.backend_faults += 1;
+            if attempt + 1 < max {
+                self.stats.retries += 1;
+                self.clock.charge(self.retry.backoff_ms(attempt));
+            }
+        }
+        Err(TmError::ReidBackend {
+            attempts: max,
+            reason: last_reason.to_string(),
+        })
+    }
+
+    /// Fallible mirror of [`ReidSession::feature`].
+    pub fn try_feature(&mut self, track: TrackId, tb: &TrackBox) -> Result<Arc<Feature>> {
+        let key = BoxKey::new(track, tb.frame);
+        if let Some(f) = self.cache_get(&key) {
+            self.stats.cache_hits += 1;
+            return Ok(f);
+        }
+        let f = self.try_observe_retry(key, tb)?;
+        match &mut self.cache {
+            CacheBackend::Private(map) => {
+                let f = Arc::new(f);
+                map.insert(key, Arc::clone(&f));
+                self.charge_inference_round(1);
+                Ok(f)
+            }
+            CacheBackend::Shared(cache) => {
+                let cache = Arc::clone(cache);
+                let (g, computed) = cache.get_or_compute(key, move || f);
+                if computed {
+                    self.charge_inference_round(1);
+                } else {
+                    self.stats.cache_hits += 1;
+                }
+                Ok(g)
+            }
+        }
+    }
+
+    /// Fallible mirror of `infer_misses`: extracts every miss through the
+    /// backend (with retries), then charges **one** inference call for the
+    /// features this session computed itself. An exhausted retry ladder
+    /// aborts the round; attempt/backoff charges already on the clock stay
+    /// (failed work still costs time), but no inference round is charged.
+    fn try_infer_misses(&mut self, misses: Vec<(BoxKey, &TrackBox)>) -> Result<()> {
+        if misses.is_empty() {
+            return Ok(());
+        }
+        let shared = match &self.cache {
+            CacheBackend::Shared(cache) => Some(Arc::clone(cache)),
+            CacheBackend::Private(_) => None,
+        };
+        match shared {
+            None => {
+                let n = misses.len();
+                let mut computed: Vec<(BoxKey, Arc<Feature>)> = Vec::with_capacity(n);
+                for (key, b) in misses {
+                    let f = self.try_observe_retry(key, b)?;
+                    computed.push((key, Arc::new(f)));
+                }
+                if let CacheBackend::Private(map) = &mut self.cache {
+                    for (key, f) in computed {
+                        map.insert(key, f);
+                    }
+                }
+                self.charge_inference_round(n);
+            }
+            Some(cache) => {
+                let mut n_mine = 0usize;
+                let mut n_reused = 0u64;
+                for (key, b) in misses {
+                    let f = self.try_observe_retry(key, b)?;
+                    let (_, computed) = cache.get_or_compute(key, move || f);
+                    if computed {
+                        n_mine += 1;
+                    } else {
+                        // Another session computed it while we raced.
+                        n_reused += 1;
+                    }
+                }
+                self.stats.cache_hits += n_reused;
+                self.charge_inference_round(n_mine);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fallible mirror of [`ReidSession::pair_distance`].
+    pub fn try_pair_distance(
+        &mut self,
+        a: (TrackId, &TrackBox),
+        b: (TrackId, &TrackBox),
+    ) -> Result<f64> {
+        Ok(self.try_pair_distances_batch(&[(a, b)])?[0])
+    }
+
+    /// Fallible mirror of [`ReidSession::normalized_pair_distance`].
+    pub fn try_normalized_pair_distance(
+        &mut self,
+        a: (TrackId, &TrackBox),
+        b: (TrackId, &TrackBox),
+    ) -> Result<f64> {
+        Ok(self.try_pair_distance(a, b)? / crate::feature::NORMALIZER)
+    }
+
+    /// Fallible mirror of [`ReidSession::pair_distances_batch`].
+    pub fn try_pair_distances_batch(&mut self, pairs: &[BoxPairRef<'_>]) -> Result<Vec<f64>> {
+        let misses = self.collect_pair_misses(pairs);
+        self.try_infer_misses(misses)?;
+        Ok(self.charged_pair_distances(pairs))
+    }
+
+    /// Fallible mirror of [`ReidSession::ensure_features`].
+    pub fn try_ensure_features(&mut self, boxes: &[(TrackId, &TrackBox)]) -> Result<()> {
+        let mut seen: HashSet<BoxKey> = HashSet::new();
+        let mut misses: Vec<(BoxKey, &TrackBox)> = Vec::new();
+        for (t, b) in boxes {
+            let key = BoxKey::new(*t, b.frame);
+            if !seen.insert(key) || self.cache_get(&key).is_some() {
+                continue;
+            }
+            misses.push((key, b));
+        }
+        self.try_infer_misses(misses)
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointing
+    // ------------------------------------------------------------------
+
+    /// Captures the session's mutable state (clock, counters and — for a
+    /// private cache — every cached feature, in canonical key order).
+    /// Shared caches belong to the parallel coordinator, not to any one
+    /// session, so they are not captured here.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        let mut cache: Vec<(BoxKey, Vec<f64>)> = match &self.cache {
+            CacheBackend::Private(map) => map
+                .iter()
+                .map(|(k, f)| (*k, f.as_slice().to_vec()))
+                .collect(),
+            CacheBackend::Shared(_) => Vec::new(),
+        };
+        cache.sort_by_key(|(k, _)| *k);
+        SessionSnapshot {
+            elapsed_ms: self.clock.elapsed_ms(),
+            stats: self.stats,
+            cache,
+        }
+    }
+
+    /// Restores a snapshot taken by [`ReidSession::snapshot`]: the clock
+    /// and counters are set (not re-charged) and a private cache is
+    /// rebuilt verbatim, so the resumed session is indistinguishable from
+    /// the one that was checkpointed.
+    pub fn restore_snapshot(&mut self, snap: &SessionSnapshot) {
+        self.clock.set_elapsed_ms(snap.elapsed_ms);
+        self.stats = snap.stats;
+        if let CacheBackend::Private(map) = &mut self.cache {
+            map.clear();
+            for (k, comps) in &snap.cache {
+                map.insert(*k, Arc::new(Feature::from_raw(comps.clone())));
+            }
+        }
+    }
+}
+
+/// A session's mutable state as captured by [`ReidSession::snapshot`].
+/// Features are dumped as raw components (restored verbatim via
+/// [`Feature::from_raw`]) and the cache is sorted by key, so equal sessions
+/// produce equal snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// Simulated time consumed when the snapshot was taken.
+    pub elapsed_ms: f64,
+    /// Work counters at snapshot time.
+    pub stats: ReidStats,
+    /// Private-cache contents in ascending key order.
+    pub cache: Vec<(BoxKey, Vec<f64>)>,
 }
 
 #[cfg(test)]
@@ -482,6 +777,191 @@ mod tests {
         assert_eq!(s2.elapsed_ms(), 0.0);
         assert_eq!(cache.len(), 1);
         assert_eq!(s1.cached_features(), 1);
+    }
+
+    /// A backend that fails the first `fail_first` attempts of every
+    /// extraction, then defers to the model.
+    #[derive(Debug)]
+    struct Flaky<'a> {
+        model: &'a AppearanceModel,
+        fail_first: u32,
+        corrupt: bool,
+    }
+
+    impl crate::backend::InferenceBackend for Flaky<'_> {
+        fn try_observe(
+            &self,
+            tb: &TrackBox,
+            at: &crate::backend::Attempt,
+        ) -> crate::backend::BackendReply {
+            if at.attempt < self.fail_first {
+                if self.corrupt {
+                    crate::backend::BackendReply {
+                        outcome: Ok(Feature::from_raw(vec![f64::NAN, 0.0])),
+                        extra_ms: 1.5,
+                    }
+                } else {
+                    crate::backend::BackendReply::fault(
+                        crate::backend::BackendFault::Transient("injected timeout"),
+                        1.5,
+                    )
+                }
+            } else {
+                crate::backend::BackendReply::ok(self.model.observe_track_box(tb))
+            }
+        }
+    }
+
+    #[test]
+    fn try_batch_matches_infallible_batch_on_clean_backend() {
+        let m = model();
+        let cost = CostModel::calibrated();
+        let pairs: Vec<_> = (0..6u64)
+            .map(|i| ((TrackId(1), tb(i, 1)), (TrackId(2), tb(i, 2))))
+            .collect();
+        let borrowed: Vec<_> = pairs
+            .iter()
+            .map(|((t1, b1), (t2, b2))| ((*t1, b1), (*t2, b2)))
+            .collect();
+        let mut plain = ReidSession::new(&m, cost, Device::Cpu);
+        let mut faultless = ReidSession::new(&m, cost, Device::Cpu).with_backend(&m);
+        let d1 = plain.pair_distances_batch(&borrowed);
+        let d2 = faultless
+            .try_pair_distances_batch(&borrowed)
+            .expect("clean backend cannot fail");
+        assert_eq!(d1, d2);
+        assert_eq!(
+            plain.elapsed_ms().to_bits(),
+            faultless.elapsed_ms().to_bits()
+        );
+        assert_eq!(plain.stats(), faultless.stats());
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_charged() {
+        let m = model();
+        let flaky = Flaky {
+            model: &m,
+            fail_first: 2,
+            corrupt: false,
+        };
+        let cost = CostModel::calibrated();
+        let mut s = ReidSession::new(&m, cost, Device::Cpu).with_backend(&flaky);
+        let policy = s.retry_policy();
+        let a = tb(0, 1);
+        let b = tb(0, 2);
+        let d = s
+            .try_pair_distance((TrackId(1), &a), (TrackId(2), &b))
+            .expect("succeeds on the third attempt");
+        let mut clean = ReidSession::new(&m, cost, Device::Cpu);
+        let d_clean = clean.pair_distance((TrackId(1), &a), (TrackId(2), &b));
+        assert_eq!(d, d_clean, "retried features must equal clean features");
+        assert_eq!(s.stats().retries, 4, "2 retries per box");
+        assert_eq!(s.stats().backend_faults, 4);
+        // Per box: 2 failed attempts × 1.5 ms extra + backoff(0) + backoff(1).
+        let per_box = 2.0 * 1.5 + policy.backoff_ms(0) + policy.backoff_ms(1);
+        let expected = clean.elapsed_ms() + 2.0 * per_box;
+        assert!((s.elapsed_ms() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corrupted_features_are_treated_as_faults() {
+        let m = model();
+        let flaky = Flaky {
+            model: &m,
+            fail_first: 1,
+            corrupt: true,
+        };
+        let mut s = ReidSession::new(&m, CostModel::zero(), Device::Cpu).with_backend(&flaky);
+        let a = tb(2, 1);
+        let f = s
+            .try_feature(TrackId(1), &a)
+            .expect("retry fixes corruption");
+        assert!(f.is_finite());
+        assert_eq!(f.as_slice(), m.observe_track_box(&a).as_slice());
+        assert_eq!(s.stats().backend_faults, 1);
+        assert_eq!(s.stats().retries, 1);
+    }
+
+    #[test]
+    fn exhausted_retries_return_backend_error() {
+        let m = model();
+        let flaky = Flaky {
+            model: &m,
+            fail_first: u32::MAX,
+            corrupt: false,
+        };
+        let mut s = ReidSession::new(&m, CostModel::zero(), Device::Cpu).with_backend(&flaky);
+        let a = tb(0, 1);
+        let err = s
+            .try_feature(TrackId(1), &a)
+            .expect_err("backend never recovers");
+        assert!(err.is_backend(), "got {err:?}");
+        assert!(err.to_string().contains("injected timeout"));
+        assert_eq!(s.stats().inferences, 0, "no inference round on failure");
+        assert_eq!(
+            s.stats().backend_faults as u32,
+            s.retry_policy().max_attempts
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_is_byte_exact() {
+        let m = model();
+        let cost = CostModel::calibrated();
+        let mut s = ReidSession::new(&m, cost, Device::Cpu);
+        s.pair_distance((TrackId(1), &tb(0, 1)), (TrackId(2), &tb(0, 2)));
+        s.feature(TrackId(1), &tb(0, 1));
+        let snap = s.snapshot();
+
+        let mut fresh = ReidSession::new(&m, cost, Device::Cpu);
+        fresh.restore_snapshot(&snap);
+        assert_eq!(fresh.elapsed_ms().to_bits(), s.elapsed_ms().to_bits());
+        assert_eq!(fresh.stats(), s.stats());
+        assert_eq!(fresh.cached_features(), s.cached_features());
+        // Continuing from the restore reproduces the original trajectory.
+        let d1 = s.pair_distance((TrackId(1), &tb(5, 1)), (TrackId(2), &tb(5, 2)));
+        let d2 = fresh.pair_distance((TrackId(1), &tb(5, 1)), (TrackId(2), &tb(5, 2)));
+        assert_eq!(d1.to_bits(), d2.to_bits());
+        assert_eq!(fresh.elapsed_ms().to_bits(), s.elapsed_ms().to_bits());
+        assert_eq!(fresh.snapshot(), s.snapshot());
+    }
+
+    #[test]
+    fn epoch_is_forwarded_to_the_backend() {
+        #[derive(Debug)]
+        struct DownAtOdd<'a>(&'a AppearanceModel);
+        impl crate::backend::InferenceBackend for DownAtOdd<'_> {
+            fn try_observe(
+                &self,
+                tb: &TrackBox,
+                at: &crate::backend::Attempt,
+            ) -> crate::backend::BackendReply {
+                if at.epoch % 2 == 1 {
+                    crate::backend::BackendReply::fault(
+                        crate::backend::BackendFault::Unavailable,
+                        0.0,
+                    )
+                } else {
+                    crate::backend::BackendReply::ok(self.0.observe_track_box(tb))
+                }
+            }
+            fn available(&self, epoch: u64) -> bool {
+                epoch.is_multiple_of(2)
+            }
+        }
+        let m = model();
+        let backend = DownAtOdd(&m);
+        let mut s = ReidSession::new(&m, CostModel::zero(), Device::Cpu).with_backend(&backend);
+        assert!(s.backend_available());
+        assert!(s.try_feature(TrackId(1), &tb(0, 1)).is_ok());
+        s.set_epoch(1);
+        assert_eq!(s.epoch(), 1);
+        assert!(!s.backend_available());
+        let err = s.try_feature(TrackId(1), &tb(9, 1)).expect_err("down");
+        assert!(err.is_backend());
+        s.set_epoch(2);
+        assert!(s.try_feature(TrackId(1), &tb(9, 1)).is_ok());
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod pair;
 pub mod track;
 
 pub use detection::Detection;
-pub use error::{Result, TmError};
+pub use error::{Result, TmError, TrackDefect};
 pub use geometry::{BBox, Point};
 pub use ids::{ClassId, FrameIdx, GtObjectId, TrackId};
 pub use motchallenge::{parse_motchallenge, write_motchallenge};

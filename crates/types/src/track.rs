@@ -2,7 +2,7 @@
 //! tracks, the central data structure handed from trackers to TMerge and on
 //! to metrics and query processing.
 
-use crate::{BBox, ClassId, FrameIdx, GtObjectId, Point, Result, TmError, TrackId};
+use crate::{BBox, ClassId, FrameIdx, GtObjectId, Point, Result, TmError, TrackDefect, TrackId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -307,6 +307,55 @@ impl TrackSet {
     /// Consumes the set, returning the tracks in insertion order.
     pub fn into_tracks(self) -> Vec<Track> {
         self.tracks
+    }
+
+    /// Structural validation of tracker output, run at pipeline entry so
+    /// corrupt input fails fast with context instead of panicking (or
+    /// silently merging garbage) deep in the assignment core.
+    ///
+    /// Checks, per track and in frame order:
+    /// * every box coordinate and extent is finite
+    ///   ([`TrackDefect::NonFiniteBox`]);
+    /// * every box has positive width and height
+    ///   ([`TrackDefect::EmptyExtent`]);
+    /// * no two observations share a frame
+    ///   ([`TrackDefect::DuplicateFrame`]);
+    /// * frames are in ascending order ([`TrackDefect::UnorderedFrames`]
+    ///   — reachable because `Track::boxes` is a public field, so callers
+    ///   can break the sort invariant the constructors maintain).
+    ///
+    /// Empty tracks are fine (the pipeline scores them conservatively).
+    /// Returns the first defect found; `Ok(())` on clean input.
+    pub fn validate(&self) -> Result<()> {
+        for t in &self.tracks {
+            let mut prev: Option<FrameIdx> = None;
+            for b in &t.boxes {
+                let defect = if !(b.bbox.x.is_finite()
+                    && b.bbox.y.is_finite()
+                    && b.bbox.w.is_finite()
+                    && b.bbox.h.is_finite())
+                {
+                    Some(TrackDefect::NonFiniteBox)
+                } else if b.bbox.w <= 0.0 || b.bbox.h <= 0.0 {
+                    Some(TrackDefect::EmptyExtent)
+                } else if prev == Some(b.frame) {
+                    Some(TrackDefect::DuplicateFrame)
+                } else if prev.is_some_and(|p| p > b.frame) {
+                    Some(TrackDefect::UnorderedFrames)
+                } else {
+                    None
+                };
+                if let Some(defect) = defect {
+                    return Err(TmError::InvalidTrack {
+                        track: t.id,
+                        frame: b.frame,
+                        defect,
+                    });
+                }
+                prev = Some(b.frame);
+            }
+        }
+        Ok(())
     }
 }
 

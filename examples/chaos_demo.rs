@@ -1,0 +1,135 @@
+//! Chaos-hardened ingestion demo: the same live feed as
+//! `streaming_monitor`, but the ReID backend is flaky throughout and hard
+//! down for two whole windows. The merger degrades to spatio-temporal
+//! evidence, recovers, re-verifies with real ReID — and a mid-outage
+//! kill/resume from a checkpoint reproduces the uninterrupted run exactly.
+//!
+//! ```sh
+//! cargo run --release --example chaos_demo
+//! ```
+
+use tmerge::chaos::{FaultPlan, FaultyModel};
+use tmerge::core::{DecisionMode, StreamConfig, StreamingMerger, TMerge, TMergeConfig};
+use tmerge::prelude::*;
+
+fn merger<'m>(
+    model: &'m AppearanceModel,
+    backend: Option<&'m FaultyModel<'m>>,
+) -> tm_types::Result<StreamingMerger<'m, TMerge>> {
+    let m = StreamingMerger::new(
+        model,
+        CostModel::calibrated(),
+        Device::Gpu { batch: 100 },
+        TMerge::new(TMergeConfig::default()),
+        StreamConfig {
+            window_len: 2000,
+            k: 0.05,
+        },
+    )?;
+    Ok(match backend {
+        Some(b) => m.with_backend(b),
+        None => m,
+    })
+}
+
+fn main() -> tm_types::Result<()> {
+    let spec = &pathtrack().videos[1];
+    let video = prepare(spec, TrackerKind::Tracktor);
+    let model = video.model();
+
+    // 5% transient failures + latency spikes everywhere, and the backend
+    // completely unreachable for windows 1 and 2.
+    let plan = FaultPlan::flaky(7).with_hard_down(1, 3);
+    let faulty = FaultyModel::new(&model, plan);
+    println!(
+        "{}: streaming {} frames with a flaky ReID backend (hard down for windows 1-2)",
+        video.name, video.n_frames
+    );
+
+    let mut chaotic = merger(&model, Some(&faulty))?;
+    let mut arrived = 0;
+    while arrived < video.n_frames {
+        arrived = (arrived + 300).min(video.n_frames);
+        for d in chaotic.advance(&video.tracks, arrived)? {
+            println!(
+                "  [frame {arrived:>5}] window {} ({:?}): {} pairs, {} candidates",
+                d.window.index,
+                d.mode,
+                d.n_pairs,
+                d.candidates.len()
+            );
+        }
+    }
+    for d in chaotic.finish(&video.tracks, video.n_frames)? {
+        println!(
+            "  [flush     ] window {} ({:?}): {} pairs, {} candidates",
+            d.window.index,
+            d.mode,
+            d.n_pairs,
+            d.candidates.len()
+        );
+    }
+    let report = chaotic.robustness();
+    println!(
+        "\nrobustness: {} retries absorbed, {} backend faults, breaker tripped {}x,\n\
+         {} windows degraded, {} re-verified after recovery",
+        report.retries,
+        report.backend_faults,
+        report.breaker_trips,
+        report.degraded_windows,
+        report.reverified_windows
+    );
+
+    // Every degraded window was re-scored with real ReID once the backend
+    // came back, so the committed result matches a run with no faults.
+    let mut clean = merger(&model, None)?;
+    clean.advance(&video.tracks, video.n_frames)?;
+    clean.finish(&video.tracks, video.n_frames)?;
+    println!(
+        "final mapping equals the fault-free run: {}",
+        chaotic.mapping() == clean.mapping()
+    );
+
+    // Kill the ingester mid-outage and resume from its checkpoint.
+    let bytes = {
+        let mut first = merger(&model, Some(&faulty))?;
+        first.advance(&video.tracks, 3_000)?;
+        first.checkpoint()
+    };
+    println!(
+        "\nkilled at frame 3000 mid-outage; checkpoint is {} bytes",
+        bytes.len()
+    );
+    let mut resumed = StreamingMerger::resume(
+        &model,
+        CostModel::calibrated(),
+        Device::Gpu { batch: 100 },
+        TMerge::new(TMergeConfig::default()),
+        &bytes,
+    )?
+    .with_backend(&faulty);
+    resumed.advance(&video.tracks, video.n_frames)?;
+    resumed.finish(&video.tracks, video.n_frames)?;
+    let identical = resumed.decisions() == chaotic.decisions()
+        && resumed.mapping() == chaotic.mapping()
+        && resumed.elapsed_ms().to_bits() == chaotic.elapsed_ms().to_bits();
+    println!("resumed run is byte-identical to the uninterrupted one: {identical}");
+    assert!(
+        identical,
+        "checkpoint/resume must reproduce the run exactly"
+    );
+
+    let degraded = chaotic
+        .decisions()
+        .iter()
+        .filter(|d| d.mode == DecisionMode::Degraded)
+        .count();
+    println!(
+        "\naccepted {} merges in {:.1}s simulated ({} of {} windows served degraded)",
+        chaotic.accepted().len(),
+        chaotic.elapsed_ms() / 1000.0,
+        degraded,
+        chaotic.decisions().len()
+    );
+    Ok(())
+}

@@ -9,7 +9,7 @@
 use tmerge::core::{StreamConfig, StreamingMerger, TMerge, TMergeConfig};
 use tmerge::prelude::*;
 
-fn main() {
+fn main() -> tm_types::Result<()> {
     // A two-minute PathTrack-like feed, tracked by Tracktor.
     let spec = &pathtrack().videos[1];
     let video = prepare(spec, TrackerKind::Tracktor);
@@ -41,7 +41,7 @@ fn main() {
     let mut arrived = 0;
     while arrived < video.n_frames {
         arrived = (arrived + 300).min(video.n_frames);
-        for d in merger.advance(&video.tracks, arrived) {
+        for d in merger.advance(&video.tracks, arrived)? {
             println!(
                 "  [frame {arrived:>5}] window {} ({}..{}): {} pairs examined, {} merges: {:?}",
                 d.window.index,
@@ -53,7 +53,7 @@ fn main() {
             );
         }
     }
-    for d in merger.finish(&video.tracks, video.n_frames) {
+    for d in merger.finish(&video.tracks, video.n_frames)? {
         println!(
             "  [flush     ] window {}: {} pairs, {} merges",
             d.window.index,
@@ -80,4 +80,5 @@ fn main() {
         truth.len(),
         recall(merger.accepted().iter(), &truth)
     );
+    Ok(())
 }

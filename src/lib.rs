@@ -52,6 +52,7 @@
 //! assert!(report.merged.len() < tracks.len());
 //! ```
 
+pub use tm_chaos as chaos;
 pub use tm_core as core;
 pub use tm_datasets as datasets;
 pub use tm_detect as detect;

@@ -1,0 +1,207 @@
+//! Mini working criterion: times closures with `Instant` and prints
+//! median-of-samples results. API-compatible with the subset this
+//! workspace's benches use; no statistics, plots, or CLI filtering beyond
+//! substring matching on argv.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Self {
+            filter,
+            sample_size: 20,
+        }
+    }
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: aim for ~2ms per sample.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let iters =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        self.iters_per_sample = iters;
+        for _ in 0..self.samples.capacity() {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.samples.is_empty() {
+        return;
+    }
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / b.iters_per_sample as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let lo = per_iter[0];
+    let hi = per_iter[per_iter.len() - 1];
+    println!(
+        "{:<44} time: [{} {} {}]",
+        name,
+        fmt_time(lo),
+        fmt_time(median),
+        fmt_time(hi)
+    );
+}
+
+fn fmt_time(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.2} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.2} s", s)
+    }
+}
+
+impl Criterion {
+    fn run_one(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        if let Some(flt) = &self.filter {
+            if !name.contains(flt.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        report(name, &b);
+    }
+
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let full = format!("{}/{}", self.name, id);
+        self.c.run_one(&full, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.c.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {
+        self.c.sample_size = 20;
+    }
+}
+
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        Self {
+            repr: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        Self {
+            repr: format!("{param}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            repr: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { repr: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}

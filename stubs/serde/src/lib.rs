@@ -1,0 +1,18 @@
+//! Typecheck-only serde stub: blanket-implemented marker traits.
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+pub mod ser {
+    pub use super::Serialize;
+}

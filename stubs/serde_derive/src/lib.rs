@@ -1,0 +1,12 @@
+//! No-op derive stubs: real impls come from serde's blanket impls.
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

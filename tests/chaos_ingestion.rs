@@ -1,0 +1,366 @@
+//! Chaos-hardened ingestion: the acceptance suite for deterministic fault
+//! injection, retry/backoff, degraded-mode merging, and checkpoint/resume.
+//!
+//! Everything here runs against `tm-chaos` fault plans, which are pure
+//! hashes of `(seed, epoch, box, attempt)` — the same plan produces the
+//! identical fault sequence on every run, so each test is reproducible
+//! bit for bit.
+
+use tmerge::chaos::stream::regressing_watermarks;
+use tmerge::chaos::{FaultPlan, FaultyModel, StreamFaults};
+use tmerge::core::{
+    run_pipeline, run_pipeline_with_backend, DecisionMode, PipelineConfig, RobustnessConfig,
+    RobustnessReport, SelectorKind, StreamConfig, StreamingMerger, TMerge, TMergeConfig,
+};
+use tmerge::reid::{AppearanceConfig, AppearanceModel, CostModel, Device};
+use tmerge::types::{
+    ids::classes, BBox, FrameIdx, GtObjectId, TmError, Track, TrackBox, TrackId, TrackSet,
+};
+
+/// Total length of the synthetic feed, frames.
+const N_FRAMES: u64 = 700;
+/// Window length `L`; windows advance every `L/2 = 100` frames.
+const WINDOW_LEN: u64 = 200;
+
+fn track(id: u64, actor: u64, start: u64, n: usize, x0: f64) -> Track {
+    Track::with_boxes(
+        TrackId(id),
+        classes::PEDESTRIAN,
+        (0..n)
+            .map(|i| {
+                TrackBox::new(
+                    FrameIdx(start + i as u64),
+                    BBox::new(x0 + i as f64 * 5.0, 100.0, 40.0, 80.0),
+                )
+                .with_provenance(GtObjectId(actor))
+            })
+            .collect(),
+    )
+}
+
+/// Fragmented tracker output spanning seven windows of `L = 200`, with
+/// admissible pairs in every full window: three long "background" tracks
+/// bridge the windows while three actors fragment mid-feed.
+fn fixture() -> (AppearanceModel, TrackSet) {
+    let model = AppearanceModel::new(AppearanceConfig::default());
+    let tracks = TrackSet::from_tracks(vec![
+        track(1, 10, 0, 30, 0.0),
+        track(2, 10, 80, 30, 160.0), // fragment of actor 10
+        track(3, 11, 0, 300, 400.0),
+        track(4, 12, 100, 300, 800.0),
+        track(5, 13, 250, 60, 1200.0),
+        track(6, 13, 330, 40, 1360.0), // fragment of actor 13
+        track(7, 14, 420, 60, 0.0),
+        track(8, 14, 500, 50, 160.0), // fragment of actor 14
+        track(9, 15, 350, 300, 400.0),
+    ]);
+    (model, tracks)
+}
+
+fn selector() -> TMerge {
+    TMerge::new(TMergeConfig {
+        tau_max: 1_500,
+        seed: 4,
+        ..TMergeConfig::default()
+    })
+}
+
+fn stream_config() -> StreamConfig {
+    StreamConfig {
+        window_len: WINDOW_LEN,
+        k: 0.2,
+    }
+}
+
+fn pipeline_config() -> PipelineConfig {
+    PipelineConfig {
+        window_len: WINDOW_LEN,
+        k: 0.2,
+        selector: SelectorKind::TMerge(TMergeConfig {
+            tau_max: 1_500,
+            seed: 4,
+            ..TMergeConfig::default()
+        }),
+        device: Device::Cpu,
+        cost: CostModel::calibrated(),
+    }
+}
+
+fn merger(model: &AppearanceModel) -> StreamingMerger<'_, TMerge> {
+    StreamingMerger::new(
+        model,
+        CostModel::calibrated(),
+        Device::Cpu,
+        selector(),
+        stream_config(),
+    )
+    .unwrap()
+}
+
+fn sorted_ids(tracks: &TrackSet) -> Vec<u64> {
+    let mut ids: Vec<u64> = tracks.iter().map(|t| t.id.get()).collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// Acceptance: an all-zero fault plan must be bit-for-bit transparent in
+/// the offline pipeline — same candidates, same merges, same simulated
+/// clock reading to the bit, and all robustness counters zero.
+#[test]
+fn zero_fault_plan_is_byte_identical_offline() {
+    let (model, tracks) = fixture();
+    let config = pipeline_config();
+
+    let plain = run_pipeline(&tracks, N_FRAMES, &model, &config, None).unwrap();
+    let wrapper = FaultyModel::new(&model, FaultPlan::none());
+    let wrapped = run_pipeline_with_backend(
+        &tracks,
+        N_FRAMES,
+        &model,
+        &config,
+        None,
+        &wrapper,
+        &RobustnessConfig::default(),
+    )
+    .unwrap();
+
+    assert_eq!(plain.candidates, wrapped.candidates);
+    assert_eq!(plain.accepted, wrapped.accepted);
+    assert_eq!(plain.n_pairs, wrapped.n_pairs);
+    assert_eq!(plain.distance_evals, wrapped.distance_evals);
+    assert_eq!(plain.stats, wrapped.stats);
+    assert_eq!(
+        plain.elapsed_ms.to_bits(),
+        wrapped.elapsed_ms.to_bits(),
+        "simulated clock must agree to the bit"
+    );
+    assert_eq!(sorted_ids(&plain.merged), sorted_ids(&wrapped.merged));
+    assert_eq!(wrapped.robustness, RobustnessReport::default());
+    assert!(
+        !plain.accepted.is_empty(),
+        "the fixture should contain mergeable fragments"
+    );
+}
+
+/// Acceptance: the same transparency holds for the streaming merger.
+#[test]
+fn zero_fault_plan_is_byte_identical_streaming() {
+    let (model, tracks) = fixture();
+    let wrapper = FaultyModel::new(&model, FaultPlan::none());
+
+    let mut plain = merger(&model);
+    let mut wrapped = merger(&model).with_backend(&wrapper);
+    for frames in [250, 480, N_FRAMES] {
+        plain.advance(&tracks, frames).unwrap();
+        wrapped.advance(&tracks, frames).unwrap();
+    }
+    plain.finish(&tracks, N_FRAMES).unwrap();
+    wrapped.finish(&tracks, N_FRAMES).unwrap();
+
+    assert_eq!(plain.decisions(), wrapped.decisions());
+    assert_eq!(plain.accepted(), wrapped.accepted());
+    assert_eq!(plain.elapsed_ms().to_bits(), wrapped.elapsed_ms().to_bits());
+    assert_eq!(plain.mapping(), wrapped.mapping());
+    assert_eq!(wrapped.robustness(), RobustnessReport::default());
+}
+
+/// A flaky backend (transient failures, latency spikes, corrupt features)
+/// is absorbed by retry/backoff without a panic, and two runs of the same
+/// plan are identical down to the simulated clock bits.
+#[test]
+fn flaky_backend_is_survivable_and_deterministic() {
+    let (model, tracks) = fixture();
+    let config = pipeline_config();
+    let robustness = RobustnessConfig::new();
+
+    let run = || {
+        let wrapper = FaultyModel::new(&model, FaultPlan::flaky(7));
+        run_pipeline_with_backend(
+            &tracks,
+            N_FRAMES,
+            &model,
+            &config,
+            None,
+            &wrapper,
+            &robustness,
+        )
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+
+    assert_eq!(a.candidates, b.candidates);
+    assert_eq!(a.accepted, b.accepted);
+    assert_eq!(a.elapsed_ms.to_bits(), b.elapsed_ms.to_bits());
+    assert_eq!(a.robustness, b.robustness);
+    assert!(
+        a.robustness.backend_faults > 0,
+        "a 5% transient failure rate must surface faults: {:?}",
+        a.robustness
+    );
+    assert!(
+        a.robustness.retries > 0,
+        "faults are absorbed by retrying: {:?}",
+        a.robustness
+    );
+}
+
+/// Acceptance: with the ReID backend hard-down for two consecutive windows
+/// the stream completes without panicking, tags exactly those windows
+/// `Degraded`, re-verifies their stashed pairs once the backend recovers,
+/// and converges to the same final mapping as a fault-free run.
+#[test]
+fn hard_down_windows_degrade_then_recover() {
+    let (model, tracks) = fixture();
+    // Windows 2 and 3 (frames 200..500) cannot reach the backend at all.
+    let wrapper = FaultyModel::new(&model, FaultPlan::none().with_hard_down(2, 4));
+
+    let mut faulty = merger(&model).with_backend(&wrapper);
+    for frames in [250, 480, N_FRAMES] {
+        faulty.advance(&tracks, frames).unwrap();
+    }
+    faulty.finish(&tracks, N_FRAMES).unwrap();
+
+    let modes: Vec<(usize, DecisionMode)> = faulty
+        .decisions()
+        .iter()
+        .map(|d| (d.window.index, d.mode))
+        .collect();
+    for (index, mode) in &modes {
+        let expected = if *index == 2 || *index == 3 {
+            DecisionMode::Degraded
+        } else {
+            DecisionMode::Normal
+        };
+        assert_eq!(mode, &expected, "window {index} mode mismatch: {modes:?}");
+    }
+
+    let report = faulty.robustness();
+    assert_eq!(report.degraded_windows, 2, "{report:?}");
+    assert_eq!(report.reverified_windows, 2, "{report:?}");
+    assert!(report.breaker_trips >= 1, "{report:?}");
+    assert!(report.backend_faults > 0, "{report:?}");
+
+    // Degraded windows were re-scored with the real model after recovery,
+    // so the committed merges match a run that never saw a fault.
+    let mut clean = merger(&model);
+    clean.advance(&tracks, N_FRAMES).unwrap();
+    clean.finish(&tracks, N_FRAMES).unwrap();
+    assert_eq!(faulty.accepted(), clean.accepted());
+    assert_eq!(faulty.mapping(), clean.mapping());
+}
+
+/// Acceptance: killing the ingester mid-outage and resuming from its
+/// checkpoint — degraded stash, breaker state, dedup set, simulated clock
+/// and all — reproduces the uninterrupted run byte for byte.
+#[test]
+fn kill_and_resume_is_byte_identical() {
+    let (model, tracks) = fixture();
+    let plan = FaultPlan::none().with_hard_down(2, 4);
+    let wrapper = FaultyModel::new(&model, plan);
+
+    // Reference: one uninterrupted run over the whole feed.
+    let mut full = merger(&model).with_backend(&wrapper);
+    for frames in [250, 420, N_FRAMES] {
+        full.advance(&tracks, frames).unwrap();
+    }
+    full.finish(&tracks, N_FRAMES).unwrap();
+
+    // Crash at frame 420: window 2 has already failed over to degraded
+    // mode, so the checkpoint carries a non-empty stash and a half-open
+    // breaker count.
+    let bytes = {
+        let mut first = merger(&model).with_backend(&wrapper);
+        first.advance(&tracks, 250).unwrap();
+        first.advance(&tracks, 420).unwrap();
+        assert!(
+            first
+                .decisions()
+                .iter()
+                .any(|d| d.mode == DecisionMode::Degraded),
+            "the crash point should be mid-outage"
+        );
+        first.checkpoint()
+        // `first` is dropped here: the process is "killed".
+    };
+
+    let mut resumed = StreamingMerger::resume(
+        &model,
+        CostModel::calibrated(),
+        Device::Cpu,
+        selector(),
+        &bytes,
+    )
+    .unwrap()
+    .with_backend(&wrapper);
+    resumed.advance(&tracks, N_FRAMES).unwrap();
+    resumed.finish(&tracks, N_FRAMES).unwrap();
+
+    assert_eq!(full.decisions(), resumed.decisions());
+    assert_eq!(full.accepted(), resumed.accepted());
+    assert_eq!(full.robustness(), resumed.robustness());
+    assert_eq!(full.elapsed_ms().to_bits(), resumed.elapsed_ms().to_bits());
+    assert_eq!(full.mapping(), resumed.mapping());
+}
+
+/// Corrupt tracker output (non-finite coordinates) is rejected by
+/// validation as a clean typed error, not a downstream panic or NaN
+/// propagation.
+#[test]
+fn corrupt_stream_input_is_a_clean_error() {
+    let (model, tracks) = fixture();
+    let mutated = StreamFaults {
+        corrupt_rate: 0.25,
+        ..StreamFaults::none(3)
+    }
+    .apply(&tracks);
+
+    let mut m = merger(&model);
+    let err = m.advance(&mutated, 250);
+    assert!(
+        matches!(err, Err(TmError::InvalidTrack { .. })),
+        "expected InvalidTrack, got {err:?}"
+    );
+    // The merger itself is still usable with sane input.
+    m.advance(&tracks, 250).unwrap();
+}
+
+/// A feed whose watermarks occasionally regress (out-of-order delivery)
+/// produces clean `FrameRegression` errors on the bad ticks and the same
+/// final result as an orderly feed on the good ones.
+#[test]
+fn regressing_watermarks_are_rejected_without_corrupting_state() {
+    let (model, tracks) = fixture();
+    let ticks = regressing_watermarks(5, N_FRAMES, 50, 0.4);
+    assert_eq!(*ticks.last().unwrap(), N_FRAMES);
+
+    let mut m = merger(&model);
+    let mut high = 0u64;
+    let mut regressions = 0u32;
+    for t in ticks {
+        match m.advance(&tracks, t) {
+            Ok(_) => {
+                assert!(t >= high, "advance accepted a regressing watermark");
+                high = t;
+            }
+            Err(TmError::FrameRegression { frame, watermark }) => {
+                assert!(frame.get() < watermark.get());
+                assert_eq!(watermark.get(), high);
+                regressions += 1;
+            }
+            Err(e) => panic!("unexpected error: {e:?}"),
+        }
+    }
+    assert!(
+        regressions > 0,
+        "the fault schedule should regress at least once"
+    );
+    m.finish(&tracks, N_FRAMES).unwrap();
+
+    let mut clean = merger(&model);
+    clean.advance(&tracks, N_FRAMES).unwrap();
+    clean.finish(&tracks, N_FRAMES).unwrap();
+    assert_eq!(m.accepted(), clean.accepted());
+    assert_eq!(m.decisions(), clean.decisions());
+    assert_eq!(m.mapping(), clean.mapping());
+}
