@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 use tm_bench::experiments::{sweep::averaged_outcome, ExpConfig};
 use tm_bench::harness::{CurvePoint, DatasetRun};
-use tm_bench::report::{f2, f3, header, save_json, table};
+use tm_bench::report::{f2, f3, header, observed, save_json, table};
 use tm_core::{TMerge, TMergeConfig};
 use tm_datasets::mot17;
 use tm_reid::{CostModel, Device};
@@ -13,34 +13,38 @@ use tm_track::TrackerKind;
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let spec = cfg.limit(mot17(), 7);
-    let ds = DatasetRun::prepare(&spec, TrackerKind::Tracktor, None);
-    let cost = CostModel::calibrated();
-    let mut curves: BTreeMap<String, Vec<CurvePoint>> = BTreeMap::new();
-    for (label, literal) in [
-        ("shrunk sample mean (default)", false),
-        ("S/(S+F) (paper literal)", true),
-    ] {
-        let points: Vec<CurvePoint> = cfg
-            .tau_grid()
-            .into_iter()
-            .map(|tau| {
-                let out = averaged_outcome(&ds, cost, Device::Cpu, cfg.trials, cfg.seed, &|seed| {
-                    Box::new(TMerge::new(TMergeConfig {
-                        tau_max: tau,
-                        seed,
-                        rank_by_bernoulli_posterior: literal,
-                        ..TMergeConfig::default()
-                    }))
-                });
-                CurvePoint {
-                    param: format!("tau={tau}"),
-                    outcome: out,
-                }
-            })
-            .collect();
-        curves.insert(label.to_string(), points);
-    }
+    let curves = observed("ablation_ranking", || {
+        let spec = cfg.limit(mot17(), 7);
+        let ds = DatasetRun::prepare(&spec, TrackerKind::Tracktor, None);
+        let cost = CostModel::calibrated();
+        let mut curves: BTreeMap<String, Vec<CurvePoint>> = BTreeMap::new();
+        for (label, literal) in [
+            ("shrunk sample mean (default)", false),
+            ("S/(S+F) (paper literal)", true),
+        ] {
+            let points: Vec<CurvePoint> = cfg
+                .tau_grid()
+                .into_iter()
+                .map(|tau| {
+                    let out =
+                        averaged_outcome(&ds, cost, Device::Cpu, cfg.trials, cfg.seed, &|seed| {
+                            Box::new(TMerge::new(TMergeConfig {
+                                tau_max: tau,
+                                seed,
+                                rank_by_bernoulli_posterior: literal,
+                                ..TMergeConfig::default()
+                            }))
+                        });
+                    CurvePoint {
+                        param: format!("tau={tau}"),
+                        outcome: out,
+                    }
+                })
+                .collect();
+            curves.insert(label.to_string(), points);
+        }
+        curves
+    });
     header("Ranking ablation: continuous shrunk mean vs literal Bernoulli posterior (MOT-17)");
     for (label, points) in &curves {
         println!("\n{label}:");

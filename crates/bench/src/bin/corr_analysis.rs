@@ -2,11 +2,11 @@
 //! and temporal distances (the empirical basis for BetaInit).
 
 use tm_bench::experiments::{corr::corr_analysis, ExpConfig};
-use tm_bench::report::{f3, header, save_json, table};
+use tm_bench::report::{f3, header, observed, save_json, table};
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let rows_data = corr_analysis(&cfg);
+    let rows_data = observed("corr_analysis", || corr_analysis(&cfg));
     header("Correlation of score with DisS / DisT (paper: DisS >= 0.3, DisT < 0.1)");
     let rows: Vec<Vec<String>> = rows_data
         .iter()

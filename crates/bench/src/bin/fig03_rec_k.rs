@@ -1,11 +1,11 @@
 //! Fig. 3 — REC–K curves of the baseline on the three datasets.
 
 use tm_bench::experiments::{fig03::fig03, ExpConfig};
-use tm_bench::report::{f3, header, save_json, table};
+use tm_bench::report::{f3, header, observed, save_json, table};
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let curves = fig03(&cfg);
+    let curves = observed("fig03_rec_k", || fig03(&cfg));
     header("Fig. 3 — REC-K curves (BL, L=2000)");
     for c in &curves {
         println!("\n[{}]", c.dataset);

@@ -1,11 +1,11 @@
 //! Fig. 4 — baseline runtime and pair count vs. video length.
 
 use tm_bench::experiments::{fig04::fig04, ExpConfig};
-use tm_bench::report::{f2, header, save_json, table};
+use tm_bench::report::{f2, header, observed, save_json, table};
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let points = fig04(&cfg);
+    let points = observed("fig04_bl_scaling", || fig04(&cfg));
     header("Fig. 4 — BL runtime & accumulated pairs vs video length (PathTrack-like, L=2000)");
     let rows: Vec<Vec<String>> = points
         .iter()

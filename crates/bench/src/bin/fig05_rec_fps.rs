@@ -2,11 +2,11 @@
 //! (CPU).
 
 use tm_bench::experiments::{sweep::fig05, ExpConfig};
-use tm_bench::report::{f2, f3, header, save_json, table};
+use tm_bench::report::{f2, f3, header, observed, save_json, table};
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let all = fig05(&cfg);
+    let all = observed("fig05_rec_fps", || fig05(&cfg));
     header("Fig. 5 — REC-FPS curves (CPU)");
     for curves in &all {
         println!("\n[{} / {}]", curves.dataset, curves.device);

@@ -2,11 +2,11 @@
 //! B ∈ {10, 100}, on three datasets.
 
 use tm_bench::experiments::{sweep::fig06, ExpConfig};
-use tm_bench::report::{f2, f3, header, save_json, table};
+use tm_bench::report::{f2, f3, header, observed, save_json, table};
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let all = fig06(&cfg);
+    let all = observed("fig06_rec_fps_batched", || fig06(&cfg));
     header("Fig. 6 — REC-FPS curves of batched algorithms");
     for curves in &all {
         println!("\n[{} / {}]", curves.dataset, curves.device);

@@ -1,11 +1,11 @@
 //! Fig. 7 — Runtime and REC of TMerge-B (B = 10) vs. τ_max on MOT-17.
 
 use tm_bench::experiments::{fig07::fig07, ExpConfig};
-use tm_bench::report::{f2, f3, header, save_json, table};
+use tm_bench::report::{f2, f3, header, observed, save_json, table};
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let result = fig07(&cfg);
+    let result = observed("fig07_tau_sweep", || fig07(&cfg));
     header("Fig. 7 — TMerge-B (B=10) runtime & REC vs tau_max on MOT-17");
     let rows: Vec<Vec<String>> = result
         .points

@@ -1,11 +1,11 @@
 //! Fig. 8 — ablation: TMerge vs. −BetaInit vs. −ULB on MOT-17.
 
 use tm_bench::experiments::{fig08::fig08, ExpConfig};
-use tm_bench::report::{f2, f3, header, save_json, table};
+use tm_bench::report::{f2, f3, header, observed, save_json, table};
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let result = fig08(&cfg);
+    let result = observed("fig08_ablation", || fig08(&cfg));
     header("Fig. 8 — ablation study (MOT-17, CPU)");
     for (variant, points) in &result.curves {
         println!("\n{variant}:");

@@ -1,11 +1,11 @@
 //! Fig. 9 — REC of BL and TMerge vs. window length L on PathTrack.
 
 use tm_bench::experiments::{fig09::fig09, ExpConfig};
-use tm_bench::report::{f3, header, save_json, table};
+use tm_bench::report::{f3, header, observed, save_json, table};
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let points = fig09(&cfg);
+    let points = observed("fig09_window_len", || fig09(&cfg));
     header("Fig. 9 — REC vs window length L (PathTrack, L_max=1000)");
     let rows: Vec<Vec<String>> = points
         .iter()

@@ -1,11 +1,11 @@
 //! Fig. 10 — REC–FPS of TMerge varying the BetaInit threshold thr_S.
 
 use tm_bench::experiments::{fig10::fig10, ExpConfig};
-use tm_bench::report::{f2, f3, header, save_json, table};
+use tm_bench::report::{f2, f3, header, observed, save_json, table};
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let result = fig10(&cfg);
+    let result = observed("fig10_thr_s", || fig10(&cfg));
     header("Fig. 10 — REC-FPS varying thr_S (MOT-17, CPU)");
     for (label, points) in &result.curves {
         println!("\n{label}:");

@@ -1,11 +1,11 @@
 //! Fig. 11 — polyonymous rates of three trackers with and without TMerge.
 
 use tm_bench::experiments::{quality::fig11, ExpConfig};
-use tm_bench::report::{header, save_json, table};
+use tm_bench::report::{header, observed, save_json, table};
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let rows_data = fig11(&cfg);
+    let rows_data = observed("fig11_poly_rate", || fig11(&cfg));
     header("Fig. 11 — polyonymous rate with/without TMerge (MOT-17; lower is better)");
     let rows: Vec<Vec<String>> = rows_data
         .iter()

@@ -1,11 +1,11 @@
 //! Fig. 12 — IDF1/IDP/IDR of Tracktor on MOT-17, with and without TMerge.
 
 use tm_bench::experiments::{quality::fig12, ExpConfig};
-use tm_bench::report::{f3, header, save_json, table};
+use tm_bench::report::{f3, header, observed, save_json, table};
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let r = fig12(&cfg);
+    let r = observed("fig12_id_metrics", || fig12(&cfg));
     header("Fig. 12 — identity metrics with/without TMerge (Tracktor, MOT-17; higher is better)");
     let rows = vec![
         vec![

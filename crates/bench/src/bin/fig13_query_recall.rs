@@ -2,11 +2,11 @@
 //! without TMerge.
 
 use tm_bench::experiments::{quality::fig13, ExpConfig};
-use tm_bench::report::{f3, header, save_json, table};
+use tm_bench::report::{f3, header, observed, save_json, table};
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let r = fig13(&cfg);
+    let r = observed("fig13_query_recall", || fig13(&cfg));
     header("Fig. 13 — query recall with/without TMerge (Tracktor, MOT-17; higher is better)");
     let rows = vec![
         vec![

@@ -1,0 +1,144 @@
+//! Renders the per-experiment metrics snapshots written by
+//! `report::observed` (`results/*.metrics.txt`) as one summary table per
+//! run: counters first, then the simulated-clock span histograms, then the
+//! advisory wall-clock section if present.
+//!
+//! Usage: `cargo run --release -p tm-bench --bin obs_report [name ...]`
+//! With no arguments every `*.metrics.txt` under `results/` is rendered.
+
+use std::fs;
+use std::path::PathBuf;
+use tm_bench::report::{header, results_dir, table};
+
+struct Snapshot {
+    name: String,
+    counters: Vec<(String, String)>,
+    sim: Vec<(String, String, String, String, String)>,
+    wall: Vec<(String, String, String, String, String)>,
+}
+
+/// Parses one `<name>.metrics.txt` body. Unknown lines are skipped so the
+/// format can grow without breaking old reports.
+fn parse(name: &str, body: &str) -> Snapshot {
+    let mut snap = Snapshot {
+        name: name.to_string(),
+        counters: Vec::new(),
+        sim: Vec::new(),
+        wall: Vec::new(),
+    };
+    for line in body.lines() {
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("counter") => {
+                let (Some(key), Some("="), Some(v)) = (parts.next(), parts.next(), parts.next())
+                else {
+                    continue;
+                };
+                snap.counters.push((key.to_string(), v.to_string()));
+            }
+            Some(kind @ ("sim_ms" | "wall_ns")) => {
+                let Some(key) = parts.next() else { continue };
+                let mut fields = ["", "", "", ""].map(String::from);
+                for p in parts {
+                    let Some((k, v)) = p.split_once('=') else {
+                        continue;
+                    };
+                    let slot = match k {
+                        "count" => 0,
+                        "sum" => 1,
+                        "min" => 2,
+                        "max" => 3,
+                        _ => continue,
+                    };
+                    fields[slot] = v.to_string();
+                }
+                let [count, sum, min, max] = fields;
+                let row = (key.to_string(), count, sum, min, max);
+                if kind == "sim_ms" {
+                    snap.sim.push(row);
+                } else {
+                    snap.wall.push(row);
+                }
+            }
+            _ => {}
+        }
+    }
+    snap
+}
+
+fn render(snap: &Snapshot) {
+    header(&format!("{} — metrics", snap.name));
+    if !snap.counters.is_empty() {
+        println!("\ncounters:");
+        let rows: Vec<Vec<String>> = snap
+            .counters
+            .iter()
+            .map(|(k, v)| vec![k.clone(), v.clone()])
+            .collect();
+        table(&["name", "value"], &rows);
+    }
+    if !snap.sim.is_empty() {
+        println!("\nsimulated-clock spans (ms):");
+        let rows: Vec<Vec<String>> = snap
+            .sim
+            .iter()
+            .map(|(k, n, s, lo, hi)| vec![k.clone(), n.clone(), s.clone(), lo.clone(), hi.clone()])
+            .collect();
+        table(&["span", "count", "sum", "min", "max"], &rows);
+    }
+    if !snap.wall.is_empty() {
+        println!("\nwall-clock spans (ns, advisory, run-dependent):");
+        let rows: Vec<Vec<String>> = snap
+            .wall
+            .iter()
+            .map(|(k, n, s, lo, hi)| vec![k.clone(), n.clone(), s.clone(), lo.clone(), hi.clone()])
+            .collect();
+        table(&["span", "count", "sum", "min", "max"], &rows);
+    }
+    if snap.counters.is_empty() && snap.sim.is_empty() && snap.wall.is_empty() {
+        println!("  (empty snapshot)");
+    }
+}
+
+fn main() {
+    let dir = results_dir();
+    let requested: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<PathBuf> = if requested.is_empty() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            eprintln!("no results directory at {}", dir.display());
+            return;
+        };
+        entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.ends_with(".metrics.txt"))
+            })
+            .collect()
+    } else {
+        requested
+            .iter()
+            .map(|n| dir.join(format!("{n}.metrics.txt")))
+            .collect()
+    };
+    paths.sort();
+    if paths.is_empty() {
+        println!(
+            "no *.metrics.txt under {}; run an experiment binary first",
+            dir.display()
+        );
+        return;
+    }
+    for path in paths {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .map(|n| n.trim_end_matches(".metrics.txt").to_string())
+            .unwrap_or_else(|| path.display().to_string());
+        match fs::read_to_string(&path) {
+            Ok(body) => render(&parse(&name, &body)),
+            Err(e) => eprintln!("warning: could not read {}: {e}", path.display()),
+        }
+    }
+}

@@ -2,11 +2,11 @@
 //! O(√(|P|·ln τ / τ)) bound shape.
 
 use tm_bench::experiments::{regret::regret_curve, ExpConfig};
-use tm_bench::report::{f3, header, save_json, table};
+use tm_bench::report::{f3, header, observed, save_json, table};
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let r = regret_curve(&cfg);
+    let r = observed("regret_curve", || regret_curve(&cfg));
     header("Average regret of TMerge (first MOT-17 window)");
     println!("pairs: {}, s_min: {}", r.n_pairs, f3(r.s_min));
     let rows: Vec<Vec<String>> = r

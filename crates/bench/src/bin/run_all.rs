@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 use tm_bench::experiments::{self, ExpConfig};
-use tm_bench::report::{header, save_json};
+use tm_bench::report::{header, observed, save_json};
 
 fn main() {
     let cfg = ExpConfig::from_args();
@@ -23,59 +23,115 @@ fn main() {
     let tasks: Vec<(&str, Task)> = vec![
         (
             "fig03",
-            Box::new(move || save_json("fig03_rec_k", &experiments::fig03::fig03(&cfg))),
+            Box::new(move || {
+                observed("fig03_rec_k", || {
+                    save_json("fig03_rec_k", &experiments::fig03::fig03(&cfg))
+                })
+            }),
         ),
         (
             "fig04",
-            Box::new(move || save_json("fig04_bl_scaling", &experiments::fig04::fig04(&cfg))),
+            Box::new(move || {
+                observed("fig04_bl_scaling", || {
+                    save_json("fig04_bl_scaling", &experiments::fig04::fig04(&cfg))
+                })
+            }),
         ),
         (
             "fig05",
-            Box::new(move || save_json("fig05_rec_fps", &experiments::sweep::fig05(&cfg))),
+            Box::new(move || {
+                observed("fig05_rec_fps", || {
+                    save_json("fig05_rec_fps", &experiments::sweep::fig05(&cfg))
+                })
+            }),
         ),
         (
             "fig06",
-            Box::new(move || save_json("fig06_rec_fps_batched", &experiments::sweep::fig06(&cfg))),
+            Box::new(move || {
+                observed("fig06_rec_fps_batched", || {
+                    save_json("fig06_rec_fps_batched", &experiments::sweep::fig06(&cfg))
+                })
+            }),
         ),
         (
             "table2",
-            Box::new(move || save_json("table2_fps", &experiments::sweep::table2(&cfg))),
+            Box::new(move || {
+                observed("table2_fps", || {
+                    save_json("table2_fps", &experiments::sweep::table2(&cfg))
+                })
+            }),
         ),
         (
             "fig07",
-            Box::new(move || save_json("fig07_tau_sweep", &experiments::fig07::fig07(&cfg))),
+            Box::new(move || {
+                observed("fig07_tau_sweep", || {
+                    save_json("fig07_tau_sweep", &experiments::fig07::fig07(&cfg))
+                })
+            }),
         ),
         (
             "fig08",
-            Box::new(move || save_json("fig08_ablation", &experiments::fig08::fig08(&cfg))),
+            Box::new(move || {
+                observed("fig08_ablation", || {
+                    save_json("fig08_ablation", &experiments::fig08::fig08(&cfg))
+                })
+            }),
         ),
         (
             "fig09",
-            Box::new(move || save_json("fig09_window_len", &experiments::fig09::fig09(&cfg))),
+            Box::new(move || {
+                observed("fig09_window_len", || {
+                    save_json("fig09_window_len", &experiments::fig09::fig09(&cfg))
+                })
+            }),
         ),
         (
             "fig10",
-            Box::new(move || save_json("fig10_thr_s", &experiments::fig10::fig10(&cfg))),
+            Box::new(move || {
+                observed("fig10_thr_s", || {
+                    save_json("fig10_thr_s", &experiments::fig10::fig10(&cfg))
+                })
+            }),
         ),
         (
             "fig11",
-            Box::new(move || save_json("fig11_poly_rate", &experiments::quality::fig11(&cfg))),
+            Box::new(move || {
+                observed("fig11_poly_rate", || {
+                    save_json("fig11_poly_rate", &experiments::quality::fig11(&cfg))
+                })
+            }),
         ),
         (
             "fig12",
-            Box::new(move || save_json("fig12_id_metrics", &experiments::quality::fig12(&cfg))),
+            Box::new(move || {
+                observed("fig12_id_metrics", || {
+                    save_json("fig12_id_metrics", &experiments::quality::fig12(&cfg))
+                })
+            }),
         ),
         (
             "fig13",
-            Box::new(move || save_json("fig13_query_recall", &experiments::quality::fig13(&cfg))),
+            Box::new(move || {
+                observed("fig13_query_recall", || {
+                    save_json("fig13_query_recall", &experiments::quality::fig13(&cfg))
+                })
+            }),
         ),
         (
             "regret",
-            Box::new(move || save_json("regret_curve", &experiments::regret::regret_curve(&cfg))),
+            Box::new(move || {
+                observed("regret_curve", || {
+                    save_json("regret_curve", &experiments::regret::regret_curve(&cfg))
+                })
+            }),
         ),
         (
             "corr",
-            Box::new(move || save_json("corr_analysis", &experiments::corr::corr_analysis(&cfg))),
+            Box::new(move || {
+                observed("corr_analysis", || {
+                    save_json("corr_analysis", &experiments::corr::corr_analysis(&cfg))
+                })
+            }),
         ),
     ];
 

@@ -1,7 +1,7 @@
 //! Table II — FPS of all methods at REC = 0.80 and REC = 0.93 on MOT-17.
 
 use tm_bench::experiments::{sweep::table2, ExpConfig};
-use tm_bench::report::{f2, header, save_json, table};
+use tm_bench::report::{f2, header, observed, save_json, table};
 
 fn fmt(v: Option<f64>) -> String {
     v.map(f2).unwrap_or_else(|| "-".to_string())
@@ -9,7 +9,7 @@ fn fmt(v: Option<f64>) -> String {
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let t = table2(&cfg);
+    let t = observed("table2_fps", || table2(&cfg));
     header("Table II — FPS at REC=0.80 / REC=0.93 on MOT-17");
     println!("\nCPU:");
     let rows: Vec<Vec<String>> = t

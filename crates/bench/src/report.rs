@@ -1,8 +1,15 @@
 //! Result reporting: aligned stdout tables plus JSON files in `results/`.
+//!
+//! Progress and warning lines go through [`tm_obs`] log routing: without a
+//! sink they fall through to stdout/stderr exactly as before; under
+//! [`observed`] (or any recorder scope) they are captured and replayable,
+//! so tests and batch drivers can silence or inspect them.
 
 use serde::Serialize;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use tm_obs::{Level, Obs, Recorder};
 
 /// Directory the experiment binaries write their JSON results to.
 pub fn results_dir() -> PathBuf {
@@ -21,22 +28,55 @@ pub fn results_dir() -> PathBuf {
 
 /// Serializes a result structure to `results/<name>.json`.
 pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let obs = tm_obs::current();
     let path = results_dir().join(format!("{name}.json"));
     match serde_json::to_string_pretty(value) {
         Ok(json) => {
             if let Err(e) = fs::write(&path, json) {
-                eprintln!("warning: could not write {}: {e}", path.display());
+                obs.log(
+                    Level::Warn,
+                    &format!("could not write {}: {e}", path.display()),
+                );
             } else {
-                println!("(saved {})", path.display());
+                obs.log(Level::Info, &format!("(saved {})", path.display()));
             }
         }
-        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+        Err(e) => obs.log(Level::Warn, &format!("could not serialize {name}: {e}")),
     }
 }
 
 /// Prints a header box for an experiment.
 pub fn header(title: &str) {
-    println!("\n=== {title} ===");
+    tm_obs::current().log(Level::Info, &format!("\n=== {title} ==="));
+}
+
+/// Runs an experiment under a fresh per-run [`Recorder`] scope and writes
+/// the deterministic metrics snapshot (plus the advisory wall-clock
+/// report) to `results/<name>.metrics.txt`, next to the experiment's
+/// `results/<name>.json`. Log lines captured during the run are replayed
+/// to the process streams afterwards so CLI output is unchanged.
+pub fn observed<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    let rec = Arc::new(Recorder::new());
+    let out = tm_obs::scoped(Obs::new(rec.clone()), f);
+    for (level, msg) in rec.logs() {
+        match level {
+            Level::Info => println!("{msg}"),
+            Level::Warn => eprintln!("warning: {msg}"),
+        }
+    }
+    let mut body = rec.snapshot();
+    let wall = rec.wall_report();
+    if !wall.is_empty() {
+        body.push_str("# wall-clock below is advisory and run-dependent\n");
+        body.push_str(&wall);
+    }
+    let path = results_dir().join(format!("{name}.metrics.txt"));
+    if let Err(e) = fs::write(&path, body) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("(metrics {})", path.display());
+    }
+    out
 }
 
 /// Prints an aligned table: a header row and data rows.

@@ -27,10 +27,21 @@ impl CandidateSelector for Baseline {
         let before = session.stats().distances;
         let scores = exact_scores(input, session)?;
         let candidates = top_m_by_score(&scores, input.m());
+        let distance_evals = session.stats().distances - before;
+        let obs = session.obs();
+        if obs.enabled() {
+            obs.counter("selector.baseline.selections", 1);
+            obs.counter("selector.baseline.pulls", distance_evals);
+            obs.counter("selector.baseline.accepted", candidates.len() as u64);
+            obs.counter(
+                "selector.baseline.rejected",
+                (scores.len() - candidates.len()) as u64,
+            );
+        }
         Ok(SelectionResult {
             candidates,
             scores: scores.into_iter().collect(),
-            distance_evals: session.stats().distances - before,
+            distance_evals,
             history: Vec::new(),
         })
     }

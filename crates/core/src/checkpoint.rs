@@ -31,7 +31,10 @@ use tm_types::{FrameIdx, Result, TmError, TrackId, TrackPair};
 
 /// `TMCK` in ASCII.
 const MAGIC: u64 = 0x544d_434b;
-const VERSION: u64 = 1;
+/// Version 2 added the observability recorder state (counters and
+/// sim-clock histograms), so a resumed ingester's metrics snapshot is
+/// byte-identical to an uninterrupted run's.
+const VERSION: u64 = 2;
 
 fn corrupt(reason: &str) -> TmError {
     TmError::invalid("checkpoint", reason)
@@ -49,6 +52,17 @@ impl Writer {
 
     fn put_f64(&mut self, v: f64) {
         self.put_u64(v.to_bits());
+    }
+
+    fn put_i128(&mut self, v: i128) {
+        let bits = v as u128;
+        self.put_u64(bits as u64);
+        self.put_u64((bits >> 64) as u64);
+    }
+
+    fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
     }
 
     fn put_bool(&mut self, v: bool) {
@@ -100,6 +114,26 @@ impl<'a> Reader<'a> {
 
     fn take_f64(&mut self) -> Result<f64> {
         Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    fn take_i128(&mut self) -> Result<i128> {
+        let lo = self.take_u64()? as u128;
+        let hi = self.take_u64()? as u128;
+        Ok((lo | (hi << 64)) as i128)
+    }
+
+    fn take_str(&mut self) -> Result<String> {
+        let n = self.take_len()?;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| corrupt("truncated"))?;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| corrupt("truncated"))?;
+        self.pos = end;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("metric name is not UTF-8"))
     }
 
     fn take_bool(&mut self) -> Result<bool> {
@@ -220,6 +254,25 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
             }
         }
 
+        // Observability recorder state: counters and sim-clock histograms
+        // (the deterministic half of the recorder; wall-clock data never
+        // enters the snapshot and is not checkpointed). Empty when the
+        // merger runs with a no-op or non-recording sink.
+        let state = self.obs.recorder().map(|r| r.state()).unwrap_or_default();
+        w.put_u64(state.counters.len() as u64);
+        for (name, v) in &state.counters {
+            w.put_str(name);
+            w.put_u64(*v);
+        }
+        w.put_u64(state.sim.len() as u64);
+        for (name, h) in &state.sim {
+            w.put_str(name);
+            w.put_u64(h.count);
+            w.put_i128(h.sum_ticks);
+            w.put_i128(h.min_ticks);
+            w.put_i128(h.max_ticks);
+        }
+
         w.buf
     }
 
@@ -330,10 +383,41 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
                 Ok((key, feat))
             })
             .collect::<Result<_>>()?;
+
+        let n = r.take_len()?;
+        let rec_counters: Vec<(String, u64)> = (0..n)
+            .map(|_| Ok((r.take_str()?, r.take_u64()?)))
+            .collect::<Result<_>>()?;
+        let n = r.take_len()?;
+        let rec_sim: Vec<(String, tm_obs::SimHist)> = (0..n)
+            .map(|_| {
+                Ok((
+                    r.take_str()?,
+                    tm_obs::SimHist {
+                        count: r.take_u64()?,
+                        sum_ticks: r.take_i128()?,
+                        min_ticks: r.take_i128()?,
+                        max_ticks: r.take_i128()?,
+                    },
+                ))
+            })
+            .collect::<Result<_>>()?;
         r.finish()?;
 
-        let mut session =
-            ReidSession::new(model, session_cost, device).with_retry_policy(robustness.retry);
+        // Reinstate the recorder state into the ambient observer (if it
+        // records): the resumed run's metrics continue from exactly the
+        // aggregates the killed run had accumulated.
+        let obs = tm_obs::current();
+        if let Some(rec) = obs.recorder() {
+            rec.restore(&tm_obs::RecorderState {
+                counters: rec_counters,
+                sim: rec_sim,
+            });
+        }
+
+        let mut session = ReidSession::new(model, session_cost, device)
+            .with_obs(obs.clone())
+            .with_retry_policy(robustness.retry);
         session.restore_snapshot(&SessionSnapshot {
             elapsed_ms,
             stats,
@@ -361,6 +445,7 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
             stash,
             decisions,
             counters,
+            obs,
         })
     }
 }
@@ -447,6 +532,70 @@ mod tests {
             "clock must resume bit-exactly"
         );
         assert_eq!(resumed.mapping(), m.mapping());
+    }
+
+    #[test]
+    fn resume_restores_the_recorder_state() {
+        use std::sync::Arc;
+        let (model, tracks) = fixture();
+        let run_to_end = |m: &mut StreamingMerger<'_, TMerge>| {
+            m.advance(&tracks, 400).unwrap();
+            m.finish(&tracks, 400).unwrap();
+            m.accepted().to_vec()
+        };
+
+        // Uninterrupted run, recorded.
+        let rec_full = Arc::new(tm_obs::Recorder::new());
+        let full = tm_obs::scoped(tm_obs::Obs::new(rec_full.clone()), || {
+            let mut m = StreamingMerger::new(
+                &model,
+                CostModel::calibrated(),
+                Device::Cpu,
+                selector(),
+                config(),
+            )
+            .unwrap();
+            run_to_end(&mut m)
+        });
+
+        // Same run killed after the first advance…
+        let rec_mid = Arc::new(tm_obs::Recorder::new());
+        let bytes = tm_obs::scoped(tm_obs::Obs::new(rec_mid.clone()), || {
+            let mut m = StreamingMerger::new(
+                &model,
+                CostModel::calibrated(),
+                Device::Cpu,
+                selector(),
+                config(),
+            )
+            .unwrap();
+            m.advance(&tracks, 250).unwrap();
+            m.checkpoint()
+        });
+
+        // …and resumed under a brand-new recorder: the checkpoint carries
+        // the counter/histogram state across the kill.
+        let rec_resumed = Arc::new(tm_obs::Recorder::new());
+        let resumed = tm_obs::scoped(tm_obs::Obs::new(rec_resumed.clone()), || {
+            let mut m = StreamingMerger::resume(
+                &model,
+                CostModel::calibrated(),
+                Device::Cpu,
+                selector(),
+                &bytes,
+            )
+            .unwrap();
+            run_to_end(&mut m)
+        });
+
+        assert_eq!(full, resumed);
+        let snap = rec_full.snapshot();
+        assert!(!snap.is_empty());
+        assert_eq!(
+            snap,
+            rec_resumed.snapshot(),
+            "kill-and-resume must reproduce the metrics snapshot byte-for-byte"
+        );
     }
 
     #[test]

@@ -145,6 +145,16 @@ impl CandidateSelector for LowerConfidenceBound {
         let scores: Vec<(TrackPair, f64)> =
             states.iter().map(|st| (st.boxes.pair, st.mean())).collect();
         let candidates = top_m_by_score(&scores, input.m());
+        let obs = session.obs();
+        if obs.enabled() {
+            obs.counter("selector.lcb.selections", 1);
+            obs.counter("selector.lcb.pulls", tau);
+            obs.counter("selector.lcb.accepted", candidates.len() as u64);
+            obs.counter(
+                "selector.lcb.rejected",
+                (scores.len() - candidates.len()) as u64,
+            );
+        }
         Ok(SelectionResult {
             candidates,
             scores: scores.into_iter().collect(),

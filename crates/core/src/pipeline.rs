@@ -24,6 +24,7 @@ use crate::selector::{CandidateSelector, SelectionInput};
 use crate::tmerge::{TMerge, TMergeConfig};
 use crate::union::merge_mapping;
 use std::sync::Arc;
+use tm_obs::{Obs, Value};
 use tm_reid::{
     AppearanceModel, CostModel, Device, InferenceBackend, ReidSession, ReidStats,
     SharedFeatureCache,
@@ -155,6 +156,7 @@ fn reverify_pending(
     slots: &mut [Vec<TrackPair>],
     distance_evals: &mut u64,
     report: &mut RobustnessReport,
+    obs: &Obs,
 ) -> Result<()> {
     let pending = std::mem::take(stash);
     for (i, &wi) in pending.iter().enumerate() {
@@ -168,12 +170,18 @@ fn reverify_pending(
                 *distance_evals += r.distance_evals;
                 slots[wi] = r.candidates;
                 report.reverified_windows += 1;
+                obs.counter("pipeline.windows_reverified", 1);
             }
             Err(e) if e.is_backend() => {
                 // The backend flaked again mid-recovery: the remaining
                 // windows keep their provisional degraded candidates.
                 if breaker.record_failure() {
                     report.breaker_trips += 1;
+                    obs.counter("pipeline.breaker_trips", 1);
+                    obs.event(
+                        "breaker_trip",
+                        &[("window", Value::U64(windows[wi].window.index as u64))],
+                    );
                 }
                 stash.extend(&pending[i..]);
                 return Ok(());
@@ -214,6 +222,8 @@ pub fn run_pipeline_with_backend<'m>(
     robustness: &RobustnessConfig,
 ) -> Result<PipelineReport> {
     tracks.validate()?;
+    let obs = tm_obs::current();
+    let run_span = obs.span("pipeline.run", 0.0);
     let windows = build_window_pairs(tracks, n_frames, config.window_len)?;
     let selector = config.selector.build();
     let mut session = ReidSession::new(model, config.cost, config.device)
@@ -233,10 +243,16 @@ pub fn run_pipeline_with_backend<'m>(
         if wp.pairs.is_empty() {
             continue;
         }
+        let wspan = obs.span("pipeline.window", session.elapsed_ms());
         n_pairs += wp.pairs.len();
         session.set_epoch(wp.window.index as u64);
         if breaker.is_open() && session.backend_available() {
             breaker.close();
+            obs.counter("pipeline.breaker_recoveries", 1);
+            obs.event(
+                "breaker_recovery",
+                &[("window", Value::U64(wp.window.index as u64))],
+            );
             reverify_pending(
                 &mut stash,
                 &windows,
@@ -248,6 +264,7 @@ pub fn run_pipeline_with_backend<'m>(
                 &mut slots,
                 &mut distance_evals,
                 &mut report,
+                &obs,
             )?;
         }
         let input = SelectionInput {
@@ -255,35 +272,71 @@ pub fn run_pipeline_with_backend<'m>(
             tracks,
             k: config.k,
         };
+        let mut degraded = false;
         if breaker.is_open() {
             slots[wi] = degraded_candidates(&wp.pairs, tracks, input.m(), &robustness.degraded)?;
             stash.push(wi);
             report.degraded_windows += 1;
-            continue;
-        }
-        match selector.select(&input, &mut session) {
-            Ok(r) => {
-                breaker.record_success();
-                distance_evals += r.distance_evals;
-                slots[wi] = r.candidates;
-            }
-            Err(e) if e.is_backend() => {
-                if breaker.record_failure() {
-                    report.breaker_trips += 1;
+            degraded = true;
+        } else {
+            match selector.select(&input, &mut session) {
+                Ok(r) => {
+                    breaker.record_success();
+                    distance_evals += r.distance_evals;
+                    slots[wi] = r.candidates;
                 }
-                slots[wi] =
-                    degraded_candidates(&wp.pairs, tracks, input.m(), &robustness.degraded)?;
-                stash.push(wi);
-                report.degraded_windows += 1;
+                Err(e) if e.is_backend() => {
+                    if breaker.record_failure() {
+                        report.breaker_trips += 1;
+                        obs.counter("pipeline.breaker_trips", 1);
+                        obs.event(
+                            "breaker_trip",
+                            &[("window", Value::U64(wp.window.index as u64))],
+                        );
+                    }
+                    slots[wi] =
+                        degraded_candidates(&wp.pairs, tracks, input.m(), &robustness.degraded)?;
+                    stash.push(wi);
+                    report.degraded_windows += 1;
+                    degraded = true;
+                }
+                Err(e) => return Err(e),
             }
-            Err(e) => return Err(e),
         }
+        if obs.enabled() {
+            obs.counter("pipeline.windows", 1);
+            obs.counter("pipeline.pairs", wp.pairs.len() as u64);
+            obs.counter("pipeline.candidates", slots[wi].len() as u64);
+            if degraded {
+                obs.counter("pipeline.windows_degraded", 1);
+            }
+            obs.event(
+                "window",
+                &[
+                    ("id", Value::U64(wp.window.index as u64)),
+                    ("pairs", Value::U64(wp.pairs.len() as u64)),
+                    ("candidates", Value::U64(slots[wi].len() as u64)),
+                    (
+                        "mode",
+                        Value::Str(if degraded { "degraded" } else { "normal" }),
+                    ),
+                ],
+            );
+        }
+        wspan.finish(session.elapsed_ms());
     }
 
     // End-of-video recovery attempt for whatever is still provisional.
     if !stash.is_empty() {
         session.set_epoch(windows.len() as u64);
         if session.backend_available() {
+            if breaker.is_open() {
+                obs.counter("pipeline.breaker_recoveries", 1);
+                obs.event(
+                    "breaker_recovery",
+                    &[("window", Value::U64(windows.len() as u64))],
+                );
+            }
             breaker.close();
             reverify_pending(
                 &mut stash,
@@ -296,6 +349,7 @@ pub fn run_pipeline_with_backend<'m>(
                 &mut slots,
                 &mut distance_evals,
                 &mut report,
+                &obs,
             )?;
         }
     }
@@ -311,6 +365,7 @@ pub fn run_pipeline_with_backend<'m>(
     let stats = session.stats();
     report.retries = stats.retries;
     report.backend_faults = stats.backend_faults;
+    run_span.finish(session.elapsed_ms());
     Ok(PipelineReport {
         merged,
         candidates,
@@ -364,14 +419,24 @@ pub fn run_pipeline_parallel(
     verifier: Option<&dyn Fn(&TrackPair) -> bool>,
 ) -> Result<PipelineReport> {
     tracks.validate()?;
+    let obs = tm_obs::current();
+    let run_span = obs.span("pipeline.run", 0.0);
     let windows = build_window_pairs(tracks, n_frames, config.window_len)?;
     let selector = config.selector.build();
     let cache = Arc::new(SharedFeatureCache::new());
 
+    // Per-window counters fan out with the windows; the recorder's
+    // aggregates are commutative, so these counts (windows, pairs,
+    // candidates) are identical at any thread count. The *session* cache
+    // counters are not: which racer scores a shared-cache hit is
+    // scheduling-dependent, which is why deterministic snapshot tests pin
+    // private-session runs, not this entry point.
     let outcomes = tm_par::par_map(&windows, |wp| {
         if wp.pairs.is_empty() {
             return None;
         }
+        let obs = tm_obs::current();
+        let wspan = obs.span("pipeline.window", 0.0);
         let mut session =
             ReidSession::with_shared_cache(model, config.cost, config.device, Arc::clone(&cache));
         let input = SelectionInput {
@@ -379,17 +444,21 @@ pub fn run_pipeline_parallel(
             tracks,
             k: config.k,
         };
-        Some(
-            selector
-                .select(&input, &mut session)
-                .map(|result| WindowOutcome {
-                    candidates: result.candidates,
-                    n_pairs: wp.pairs.len(),
-                    distance_evals: result.distance_evals,
-                    elapsed_ms: session.elapsed_ms(),
-                    stats: session.stats(),
-                }),
-        )
+        Some(selector.select(&input, &mut session).map(|result| {
+            if obs.enabled() {
+                obs.counter("pipeline.windows", 1);
+                obs.counter("pipeline.pairs", wp.pairs.len() as u64);
+                obs.counter("pipeline.candidates", result.candidates.len() as u64);
+            }
+            wspan.finish(session.elapsed_ms());
+            WindowOutcome {
+                candidates: result.candidates,
+                n_pairs: wp.pairs.len(),
+                distance_evals: result.distance_evals,
+                elapsed_ms: session.elapsed_ms(),
+                stats: session.stats(),
+            }
+        }))
     });
 
     // Window-ordered fold: identical aggregation order to the serial walk.
@@ -419,6 +488,7 @@ pub fn run_pipeline_parallel(
     let mapping = merge_mapping(&accepted);
     let merged = tracks.relabeled(&mapping);
 
+    run_span.finish(elapsed_ms);
     Ok(PipelineReport {
         merged,
         candidates,

@@ -98,10 +98,21 @@ impl CandidateSelector for ProportionalSampling {
         }
 
         let candidates = top_m_by_score(&scores, input.m());
+        let distance_evals = session.stats().distances - before;
+        let obs = session.obs();
+        if obs.enabled() {
+            obs.counter("selector.ps.selections", 1);
+            obs.counter("selector.ps.pulls", distance_evals);
+            obs.counter("selector.ps.accepted", candidates.len() as u64);
+            obs.counter(
+                "selector.ps.rejected",
+                (scores.len() - candidates.len()) as u64,
+            );
+        }
         Ok(SelectionResult {
             candidates,
             scores: scores.into_iter().collect(),
-            distance_evals: session.stats().distances - before,
+            distance_evals,
             history: Vec::new(),
         })
     }

@@ -32,6 +32,7 @@ use crate::selector::{CandidateSelector, SelectionInput};
 use crate::union::UnionFind;
 use crate::window::Window;
 use std::collections::{BTreeSet, HashMap};
+use tm_obs::{Obs, Value};
 use tm_reid::{AppearanceModel, InferenceBackend, ReidSession};
 use tm_types::{FrameIdx, Result, TmError, TrackId, TrackPair, TrackSet};
 
@@ -104,6 +105,8 @@ pub struct StreamingMerger<'m, S> {
     /// Degraded/re-verified/breaker counters (retry counters live on the
     /// session's stats).
     pub(crate) counters: RobustnessReport,
+    /// Observability sink for window lifecycle events (see `tm-obs`).
+    pub(crate) obs: Obs,
 }
 
 impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
@@ -135,6 +138,7 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
             stash: Vec::new(),
             decisions: Vec::new(),
             counters: RobustnessReport::default(),
+            obs: tm_obs::current(),
         })
     }
 
@@ -143,6 +147,15 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
     /// itself — the fault path is never taken.
     pub fn with_backend(mut self, backend: &'m dyn InferenceBackend) -> Self {
         self.session = self.session.with_backend(backend);
+        self
+    }
+
+    /// Routes the merger's window lifecycle — and the session's ReID
+    /// charges — through `obs` instead of the ambient
+    /// [`tm_obs::current`] observer captured at construction.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.session = self.session.with_obs(obs.clone());
+        self.obs = obs;
         self
     }
 
@@ -220,6 +233,13 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
         if !self.stash.is_empty() {
             self.session.set_epoch(self.next_window as u64);
             if self.session.backend_available() {
+                if self.breaker.is_open() {
+                    self.obs.counter("pipeline.breaker_recoveries", 1);
+                    self.obs.event(
+                        "breaker_recovery",
+                        &[("window", Value::U64(self.next_window as u64))],
+                    );
+                }
                 self.breaker.close();
                 self.reverify_stash(tracks)?;
             }
@@ -228,11 +248,17 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
     }
 
     fn process_window(&mut self, tracks: &TrackSet, w: Window) -> Result<WindowDecision> {
+        let span = self.obs.span("pipeline.window", self.session.elapsed_ms());
         // The window index is the fault epoch: deterministic fault plans
         // address outages to specific windows.
         self.session.set_epoch(w.index as u64);
         if self.breaker.is_open() && self.session.backend_available() {
             self.breaker.close();
+            self.obs.counter("pipeline.breaker_recoveries", 1);
+            self.obs.event(
+                "breaker_recovery",
+                &[("window", Value::U64(w.index as u64))],
+            );
             self.reverify_stash(tracks)?;
         }
         let cur_ids = tracks_in_first_half(tracks, &w);
@@ -283,6 +309,9 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
                 Err(e) if e.is_backend() => {
                     if self.breaker.record_failure() {
                         self.counters.breaker_trips += 1;
+                        self.obs.counter("pipeline.breaker_trips", 1);
+                        self.obs
+                            .event("breaker_trip", &[("window", Value::U64(w.index as u64))]);
                     }
                     (self.degrade(&w, &pairs, tracks)?, DecisionMode::Degraded)
                 }
@@ -301,6 +330,28 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
             candidates,
             mode,
         };
+        if self.obs.enabled() {
+            self.obs.counter("pipeline.windows", 1);
+            self.obs.counter("pipeline.pairs", decision.n_pairs as u64);
+            self.obs
+                .counter("pipeline.candidates", decision.candidates.len() as u64);
+            self.obs.event(
+                "window",
+                &[
+                    ("id", Value::U64(w.index as u64)),
+                    ("pairs", Value::U64(decision.n_pairs as u64)),
+                    ("candidates", Value::U64(decision.candidates.len() as u64)),
+                    (
+                        "mode",
+                        Value::Str(match decision.mode {
+                            DecisionMode::Normal => "normal",
+                            DecisionMode::Degraded => "degraded",
+                        }),
+                    ),
+                ],
+            );
+        }
+        span.finish(self.session.elapsed_ms());
         self.decisions.push(decision.clone());
         Ok(decision)
     }
@@ -325,6 +376,7 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
             provisional: provisional.clone(),
         });
         self.counters.degraded_windows += 1;
+        self.obs.counter("pipeline.windows_degraded", 1);
         Ok(provisional)
     }
 
@@ -348,10 +400,16 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
                         self.merged_ids.push(*p);
                     }
                     self.counters.reverified_windows += 1;
+                    self.obs.counter("pipeline.windows_reverified", 1);
                 }
                 Err(e) if e.is_backend() => {
                     if self.breaker.record_failure() {
                         self.counters.breaker_trips += 1;
+                        self.obs.counter("pipeline.breaker_trips", 1);
+                        self.obs.event(
+                            "breaker_trip",
+                            &[("window", Value::U64(sw.window.index as u64))],
+                        );
                     }
                     self.stash.extend_from_slice(&pending[i..]);
                     return Ok(());
@@ -635,6 +693,34 @@ mod tests {
                 assert!(seen.insert(*p), "pair {p} seen twice");
             }
         }
+    }
+
+    #[test]
+    fn window_lifecycle_reaches_the_recorder() {
+        use std::sync::Arc;
+        let (model, tracks) = fixture();
+        let rec = Arc::new(tm_obs::Recorder::new());
+        let (n_windows, n_candidates) = tm_obs::scoped(tm_obs::Obs::new(rec.clone()), || {
+            let mut m = StreamingMerger::new(
+                &model,
+                CostModel::calibrated(),
+                Device::Cpu,
+                selector(),
+                config(),
+            )
+            .unwrap();
+            m.advance(&tracks, 400).unwrap();
+            m.finish(&tracks, 400).unwrap();
+            (m.decisions().len() as u64, m.accepted().len() as u64)
+        });
+        assert_eq!(rec.counter_value("pipeline.windows"), n_windows);
+        assert_eq!(rec.counter_value("pipeline.candidates"), n_candidates);
+        assert_eq!(rec.counter_value("event.window"), n_windows);
+        let span = rec.sim_hist("pipeline.window").expect("window spans");
+        assert_eq!(span.count, n_windows);
+        // A clean stream trips nothing.
+        assert_eq!(rec.counter_value("pipeline.windows_degraded"), 0);
+        assert_eq!(rec.counter_value("pipeline.breaker_trips"), 0);
     }
 
     #[test]

@@ -265,6 +265,34 @@ impl CandidateSelector for TMerge {
 
         // --- Line 15: top-m by posterior mean. ---
         let candidates = rank_candidates(&arms, m);
+        let obs = session.obs();
+        if obs.enabled() {
+            obs.counter("selector.tmerge.selections", 1);
+            obs.counter("selector.tmerge.rounds", round);
+            obs.counter("selector.tmerge.pulls", tau);
+            let locked = arms.iter().filter(|a| a.locked_in).count() as u64;
+            let pruned = arms.iter().filter(|a| a.pruned_out).count() as u64;
+            obs.counter("selector.tmerge.locked_in", locked);
+            obs.counter("selector.tmerge.pruned_out", pruned);
+            obs.counter("selector.tmerge.accepted", candidates.len() as u64);
+            obs.counter(
+                "selector.tmerge.rejected",
+                (arms.len() - candidates.len()) as u64,
+            );
+            let mean_posterior =
+                arms.iter().map(|a| a.posterior_mean()).sum::<f64>() / arms.len() as f64;
+            obs.event(
+                "tmerge_select",
+                &[
+                    ("pairs", tm_obs::Value::U64(arms.len() as u64)),
+                    ("m", tm_obs::Value::U64(m as u64)),
+                    ("pulls", tm_obs::Value::U64(tau)),
+                    ("locked_in", tm_obs::Value::U64(locked)),
+                    ("pruned_out", tm_obs::Value::U64(pruned)),
+                    ("mean_posterior", tm_obs::Value::F64(mean_posterior)),
+                ],
+            );
+        }
         let scores = arms
             .iter()
             .map(|a| (a.boxes.pair, a.ranking_score()))

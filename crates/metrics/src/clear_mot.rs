@@ -163,6 +163,7 @@ pub fn clear_mot(gt: &TrackSet, pred: &TrackSet, config: ClearMotConfig) -> Clea
         fp_count += pred_matched.iter().filter(|m| !**m).count() as u64;
         correspondences = new_corr;
     }
+    scratch.assign.stats.flush(&tm_obs::current());
 
     let mota = if gt_total == 0 {
         0.0

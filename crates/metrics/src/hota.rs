@@ -89,6 +89,7 @@ pub fn hota_at(gt: &TrackSet, pred: &TrackSet, alpha: f64) -> Hota {
             *pair_matches.entry((gid, tid)).or_insert(0) += 1;
         }
     }
+    scratch.assign.stats.flush(&tm_obs::current());
     let fn_count = total_gt - tp;
     let fp_count = total_pred - tp;
     let det_a = if tp + fn_count + fp_count == 0 {

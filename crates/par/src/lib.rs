@@ -117,17 +117,24 @@ where
 
     // Dynamic scheduling: workers steal the next index off a shared
     // counter, so uneven items (quadratic pairs, long videos) balance.
+    // The caller's observability scope is re-installed inside every worker
+    // so instrumentation in fanned-out code reaches the same sink it would
+    // serially (the Recorder's aggregates are commutative, so this cannot
+    // perturb deterministic snapshots).
+    let obs = tm_obs::current();
     let next = AtomicUsize::new(0);
     let worker = || {
-        let mut local: Vec<(usize, R)> = Vec::new();
-        loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= n {
-                break;
+        tm_obs::scoped(obs.clone(), || {
+            let mut local: Vec<(usize, R)> = Vec::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                local.push((i, f(i, &items[i])));
             }
-            local.push((i, f(i, &items[i])));
-        }
-        local
+            local
+        })
     };
 
     let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
@@ -231,5 +238,17 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn obs_scope_propagates_into_workers() {
+        use std::sync::Arc;
+        let rec = Arc::new(tm_obs::Recorder::new());
+        let obs = tm_obs::Obs::new(rec.clone());
+        let items: Vec<u64> = (0..64).collect();
+        tm_obs::scoped(obs, || {
+            par_for_each(&items, |_| tm_obs::current().counter("par.item", 1));
+        });
+        assert_eq!(rec.counter_value("par.item"), 64);
     }
 }

@@ -44,6 +44,7 @@ use crate::cost::{CostModel, Device, ReidStats, SimClock};
 use crate::feature::Feature;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use tm_obs::Obs;
 use tm_types::{FrameIdx, Result, TmError, TrackBox, TrackId};
 
 /// Identifies one box observation: a (track, frame) pair. Each track has at
@@ -89,6 +90,7 @@ pub struct ReidSession<'m> {
     clock: SimClock,
     cache: CacheBackend,
     stats: ReidStats,
+    obs: Obs,
 }
 
 impl<'m> ReidSession<'m> {
@@ -105,6 +107,7 @@ impl<'m> ReidSession<'m> {
             clock: SimClock::new(),
             cache: CacheBackend::Private(HashMap::new()),
             stats: ReidStats::default(),
+            obs: tm_obs::current(),
         }
     }
 
@@ -127,6 +130,7 @@ impl<'m> ReidSession<'m> {
             clock: SimClock::new(),
             cache: CacheBackend::Shared(cache),
             stats: ReidStats::default(),
+            obs: tm_obs::current(),
         }
     }
 
@@ -142,6 +146,20 @@ impl<'m> ReidSession<'m> {
     pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Overrides the observability handle (builder-style). Constructors
+    /// default to `tm_obs::current()`, so explicit wiring is only needed
+    /// when a session must report to a sink other than the ambient one.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The session's observability handle (selectors instrument their
+    /// decisions through this, so they need no extra plumbing).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The retry policy in force.
@@ -192,12 +210,20 @@ impl<'m> ReidSession<'m> {
     pub fn charge_thompson_scan(&mut self, n_pairs: usize) {
         let ms = self.cost.thompson_scan_cost_ms(n_pairs, self.device);
         self.clock.charge(ms);
+        if self.obs.enabled() {
+            self.obs.counter("selector.thompson_scans", 1);
+            self.obs.record_sim_ms("selector.thompson_scan", ms);
+        }
     }
 
     /// Charges the bookkeeping cost of one LCB scan over `n_pairs` pairs.
     pub fn charge_lcb_scan(&mut self, n_pairs: usize) {
         let ms = self.cost.lcb_scan_cost_ms(n_pairs, self.device);
         self.clock.charge(ms);
+        if self.obs.enabled() {
+            self.obs.counter("selector.lcb_scans", 1);
+            self.obs.record_sim_ms("selector.lcb_scan", ms);
+        }
     }
 
     /// Cache lookup without any charging.
@@ -215,6 +241,7 @@ impl<'m> ReidSession<'m> {
         let key = BoxKey::new(track, tb.frame);
         if let Some(f) = self.cache_get(&key) {
             self.stats.cache_hits += 1;
+            self.obs.counter("reid.cache_hits", 1);
             return f;
         }
         match &mut self.cache {
@@ -232,6 +259,7 @@ impl<'m> ReidSession<'m> {
                 } else {
                     // Another session computed it while we raced: free reuse.
                     self.stats.cache_hits += 1;
+                    self.obs.counter("reid.cache_hits", 1);
                 }
                 f
             }
@@ -249,6 +277,11 @@ impl<'m> ReidSession<'m> {
             self.stats.gpu_rounds += 1;
         }
         self.stats.inferences += n_new as u64;
+        if self.obs.enabled() {
+            self.obs.counter("reid.inference_rounds", 1);
+            self.obs.counter("reid.inferences", n_new as u64);
+            self.obs.record_sim_ms("reid.infer", ms);
+        }
     }
 
     /// Makes sure every key in `misses` (pre-deduplicated cache misses) is
@@ -280,6 +313,7 @@ impl<'m> ReidSession<'m> {
                     }
                 }
                 self.stats.cache_hits += n_reused;
+                self.obs.counter("reid.cache_hits", n_reused);
                 self.charge_inference_round(n_mine);
             }
         }
@@ -343,6 +377,12 @@ impl<'m> ReidSession<'m> {
         let ms = self.cost.distance_cost_ms(pairs.len(), self.device);
         self.clock.charge(ms);
         self.stats.distances += pairs.len() as u64;
+        if self.obs.enabled() {
+            self.obs.counter("reid.distances", pairs.len() as u64);
+            // The per-pair loop below counts a hit for each side.
+            self.obs.counter("reid.cache_hits", 2 * pairs.len() as u64);
+            self.obs.record_sim_ms("reid.distance", ms);
+        }
         let mut out = Vec::with_capacity(pairs.len());
         for ((ta, ba), (tb, bb)) in pairs {
             self.stats.cache_hits += 2;
@@ -412,6 +452,10 @@ impl<'m> ReidSession<'m> {
         let ms = self.cost.distance_cost_ms(n, self.device);
         self.clock.charge(ms);
         self.stats.distances += n as u64;
+        if self.obs.enabled() {
+            self.obs.counter("reid.distances", n as u64);
+            self.obs.record_sim_ms("reid.distance", ms);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -440,11 +484,21 @@ impl<'m> ReidSession<'m> {
                 Err(fault) => fault.reason(),
             };
             self.stats.backend_faults += 1;
+            self.obs.counter("reid.backend_faults", 1);
             if attempt + 1 < max {
                 self.stats.retries += 1;
-                self.clock.charge(self.retry.backoff_ms(attempt));
+                let backoff = self.retry.backoff_ms(attempt);
+                self.clock.charge(backoff);
+                if self.obs.enabled() {
+                    self.obs.counter("reid.retries", 1);
+                    self.obs.record_sim_ms("reid.backoff", backoff);
+                }
             }
         }
+        self.obs.event(
+            "reid_retries_exhausted",
+            &[("attempts", tm_obs::Value::U64(max as u64))],
+        );
         Err(TmError::ReidBackend {
             attempts: max,
             reason: last_reason.to_string(),
@@ -456,6 +510,7 @@ impl<'m> ReidSession<'m> {
         let key = BoxKey::new(track, tb.frame);
         if let Some(f) = self.cache_get(&key) {
             self.stats.cache_hits += 1;
+            self.obs.counter("reid.cache_hits", 1);
             return Ok(f);
         }
         let f = self.try_observe_retry(key, tb)?;
@@ -473,6 +528,7 @@ impl<'m> ReidSession<'m> {
                     self.charge_inference_round(1);
                 } else {
                     self.stats.cache_hits += 1;
+                    self.obs.counter("reid.cache_hits", 1);
                 }
                 Ok(g)
             }
@@ -521,6 +577,7 @@ impl<'m> ReidSession<'m> {
                     }
                 }
                 self.stats.cache_hits += n_reused;
+                self.obs.counter("reid.cache_hits", n_reused);
                 self.charge_inference_round(n_mine);
             }
         }
@@ -648,6 +705,29 @@ mod tests {
         assert_eq!(s.elapsed_ms(), cost_after_first, "cache hit must be free");
         assert_eq!(s.stats().inferences, 1);
         assert_eq!(s.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn observed_session_mirrors_stats_into_the_recorder() {
+        let m = model();
+        let rec = Arc::new(tm_obs::Recorder::new());
+        let mut s = ReidSession::new(&m, CostModel::calibrated(), Device::Cpu)
+            .with_obs(Obs::new(rec.clone()));
+        let b = tb(3, 1);
+        s.feature(TrackId(1), &b);
+        s.feature(TrackId(1), &b);
+        let b2 = tb(4, 2);
+        s.pair_distance((TrackId(1), &b), (TrackId(2), &b2));
+        assert_eq!(rec.counter_value("reid.inferences"), s.stats().inferences);
+        assert_eq!(rec.counter_value("reid.cache_hits"), s.stats().cache_hits);
+        assert_eq!(rec.counter_value("reid.distances"), s.stats().distances);
+        // The sim histogram totals are the quantized clock charges (each
+        // charge is quantized independently, so allow 1 tick per event).
+        let infer = rec.sim_hist("reid.infer").unwrap();
+        let dist = rec.sim_hist("reid.distance").unwrap();
+        let events = (infer.count + dist.count) as i128;
+        let diff = infer.sum_ticks + dist.sum_ticks - tm_obs::ticks(s.elapsed_ms());
+        assert!(diff.abs() <= events, "tick totals drifted: {diff}");
     }
 
     #[test]

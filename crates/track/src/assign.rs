@@ -44,12 +44,47 @@ pub struct Edge {
     pub cost: f64,
 }
 
+/// Cumulative solver statistics, accumulated with plain integer adds on
+/// the scratch (never a sink call per solve — the solvers sit in per-frame
+/// hot loops) and handed to an observer at a batch boundary via
+/// [`AssignStats::flush`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AssignStats {
+    /// Dense [`min_cost_assignment_flat`] solves.
+    pub dense_solves: u64,
+    /// Sparse component-decomposed solves ([`assign_sparse`] family).
+    pub sparse_solves: u64,
+    /// Connected components across all sparse solves.
+    pub components: u64,
+    /// [`iou_threshold_matches`] calls that took the grid-gated path.
+    pub gated_matches: u64,
+    /// [`iou_threshold_matches`] calls that fell back to the dense solve.
+    pub dense_fallbacks: u64,
+}
+
+impl AssignStats {
+    /// Emits the accumulated counts to `obs` and resets them. Call once
+    /// per video / metric computation, not per frame.
+    pub fn flush(&mut self, obs: &tm_obs::Obs) {
+        if obs.enabled() {
+            obs.counter("assign.dense_solves", self.dense_solves);
+            obs.counter("assign.sparse_solves", self.sparse_solves);
+            obs.counter("assign.components", self.components);
+            obs.counter("assign.gated_matches", self.gated_matches);
+            obs.counter("assign.dense_fallbacks", self.dense_fallbacks);
+        }
+        *self = Self::default();
+    }
+}
+
 /// Reusable working memory for the assignment solvers.
 ///
 /// Create one per tracker / metric computation and thread it through the
 /// per-frame loop; after warm-up no solve allocates.
 #[derive(Debug, Clone, Default)]
 pub struct AssignmentScratch {
+    /// Solver statistics since the last [`AssignStats::flush`].
+    pub stats: AssignStats,
     // Kuhn–Munkres buffers (1-indexed; index 0 is the virtual source).
     u: Vec<f64>,
     v: Vec<f64>,
@@ -255,6 +290,7 @@ pub fn min_cost_assignment_flat(
         n_rows * n_cols,
         "flat cost matrix has wrong length"
     );
+    scratch.stats.dense_solves += 1;
     solve_dense(n_rows, n_cols, cost, scratch);
     scratch.row_to_col.clone()
 }
@@ -316,6 +352,7 @@ pub fn assign_sparse_with_fill<'s>(
 
 fn solve_components(n: usize, m: usize, edges: &[Edge], fill: f64, s: &mut AssignmentScratch) {
     s.matches.clear();
+    s.stats.sparse_solves += 1;
     if edges.is_empty() {
         return;
     }
@@ -360,6 +397,7 @@ fn solve_components(n: usize, m: usize, edges: &[Edge], fill: f64, s: &mut Assig
         order.sort_by_key(|&ei| s.comp_of_edge[ei as usize]);
         order
     };
+    s.stats.components += n_comps as u64;
 
     s.row_local.resize(n, 0);
     s.col_local.resize(m, 0);
@@ -617,6 +655,7 @@ pub fn iou_threshold_matches<'s>(
     }
     if !gated {
         // Dense fallback: masked flat matrix, one solve, drop forbidden.
+        s.assign.stats.dense_fallbacks += 1;
         let (n, m) = (rows.len(), cols.len());
         s.dense.clear();
         s.dense.reserve(n * m);
@@ -641,6 +680,7 @@ pub fn iou_threshold_matches<'s>(
         }
         return &s.assign.matches;
     }
+    s.assign.stats.gated_matches += 1;
     s.edges.clear();
     for (r, rb) in rows.iter().enumerate() {
         s.grid.candidates(rb, &mut s.cand);
@@ -718,6 +758,44 @@ mod tests {
         let mut s = AssignmentScratch::new();
         assert!(assign_sparse(4, 4, &[], &mut s).is_empty());
         assert!(assign_sparse(0, 0, &[], &mut s).is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate_and_flush_to_the_recorder() {
+        let mut s = AssignmentScratch::new();
+        min_cost_assignment_flat(&[1.0, 2.0, 3.0, 4.0], 2, 2, &mut s);
+        min_cost_assignment_flat(&[5.0], 1, 1, &mut s);
+        let edges = vec![
+            Edge {
+                row: 0,
+                col: 0,
+                cost: 1.0,
+            },
+            Edge {
+                row: 1,
+                col: 1,
+                cost: 1.0,
+            },
+        ];
+        assign_sparse(2, 2, &edges, &mut s);
+        assert_eq!(s.stats.dense_solves, 2);
+        assert_eq!(s.stats.sparse_solves, 1);
+        assert_eq!(s.stats.components, 2);
+
+        let rec = std::sync::Arc::new(tm_obs::Recorder::new());
+        let obs = tm_obs::Obs::new(rec.clone());
+        s.stats.flush(&obs);
+        assert_eq!(rec.counter_value("assign.dense_solves"), 2);
+        assert_eq!(rec.counter_value("assign.sparse_solves"), 1);
+        assert_eq!(rec.counter_value("assign.components"), 2);
+        assert_eq!(s.stats, AssignStats::default(), "flush must reset");
+
+        // A second flush of the zeroed stats must not mint zero-valued
+        // counter keys (would make snapshots scheduling-dependent).
+        s.stats.flush(&obs);
+        let snap_before = rec.snapshot();
+        s.stats.flush(&obs);
+        assert_eq!(rec.snapshot(), snap_before);
     }
 
     #[test]

@@ -151,6 +151,7 @@ impl Tracker for ByteTrack {
     }
 
     fn finish(&mut self) -> TrackSet {
+        self.scratch.assign.stats.flush(&tm_obs::current());
         self.manager.finish()
     }
 }

@@ -154,6 +154,7 @@ impl Tracker for DeepSort<'_> {
     }
 
     fn finish(&mut self) -> TrackSet {
+        self.scratch.assign.stats.flush(&tm_obs::current());
         self.manager.finish()
     }
 }

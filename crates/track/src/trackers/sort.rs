@@ -88,6 +88,7 @@ impl Tracker for Sort {
     }
 
     fn finish(&mut self) -> TrackSet {
+        self.scratch.assign.stats.flush(&tm_obs::current());
         self.manager.finish()
     }
 }

@@ -142,6 +142,7 @@ impl Tracker for UmaLike<'_> {
     }
 
     fn finish(&mut self) -> TrackSet {
+        self.scratch.assign.stats.flush(&tm_obs::current());
         self.manager.finish()
     }
 }

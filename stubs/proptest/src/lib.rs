@@ -1,5 +1,12 @@
 //! Mini working proptest: enough of the API to compile AND execute this
-//! workspace's property tests (random generation, no shrinking).
+//! workspace's property tests — random generation plus greedy shrinking.
+//!
+//! Shrinking model: [`Strategy::shrink`] proposes simpler candidates for a
+//! failing value, most aggressive first. The `proptest!` runner re-executes
+//! the body on each candidate (panics silenced) and greedily walks to the
+//! first candidate that still fails, repeating until no candidate fails or
+//! a step budget runs out. The minimal counterexample is then reported in
+//! the final panic message.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SampleUniform};
@@ -9,6 +16,57 @@ use rand::{RngExt, SampleUniform};
 #[doc(hidden)]
 pub fn __new_rng(seed: u64) -> StdRng {
     <StdRng as rand::SeedableRng>::seed_from_u64(seed)
+}
+
+/// Cap on greedy shrink steps so a pathological strategy cannot loop the
+/// runner forever (e.g. an f64 halving chain that never reaches its bound).
+const MAX_SHRINK_STEPS: usize = 1024;
+
+/// Drives the greedy shrink loop for `proptest!`. Returns `None` when the
+/// value passes, otherwise the most-shrunk value that still fails.
+///
+/// The first (failing) execution runs with the ambient panic hook so the
+/// original assertion message reaches the user; candidate probes during the
+/// walk are silenced, then the hook is restored.
+#[doc(hidden)]
+pub fn __shrink_failure<S: Strategy, F: Fn(&S::Value)>(
+    strat: &S,
+    run: &F,
+    value: &S::Value,
+) -> Option<S::Value>
+where
+    S::Value: Clone,
+{
+    fn fails<V, F: Fn(&V)>(run: &F, v: &V) -> bool {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(v))).is_err()
+    }
+    if !fails(run, value) {
+        return None;
+    }
+    let old_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut best = value.clone();
+    let mut steps = 0;
+    'walk: while steps < MAX_SHRINK_STEPS {
+        for cand in strat.shrink(&best) {
+            if fails(run, &cand) {
+                best = cand;
+                steps += 1;
+                continue 'walk;
+            }
+        }
+        break;
+    }
+    std::panic::set_hook(old_hook);
+    Some(best)
+}
+
+/// Ties a body closure's parameter type to the strategy's `Value` at the
+/// definition site, so the closure body type-checks (closure signatures are
+/// only inferred from an expected type at the point of definition).
+#[doc(hidden)]
+pub fn __bind_runner<S: Strategy, F: Fn(&S::Value)>(_strat: &S, run: F) -> F {
+    run
 }
 
 #[derive(Debug, Clone)]
@@ -31,6 +89,13 @@ impl Default for ProptestConfig {
 pub trait Strategy {
     type Value: std::fmt::Debug;
     fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Simpler candidates for a failing `value`, most aggressive first.
+    /// Every candidate must stay inside this strategy's domain. The default
+    /// (no candidates) is always sound — it just reports the raw failure.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     fn prop_map<U: std::fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
     where
@@ -72,12 +137,18 @@ impl<T: std::fmt::Debug> Strategy for Box<dyn Strategy<Value = T>> {
     fn generate(&self, rng: &mut StdRng) -> T {
         (**self).generate(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (**self).shrink(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
     fn generate(&self, rng: &mut StdRng) -> S::Value {
         (**self).generate(rng)
+    }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -86,6 +157,7 @@ pub struct Map<S, F> {
     f: F,
 }
 
+// prop_map cannot invert `f`, so mapped strategies keep the empty shrink.
 impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
     type Value = U;
     fn generate(&self, rng: &mut StdRng) -> U {
@@ -121,19 +193,90 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
         }
         panic!("prop_filter rejected 1000 candidates");
     }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        self.inner
+            .shrink(value)
+            .into_iter()
+            .filter(|v| (self.f)(v))
+            .collect()
+    }
 }
 
-impl<T: SampleUniform + std::fmt::Debug + 'static> Strategy for std::ops::Range<T> {
+/// Values that can take large steps toward a range's lower bound.
+/// Backs the shrinkers of the `Range`/`RangeInclusive` strategies.
+pub trait ShrinkToward: Sized {
+    /// Candidates strictly simpler than `value`, all within `[lo, value)`,
+    /// most aggressive first. Empty when `value` is already minimal.
+    fn shrink_toward(lo: &Self, value: &Self) -> Vec<Self>;
+}
+
+macro_rules! impl_shrink_int {
+    ($($t:ty),+) => {$(
+        impl ShrinkToward for $t {
+            fn shrink_toward(lo: &Self, value: &Self) -> Vec<Self> {
+                let (lo, v) = (*lo, *value);
+                if v <= lo {
+                    return Vec::new();
+                }
+                // Jump to the bound, halve the distance, then step by one:
+                // binary-search descent with a linear tail for exactness.
+                let mut out = vec![lo];
+                let mid = lo + (v - lo) / 2;
+                if mid != lo && mid != v {
+                    out.push(mid);
+                }
+                let dec = v - 1;
+                if dec != lo && dec != mid {
+                    out.push(dec);
+                }
+                out
+            }
+        }
+    )+};
+}
+impl_shrink_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_shrink_float {
+    ($($t:ty),+) => {$(
+        impl ShrinkToward for $t {
+            fn shrink_toward(lo: &Self, value: &Self) -> Vec<Self> {
+                let (lo, v) = (*lo, *value);
+                if !(v > lo) {
+                    return Vec::new();
+                }
+                // Bound first, then halve toward it. No unit step exists for
+                // floats; MAX_SHRINK_STEPS bounds the halving chain instead.
+                let mut out = vec![lo];
+                let mid = lo + (v - lo) / 2.0;
+                if mid > lo && mid < v {
+                    out.push(mid);
+                }
+                out
+            }
+        }
+    )+};
+}
+impl_shrink_float!(f32, f64);
+
+impl<T: SampleUniform + ShrinkToward + std::fmt::Debug + 'static> Strategy for std::ops::Range<T> {
     type Value = T;
     fn generate(&self, rng: &mut StdRng) -> T {
         rng.random_range(self.clone())
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_toward(&self.start, value)
+    }
 }
 
-impl<T: SampleUniform + std::fmt::Debug + 'static> Strategy for std::ops::RangeInclusive<T> {
+impl<T: SampleUniform + ShrinkToward + std::fmt::Debug + 'static> Strategy
+    for std::ops::RangeInclusive<T>
+{
     type Value = T;
     fn generate(&self, rng: &mut StdRng) -> T {
         rng.random_range(self.clone())
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_toward(self.start(), value)
     }
 }
 
@@ -149,10 +292,26 @@ impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
 
 macro_rules! impl_tuple_strategy {
     ($($s:ident/$i:tt),+) => {
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut StdRng) -> Self::Value {
                 ($(self.$i.generate(rng),)+)
+            }
+            // One component moves per candidate; the rest stay fixed, so a
+            // candidate that still fails isolates blame to that component.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$i.shrink(&value.$i) {
+                        let mut next = value.clone();
+                        next.$i = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     };
@@ -205,10 +364,15 @@ pub mod collection {
 
     pub trait IntoLenRange {
         fn pick(&self, rng: &mut StdRng) -> usize;
+        /// Smallest admissible length; shrinkers must not go below it.
+        fn min_len(&self) -> usize;
     }
 
     impl IntoLenRange for usize {
         fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+        fn min_len(&self) -> usize {
             *self
         }
     }
@@ -217,11 +381,17 @@ pub mod collection {
         fn pick(&self, rng: &mut StdRng) -> usize {
             rng.random_range(self.clone())
         }
+        fn min_len(&self) -> usize {
+            self.start
+        }
     }
 
     impl IntoLenRange for std::ops::RangeInclusive<usize> {
         fn pick(&self, rng: &mut StdRng) -> usize {
             rng.random_range(self.clone())
+        }
+        fn min_len(&self) -> usize {
+            *self.start()
         }
     }
 
@@ -230,11 +400,44 @@ pub mod collection {
         len: L,
     }
 
-    impl<S: Strategy, L: IntoLenRange> Strategy for VecStrategy<S, L> {
+    impl<S: Strategy, L: IntoLenRange> Strategy for VecStrategy<S, L>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
             let n = self.len.pick(rng);
             (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let n = value.len();
+            let floor = self.len.min_len();
+            let mut out = Vec::new();
+            // Drop contiguous chunks — big bites first, then single
+            // elements — without ever dipping below the length floor.
+            let mut chunk = n / 2;
+            while chunk > 0 {
+                for start in (0..n).step_by(chunk.max(1)) {
+                    let end = (start + chunk).min(n);
+                    if n - (end - start) < floor {
+                        continue;
+                    }
+                    let mut cand = Vec::with_capacity(n - (end - start));
+                    cand.extend_from_slice(&value[..start]);
+                    cand.extend_from_slice(&value[end..]);
+                    out.push(cand);
+                }
+                chunk /= 2;
+            }
+            // Then shrink elements in place, one position per candidate.
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.elem.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 
@@ -250,14 +453,21 @@ pub mod sample {
         options: Vec<T>,
     }
 
-    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+    impl<T: Clone + PartialEq + std::fmt::Debug> Strategy for Select<T> {
         type Value = T;
         fn generate(&self, rng: &mut StdRng) -> T {
             self.options[rng.random_range(0..self.options.len())].clone()
         }
+        // Earlier options are simpler, mirroring upstream proptest.
+        fn shrink(&self, value: &T) -> Vec<T> {
+            match self.options.iter().position(|o| o == value) {
+                Some(i) => self.options[..i].to_vec(),
+                None => Vec::new(),
+            }
+        }
     }
 
-    pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+    pub fn select<T: Clone + PartialEq + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
         Select { options }
     }
 }
@@ -274,11 +484,13 @@ macro_rules! prop_assert_eq {
     ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
 }
 
+// The body runs inside a re-runnable closure (for shrinking), so an
+// assumption failure returns from this case rather than `continue`-ing.
 #[macro_export]
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !($cond) {
-            continue;
+            return;
         }
     };
 }
@@ -301,9 +513,25 @@ macro_rules! proptest {
                 let __cfg: $crate::ProptestConfig = $cfg;
                 let mut __rng =
                     $crate::__new_rng(0x70726f70u64 ^ stringify!($name).len() as u64);
-                for __case in 0..__cfg.cases {
-                    $(let $pat = ($strat).generate(&mut __rng);)+
+                let __strat = ($($strat,)+);
+                let __run = $crate::__bind_runner(&__strat, |__value| {
+                    let ($($pat,)+) = ::std::clone::Clone::clone(__value);
                     $body
+                });
+                for __case in 0..__cfg.cases {
+                    let __value = __strat.generate(&mut __rng);
+                    if let Some(__min) =
+                        $crate::__shrink_failure(&__strat, &__run, &__value)
+                    {
+                        ::std::panic!(
+                            "proptest: {} failed on case {} of {}; \
+                             minimal counterexample: {:?}",
+                            stringify!($name),
+                            __case + 1,
+                            __cfg.cases,
+                            __min,
+                        );
+                    }
                 }
             }
         )+
@@ -315,6 +543,6 @@ pub mod prelude {
     pub use crate::sample;
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, BoxedStrategy, Just,
-        ProptestConfig, Strategy,
+        ProptestConfig, ShrinkToward, Strategy,
     };
 }

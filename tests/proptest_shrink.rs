@@ -1,0 +1,124 @@
+//! Unit tests for the proptest stub's greedy shrinker (stubs/proptest).
+//!
+//! The shrinking contract: `Strategy::shrink` proposes in-domain candidates
+//! most-aggressive-first, and the `__shrink_failure` walk greedily descends
+//! to a locally minimal failing value — for monotone predicates over
+//! integer ranges that minimum is exact.
+
+use proptest::prelude::*;
+
+#[test]
+fn integer_range_shrinks_toward_the_lower_bound() {
+    let strat = 5u64..100;
+    let cands = strat.shrink(&87);
+    assert_eq!(cands[0], 5, "the bound itself is the most aggressive jump");
+    assert!(cands.contains(&46), "midpoint halves the distance");
+    assert!(cands.contains(&86), "unit step makes the walk exact");
+    assert!(cands.iter().all(|&c| (5..87).contains(&c)));
+    assert!(strat.shrink(&5).is_empty(), "the bound is already minimal");
+}
+
+#[test]
+fn float_range_halves_toward_the_lower_bound() {
+    let strat = 1.0f64..64.0;
+    let cands = strat.shrink(&33.0);
+    assert_eq!(cands[0], 1.0);
+    assert!(cands.contains(&17.0));
+    assert!(cands.iter().all(|&c| (1.0..33.0).contains(&c)));
+    assert!(strat.shrink(&1.0).is_empty());
+}
+
+#[test]
+fn signed_range_shrinks_toward_its_start_not_zero() {
+    let strat = -50i64..50;
+    let cands = strat.shrink(&10);
+    assert_eq!(cands[0], -50, "lo is the simplest value in this stub");
+    assert!(cands.iter().all(|&c| (-50..10).contains(&c)));
+}
+
+#[test]
+fn vec_shrink_removes_chunks_and_shrinks_elements() {
+    let strat = proptest::collection::vec(0u64..10, 0..10);
+    let cands = strat.shrink(&vec![1, 2, 3, 4]);
+    assert!(cands.contains(&vec![3, 4]), "front half removed");
+    assert!(cands.contains(&vec![1, 2]), "back half removed");
+    assert!(cands.contains(&vec![2, 3, 4]), "single element removed");
+    assert!(
+        cands.contains(&vec![0, 2, 3, 4]),
+        "elements shrink in place"
+    );
+    assert!(strat.shrink(&vec![]).is_empty());
+}
+
+#[test]
+fn vec_shrink_respects_the_minimum_length() {
+    // `m..=m` pins the length (the rectangular-matrix idiom in
+    // hungarian.rs); removal candidates must not break that invariant.
+    let strat = proptest::collection::vec(0u64..10, 3..=3);
+    let cands = strat.shrink(&vec![5, 6, 7]);
+    assert!(!cands.is_empty(), "element shrinks still apply");
+    assert!(cands.iter().all(|c| c.len() == 3));
+}
+
+#[test]
+fn tuple_shrink_moves_one_component_at_a_time() {
+    let strat = (0u64..100, 0u64..100);
+    let value = (40, 70);
+    for cand in strat.shrink(&value) {
+        let moved = usize::from(cand.0 != value.0) + usize::from(cand.1 != value.1);
+        assert_eq!(moved, 1, "{cand:?} moved {moved} components");
+    }
+}
+
+#[test]
+fn select_shrinks_to_earlier_options_only() {
+    let strat = proptest::sample::select(vec![0.0, 0.25, 0.5, 0.75]);
+    assert_eq!(strat.shrink(&0.5), vec![0.0, 0.25]);
+    assert!(strat.shrink(&0.0).is_empty());
+}
+
+#[test]
+fn filter_shrink_keeps_only_passing_candidates() {
+    let strat = (0u64..100).prop_filter("even", |v| v % 2 == 0);
+    let cands = strat.shrink(&88);
+    assert!(!cands.is_empty());
+    assert!(cands.iter().all(|&c| c % 2 == 0));
+}
+
+#[test]
+fn greedy_walk_finds_the_exact_integer_boundary() {
+    // Property "v < 37" first fails at 37; the walk must land exactly there.
+    let strat = (0u64..1000,);
+    let run = |v: &(u64,)| assert!(v.0 < 37);
+    let min = proptest::__shrink_failure(&strat, &run, &(999,)).expect("999 violates the property");
+    assert_eq!(min.0, 37);
+}
+
+#[test]
+fn greedy_walk_returns_none_for_passing_values() {
+    let strat = (0u64..1000,);
+    let run = |v: &(u64,)| assert!(v.0 < 37);
+    assert!(proptest::__shrink_failure(&strat, &run, &(36,)).is_none());
+}
+
+#[test]
+fn greedy_walk_minimizes_vectors() {
+    // Property "sum < 10": minimal failing vec is the single element 10.
+    let strat = (proptest::collection::vec(0u64..100, 0..10),);
+    let run = |v: &(Vec<u64>,)| assert!(v.0.iter().sum::<u64>() < 10);
+    let min = proptest::__shrink_failure(&strat, &run, &(vec![50, 60, 70],))
+        .expect("the seed vector violates the property");
+    assert_eq!(min.0, vec![10]);
+}
+
+// The macro path itself: shrinking machinery must not disturb passing
+// properties, and `prop_assume` must skip cases without aborting the run.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn macro_still_drives_passing_properties(a in 0u64..50, b in 0u64..50) {
+        prop_assume!(a != b);
+        prop_assert!(a + b < 100);
+        prop_assert_eq!(a.max(b), b.max(a));
+    }
+}
