@@ -1,7 +1,10 @@
 //! The faulty inference backend.
 
 use crate::plan::FaultPlan;
-use tm_reid::{AppearanceModel, Attempt, BackendFault, BackendReply, Feature, InferenceBackend};
+use tm_reid::{
+    AppearanceModel, Attempt, AttemptClass, BackendFault, BackendReply, Feature, InferenceBackend,
+    SplitBackend,
+};
 use tm_types::TrackBox;
 
 /// An [`InferenceBackend`] that runs the real appearance model but fails
@@ -32,8 +35,36 @@ impl<'a> FaultyModel<'a> {
 
 impl InferenceBackend for FaultyModel<'_> {
     fn try_observe(&self, tb: &TrackBox, at: &Attempt) -> BackendReply {
+        // Single source of truth: the classification below IS the fault
+        // decision; only the Clean arm touches the model. Keeping the two
+        // trait impls on one path is what makes the fleet's batching lane
+        // (which answers Clean attempts from a shared cache) provably
+        // bit-identical to this solo backend.
+        match self.classify(at) {
+            AttemptClass::Clean { extra_ms } => BackendReply {
+                outcome: Ok(self.model.observe_track_box(tb)),
+                extra_ms,
+            },
+            AttemptClass::Corrupt { feature, extra_ms } => BackendReply {
+                outcome: Ok(feature),
+                extra_ms,
+            },
+            AttemptClass::Fault { fault, extra_ms } => BackendReply::fault(fault, extra_ms),
+        }
+    }
+
+    fn available(&self, epoch: u64) -> bool {
+        !self.plan.is_hard_down(epoch)
+    }
+}
+
+impl SplitBackend for FaultyModel<'_> {
+    fn classify(&self, at: &Attempt) -> AttemptClass {
         if self.plan.is_hard_down(at.epoch) {
-            return BackendReply::fault(BackendFault::Unavailable, self.plan.fault_latency_ms);
+            return AttemptClass::Fault {
+                fault: BackendFault::Unavailable,
+                extra_ms: self.plan.fault_latency_ms,
+            };
         }
         let spike = if self.plan.spikes(at) {
             self.plan.latency_spike_ms
@@ -41,25 +72,18 @@ impl InferenceBackend for FaultyModel<'_> {
             0.0
         };
         if self.plan.fails_transiently(at) {
-            return BackendReply::fault(
-                BackendFault::Transient("injected transient inference failure"),
-                spike + self.plan.fault_latency_ms,
-            );
+            return AttemptClass::Fault {
+                fault: BackendFault::Transient("injected transient inference failure"),
+                extra_ms: spike + self.plan.fault_latency_ms,
+            };
         }
         if self.plan.corrupts(at) {
-            return BackendReply {
-                outcome: Ok(Feature::from_raw(vec![f64::NAN, f64::NAN])),
+            return AttemptClass::Corrupt {
+                feature: Feature::from_raw(vec![f64::NAN, f64::NAN]),
                 extra_ms: spike,
             };
         }
-        BackendReply {
-            outcome: Ok(self.model.observe_track_box(tb)),
-            extra_ms: spike,
-        }
-    }
-
-    fn available(&self, epoch: u64) -> bool {
-        !self.plan.is_hard_down(epoch)
+        AttemptClass::Clean { extra_ms: spike }
     }
 }
 
@@ -122,6 +146,43 @@ mod tests {
             .outcome
             .expect("corruption is an Ok reply");
         assert!(!f.is_finite());
+    }
+
+    #[test]
+    fn classify_agrees_with_try_observe_on_every_branch() {
+        let m = AppearanceModel::new(AppearanceConfig::default());
+        let mut plan = FaultPlan::flaky(11);
+        // Rates high enough that 400 attempts exercise every branch.
+        plan.transient_failure_rate = 0.25;
+        plan.corrupt_rate = 0.25;
+        plan.latency_spike_rate = 0.25;
+        let faulty = FaultyModel::new(&m, plan.with_hard_down(3, 4));
+        let mut seen = [false; 3];
+        for i in 0..400u64 {
+            let a = at(i % 6, (i % 4) as u32, i + 1, i);
+            let b = tb(i, i % 5);
+            let reply = faulty.try_observe(&b, &a);
+            match faulty.classify(&a) {
+                AttemptClass::Clean { extra_ms } => {
+                    seen[0] = true;
+                    assert_eq!(reply.extra_ms.to_bits(), extra_ms.to_bits());
+                    assert_eq!(reply.outcome.unwrap(), m.observe_track_box(&b));
+                }
+                AttemptClass::Corrupt { feature, extra_ms } => {
+                    seen[1] = true;
+                    assert_eq!(reply.extra_ms.to_bits(), extra_ms.to_bits());
+                    let f = reply.outcome.unwrap();
+                    assert!(!f.is_finite());
+                    assert_eq!(f.as_slice().len(), feature.as_slice().len());
+                }
+                AttemptClass::Fault { fault, extra_ms } => {
+                    seen[2] = true;
+                    assert_eq!(reply.extra_ms.to_bits(), extra_ms.to_bits());
+                    assert_eq!(reply.outcome.unwrap_err(), fault);
+                }
+            }
+        }
+        assert_eq!(seen, [true; 3], "all attempt classes exercised");
     }
 
     #[test]

@@ -33,20 +33,21 @@ use tm_types::{FrameIdx, Result, TmError, TrackId, TrackPair};
 const MAGIC: u64 = 0x544d_434b;
 /// Version 2 added the observability recorder state (counters and
 /// sim-clock histograms), so a resumed ingester's metrics snapshot is
-/// byte-identical to an uninterrupted run's.
-const VERSION: u64 = 2;
+/// byte-identical to an uninterrupted run's. Version 3 added the stream
+/// id, so a resumed fleet shard keeps its per-stream identity.
+const VERSION: u64 = 3;
 
 fn corrupt(reason: &str) -> TmError {
     TmError::invalid("checkpoint", reason)
 }
 
 #[derive(Default)]
-struct Writer {
+pub(crate) struct Writer {
     buf: Vec<u8>,
 }
 
 impl Writer {
-    fn put_u64(&mut self, v: u64) {
+    pub(crate) fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
@@ -87,19 +88,30 @@ impl Writer {
         self.put_u64(w.end.get());
         self.put_u64(w.half_end.get());
     }
+
+    /// Appends a length-prefixed opaque blob (a nested checkpoint in the
+    /// fleet envelope).
+    pub(crate) fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u64(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
 }
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
-    fn take_u64(&mut self) -> Result<u64> {
+    pub(crate) fn take_u64(&mut self) -> Result<u64> {
         let end = self
             .pos
             .checked_add(8)
@@ -174,7 +186,22 @@ impl<'a> Reader<'a> {
         })
     }
 
-    fn finish(&self) -> Result<()> {
+    /// Takes a length-prefixed opaque blob written by [`Writer::put_bytes`].
+    pub(crate) fn take_bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.take_len()?;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| corrupt("truncated"))?;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| corrupt("truncated"))?;
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    pub(crate) fn finish(&self) -> Result<()> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
@@ -193,6 +220,7 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
 
         w.put_u64(self.config.window_len);
         w.put_f64(self.config.k);
+        w.put_u64(self.stream_id);
 
         w.put_u64(self.robustness.retry.max_attempts as u64);
         w.put_f64(self.robustness.retry.base_backoff_ms);
@@ -302,6 +330,7 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
             window_len: r.take_u64()?,
             k: r.take_f64()?,
         };
+        let stream_id = r.take_u64()?;
         let robustness = RobustnessConfig {
             retry: RetryPolicy {
                 max_attempts: r.take_u64()? as u32,
@@ -432,6 +461,7 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
 
         Ok(StreamingMerger {
             config,
+            stream_id,
             robustness,
             selector,
             session,

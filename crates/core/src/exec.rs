@@ -1,0 +1,212 @@
+//! Shared window-execution plumbing.
+//!
+//! The three pipeline entry points — the serial fault-tolerant walk
+//! (`crate::run_pipeline_with_backend`), the per-window parallel walk
+//! (`crate::run_pipeline_parallel`) and the online
+//! [`crate::StreamingMerger`] — plus the multi-stream fleet
+//! (`crate::fleet`) all execute the same window protocol: build a session,
+//! select (or degrade behind the breaker), and emit the same observability
+//! signals. This module is the single home of that protocol so the paths
+//! cannot drift; `crates/core/tests/path_equivalence.rs` pins all of them
+//! equal on a fixture video.
+//!
+//! Every helper preserves the exact counter/event emission order of the
+//! code it replaced — the recorder's aggregates are commutative, but the
+//! per-stream clocks and decisions those emissions bracket are compared
+//! bit-for-bit across paths, so nothing here may charge or reorder work.
+
+use crate::resilience::{degraded_candidates, Breaker, RobustnessConfig, RobustnessReport};
+use crate::selector::{CandidateSelector, SelectionInput, SelectionResult};
+use std::sync::Arc;
+use tm_obs::{Obs, Value};
+use tm_reid::{
+    AppearanceModel, CostModel, Device, InferenceBackend, ReidSession, RetryPolicy,
+    SharedFeatureCache,
+};
+use tm_types::{Result, TrackPair, TrackSet};
+
+/// Builds the one true per-window/per-stream [`ReidSession`]: private or
+/// shared cache, optional fallible backend, optional retry override — the
+/// construction every execution path shares.
+pub(crate) fn window_session<'m>(
+    model: &'m AppearanceModel,
+    cost: CostModel,
+    device: Device,
+    cache: Option<Arc<SharedFeatureCache>>,
+    backend: Option<&'m dyn InferenceBackend>,
+    retry: Option<RetryPolicy>,
+) -> ReidSession<'m> {
+    let mut session = match cache {
+        Some(cache) => ReidSession::with_shared_cache(model, cost, device, cache),
+        None => ReidSession::new(model, cost, device),
+    };
+    if let Some(backend) = backend {
+        session = session.with_backend(backend);
+    }
+    if let Some(retry) = retry {
+        session = session.with_retry_policy(retry);
+    }
+    session
+}
+
+/// How one window was decided.
+pub(crate) enum WindowVerdict {
+    /// The selector ran with real ReID.
+    Normal(SelectionResult),
+    /// The breaker (already open, or tripped by this window's failure)
+    /// forced spatio-temporal-only candidates; the caller must stash the
+    /// window for re-verification.
+    Degraded(Vec<TrackPair>),
+}
+
+/// Selects a non-empty window's candidates, or degrades it: breaker open →
+/// degrade immediately; selector success → record it on the breaker;
+/// backend failure → count a possible trip, then degrade; any other error
+/// propagates. Emission order (trip counter/event before the degraded
+/// counter) matches the historical serial and streaming walks exactly.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn select_or_degrade(
+    selector: &dyn CandidateSelector,
+    input: &SelectionInput<'_>,
+    session: &mut ReidSession<'_>,
+    breaker: &mut Breaker,
+    report: &mut RobustnessReport,
+    robustness: &RobustnessConfig,
+    obs: &Obs,
+    window_index: u64,
+) -> Result<WindowVerdict> {
+    if breaker.is_open() {
+        return degrade(input, report, robustness, obs);
+    }
+    match selector.select(input, session) {
+        Ok(result) => {
+            breaker.record_success();
+            Ok(WindowVerdict::Normal(result))
+        }
+        Err(e) if e.is_backend() => {
+            note_breaker_failure(breaker, report, obs, window_index);
+            degrade(input, report, robustness, obs)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn degrade(
+    input: &SelectionInput<'_>,
+    report: &mut RobustnessReport,
+    robustness: &RobustnessConfig,
+    obs: &Obs,
+) -> Result<WindowVerdict> {
+    let provisional =
+        degraded_candidates(input.pairs, input.tracks, input.m(), &robustness.degraded)?;
+    report.degraded_windows += 1;
+    obs.counter("pipeline.windows_degraded", 1);
+    Ok(WindowVerdict::Degraded(provisional))
+}
+
+/// Records a window's backend failure on the breaker, counting the trip if
+/// this one opened it.
+pub(crate) fn note_breaker_failure(
+    breaker: &mut Breaker,
+    report: &mut RobustnessReport,
+    obs: &Obs,
+    window_index: u64,
+) {
+    if breaker.record_failure() {
+        report.breaker_trips += 1;
+        obs.counter("pipeline.breaker_trips", 1);
+        obs.event("breaker_trip", &[("window", Value::U64(window_index))]);
+    }
+}
+
+/// Records one stashed window successfully re-scored with real ReID.
+pub(crate) fn note_reverified(report: &mut RobustnessReport, obs: &Obs) {
+    report.reverified_windows += 1;
+    obs.counter("pipeline.windows_reverified", 1);
+}
+
+/// Announces a breaker recovery observed at `epoch`.
+pub(crate) fn emit_breaker_recovery(obs: &Obs, epoch: u64) {
+    obs.counter("pipeline.breaker_recoveries", 1);
+    obs.event("breaker_recovery", &[("window", Value::U64(epoch))]);
+}
+
+/// Emits one decided window's lifecycle counters and event.
+pub(crate) fn emit_window_obs(
+    obs: &Obs,
+    window_index: u64,
+    n_pairs: usize,
+    candidates: &[TrackPair],
+    degraded: bool,
+) {
+    if !obs.enabled() {
+        return;
+    }
+    obs.counter("pipeline.windows", 1);
+    obs.counter("pipeline.pairs", n_pairs as u64);
+    obs.counter("pipeline.candidates", candidates.len() as u64);
+    obs.event(
+        "window",
+        &[
+            ("id", Value::U64(window_index)),
+            ("pairs", Value::U64(n_pairs as u64)),
+            ("candidates", Value::U64(candidates.len() as u64)),
+            (
+                "mode",
+                Value::Str(if degraded { "degraded" } else { "normal" }),
+            ),
+        ],
+    );
+}
+
+/// One stashed window queued for re-verification.
+#[derive(Clone, Copy)]
+pub(crate) struct ReverifyItem<'w> {
+    /// Caller-side handle handed back to `commit` (the offline walk's slot
+    /// position; the streaming merger ignores it).
+    pub(crate) slot: usize,
+    /// The window's index, used for the `breaker_trip` event on renewed
+    /// failure.
+    pub(crate) window_index: u64,
+    /// The window's full pair set.
+    pub(crate) pairs: &'w [TrackPair],
+}
+
+/// Re-scores degraded windows with the (recovered) backend, in window
+/// order. `commit` receives each successfully re-scored window's slot and
+/// result (emission order: commit, then the reverified counter — as both
+/// historical walks did). Returns how many windows were committed: on a
+/// renewed backend failure the caller re-stashes `pending[committed..]`;
+/// other errors propagate.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn reverify_windows(
+    pending: &[ReverifyItem<'_>],
+    tracks: &TrackSet,
+    k: f64,
+    selector: &dyn CandidateSelector,
+    session: &mut ReidSession<'_>,
+    breaker: &mut Breaker,
+    report: &mut RobustnessReport,
+    obs: &Obs,
+    mut commit: impl FnMut(usize, SelectionResult),
+) -> Result<usize> {
+    for (i, item) in pending.iter().enumerate() {
+        let input = SelectionInput {
+            pairs: item.pairs,
+            tracks,
+            k,
+        };
+        match selector.select(&input, session) {
+            Ok(result) => {
+                commit(item.slot, result);
+                note_reverified(report, obs);
+            }
+            Err(e) if e.is_backend() => {
+                note_breaker_failure(breaker, report, obs, item.window_index);
+                return Ok(i);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(pending.len())
+}

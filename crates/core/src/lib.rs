@@ -36,6 +36,8 @@
 pub mod baseline;
 pub mod checkpoint;
 pub mod egreedy;
+mod exec;
+pub mod fleet;
 pub mod lcb;
 pub mod pairs;
 pub mod pipeline;
@@ -51,6 +53,7 @@ pub mod window;
 
 pub use baseline::Baseline;
 pub use egreedy::{EGreedyConfig, EpsilonGreedy};
+pub use fleet::FleetIngester;
 pub use lcb::{LcbConfig, LowerConfidenceBound};
 pub use pairs::{all_pairs, build_window_pairs, WindowPairs};
 pub use pipeline::{

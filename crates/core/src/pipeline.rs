@@ -16,15 +16,16 @@
 //! itself as the (never-failing) backend.
 
 use crate::baseline::Baseline;
+use crate::exec::{self, ReverifyItem, WindowVerdict};
 use crate::lcb::{LcbConfig, LowerConfidenceBound};
 use crate::pairs::{build_window_pairs, WindowPairs};
 use crate::ps::{ProportionalSampling, PsConfig};
-use crate::resilience::{degraded_candidates, Breaker, RobustnessConfig, RobustnessReport};
+use crate::resilience::{Breaker, RobustnessConfig, RobustnessReport};
 use crate::selector::{CandidateSelector, SelectionInput};
 use crate::tmerge::{TMerge, TMergeConfig};
 use crate::union::merge_mapping;
 use std::sync::Arc;
-use tm_obs::{Obs, Value};
+use tm_obs::Obs;
 use tm_reid::{
     AppearanceModel, CostModel, Device, InferenceBackend, ReidSession, ReidStats,
     SharedFeatureCache,
@@ -142,8 +143,9 @@ pub fn run_pipeline(
 }
 
 /// Re-scores still-degraded windows with the (recovered) backend, in window
-/// order, at the session's current epoch. A window that fails again — along
-/// with every window after it — stays provisional in `stash`.
+/// order, at the session's current epoch (the window walk shared with the
+/// streaming merger lives in `crate::exec`). A window that fails again —
+/// along with every window after it — stays provisional in `stash`.
 #[allow(clippy::too_many_arguments)]
 fn reverify_pending(
     stash: &mut Vec<usize>,
@@ -158,37 +160,31 @@ fn reverify_pending(
     report: &mut RobustnessReport,
     obs: &Obs,
 ) -> Result<()> {
-    let pending = std::mem::take(stash);
-    for (i, &wi) in pending.iter().enumerate() {
-        let input = SelectionInput {
+    let pending: Vec<ReverifyItem<'_>> = std::mem::take(stash)
+        .into_iter()
+        .map(|wi| ReverifyItem {
+            slot: wi,
+            window_index: windows[wi].window.index as u64,
             pairs: &windows[wi].pairs,
-            tracks,
-            k,
-        };
-        match selector.select(&input, session) {
-            Ok(r) => {
-                *distance_evals += r.distance_evals;
-                slots[wi] = r.candidates;
-                report.reverified_windows += 1;
-                obs.counter("pipeline.windows_reverified", 1);
-            }
-            Err(e) if e.is_backend() => {
-                // The backend flaked again mid-recovery: the remaining
-                // windows keep their provisional degraded candidates.
-                if breaker.record_failure() {
-                    report.breaker_trips += 1;
-                    obs.counter("pipeline.breaker_trips", 1);
-                    obs.event(
-                        "breaker_trip",
-                        &[("window", Value::U64(windows[wi].window.index as u64))],
-                    );
-                }
-                stash.extend(&pending[i..]);
-                return Ok(());
-            }
-            Err(e) => return Err(e),
-        }
-    }
+        })
+        .collect();
+    let committed = exec::reverify_windows(
+        &pending,
+        tracks,
+        k,
+        selector,
+        session,
+        breaker,
+        report,
+        obs,
+        |slot, r| {
+            *distance_evals += r.distance_evals;
+            slots[slot] = r.candidates;
+        },
+    )?;
+    // Whatever the renewed failure left unverified keeps its provisional
+    // degraded candidates.
+    stash.extend(pending[committed..].iter().map(|item| item.slot));
     Ok(())
 }
 
@@ -226,9 +222,14 @@ pub fn run_pipeline_with_backend<'m>(
     let run_span = obs.span("pipeline.run", 0.0);
     let windows = build_window_pairs(tracks, n_frames, config.window_len)?;
     let selector = config.selector.build();
-    let mut session = ReidSession::new(model, config.cost, config.device)
-        .with_backend(backend)
-        .with_retry_policy(robustness.retry);
+    let mut session = exec::window_session(
+        model,
+        config.cost,
+        config.device,
+        None,
+        Some(backend),
+        Some(robustness.retry),
+    );
 
     let mut breaker = Breaker::new(robustness.breaker_threshold);
     let mut report = RobustnessReport::default();
@@ -248,11 +249,7 @@ pub fn run_pipeline_with_backend<'m>(
         session.set_epoch(wp.window.index as u64);
         if breaker.is_open() && session.backend_available() {
             breaker.close();
-            obs.counter("pipeline.breaker_recoveries", 1);
-            obs.event(
-                "breaker_recovery",
-                &[("window", Value::U64(wp.window.index as u64))],
-            );
+            exec::emit_breaker_recovery(&obs, wp.window.index as u64);
             reverify_pending(
                 &mut stash,
                 &windows,
@@ -272,57 +269,34 @@ pub fn run_pipeline_with_backend<'m>(
             tracks,
             k: config.k,
         };
-        let mut degraded = false;
-        if breaker.is_open() {
-            slots[wi] = degraded_candidates(&wp.pairs, tracks, input.m(), &robustness.degraded)?;
-            stash.push(wi);
-            report.degraded_windows += 1;
-            degraded = true;
-        } else {
-            match selector.select(&input, &mut session) {
-                Ok(r) => {
-                    breaker.record_success();
-                    distance_evals += r.distance_evals;
-                    slots[wi] = r.candidates;
-                }
-                Err(e) if e.is_backend() => {
-                    if breaker.record_failure() {
-                        report.breaker_trips += 1;
-                        obs.counter("pipeline.breaker_trips", 1);
-                        obs.event(
-                            "breaker_trip",
-                            &[("window", Value::U64(wp.window.index as u64))],
-                        );
-                    }
-                    slots[wi] =
-                        degraded_candidates(&wp.pairs, tracks, input.m(), &robustness.degraded)?;
-                    stash.push(wi);
-                    report.degraded_windows += 1;
-                    degraded = true;
-                }
-                Err(e) => return Err(e),
+        let degraded = match exec::select_or_degrade(
+            selector.as_ref(),
+            &input,
+            &mut session,
+            &mut breaker,
+            &mut report,
+            robustness,
+            &obs,
+            wp.window.index as u64,
+        )? {
+            WindowVerdict::Normal(r) => {
+                distance_evals += r.distance_evals;
+                slots[wi] = r.candidates;
+                false
             }
-        }
-        if obs.enabled() {
-            obs.counter("pipeline.windows", 1);
-            obs.counter("pipeline.pairs", wp.pairs.len() as u64);
-            obs.counter("pipeline.candidates", slots[wi].len() as u64);
-            if degraded {
-                obs.counter("pipeline.windows_degraded", 1);
+            WindowVerdict::Degraded(provisional) => {
+                slots[wi] = provisional;
+                stash.push(wi);
+                true
             }
-            obs.event(
-                "window",
-                &[
-                    ("id", Value::U64(wp.window.index as u64)),
-                    ("pairs", Value::U64(wp.pairs.len() as u64)),
-                    ("candidates", Value::U64(slots[wi].len() as u64)),
-                    (
-                        "mode",
-                        Value::Str(if degraded { "degraded" } else { "normal" }),
-                    ),
-                ],
-            );
-        }
+        };
+        exec::emit_window_obs(
+            &obs,
+            wp.window.index as u64,
+            wp.pairs.len(),
+            &slots[wi],
+            degraded,
+        );
         wspan.finish(session.elapsed_ms());
     }
 
@@ -331,11 +305,7 @@ pub fn run_pipeline_with_backend<'m>(
         session.set_epoch(windows.len() as u64);
         if session.backend_available() {
             if breaker.is_open() {
-                obs.counter("pipeline.breaker_recoveries", 1);
-                obs.event(
-                    "breaker_recovery",
-                    &[("window", Value::U64(windows.len() as u64))],
-                );
+                exec::emit_breaker_recovery(&obs, windows.len() as u64);
             }
             breaker.close();
             reverify_pending(
@@ -437,8 +407,14 @@ pub fn run_pipeline_parallel(
         }
         let obs = tm_obs::current();
         let wspan = obs.span("pipeline.window", 0.0);
-        let mut session =
-            ReidSession::with_shared_cache(model, config.cost, config.device, Arc::clone(&cache));
+        let mut session = exec::window_session(
+            model,
+            config.cost,
+            config.device,
+            Some(Arc::clone(&cache)),
+            None,
+            None,
+        );
         let input = SelectionInput {
             pairs: &wp.pairs,
             tracks,

@@ -24,15 +24,14 @@
 //! [`StreamingMerger::resume`] (see `crate::checkpoint`) continues a killed
 //! ingester at the last completed window with byte-identical results.
 
+use crate::exec::{self, ReverifyItem, WindowVerdict};
 use crate::pairs::tracks_in_first_half;
-use crate::resilience::{
-    degraded_candidates, Breaker, DecisionMode, RobustnessConfig, RobustnessReport,
-};
+use crate::resilience::{Breaker, DecisionMode, RobustnessConfig, RobustnessReport};
 use crate::selector::{CandidateSelector, SelectionInput};
 use crate::union::UnionFind;
 use crate::window::Window;
 use std::collections::{BTreeSet, HashMap};
-use tm_obs::{Obs, Value};
+use tm_obs::Obs;
 use tm_reid::{AppearanceModel, InferenceBackend, ReidSession};
 use tm_types::{FrameIdx, Result, TmError, TrackId, TrackPair, TrackSet};
 
@@ -83,6 +82,11 @@ pub(crate) struct StashedWindow {
 /// An online, window-at-a-time merger.
 pub struct StreamingMerger<'m, S> {
     pub(crate) config: StreamConfig,
+    /// Which stream of a fleet this merger serves (0 outside a fleet).
+    /// Purely descriptive — it labels per-stream observability counters and
+    /// rides the checkpoint so a resumed fleet reattaches shards to the
+    /// right feeds; it never influences decisions.
+    pub(crate) stream_id: u64,
     pub(crate) robustness: RobustnessConfig,
     pub(crate) selector: S,
     pub(crate) session: ReidSession<'m>,
@@ -124,10 +128,17 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
         let robustness = RobustnessConfig::default();
         Ok(Self {
             config,
+            stream_id: 0,
             robustness,
             selector,
-            session: ReidSession::new(model, session_cost, device)
-                .with_retry_policy(robustness.retry),
+            session: exec::window_session(
+                model,
+                session_cost,
+                device,
+                None,
+                None,
+                Some(robustness.retry),
+            ),
             next_window: 0,
             watermark: 0,
             prev_ids: Vec::new(),
@@ -148,6 +159,18 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
     pub fn with_backend(mut self, backend: &'m dyn InferenceBackend) -> Self {
         self.session = self.session.with_backend(backend);
         self
+    }
+
+    /// Labels this merger as stream `id` of a fleet. Affects observability
+    /// labels and the checkpoint header only — never decisions.
+    pub fn with_stream_id(mut self, id: u64) -> Self {
+        self.stream_id = id;
+        self
+    }
+
+    /// The fleet stream this merger serves (0 outside a fleet).
+    pub fn stream_id(&self) -> u64 {
+        self.stream_id
     }
 
     /// Routes the merger's window lifecycle — and the session's ReID
@@ -234,11 +257,7 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
             self.session.set_epoch(self.next_window as u64);
             if self.session.backend_available() {
                 if self.breaker.is_open() {
-                    self.obs.counter("pipeline.breaker_recoveries", 1);
-                    self.obs.event(
-                        "breaker_recovery",
-                        &[("window", Value::U64(self.next_window as u64))],
-                    );
+                    exec::emit_breaker_recovery(&self.obs, self.next_window as u64);
                 }
                 self.breaker.close();
                 self.reverify_stash(tracks)?;
@@ -254,11 +273,7 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
         self.session.set_epoch(w.index as u64);
         if self.breaker.is_open() && self.session.backend_available() {
             self.breaker.close();
-            self.obs.counter("pipeline.breaker_recoveries", 1);
-            self.obs.event(
-                "breaker_recovery",
-                &[("window", Value::U64(w.index as u64))],
-            );
+            exec::emit_breaker_recovery(&self.obs, w.index as u64);
             self.reverify_stash(tracks)?;
         }
         let cur_ids = tracks_in_first_half(tracks, &w);
@@ -293,29 +308,31 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
 
         let (candidates, mode) = if pairs.is_empty() {
             (Vec::new(), DecisionMode::Normal)
-        } else if self.breaker.is_open() {
-            (self.degrade(&w, &pairs, tracks)?, DecisionMode::Degraded)
         } else {
             let input = SelectionInput {
                 pairs: &pairs,
                 tracks,
                 k: self.config.k,
             };
-            match self.selector.select(&input, &mut self.session) {
-                Ok(r) => {
-                    self.breaker.record_success();
-                    (r.candidates, DecisionMode::Normal)
+            match exec::select_or_degrade(
+                &self.selector,
+                &input,
+                &mut self.session,
+                &mut self.breaker,
+                &mut self.counters,
+                &self.robustness,
+                &self.obs,
+                w.index as u64,
+            )? {
+                WindowVerdict::Normal(r) => (r.candidates, DecisionMode::Normal),
+                WindowVerdict::Degraded(provisional) => {
+                    self.stash.push(StashedWindow {
+                        window: w,
+                        pairs: pairs.clone(),
+                        provisional: provisional.clone(),
+                    });
+                    (provisional, DecisionMode::Degraded)
                 }
-                Err(e) if e.is_backend() => {
-                    if self.breaker.record_failure() {
-                        self.counters.breaker_trips += 1;
-                        self.obs.counter("pipeline.breaker_trips", 1);
-                        self.obs
-                            .event("breaker_trip", &[("window", Value::U64(w.index as u64))]);
-                    }
-                    (self.degrade(&w, &pairs, tracks)?, DecisionMode::Degraded)
-                }
-                Err(e) => return Err(e),
             }
         };
         if mode == DecisionMode::Normal {
@@ -330,54 +347,16 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
             candidates,
             mode,
         };
-        if self.obs.enabled() {
-            self.obs.counter("pipeline.windows", 1);
-            self.obs.counter("pipeline.pairs", decision.n_pairs as u64);
-            self.obs
-                .counter("pipeline.candidates", decision.candidates.len() as u64);
-            self.obs.event(
-                "window",
-                &[
-                    ("id", Value::U64(w.index as u64)),
-                    ("pairs", Value::U64(decision.n_pairs as u64)),
-                    ("candidates", Value::U64(decision.candidates.len() as u64)),
-                    (
-                        "mode",
-                        Value::Str(match decision.mode {
-                            DecisionMode::Normal => "normal",
-                            DecisionMode::Degraded => "degraded",
-                        }),
-                    ),
-                ],
-            );
-        }
+        exec::emit_window_obs(
+            &self.obs,
+            w.index as u64,
+            decision.n_pairs,
+            &decision.candidates,
+            decision.mode == DecisionMode::Degraded,
+        );
         span.finish(self.session.elapsed_ms());
         self.decisions.push(decision.clone());
         Ok(decision)
-    }
-
-    /// Decides a window on spatio-temporal evidence only and stashes it for
-    /// later re-verification. Nothing is committed to the union-find.
-    fn degrade(
-        &mut self,
-        w: &Window,
-        pairs: &[TrackPair],
-        tracks: &TrackSet,
-    ) -> Result<Vec<TrackPair>> {
-        let input = SelectionInput {
-            pairs,
-            tracks,
-            k: self.config.k,
-        };
-        let provisional = degraded_candidates(pairs, tracks, input.m(), &self.robustness.degraded)?;
-        self.stash.push(StashedWindow {
-            window: *w,
-            pairs: pairs.to_vec(),
-            provisional: provisional.clone(),
-        });
-        self.counters.degraded_windows += 1;
-        self.obs.counter("pipeline.windows_degraded", 1);
-        Ok(provisional)
     }
 
     /// Re-scores stashed windows with the (recovered) backend, in window
@@ -387,36 +366,34 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
     /// remaining windows stay provisional.
     fn reverify_stash(&mut self, tracks: &TrackSet) -> Result<()> {
         let pending = std::mem::take(&mut self.stash);
-        for (i, sw) in pending.iter().enumerate() {
-            let input = SelectionInput {
+        let items: Vec<ReverifyItem<'_>> = pending
+            .iter()
+            .map(|sw| ReverifyItem {
+                slot: sw.window.index,
+                window_index: sw.window.index as u64,
                 pairs: &sw.pairs,
-                tracks,
-                k: self.config.k,
-            };
-            match self.selector.select(&input, &mut self.session) {
-                Ok(r) => {
-                    for p in &r.candidates {
-                        self.uf.union(p.lo(), p.hi());
-                        self.merged_ids.push(*p);
-                    }
-                    self.counters.reverified_windows += 1;
-                    self.obs.counter("pipeline.windows_reverified", 1);
+            })
+            .collect();
+        let uf = &mut self.uf;
+        let merged_ids = &mut self.merged_ids;
+        let committed = exec::reverify_windows(
+            &items,
+            tracks,
+            self.config.k,
+            &self.selector,
+            &mut self.session,
+            &mut self.breaker,
+            &mut self.counters,
+            &self.obs,
+            |_, r| {
+                for p in &r.candidates {
+                    uf.union(p.lo(), p.hi());
+                    merged_ids.push(*p);
                 }
-                Err(e) if e.is_backend() => {
-                    if self.breaker.record_failure() {
-                        self.counters.breaker_trips += 1;
-                        self.obs.counter("pipeline.breaker_trips", 1);
-                        self.obs.event(
-                            "breaker_trip",
-                            &[("window", Value::U64(sw.window.index as u64))],
-                        );
-                    }
-                    self.stash.extend_from_slice(&pending[i..]);
-                    return Ok(());
-                }
-                Err(e) => return Err(e),
-            }
-        }
+            },
+        )?;
+        drop(items);
+        self.stash.extend_from_slice(&pending[committed..]);
         Ok(())
     }
 

@@ -1,0 +1,140 @@
+//! Pins the four execution paths — serial pipeline, parallel pipeline,
+//! streaming merger and a fleet of one — to the same answer on the same
+//! video. All of them now run the shared window protocol in
+//! `crates/core/src/exec.rs`; this test is the tripwire that keeps them
+//! from drifting apart again.
+
+use tm_core::{
+    FleetIngester, PipelineConfig, SelectorKind, StreamConfig, StreamingMerger, TMerge,
+    TMergeConfig,
+};
+use tm_reid::{AppearanceConfig, AppearanceModel, CostModel, Device, InferenceBackend};
+use tm_types::{
+    ids::classes, BBox, FrameIdx, GtObjectId, Track, TrackBox, TrackId, TrackPair, TrackSet,
+};
+
+const N_FRAMES: u64 = 400;
+const WINDOW_LEN: u64 = 200;
+const K: f64 = 0.1;
+
+fn track(id: u64, actor: u64, start: u64, n: usize, x0: f64) -> Track {
+    Track::with_boxes(
+        TrackId(id),
+        classes::PEDESTRIAN,
+        (0..n)
+            .map(|i| {
+                TrackBox::new(
+                    FrameIdx(start + i as u64),
+                    BBox::new(x0 + i as f64 * 5.0, 100.0, 40.0, 80.0),
+                )
+                .with_provenance(GtObjectId(actor))
+            })
+            .collect(),
+    )
+}
+
+fn fixture() -> (AppearanceModel, TrackSet) {
+    let model = AppearanceModel::new(AppearanceConfig::default());
+    let tracks = TrackSet::from_tracks(vec![
+        track(1, 10, 0, 30, 0.0),
+        track(2, 10, 80, 30, 160.0),
+        track(3, 11, 0, 40, 400.0),
+        track(4, 12, 60, 40, 800.0),
+        track(5, 13, 200, 40, 1200.0),
+        track(6, 13, 280, 30, 1400.0),
+    ]);
+    (model, tracks)
+}
+
+fn selector_config() -> TMergeConfig {
+    TMergeConfig {
+        tau_max: 1_500,
+        seed: 4,
+        ..TMergeConfig::default()
+    }
+}
+
+fn pipeline_config() -> PipelineConfig {
+    PipelineConfig {
+        window_len: WINDOW_LEN,
+        k: K,
+        selector: SelectorKind::TMerge(selector_config()),
+        device: Device::Cpu,
+        cost: CostModel::calibrated(),
+    }
+}
+
+fn sorted(pairs: &[TrackPair]) -> Vec<TrackPair> {
+    let mut v = pairs.to_vec();
+    v.sort();
+    v
+}
+
+#[test]
+fn all_four_paths_agree() {
+    let (model, tracks) = fixture();
+
+    let serial =
+        tm_core::run_pipeline(&tracks, N_FRAMES, &model, &pipeline_config(), None).unwrap();
+    let parallel =
+        tm_core::run_pipeline_parallel(&tracks, N_FRAMES, &model, &pipeline_config(), None)
+            .unwrap();
+
+    let stream_config = StreamConfig {
+        window_len: WINDOW_LEN,
+        k: K,
+    };
+    let mut streaming = StreamingMerger::new(
+        &model,
+        CostModel::calibrated(),
+        Device::Cpu,
+        TMerge::new(selector_config()),
+        stream_config,
+    )
+    .unwrap()
+    .with_backend(&model);
+    for frames in [150, 250, 400] {
+        streaming.advance(&tracks, frames).unwrap();
+    }
+    streaming.finish(&tracks, N_FRAMES).unwrap();
+
+    let backends: Vec<&dyn InferenceBackend> = vec![&model];
+    let mut fleet = FleetIngester::new(
+        &model,
+        CostModel::calibrated(),
+        Device::Cpu,
+        stream_config,
+        |_| TMerge::new(selector_config()),
+        &backends,
+    )
+    .unwrap();
+    for frames in [150, 250, 400] {
+        fleet.advance(&[(&tracks, frames)]).unwrap();
+    }
+    fleet.finish(&[(&tracks, N_FRAMES)]).unwrap();
+
+    // Serial vs parallel: identical report.
+    assert_eq!(sorted(&serial.candidates), sorted(&parallel.candidates));
+    assert_eq!(serial.accepted, parallel.accepted);
+    assert_eq!(serial.n_pairs, parallel.n_pairs);
+    assert!((serial.elapsed_ms - parallel.elapsed_ms).abs() < 1e-6);
+
+    // Streaming vs serial: same merges and clock. (The streaming walk
+    // decides empty windows that the offline walk skips, so decision
+    // *lists* differ in padding; the semantic outputs must not.)
+    assert_eq!(sorted(streaming.accepted()), sorted(&serial.accepted));
+    assert!((streaming.elapsed_ms() - serial.elapsed_ms).abs() < 1e-6);
+    let n_pairs: usize = streaming.decisions().iter().map(|d| d.n_pairs).sum();
+    assert_eq!(n_pairs, serial.n_pairs);
+
+    // Fleet-of-one vs streaming: byte-identical everything.
+    let shard = fleet.shard_mut(0);
+    assert_eq!(shard.decisions(), streaming.decisions());
+    assert_eq!(shard.accepted(), streaming.accepted());
+    assert_eq!(shard.robustness(), streaming.robustness());
+    assert_eq!(
+        shard.elapsed_ms().to_bits(),
+        streaming.elapsed_ms().to_bits()
+    );
+    assert_eq!(shard.mapping(), streaming.mapping());
+}

@@ -165,6 +165,88 @@ where
         .collect()
 }
 
+/// Parallel, order-preserving map over a **mutable** slice: `f` gets
+/// `(index, &mut item)` with exclusive access to each item, exactly once.
+///
+/// Equivalent to `items.iter_mut().enumerate().map(...)` — same results,
+/// same mutations, any thread count. This is the fan-out the fleet
+/// ingester uses to advance per-stream merger shards concurrently.
+///
+/// Exclusive access rules out [`par_map`]'s shared work-stealing counter,
+/// so items are split into contiguous chunks, one per granted worker —
+/// static scheduling, which is fine for the intended workload (same-shape
+/// shards). The permit pool, obs-scope reinstall and serial fallback match
+/// [`par_map`].
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let permits = Permits(try_acquire(n - 1, max_threads()));
+    if permits.0 == 0 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let workers = permits.0 + 1; // spawned + the calling thread
+    let chunk_len = n.div_ceil(workers);
+    let mut chunks: Vec<(usize, &mut [T])> = Vec::with_capacity(workers);
+    let mut rest = items;
+    let mut base = 0usize;
+    while !rest.is_empty() {
+        let take = chunk_len.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        chunks.push((base, head));
+        base += take;
+        rest = tail;
+    }
+
+    let obs = tm_obs::current();
+    let run_chunk = |start: usize, chunk: &mut [T]| -> Vec<(usize, R)> {
+        chunk
+            .iter_mut()
+            .enumerate()
+            .map(|(i, t)| (start + i, f(start + i, t)))
+            .collect()
+    };
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let mut iter = chunks.into_iter();
+        let own_chunk = iter.next();
+        let handles: Vec<_> = iter
+            .map(|(start, chunk)| {
+                let obs = obs.clone();
+                let run_chunk = &run_chunk;
+                scope.spawn(move || tm_obs::scoped(obs, || run_chunk(start, chunk)))
+            })
+            .collect();
+        let own = own_chunk
+            .map(|(start, chunk)| run_chunk(start, chunk))
+            .unwrap_or_default();
+        let mut all = vec![own];
+        for h in handles {
+            match h.join() {
+                Ok(bucket) => all.push(bucket),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        all
+    });
+    drop(permits);
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index is visited exactly once"))
+        .collect()
+}
+
 /// Runs `f` over every item in parallel, discarding results. Used where
 /// the tasks' only output is a side effect on disjoint state (e.g. each
 /// experiment writing its own JSON file).
@@ -225,6 +307,48 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn map_mut_matches_serial_and_mutates_in_place() {
+        let mut a: Vec<u64> = (0..257).collect();
+        let mut b = a.clone();
+        let out = par_map_mut(&mut a, |i, x| {
+            *x += 10;
+            *x * i as u64
+        });
+        let expect: Vec<u64> = b
+            .iter_mut()
+            .enumerate()
+            .map(|(i, x)| {
+                *x += 10;
+                *x * i as u64
+            })
+            .collect();
+        assert_eq!(out, expect);
+        assert_eq!(a, b, "mutations applied in place");
+    }
+
+    #[test]
+    fn map_mut_handles_empty_and_singleton() {
+        let mut empty: Vec<u8> = Vec::new();
+        assert!(par_map_mut(&mut empty, |_, x| *x).is_empty());
+        let mut one = vec![7u8];
+        assert_eq!(par_map_mut(&mut one, |_, x| *x + 1), vec![8]);
+    }
+
+    #[test]
+    fn map_mut_obs_scope_propagates_into_workers() {
+        use std::sync::Arc;
+        let rec = Arc::new(tm_obs::Recorder::new());
+        let obs = tm_obs::Obs::new(rec.clone());
+        let mut items: Vec<u64> = (0..64).collect();
+        tm_obs::scoped(obs, || {
+            par_map_mut(&mut items, |_, _| {
+                tm_obs::current().counter("par.mut_item", 1)
+            });
+        });
+        assert_eq!(rec.counter_value("par.mut_item"), 64);
     }
 
     #[test]

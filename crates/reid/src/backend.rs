@@ -107,12 +107,72 @@ pub trait InferenceBackend: std::fmt::Debug + Sync {
     fn available(&self, _epoch: u64) -> bool {
         true
     }
+
+    /// Advisory look-ahead: the session announces the full miss list of an
+    /// inference round before extracting box-by-box, so batching backends
+    /// (`crate::BatchScheduler`) can accumulate cross-stream batches.
+    ///
+    /// A prefetch MUST NOT change any subsequent [`Self::try_observe`]
+    /// reply — it may only move *when* a clean feature gets computed, never
+    /// what it is or what it costs the announcing session. The default is a
+    /// no-op, so plain backends are untouched.
+    fn prefetch(&self, _requests: &[(&TrackBox, Attempt)]) {}
+}
+
+/// What a backend would do with one attempt, with the clean-compute part
+/// split out. See [`SplitBackend`].
+#[derive(Debug, Clone)]
+pub enum AttemptClass {
+    /// The attempt succeeds with the wrapped model's true feature.
+    Clean {
+        /// Extra simulated latency of the (successful) call.
+        extra_ms: f64,
+    },
+    /// The attempt "succeeds" with a corrupted (non-finite) feature. The
+    /// payload is carried here because it is *not* the model's output and
+    /// must never be cached or shared.
+    Corrupt {
+        /// The corrupted feature exactly as `try_observe` would return it.
+        feature: Feature,
+        /// Extra simulated latency of the call.
+        extra_ms: f64,
+    },
+    /// The attempt fails outright.
+    Fault {
+        /// The fault exactly as `try_observe` would return it.
+        fault: BackendFault,
+        /// Extra simulated latency of the failed call.
+        extra_ms: f64,
+    },
+}
+
+/// A backend whose fault decision is separable from its clean compute.
+///
+/// Contract: for every `(tb, at)`, `try_observe(tb, at)` must equal the
+/// reply assembled from `classify(at)` — `Clean { extra_ms }` means
+/// `Ok(model.observe_track_box(tb))` with that `extra_ms`, where `model`
+/// is the pure [`AppearanceModel`] the backend wraps; `Corrupt` / `Fault`
+/// carry their reply verbatim. This is what lets a batching layer answer
+/// `Clean` attempts from a shared cross-stream cache (the model is pure,
+/// so the cached feature IS the reply) while passing faults through
+/// per-stream untouched. `classify` must be deterministic in `at`, and —
+/// like `try_observe` — must not depend on the box beyond its key.
+pub trait SplitBackend: InferenceBackend {
+    /// Classifies one attempt without computing a clean feature.
+    fn classify(&self, at: &Attempt) -> AttemptClass;
 }
 
 /// The appearance model is the canonical infallible backend.
 impl InferenceBackend for AppearanceModel {
     fn try_observe(&self, tb: &TrackBox, _at: &Attempt) -> BackendReply {
         BackendReply::ok(self.observe_track_box(tb))
+    }
+}
+
+/// Every attempt against the pure model is clean with zero extra latency.
+impl SplitBackend for AppearanceModel {
+    fn classify(&self, _at: &Attempt) -> AttemptClass {
+        AttemptClass::Clean { extra_ms: 0.0 }
     }
 }
 

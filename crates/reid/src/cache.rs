@@ -16,6 +16,7 @@
 use crate::feature::Feature;
 use crate::session::BoxKey;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::{Arc, OnceLock, RwLock};
 
 /// Number of shards; a power of two so the shard index is a mask.
@@ -23,25 +24,39 @@ const N_SHARDS: usize = 16;
 
 type Slot = Arc<OnceLock<Arc<Feature>>>;
 
-/// A concurrent `BoxKey → Feature` cache. See the module docs.
-#[derive(Debug, Default)]
-pub struct SharedFeatureCache {
-    shards: [RwLock<HashMap<BoxKey, Slot>>; N_SHARDS],
+/// A concurrent `K → Feature` cache. See the module docs.
+///
+/// Generic over the key so the per-window pipeline keeps its `BoxKey`
+/// (track, frame) identity while the cross-stream fleet scheduler caches by
+/// content (`crate::FeatureKey`), where the same box under different track
+/// IDs must still share one feature. The key only picks a shard and a map
+/// slot — sharding quality affects contention, never results.
+#[derive(Debug)]
+pub struct SharedFeatureCache<K = BoxKey> {
+    shards: [RwLock<HashMap<K, Slot>>; N_SHARDS],
 }
 
-impl SharedFeatureCache {
+// Manual impl: `derive(Default)` would demand `K: Default` for no reason.
+impl<K> Default for SharedFeatureCache<K> {
+    fn default() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+        }
+    }
+}
+
+impl<K: Hash + Eq + Copy> SharedFeatureCache<K> {
     /// An empty cache.
     pub fn new() -> Self {
         Self::default()
     }
 
-    fn shard(&self, key: &BoxKey) -> &RwLock<HashMap<BoxKey, Slot>> {
-        // SplitMix64-style avalanche of the (track, frame) pair.
-        let mut z = key
-            .track
-            .get()
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(key.frame.get());
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, Slot>> {
+        // SipHash the key, then a SplitMix64-style avalanche so low bits
+        // are well mixed before masking down to a shard index.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        let mut z = h.finish().wrapping_mul(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z ^= z >> 27;
         &self.shards[(z as usize) & (N_SHARDS - 1)]
@@ -50,7 +65,7 @@ impl SharedFeatureCache {
     /// The cached feature for `key`, if some session already computed it.
     /// A slot whose computation is still in flight counts as a miss (the
     /// caller will join it through [`SharedFeatureCache::get_or_compute`]).
-    pub fn get(&self, key: &BoxKey) -> Option<Arc<Feature>> {
+    pub fn get(&self, key: &K) -> Option<Arc<Feature>> {
         let shard = self.shard(key).read().expect("cache lock poisoned");
         shard.get(key).and_then(|slot| slot.get().cloned())
     }
@@ -61,7 +76,7 @@ impl SharedFeatureCache {
     /// owns the simulated inference cost.
     pub fn get_or_compute(
         &self,
-        key: BoxKey,
+        key: K,
         compute: impl FnOnce() -> Feature,
     ) -> (Arc<Feature>, bool) {
         let slot: Slot = {

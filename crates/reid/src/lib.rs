@@ -31,13 +31,17 @@
 
 pub mod appearance;
 pub mod backend;
+pub mod batch;
 pub mod cache;
 pub mod cost;
 pub mod feature;
 pub mod session;
 
 pub use appearance::{AppearanceConfig, AppearanceModel};
-pub use backend::{Attempt, BackendFault, BackendReply, InferenceBackend, RetryPolicy};
+pub use backend::{
+    Attempt, AttemptClass, BackendFault, BackendReply, InferenceBackend, RetryPolicy, SplitBackend,
+};
+pub use batch::{BatchConfig, BatchScheduler, BatchStats, BatchingBackend, FeatureKey};
 pub use cache::SharedFeatureCache;
 pub use cost::{CostModel, Device, ReidStats, SimClock};
 pub use feature::{Feature, NORMALIZER};

@@ -544,6 +544,25 @@ impl<'m> ReidSession<'m> {
         if misses.is_empty() {
             return Ok(());
         }
+        // Announce the round's full miss list so batching backends (the
+        // fleet's cross-stream scheduler) can form batches. Advisory only:
+        // the default is a no-op and implementations must not affect
+        // replies, so single-stream runs are untouched.
+        let hints: Vec<(&TrackBox, Attempt)> = misses
+            .iter()
+            .map(|&(key, b)| {
+                (
+                    b,
+                    Attempt {
+                        epoch: self.epoch,
+                        attempt: 0,
+                        key,
+                    },
+                )
+            })
+            .collect();
+        self.backend.prefetch(&hints);
+        drop(hints);
         let shared = match &self.cache {
             CacheBackend::Shared(cache) => Some(Arc::clone(cache)),
             CacheBackend::Private(_) => None,

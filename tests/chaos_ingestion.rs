@@ -9,10 +9,14 @@
 use tmerge::chaos::stream::regressing_watermarks;
 use tmerge::chaos::{FaultPlan, FaultyModel, StreamFaults};
 use tmerge::core::{
-    run_pipeline, run_pipeline_with_backend, DecisionMode, PipelineConfig, RobustnessConfig,
-    RobustnessReport, SelectorKind, StreamConfig, StreamingMerger, TMerge, TMergeConfig,
+    run_pipeline, run_pipeline_with_backend, DecisionMode, FleetIngester, PipelineConfig,
+    RobustnessConfig, RobustnessReport, SelectorKind, StreamConfig, StreamingMerger, TMerge,
+    TMergeConfig,
 };
-use tmerge::reid::{AppearanceConfig, AppearanceModel, CostModel, Device};
+use tmerge::reid::{
+    AppearanceConfig, AppearanceModel, BatchConfig, BatchScheduler, BatchingBackend, CostModel,
+    Device, InferenceBackend,
+};
 use tmerge::types::{
     ids::classes, BBox, FrameIdx, GtObjectId, TmError, Track, TrackBox, TrackId, TrackSet,
 };
@@ -301,6 +305,168 @@ fn kill_and_resume_is_byte_identical() {
     assert_eq!(full.robustness(), resumed.robustness());
     assert_eq!(full.elapsed_ms().to_bits(), resumed.elapsed_ms().to_bits());
     assert_eq!(full.mapping(), resumed.mapping());
+}
+
+/// A fleet (one batching scheduler, one lane per stream) whose middle
+/// stream is hard-down for two windows: the outage degrades and recovers
+/// exactly as it would solo, and the siblings stay byte-identical to
+/// no-fault runs — a sibling's outage must be completely invisible.
+#[test]
+fn fleet_sibling_isolation_through_an_outage() {
+    let (model, tracks) = fixture();
+    let plans = [
+        FaultPlan::none(),
+        FaultPlan::none().with_hard_down(2, 4),
+        FaultPlan::none(),
+    ];
+    let faulty: Vec<FaultyModel<'_>> = plans
+        .iter()
+        .map(|p| FaultyModel::new(&model, p.clone()))
+        .collect();
+    let scheduler = BatchScheduler::new(&model, BatchConfig::default());
+    let lanes: Vec<BatchingBackend<'_>> = faulty.iter().map(|f| scheduler.backend(f)).collect();
+    let backends: Vec<&dyn InferenceBackend> =
+        lanes.iter().map(|l| l as &dyn InferenceBackend).collect();
+
+    let mut fleet = FleetIngester::new(
+        &model,
+        CostModel::calibrated(),
+        Device::Cpu,
+        stream_config(),
+        |_| selector(),
+        &backends,
+    )
+    .unwrap();
+    for frames in [250, 480, N_FRAMES] {
+        fleet
+            .advance(&[(&tracks, frames), (&tracks, frames), (&tracks, frames)])
+            .unwrap();
+    }
+    fleet
+        .finish(&[
+            (&tracks, N_FRAMES),
+            (&tracks, N_FRAMES),
+            (&tracks, N_FRAMES),
+        ])
+        .unwrap();
+
+    // Per-stream solo references, each over its own fault surface.
+    for i in [0usize, 1, 2] {
+        let solo_backend = FaultyModel::new(&model, plans[i].clone());
+        let mut solo = merger(&model).with_backend(&solo_backend);
+        for frames in [250, 480, N_FRAMES] {
+            solo.advance(&tracks, frames).unwrap();
+        }
+        solo.finish(&tracks, N_FRAMES).unwrap();
+        let shard = fleet.shard_mut(i);
+        assert_eq!(shard.decisions(), solo.decisions(), "stream {i}");
+        assert_eq!(shard.accepted(), solo.accepted(), "stream {i}");
+        assert_eq!(shard.robustness(), solo.robustness(), "stream {i}");
+        assert_eq!(
+            shard.elapsed_ms().to_bits(),
+            solo.elapsed_ms().to_bits(),
+            "stream {i} clock"
+        );
+        assert_eq!(shard.mapping(), solo.mapping(), "stream {i}");
+    }
+
+    // The siblings never saw a fault; the outage stream degraded, then
+    // recovered to the clean mapping.
+    for i in [0usize, 2] {
+        assert_eq!(fleet.shard(i).robustness(), RobustnessReport::default());
+    }
+    let outage = fleet.shard(1).robustness();
+    assert_eq!(outage.degraded_windows, 2, "{outage:?}");
+    assert_eq!(outage.reverified_windows, 2, "{outage:?}");
+    let mut clean = merger(&model);
+    clean.advance(&tracks, N_FRAMES).unwrap();
+    clean.finish(&tracks, N_FRAMES).unwrap();
+    assert_eq!(fleet.shard_mut(1).mapping(), clean.mapping());
+}
+
+/// Killing the whole fleet mid-outage and resuming from its envelope
+/// checkpoint — with a *fresh* scheduler and lanes, since the shared
+/// feature cache is derived data — reproduces the uninterrupted fleet run
+/// byte for byte on every stream.
+#[test]
+fn fleet_kill_and_resume_is_byte_identical() {
+    let (model, tracks) = fixture();
+    let plans = [FaultPlan::none(), FaultPlan::none().with_hard_down(2, 4)];
+    let run = |bytes: Option<&[u8]>, to_end: bool| {
+        let faulty: Vec<FaultyModel<'_>> = plans
+            .iter()
+            .map(|p| FaultyModel::new(&model, p.clone()))
+            .collect();
+        let scheduler = BatchScheduler::new(&model, BatchConfig::default());
+        let lanes: Vec<BatchingBackend<'_>> = faulty.iter().map(|f| scheduler.backend(f)).collect();
+        let backends: Vec<&dyn InferenceBackend> =
+            lanes.iter().map(|l| l as &dyn InferenceBackend).collect();
+        let mut fleet = match bytes {
+            None => FleetIngester::new(
+                &model,
+                CostModel::calibrated(),
+                Device::Cpu,
+                stream_config(),
+                |_| selector(),
+                &backends,
+            )
+            .unwrap(),
+            Some(b) => FleetIngester::resume(
+                &model,
+                CostModel::calibrated(),
+                Device::Cpu,
+                |_| selector(),
+                &backends,
+                b,
+            )
+            .unwrap(),
+        };
+        let schedule: &[u64] = if bytes.is_some() {
+            &[N_FRAMES]
+        } else {
+            &[250, 420, N_FRAMES]
+        };
+        for &frames in schedule {
+            if !to_end && frames > 420 {
+                break;
+            }
+            fleet
+                .advance(&[(&tracks, frames), (&tracks, frames)])
+                .unwrap();
+        }
+        if !to_end {
+            // Crash mid-outage: the checkpoint carries a degraded stash.
+            assert!(fleet
+                .shard(1)
+                .decisions()
+                .iter()
+                .any(|d| d.mode == DecisionMode::Degraded));
+            return (fleet.checkpoint(), Vec::new());
+        }
+        fleet
+            .finish(&[(&tracks, N_FRAMES), (&tracks, N_FRAMES)])
+            .unwrap();
+        let summaries = (0..2)
+            .map(|i| {
+                let s = fleet.shard_mut(i);
+                (
+                    s.decisions().to_vec(),
+                    s.accepted().to_vec(),
+                    s.robustness(),
+                    s.elapsed_ms().to_bits(),
+                    s.mapping(),
+                )
+            })
+            .collect();
+        (Vec::new(), summaries)
+    };
+
+    // Reference: one uninterrupted fleet run.
+    let (_, full) = run(None, true);
+    // Killed at frame 420, resumed with fresh scheduler/lanes, run to end.
+    let (bytes, _) = run(None, false);
+    let (_, resumed) = run(Some(&bytes), true);
+    assert_eq!(full, resumed, "resumed fleet must reproduce the full run");
 }
 
 /// Corrupt tracker output (non-finite coordinates) is rejected by
