@@ -30,6 +30,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod perf;
 pub mod report;
 
 pub use harness::{CurvePoint, DatasetRun, RunOutcome, VideoRun};

@@ -1,0 +1,127 @@
+//! Steady-state allocation audit: after warm-up, the scoring and
+//! assignment hot paths must perform **zero** heap allocations.
+//!
+//! A counting global allocator ([`tm_bench::perf::CountingAlloc`]) is
+//! installed for this whole test binary, and everything runs inside ONE
+//! `#[test]` function: the default test harness runs `#[test]`s on
+//! multiple threads, and any concurrent test's allocations would pollute
+//! the counters.
+//!
+//! Thread fan-out is pinned with `tm_par::serial_scope` — not the
+//! `TMERGE_THREADS` env var, because `std::env::var_os` itself allocates
+//! when the variable is set, which would show up as a false positive
+//! inside the audited region.
+
+use tm_bench::perf::CountingAlloc;
+use tm_core::score::{exact_scores_with, ScoreScratch};
+use tm_core::selector::SelectionInput;
+use tm_reid::{AppearanceConfig, AppearanceModel, CostModel, Device, ReidSession};
+use tm_track::assign::{
+    iou_threshold_matches, min_cost_assignment_into, AssignmentScratch, BoxMatchScratch,
+};
+use tm_types::{
+    ids::classes, BBox, FrameIdx, GtObjectId, Track, TrackBox, TrackId, TrackPair, TrackSet,
+};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn track(id: u64, actor: u64, start: u64, n: usize, x0: f64) -> Track {
+    Track::with_boxes(
+        TrackId(id),
+        classes::PEDESTRIAN,
+        (0..n)
+            .map(|i| {
+                TrackBox::new(
+                    FrameIdx(start + i as u64),
+                    BBox::new(x0 + i as f64 * 5.0, 100.0, 40.0, 80.0),
+                )
+                .with_provenance(GtObjectId(actor))
+            })
+            .collect(),
+    )
+}
+
+/// Runs `label`'s steady state: two warm rounds to grow every pool, then
+/// the counters must stay flat over the audited rounds.
+fn assert_zero_alloc(label: &str, mut round: impl FnMut()) {
+    round();
+    round();
+    let before = CountingAlloc::snapshot();
+    for _ in 0..5 {
+        round();
+    }
+    let delta = before.delta();
+    assert_eq!(
+        (delta.calls, delta.bytes),
+        (0, 0),
+        "{label}: steady-state rounds allocated {} times / {} bytes",
+        delta.calls,
+        delta.bytes
+    );
+}
+
+#[test]
+fn steady_state_hot_paths_allocate_nothing() {
+    tm_par::serial_scope(|| {
+        // --- Scoring: one window's exact scores on a warm scratch. ---
+        let model = AppearanceModel::new(AppearanceConfig::default());
+        let tracks = TrackSet::from_tracks(vec![
+            track(1, 10, 0, 12, 0.0),
+            track(2, 10, 30, 12, 160.0),
+            track(3, 11, 0, 12, 400.0),
+            track(4, 12, 5, 12, 800.0),
+        ]);
+        let mut pairs = Vec::new();
+        for a in 1..=4u64 {
+            for b in (a + 1)..=4 {
+                pairs.push(TrackPair::new(TrackId(a), TrackId(b)).unwrap());
+            }
+        }
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 1.0,
+        };
+        // The session persists across windows (its feature cache is the
+        // cross-window reuse of §IV-B), the scratch and output are reused.
+        let mut session = ReidSession::new(&model, CostModel::calibrated(), Device::Cpu);
+        let mut scratch = ScoreScratch::new();
+        let mut out = Vec::new();
+        assert_zero_alloc("exact_scores_with", || {
+            exact_scores_with(&input, &mut session, &mut scratch, &mut out).expect("score");
+            assert_eq!(out.len(), pairs.len());
+        });
+
+        // --- Assignment: per-frame box matching, both paths. ---
+        let cols: Vec<BBox> = (0..96)
+            .map(|i| BBox::new((i % 12) as f64 * 130.0, (i / 12) as f64 * 130.0, 50.0, 90.0))
+            .collect();
+        let rows: Vec<BBox> = cols
+            .iter()
+            .step_by(3)
+            .map(|b| BBox::new(b.x + 7.0, b.y + 5.0, b.w, b.h))
+            .collect();
+        let mut bm = BoxMatchScratch::new();
+        assert_zero_alloc("iou_threshold_matches (gated)", || {
+            let n = iou_threshold_matches(&rows, &cols, 0.5, &mut bm).len();
+            assert_eq!(n, rows.len());
+        });
+        assert_zero_alloc("iou_threshold_matches (dense)", || {
+            let n = iou_threshold_matches(&rows, &cols, 1.0, &mut bm).len();
+            assert_eq!(n, rows.len());
+        });
+
+        // --- Dense assignment into a reused output buffer. ---
+        let n = 24usize;
+        let cost: Vec<f64> = (0..n * n)
+            .map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0)
+            .collect();
+        let mut asg = AssignmentScratch::default();
+        let mut assign_out = Vec::new();
+        assert_zero_alloc("min_cost_assignment_into", || {
+            min_cost_assignment_into(&cost, n, n, &mut asg, &mut assign_out);
+            assert_eq!(assign_out.len(), n);
+        });
+    });
+}

@@ -45,7 +45,9 @@ pub mod ps;
 pub mod resilience;
 pub mod sampling;
 pub mod score;
+pub mod scratch;
 pub mod selector;
+pub mod simd;
 pub mod stream;
 pub mod tmerge;
 pub mod union;
@@ -64,7 +66,11 @@ pub use ps::{ProportionalSampling, PsConfig};
 pub use resilience::{
     degraded_candidates, DecisionMode, DegradedConfig, RobustnessConfig, RobustnessReport,
 };
-pub use score::{exact_scores, exact_scores_reference, sum_pairwise_unit_distances};
+pub use score::{
+    exact_scores, exact_scores_reference, exact_scores_with, sum_pairwise_unit_distances,
+    with_score_scratch, ScoreScratch,
+};
+pub use scratch::{Arena, DenseStore};
 pub use selector::{CandidateSelector, SelectionInput, SelectionResult};
 pub use stream::{StreamConfig, StreamingMerger, WindowDecision};
 pub use tmerge::{TMerge, TMergeConfig};

@@ -393,7 +393,9 @@ pub fn run_pipeline_parallel(
     let run_span = obs.span("pipeline.run", 0.0);
     let windows = build_window_pairs(tracks, n_frames, config.window_len)?;
     let selector = config.selector.build();
-    let cache = Arc::new(SharedFeatureCache::new());
+    // Sized for the worker fan-out: each thread runs one window session
+    // against the shared cache at a time.
+    let cache = Arc::new(SharedFeatureCache::for_fleet_width(tm_par::max_threads()));
 
     // Per-window counters fan out with the windows; the recorder's
     // aggregates are commutative, so these counts (windows, pairs,

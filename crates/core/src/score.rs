@@ -11,43 +11,55 @@
 //!
 //! [`exact_scores`] exploits this: each track's features are packed into a
 //! flat row-major matrix once, and every pair's score is a cache-blocked
-//! row×row dot-product sweep ([`sum_pairwise_unit_distances`]) — one FMA
-//! chain per row pair instead of a subtract-square-accumulate chain, and
-//! block tiling so the `B`-side rows stay hot in L1/L2 across the `A` rows
-//! of a tile. The dot product is clamped at zero before the square root so
-//! identical features cannot produce `NaN` from a slightly negative
-//! rounding residue.
+//! row×row dot-product sweep ([`sum_pairwise_unit_distances`], now living
+//! in [`crate::simd`] with an AVX2+FMA fast path and the pinned scalar
+//! kernel as fallback/reference). The dot product is clamped at zero
+//! before the square root so identical features cannot produce `NaN` from
+//! a slightly negative rounding residue.
 //!
 //! The pre-rewrite scorer is kept as [`exact_scores_reference`]; a property
 //! test below pins the two to within `1e-9` and the `kernels` Criterion
 //! bench in `tm-bench` measures the speedup.
+//!
+//! ## Scratch reuse
+//!
+//! [`exact_scores_with`] is the allocation-free core: all working state —
+//! the bump [`Arena`] for per-group resolved-pair / missing-box buffers,
+//! the [`DenseStore`] feature-matrix pool, the task list — lives in a
+//! caller-owned [`ScoreScratch`], and results are written into a caller
+//! `Vec`. After warm-up a steady-state window performs **zero** heap
+//! allocations in this path (pinned by `tm-bench/tests/alloc_audit.rs`).
+//! [`exact_scores`] wraps it with a per-thread scratch pool
+//! ([`with_score_scratch`]) so existing callers keep the reuse without
+//! plumbing.
+//!
+//! Both scorers stage their groups through one shared helper
+//! (`stage_group`/`pack_group`), so the reference cannot silently drift
+//! from the optimized path.
 //!
 //! ## Cost accounting vs. arithmetic
 //!
 //! Simulated-clock charges (inference rounds, distance batches) happen in a
 //! **serial** walk over the pair groups, in exactly the order the original
 //! implementation charged them — only the pure arithmetic that follows is
-//! fanned out over threads (`tm_par::par_map`, index-ordered collection).
-//! Reported costs and scores are therefore bit-identical for any
-//! `TMERGE_THREADS` setting.
+//! fanned out over threads (`tm_par::par_map_into`, index-ordered
+//! collection). Reported costs and scores are therefore bit-identical for
+//! any `TMERGE_THREADS` setting.
 
 use crate::sampling::split_flat_index;
+use crate::scratch::{Arena, DenseStore};
 use crate::selector::SelectionInput;
-use std::collections::HashMap;
+use std::cell::RefCell;
 use tm_reid::{ReidSession, NORMALIZER};
 use tm_types::{Result, Track, TrackBox, TrackId, TrackPair, TrackSet};
+
+pub use crate::simd::{sum_pairwise_unit_distances, sum_pairwise_unit_distances_scalar};
 
 /// Maximum BBox pairs evaluated per batch round. One logical GPU round per
 /// `batch` track pairs may be split into several calls at this cap to bound
 /// memory; the extra per-call overhead charged is negligible relative to
 /// the items (see `tm_reid::CostModel`).
 pub const MAX_ROUND_ITEMS: usize = 65_536;
-
-/// Rows of the `A`-side matrix per tile of the blocked kernel.
-const BLOCK_A: usize = 16;
-/// Rows of the `B`-side matrix per tile; `BLOCK_B · dim` doubles (with the
-/// `A` tile) stay comfortably inside L1 at the default `dim = 32`.
-const BLOCK_B: usize = 64;
 
 /// A resolved track pair: both tracks with their box sequences.
 #[derive(Debug, Clone, Copy)]
@@ -111,48 +123,6 @@ impl<'a> PairBoxes<'a> {
     }
 }
 
-/// Dot product with four independent accumulators (breaks the add-latency
-/// chain so the loop pipelines; folded in a fixed order for determinism).
-#[inline]
-fn dot(x: &[f64], y: &[f64]) -> f64 {
-    let n4 = x.len() / 4 * 4;
-    let mut acc = [0.0f64; 4];
-    let mut i = 0;
-    while i < n4 {
-        acc[0] += x[i] * y[i];
-        acc[1] += x[i + 1] * y[i + 1];
-        acc[2] += x[i + 2] * y[i + 2];
-        acc[3] += x[i + 3] * y[i + 3];
-        i += 4;
-    }
-    let mut tail = 0.0f64;
-    while i < x.len() {
-        tail += x[i] * y[i];
-        i += 1;
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
-}
-
-/// Sum of Euclidean distances over all row pairs of two flat row-major
-/// matrices of **unit-norm** rows, via `‖a−b‖ = √(max(2 − 2·a·b, 0))` with
-/// cache-blocked tiling. Deterministic: the traversal and fold order are
-/// fixed regardless of thread count (the function itself is sequential;
-/// callers parallelize *across* pairs).
-pub fn sum_pairwise_unit_distances(fa: &[f64], fb: &[f64], dim: usize) -> f64 {
-    debug_assert!(dim > 0 && fa.len().is_multiple_of(dim) && fb.len().is_multiple_of(dim));
-    let mut sum = 0.0f64;
-    for tile_a in fa.chunks(BLOCK_A * dim) {
-        for tile_b in fb.chunks(BLOCK_B * dim) {
-            for ra in tile_a.chunks_exact(dim) {
-                for rb in tile_b.chunks_exact(dim) {
-                    sum += (2.0 - 2.0 * dot(ra, rb)).max(0.0).sqrt();
-                }
-            }
-        }
-    }
-    sum
-}
-
 /// The naive subtract-square-accumulate kernel the reference scorer uses;
 /// exposed so benchmarks can compare the kernels head-to-head.
 pub fn sum_pairwise_distances_naive(fa: &[f64], fb: &[f64], dim: usize) -> f64 {
@@ -177,17 +147,143 @@ enum ScoreTask {
     /// Empty BBox-pair pool → worst possible score (1.0), no arithmetic.
     Empty,
     /// Dense kernel over the two tracks' packed feature matrices.
-    Dense {
-        a: TrackId,
-        b: TrackId,
-        total: u64,
-        dim: usize,
-    },
+    Dense { a: TrackId, b: TrackId, total: u64 },
+}
+
+/// Reusable working memory for [`exact_scores_with`]: the per-group bump
+/// arena, the dense feature-matrix pool and the task list. Create one per
+/// long-lived loop (or use [`with_score_scratch`]); after warm-up, calls
+/// through it do not allocate.
+#[derive(Debug, Default)]
+pub struct ScoreScratch {
+    arena: Arena,
+    store: DenseStore,
+    tasks: Vec<(TrackPair, ScoreTask)>,
+}
+
+impl std::fmt::Debug for ScoreTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScoreTask::Empty => write!(f, "Empty"),
+            ScoreTask::Dense { a, b, total } => {
+                write!(f, "Dense({a:?}×{b:?}, {total})")
+            }
+        }
+    }
+}
+
+impl ScoreScratch {
+    /// An empty scratch; buffers grow to the working-set size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    /// Per-thread pool of score scratches. A `Vec` (not a single slot) so
+    /// reentrant scoring — e.g. a selector invoked from inside a fanned-out
+    /// window that itself scores — checks out distinct scratches.
+    static SCRATCH_POOL: RefCell<Vec<ScoreScratch>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Checks a [`ScoreScratch`] out of the calling thread's pool, runs `f`,
+/// and returns it. Windows processed on the same worker thread therefore
+/// share warm buffers; under `TMERGE_THREADS=1` every window in the process
+/// reuses one scratch.
+pub fn with_score_scratch<R>(f: impl FnOnce(&mut ScoreScratch) -> R) -> R {
+    let mut scratch = SCRATCH_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default();
+    let r = f(&mut scratch);
+    SCRATCH_POOL.with(|p| p.borrow_mut().push(scratch));
+    r
+}
+
+/// Stages one pair group: resolves the pairs into the arena and gathers
+/// the flat missing-box list (every box of every group track not yet in
+/// `store` — duplicates across pairs included, exactly as the scorers have
+/// always pushed them; the session dedups by key). Shared by the optimized
+/// and reference scorers so their staging cannot drift apart.
+#[allow(clippy::type_complexity)]
+fn stage_group<'t, 'ar>(
+    group: &[TrackPair],
+    tracks: &'t TrackSet,
+    store: &DenseStore,
+    arena: &'ar Arena,
+) -> Result<(&'ar mut [PairBoxes<'t>], &'ar mut [(TrackId, &'t TrackBox)])> {
+    let resolved = arena.alloc_try_fill(group.len(), |i| PairBoxes::resolve(group[i], tracks))?;
+    // Counting pass, mirroring the fill below exactly.
+    let mut n_missing = 0usize;
+    for pb in resolved.iter() {
+        for t in [pb.a, pb.b] {
+            if !store.contains(t.id) {
+                n_missing += t.len();
+            }
+        }
+    }
+    let missing = arena.alloc_from_iter_exact(
+        n_missing,
+        resolved
+            .iter()
+            .flat_map(|pb| [pb.a, pb.b])
+            .filter(|t| !store.contains(t.id))
+            .flat_map(|t| t.boxes.iter().map(move |b| (t.id, b))),
+    );
+    Ok((resolved, missing))
+}
+
+/// Packs every not-yet-stored group track's features into `store`, reading
+/// the session cache warmed by the ensure step. `strict` marks the
+/// reference path, where a cache miss after an infallible ensure is a bug;
+/// the optimized path falls back to a charged single extraction so the
+/// scorer total stays correct even if a shared cache was drained between
+/// the ensure and this read.
+fn pack_group(
+    resolved: &[PairBoxes<'_>],
+    store: &mut DenseStore,
+    session: &mut ReidSession<'_>,
+    strict: bool,
+) -> Result<()> {
+    for pb in resolved {
+        for t in [pb.a, pb.b] {
+            if store.contains(t.id) {
+                continue;
+            }
+            let start = store.start_track();
+            for b in &t.boxes {
+                let f = match session.cached_feature(t.id, b.frame) {
+                    Some(f) => f,
+                    None if strict => panic!("ensured above"),
+                    None => session.try_feature(t.id, b)?,
+                };
+                store.push_row(f.as_slice());
+            }
+            store.commit_track(t.id, start);
+        }
+    }
+    Ok(())
 }
 
 /// Computes the **exact** normalized score `s̃_{i,j}` of every pair: the
 /// mean normalized feature distance over *all* BBox pairs (Eq. 5). This is
 /// the inner loop of the baseline (Algorithm 1).
+///
+/// Convenience wrapper over [`exact_scores_with`] using the calling
+/// thread's pooled [`ScoreScratch`].
+pub fn exact_scores(
+    input: &SelectionInput<'_>,
+    session: &mut ReidSession<'_>,
+) -> Result<Vec<(TrackPair, f64)>> {
+    with_score_scratch(|scratch| {
+        let mut out = Vec::with_capacity(input.pairs.len());
+        exact_scores_with(input, session, scratch, &mut out)?;
+        Ok(out)
+    })
+}
+
+/// The allocation-free exact scorer: identical results and charges to
+/// [`exact_scores`], with all working memory in `scratch` and the scores
+/// written into `out` (cleared first).
 ///
 /// Track pairs are processed in groups of the session device's batch size
 /// `B` (one logical GPU round per group, §IV-F), with rounds split at
@@ -197,55 +293,29 @@ enum ScoreTask {
 /// Clock charges run serially in group order (identical to the reference
 /// implementation); the dot-product kernel then fans out over all pairs
 /// (see the module docs).
-pub fn exact_scores(
+pub fn exact_scores_with(
     input: &SelectionInput<'_>,
     session: &mut ReidSession<'_>,
-) -> Result<Vec<(TrackPair, f64)>> {
+    scratch: &mut ScoreScratch,
+    out: &mut Vec<(TrackPair, f64)>,
+) -> Result<()> {
     let batch = session.device().batch();
-    // Dense per-track feature matrices, flattened (track id → row-major
-    // [n_boxes × dim]); built lazily as the pair groups need them so GPU
-    // rounds stay aligned with the group (batch) structure.
-    let mut dense: HashMap<TrackId, Vec<f64>> = HashMap::new();
-    let mut dim = 0usize;
-    let mut tasks: Vec<(TrackPair, ScoreTask)> = Vec::with_capacity(input.pairs.len());
+    let ScoreScratch {
+        arena,
+        store,
+        tasks,
+    } = scratch;
+    arena.reset();
+    store.clear();
+    tasks.clear();
     for group in input.pairs.chunks(batch.max(1)) {
-        let resolved: Vec<PairBoxes<'_>> = group
-            .iter()
-            .map(|&p| PairBoxes::resolve(p, input.tracks))
-            .collect::<Result<_>>()?;
+        let (resolved, missing) = stage_group(group, input.tracks, store, arena)?;
         // One inference round for every box of the group not yet extracted.
-        let mut missing: Vec<(TrackId, &TrackBox)> = Vec::new();
-        for pb in &resolved {
-            for t in [pb.a, pb.b] {
-                if !dense.contains_key(&t.id) {
-                    missing.extend(t.boxes.iter().map(|b| (t.id, b)));
-                }
-            }
-        }
-        session.try_ensure_features(&missing)?;
-        for pb in &resolved {
-            for t in [pb.a, pb.b] {
-                if dense.contains_key(&t.id) {
-                    continue;
-                }
-                let mut flat = Vec::new();
-                for b in &t.boxes {
-                    // Ensured above on the happy path; the fallback keeps
-                    // the scorer total even if a shared cache was drained
-                    // between the ensure and this read.
-                    let f = match session.cached_feature(t.id, b.frame) {
-                        Some(f) => f,
-                        None => session.try_feature(t.id, b)?,
-                    };
-                    dim = f.dim();
-                    flat.extend_from_slice(f.as_slice());
-                }
-                dense.insert(t.id, flat);
-            }
-        }
-        for pb in &resolved {
+        session.try_ensure_features(missing)?;
+        pack_group(resolved, store, session, false)?;
+        for pb in resolved.iter() {
             let total = pb.total_bbox_pairs();
-            if total == 0 || dim == 0 {
+            if total == 0 || store.dim() == 0 {
                 tasks.push((pb.pair, ScoreTask::Empty));
                 continue;
             }
@@ -256,71 +326,49 @@ pub fn exact_scores(
                     a: pb.a.id,
                     b: pb.b.id,
                     total,
-                    dim,
                 },
             ));
         }
     }
     // Pure arithmetic from here on: fan the pairs out over threads and
     // collect in input order.
-    Ok(tm_par::par_map(&tasks, |(pair, task)| match task {
+    let store = &*store;
+    tm_par::par_map_into(tasks, out, |(pair, task)| match task {
         ScoreTask::Empty => (*pair, 1.0),
-        ScoreTask::Dense { a, b, total, dim } => {
-            let sum = sum_pairwise_unit_distances(&dense[a], &dense[b], *dim);
+        ScoreTask::Dense { a, b, total } => {
+            let sum = sum_pairwise_unit_distances(store.rows(*a), store.rows(*b), store.dim());
             (*pair, sum / (NORMALIZER * *total as f64))
         }
-    }))
+    });
+    Ok(())
 }
 
 /// The pre-rewrite exact scorer (naive coordinate-difference kernel, fully
 /// serial). Kept as ground truth for the kernel property test and the
 /// `kernels` Criterion bench; production callers use [`exact_scores`].
+/// Staging goes through the same `stage_group`/`pack_group` helpers as the
+/// optimized path — only the kernel and the fan-out differ.
 pub fn exact_scores_reference(
     input: &SelectionInput<'_>,
     session: &mut ReidSession<'_>,
 ) -> Result<Vec<(TrackPair, f64)>> {
     let batch = session.device().batch();
-    let mut dense: HashMap<TrackId, Vec<f64>> = HashMap::new();
-    let mut dim = 0usize;
+    let arena = Arena::new();
+    let mut store = DenseStore::new();
     let mut out = Vec::with_capacity(input.pairs.len());
     for group in input.pairs.chunks(batch.max(1)) {
-        let resolved: Vec<PairBoxes<'_>> = group
-            .iter()
-            .map(|&p| PairBoxes::resolve(p, input.tracks))
-            .collect::<Result<_>>()?;
-        let mut missing: Vec<(TrackId, &TrackBox)> = Vec::new();
-        for pb in &resolved {
-            for t in [pb.a, pb.b] {
-                if !dense.contains_key(&t.id) {
-                    missing.extend(t.boxes.iter().map(|b| (t.id, b)));
-                }
-            }
-        }
-        session.ensure_features(&missing);
-        for pb in &resolved {
-            for t in [pb.a, pb.b] {
-                if dense.contains_key(&t.id) {
-                    continue;
-                }
-                let mut flat = Vec::new();
-                for b in &t.boxes {
-                    let f = session
-                        .cached_feature(t.id, b.frame)
-                        .expect("ensured above");
-                    dim = f.dim();
-                    flat.extend_from_slice(f.as_slice());
-                }
-                dense.insert(t.id, flat);
-            }
-        }
-        for pb in &resolved {
+        let (resolved, missing) = stage_group(group, input.tracks, &store, &arena)?;
+        session.ensure_features(missing);
+        pack_group(resolved, &mut store, session, true)?;
+        for pb in resolved.iter() {
             let total = pb.total_bbox_pairs();
-            if total == 0 || dim == 0 {
+            if total == 0 || store.dim() == 0 {
                 out.push((pb.pair, 1.0));
                 continue;
             }
             session.charge_distance_batch(total as usize);
-            let sum = sum_pairwise_distances_naive(&dense[&pb.a.id], &dense[&pb.b.id], dim);
+            let sum =
+                sum_pairwise_distances_naive(store.rows(pb.a.id), store.rows(pb.b.id), store.dim());
             out.push((pb.pair, sum / (NORMALIZER * total as f64)));
         }
     }
@@ -470,6 +518,32 @@ mod tests {
         assert_eq!(s_new.elapsed_ms(), s_ref.elapsed_ms());
         assert_eq!(s_new.stats().distances, s_ref.stats().distances);
         assert_eq!(s_new.stats().inferences, s_ref.stats().inferences);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh() {
+        let (model, tracks) = setup();
+        let ps = pairs();
+        let input = SelectionInput {
+            pairs: &ps,
+            tracks: &tracks,
+            k: 1.0,
+        };
+        let mut fresh_session = ReidSession::new(&model, CostModel::calibrated(), Device::Cpu);
+        let fresh = exact_scores(&input, &mut fresh_session).unwrap();
+
+        let mut scratch = ScoreScratch::new();
+        let mut out = Vec::new();
+        for round in 0..5 {
+            let mut session = ReidSession::new(&model, CostModel::calibrated(), Device::Cpu);
+            exact_scores_with(&input, &mut session, &mut scratch, &mut out).unwrap();
+            assert_eq!(out.len(), fresh.len());
+            for ((p1, s1), (p2, s2)) in out.iter().zip(&fresh) {
+                assert_eq!(p1, p2, "round {round}");
+                assert_eq!(s1.to_bits(), s2.to_bits(), "round {round}: {s1} vs {s2}");
+            }
+            assert_eq!(session.elapsed_ms(), fresh_session.elapsed_ms());
+        }
     }
 
     #[test]

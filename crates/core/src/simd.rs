@@ -1,0 +1,175 @@
+//! The dense scoring kernel with explicit SIMD dispatch.
+//!
+//! [`sum_pairwise_unit_distances`] is the arithmetic heart of
+//! [`crate::score::exact_scores`]: the sum of Euclidean distances over all
+//! row pairs of two unit-norm feature matrices, via
+//! `‖a−b‖ = √(max(2 − 2·a·b, 0))` with cache-blocked tiling. This module
+//! hosts both implementations:
+//!
+//! * [`sum_pairwise_unit_distances_scalar`] — the pinned pre-SIMD kernel
+//!   (four-accumulator scalar dot, fixed fold order). It is the reference
+//!   the proptests and the perf-trajectory speedup gate compare against
+//!   and must never change behaviour.
+//! * An AVX2+FMA path built on [`tm_types::simd::dot_avx2`], selected at
+//!   runtime (see `tm_types::simd` for the dispatch & determinism
+//!   contract). FMA fuses the multiply-add rounding step, so SIMD results
+//!   may differ from scalar by a few ULPs; the workspace pins the paths to
+//!   within `1e-9` and all determinism suites compare within one build,
+//!   where the dispatch choice is fixed.
+//!
+//! Tiling: `BLOCK_B · dim` doubles of the B side (with an A tile) stay
+//! inside L1 at the default `dim = 32`, so B rows are hot across the A rows
+//! of a tile. Both paths traverse tiles in the same fixed order.
+
+use tm_types::simd::{dot_scalar, simd_enabled};
+
+/// Rows of the `A`-side matrix per tile of the blocked kernel.
+const BLOCK_A: usize = 16;
+/// Rows of the `B`-side matrix per tile.
+const BLOCK_B: usize = 64;
+
+/// Sum of Euclidean distances over all row pairs of two flat row-major
+/// matrices of **unit-norm** rows. Dispatches to AVX2+FMA when the host
+/// supports it (and `TMERGE_SIMD=0` doesn't veto), otherwise runs the
+/// pinned scalar kernel. Deterministic per build: the traversal, fold and
+/// lane-reduction orders are fixed, and the dispatch decision is constant
+/// for the process lifetime.
+pub fn sum_pairwise_unit_distances(fa: &[f64], fb: &[f64], dim: usize) -> f64 {
+    debug_assert!(dim > 0 && fa.len().is_multiple_of(dim) && fb.len().is_multiple_of(dim));
+    #[cfg(target_arch = "x86_64")]
+    if simd_enabled() {
+        // SAFETY: simd_enabled() implies runtime-detected AVX2 and FMA.
+        return unsafe { sum_pairwise_unit_distances_avx2(fa, fb, dim) };
+    }
+    sum_pairwise_unit_distances_scalar(fa, fb, dim)
+}
+
+/// The pinned scalar kernel (pre-SIMD `tm_core::score` implementation):
+/// blocked tiling over a four-accumulator scalar dot product.
+pub fn sum_pairwise_unit_distances_scalar(fa: &[f64], fb: &[f64], dim: usize) -> f64 {
+    debug_assert!(dim > 0 && fa.len().is_multiple_of(dim) && fb.len().is_multiple_of(dim));
+    let mut sum = 0.0f64;
+    for tile_a in fa.chunks(BLOCK_A * dim) {
+        for tile_b in fb.chunks(BLOCK_B * dim) {
+            for ra in tile_a.chunks_exact(dim) {
+                for rb in tile_b.chunks_exact(dim) {
+                    sum += (2.0 - 2.0 * dot_scalar(ra, rb)).max(0.0).sqrt();
+                }
+            }
+        }
+    }
+    sum
+}
+
+/// The AVX2+FMA kernel: identical tiling, vectorized dot.
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn sum_pairwise_unit_distances_avx2(fa: &[f64], fb: &[f64], dim: usize) -> f64 {
+    let mut sum = 0.0f64;
+    for tile_a in fa.chunks(BLOCK_A * dim) {
+        for tile_b in fb.chunks(BLOCK_B * dim) {
+            for ra in tile_a.chunks_exact(dim) {
+                for rb in tile_b.chunks_exact(dim) {
+                    sum += (2.0 - 2.0 * tm_types::simd::dot_avx2(ra, rb))
+                        .max(0.0)
+                        .sqrt();
+                }
+            }
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn splitmix(state: &mut u64) -> f64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A flat row-major matrix of `rows` unit-norm rows.
+    fn unit_matrix(rows: usize, dim: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed;
+        let mut out = Vec::with_capacity(rows * dim);
+        for _ in 0..rows {
+            let mut row: Vec<f64> = (0..dim).map(|_| splitmix(&mut s) * 2.0 - 1.0).collect();
+            let norm = row.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+            row.iter_mut().for_each(|x| *x /= norm);
+            out.extend_from_slice(&row);
+        }
+        out
+    }
+
+    #[test]
+    fn simd_matches_scalar_across_shapes() {
+        for &(na, nb, dim) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (16, 64, 32),
+            (17, 65, 32),
+            (40, 200, 31),
+            (2, 2, 128),
+        ] {
+            let fa = unit_matrix(na, dim, 1 + na as u64);
+            let fb = unit_matrix(nb, dim, 99 + nb as u64);
+            let got = sum_pairwise_unit_distances(&fa, &fb, dim);
+            let want = sum_pairwise_unit_distances_scalar(&fa, &fb, dim);
+            let tol = 1e-9 * (na * nb).max(1) as f64;
+            assert!(
+                (got - want).abs() <= tol,
+                "kernel drift at ({na},{nb},{dim}): {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_rows_have_zero_distance_without_nan() {
+        let fa = unit_matrix(4, 32, 5);
+        let sum = sum_pairwise_unit_distances(&fa, &fa, 32);
+        assert!(sum.is_finite());
+        // 4 of the 16 pairs are identical rows: the clamp must keep each of
+        // those at exactly 0 contribution (no NaN from -0 under sqrt).
+        let scalar = sum_pairwise_unit_distances_scalar(&fa, &fa, 32);
+        assert!((sum - scalar).abs() <= 1e-9 * 16.0);
+    }
+
+    #[test]
+    fn dispatch_is_run_to_run_stable() {
+        let fa = unit_matrix(9, 32, 42);
+        let fb = unit_matrix(13, 32, 43);
+        let first = sum_pairwise_unit_distances(&fa, &fb, 32);
+        for _ in 0..5 {
+            assert_eq!(
+                first.to_bits(),
+                sum_pairwise_unit_distances(&fa, &fb, 32).to_bits()
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_simd_matches_scalar(
+            na in 0usize..12,
+            nb in 0usize..12,
+            dim in 1usize..48,
+            seed in 0u64..1_000_000,
+        ) {
+            let fa = unit_matrix(na, dim, seed.wrapping_add(1));
+            let fb = unit_matrix(nb, dim, seed.wrapping_add(2));
+            let got = sum_pairwise_unit_distances(&fa, &fb, dim);
+            let want = sum_pairwise_unit_distances_scalar(&fa, &fb, dim);
+            let tol = 1e-9 * (na * nb).max(1) as f64;
+            prop_assert!((got - want).abs() <= tol, "drift {} vs {}", got, want);
+        }
+    }
+}

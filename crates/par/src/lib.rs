@@ -24,6 +24,7 @@
 //! coarse shared-nothing tasks — needs only scoped threads plus an atomic
 //! work-stealing counter, not rayon's full scheduler.
 
+use std::cell::Cell;
 use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -32,15 +33,50 @@ use std::sync::OnceLock;
 pub const THREADS_ENV: &str = "TMERGE_THREADS";
 
 fn hardware_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    // The hardware count never changes within a process; caching it keeps
+    // [`max_threads`] heap-allocation-free when `TMERGE_THREADS` is unset
+    // (`available_parallelism` may read cgroup files on Linux).
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+thread_local! {
+    static SERIAL_SCOPE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with every fan-out on *this* thread forced serial
+/// ([`max_threads`] reports 1 inside), without touching the environment.
+///
+/// Results are unchanged — the engine is deterministic at any thread
+/// count — so the scope only pins the execution shape. Two users: the
+/// allocation audit (the serial path writes into caller-owned buffers and
+/// must not even read an environment variable, which allocates) and
+/// benchmarks that want single-thread numbers without mutating global
+/// process state.
+pub fn serial_scope<R>(f: impl FnOnce() -> R) -> R {
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            SERIAL_SCOPE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = SERIAL_SCOPE.with(|c| c.replace(true));
+    let _reset = Reset(prev);
+    f()
 }
 
 /// The engine's current thread cap: `TMERGE_THREADS` when set to a positive
 /// integer, otherwise all hardware threads. Re-read on every fan-out so
 /// tests (and long-lived processes) can change the cap between calls.
+/// Inside a [`serial_scope`] this is 1 unconditionally.
 pub fn max_threads() -> usize {
+    if SERIAL_SCOPE.with(|c| c.get()) {
+        return 1;
+    }
     match std::env::var(THREADS_ENV) {
         Ok(v) => match v.trim().parse::<usize>() {
             Ok(n) if n > 0 => n,
@@ -247,6 +283,28 @@ where
         .collect()
 }
 
+/// [`par_map`] writing into a caller-owned buffer: `out` is cleared and
+/// refilled with exactly `items.iter().map(f)`, in order, any thread count.
+///
+/// The point is the steady-state serial path (`max_threads() == 1`, or a
+/// [`serial_scope`]): once `out`'s capacity has grown to the working-set
+/// size, a call performs **zero** heap allocations — the contract the
+/// scoring hot loop's allocation audit pins. The parallel path reuses the
+/// [`par_map`] machinery and its index-ordered collection.
+pub fn par_map_into<T, R, F>(items: &[T], out: &mut Vec<R>, f: F)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    out.clear();
+    if items.len() <= 1 || max_threads() == 1 {
+        out.extend(items.iter().map(&f));
+        return;
+    }
+    out.extend(par_map(items, f));
+}
+
 /// Runs `f` over every item in parallel, discarding results. Used where
 /// the tasks' only output is a side effect on disjoint state (e.g. each
 /// experiment writing its own JSON file).
@@ -362,6 +420,35 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn map_into_matches_map_and_reuses_buffer() {
+        let items: Vec<u64> = (0..257).collect();
+        let mut out = Vec::new();
+        par_map_into(&items, &mut out, |&x| x * 3 + 1);
+        assert_eq!(out, par_map(&items, |&x| x * 3 + 1));
+        let cap = out.capacity();
+        par_map_into(&items, &mut out, |&x| x * 3 + 1);
+        assert_eq!(out.len(), items.len());
+        assert_eq!(out.capacity(), cap, "refill must reuse the buffer");
+    }
+
+    #[test]
+    fn serial_scope_forces_one_thread_and_restores() {
+        let before = max_threads();
+        serial_scope(|| {
+            assert_eq!(max_threads(), 1);
+            // Nesting keeps the scope active and restores the outer one.
+            serial_scope(|| assert_eq!(max_threads(), 1));
+            assert_eq!(max_threads(), 1);
+            // Fan-outs inside the scope still produce identical results.
+            let items: Vec<u64> = (0..64).collect();
+            let mut out = Vec::new();
+            par_map_into(&items, &mut out, |&x| x + 1);
+            assert_eq!(out, (1..=64).collect::<Vec<_>>());
+        });
+        assert_eq!(max_threads(), before);
     }
 
     #[test]

@@ -178,6 +178,17 @@ impl<'m> BatchScheduler<'m> {
     /// ambient observability scope at construction, so build it inside the
     /// recorder scope whose metrics should see `fleet.batch.*` counters.
     pub fn new(model: &'m AppearanceModel, config: BatchConfig) -> Self {
+        Self::for_fleet_width(model, config, 1)
+    }
+
+    /// [`BatchScheduler::new`] with the shared cache sized for `streams`
+    /// concurrently-ingesting streams
+    /// (see [`SharedFeatureCache::for_fleet_width`]).
+    pub fn for_fleet_width(
+        model: &'m AppearanceModel,
+        config: BatchConfig,
+        streams: usize,
+    ) -> Self {
         let config = BatchConfig {
             max_batch: config.max_batch.max(1),
             ..config
@@ -185,7 +196,7 @@ impl<'m> BatchScheduler<'m> {
         Self {
             model,
             config,
-            cache: SharedFeatureCache::new(),
+            cache: SharedFeatureCache::for_fleet_width(streams),
             pending: Mutex::new(PendingQueue::default()),
             requests: AtomicU64::new(0),
             computed: AtomicU64::new(0),

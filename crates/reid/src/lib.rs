@@ -42,7 +42,7 @@ pub use backend::{
     Attempt, AttemptClass, BackendFault, BackendReply, InferenceBackend, RetryPolicy, SplitBackend,
 };
 pub use batch::{BatchConfig, BatchScheduler, BatchStats, BatchingBackend, FeatureKey};
-pub use cache::SharedFeatureCache;
+pub use cache::{CacheStats, SharedFeatureCache};
 pub use cost::{CostModel, Device, ReidStats, SimClock};
 pub use feature::{Feature, NORMALIZER};
 pub use session::{BoxKey, BoxPairRef, ReidSession, SessionSnapshot};

@@ -91,6 +91,10 @@ pub struct ReidSession<'m> {
     cache: CacheBackend,
     stats: ReidStats,
     obs: Obs,
+    /// Reused dedup set for the miss-collection paths, so steady-state
+    /// (warm-cache) batches allocate nothing. Always left empty between
+    /// calls; cloning a session clones an empty set.
+    scratch_seen: HashSet<BoxKey>,
 }
 
 impl<'m> ReidSession<'m> {
@@ -108,6 +112,7 @@ impl<'m> ReidSession<'m> {
             cache: CacheBackend::Private(HashMap::new()),
             stats: ReidStats::default(),
             obs: tm_obs::current(),
+            scratch_seen: HashSet::new(),
         }
     }
 
@@ -131,6 +136,7 @@ impl<'m> ReidSession<'m> {
             cache: CacheBackend::Shared(cache),
             stats: ReidStats::default(),
             obs: tm_obs::current(),
+            scratch_seen: HashSet::new(),
         }
     }
 
@@ -356,8 +362,9 @@ impl<'m> ReidSession<'m> {
 
     /// Phase 1 of a batch: the cache misses among the pairs' boxes,
     /// deduplicated by a set so large rounds stay linear in the misses.
-    fn collect_pair_misses<'a>(&self, pairs: &[BoxPairRef<'a>]) -> Vec<(BoxKey, &'a TrackBox)> {
-        let mut seen: HashSet<BoxKey> = HashSet::new();
+    fn collect_pair_misses<'a>(&mut self, pairs: &[BoxPairRef<'a>]) -> Vec<(BoxKey, &'a TrackBox)> {
+        let mut seen = std::mem::take(&mut self.scratch_seen);
+        seen.clear();
         let mut misses: Vec<(BoxKey, &'a TrackBox)> = Vec::new();
         for ((ta, ba), (tb, bb)) in pairs {
             for (t, b) in [(*ta, *ba), (*tb, *bb)] {
@@ -368,6 +375,8 @@ impl<'m> ReidSession<'m> {
                 misses.push((key, b));
             }
         }
+        seen.clear();
+        self.scratch_seen = seen;
         misses
     }
 
@@ -428,8 +437,19 @@ impl<'m> ReidSession<'m> {
     /// path used by the exact (baseline) scorer, where per-item cache
     /// lookups would dominate wall-clock.
     pub fn ensure_features(&mut self, boxes: &[(TrackId, &TrackBox)]) {
-        let mut seen: HashSet<BoxKey> = HashSet::new();
-        let mut misses: Vec<(BoxKey, &TrackBox)> = Vec::new();
+        let misses = self.collect_box_misses(boxes);
+        self.infer_misses(misses);
+    }
+
+    /// The cache misses among `boxes`, deduplicated through the reusable
+    /// scratch set. Shared by both ensure paths.
+    fn collect_box_misses<'a>(
+        &mut self,
+        boxes: &[(TrackId, &'a TrackBox)],
+    ) -> Vec<(BoxKey, &'a TrackBox)> {
+        let mut seen = std::mem::take(&mut self.scratch_seen);
+        seen.clear();
+        let mut misses: Vec<(BoxKey, &'a TrackBox)> = Vec::new();
         for (t, b) in boxes {
             let key = BoxKey::new(*t, b.frame);
             if !seen.insert(key) || self.cache_get(&key).is_some() {
@@ -437,7 +457,9 @@ impl<'m> ReidSession<'m> {
             }
             misses.push((key, b));
         }
-        self.infer_misses(misses);
+        seen.clear();
+        self.scratch_seen = seen;
+        misses
     }
 
     /// Reads a cached feature (populated by a prior extraction).
@@ -630,15 +652,7 @@ impl<'m> ReidSession<'m> {
 
     /// Fallible mirror of [`ReidSession::ensure_features`].
     pub fn try_ensure_features(&mut self, boxes: &[(TrackId, &TrackBox)]) -> Result<()> {
-        let mut seen: HashSet<BoxKey> = HashSet::new();
-        let mut misses: Vec<(BoxKey, &TrackBox)> = Vec::new();
-        for (t, b) in boxes {
-            let key = BoxKey::new(*t, b.frame);
-            if !seen.insert(key) || self.cache_get(&key).is_some() {
-                continue;
-            }
-            misses.push((key, b));
-        }
+        let misses = self.collect_box_misses(boxes);
         self.try_infer_misses(misses)
     }
 

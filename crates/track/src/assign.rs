@@ -295,6 +295,28 @@ pub fn min_cost_assignment_flat(
     scratch.row_to_col.clone()
 }
 
+/// [`min_cost_assignment_flat`] with the result written into a reused
+/// buffer (cleared first) instead of a freshly allocated `Vec`, so
+/// steady-state per-frame solves allocate nothing once the scratch and
+/// `out` have grown to the working-set size.
+pub fn min_cost_assignment_into(
+    cost: &[f64],
+    n_rows: usize,
+    n_cols: usize,
+    scratch: &mut AssignmentScratch,
+    out: &mut Vec<Option<usize>>,
+) {
+    assert_eq!(
+        cost.len(),
+        n_rows * n_cols,
+        "flat cost matrix has wrong length"
+    );
+    scratch.stats.dense_solves += 1;
+    solve_dense(n_rows, n_cols, cost, scratch);
+    out.clear();
+    out.extend_from_slice(&scratch.row_to_col);
+}
+
 fn find(parent: &mut [u32], mut x: u32) -> u32 {
     while parent[x as usize] != x {
         parent[x as usize] = parent[parent[x as usize] as usize];
@@ -610,6 +632,7 @@ impl BoxGrid {
 pub struct BoxMatchScratch {
     grid: BoxGrid,
     cand: Vec<u32>,
+    cand_costs: Vec<f64>,
     edges: Vec<Edge>,
     dense: Vec<f64>,
     /// Solver scratch, exposed for callers that also run their own solves.
@@ -660,14 +683,9 @@ pub fn iou_threshold_matches<'s>(
         s.dense.clear();
         s.dense.reserve(n * m);
         for rb in rows {
-            s.dense.extend(cols.iter().map(|cb| {
-                let cost = 1.0 - rb.iou(cb);
-                if cost <= max_cost {
-                    cost
-                } else {
-                    FORBIDDEN
-                }
-            }));
+            // SIMD-dispatched, bit-identical to the scalar
+            // `1.0 - rb.iou(cb)` mask-and-store (see `tm_types::simd`).
+            tm_types::simd::iou_cost_row_masked(rb, cols, max_cost, FORBIDDEN, &mut s.dense);
         }
         solve_dense(n, m, &s.dense, &mut s.assign);
         s.assign.matches.clear();
@@ -684,8 +702,9 @@ pub fn iou_threshold_matches<'s>(
     s.edges.clear();
     for (r, rb) in rows.iter().enumerate() {
         s.grid.candidates(rb, &mut s.cand);
-        for &c in &s.cand {
-            let cost = 1.0 - rb.iou(&cols[c as usize]);
+        s.cand_costs.clear();
+        tm_types::simd::iou_costs_indexed(rb, cols, &s.cand, &mut s.cand_costs);
+        for (&c, &cost) in s.cand.iter().zip(&s.cand_costs) {
             if cost <= max_cost {
                 s.edges.push(Edge {
                     row: r as u32,

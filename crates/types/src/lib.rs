@@ -27,6 +27,7 @@ pub mod geometry;
 pub mod ids;
 pub mod motchallenge;
 pub mod pair;
+pub mod simd;
 pub mod track;
 
 pub use detection::Detection;
