@@ -90,6 +90,7 @@ fn stream_config() -> StreamConfig {
     StreamConfig {
         window_len: WINDOW_LEN,
         k: 0.2,
+        gate: tm_reid::GatePolicy::Off,
     }
 }
 

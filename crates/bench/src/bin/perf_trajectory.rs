@@ -372,6 +372,7 @@ fn ingest_suite(quick: bool) -> Vec<BenchCase> {
     let stream_config = StreamConfig {
         window_len: 200,
         k: 0.2,
+        gate: tm_reid::GatePolicy::Off,
     };
     let inferences = AtomicU64::new(0);
     let alloc = CountingAlloc::snapshot();

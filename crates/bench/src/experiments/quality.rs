@@ -31,6 +31,7 @@ fn pipeline_config(seed: u64) -> PipelineConfig {
         }),
         device: Device::Gpu { batch: 10 },
         cost: CostModel::calibrated(),
+        gate: tm_reid::GatePolicy::Off,
     }
 }
 

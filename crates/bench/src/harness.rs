@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 use tm_core::{build_window_pairs, CandidateSelector, SelectionInput, WindowPairs};
 use tm_datasets::{prepare, DatasetSpec, PreparedVideo};
 use tm_metrics::recall;
-use tm_reid::{AppearanceModel, CostModel, Device, ReidSession};
+use tm_reid::{AppearanceModel, CostModel, Device, GatePolicy, ReidSession};
 use tm_track::TrackerKind;
 use tm_types::TrackPair;
 
@@ -102,9 +102,27 @@ pub fn run_selector(
     cost: CostModel,
     device: Device,
 ) -> RunOutcome {
+    run_selector_gated(runs, selector, k, cost, device, GatePolicy::Off)
+}
+
+/// [`run_selector`] with an extraction gate installed on every per-video
+/// session (`GatePolicy::Off` is exactly `run_selector`). Gate decision
+/// counters flush once per decided window — the `AssignStats` cadence —
+/// and the saved charges are attributed to the selector as
+/// `reid.gate.saved_charges.<slug>`.
+pub fn run_selector_gated(
+    runs: &[VideoRun],
+    selector: &dyn CandidateSelector,
+    k: f64,
+    cost: CostModel,
+    device: Device,
+    gate: GatePolicy,
+) -> RunOutcome {
     let outcomes = tm_par::par_map(runs, |run| {
         let model = run.video.model();
-        let mut session = ReidSession::new(&model, cost, device);
+        let mut session = ReidSession::new(&model, cost, device).with_gate(gate);
+        session.gate_update_plan(&run.video.tracks);
+        let obs = tm_obs::current();
         let mut candidates: Vec<TrackPair> = Vec::new();
         let mut evals = 0u64;
         for wp in &run.windows {
@@ -119,6 +137,13 @@ pub fn run_selector(
             let result = selector
                 .select(&input, &mut session)
                 .expect("clean backend: selection cannot fail");
+            let delta = session.flush_gate_obs();
+            if obs.enabled() && delta.saved_charges() > 0 {
+                obs.counter(
+                    &format!("reid.gate.saved_charges.{}", selector.obs_slug()),
+                    delta.saved_charges(),
+                );
+            }
             evals += result.distance_evals;
             candidates.extend(result.candidates);
         }

@@ -102,6 +102,7 @@ fn stream_config() -> StreamConfig {
     StreamConfig {
         window_len: WINDOW_LEN,
         k: 0.2,
+        gate: tm_reid::GatePolicy::Off,
     }
 }
 
@@ -277,6 +278,7 @@ fn clean_fleet_stream_matches_offline_pipeline() {
             }),
             device: Device::Cpu,
             cost: CostModel::calibrated(),
+            gate: tm_reid::GatePolicy::Off,
         },
         None,
         &faulty,

@@ -17,10 +17,10 @@
 
 use std::sync::{Arc, Mutex};
 use tm_bench::experiments::{sweep, ExpConfig};
-use tm_bench::harness::{run_selector, DatasetRun};
+use tm_bench::harness::{run_selector, run_selector_gated, DatasetRun};
 use tm_core::{Baseline, TMerge, TMergeConfig};
 use tm_datasets::mot17;
-use tm_reid::{CostModel, Device};
+use tm_reid::{CostModel, Device, GateConfig, GatePolicy};
 use tm_track::TrackerKind;
 
 /// Serializes `TMERGE_THREADS` mutation across tests: concurrent
@@ -78,5 +78,52 @@ fn recorder_snapshot_is_byte_identical_across_thread_counts() {
     assert_eq!(
         snaps[0], snaps[1],
         "recorder snapshot must not depend on the worker fan-out"
+    );
+}
+
+/// The same pin with the extraction gate on: gate decisions are a pure
+/// function of per-video tracker state, so the `reid.gate.*` counters —
+/// including the per-selector charge attribution — must be byte-identical
+/// at any `TMERGE_THREADS`.
+#[test]
+fn gated_recorder_snapshot_is_byte_identical_across_thread_counts() {
+    let cfg = ExpConfig::quick();
+    let spec = cfg.limit(mot17(), 2);
+    let ds = DatasetRun::prepare(&spec, TrackerKind::Tracktor, None);
+    let cost = CostModel::calibrated();
+    let gate = GatePolicy::On(GateConfig::default());
+    let snaps = snapshot_per_thread_count(|| {
+        let tm = TMerge::new(TMergeConfig {
+            tau_max: 2_000,
+            seed: cfg.seed,
+            ..TMergeConfig::default()
+        });
+        run_selector_gated(&ds.runs, &Baseline, sweep::K, cost, Device::Cpu, gate);
+        run_selector_gated(
+            &ds.runs,
+            &tm,
+            sweep::K,
+            cost,
+            Device::Gpu { batch: 10 },
+            gate,
+        );
+    });
+
+    for key in [
+        "counter reid.gate.extract",
+        "counter reid.gate.reuse",
+        "counter reid.gate.saved_charges ",
+        "counter reid.gate.saved_charges.baseline",
+        "counter reid.gate.saved_charges.tmerge",
+    ] {
+        assert!(
+            snaps[0].lines().any(|l| l.starts_with(key)),
+            "snapshot lost {key:?}; keys present:\n{}",
+            snaps[0]
+        );
+    }
+    assert_eq!(
+        snaps[0], snaps[1],
+        "gated recorder snapshot must not depend on the worker fan-out"
     );
 }

@@ -19,6 +19,10 @@ impl CandidateSelector for Baseline {
         "BL".to_string()
     }
 
+    fn obs_slug(&self) -> &'static str {
+        "baseline"
+    }
+
     fn select(
         &self,
         input: &SelectionInput<'_>,

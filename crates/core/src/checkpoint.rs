@@ -26,16 +26,22 @@ use crate::stream::{StashedWindow, StreamConfig, StreamingMerger, WindowDecision
 use crate::union::UnionFind;
 use crate::window::Window;
 use std::collections::BTreeSet;
-use tm_reid::{AppearanceModel, BoxKey, ReidSession, ReidStats, RetryPolicy, SessionSnapshot};
-use tm_types::{FrameIdx, Result, TmError, TrackId, TrackPair};
+use tm_reid::{
+    AppearanceModel, BoxKey, FeatureProvenance, GateConfig, GatePolicy, GateSnapshot, GateStats,
+    ReidSession, ReidStats, RetryPolicy, SessionSnapshot, TrackPlan,
+};
+use tm_types::{BBox, FrameIdx, GtObjectId, Result, TmError, TrackBox, TrackId, TrackPair};
 
 /// `TMCK` in ASCII.
 const MAGIC: u64 = 0x544d_434b;
 /// Version 2 added the observability recorder state (counters and
 /// sim-clock histograms), so a resumed ingester's metrics snapshot is
 /// byte-identical to an uninterrupted run's. Version 3 added the stream
-/// id, so a resumed fleet shard keeps its per-stream identity.
-const VERSION: u64 = 3;
+/// id, so a resumed fleet shard keeps its per-stream identity. Version 4
+/// added the extraction-gate policy and runtime state (plan, counters,
+/// provenance), so a resumed gated session decides and charges
+/// identically to an uninterrupted one.
+const VERSION: u64 = 4;
 
 fn corrupt(reason: &str) -> TmError {
     TmError::invalid("checkpoint", reason)
@@ -210,6 +216,158 @@ impl<'a> Reader<'a> {
     }
 }
 
+fn put_gate_config(w: &mut Writer, cfg: &GateConfig) {
+    w.put_u64(cfg.fresh_frames);
+    w.put_u64(cfg.occlusion_gap);
+    w.put_u64(cfg.refresh_interval);
+    w.put_u64(cfg.max_reuse_age);
+    w.put_f64(cfg.decay_half_life);
+    w.put_f64(cfg.defer_below);
+    w.put_f64(cfg.ambiguity_iou);
+}
+
+fn take_gate_config(r: &mut Reader<'_>) -> Result<GateConfig> {
+    Ok(GateConfig {
+        fresh_frames: r.take_u64()?,
+        occlusion_gap: r.take_u64()?,
+        refresh_interval: r.take_u64()?,
+        max_reuse_age: r.take_u64()?,
+        decay_half_life: r.take_f64()?,
+        defer_below: r.take_f64()?,
+        ambiguity_iou: r.take_f64()?,
+    })
+}
+
+fn put_gate_stats(w: &mut Writer, s: &GateStats) {
+    w.put_u64(s.extracts);
+    w.put_u64(s.reuses);
+    w.put_u64(s.defers);
+}
+
+fn take_gate_stats(r: &mut Reader<'_>) -> Result<GateStats> {
+    Ok(GateStats {
+        extracts: r.take_u64()?,
+        reuses: r.take_u64()?,
+        defers: r.take_u64()?,
+    })
+}
+
+fn put_box_key(w: &mut Writer, k: BoxKey) {
+    w.put_u64(k.track.get());
+    w.put_u64(k.frame.get());
+}
+
+fn take_box_key(r: &mut Reader<'_>) -> Result<BoxKey> {
+    Ok(BoxKey {
+        track: TrackId(r.take_u64()?),
+        frame: FrameIdx(r.take_u64()?),
+    })
+}
+
+fn put_track_box(w: &mut Writer, b: &TrackBox) {
+    w.put_u64(b.frame.get());
+    w.put_f64(b.bbox.x);
+    w.put_f64(b.bbox.y);
+    w.put_f64(b.bbox.w);
+    w.put_f64(b.bbox.h);
+    w.put_f64(b.confidence);
+    w.put_f64(b.visibility);
+    match b.provenance {
+        Some(g) => {
+            w.put_bool(true);
+            w.put_u64(g.get());
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn take_track_box(r: &mut Reader<'_>) -> Result<TrackBox> {
+    let frame = FrameIdx(r.take_u64()?);
+    let bbox = BBox::new(r.take_f64()?, r.take_f64()?, r.take_f64()?, r.take_f64()?);
+    let confidence = r.take_f64()?;
+    let visibility = r.take_f64()?;
+    let mut b = TrackBox::new(frame, bbox)
+        .with_confidence(confidence)
+        .with_visibility(visibility);
+    if r.take_bool()? {
+        b = b.with_provenance(GtObjectId(r.take_u64()?));
+    }
+    Ok(b)
+}
+
+fn put_gate_snapshot(w: &mut Writer, g: &GateSnapshot) {
+    put_gate_config(w, &g.config);
+    put_gate_stats(w, &g.stats);
+    put_gate_stats(w, &g.flushed);
+    w.put_u64(g.provenance.len() as u64);
+    for (target, p) in &g.provenance {
+        put_box_key(w, *target);
+        put_box_key(w, p.donor);
+        w.put_u64(p.age);
+        w.put_bool(p.deferred);
+    }
+    w.put_u64(g.plans.len() as u64);
+    for (track, plan) in &g.plans {
+        w.put_u64(track.get());
+        w.put_u64(plan.planned as u64);
+        w.put_u64(plan.planned_through);
+        w.put_u64(plan.anchors.len() as u64);
+        for a in &plan.anchors {
+            put_track_box(w, a);
+        }
+    }
+}
+
+fn take_gate_snapshot(r: &mut Reader<'_>) -> Result<GateSnapshot> {
+    let config = take_gate_config(r)?;
+    let stats = take_gate_stats(r)?;
+    let flushed = take_gate_stats(r)?;
+    let n = r.take_len()?;
+    let provenance: Vec<(BoxKey, FeatureProvenance)> = (0..n)
+        .map(|_| {
+            let target = take_box_key(r)?;
+            let donor = take_box_key(r)?;
+            let age = r.take_u64()?;
+            let deferred = r.take_bool()?;
+            Ok((
+                target,
+                FeatureProvenance {
+                    donor,
+                    age,
+                    deferred,
+                },
+            ))
+        })
+        .collect::<Result<_>>()?;
+    let n = r.take_len()?;
+    let plans: Vec<(TrackId, TrackPlan)> = (0..n)
+        .map(|_| {
+            let track = TrackId(r.take_u64()?);
+            let planned = r.take_u64()? as usize;
+            let planned_through = r.take_u64()?;
+            let n_anchors = r.take_len()?;
+            let anchors: Vec<TrackBox> = (0..n_anchors)
+                .map(|_| take_track_box(r))
+                .collect::<Result<_>>()?;
+            Ok((
+                track,
+                TrackPlan {
+                    planned,
+                    planned_through,
+                    anchors,
+                },
+            ))
+        })
+        .collect::<Result<_>>()?;
+    Ok(GateSnapshot {
+        config,
+        stats,
+        flushed,
+        provenance,
+        plans,
+    })
+}
+
 impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
     /// Serializes the merger's complete state. Call between `advance`
     /// calls (the merger is always consistent at those points).
@@ -220,6 +378,13 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
 
         w.put_u64(self.config.window_len);
         w.put_f64(self.config.k);
+        match self.config.gate.config() {
+            Some(cfg) => {
+                w.put_bool(true);
+                put_gate_config(&mut w, cfg);
+            }
+            None => w.put_bool(false),
+        }
         w.put_u64(self.stream_id);
 
         w.put_u64(self.robustness.retry.max_attempts as u64);
@@ -281,6 +446,13 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
                 w.put_f64(c);
             }
         }
+        match &snap.gate {
+            Some(g) => {
+                w.put_bool(true);
+                put_gate_snapshot(&mut w, g);
+            }
+            None => w.put_bool(false),
+        }
 
         // Observability recorder state: counters and sim-clock histograms
         // (the deterministic half of the recorder; wall-clock data never
@@ -329,6 +501,11 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
         let config = StreamConfig {
             window_len: r.take_u64()?,
             k: r.take_f64()?,
+            gate: if r.take_bool()? {
+                GatePolicy::On(take_gate_config(&mut r)?)
+            } else {
+                GatePolicy::Off
+            },
         };
         let stream_id = r.take_u64()?;
         let robustness = RobustnessConfig {
@@ -412,6 +589,11 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
                 Ok((key, feat))
             })
             .collect::<Result<_>>()?;
+        let gate_snap = if r.take_bool()? {
+            Some(take_gate_snapshot(&mut r)?)
+        } else {
+            None
+        };
 
         let n = r.take_len()?;
         let rec_counters: Vec<(String, u64)> = (0..n)
@@ -446,11 +628,13 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
 
         let mut session = ReidSession::new(model, session_cost, device)
             .with_obs(obs.clone())
-            .with_retry_policy(robustness.retry);
+            .with_retry_policy(robustness.retry)
+            .with_gate(config.gate);
         session.restore_snapshot(&SessionSnapshot {
             elapsed_ms,
             stats,
             cache,
+            gate: gate_snap,
         });
 
         // The union-find is derived state: re-union the committed merges.
@@ -529,6 +713,14 @@ mod tests {
         StreamConfig {
             window_len: 200,
             k: 0.1,
+            gate: GatePolicy::Off,
+        }
+    }
+
+    fn gated_config() -> StreamConfig {
+        StreamConfig {
+            gate: GatePolicy::On(GateConfig::default()),
+            ..config()
         }
     }
 
@@ -625,6 +817,66 @@ mod tests {
             snap,
             rec_resumed.snapshot(),
             "kill-and-resume must reproduce the metrics snapshot byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn gated_checkpoint_resumes_bit_identically() {
+        let (model, tracks) = fixture();
+        let run_on = |m: &mut StreamingMerger<'_, TMerge>| {
+            m.advance(&tracks, 400).unwrap();
+            m.finish(&tracks, 400).unwrap();
+        };
+
+        // Uninterrupted gated run.
+        let mut full = StreamingMerger::new(
+            &model,
+            CostModel::calibrated(),
+            Device::Cpu,
+            selector(),
+            gated_config(),
+        )
+        .unwrap();
+        run_on(&mut full);
+
+        // Same gated run killed mid-stream and resumed.
+        let mut killed = StreamingMerger::new(
+            &model,
+            CostModel::calibrated(),
+            Device::Cpu,
+            selector(),
+            gated_config(),
+        )
+        .unwrap();
+        killed.advance(&tracks, 250).unwrap();
+        assert!(
+            killed.session.gate_stats().saved_charges() > 0,
+            "fixture must exercise the gate before the kill"
+        );
+        let bytes = killed.checkpoint();
+        let mut resumed = StreamingMerger::resume(
+            &model,
+            CostModel::calibrated(),
+            Device::Cpu,
+            selector(),
+            &bytes,
+        )
+        .unwrap();
+        assert_eq!(resumed.session.gate_policy(), killed.session.gate_policy());
+        assert_eq!(resumed.session.snapshot(), killed.session.snapshot());
+        run_on(&mut resumed);
+
+        assert_eq!(resumed.accepted(), full.accepted());
+        assert_eq!(resumed.mapping(), full.mapping());
+        assert_eq!(
+            resumed.elapsed_ms().to_bits(),
+            full.elapsed_ms().to_bits(),
+            "resumed gated clock must match the uninterrupted one bit-exactly"
+        );
+        assert_eq!(
+            resumed.session.gate_stats(),
+            full.session.gate_stats(),
+            "gate decision counters must survive the kill"
         );
     }
 

@@ -73,6 +73,10 @@ impl CandidateSelector for EpsilonGreedy {
         format!("eGreedy(ε={})", self.config.epsilon)
     }
 
+    fn obs_slug(&self) -> &'static str {
+        "egreedy"
+    }
+
     fn select(
         &self,
         input: &SelectionInput<'_>,

@@ -20,14 +20,15 @@ use crate::selector::{CandidateSelector, SelectionInput, SelectionResult};
 use std::sync::Arc;
 use tm_obs::{Obs, Value};
 use tm_reid::{
-    AppearanceModel, CostModel, Device, InferenceBackend, ReidSession, RetryPolicy,
+    AppearanceModel, CostModel, Device, GatePolicy, InferenceBackend, ReidSession, RetryPolicy,
     SharedFeatureCache,
 };
 use tm_types::{Result, TrackPair, TrackSet};
 
 /// Builds the one true per-window/per-stream [`ReidSession`]: private or
-/// shared cache, optional fallible backend, optional retry override — the
-/// construction every execution path shares.
+/// shared cache, optional fallible backend, optional retry override,
+/// extraction gate — the construction every execution path shares, so all
+/// four entry paths run one [`GatePolicy`].
 pub(crate) fn window_session<'m>(
     model: &'m AppearanceModel,
     cost: CostModel,
@@ -35,6 +36,7 @@ pub(crate) fn window_session<'m>(
     cache: Option<Arc<SharedFeatureCache>>,
     backend: Option<&'m dyn InferenceBackend>,
     retry: Option<RetryPolicy>,
+    gate: GatePolicy,
 ) -> ReidSession<'m> {
     let mut session = match cache {
         Some(cache) => ReidSession::with_shared_cache(model, cost, device, cache),
@@ -46,7 +48,21 @@ pub(crate) fn window_session<'m>(
     if let Some(retry) = retry {
         session = session.with_retry_policy(retry);
     }
-    session
+    session.with_gate(gate)
+}
+
+/// Flushes the session's gate decision counters (once per decided window,
+/// the `AssignStats` cadence) and attributes the saved charges to the
+/// selector that ran (`reid.gate.saved_charges.<slug>`). No-op — no
+/// counters, no allocation — for ungated sessions.
+pub(crate) fn flush_gate_obs(session: &mut ReidSession<'_>, obs: &Obs, selector_slug: &str) {
+    let delta = session.flush_gate_obs();
+    if obs.enabled() && delta.saved_charges() > 0 {
+        obs.counter(
+            &format!("reid.gate.saved_charges.{selector_slug}"),
+            delta.saved_charges(),
+        );
+    }
 }
 
 /// How one window was decided.
@@ -78,7 +94,12 @@ pub(crate) fn select_or_degrade(
     if breaker.is_open() {
         return degrade(input, report, robustness, obs);
     }
-    match selector.select(input, session) {
+    let outcome = selector.select(input, session);
+    // Gate decisions accumulated during selection flush here whether the
+    // window succeeded or failed — failed extractions still made (and
+    // charged) their decisions.
+    flush_gate_obs(session, obs, selector.obs_slug());
+    match outcome {
         Ok(result) => {
             breaker.record_success();
             Ok(WindowVerdict::Normal(result))
@@ -196,7 +217,9 @@ pub(crate) fn reverify_windows(
             tracks,
             k,
         };
-        match selector.select(&input, session) {
+        let outcome = selector.select(&input, session);
+        flush_gate_obs(session, obs, selector.obs_slug());
+        match outcome {
             Ok(result) => {
                 commit(item.slot, result);
                 note_reverified(report, obs);

@@ -277,6 +277,7 @@ mod tests {
         StreamConfig {
             window_len: 200,
             k: 0.1,
+            gate: tm_reid::GatePolicy::Off,
         }
     }
 

@@ -73,6 +73,10 @@ impl CandidateSelector for LowerConfidenceBound {
         "LCB".to_string()
     }
 
+    fn obs_slug(&self) -> &'static str {
+        "lcb"
+    }
+
     fn select(
         &self,
         input: &SelectionInput<'_>,

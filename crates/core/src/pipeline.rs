@@ -27,8 +27,8 @@ use crate::union::merge_mapping;
 use std::sync::Arc;
 use tm_obs::Obs;
 use tm_reid::{
-    AppearanceModel, CostModel, Device, InferenceBackend, ReidSession, ReidStats,
-    SharedFeatureCache,
+    AppearanceModel, CostModel, Device, GatePlan, GatePolicy, InferenceBackend, ReidSession,
+    ReidStats, SharedFeatureCache,
 };
 use tm_types::{Result, TrackPair, TrackSet};
 
@@ -70,6 +70,9 @@ pub struct PipelineConfig {
     pub device: Device,
     /// Simulated cost constants.
     pub cost: CostModel,
+    /// Selective feature extraction (DESIGN.md §14). `Off` (the default)
+    /// is bit-identical to the pre-gating pipeline.
+    pub gate: GatePolicy,
 }
 
 impl Default for PipelineConfig {
@@ -81,6 +84,7 @@ impl Default for PipelineConfig {
             selector: SelectorKind::TMerge(TMergeConfig::default()),
             device: Device::Cpu,
             cost: CostModel::calibrated(),
+            gate: GatePolicy::Off,
         }
     }
 }
@@ -229,7 +233,11 @@ pub fn run_pipeline_with_backend<'m>(
         None,
         Some(backend),
         Some(robustness.retry),
+        config.gate,
     );
+    // The whole video is known up front, so the gate plans every box once
+    // (free: planning charges nothing).
+    session.gate_update_plan(tracks);
 
     let mut breaker = Breaker::new(robustness.breaker_threshold);
     let mut report = RobustnessReport::default();
@@ -396,6 +404,14 @@ pub fn run_pipeline_parallel(
     // Sized for the worker fan-out: each thread runs one window session
     // against the shared cache at a time.
     let cache = Arc::new(SharedFeatureCache::for_fleet_width(tm_par::max_threads()));
+    // Plan the whole video once; every window worker gets a copy, so gated
+    // decisions are identical to the serial walk's regardless of thread
+    // count or window order.
+    let gate_plan = config.gate.config().map(|cfg| {
+        let mut plan = GatePlan::default();
+        plan.update(tracks, cfg);
+        plan
+    });
 
     // Per-window counters fan out with the windows; the recorder's
     // aggregates are commutative, so these counts (windows, pairs,
@@ -416,13 +432,19 @@ pub fn run_pipeline_parallel(
             Some(Arc::clone(&cache)),
             None,
             None,
+            config.gate,
         );
+        if let Some(plan) = &gate_plan {
+            session.set_gate_plan(plan);
+        }
         let input = SelectionInput {
             pairs: &wp.pairs,
             tracks,
             k: config.k,
         };
-        Some(selector.select(&input, &mut session).map(|result| {
+        let outcome = selector.select(&input, &mut session);
+        exec::flush_gate_obs(&mut session, &obs, selector.obs_slug());
+        Some(outcome.map(|result| {
             if obs.enabled() {
                 obs.counter("pipeline.windows", 1);
                 obs.counter("pipeline.pairs", wp.pairs.len() as u64);
@@ -527,6 +549,7 @@ mod tests {
             }),
             device: Device::Cpu,
             cost: CostModel::calibrated(),
+            gate: GatePolicy::Off,
         }
     }
 
@@ -611,6 +634,48 @@ mod tests {
             parallel.elapsed_ms
         );
         assert_eq!(serial.merged.len(), parallel.merged.len());
+    }
+
+    #[test]
+    fn gated_pipeline_keeps_candidates_and_cuts_inferences() {
+        let (model, tracks) = fixture();
+        let ungated = run_pipeline(&tracks, 200, &model, &config(), None).unwrap();
+        let mut cfg = config();
+        cfg.gate = GatePolicy::On(tm_reid::GateConfig::default());
+        let gated = run_pipeline(&tracks, 200, &model, &cfg, None).unwrap();
+        assert!(
+            gated.stats.inferences < ungated.stats.inferences,
+            "gated {} vs ungated {}",
+            gated.stats.inferences,
+            ungated.stats.inferences
+        );
+        assert!(gated.elapsed_ms < ungated.elapsed_ms);
+        // The fixture's fragmented actor is still found.
+        let poly = TrackPair::new(TrackId(1), TrackId(2)).unwrap();
+        assert!(gated.candidates.contains(&poly), "{:?}", gated.candidates);
+    }
+
+    #[test]
+    fn gated_parallel_pipeline_matches_gated_serial() {
+        let (model, tracks) = fixture();
+        let mut cfg = config();
+        cfg.window_len = 100;
+        cfg.gate = GatePolicy::On(tm_reid::GateConfig::default());
+        let serial = run_pipeline(&tracks, 200, &model, &cfg, None).unwrap();
+        std::env::set_var(tm_par::THREADS_ENV, "4");
+        let parallel = run_pipeline_parallel(&tracks, 200, &model, &cfg, None).unwrap();
+        std::env::remove_var(tm_par::THREADS_ENV);
+        assert_eq!(serial.candidates, parallel.candidates);
+        assert_eq!(serial.n_pairs, parallel.n_pairs);
+        assert_eq!(serial.distance_evals, parallel.distance_evals);
+        // Anchors are charged exactly once globally either way.
+        assert_eq!(serial.stats.inferences, parallel.stats.inferences);
+        assert!(
+            (serial.elapsed_ms - parallel.elapsed_ms).abs() < 1e-6,
+            "serial {} vs parallel {}",
+            serial.elapsed_ms,
+            parallel.elapsed_ms
+        );
     }
 
     #[test]

@@ -48,6 +48,10 @@ impl CandidateSelector for ProportionalSampling {
         format!("PS(η={})", self.config.eta)
     }
 
+    fn obs_slug(&self) -> &'static str {
+        "ps"
+    }
+
     fn select(
         &self,
         input: &SelectionInput<'_>,

@@ -60,6 +60,14 @@ pub trait CandidateSelector: Send + Sync {
     /// Display name for tables/figures (e.g. "TMerge", "BL").
     fn name(&self) -> String;
 
+    /// Short lowercase slug for counter names — the same slug each
+    /// selector already uses for its `selector.<slug>.selections`
+    /// counter. Labels per-selector gate attribution
+    /// (`reid.gate.saved_charges.<slug>`).
+    fn obs_slug(&self) -> &'static str {
+        "selector"
+    }
+
     /// Runs selection on one window's pair set.
     ///
     /// Errors surface problems the selector cannot make progress past:

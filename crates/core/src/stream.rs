@@ -32,7 +32,7 @@ use crate::union::UnionFind;
 use crate::window::Window;
 use std::collections::{BTreeSet, HashMap};
 use tm_obs::Obs;
-use tm_reid::{AppearanceModel, InferenceBackend, ReidSession};
+use tm_reid::{AppearanceModel, GatePolicy, InferenceBackend, ReidSession};
 use tm_types::{FrameIdx, Result, TmError, TrackId, TrackPair, TrackSet};
 
 /// Configuration of the streaming merger (mirrors
@@ -44,6 +44,10 @@ pub struct StreamConfig {
     pub window_len: u64,
     /// Candidate budget `K`.
     pub k: f64,
+    /// Selective feature extraction (DESIGN.md §14). `Off` (the default)
+    /// is bit-identical to the pre-gating merger. Rides the checkpoint so
+    /// resumed streams keep gating identically.
+    pub gate: GatePolicy,
 }
 
 impl Default for StreamConfig {
@@ -51,6 +55,7 @@ impl Default for StreamConfig {
         Self {
             window_len: 2000,
             k: 0.05,
+            gate: GatePolicy::Off,
         }
     }
 }
@@ -138,6 +143,7 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
                 None,
                 None,
                 Some(robustness.retry),
+                config.gate,
             ),
             next_window: 0,
             watermark: 0,
@@ -268,6 +274,10 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
 
     fn process_window(&mut self, tracks: &TrackSet, w: Window) -> Result<WindowDecision> {
         let span = self.obs.span("pipeline.window", self.session.elapsed_ms());
+        // Extend the gate's plan over boxes that arrived since the last
+        // window (no-op when the gate is off; prefix-stable, charges
+        // nothing).
+        self.session.gate_update_plan(tracks);
         // The window index is the fault epoch: deterministic fault plans
         // address outages to specific windows.
         self.session.set_epoch(w.index as u64);
@@ -365,6 +375,7 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
     /// healthy run would have chosen. If the backend fails again the
     /// remaining windows stay provisional.
     fn reverify_stash(&mut self, tracks: &TrackSet) -> Result<()> {
+        self.session.gate_update_plan(tracks);
         let pending = std::mem::take(&mut self.stash);
         let items: Vec<ReverifyItem<'_>> = pending
             .iter()
@@ -436,6 +447,12 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
     pub fn elapsed_ms(&self) -> f64 {
         self.session.elapsed_ms()
     }
+
+    /// The session's gate decision counters (all-zero when the configured
+    /// [`tm_reid::GatePolicy`] is `Off`).
+    pub fn gate_stats(&self) -> tm_reid::GateStats {
+        self.session.gate_stats()
+    }
 }
 
 #[cfg(test)]
@@ -487,6 +504,7 @@ mod tests {
         StreamConfig {
             window_len: 200,
             k: 0.1,
+            ..StreamConfig::default()
         }
     }
 
@@ -500,7 +518,8 @@ mod tests {
             selector(),
             StreamConfig {
                 window_len: 99,
-                k: 0.1
+                k: 0.1,
+                ..StreamConfig::default()
             },
         )
         .is_err());
@@ -731,6 +750,7 @@ mod tests {
                 }),
                 device: Device::Cpu,
                 cost: CostModel::calibrated(),
+                gate: GatePolicy::Off,
             },
             None,
         )
@@ -741,5 +761,57 @@ mod tests {
         batch.sort();
         assert_eq!(streaming, batch, "streaming and offline disagree");
         assert!((m.elapsed_ms() - offline.elapsed_ms).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gated_streaming_matches_gated_offline_pipeline() {
+        let (model, tracks) = fixture();
+        let gate = GatePolicy::On(tm_reid::GateConfig::default());
+        let mut m = StreamingMerger::new(
+            &model,
+            CostModel::calibrated(),
+            Device::Cpu,
+            selector(),
+            StreamConfig {
+                window_len: 200,
+                k: 0.1,
+                gate,
+            },
+        )
+        .unwrap();
+        for frames in [100, 230, 390, 400] {
+            m.advance(&tracks, frames).unwrap();
+        }
+        m.finish(&tracks, 400).unwrap();
+
+        let offline = run_pipeline(
+            &tracks,
+            400,
+            &model,
+            &PipelineConfig {
+                window_len: 200,
+                k: 0.1,
+                selector: SelectorKind::TMerge(TMergeConfig {
+                    tau_max: 1_500,
+                    seed: 4,
+                    ..TMergeConfig::default()
+                }),
+                device: Device::Cpu,
+                cost: CostModel::calibrated(),
+                gate,
+            },
+            None,
+        )
+        .unwrap();
+        let mut streaming: Vec<TrackPair> = m.accepted().to_vec();
+        let mut batch: Vec<TrackPair> = offline.candidates.clone();
+        streaming.sort();
+        batch.sort();
+        assert_eq!(streaming, batch, "gated streaming and offline disagree");
+        // The full track set is fed from the first advance, so the
+        // incrementally built plan equals the batch plan and the gated
+        // clocks agree bit-for-bit.
+        assert!((m.elapsed_ms() - offline.elapsed_ms).abs() < 1e-6);
+        assert!(m.session.gate_stats().saved_charges() > 0);
     }
 }

@@ -150,6 +150,10 @@ impl CandidateSelector for TMerge {
         "TMerge".to_string()
     }
 
+    fn obs_slug(&self) -> &'static str {
+        "tmerge"
+    }
+
     fn select(
         &self,
         input: &SelectionInput<'_>,

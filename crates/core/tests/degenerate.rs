@@ -160,6 +160,7 @@ fn pipeline_survives_track_set_of_one() {
             selector: SelectorKind::TMerge(TMergeConfig::default()),
             device: Device::Cpu,
             cost: CostModel::calibrated(),
+            gate: tm_reid::GatePolicy::Off,
         },
         None,
     )

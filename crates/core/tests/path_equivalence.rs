@@ -8,7 +8,9 @@ use tm_core::{
     FleetIngester, PipelineConfig, SelectorKind, StreamConfig, StreamingMerger, TMerge,
     TMergeConfig,
 };
-use tm_reid::{AppearanceConfig, AppearanceModel, CostModel, Device, InferenceBackend};
+use tm_reid::{
+    AppearanceConfig, AppearanceModel, CostModel, Device, GateConfig, GatePolicy, InferenceBackend,
+};
 use tm_types::{
     ids::classes, BBox, FrameIdx, GtObjectId, Track, TrackBox, TrackId, TrackPair, TrackSet,
 };
@@ -61,6 +63,7 @@ fn pipeline_config() -> PipelineConfig {
         selector: SelectorKind::TMerge(selector_config()),
         device: Device::Cpu,
         cost: CostModel::calibrated(),
+        gate: GatePolicy::Off,
     }
 }
 
@@ -83,6 +86,7 @@ fn all_four_paths_agree() {
     let stream_config = StreamConfig {
         window_len: WINDOW_LEN,
         k: K,
+        gate: GatePolicy::Off,
     };
     let mut streaming = StreamingMerger::new(
         &model,
@@ -137,4 +141,257 @@ fn all_four_paths_agree() {
         streaming.elapsed_ms().to_bits()
     );
     assert_eq!(shard.mapping(), streaming.mapping());
+}
+
+/// The same four-path agreement, but with the extraction gate on: all
+/// entry paths share one `GatePolicy` (exec::window_session), so a gated
+/// fleet shard must stay byte-identical to a gated solo streamer, and
+/// both must agree with the gated offline walks on the semantic outputs.
+#[test]
+fn all_four_paths_agree_gated() {
+    let (model, tracks) = fixture();
+    let gate = GatePolicy::On(GateConfig::default());
+
+    let config = PipelineConfig {
+        gate,
+        ..pipeline_config()
+    };
+    let serial = tm_core::run_pipeline(&tracks, N_FRAMES, &model, &config, None).unwrap();
+    let parallel =
+        tm_core::run_pipeline_parallel(&tracks, N_FRAMES, &model, &config, None).unwrap();
+
+    let stream_config = StreamConfig {
+        window_len: WINDOW_LEN,
+        k: K,
+        gate,
+    };
+    let mut streaming = StreamingMerger::new(
+        &model,
+        CostModel::calibrated(),
+        Device::Cpu,
+        TMerge::new(selector_config()),
+        stream_config,
+    )
+    .unwrap()
+    .with_backend(&model);
+    for frames in [150, 250, 400] {
+        streaming.advance(&tracks, frames).unwrap();
+    }
+    streaming.finish(&tracks, N_FRAMES).unwrap();
+
+    let backends: Vec<&dyn InferenceBackend> = vec![&model];
+    let mut fleet = FleetIngester::new(
+        &model,
+        CostModel::calibrated(),
+        Device::Cpu,
+        stream_config,
+        |_| TMerge::new(selector_config()),
+        &backends,
+    )
+    .unwrap();
+    for frames in [150, 250, 400] {
+        fleet.advance(&[(&tracks, frames)]).unwrap();
+    }
+    fleet.finish(&[(&tracks, N_FRAMES)]).unwrap();
+
+    assert_eq!(sorted(&serial.candidates), sorted(&parallel.candidates));
+    assert_eq!(serial.accepted, parallel.accepted);
+    assert!((serial.elapsed_ms - parallel.elapsed_ms).abs() < 1e-6);
+    assert_eq!(sorted(streaming.accepted()), sorted(&serial.accepted));
+
+    let shard = fleet.shard_mut(0);
+    assert_eq!(shard.decisions(), streaming.decisions());
+    assert_eq!(shard.accepted(), streaming.accepted());
+    assert_eq!(
+        shard.elapsed_ms().to_bits(),
+        streaming.elapsed_ms().to_bits()
+    );
+    assert_eq!(shard.mapping(), streaming.mapping());
+
+    // The gate must actually have saved work on this fixture, and saving
+    // work must show in the clock.
+    assert!(
+        serial.elapsed_ms
+            < tm_core::run_pipeline(&tracks, N_FRAMES, &model, &pipeline_config(), None)
+                .unwrap()
+                .elapsed_ms
+    );
+}
+
+/// `GatePolicy::Off` must be bit-identical to the pre-gating pipeline,
+/// and a gate configured to extract everything must be bit-identical to
+/// `Off` — decisions, accepted merges, mapping, and clock bits.
+#[test]
+fn gate_off_and_always_extract_match_ungated_exactly() {
+    let (model, tracks) = fixture();
+
+    let run_stream = |gate: GatePolicy| {
+        let mut m = StreamingMerger::new(
+            &model,
+            CostModel::calibrated(),
+            Device::Cpu,
+            TMerge::new(selector_config()),
+            StreamConfig {
+                window_len: WINDOW_LEN,
+                k: K,
+                gate,
+            },
+        )
+        .unwrap()
+        .with_backend(&model);
+        for frames in [150, 250, 400] {
+            m.advance(&tracks, frames).unwrap();
+        }
+        m.finish(&tracks, N_FRAMES).unwrap();
+        (
+            m.decisions().to_vec(),
+            m.accepted().to_vec(),
+            m.mapping(),
+            m.elapsed_ms().to_bits(),
+        )
+    };
+
+    let off = run_stream(GatePolicy::Off);
+    let always = run_stream(GatePolicy::On(GateConfig::always_extract()));
+    assert_eq!(off.0, always.0, "decisions must match");
+    assert_eq!(off.1, always.1, "accepted merges must match");
+    assert_eq!(off.2, always.2, "mapping must match");
+    assert_eq!(off.3, always.3, "clock must match bit-for-bit");
+
+    let serial =
+        tm_core::run_pipeline(&tracks, N_FRAMES, &model, &pipeline_config(), None).unwrap();
+    let gated_serial = tm_core::run_pipeline(
+        &tracks,
+        N_FRAMES,
+        &model,
+        &PipelineConfig {
+            gate: GatePolicy::On(GateConfig::always_extract()),
+            ..pipeline_config()
+        },
+        None,
+    )
+    .unwrap();
+    assert_eq!(serial.accepted, gated_serial.accepted);
+    assert_eq!(serial.candidates, gated_serial.candidates);
+    assert_eq!(
+        serial.elapsed_ms.to_bits(),
+        gated_serial.elapsed_ms.to_bits(),
+        "always-extract gate must charge the identical clock"
+    );
+}
+
+/// Property pins for the gate: for any small random track population,
+/// `GatePolicy::Off` and `GateConfig::always_extract()` are the same
+/// pipeline (candidates, accepted merges, charges and clock bits), and
+/// for any gate tuning the serial, parallel and streaming walks agree.
+mod gate_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_tracks() -> impl Strategy<Value = TrackSet> {
+        proptest::collection::vec(
+            (0u64..5, 0u64..300, 5usize..50, 0u64..6, any::<bool>()),
+            2..7,
+        )
+        .prop_map(|specs| {
+            TrackSet::from_tracks(
+                specs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (actor, start, n, lane, near))| {
+                        // `near` packs lanes close together so the
+                        // crowding/ambiguity signal fires sometimes.
+                        let x0 = lane as f64 * if near { 60.0 } else { 400.0 };
+                        track(i as u64 + 1, actor, start, n, x0)
+                    })
+                    .collect(),
+            )
+        })
+    }
+
+    fn arb_gate() -> impl Strategy<Value = GateConfig> {
+        (
+            (0u64..4, 1u64..8, 1u64..16, 4u64..32),
+            (2.0f64..16.0, 0.0f64..0.9, 0.05f64..0.9),
+        )
+            .prop_map(
+                |((fresh, gap, refresh, max_age), (half_life, defer, iou))| GateConfig {
+                    fresh_frames: fresh,
+                    occlusion_gap: gap,
+                    refresh_interval: refresh,
+                    max_reuse_age: max_age,
+                    decay_half_life: half_life,
+                    defer_below: defer,
+                    ambiguity_iou: iou,
+                },
+            )
+    }
+
+    fn run_serial(
+        tracks: &TrackSet,
+        model: &AppearanceModel,
+        gate: GatePolicy,
+    ) -> tm_core::PipelineReport {
+        let config = PipelineConfig {
+            gate,
+            ..pipeline_config()
+        };
+        tm_core::run_pipeline(tracks, N_FRAMES, model, &config, None).unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn gate_off_matches_always_extract_for_any_population(tracks in arb_tracks()) {
+            let model = AppearanceModel::new(AppearanceConfig::default());
+            let off = run_serial(&tracks, &model, GatePolicy::Off);
+            let on = run_serial(
+                &tracks,
+                &model,
+                GatePolicy::On(GateConfig::always_extract()),
+            );
+            prop_assert_eq!(sorted(&off.candidates), sorted(&on.candidates));
+            prop_assert_eq!(&off.accepted, &on.accepted);
+            prop_assert_eq!(off.stats.inferences, on.stats.inferences);
+            prop_assert_eq!(off.stats.cache_hits, on.stats.cache_hits);
+            prop_assert_eq!(off.elapsed_ms.to_bits(), on.elapsed_ms.to_bits());
+        }
+
+        #[test]
+        fn gated_paths_agree_for_any_tuning(
+            tracks in arb_tracks(),
+            cfg in arb_gate(),
+        ) {
+            let model = AppearanceModel::new(AppearanceConfig::default());
+            let gate = GatePolicy::On(cfg);
+            let serial = run_serial(&tracks, &model, gate);
+            let config = PipelineConfig {
+                gate,
+                ..pipeline_config()
+            };
+            let parallel =
+                tm_core::run_pipeline_parallel(&tracks, N_FRAMES, &model, &config, None)
+                    .unwrap();
+            prop_assert_eq!(sorted(&serial.candidates), sorted(&parallel.candidates));
+            prop_assert_eq!(&serial.accepted, &parallel.accepted);
+            prop_assert_eq!(serial.stats.inferences, parallel.stats.inferences);
+
+            let mut streaming = StreamingMerger::new(
+                &model,
+                CostModel::calibrated(),
+                Device::Cpu,
+                TMerge::new(selector_config()),
+                StreamConfig { window_len: WINDOW_LEN, k: K, gate },
+            )
+            .unwrap()
+            .with_backend(&model);
+            for frames in [150, 250, 400] {
+                streaming.advance(&tracks, frames).unwrap();
+            }
+            streaming.finish(&tracks, N_FRAMES).unwrap();
+            prop_assert_eq!(sorted(streaming.accepted()), sorted(&serial.accepted));
+            prop_assert!((streaming.elapsed_ms() - serial.elapsed_ms).abs() < 1e-6);
+        }
+    }
 }

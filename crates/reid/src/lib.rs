@@ -35,6 +35,7 @@ pub mod batch;
 pub mod cache;
 pub mod cost;
 pub mod feature;
+pub mod gate;
 pub mod session;
 
 pub use appearance::{AppearanceConfig, AppearanceModel};
@@ -45,4 +46,7 @@ pub use batch::{BatchConfig, BatchScheduler, BatchStats, BatchingBackend, Featur
 pub use cache::{CacheStats, SharedFeatureCache};
 pub use cost::{CostModel, Device, ReidStats, SimClock};
 pub use feature::{Feature, NORMALIZER};
-pub use session::{BoxKey, BoxPairRef, ReidSession, SessionSnapshot};
+pub use gate::{GateConfig, GateDecision, GatePlan, GatePolicy, GateStats, TrackPlan};
+pub use session::{
+    BoxKey, BoxPairRef, FeatureProvenance, GateSnapshot, ReidSession, SessionSnapshot,
+};

@@ -42,10 +42,11 @@ use crate::backend::{Attempt, InferenceBackend, RetryPolicy};
 use crate::cache::SharedFeatureCache;
 use crate::cost::{CostModel, Device, ReidStats, SimClock};
 use crate::feature::Feature;
+use crate::gate::{GateConfig, GateDecision, GatePlan, GatePolicy, GateStats, TrackPlan};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use tm_obs::Obs;
-use tm_types::{FrameIdx, Result, TmError, TrackBox, TrackId};
+use tm_types::{FrameIdx, Result, TmError, TrackBox, TrackId, TrackSet};
 
 /// Identifies one box observation: a (track, frame) pair. Each track has at
 /// most one box per frame, so this key is unique. Ordered so checkpoint
@@ -68,6 +69,56 @@ impl BoxKey {
 /// A BBox pair as the selection algorithms hand it to the session: two
 /// `(track, box)` references.
 pub type BoxPairRef<'a> = ((TrackId, &'a TrackBox), (TrackId, &'a TrackBox));
+
+/// Where a propagated feature came from: the anchor (donor) box whose
+/// feature stands in for the target box, how old it was, and whether the
+/// target was additionally deferred to the prefetch lane. Lets cost
+/// accounting prove that exactly the performed extractions were charged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureProvenance {
+    /// The anchor whose feature was propagated.
+    pub donor: BoxKey,
+    /// Frame distance from donor to target.
+    pub age: u64,
+    /// True when the target was also offered as low-priority batch fill.
+    pub deferred: bool,
+}
+
+/// The gating state a gated session carries (policy `On`): the per-track
+/// plan, decision counters with their flush high-water mark, and the
+/// provenance of every propagated feature. Boxed so ungated sessions pay
+/// one pointer.
+#[derive(Debug, Clone)]
+struct GateRuntime {
+    config: GateConfig,
+    plan: GatePlan,
+    stats: GateStats,
+    flushed: GateStats,
+    provenance: HashMap<BoxKey, FeatureProvenance>,
+}
+
+/// One propagation the gate scheduled: copy the donor's cached feature to
+/// the target key instead of extracting.
+#[derive(Debug, Clone, Copy)]
+struct Propagation {
+    target: BoxKey,
+    donor: TrackBox,
+    age: u64,
+    deferred: bool,
+}
+
+/// A gated round, produced by collection and consumed by inference.
+#[derive(Debug, Default)]
+struct GateBatch {
+    /// Boxes to actually extract (gate said Extract, plus donors whose
+    /// feature is not cached yet), deduplicated, in request order.
+    misses: Vec<(BoxKey, TrackBox)>,
+    /// Donor-to-target feature propagations (uncharged).
+    propagations: Vec<Propagation>,
+    /// Deferred boxes (real box + key), advertised to the backend's
+    /// prefetch lane as low-priority fill behind the demand misses.
+    deferred: Vec<(TrackBox, BoxKey)>,
+}
 
 /// Where a session's features live (see the module docs).
 #[derive(Debug, Clone)]
@@ -95,6 +146,9 @@ pub struct ReidSession<'m> {
     /// (warm-cache) batches allocate nothing. Always left empty between
     /// calls; cloning a session clones an empty set.
     scratch_seen: HashSet<BoxKey>,
+    /// Extraction gate; `None` (policy `Off`) keeps every path on the
+    /// historical code, bit-identical to the pre-gating pipeline.
+    gate: Option<Box<GateRuntime>>,
 }
 
 impl<'m> ReidSession<'m> {
@@ -113,6 +167,7 @@ impl<'m> ReidSession<'m> {
             stats: ReidStats::default(),
             obs: tm_obs::current(),
             scratch_seen: HashSet::new(),
+            gate: None,
         }
     }
 
@@ -137,6 +192,7 @@ impl<'m> ReidSession<'m> {
             stats: ReidStats::default(),
             obs: tm_obs::current(),
             scratch_seen: HashSet::new(),
+            gate: None,
         }
     }
 
@@ -152,6 +208,95 @@ impl<'m> ReidSession<'m> {
     pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Installs an extraction gate (builder-style). [`GatePolicy::Off`]
+    /// (the default) leaves every path on the historical code and is
+    /// bit-identical to a session that never heard of gating.
+    pub fn with_gate(mut self, policy: GatePolicy) -> Self {
+        self.gate = match policy {
+            GatePolicy::Off => None,
+            GatePolicy::On(config) => Some(Box::new(GateRuntime {
+                config,
+                plan: GatePlan::default(),
+                stats: GateStats::default(),
+                flushed: GateStats::default(),
+                provenance: HashMap::new(),
+            })),
+        };
+        self
+    }
+
+    /// The gate policy in force.
+    pub fn gate_policy(&self) -> GatePolicy {
+        match &self.gate {
+            None => GatePolicy::Off,
+            Some(rt) => GatePolicy::On(rt.config),
+        }
+    }
+
+    /// Extends the gate's extraction plan over boxes appended to `tracks`
+    /// since the last call (no-op when the gate is off). Free: planning
+    /// charges nothing and never touches features.
+    pub fn gate_update_plan(&mut self, tracks: &TrackSet) {
+        if let Some(rt) = &mut self.gate {
+            rt.plan.update(tracks, &rt.config);
+        }
+    }
+
+    /// Replaces the gate's plan with a pre-built one (no-op when the gate
+    /// is off). The parallel pipeline plans the video once and hands each
+    /// window worker a copy instead of re-planning per window.
+    pub fn set_gate_plan(&mut self, plan: &GatePlan) {
+        if let Some(rt) = &mut self.gate {
+            rt.plan = plan.clone();
+        }
+    }
+
+    /// Gate decision counters (all-zero when the gate is off).
+    pub fn gate_stats(&self) -> GateStats {
+        self.gate.as_ref().map(|rt| rt.stats).unwrap_or_default()
+    }
+
+    /// Provenance of a propagated feature: `Some` exactly when the box's
+    /// cached feature was reused from a donor rather than extracted, so
+    /// `inferences` + propagations accounts for every cached entry.
+    pub fn feature_provenance(&self, track: TrackId, frame: FrameIdx) -> Option<FeatureProvenance> {
+        self.gate
+            .as_ref()?
+            .provenance
+            .get(&BoxKey::new(track, frame))
+            .copied()
+    }
+
+    /// Flushes gate decision counters accumulated since the previous
+    /// flush into the recorder (`reid.gate.{extract,reuse,defer}` and
+    /// `reid.gate.saved_charges`), dropping zero deltas — the
+    /// `AssignStats::flush` pattern, called once per window by the
+    /// merging layer. Returns the flushed delta so callers can attach
+    /// per-selector attribution. No-op (all-zero) when the gate is off.
+    pub fn flush_gate_obs(&mut self) -> GateStats {
+        let Some(rt) = &mut self.gate else {
+            return GateStats::default();
+        };
+        let delta = rt.stats.delta(&rt.flushed);
+        rt.flushed = rt.stats;
+        if self.obs.enabled() {
+            if delta.extracts > 0 {
+                self.obs.counter("reid.gate.extract", delta.extracts);
+            }
+            if delta.reuses > 0 {
+                self.obs.counter("reid.gate.reuse", delta.reuses);
+            }
+            if delta.defers > 0 {
+                self.obs.counter("reid.gate.defer", delta.defers);
+            }
+            if delta.saved_charges() > 0 {
+                self.obs
+                    .counter("reid.gate.saved_charges", delta.saved_charges());
+            }
+        }
+        delta
     }
 
     /// Overrides the observability handle (builder-style). Constructors
@@ -250,6 +395,11 @@ impl<'m> ReidSession<'m> {
             self.obs.counter("reid.cache_hits", 1);
             return f;
         }
+        if self.gate.is_some() {
+            let batch = self.gate_collect(std::iter::once((track, *tb)));
+            self.gate_infer(batch);
+            return self.cached_or_recompute(key, tb);
+        }
         match &mut self.cache {
             CacheBackend::Private(map) => {
                 let f = Arc::new(self.model.observe_track_box(tb));
@@ -325,6 +475,213 @@ impl<'m> ReidSession<'m> {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Gated rounds. Collection consults the plan per uncached box:
+    // Extract → miss; Reuse/Defer → propagate the donor (promoting an
+    // uncached donor to a miss so the cache never holds a value nobody
+    // computed). Inference then charges exactly the misses — one round —
+    // and applies the propagations uncharged, recording provenance.
+    // ------------------------------------------------------------------
+
+    /// Collects one gated round over `(track, box)` items (deduplicated
+    /// through the reusable scratch set, cache hits skipped).
+    fn gate_collect<I>(&mut self, items: I) -> GateBatch
+    where
+        I: Iterator<Item = (TrackId, TrackBox)>,
+    {
+        let mut rt = self.gate.take().expect("gate_collect on ungated session");
+        let mut seen = std::mem::take(&mut self.scratch_seen);
+        seen.clear();
+        let mut batch = GateBatch::default();
+        for (t, b) in items {
+            let key = BoxKey::new(t, b.frame);
+            if !seen.insert(key) || self.cache_get(&key).is_some() {
+                continue;
+            }
+            match rt.plan.decide(t, b.frame, &rt.config) {
+                GateDecision::Extract => {
+                    rt.stats.extracts += 1;
+                    batch.misses.push((key, b));
+                }
+                d @ (GateDecision::Reuse { donor, age } | GateDecision::Defer { donor, age }) => {
+                    let deferred = matches!(d, GateDecision::Defer { .. });
+                    let dkey = BoxKey::new(t, donor.frame);
+                    // A donor nobody extracted yet is promoted to a miss:
+                    // the propagation below then copies a real computed
+                    // feature, and the charge covers it.
+                    if seen.insert(dkey) && self.cache_get(&dkey).is_none() {
+                        rt.stats.extracts += 1;
+                        batch.misses.push((dkey, donor));
+                    }
+                    if deferred {
+                        rt.stats.defers += 1;
+                        batch.deferred.push((b, key));
+                    } else {
+                        rt.stats.reuses += 1;
+                    }
+                    batch.propagations.push(Propagation {
+                        target: key,
+                        donor,
+                        age,
+                        deferred,
+                    });
+                }
+            }
+        }
+        seen.clear();
+        self.scratch_seen = seen;
+        self.gate = Some(rt);
+        batch
+    }
+
+    /// Infallible half of a gated round: extract the misses (one charged
+    /// inference call), then apply the propagations.
+    fn gate_infer(&mut self, batch: GateBatch) {
+        if !batch.misses.is_empty() {
+            match &mut self.cache {
+                CacheBackend::Private(map) => {
+                    let n = batch.misses.len();
+                    for (key, b) in &batch.misses {
+                        map.insert(*key, Arc::new(self.model.observe_track_box(b)));
+                    }
+                    self.charge_inference_round(n);
+                }
+                CacheBackend::Shared(cache) => {
+                    let cache = Arc::clone(cache);
+                    let mut n_mine = 0usize;
+                    let mut n_reused = 0u64;
+                    for (key, b) in &batch.misses {
+                        let model = self.model;
+                        let (_, computed) =
+                            cache.get_or_compute(*key, || model.observe_track_box(b));
+                        if computed {
+                            n_mine += 1;
+                        } else {
+                            n_reused += 1;
+                        }
+                    }
+                    self.stats.cache_hits += n_reused;
+                    self.obs.counter("reid.cache_hits", n_reused);
+                    self.charge_inference_round(n_mine);
+                }
+            }
+        }
+        self.apply_propagations(&batch.propagations);
+    }
+
+    /// Fallible half of a gated round. The prefetch hint list leads with
+    /// the demand misses and appends the deferred boxes as low-priority
+    /// batch fill — batching backends may use the headroom to precompute
+    /// them, but a deferred box is never cached here unless the backend
+    /// actually computed it (Clean-only caching is the scheduler's own
+    /// invariant). An exhausted retry aborts the round before any
+    /// propagation, exactly like `try_infer_misses`.
+    fn try_gate_infer(&mut self, batch: GateBatch) -> Result<()> {
+        if batch.misses.is_empty() && batch.propagations.is_empty() {
+            return Ok(());
+        }
+        let mut hints: Vec<(&TrackBox, Attempt)> =
+            Vec::with_capacity(batch.misses.len() + batch.deferred.len());
+        for (key, b) in &batch.misses {
+            hints.push((
+                b,
+                Attempt {
+                    epoch: self.epoch,
+                    attempt: 0,
+                    key: *key,
+                },
+            ));
+        }
+        for (b, key) in &batch.deferred {
+            hints.push((
+                b,
+                Attempt {
+                    epoch: self.epoch,
+                    attempt: 0,
+                    key: *key,
+                },
+            ));
+        }
+        if !hints.is_empty() {
+            self.backend.prefetch(&hints);
+        }
+        drop(hints);
+        if !batch.misses.is_empty() {
+            let shared = match &self.cache {
+                CacheBackend::Shared(cache) => Some(Arc::clone(cache)),
+                CacheBackend::Private(_) => None,
+            };
+            match shared {
+                None => {
+                    let n = batch.misses.len();
+                    let mut computed: Vec<(BoxKey, Arc<Feature>)> = Vec::with_capacity(n);
+                    for (key, b) in &batch.misses {
+                        let f = self.try_observe_retry(*key, b)?;
+                        computed.push((*key, Arc::new(f)));
+                    }
+                    if let CacheBackend::Private(map) = &mut self.cache {
+                        for (key, f) in computed {
+                            map.insert(key, f);
+                        }
+                    }
+                    self.charge_inference_round(n);
+                }
+                Some(cache) => {
+                    let mut n_mine = 0usize;
+                    let mut n_reused = 0u64;
+                    for (key, b) in &batch.misses {
+                        let f = self.try_observe_retry(*key, b)?;
+                        let (_, computed) = cache.get_or_compute(*key, move || f);
+                        if computed {
+                            n_mine += 1;
+                        } else {
+                            n_reused += 1;
+                        }
+                    }
+                    self.stats.cache_hits += n_reused;
+                    self.obs.counter("reid.cache_hits", n_reused);
+                    self.charge_inference_round(n_mine);
+                }
+            }
+        }
+        self.apply_propagations(&batch.propagations);
+        Ok(())
+    }
+
+    /// Copies each donor's cached feature to its target key and records
+    /// provenance. Uncharged: propagation moves an `Arc`, not the model.
+    fn apply_propagations(&mut self, props: &[Propagation]) {
+        for p in props {
+            let dkey = BoxKey::new(p.target.track, p.donor.frame);
+            let f = match self.cache_get(&dkey) {
+                Some(f) => f,
+                // Unreachable (collection promotes uncached donors to
+                // misses), but the hot path stays panic-free: fall back
+                // to the pure model, uncharged, like phase 3.
+                None => Arc::new(self.model.observe_track_box(&p.donor)),
+            };
+            match &mut self.cache {
+                CacheBackend::Private(map) => {
+                    map.insert(p.target, f);
+                }
+                CacheBackend::Shared(cache) => {
+                    let cache = Arc::clone(cache);
+                    cache.get_or_compute(p.target, || (*f).clone());
+                }
+            }
+            if let Some(rt) = &mut self.gate {
+                rt.provenance.insert(
+                    p.target,
+                    FeatureProvenance {
+                        donor: dkey,
+                        age: p.age,
+                        deferred: p.deferred,
+                    },
+                );
+            }
+        }
+    }
+
     /// The distance of one BBox pair, extracting whatever features are not
     /// cached in a single inference call (on GPU: one round).
     pub fn pair_distance(
@@ -351,6 +708,15 @@ impl<'m> ReidSession<'m> {
     /// pairwise distances are charged and returned in input order. This is
     /// the primitive behind every `-B` algorithm (§IV-F).
     pub fn pair_distances_batch(&mut self, pairs: &[BoxPairRef<'_>]) -> Vec<f64> {
+        if self.gate.is_some() {
+            let batch = self.gate_collect(
+                pairs
+                    .iter()
+                    .flat_map(|&((ta, ba), (tb, bb))| [(ta, *ba), (tb, *bb)]),
+            );
+            self.gate_infer(batch);
+            return self.charged_pair_distances(pairs);
+        }
         // Phase 1: collect the cache misses, deduplicated by a set so large
         // rounds stay linear in the number of misses.
         let misses = self.collect_pair_misses(pairs);
@@ -437,6 +803,11 @@ impl<'m> ReidSession<'m> {
     /// path used by the exact (baseline) scorer, where per-item cache
     /// lookups would dominate wall-clock.
     pub fn ensure_features(&mut self, boxes: &[(TrackId, &TrackBox)]) {
+        if self.gate.is_some() {
+            let batch = self.gate_collect(boxes.iter().map(|&(t, b)| (t, *b)));
+            self.gate_infer(batch);
+            return;
+        }
         let misses = self.collect_box_misses(boxes);
         self.infer_misses(misses);
     }
@@ -534,6 +905,11 @@ impl<'m> ReidSession<'m> {
             self.stats.cache_hits += 1;
             self.obs.counter("reid.cache_hits", 1);
             return Ok(f);
+        }
+        if self.gate.is_some() {
+            let batch = self.gate_collect(std::iter::once((track, *tb)));
+            self.try_gate_infer(batch)?;
+            return Ok(self.cached_or_recompute(key, tb));
         }
         let f = self.try_observe_retry(key, tb)?;
         match &mut self.cache {
@@ -645,6 +1021,15 @@ impl<'m> ReidSession<'m> {
 
     /// Fallible mirror of [`ReidSession::pair_distances_batch`].
     pub fn try_pair_distances_batch(&mut self, pairs: &[BoxPairRef<'_>]) -> Result<Vec<f64>> {
+        if self.gate.is_some() {
+            let batch = self.gate_collect(
+                pairs
+                    .iter()
+                    .flat_map(|&((ta, ba), (tb, bb))| [(ta, *ba), (tb, *bb)]),
+            );
+            self.try_gate_infer(batch)?;
+            return Ok(self.charged_pair_distances(pairs));
+        }
         let misses = self.collect_pair_misses(pairs);
         self.try_infer_misses(misses)?;
         Ok(self.charged_pair_distances(pairs))
@@ -652,6 +1037,10 @@ impl<'m> ReidSession<'m> {
 
     /// Fallible mirror of [`ReidSession::ensure_features`].
     pub fn try_ensure_features(&mut self, boxes: &[(TrackId, &TrackBox)]) -> Result<()> {
+        if self.gate.is_some() {
+            let batch = self.gate_collect(boxes.iter().map(|&(t, b)| (t, *b)));
+            return self.try_gate_infer(batch);
+        }
         let misses = self.collect_box_misses(boxes);
         self.try_infer_misses(misses)
     }
@@ -673,10 +1062,23 @@ impl<'m> ReidSession<'m> {
             CacheBackend::Shared(_) => Vec::new(),
         };
         cache.sort_by_key(|(k, _)| *k);
+        let gate = self.gate.as_ref().map(|rt| {
+            let mut provenance: Vec<(BoxKey, FeatureProvenance)> =
+                rt.provenance.iter().map(|(k, v)| (*k, *v)).collect();
+            provenance.sort_by_key(|(k, _)| *k);
+            GateSnapshot {
+                config: rt.config,
+                stats: rt.stats,
+                flushed: rt.flushed,
+                provenance,
+                plans: rt.plan.export(),
+            }
+        });
         SessionSnapshot {
             elapsed_ms: self.clock.elapsed_ms(),
             stats: self.stats,
             cache,
+            gate,
         }
     }
 
@@ -693,6 +1095,15 @@ impl<'m> ReidSession<'m> {
                 map.insert(*k, Arc::new(Feature::from_raw(comps.clone())));
             }
         }
+        self.gate = snap.gate.as_ref().map(|g| {
+            Box::new(GateRuntime {
+                config: g.config,
+                plan: GatePlan::import(g.plans.clone()),
+                stats: g.stats,
+                flushed: g.flushed,
+                provenance: g.provenance.iter().copied().collect(),
+            })
+        });
     }
 }
 
@@ -708,6 +1119,27 @@ pub struct SessionSnapshot {
     pub stats: ReidStats,
     /// Private-cache contents in ascending key order.
     pub cache: Vec<(BoxKey, Vec<f64>)>,
+    /// Gate runtime state; `None` for ungated sessions, so pre-gating
+    /// snapshots compare (and serialize) exactly as before.
+    pub gate: Option<GateSnapshot>,
+}
+
+/// The gate runtime as captured by [`ReidSession::snapshot`]: config,
+/// counters with their flush mark, provenance and per-track plans, all in
+/// canonical order so equal gated sessions produce equal snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateSnapshot {
+    /// The configuration the gate was running.
+    pub config: GateConfig,
+    /// Decision counters at snapshot time.
+    pub stats: GateStats,
+    /// Counter values at the last `flush_gate_obs` (so a resumed session
+    /// flushes only post-restore deltas).
+    pub flushed: GateStats,
+    /// Propagated-feature provenance in ascending target-key order.
+    pub provenance: Vec<(BoxKey, FeatureProvenance)>,
+    /// Per-track plans in ascending `TrackId` order.
+    pub plans: Vec<(TrackId, TrackPlan)>,
 }
 
 #[cfg(test)]
@@ -1038,6 +1470,161 @@ mod tests {
         assert_eq!(d1.to_bits(), d2.to_bits());
         assert_eq!(fresh.elapsed_ms().to_bits(), s.elapsed_ms().to_bits());
         assert_eq!(fresh.snapshot(), s.snapshot());
+    }
+
+    fn gate_tracks(frames_per_track: &[(u64, &[u64])]) -> tm_types::TrackSet {
+        let mut set = tm_types::TrackSet::new();
+        for &(id, frames) in frames_per_track {
+            // Spatially separated per track so the crowding signal stays
+            // quiet and reuse decisions actually occur.
+            let boxes = frames
+                .iter()
+                .map(|&f| {
+                    TrackBox::new(FrameIdx(f), BBox::new(100.0 * id as f64, 0.0, 10.0, 10.0))
+                        .with_provenance(GtObjectId(id))
+                })
+                .collect();
+            set.insert(tm_types::Track::with_boxes(
+                TrackId(id),
+                tm_types::ClassId(1),
+                boxes,
+            ));
+        }
+        set
+    }
+
+    fn track_pairs(set: &tm_types::TrackSet) -> Vec<((TrackId, TrackBox), (TrackId, TrackBox))> {
+        let tracks: Vec<_> = set.iter().collect();
+        let mut pairs = Vec::new();
+        for a in &tracks {
+            for b in &tracks {
+                if a.id >= b.id {
+                    continue;
+                }
+                for (ba, bb) in a.boxes.iter().zip(b.boxes.iter()) {
+                    pairs.push(((a.id, *ba), (b.id, *bb)));
+                }
+            }
+        }
+        pairs
+    }
+
+    #[test]
+    fn gated_always_extract_is_bit_identical_to_ungated() {
+        let m = model();
+        let cost = CostModel::calibrated();
+        let set = gate_tracks(&[(1, &[0, 1, 2, 3, 9, 10]), (2, &[0, 1, 2, 3, 9, 10])]);
+        let pairs = track_pairs(&set);
+        let borrowed: Vec<_> = pairs
+            .iter()
+            .map(|((t1, b1), (t2, b2))| ((*t1, b1), (*t2, b2)))
+            .collect();
+
+        let mut plain = ReidSession::new(&m, cost, Device::Cpu);
+        let mut gated = ReidSession::new(&m, cost, Device::Cpu)
+            .with_gate(crate::gate::GatePolicy::On(GateConfig::always_extract()));
+        gated.gate_update_plan(&set);
+
+        let d1 = plain.pair_distances_batch(&borrowed);
+        let d2 = gated.pair_distances_batch(&borrowed);
+        assert_eq!(d1, d2);
+        assert_eq!(plain.elapsed_ms().to_bits(), gated.elapsed_ms().to_bits());
+        assert_eq!(plain.stats(), gated.stats());
+        assert_eq!(gated.gate_stats().saved_charges(), 0);
+
+        // The try_* mirror too.
+        let mut plain_t = ReidSession::new(&m, cost, Device::Cpu);
+        let mut gated_t = ReidSession::new(&m, cost, Device::Cpu)
+            .with_gate(crate::gate::GatePolicy::On(GateConfig::always_extract()));
+        gated_t.gate_update_plan(&set);
+        let d3 = plain_t.try_pair_distances_batch(&borrowed).unwrap();
+        let d4 = gated_t.try_pair_distances_batch(&borrowed).unwrap();
+        assert_eq!(d3, d4);
+        assert_eq!(
+            plain_t.elapsed_ms().to_bits(),
+            gated_t.elapsed_ms().to_bits()
+        );
+    }
+
+    #[test]
+    fn gated_session_saves_charges_and_records_provenance() {
+        let m = model();
+        let cost = CostModel::calibrated();
+        let frames: Vec<u64> = (0..24).collect();
+        let set = gate_tracks(&[(1, &frames), (2, &frames)]);
+        let pairs = track_pairs(&set);
+        let borrowed: Vec<_> = pairs
+            .iter()
+            .map(|((t1, b1), (t2, b2))| ((*t1, b1), (*t2, b2)))
+            .collect();
+
+        let mut plain = ReidSession::new(&m, cost, Device::Cpu);
+        let mut gated = ReidSession::new(&m, cost, Device::Cpu)
+            .with_gate(crate::gate::GatePolicy::On(GateConfig::default()));
+        gated.gate_update_plan(&set);
+
+        plain.pair_distances_batch(&borrowed);
+        gated.pair_distances_batch(&borrowed);
+        assert!(
+            gated.stats().inferences < plain.stats().inferences,
+            "gate must cut inferences: gated {} vs plain {}",
+            gated.stats().inferences,
+            plain.stats().inferences
+        );
+        let gs = gated.gate_stats();
+        assert!(gs.saved_charges() > 0);
+        assert_eq!(
+            gs.extracts,
+            gated.stats().inferences,
+            "charges must equal performed extractions"
+        );
+        // Every cached feature is either an extraction or has provenance.
+        let mut propagated = 0usize;
+        for t in set.iter() {
+            for b in &t.boxes {
+                assert!(gated.cached_feature(t.id, b.frame).is_some());
+                if let Some(p) = gated.feature_provenance(t.id, b.frame) {
+                    propagated += 1;
+                    assert!(p.age > 0);
+                    assert!(gated.cached_feature(p.donor.track, p.donor.frame).is_some());
+                }
+            }
+        }
+        assert_eq!(
+            propagated as u64,
+            gs.saved_charges(),
+            "each saved charge is one propagated feature"
+        );
+        assert_eq!(gated.stats().distances, plain.stats().distances);
+    }
+
+    #[test]
+    fn gated_snapshot_roundtrips() {
+        let m = model();
+        let cost = CostModel::calibrated();
+        let frames: Vec<u64> = (0..16).collect();
+        let set = gate_tracks(&[(1, &frames)]);
+        let policy = crate::gate::GatePolicy::On(GateConfig::default());
+        let mut s = ReidSession::new(&m, cost, Device::Cpu).with_gate(policy);
+        s.gate_update_plan(&set);
+        let track = set.iter().next().unwrap();
+        let boxes: Vec<_> = track.boxes.iter().map(|b| (track.id, b)).collect();
+        s.ensure_features(&boxes);
+        s.flush_gate_obs();
+        let snap = s.snapshot();
+        assert!(snap.gate.is_some());
+
+        let mut fresh = ReidSession::new(&m, cost, Device::Cpu);
+        fresh.restore_snapshot(&snap);
+        assert_eq!(fresh.gate_policy(), s.gate_policy());
+        assert_eq!(fresh.gate_stats(), s.gate_stats());
+        assert_eq!(fresh.snapshot(), snap);
+        // The restored plan keeps deciding like the original.
+        let extra = tb(30, 1).with_provenance(GtObjectId(1));
+        let f1 = s.feature(TrackId(1), &extra);
+        let f2 = fresh.feature(TrackId(1), &extra);
+        assert_eq!(f1, f2);
+        assert_eq!(s.elapsed_ms().to_bits(), fresh.elapsed_ms().to_bits());
     }
 
     #[test]

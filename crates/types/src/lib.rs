@@ -36,4 +36,4 @@ pub use geometry::{BBox, Point};
 pub use ids::{ClassId, FrameIdx, GtObjectId, TrackId};
 pub use motchallenge::{parse_motchallenge, write_motchallenge};
 pub use pair::TrackPair;
-pub use track::{Track, TrackBox, TrackSet};
+pub use track::{FrameIndex, Track, TrackBox, TrackSet};

@@ -572,6 +572,29 @@ impl<'a> FrameIndex<'a> {
         }
     }
 
+    /// Co-frame crowding around `bbox` in `frame`: the number of boxes
+    /// belonging to *other* tracks that overlap it at all, and the best
+    /// such IoU. `(0, 0.0)` for an isolated box. Boxes of the excluded
+    /// track itself never count, so a track with several boxes in one
+    /// frame does not crowd itself.
+    pub fn crowding(&self, frame: FrameIdx, exclude: TrackId, bbox: &BBox) -> (usize, f64) {
+        let mut partners = 0usize;
+        let mut best = 0.0f64;
+        for &(pos, ref other) in self.boxes_at(frame) {
+            if self.track(pos).id == exclude {
+                continue;
+            }
+            let iou = bbox.iou(other);
+            if iou > 0.0 {
+                partners += 1;
+                if iou > best {
+                    best = iou;
+                }
+            }
+        }
+        (partners, best)
+    }
+
     /// The first position of track `id` inside `frame`'s
     /// [`FrameIndex::boxes_at`] slice, if the track has a box there.
     pub fn position_at(&self, frame: FrameIdx, id: TrackId) -> Option<u32> {

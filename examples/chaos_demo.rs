@@ -24,6 +24,7 @@ fn merger<'m>(
         StreamConfig {
             window_len: 2000,
             k: 0.05,
+            gate: tm_reid::GatePolicy::Off,
         },
     )?;
     Ok(match backend {

@@ -30,6 +30,7 @@ fn main() -> tm_types::Result<()> {
         StreamConfig {
             window_len: 2000,
             k: 0.05,
+            gate: tm_reid::GatePolicy::Off,
         },
     )
     .expect("valid stream configuration");

@@ -35,6 +35,7 @@ fn main() {
             selector,
             device,
             cost: CostModel::calibrated(),
+            gate: tm_reid::GatePolicy::Off,
         };
         let report = run_pipeline(&video.tracks, video.n_frames, &model, &config, None)
             .expect("valid pipeline configuration");

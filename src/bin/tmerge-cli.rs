@@ -18,7 +18,7 @@ fn usage() -> ! {
 
 USAGE:
   tmerge-cli pipeline [--dataset D] [--video N] [--tracker T] \\
-                      [--algorithm A] [--tau N] [--k F] [--batch B]
+                      [--algorithm A] [--tau N] [--k F] [--batch B] [--gate G]
   tmerge-cli trackers [--dataset D] [--video N]
   tmerge-cli query    [--dataset D] [--video N] [--min-frames N]
 
@@ -31,6 +31,7 @@ OPTIONS:
   --tau         bandit budget τ_max             (default 10000)
   --k           candidate budget K              (default 0.05)
   --batch       GPU batch size B; 0 = CPU       (default 0)
+  --gate        feature gating: off | on        (default off)
   --min-frames  Count-query duration threshold  (default 200)"
     );
     std::process::exit(2)
@@ -142,6 +143,14 @@ fn cmd_pipeline(args: &Args) {
             usage()
         }
     };
+    let gate = match args.str("gate", "off").as_str() {
+        "off" => GatePolicy::Off,
+        "on" => GatePolicy::On(GateConfig::default()),
+        other => {
+            eprintln!("unknown gate mode `{other}`");
+            usage()
+        }
+    };
     let config = PipelineConfig {
         window_len,
         k,
@@ -152,6 +161,7 @@ fn cmd_pipeline(args: &Args) {
             Device::Gpu { batch }
         },
         cost: CostModel::calibrated(),
+        gate,
     };
     let model = video.model();
     let report = run_pipeline(&video.tracks, video.n_frames, &model, &config, None)

@@ -75,7 +75,9 @@ pub mod prelude {
         clear_mot, identity_metrics, polyonymous_rate, recall, ClearMotConfig, Correspondence,
     };
     pub use tm_query::{co_occurrence_recall, count_recall, Query};
-    pub use tm_reid::{AppearanceConfig, AppearanceModel, CostModel, Device, ReidSession};
+    pub use tm_reid::{
+        AppearanceConfig, AppearanceModel, CostModel, Device, GateConfig, GatePolicy, ReidSession,
+    };
     pub use tm_synth::{
         ActorSpec, GlareEvent, GroundTruth, MotionModel, Occluder, Scenario, SceneConfig,
     };

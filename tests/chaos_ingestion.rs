@@ -73,6 +73,7 @@ fn stream_config() -> StreamConfig {
     StreamConfig {
         window_len: WINDOW_LEN,
         k: 0.2,
+        gate: tm_reid::GatePolicy::Off,
     }
 }
 
@@ -87,6 +88,7 @@ fn pipeline_config() -> PipelineConfig {
         }),
         device: Device::Cpu,
         cost: CostModel::calibrated(),
+        gate: tm_reid::GatePolicy::Off,
     }
 }
 
@@ -97,6 +99,20 @@ fn merger(model: &AppearanceModel) -> StreamingMerger<'_, TMerge> {
         Device::Cpu,
         selector(),
         stream_config(),
+    )
+    .unwrap()
+}
+
+fn gated_merger(model: &AppearanceModel) -> StreamingMerger<'_, TMerge> {
+    StreamingMerger::new(
+        model,
+        CostModel::calibrated(),
+        Device::Cpu,
+        selector(),
+        StreamConfig {
+            gate: tm_reid::GatePolicy::On(tm_reid::GateConfig::default()),
+            ..stream_config()
+        },
     )
     .unwrap()
 }
@@ -252,6 +268,39 @@ fn hard_down_windows_degrade_then_recover() {
     clean.finish(&tracks, N_FRAMES).unwrap();
     assert_eq!(faulty.accepted(), clean.accepted());
     assert_eq!(faulty.mapping(), clean.mapping());
+}
+
+/// Acceptance: the extraction gate composes with chaos. A gated merger
+/// driven through a hard backend outage — degraded windows, breaker trip,
+/// recovery, re-verification — must converge to the same final merges and
+/// mapping as an ungated run that never saw a fault, while still saving
+/// extraction charges.
+#[test]
+fn gated_runs_degrade_and_recover_to_the_ungated_answer() {
+    let (model, tracks) = fixture();
+    let wrapper = FaultyModel::new(&model, FaultPlan::none().with_hard_down(2, 4));
+
+    let mut faulty = gated_merger(&model).with_backend(&wrapper);
+    for frames in [250, 480, N_FRAMES] {
+        faulty.advance(&tracks, frames).unwrap();
+    }
+    faulty.finish(&tracks, N_FRAMES).unwrap();
+
+    let report = faulty.robustness();
+    assert_eq!(report.degraded_windows, 2, "{report:?}");
+    assert_eq!(report.reverified_windows, 2, "{report:?}");
+    assert!(report.breaker_trips >= 1, "{report:?}");
+
+    // An ungated, fault-free run is the reference answer.
+    let mut clean = merger(&model);
+    clean.advance(&tracks, N_FRAMES).unwrap();
+    clean.finish(&tracks, N_FRAMES).unwrap();
+    assert_eq!(faulty.accepted(), clean.accepted());
+    assert_eq!(faulty.mapping(), clean.mapping());
+    assert!(
+        faulty.gate_stats().saved_charges() > 0,
+        "the gate must have saved extractions through the outage"
+    );
 }
 
 /// Acceptance: killing the ingester mid-outage and resuming from its
