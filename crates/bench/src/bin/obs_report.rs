@@ -3,12 +3,33 @@
 //! run: counters first, then the simulated-clock span histograms, then the
 //! advisory wall-clock section if present.
 //!
+//! Serve-layer runs namespace each tenant's metrics under a
+//! `serve.tenant.<id>.` prefix (see `tm_obs::Obs::with_prefix`); those
+//! keys are pulled out of the main tables and rendered as one sub-table
+//! per tenant, with the prefix stripped, so a multi-tenant soak reads as
+//! N small per-tenant reports instead of one interleaved wall.
+//!
 //! Usage: `cargo run --release -p tm-bench --bin obs_report [name ...]`
 //! With no arguments every `*.metrics.txt` under `results/` is rendered.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
 use tm_bench::report::{header, results_dir, table};
+
+const TENANT_MARK: &str = "serve.tenant.";
+
+/// Splits a metric key on the serve-layer tenant namespace: for
+/// `event.serve.tenant.3.window` returns `(3, "event.window")`. Keys
+/// without a well-formed `serve.tenant.<id>.` segment stay general.
+fn tenant_of(key: &str) -> Option<(u64, String)> {
+    let at = key.find(TENANT_MARK)?;
+    let rest = &key[at + TENANT_MARK.len()..];
+    let dot = rest.find('.')?;
+    let id: u64 = rest[..dot].parse().ok()?;
+    let stripped = format!("{}{}", &key[..at], &rest[dot + 1..]);
+    Some((id, stripped))
+}
 
 struct Snapshot {
     name: String,
@@ -66,34 +87,96 @@ fn parse(name: &str, body: &str) -> Snapshot {
     snap
 }
 
+/// One tenant's slice of a snapshot, keys already stripped of the
+/// `serve.tenant.<id>.` namespace.
+#[derive(Default)]
+struct TenantSlice {
+    counters: Vec<(String, String)>,
+    sim: Vec<(String, String, String, String, String)>,
+    wall: Vec<(String, String, String, String, String)>,
+}
+
+fn span_rows(rows: &[(String, String, String, String, String)]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|(k, n, s, lo, hi)| vec![k.clone(), n.clone(), s.clone(), lo.clone(), hi.clone()])
+        .collect()
+}
+
 fn render(snap: &Snapshot) {
     header(&format!("{} — metrics", snap.name));
-    if !snap.counters.is_empty() {
+    // Peel the per-tenant namespace out of the shared tables.
+    let mut tenants: BTreeMap<u64, TenantSlice> = BTreeMap::new();
+    let mut counters = Vec::new();
+    for (k, v) in &snap.counters {
+        match tenant_of(k) {
+            Some((t, key)) => tenants
+                .entry(t)
+                .or_default()
+                .counters
+                .push((key, v.clone())),
+            None => counters.push((k.clone(), v.clone())),
+        }
+    }
+    let mut sim = Vec::new();
+    for row in &snap.sim {
+        match tenant_of(&row.0) {
+            Some((t, key)) => {
+                let mut row = row.clone();
+                row.0 = key;
+                tenants.entry(t).or_default().sim.push(row);
+            }
+            None => sim.push(row.clone()),
+        }
+    }
+    let mut wall = Vec::new();
+    for row in &snap.wall {
+        match tenant_of(&row.0) {
+            Some((t, key)) => {
+                let mut row = row.clone();
+                row.0 = key;
+                tenants.entry(t).or_default().wall.push(row);
+            }
+            None => wall.push(row.clone()),
+        }
+    }
+    if !counters.is_empty() {
         println!("\ncounters:");
-        let rows: Vec<Vec<String>> = snap
-            .counters
+        let rows: Vec<Vec<String>> = counters
             .iter()
             .map(|(k, v)| vec![k.clone(), v.clone()])
             .collect();
         table(&["name", "value"], &rows);
     }
-    if !snap.sim.is_empty() {
+    if !sim.is_empty() {
         println!("\nsimulated-clock spans (ms):");
-        let rows: Vec<Vec<String>> = snap
-            .sim
-            .iter()
-            .map(|(k, n, s, lo, hi)| vec![k.clone(), n.clone(), s.clone(), lo.clone(), hi.clone()])
-            .collect();
-        table(&["span", "count", "sum", "min", "max"], &rows);
+        table(&["span", "count", "sum", "min", "max"], &span_rows(&sim));
     }
-    if !snap.wall.is_empty() {
+    if !wall.is_empty() {
         println!("\nwall-clock spans (ns, advisory, run-dependent):");
-        let rows: Vec<Vec<String>> = snap
-            .wall
-            .iter()
-            .map(|(k, n, s, lo, hi)| vec![k.clone(), n.clone(), s.clone(), lo.clone(), hi.clone()])
-            .collect();
-        table(&["span", "count", "sum", "min", "max"], &rows);
+        table(&["span", "count", "sum", "min", "max"], &span_rows(&wall));
+    }
+    for (t, slice) in &tenants {
+        println!("\ntenant {t}:");
+        if !slice.counters.is_empty() {
+            let rows: Vec<Vec<String>> = slice
+                .counters
+                .iter()
+                .map(|(k, v)| vec![k.clone(), v.clone()])
+                .collect();
+            table(&["name", "value"], &rows);
+        }
+        if !slice.sim.is_empty() {
+            table(
+                &["span", "count", "sum", "min", "max"],
+                &span_rows(&slice.sim),
+            );
+        }
+        if !slice.wall.is_empty() {
+            table(
+                &["span", "count", "sum", "min", "max"],
+                &span_rows(&slice.wall),
+            );
+        }
     }
     if snap.counters.is_empty() && snap.sim.is_empty() && snap.wall.is_empty() {
         println!("  (empty snapshot)");

@@ -1,0 +1,258 @@
+//! Seeded tenant-churn schedules for the serve layer.
+//!
+//! A long-running multi-tenant daemon faces a second axis of chaos beyond
+//! backend faults: tenants join, leave, and burst-submit on their own
+//! schedules, concurrently with camera outages. [`TenantChurn`] is the
+//! deterministic source of all of it — every decision (is tenant `t`
+//! active in cycle `c`? does it burst? when are its cameras hard-down?) is
+//! a pure hash of `(seed, salt, coordinates)`, exactly like [`FaultPlan`]:
+//! no RNG state, so a churn soak replays the identical tenant lifecycle at
+//! any thread count and survives kill-and-resume without drift.
+//!
+//! Membership is evaluated per **epoch** (a fixed number of driver cycles)
+//! so tenants stay joined long enough to make progress; bursts are per
+//! cycle. Camera outages come back as ordinary [`FaultPlan`] hard-down
+//! window ranges, so the serve soak drives churn and outages through the
+//! same `FaultyModel` machinery the single-stream chaos suite uses.
+
+use crate::plan::{unit_from_words, FaultPlan};
+
+const SALT_MEMBER: u64 = 0x6d62_7273;
+const SALT_BURST: u64 = 0x6275_7273;
+const SALT_OUTAGE: u64 = 0x6f75_7467;
+const SALT_OFFSET: u64 = 0x6f66_6673;
+
+/// Tuning for a [`TenantChurn`] schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantChurnConfig {
+    /// Seed behind every decision hash.
+    pub seed: u64,
+    /// Tenant id universe: ids `0..tenants` participate in the schedule.
+    pub tenants: u64,
+    /// The first `always_on` tenant ids are pinned active in every epoch —
+    /// the "surviving tenants" whose final mappings soak tests compare
+    /// against fault-free solo runs.
+    pub always_on: u64,
+    /// Driver cycles per membership epoch (clamped to ≥ 1). Membership
+    /// only changes at epoch boundaries.
+    pub epoch_cycles: u64,
+    /// Probability a (non-pinned) tenant is active in an epoch.
+    pub active_rate: f64,
+    /// Probability a cycle is a burst for an active tenant.
+    pub burst_rate: f64,
+    /// Submission multiplier during a burst (1 = bursts disabled).
+    pub burst_multiplier: u64,
+    /// Probability a `(tenant, stream)` camera goes hard-down in one
+    /// outage block (see [`TenantChurn::fault_plan`]).
+    pub outage_rate: f64,
+    /// Length of one hard-down range, in windows.
+    pub outage_windows: u64,
+}
+
+impl Default for TenantChurnConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            tenants: 4,
+            always_on: 1,
+            epoch_cycles: 4,
+            active_rate: 0.7,
+            burst_rate: 0.15,
+            burst_multiplier: 3,
+            outage_rate: 0.4,
+            outage_windows: 2,
+        }
+    }
+}
+
+/// A deterministic join/leave/burst schedule over a tenant universe, plus
+/// per-camera outage plans. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantChurn {
+    config: TenantChurnConfig,
+}
+
+impl TenantChurn {
+    /// A schedule from the given tuning (epoch length clamped to ≥ 1).
+    pub fn new(config: TenantChurnConfig) -> Self {
+        let config = TenantChurnConfig {
+            epoch_cycles: config.epoch_cycles.max(1),
+            burst_multiplier: config.burst_multiplier.max(1),
+            ..config
+        };
+        Self { config }
+    }
+
+    /// The effective (clamped) tuning.
+    pub fn config(&self) -> &TenantChurnConfig {
+        &self.config
+    }
+
+    /// The membership epoch containing `cycle`.
+    pub fn epoch(&self, cycle: u64) -> u64 {
+        cycle / self.config.epoch_cycles
+    }
+
+    /// Whether tenant `t` is active during `cycle`'s epoch.
+    pub fn active(&self, tenant: u64, cycle: u64) -> bool {
+        if tenant >= self.config.tenants {
+            return false;
+        }
+        if tenant < self.config.always_on {
+            return true;
+        }
+        unit_from_words(&[self.config.seed, SALT_MEMBER, tenant, self.epoch(cycle)])
+            < self.config.active_rate
+    }
+
+    /// Whether tenant `t` joins at exactly this cycle (first cycle of an
+    /// epoch in which it is active but was not in the previous epoch).
+    pub fn joins(&self, tenant: u64, cycle: u64) -> bool {
+        if !cycle.is_multiple_of(self.config.epoch_cycles) {
+            return false;
+        }
+        let was = cycle >= self.config.epoch_cycles
+            && self.active(tenant, cycle - self.config.epoch_cycles);
+        self.active(tenant, cycle) && !was
+    }
+
+    /// Whether tenant `t` leaves at exactly this cycle (first cycle of an
+    /// epoch in which it is inactive but was active in the previous one).
+    pub fn leaves(&self, tenant: u64, cycle: u64) -> bool {
+        if cycle == 0 || !cycle.is_multiple_of(self.config.epoch_cycles) {
+            return false;
+        }
+        let was = self.active(tenant, cycle - self.config.epoch_cycles);
+        !self.active(tenant, cycle) && was
+    }
+
+    /// The submission multiplier for tenant `t` in `cycle`: the burst
+    /// multiplier when the per-cycle draw fires, else 1. Inactive tenants
+    /// submit nothing regardless; callers gate on [`TenantChurn::active`].
+    pub fn burst_multiplier(&self, tenant: u64, cycle: u64) -> u64 {
+        let draw = unit_from_words(&[self.config.seed, SALT_BURST, tenant, cycle]);
+        if draw < self.config.burst_rate {
+            self.config.burst_multiplier
+        } else {
+            1
+        }
+    }
+
+    /// The camera-outage plan for `(tenant, stream)` over windows
+    /// `0..max_window`. The window axis is cut into blocks of
+    /// `4 * outage_windows`; each block draws once for an outage and, when
+    /// it fires, places one `outage_windows`-long hard-down range at a
+    /// hashed offset inside the block. Ranges therefore never overlap and
+    /// the backend always recovers between outages — the breaker-recovery
+    /// path gets exercised, not starved.
+    pub fn fault_plan(&self, tenant: u64, stream: u64, max_window: u64) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        plan.seed = self
+            .config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((tenant << 16) | stream);
+        let len = self.config.outage_windows.max(1);
+        let block = 4 * len;
+        let mut start_of_block = 0;
+        while start_of_block < max_window {
+            let b = start_of_block / block;
+            let fires = unit_from_words(&[self.config.seed, SALT_OUTAGE, tenant, stream, b])
+                < self.config.outage_rate;
+            if fires {
+                let slack = block - len;
+                let offset =
+                    (crate::plan::hash_words(&[self.config.seed, SALT_OFFSET, tenant, stream, b]))
+                        % (slack + 1);
+                let s = start_of_block + offset;
+                plan = plan.with_hard_down(s, (s + len).min(max_window));
+            }
+            start_of_block += block;
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn churn(seed: u64) -> TenantChurn {
+        TenantChurn::new(TenantChurnConfig {
+            seed,
+            tenants: 6,
+            ..TenantChurnConfig::default()
+        })
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let a = churn(7);
+        let b = churn(7);
+        for t in 0..6 {
+            for c in 0..64 {
+                assert_eq!(a.active(t, c), b.active(t, c));
+                assert_eq!(a.burst_multiplier(t, c), b.burst_multiplier(t, c));
+            }
+            assert_eq!(a.fault_plan(t, 0, 40), b.fault_plan(t, 0, 40));
+        }
+    }
+
+    #[test]
+    fn pinned_tenants_never_leave_and_membership_is_epoch_stable() {
+        let ch = churn(3);
+        for c in 0..200 {
+            assert!(ch.active(0, c), "always_on tenant left at cycle {c}");
+            assert!(!ch.leaves(0, c));
+            assert!(!ch.active(99, c), "out-of-universe tenant active");
+        }
+        // Within an epoch, membership cannot change.
+        for t in 0..6 {
+            for e in 0..20u64 {
+                let base = ch.active(t, e * 4);
+                for c in e * 4..(e + 1) * 4 {
+                    assert_eq!(ch.active(t, c), base);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn churn_actually_churns_and_bursts_fire() {
+        let ch = churn(11);
+        let joins: usize = (0..6)
+            .map(|t| (0..200).filter(|&c| ch.joins(t, c)).count())
+            .sum();
+        let leaves: usize = (0..6)
+            .map(|t| (0..200).filter(|&c| ch.leaves(t, c)).count())
+            .sum();
+        assert!(joins > 0, "no tenant ever joined");
+        assert!(leaves > 0, "no tenant ever left");
+        let bursts = (0..200).filter(|&c| ch.burst_multiplier(1, c) > 1).count();
+        assert!(bursts > 0, "no bursts in 200 cycles");
+        assert!(bursts < 200, "every cycle burst");
+    }
+
+    #[test]
+    fn outage_ranges_are_bounded_separated_and_recoverable() {
+        let ch = churn(5);
+        for t in 0..4 {
+            for s in 0..3 {
+                let plan = ch.fault_plan(t, s, 64);
+                let mut prev_end = 0;
+                for &(lo, hi) in &plan.hard_down {
+                    assert!(lo < hi && hi <= 64, "range ({lo},{hi}) out of bounds");
+                    assert!(hi - lo <= 2, "outage longer than configured");
+                    assert!(lo >= prev_end, "ranges overlap");
+                    prev_end = hi;
+                }
+            }
+        }
+        // The configured 40% rate must fire somewhere across the matrix.
+        let total: usize = (0..4)
+            .flat_map(|t| (0..3).map(move |s| (t, s)))
+            .map(|(t, s)| ch.fault_plan(t, s, 64).hard_down.len())
+            .sum();
+        assert!(total > 0, "no outages scheduled at all");
+    }
+}

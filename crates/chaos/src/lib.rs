@@ -19,11 +19,17 @@
 //!   does (dropped observations, duplicated boxes, non-finite
 //!   coordinates), for exercising `TrackSet::validate` and the degraded
 //!   paths downstream.
+//! * [`TenantChurn`] — a seeded join/leave/burst schedule over a tenant
+//!   universe plus per-camera outage plans, so the serve layer's chaos
+//!   soak drives tenant churn and camera hard-downs concurrently and
+//!   reproducibly.
 
+pub mod churn;
 pub mod model;
 pub mod plan;
 pub mod stream;
 
+pub use churn::{TenantChurn, TenantChurnConfig};
 pub use model::FaultyModel;
 pub use plan::FaultPlan;
 pub use stream::StreamFaults;

@@ -22,7 +22,9 @@ use crate::resilience::{
     Breaker, DecisionMode, DegradedConfig, RobustnessConfig, RobustnessReport,
 };
 use crate::selector::CandidateSelector;
-use crate::stream::{StashedWindow, StreamConfig, StreamingMerger, WindowDecision};
+use crate::stream::{
+    RetentionSummary, StashedWindow, StreamConfig, StreamingMerger, WindowDecision,
+};
 use crate::union::UnionFind;
 use crate::window::Window;
 use std::collections::BTreeSet;
@@ -30,7 +32,10 @@ use tm_reid::{
     AppearanceModel, BoxKey, FeatureProvenance, GateConfig, GatePolicy, GateSnapshot, GateStats,
     ReidSession, ReidStats, RetryPolicy, SessionSnapshot, TrackPlan,
 };
-use tm_types::{BBox, FrameIdx, GtObjectId, Result, TmError, TrackBox, TrackId, TrackPair};
+use tm_types::{
+    BBox, ClassId, FrameIdx, GtObjectId, Result, TmError, Track, TrackBox, TrackId, TrackPair,
+    TrackSet,
+};
 
 /// `TMCK` in ASCII.
 const MAGIC: u64 = 0x544d_434b;
@@ -40,24 +45,33 @@ const MAGIC: u64 = 0x544d_434b;
 /// id, so a resumed fleet shard keeps its per-stream identity. Version 4
 /// added the extraction-gate policy and runtime state (plan, counters,
 /// provenance), so a resumed gated session decides and charges
-/// identically to an uninterrupted one.
-const VERSION: u64 = 4;
+/// identically to an uninterrupted one. Version 5 added the serve-layer
+/// state: the shed-load flags and the retention-compaction summary, so a
+/// resumed shed tenant keeps shedding (and re-verifies on un-shed) and
+/// compaction totals survive the kill.
+const VERSION: u64 = 5;
 
 fn corrupt(reason: &str) -> TmError {
     TmError::invalid("checkpoint", reason)
 }
 
+/// Little-endian word-stream writer behind every checkpoint format in the
+/// workspace (`TMCK` mergers, `TMFL` fleets, `tm-serve`'s `TMSV`
+/// envelope). Floats ride as bits, never text, so clocks round-trip
+/// bit-exactly.
 #[derive(Default)]
-pub(crate) struct Writer {
+pub struct Writer {
     buf: Vec<u8>,
 }
 
 impl Writer {
-    pub(crate) fn put_u64(&mut self, v: u64) {
+    /// Appends one little-endian word.
+    pub fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn put_f64(&mut self, v: f64) {
+    /// Appends a float as its bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
         self.put_u64(v.to_bits());
     }
 
@@ -67,12 +81,14 @@ impl Writer {
         self.put_u64((bits >> 64) as u64);
     }
 
-    fn put_str(&mut self, s: &str) {
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
         self.put_u64(s.len() as u64);
         self.buf.extend_from_slice(s.as_bytes());
     }
 
-    fn put_bool(&mut self, v: bool) {
+    /// Appends a boolean as one word.
+    pub fn put_bool(&mut self, v: bool) {
         self.put_u64(v as u64);
     }
 
@@ -96,28 +112,34 @@ impl Writer {
     }
 
     /// Appends a length-prefixed opaque blob (a nested checkpoint in the
-    /// fleet envelope).
-    pub(crate) fn put_bytes(&mut self, bytes: &[u8]) {
+    /// fleet or serve envelopes).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
         self.put_u64(bytes.len() as u64);
         self.buf.extend_from_slice(bytes);
     }
 
-    pub(crate) fn into_bytes(self) -> Vec<u8> {
+    /// The accumulated byte stream.
+    pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
 }
 
-pub(crate) struct Reader<'a> {
+/// The matching reader: every `take_*` validates against the remaining
+/// bytes, so corrupt or truncated input yields an error, never a panic or
+/// an unbounded allocation.
+pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    pub(crate) fn new(buf: &'a [u8]) -> Self {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
-    pub(crate) fn take_u64(&mut self) -> Result<u64> {
+    /// Takes one little-endian word.
+    pub fn take_u64(&mut self) -> Result<u64> {
         let end = self
             .pos
             .checked_add(8)
@@ -130,7 +152,8 @@ impl<'a> Reader<'a> {
         Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
     }
 
-    fn take_f64(&mut self) -> Result<f64> {
+    /// Takes a float written by [`Writer::put_f64`], bit-exactly.
+    pub fn take_f64(&mut self) -> Result<f64> {
         Ok(f64::from_bits(self.take_u64()?))
     }
 
@@ -140,7 +163,8 @@ impl<'a> Reader<'a> {
         Ok((lo | (hi << 64)) as i128)
     }
 
-    fn take_str(&mut self) -> Result<String> {
+    /// Takes a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String> {
         let n = self.take_len()?;
         let end = self
             .pos
@@ -154,7 +178,8 @@ impl<'a> Reader<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("metric name is not UTF-8"))
     }
 
-    fn take_bool(&mut self) -> Result<bool> {
+    /// Takes a boolean word (anything other than 0 or 1 is corrupt).
+    pub fn take_bool(&mut self) -> Result<bool> {
         match self.take_u64()? {
             0 => Ok(false),
             1 => Ok(true),
@@ -162,7 +187,8 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn take_len(&mut self) -> Result<usize> {
+    /// Takes a collection length, validated against the remaining bytes.
+    pub fn take_len(&mut self) -> Result<usize> {
         let n = self.take_u64()?;
         // Each element is at least one word; a length claiming more than
         // the remaining bytes is corrupt, not an allocation request.
@@ -193,7 +219,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Takes a length-prefixed opaque blob written by [`Writer::put_bytes`].
-    pub(crate) fn take_bytes(&mut self) -> Result<&'a [u8]> {
+    pub fn take_bytes(&mut self) -> Result<&'a [u8]> {
         let n = self.take_len()?;
         let end = self
             .pos
@@ -207,7 +233,8 @@ impl<'a> Reader<'a> {
         Ok(bytes)
     }
 
-    pub(crate) fn finish(&self) -> Result<()> {
+    /// Asserts the payload was consumed exactly (no trailing bytes).
+    pub fn finish(&self) -> Result<()> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
@@ -429,6 +456,15 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
         w.put_u64(self.counters.reverified_windows);
         w.put_u64(self.counters.breaker_trips);
 
+        w.put_bool(self.shed);
+        w.put_bool(self.shed_recover);
+        w.put_u64(self.retention.compacted_windows);
+        w.put_u64(self.retention.compacted_pairs);
+        w.put_u64(self.retention.compacted_candidates);
+        w.put_u64(self.retention.expired_stash_windows);
+        w.put_u64(self.retention.pruned_seen_pairs);
+        w.put_u64(self.retention.evicted_features);
+
         let snap = self.session.snapshot();
         w.put_f64(snap.elapsed_ms);
         w.put_u64(snap.stats.inferences);
@@ -568,6 +604,17 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
             ..RobustnessReport::default()
         };
 
+        let shed = r.take_bool()?;
+        let shed_recover = r.take_bool()?;
+        let retention = RetentionSummary {
+            compacted_windows: r.take_u64()?,
+            compacted_pairs: r.take_u64()?,
+            compacted_candidates: r.take_u64()?,
+            expired_stash_windows: r.take_u64()?,
+            pruned_seen_pairs: r.take_u64()?,
+            evicted_features: r.take_u64()?,
+        };
+
         let elapsed_ms = r.take_f64()?;
         let stats = ReidStats {
             inferences: r.take_u64()?,
@@ -659,9 +706,66 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
             stash,
             decisions,
             counters,
+            shed,
+            shed_recover,
+            retention,
             obs,
         })
     }
+}
+
+/// Serializes a full [`TrackSet`] (ids, classes, boxes with provenance)
+/// into the word stream. `tm-serve` uses this to checkpoint each tenant's
+/// retained per-stream feeds inside the `TMSV` envelope.
+pub fn put_track_set(w: &mut Writer, tracks: &TrackSet) {
+    w.put_u64(tracks.len() as u64);
+    for t in tracks.iter() {
+        w.put_u64(t.id.get());
+        w.put_u64(t.class.get() as u64);
+        w.put_u64(t.boxes.len() as u64);
+        for b in &t.boxes {
+            put_track_box(w, b);
+        }
+    }
+}
+
+/// Reads back a track set written by [`put_track_set`]. Corrupt input —
+/// including a class id wider than 16 bits — is a typed error.
+pub fn take_track_set(r: &mut Reader<'_>) -> Result<TrackSet> {
+    let n = r.take_len()?;
+    let tracks: Vec<Track> = (0..n)
+        .map(|_| {
+            let id = TrackId(r.take_u64()?);
+            let class = ClassId(
+                u16::try_from(r.take_u64()?).map_err(|_| corrupt("class id exceeds 16 bits"))?,
+            );
+            let n_boxes = r.take_len()?;
+            let boxes: Vec<TrackBox> = (0..n_boxes)
+                .map(|_| take_track_box(r))
+                .collect::<Result<_>>()?;
+            Ok(Track::with_boxes(id, class, boxes))
+        })
+        .collect::<Result<_>>()?;
+    Ok(TrackSet::from_tracks(tracks))
+}
+
+/// Reads just the stream id out of a `TMCK` blob without reconstructing
+/// the merger — the fleet's lenient superset-resume path uses this to name
+/// the shards it skips.
+pub(crate) fn peek_stream_id(bytes: &[u8]) -> Result<u64> {
+    let mut r = Reader::new(bytes);
+    if r.take_u64()? != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    if r.take_u64()? != VERSION {
+        return Err(corrupt("unsupported version"));
+    }
+    r.take_u64()?; // window_len
+    r.take_f64()?; // k
+    if r.take_bool()? {
+        take_gate_config(&mut r)?;
+    }
+    r.take_u64()
 }
 
 #[cfg(test)]

@@ -92,7 +92,9 @@ pub(crate) fn select_or_degrade(
     window_index: u64,
 ) -> Result<WindowVerdict> {
     if breaker.is_open() {
-        return degrade(input, report, robustness, obs);
+        return Ok(WindowVerdict::Degraded(degrade_window(
+            input, report, robustness, obs,
+        )?));
     }
     let outcome = selector.select(input, session);
     // Gate decisions accumulated during selection flush here whether the
@@ -106,23 +108,29 @@ pub(crate) fn select_or_degrade(
         }
         Err(e) if e.is_backend() => {
             note_breaker_failure(breaker, report, obs, window_index);
-            degrade(input, report, robustness, obs)
+            Ok(WindowVerdict::Degraded(degrade_window(
+                input, report, robustness, obs,
+            )?))
         }
         Err(e) => Err(e),
     }
 }
 
-fn degrade(
+/// Decides one window on spatio-temporal evidence only, counting it as
+/// degraded. Shared by the breaker path above and the streaming merger's
+/// serve-level shed-load mode, which forces this path without consulting
+/// the breaker at all.
+pub(crate) fn degrade_window(
     input: &SelectionInput<'_>,
     report: &mut RobustnessReport,
     robustness: &RobustnessConfig,
     obs: &Obs,
-) -> Result<WindowVerdict> {
+) -> Result<Vec<TrackPair>> {
     let provisional =
         degraded_candidates(input.pairs, input.tracks, input.m(), &robustness.degraded)?;
     report.degraded_windows += 1;
     obs.counter("pipeline.windows_degraded", 1);
-    Ok(WindowVerdict::Degraded(provisional))
+    Ok(provisional)
 }
 
 /// Records a window's backend failure on the breaker, counting the trip if

@@ -187,17 +187,45 @@ impl<'m, S: CandidateSelector + Send> FleetIngester<'m, S> {
 
     /// Reconstructs a fleet from a [`FleetIngester::checkpoint`]. The code
     /// half of the state — model, cost, device, selectors, backends — must
-    /// match the original construction, in the same stream order; `bytes`
-    /// must describe exactly `backends.len()` streams. Corrupt or truncated
-    /// bytes yield an error, never a panic.
+    /// match the original construction, in the same stream order. Corrupt
+    /// or truncated bytes yield an error, never a panic.
+    ///
+    /// A checkpoint describing *more* streams than `backends` is a
+    /// tolerated superset — the shrink-a-tenant restart case, where a
+    /// stream was decommissioned between checkpoint and resume. The
+    /// leading `backends.len()` shards resume; the trailing shards are
+    /// skipped with a typed warning (see
+    /// [`FleetIngester::resume_reporting`] to observe which). A checkpoint
+    /// describing *fewer* streams than `backends` is still a hard error:
+    /// inventing fresh state for a stream the caller expects to have
+    /// history would silently violate the byte-identity contract.
     pub fn resume(
+        model: &'m AppearanceModel,
+        session_cost: CostModel,
+        device: Device,
+        make_selector: impl FnMut(usize) -> S,
+        backends: &[&'m dyn InferenceBackend],
+        bytes: &[u8],
+    ) -> Result<Self> {
+        let (fleet, _skipped) =
+            Self::resume_reporting(model, session_cost, device, make_selector, backends, bytes)?;
+        Ok(fleet)
+    }
+
+    /// [`FleetIngester::resume`], also returning the stream ids of any
+    /// superset shards that were present in the checkpoint but skipped
+    /// because no backend was supplied for them.
+    pub fn resume_reporting(
         model: &'m AppearanceModel,
         session_cost: CostModel,
         device: Device,
         mut make_selector: impl FnMut(usize) -> S,
         backends: &[&'m dyn InferenceBackend],
         bytes: &[u8],
-    ) -> Result<Self> {
+    ) -> Result<(Self, Vec<u64>)> {
+        if backends.is_empty() {
+            return Err(invalid("a fleet needs at least one stream backend"));
+        }
         let mut r = Reader::new(bytes);
         if r.take_u64()? != FLEET_MAGIC {
             return Err(invalid("bad fleet magic"));
@@ -206,10 +234,10 @@ impl<'m, S: CandidateSelector + Send> FleetIngester<'m, S> {
             return Err(invalid("unsupported fleet version"));
         }
         let n = r.take_u64()? as usize;
-        if n != backends.len() {
-            return Err(invalid("checkpoint stream count does not match backends"));
+        if n < backends.len() {
+            return Err(invalid("checkpoint has fewer streams than backends"));
         }
-        let mut shards = Vec::with_capacity(n);
+        let mut shards = Vec::with_capacity(backends.len());
         for (i, &backend) in backends.iter().enumerate() {
             let blob = r.take_bytes()?;
             let shard =
@@ -220,11 +248,26 @@ impl<'m, S: CandidateSelector + Send> FleetIngester<'m, S> {
             }
             shards.push(shard);
         }
+        let mut skipped = Vec::with_capacity(n - backends.len());
+        for _ in backends.len()..n {
+            let blob = r.take_bytes()?;
+            skipped.push(crate::checkpoint::peek_stream_id(blob)?);
+        }
         r.finish()?;
-        Ok(Self {
-            shards,
-            obs: tm_obs::current(),
-        })
+        let obs = tm_obs::current();
+        // Announce the skips only after every shard restore: restoring a
+        // shard replaces the ambient recorder's whole state, so anything
+        // emitted earlier would be silently clobbered.
+        if !skipped.is_empty() {
+            obs.counter("fleet.resume.skipped_shards", skipped.len() as u64);
+            for id in &skipped {
+                obs.log(
+                    tm_obs::Level::Warn,
+                    &format!("fleet resume: skipping checkpointed stream {id} (no backend supplied; stream decommissioned?)"),
+                );
+            }
+        }
+        Ok((Self { shards, obs }, skipped))
     }
 }
 
@@ -426,19 +469,79 @@ mod tests {
             );
         }
 
-        // Corruption and stream-count mismatch are clean errors.
+        // Corruption is a clean error; so is a checkpoint with *fewer*
+        // streams than backends (a fleet that grew since the kill has no
+        // history to resume for the new stream). Fewer backends than
+        // streams is the tolerated superset case, tested separately.
         assert!(build(Some(&bytes[..bytes.len() / 2])).is_err());
         assert!(build(Some(&[])).is_err());
-        let one: Vec<&dyn InferenceBackend> = vec![&model];
+        let three: Vec<&dyn InferenceBackend> = vec![&model; 3];
         assert!(FleetIngester::resume(
             &model,
             CostModel::calibrated(),
             Device::Cpu,
             |_| selector(),
-            &one,
+            &three,
             &bytes,
         )
         .is_err());
+    }
+
+    #[test]
+    fn superset_checkpoint_resumes_surviving_prefix() {
+        use std::sync::Arc;
+        let (model, base) = fixture();
+        let feeds: Vec<TrackSet> = (0..3).map(|i| stream_tracks(&base, i)).collect();
+        let backends: Vec<&dyn InferenceBackend> = vec![&model; 3];
+        let mut fleet = FleetIngester::new(
+            &model,
+            CostModel::calibrated(),
+            Device::Cpu,
+            config(),
+            |_| selector(),
+            &backends,
+        )
+        .unwrap();
+        let refs: Vec<(&TrackSet, u64)> = feeds.iter().map(|t| (t, 250)).collect();
+        fleet.advance(&refs).unwrap();
+        let bytes = fleet.checkpoint();
+
+        // Stream 2 is decommissioned between checkpoint and resume: the
+        // 3-stream envelope resumes onto 2 backends, skipping the tail
+        // shard with a typed warning instead of a count-mismatch error.
+        let rec = Arc::new(tm_obs::Recorder::new());
+        let two: Vec<&dyn InferenceBackend> = vec![&model; 2];
+        let (mut resumed, skipped) = tm_obs::scoped(tm_obs::Obs::new(rec.clone()), || {
+            FleetIngester::resume_reporting(
+                &model,
+                CostModel::calibrated(),
+                Device::Cpu,
+                |_| selector(),
+                &two,
+                &bytes,
+            )
+        })
+        .unwrap();
+        assert_eq!(resumed.len(), 2);
+        assert_eq!(skipped, vec![2]);
+        assert_eq!(rec.counter_value("fleet.resume.skipped_shards"), 1);
+        assert!(rec
+            .logs()
+            .iter()
+            .any(|(l, m)| *l == tm_obs::Level::Warn && m.contains("stream 2")));
+
+        // The surviving prefix continues byte-identically to the full fleet.
+        let refs: Vec<(&TrackSet, u64)> = feeds.iter().map(|t| (t, 400)).collect();
+        fleet.finish(&refs).unwrap();
+        resumed.finish(&refs[..2]).unwrap();
+        for i in 0..2 {
+            assert_eq!(fleet.shard(i).decisions(), resumed.shard(i).decisions());
+            assert_eq!(fleet.shard(i).accepted(), resumed.shard(i).accepted());
+            assert_eq!(
+                fleet.shard(i).elapsed_ms().to_bits(),
+                resumed.shard(i).elapsed_ms().to_bits(),
+            );
+        }
     }
 
     #[test]

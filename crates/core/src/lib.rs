@@ -72,7 +72,7 @@ pub use score::{
 };
 pub use scratch::{Arena, DenseStore};
 pub use selector::{CandidateSelector, SelectionInput, SelectionResult};
-pub use stream::{StreamConfig, StreamingMerger, WindowDecision};
+pub use stream::{RetentionSummary, StreamConfig, StreamingMerger, WindowDecision};
 pub use tmerge::{TMerge, TMergeConfig};
 pub use union::{merge_mapping, UnionFind};
 pub use window::{windows, Window};

@@ -84,6 +84,45 @@ pub(crate) struct StashedWindow {
     pub(crate) provisional: Vec<TrackPair>,
 }
 
+/// Aggregate of everything [`StreamingMerger::compact_before`] has dropped
+/// so far. Totals (window/pair/candidate counts) survive compaction here
+/// even after the per-window [`StreamingMerger::decisions`] entries are
+/// gone, so long-horizon reports still add up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetentionSummary {
+    /// Decided windows whose per-window log entry was dropped.
+    pub compacted_windows: u64,
+    /// Pairs examined across the compacted windows.
+    pub compacted_pairs: u64,
+    /// Candidates selected across the compacted windows.
+    pub compacted_candidates: u64,
+    /// Stashed degraded windows that aged past the horizon with their
+    /// provisional merges committed for good (the backend never recovered
+    /// in time to re-verify them).
+    pub expired_stash_windows: u64,
+    /// Dedup-set pairs pruned because both members ended before the
+    /// horizon.
+    pub pruned_seen_pairs: u64,
+    /// Cached features evicted from the session.
+    pub evicted_features: u64,
+}
+
+impl RetentionSummary {
+    fn accumulate(&mut self, d: RetentionSummary) {
+        self.compacted_windows += d.compacted_windows;
+        self.compacted_pairs += d.compacted_pairs;
+        self.compacted_candidates += d.compacted_candidates;
+        self.expired_stash_windows += d.expired_stash_windows;
+        self.pruned_seen_pairs += d.pruned_seen_pairs;
+        self.evicted_features += d.evicted_features;
+    }
+
+    /// True when compaction has never dropped anything.
+    pub fn is_empty(&self) -> bool {
+        *self == RetentionSummary::default()
+    }
+}
+
 /// An online, window-at-a-time merger.
 pub struct StreamingMerger<'m, S> {
     pub(crate) config: StreamConfig,
@@ -109,7 +148,19 @@ pub struct StreamingMerger<'m, S> {
     pub(crate) breaker: Breaker,
     /// Degraded windows whose merges are provisional.
     pub(crate) stash: Vec<StashedWindow>,
-    /// Every decision emitted so far, in window order.
+    /// Serve-level shed-load flag: while set, every window takes the
+    /// degraded spatio-temporal path without charging ReID or consulting
+    /// the breaker (DESIGN.md §15).
+    pub(crate) shed: bool,
+    /// Set when shed-load mode ended with stashed windows pending: the
+    /// next processed window re-verifies them, exactly like breaker
+    /// recovery.
+    pub(crate) shed_recover: bool,
+    /// Aggregate of state dropped by retention compaction.
+    pub(crate) retention: RetentionSummary,
+    /// Every decision emitted so far, in window order (bounded by
+    /// [`StreamingMerger::compact_before`] when a retention horizon is
+    /// configured upstream).
     pub(crate) decisions: Vec<WindowDecision>,
     /// Degraded/re-verified/breaker counters (retry counters live on the
     /// session's stats).
@@ -153,6 +204,9 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
             merged_ids: Vec::new(),
             breaker: Breaker::new(robustness.breaker_threshold),
             stash: Vec::new(),
+            shed: false,
+            shed_recover: false,
+            retention: RetentionSummary::default(),
             decisions: Vec::new(),
             counters: RobustnessReport::default(),
             obs: tm_obs::current(),
@@ -259,13 +313,14 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
             out.push(self.process_window(tracks, clipped)?);
             self.next_window += 1;
         }
-        if !self.stash.is_empty() {
+        if !self.stash.is_empty() && !self.shed {
             self.session.set_epoch(self.next_window as u64);
             if self.session.backend_available() {
                 if self.breaker.is_open() {
                     exec::emit_breaker_recovery(&self.obs, self.next_window as u64);
                 }
                 self.breaker.close();
+                self.shed_recover = false;
                 self.reverify_stash(tracks)?;
             }
         }
@@ -281,10 +336,20 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
         // The window index is the fault epoch: deterministic fault plans
         // address outages to specific windows.
         self.session.set_epoch(w.index as u64);
-        if self.breaker.is_open() && self.session.backend_available() {
-            self.breaker.close();
-            exec::emit_breaker_recovery(&self.obs, w.index as u64);
-            self.reverify_stash(tracks)?;
+        // Recovery runs only outside shed-load mode: while shedding, the
+        // whole point is to not spend ReID, so an open breaker stays open
+        // and the stash keeps growing until the caller un-sheds.
+        if !self.shed {
+            let breaker_recovery = self.breaker.is_open() && self.session.backend_available();
+            let shed_recovery = self.shed_recover && self.session.backend_available();
+            if breaker_recovery {
+                self.breaker.close();
+                exec::emit_breaker_recovery(&self.obs, w.index as u64);
+            }
+            if breaker_recovery || shed_recovery {
+                self.shed_recover = false;
+                self.reverify_stash(tracks)?;
+            }
         }
         let cur_ids = tracks_in_first_half(tracks, &w);
         let mut pairs: Vec<TrackPair> = Vec::new();
@@ -318,6 +383,23 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
 
         let (candidates, mode) = if pairs.is_empty() {
             (Vec::new(), DecisionMode::Normal)
+        } else if self.shed {
+            // Shed-load mode: decide on spatio-temporal evidence only,
+            // charging nothing, and stash the window for re-verification —
+            // the same contract as a breaker-degraded window.
+            let input = SelectionInput {
+                pairs: &pairs,
+                tracks,
+                k: self.config.k,
+            };
+            let provisional =
+                exec::degrade_window(&input, &mut self.counters, &self.robustness, &self.obs)?;
+            self.stash.push(StashedWindow {
+                window: w,
+                pairs: pairs.clone(),
+                provisional: provisional.clone(),
+            });
+            (provisional, DecisionMode::Degraded)
         } else {
             let input = SelectionInput {
                 pairs: &pairs,
@@ -452,6 +534,144 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
     /// [`tm_reid::GatePolicy`] is `Off`).
     pub fn gate_stats(&self) -> tm_reid::GateStats {
         self.session.gate_stats()
+    }
+
+    /// The stream configuration this merger was built (or resumed) with.
+    pub fn config(&self) -> StreamConfig {
+        self.config
+    }
+
+    /// Index of the next unprocessed window.
+    pub fn next_window_index(&self) -> usize {
+        self.next_window
+    }
+
+    /// High-water mark of `frames_available` seen so far.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Flips serve-level shed-load mode. While shed, every window is
+    /// decided on the degraded spatio-temporal path (stash + provisional
+    /// merges, zero ReID charges) and breaker recovery is suspended.
+    /// Un-shedding with stashed windows pending arms a re-verification at
+    /// the next processed window, exactly like breaker recovery.
+    pub fn set_shed(&mut self, shed: bool) {
+        if self.shed && !shed && !self.stash.is_empty() {
+            self.shed_recover = true;
+        }
+        self.shed = shed;
+    }
+
+    /// Whether serve-level shed-load mode is active.
+    pub fn is_shed(&self) -> bool {
+        self.shed
+    }
+
+    /// Whether the circuit breaker is currently open.
+    pub fn breaker_open(&self) -> bool {
+        self.breaker.is_open()
+    }
+
+    /// Probes whether the backend would accept work at the next window's
+    /// epoch — the shed-load controller's recovery signal. Charges nothing
+    /// and makes no inference; the epoch it sets is overwritten on the
+    /// next processed window anyway.
+    pub fn probe_backend(&mut self) -> bool {
+        self.session.set_epoch(self.next_window as u64);
+        self.session.backend_available()
+    }
+
+    /// Degraded windows currently stashed awaiting re-verification.
+    pub fn stash_len(&self) -> usize {
+        self.stash.len()
+    }
+
+    /// Size of the cross-window pair-dedup set.
+    pub fn seen_len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Features resident in the session cache.
+    pub fn cached_features(&self) -> usize {
+        self.session.cached_features()
+    }
+
+    /// What retention compaction has dropped so far.
+    pub fn retention(&self) -> RetentionSummary {
+        self.retention
+    }
+
+    /// Compacts state older than `horizon_start` (a frame index): folds
+    /// old per-window decision entries into the [`RetentionSummary`],
+    /// commits the provisional merges of stashed degraded windows that
+    /// aged out un-reverified, prunes dedup pairs whose members are dead
+    /// (absent from `tracks` or ended before the horizon), and evicts
+    /// cached features no live window or pending stash can still touch.
+    ///
+    /// Compaction never changes the mapping: committed merges, the
+    /// union-find and the watermark are untouched; only bookkeeping that
+    /// the merging recurrence can no longer consult is dropped. `tracks`
+    /// should be the caller's current (possibly already-pruned) feed.
+    pub fn compact_before(
+        &mut self,
+        horizon_start: FrameIdx,
+        tracks: &TrackSet,
+    ) -> RetentionSummary {
+        let mut delta = RetentionSummary::default();
+        // Stashed degraded windows past the horizon: their re-verification
+        // window has closed, so the provisional merges become permanent
+        // (they were already visible in `mapping`; this only stops them
+        // from being re-scored).
+        let stash = std::mem::take(&mut self.stash);
+        for sw in stash {
+            if sw.window.end.get() <= horizon_start.get() {
+                for p in &sw.provisional {
+                    self.uf.union(p.lo(), p.hi());
+                    self.merged_ids.push(*p);
+                }
+                delta.expired_stash_windows += 1;
+            } else {
+                self.stash.push(sw);
+            }
+        }
+        self.decisions.retain(|d| {
+            if d.window.end.get() <= horizon_start.get() {
+                delta.compacted_windows += 1;
+                delta.compacted_pairs += d.n_pairs as u64;
+                delta.compacted_candidates += d.candidates.len() as u64;
+                false
+            } else {
+                true
+            }
+        });
+        // A pair can only re-form if one of its members shows up in a
+        // future window's first half; a track that is gone from the feed
+        // or ended before the horizon cannot. Pairs with at least one
+        // live member stay, so re-examination protection is preserved for
+        // everything still reachable.
+        let dead = |id: TrackId| {
+            tracks
+                .get(id)
+                .and_then(|t| t.last_frame())
+                .is_none_or(|f| f.get() < horizon_start.get())
+        };
+        let before_seen = self.seen.len();
+        self.seen.retain(|p| !(dead(p.lo()) && dead(p.hi())));
+        delta.pruned_seen_pairs += (before_seen - self.seen.len()) as u64;
+        // Features are recomputable (the model is pure), so eviction can
+        // never change a decision — only future cache hits. Keep anything
+        // a pending stash re-verification may still want.
+        let guard = self
+            .stash
+            .iter()
+            .map(|sw| sw.window.start.get())
+            .min()
+            .unwrap_or(horizon_start.get())
+            .min(horizon_start.get());
+        delta.evicted_features += self.session.evict_cached_before(FrameIdx(guard)) as u64;
+        self.retention.accumulate(delta);
+        delta
     }
 }
 

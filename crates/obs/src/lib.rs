@@ -144,6 +144,65 @@ impl Sink for NoopSink {
     fn log(&self, _: Level, _: &str) {}
 }
 
+/// A sink decorator that namespaces every metric name under a fixed
+/// prefix before forwarding to the inner sink. `tm-serve` scopes each
+/// tenant's whole pipeline under `serve.tenant.<id>.` this way, so one
+/// shared [`Recorder`] holds every tenant's counters side by side without
+/// collisions — and without the pipeline code knowing tenants exist.
+///
+/// Only *names* are rewritten: deltas, durations, event fields and log
+/// levels pass through untouched, so the deterministic-snapshot contract
+/// (commutative integer aggregates, zero-delta dropping upstream in
+/// [`Obs::counter`]) is unchanged. Log messages gain a `[prefix]` marker
+/// for attribution; the inner recorder's `log.<level>` counters stay
+/// unprefixed, which keeps them commutative across tenants.
+pub struct PrefixSink {
+    prefix: String,
+    inner: Arc<dyn Sink>,
+}
+
+impl PrefixSink {
+    /// Wraps `inner`, namespacing every metric name as `{prefix}{name}`.
+    /// Pass the trailing separator explicitly (e.g. `"serve.tenant.3."`).
+    pub fn new(prefix: impl Into<String>, inner: Arc<dyn Sink>) -> Self {
+        Self {
+            prefix: prefix.into(),
+            inner,
+        }
+    }
+}
+
+impl Sink for PrefixSink {
+    fn counter(&self, name: &str, delta: u64) {
+        self.inner.counter(&format!("{}{name}", self.prefix), delta);
+    }
+
+    fn record_sim_ms(&self, name: &str, sim_ms: f64) {
+        self.inner
+            .record_sim_ms(&format!("{}{name}", self.prefix), sim_ms);
+    }
+
+    fn record_wall_ns(&self, name: &str, wall_ns: u64) {
+        self.inner
+            .record_wall_ns(&format!("{}{name}", self.prefix), wall_ns);
+    }
+
+    fn event(&self, name: &str, fields: &[(&'static str, Value)]) {
+        self.inner.event(&format!("{}{name}", self.prefix), fields);
+    }
+
+    fn log(&self, level: Level, message: &str) {
+        self.inner
+            .log(level, &format!("[{}] {message}", self.prefix));
+    }
+
+    fn as_recorder(&self) -> Option<&Recorder> {
+        // The prefix scopes *emission*; state persistence (checkpointing)
+        // always operates on the shared underlying recorder.
+        self.inner.as_recorder()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The handle.
 // ---------------------------------------------------------------------------
@@ -183,6 +242,17 @@ impl Obs {
     /// The attached [`Recorder`], if the sink is one.
     pub fn recorder(&self) -> Option<&Recorder> {
         self.sink.as_deref().and_then(Sink::as_recorder)
+    }
+
+    /// A handle that namespaces every metric name under `prefix` (via
+    /// [`PrefixSink`]) before reaching this handle's sink. A disabled
+    /// handle stays disabled — no allocation, no sink, still one `None`
+    /// branch per operation.
+    pub fn with_prefix(&self, prefix: &str) -> Obs {
+        match &self.sink {
+            Some(inner) => Obs::new(Arc::new(PrefixSink::new(prefix, Arc::clone(inner)))),
+            None => Obs::noop(),
+        }
     }
 
     /// Adds `delta` to a counter. Zero deltas are dropped before reaching
@@ -690,6 +760,37 @@ mod tests {
         assert_eq!(h.sum_ticks, ticks(2.0));
         assert_eq!(h.min_ticks, ticks(0.75));
         assert_eq!(h.max_ticks, ticks(1.25));
+    }
+
+    #[test]
+    fn prefix_sink_namespaces_metrics_and_forwards_recorder() {
+        let rec = Arc::new(Recorder::new());
+        let obs = Obs::new(rec.clone());
+        let t3 = obs.with_prefix("serve.tenant.3.");
+        let t7 = obs.with_prefix("serve.tenant.7.");
+        assert!(t3.enabled());
+        t3.counter("pipeline.windows", 2);
+        t7.counter("pipeline.windows", 5);
+        t3.counter("pipeline.windows", 0); // zero deltas still dropped
+        t3.record_sim_ms("reid.extract", 1.5);
+        t3.event("window", &[("id", Value::U64(0))]);
+        t3.log(Level::Warn, "shedding");
+        assert_eq!(rec.counter_value("serve.tenant.3.pipeline.windows"), 2);
+        assert_eq!(rec.counter_value("serve.tenant.7.pipeline.windows"), 5);
+        assert_eq!(rec.counter_value("pipeline.windows"), 0);
+        assert!(rec.sim_hist("serve.tenant.3.reid.extract").is_some());
+        assert_eq!(rec.counter_value("event.serve.tenant.3.window"), 1);
+        // Log levels aggregate unprefixed; the message carries the marker.
+        assert_eq!(rec.counter_value("log.warn"), 1);
+        assert!(rec
+            .logs()
+            .iter()
+            .any(|(_, m)| m.contains("[serve.tenant.3.] shedding")));
+        // Checkpointing sees through the prefix to the shared recorder.
+        assert!(t3.recorder().is_some());
+        assert_eq!(t3.recorder().unwrap().state(), rec.state());
+        // Prefixing a disabled handle stays disabled.
+        assert!(!Obs::noop().with_prefix("serve.tenant.9.").enabled());
     }
 
     #[test]

@@ -23,6 +23,6 @@ pub mod queries;
 pub mod recall;
 pub mod region;
 
-pub use queries::{co_occurrence_query, count_query, Query, QueryAnswer};
+pub use queries::{co_occurrence_query, count_query, evaluate, Query, QueryAnswer};
 pub use recall::{co_occurrence_recall, count_recall};
 pub use region::{region_transit_query, region_transit_recall};

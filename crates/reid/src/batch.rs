@@ -207,6 +207,24 @@ impl<'m> BatchScheduler<'m> {
         }
     }
 
+    /// [`BatchScheduler::for_fleet_width`] specialised for one serve-layer
+    /// tenant. The shared cache is sized for the tenant's own `streams`,
+    /// and the dispatch bound is capped at eight outstanding requests per
+    /// stream: a two-camera tenant should not inherit a fleet-wide
+    /// `max_batch` of 32 and sit on a seven-eighths-empty queue waiting
+    /// for traffic its streams will never produce. Batch sizing is purely
+    /// operational — lane replies are contractually identical at any
+    /// dispatch boundary — so tenants of different widths still produce
+    /// byte-identical per-stream output.
+    pub fn for_tenant(model: &'m AppearanceModel, config: BatchConfig, streams: usize) -> Self {
+        let streams = streams.max(1);
+        let config = BatchConfig {
+            max_batch: config.max_batch.min(streams * 8).max(1),
+            ..config
+        };
+        Self::for_fleet_width(model, config, streams)
+    }
+
     /// The effective (clamped) configuration.
     pub fn config(&self) -> BatchConfig {
         self.config
@@ -425,6 +443,34 @@ mod tests {
         assert_eq!(fa, fb);
         let s = sched.stats();
         assert_eq!((s.requests, s.computed, s.saved()), (2, 1, 1));
+    }
+
+    #[test]
+    fn tenant_sizing_caps_the_dispatch_bound_per_stream() {
+        let m = model();
+        // A narrow tenant gets a proportionally small dispatch bound…
+        let narrow = BatchScheduler::for_tenant(&m, BatchConfig::default(), 2);
+        assert_eq!(narrow.config().max_batch, 16);
+        // …a wide tenant keeps the configured one…
+        let wide = BatchScheduler::for_tenant(&m, BatchConfig::default(), 8);
+        assert_eq!(wide.config().max_batch, 32);
+        // …and degenerate widths still clamp to a working scheduler whose
+        // replies match the bare model.
+        let degenerate = BatchScheduler::for_tenant(
+            &m,
+            BatchConfig {
+                max_batch: 0,
+                ..BatchConfig::default()
+            },
+            0,
+        );
+        assert_eq!(degenerate.config().max_batch, 1);
+        let lane = degenerate.backend(&m);
+        let b = tb(1, 2.0, 4);
+        assert_eq!(
+            lane.try_observe(&b, &at(0, 1, 1)).outcome.unwrap(),
+            m.try_observe(&b, &at(0, 1, 1)).outcome.unwrap()
+        );
     }
 
     #[test]

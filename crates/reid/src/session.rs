@@ -797,6 +797,24 @@ impl<'m> ReidSession<'m> {
         }
     }
 
+    /// Evicts private-cache features for boxes strictly before `frame`,
+    /// returning how many were dropped. The serve layer's retention
+    /// compactor calls this with the horizon start: the model is pure, so
+    /// re-deriving an evicted feature later yields the identical vector —
+    /// eviction changes memory and clock charges, never decisions. A
+    /// shared cache is fleet-owned with its own tiered eviction, so this
+    /// is a no-op there.
+    pub fn evict_cached_before(&mut self, frame: FrameIdx) -> usize {
+        match &mut self.cache {
+            CacheBackend::Private(map) => {
+                let before = map.len();
+                map.retain(|key, _| key.frame.get() >= frame.get());
+                before - map.len()
+            }
+            CacheBackend::Shared(_) => 0,
+        }
+    }
+
     /// Ensures every listed box has a cached feature, inferring all misses
     /// in **one** call (one GPU round). Returns nothing; read the features
     /// back with [`ReidSession::cached_feature`]. This is the bulk-ingest

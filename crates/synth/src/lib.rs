@@ -40,8 +40,10 @@ pub mod ground_truth;
 pub mod motion;
 pub mod occlusion;
 pub mod scene;
+pub mod tenant;
 
 pub use ground_truth::{GroundTruth, GtFrame, GtInstance};
 pub use motion::MotionModel;
 pub use occlusion::{GlareEvent, Occluder};
 pub use scene::{ActorSpec, Scenario, SceneConfig};
+pub use tenant::{TenantWorkload, TenantWorkloadConfig};

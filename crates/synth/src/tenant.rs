@@ -1,0 +1,265 @@
+//! Deterministic multi-tenant ingestion workloads for the serve layer.
+//!
+//! The serve-layer soak tests need tracker-shaped input for many tenants ×
+//! streams × thousands of windows, cheap enough to generate on the fly and
+//! **prefix-consistent**: asking for the first `n` frames of a stream must
+//! return exactly the first `n` frames of the same world you get when
+//! asking for more. That property is what lets a soak driver re-submit a
+//! growing feed cycle after cycle (the streaming merger's contract) and
+//! lets a kill-and-resume test regenerate the identical feed on the other
+//! side of the restart without storing it.
+//!
+//! [`TenantWorkload`] skips the full scene/detector/tracker stack and
+//! emits already-fragmented tracks directly: each actor walks a straight
+//! lane at a bounded speed and its trajectory is cut into fixed-length
+//! fragments separated by fixed gaps — the polyonymous-track pattern the
+//! merger exists to repair. Fragment geometry is chosen so the degraded
+//! spatio-temporal gate (≤ 100 px, ≤ 150 frames by default) accepts
+//! same-actor pairs, meaning shed-load and breaker-degraded windows still
+//! make progress on this workload. Everything is a pure function of
+//! `(tenant, stream, actor, frame)` — no RNG state, no history.
+
+use tm_types::{ids::classes, BBox, FrameIdx, GtObjectId, Track, TrackBox, TrackId, TrackSet};
+
+/// Tuning for a [`TenantWorkload`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantWorkloadConfig {
+    /// Actors per stream (each actor yields one fragment chain).
+    pub actors: u64,
+    /// Frames per fragment (clamped to ≥ 1).
+    pub fragment_frames: u64,
+    /// Gap between consecutive fragments of one actor, in frames. Keep
+    /// `gap_frames * speed ≤ 100` and `gap_frames ≤ 150` if degraded-mode
+    /// windows should still merge this workload.
+    pub gap_frames: u64,
+    /// Horizontal speed in px/frame.
+    pub speed: f64,
+}
+
+impl Default for TenantWorkloadConfig {
+    fn default() -> Self {
+        Self {
+            actors: 3,
+            fragment_frames: 90,
+            gap_frames: 30,
+            speed: 2.0,
+        }
+    }
+}
+
+/// A deterministic, prefix-consistent multi-tenant track generator. See
+/// the module docs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantWorkload {
+    config: TenantWorkloadConfig,
+}
+
+impl TenantWorkload {
+    /// A workload from the given tuning (fragment length clamped to ≥ 1).
+    pub fn new(config: TenantWorkloadConfig) -> Self {
+        let config = TenantWorkloadConfig {
+            fragment_frames: config.fragment_frames.max(1),
+            actors: config.actors.max(1),
+            ..config
+        };
+        Self { config }
+    }
+
+    /// The effective (clamped) tuning.
+    pub fn config(&self) -> &TenantWorkloadConfig {
+        &self.config
+    }
+
+    /// The true identity of `(tenant, stream, actor)` — what a perfect
+    /// merger should collapse each actor's fragments onto.
+    pub fn identity(tenant: u64, stream: u64, actor: u64) -> GtObjectId {
+        GtObjectId(tenant * 1_000 + stream * 100 + actor)
+    }
+
+    /// Tracker output for one stream covering frames `0..frames`:
+    /// fragments with at least one box before `frames`, truncated at
+    /// `frames`. Prefix-consistent: for `a ≤ b`, every track returned for
+    /// `a` appears for `b` with the identical id, class and leading boxes.
+    pub fn tracks(&self, tenant: u64, stream: u64, frames: u64) -> TrackSet {
+        let c = &self.config;
+        let period = c.fragment_frames + c.gap_frames;
+        let mut tracks = Vec::new();
+        for actor in 0..c.actors {
+            // A per-(tenant, stream, actor) phase staggers fragment
+            // boundaries across actors, so no single window sees every
+            // actor cut at once.
+            let phase = splitmix(tenant ^ (stream << 20) ^ (actor << 40)) % period;
+            let x0 = (splitmix(Self::identity(tenant, stream, actor).get()) % 200) as f64;
+            let y = 100.0 + actor as f64 * 60.0;
+            for k in 0.. {
+                let start = k * period + phase;
+                if start >= frames {
+                    break;
+                }
+                let end = (start + c.fragment_frames).min(frames);
+                let boxes: Vec<TrackBox> = (start..end)
+                    .map(|f| {
+                        TrackBox::new(
+                            FrameIdx(f),
+                            BBox::new(x0 + f as f64 * c.speed, y, 40.0, 80.0),
+                        )
+                        .with_provenance(Self::identity(tenant, stream, actor))
+                    })
+                    .collect();
+                tracks.push(Track::with_boxes(
+                    TrackId(actor * 10_000 + k + 1),
+                    classes::PEDESTRIAN,
+                    boxes,
+                ));
+            }
+        }
+        TrackSet::from_tracks(tracks)
+    }
+
+    /// Like [`TenantWorkload::tracks`], but emits only the fragments with
+    /// at least one box at or after `lo_frame` — the rolling-snapshot shape
+    /// a real tracker feeds a retention-bounded daemon, and the thing that
+    /// keeps a 10k-window soak linear instead of quadratic in feed length.
+    /// Every returned track is bit-identical to its counterpart in the full
+    /// prefix feed (same id, class, boxes); older fragments are simply
+    /// absent.
+    pub fn tracks_range(&self, tenant: u64, stream: u64, lo_frame: u64, frames: u64) -> TrackSet {
+        let c = &self.config;
+        let period = c.fragment_frames + c.gap_frames;
+        let mut tracks = Vec::new();
+        for actor in 0..c.actors {
+            let phase = splitmix(tenant ^ (stream << 20) ^ (actor << 40)) % period;
+            let x0 = (splitmix(Self::identity(tenant, stream, actor).get()) % 200) as f64;
+            let y = 100.0 + actor as f64 * 60.0;
+            // First fragment index whose end can reach lo_frame.
+            let k0 = (lo_frame.saturating_sub(phase + c.fragment_frames)) / period;
+            for k in k0.. {
+                let start = k * period + phase;
+                if start >= frames {
+                    break;
+                }
+                let end = (start + c.fragment_frames).min(frames);
+                if end <= lo_frame {
+                    continue;
+                }
+                let boxes: Vec<TrackBox> = (start..end)
+                    .map(|f| {
+                        TrackBox::new(
+                            FrameIdx(f),
+                            BBox::new(x0 + f as f64 * c.speed, y, 40.0, 80.0),
+                        )
+                        .with_provenance(Self::identity(tenant, stream, actor))
+                    })
+                    .collect();
+                tracks.push(Track::with_boxes(
+                    TrackId(actor * 10_000 + k + 1),
+                    classes::PEDESTRIAN,
+                    boxes,
+                ));
+            }
+        }
+        TrackSet::from_tracks(tracks)
+    }
+}
+
+/// SplitMix64 finalizer (same mixing as `tm-chaos`' schedules; duplicated
+/// here so the workload generator stays dependency-free).
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> TenantWorkload {
+        TenantWorkload::new(TenantWorkloadConfig::default())
+    }
+
+    #[test]
+    fn output_is_valid_and_deterministic() {
+        let w = workload();
+        let a = w.tracks(1, 0, 500);
+        let b = w.tracks(1, 0, 500);
+        a.validate().unwrap();
+        assert_eq!(a.len(), b.len());
+        for t in a.iter() {
+            assert_eq!(t.boxes, b.get(t.id).unwrap().boxes);
+        }
+        // Distinct coordinates produce distinct worlds.
+        let other = w.tracks(2, 0, 500);
+        assert!(a.iter().zip(other.iter()).any(|(x, y)| x.boxes != y.boxes));
+    }
+
+    #[test]
+    fn feeds_are_prefix_consistent() {
+        let w = workload();
+        let short = w.tracks(3, 1, 250);
+        let long = w.tracks(3, 1, 700);
+        assert!(short.len() <= long.len());
+        for t in short.iter() {
+            let full = long.get(t.id).expect("track vanished as the feed grew");
+            assert_eq!(full.class, t.class);
+            assert_eq!(
+                &full.boxes[..t.boxes.len()],
+                &t.boxes[..],
+                "track {:?} rewrote its prefix",
+                t.id
+            );
+            // Everything in the short feed is genuinely before the cut.
+            assert!(t.boxes.iter().all(|b| b.frame.get() < 250));
+        }
+    }
+
+    #[test]
+    fn ranged_feeds_match_the_full_prefix() {
+        let w = workload();
+        let full = w.tracks(2, 1, 900);
+        let ranged = w.tracks_range(2, 1, 400, 900);
+        assert!(!ranged.is_empty() && ranged.len() < full.len());
+        for t in ranged.iter() {
+            assert_eq!(
+                t.boxes,
+                full.get(t.id).unwrap().boxes,
+                "ranged fragment differs from the full feed"
+            );
+            assert!(t.boxes.last().unwrap().frame.get() >= 400);
+        }
+        // No fragment reaching past the cut was dropped.
+        for t in full.iter() {
+            if t.boxes.last().unwrap().frame.get() >= 400 {
+                assert!(ranged.get(t.id).is_some(), "missing {:?}", t.id);
+            }
+        }
+        // lo_frame = 0 degenerates to the full feed.
+        assert_eq!(w.tracks_range(2, 1, 0, 900), full);
+    }
+
+    #[test]
+    fn fragments_are_mergeable_under_the_degraded_gate() {
+        let w = workload();
+        let set = w.tracks(0, 0, 700);
+        // Group fragments by actor (via provenance) and check consecutive
+        // fragments sit within the default degraded gate: ≤ 150 frames
+        // apart, ≤ 100 px apart.
+        for actor in 0..w.config().actors {
+            let identity = TenantWorkload::identity(0, 0, actor);
+            let mut frags: Vec<_> = set
+                .iter()
+                .filter(|t| t.boxes.first().and_then(|b| b.provenance) == Some(identity))
+                .collect();
+            frags.sort_by_key(|t| t.first_frame());
+            assert!(frags.len() >= 2, "fixture must fragment");
+            for pair in frags.windows(2) {
+                let tail = pair[0].boxes.last().unwrap();
+                let head = pair[1].boxes.first().unwrap();
+                let gap = head.frame.get() - tail.frame.get();
+                assert!(gap > 0 && gap <= 150, "temporal gap {gap}");
+                let dx = (head.bbox.x - tail.bbox.x).abs();
+                assert!(dx <= 100.0, "spatial jump {dx}px");
+            }
+        }
+    }
+}

@@ -59,6 +59,7 @@ pub use tm_detect as detect;
 pub use tm_metrics as metrics;
 pub use tm_query as query;
 pub use tm_reid as reid;
+pub use tm_serve as serve;
 pub use tm_synth as synth;
 pub use tm_track as track;
 pub use tm_types as types;
@@ -78,6 +79,7 @@ pub mod prelude {
     pub use tm_reid::{
         AppearanceConfig, AppearanceModel, CostModel, Device, GateConfig, GatePolicy, ReidSession,
     };
+    pub use tm_serve::{Admission, AdmissionConfig, ServeConfig, TenantSpec, TmServe};
     pub use tm_synth::{
         ActorSpec, GlareEvent, GroundTruth, MotionModel, Occluder, Scenario, SceneConfig,
     };
