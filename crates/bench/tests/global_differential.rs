@@ -1,0 +1,203 @@
+//! Global-vs-solo differential harness.
+//!
+//! The contract under test: attaching a `GlobalMerger` overlay to a fleet
+//! must leave every shard's output **byte-identical** to the fleet (and
+//! therefore to each stream's solo run, by the fleet differential) —
+//! decisions, accepted merges, mapping, robustness counters and the
+//! simulated clock down to the f64 bits — at every `TMERGE_THREADS`
+//! setting. The overlay consumes the same feed references read-only and
+//! runs its ReID through its own session, so shard state must be
+//! untouched by construction; this harness pins that construction.
+//!
+//! Second contract: a single-camera world pushed through the global
+//! merger produces *no* cross-camera state at all — camera 0's namespace
+//! is the identity map, so the composed mapping equals the shard's own.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use tm_core::global::{compose_global_mapping, GlobalConfig, GlobalMerger};
+use tm_core::{
+    FleetIngester, RobustnessReport, StreamConfig, TMerge, TMergeConfig, WindowDecision,
+};
+use tm_reid::{AppearanceConfig, AppearanceModel, CostModel, Device};
+use tm_synth::{MultiCameraWorld, WorldConfig};
+use tm_types::{TrackId, TrackPair, TrackSet};
+
+/// Serializes `TMERGE_THREADS` mutation across tests: concurrent
+/// `set_var`/`var` from different test threads races in libc.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` under each thread-count setting.
+fn with_thread_counts(mut f: impl FnMut(&str)) {
+    let _guard = ENV_LOCK.lock().unwrap();
+    for n in ["1", "4"] {
+        std::env::set_var("TMERGE_THREADS", n);
+        f(n);
+    }
+    std::env::remove_var("TMERGE_THREADS");
+}
+
+fn world(cameras: u64) -> MultiCameraWorld {
+    MultiCameraWorld::new(WorldConfig {
+        cameras,
+        actors: 5,
+        hops: 3.min(cameras.saturating_sub(1)),
+        ..WorldConfig::default()
+    })
+}
+
+fn selector() -> TMerge {
+    TMerge::new(TMergeConfig {
+        tau_max: 10_000,
+        seed: 4,
+        ..TMergeConfig::default()
+    })
+}
+
+fn stream_config() -> StreamConfig {
+    StreamConfig {
+        window_len: 200,
+        k: 0.2,
+        gate: tm_reid::GatePolicy::Off,
+    }
+}
+
+/// Everything one shard's run produces, in comparable form.
+#[derive(Debug, PartialEq)]
+struct ShardOutcome {
+    decisions: Vec<WindowDecision>,
+    accepted: Vec<TrackPair>,
+    robustness: RobustnessReport,
+    /// `elapsed_ms` bits: the clock must agree exactly, not approximately.
+    elapsed_bits: u64,
+    mapping: HashMap<TrackId, TrackId>,
+}
+
+/// Drives a fleet over the world's feeds on an irregular watermark
+/// schedule, optionally with a global overlay advanced on the same
+/// references, and returns per-shard outcomes (plus the overlay).
+fn run_fleet<'a>(
+    model: &'a AppearanceModel,
+    feeds: &[TrackSet],
+    horizon: u64,
+    with_global: bool,
+) -> (Vec<ShardOutcome>, Option<GlobalMerger<'a, TMerge>>) {
+    let backends: Vec<&dyn tm_reid::InferenceBackend> = feeds.iter().map(|_| model as _).collect();
+    let mut fleet = FleetIngester::new(
+        model,
+        CostModel::calibrated(),
+        Device::Cpu,
+        stream_config(),
+        |_| selector(),
+        &backends,
+    )
+    .unwrap();
+    let mut global = with_global.then(|| {
+        GlobalMerger::new(
+            model,
+            CostModel::calibrated(),
+            Device::Cpu,
+            selector(),
+            GlobalConfig::default(),
+        )
+        .unwrap()
+    });
+    let schedule = [horizon / 3, 2 * horizon / 3, horizon];
+    for f in schedule {
+        let refs: Vec<(&TrackSet, u64)> = feeds.iter().map(|t| (t, f)).collect();
+        fleet.advance(&refs).unwrap();
+        if let Some(g) = global.as_mut() {
+            g.advance(&refs).unwrap();
+        }
+    }
+    let refs: Vec<(&TrackSet, u64)> = feeds.iter().map(|t| (t, horizon)).collect();
+    fleet.finish(&refs).unwrap();
+    if let Some(g) = global.as_mut() {
+        g.finish(&refs).unwrap();
+    }
+    let outs = (0..feeds.len())
+        .map(|i| {
+            let m = fleet.shard_mut(i);
+            ShardOutcome {
+                decisions: m.decisions().to_vec(),
+                accepted: m.accepted().to_vec(),
+                robustness: m.robustness(),
+                elapsed_bits: m.elapsed_ms().to_bits(),
+                mapping: m.mapping(),
+            }
+        })
+        .collect();
+    (outs, global)
+}
+
+/// The tentpole invariant: with the overlay attached, every shard's
+/// decisions, accepted pairs, mapping, counters and clock bits are
+/// byte-identical to the fleet without it — at 1 and 4 threads.
+#[test]
+fn global_overlay_leaves_every_shard_byte_identical() {
+    let w = world(6);
+    let horizon = w.horizon();
+    let feeds = w.all_camera_tracks(horizon);
+    let model = AppearanceModel::new(AppearanceConfig::default());
+
+    let (without, _) = run_fleet(&model, &feeds, horizon, false);
+    with_thread_counts(|threads| {
+        let (with, global) = run_fleet(&model, &feeds, horizon, true);
+        let global = global.unwrap();
+        assert!(
+            !global.accepted().is_empty(),
+            "the overlay must actually do cross-camera work for this test to mean anything"
+        );
+        for (i, (got, want)) in with.iter().zip(&without).enumerate() {
+            assert_eq!(
+                got, want,
+                "shard {i} diverged once the global overlay was attached, \
+                 at TMERGE_THREADS={threads}"
+            );
+        }
+    });
+}
+
+/// The overlay's own run is thread-count invariant: same accepted links,
+/// same decisions, same topology, same clock bits at 1 and 4 threads.
+#[test]
+fn global_overlay_is_thread_count_invariant() {
+    let w = world(6);
+    let horizon = w.horizon();
+    let feeds = w.all_camera_tracks(horizon);
+    let model = AppearanceModel::new(AppearanceConfig::default());
+
+    let mut checkpoints: Vec<Vec<u8>> = Vec::new();
+    with_thread_counts(|_| {
+        let (_, global) = run_fleet(&model, &feeds, horizon, true);
+        checkpoints.push(global.unwrap().checkpoint());
+    });
+    assert_eq!(
+        checkpoints[0], checkpoints[1],
+        "global state diverged across TMERGE_THREADS settings"
+    );
+}
+
+/// A single-camera world through the global merger: no admissible pairs,
+/// no accepted links, and the composed global mapping is exactly the
+/// shard's own mapping (camera 0's namespace is the identity).
+#[test]
+fn single_camera_world_reproduces_the_shard_mapping() {
+    let w = world(1);
+    let horizon = w.horizon();
+    let feeds = w.all_camera_tracks(horizon);
+    assert_eq!(feeds.len(), 1);
+    let model = AppearanceModel::new(AppearanceConfig::default());
+
+    let (outs, global) = run_fleet(&model, &feeds, horizon, true);
+    let global = global.unwrap();
+    assert_eq!(global.accepted(), &[], "no spurious cross-camera merges");
+    assert_eq!(global.pair_counts(), (0, 0), "no pairs even examined");
+    assert!(global.topology().is_empty());
+    let composed = compose_global_mapping(&[&outs[0].accepted], global.accepted());
+    assert_eq!(
+        composed, outs[0].mapping,
+        "single-camera composed mapping must equal the shard mapping exactly"
+    );
+    assert!(!composed.is_empty(), "the shard merged fragments");
+}

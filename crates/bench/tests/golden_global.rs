@@ -1,0 +1,127 @@
+//! Golden pin: fleet-wide global IDF1 on a fixed ten-camera world is
+//! **bit-identical** across `TMERGE_THREADS` settings.
+//!
+//! The cross-camera resolution stack — per-shard merging, topology-gated
+//! pair building, Thompson selection over the union'd feeds, union-find
+//! relabelling, and the IDF1 assignment itself — is specified to be
+//! deterministic regardless of how many threads the scoring kernels use.
+//! This test runs the same world end to end at one and four threads and
+//! compares the resulting per-camera and global IDF1 as raw `f64` bits
+//! (`==` would conflate `0.0`/`-0.0` and can never hold for NaN), so any
+//! reduction-order leak in a parallel kernel fails loudly here.
+//!
+//! The world and configuration mirror the `cross_camera` bench's
+//! 10-camera city, so the pin covers exactly what `BENCH_global.json`
+//! reports. Release-only, like the other golden suites.
+
+use std::sync::Mutex;
+use tm_core::global::{compose_global_mapping, GlobalConfig, GlobalMerger};
+use tm_core::{FleetIngester, StreamConfig, TMerge, TMergeConfig};
+use tm_metrics::global_identity_metrics;
+use tm_reid::{AppearanceConfig, AppearanceModel, CostModel, Device, InferenceBackend};
+use tm_synth::{MultiCameraWorld, WorldConfig};
+use tm_types::{TrackPair, TrackSet};
+
+/// Serializes `TMERGE_THREADS` mutation across tests: concurrent
+/// `set_var`/`var` from different test threads races in libc.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+const CAMERAS: u64 = 10;
+
+fn selector() -> TMerge {
+    TMerge::new(TMergeConfig {
+        tau_max: 10_000 + 400 * CAMERAS,
+        seed: 7,
+        ..TMergeConfig::default()
+    })
+}
+
+/// One full city resolution: per-camera and global IDF1, as bits.
+fn resolve(w: &MultiCameraWorld) -> (u64, u64) {
+    let horizon = w.horizon();
+    let feeds = w.all_camera_tracks(horizon);
+    let model = AppearanceModel::new(AppearanceConfig::default());
+    let backends: Vec<&dyn InferenceBackend> = feeds.iter().map(|_| &model as _).collect();
+
+    let mut fleet = FleetIngester::new(
+        &model,
+        CostModel::calibrated(),
+        Device::Cpu,
+        StreamConfig {
+            window_len: 200,
+            k: 0.2,
+            gate: tm_reid::GatePolicy::Off,
+        },
+        |_| selector(),
+        &backends,
+    )
+    .unwrap();
+    let mut global = GlobalMerger::new(
+        &model,
+        CostModel::calibrated(),
+        Device::Cpu,
+        selector(),
+        GlobalConfig {
+            prior_max_dt: 150,
+            ..GlobalConfig::default()
+        },
+    )
+    .unwrap();
+
+    let refs: Vec<(&TrackSet, u64)> = feeds.iter().map(|t| (t, horizon)).collect();
+    fleet.finish(&refs).unwrap();
+    global.finish(&refs).unwrap();
+
+    let shards: Vec<&[TrackPair]> = (0..feeds.len())
+        .map(|i| fleet.shard(i).accepted())
+        .collect();
+    let per = compose_global_mapping(&shards, &[]);
+    let full = compose_global_mapping(&shards, global.accepted());
+
+    let gt = w.global_gt(horizon);
+    let per_idf1 = global_identity_metrics(&gt, &feeds, &per, 0.5).idf1;
+    let global_idf1 = global_identity_metrics(&gt, &feeds, &full, 0.5).idf1;
+    (per_idf1.to_bits(), global_idf1.to_bits())
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-only: resolves a full ten-camera city per thread count"
+)]
+fn global_idf1_is_bit_identical_across_thread_counts() {
+    let w = MultiCameraWorld::new(WorldConfig {
+        cameras: CAMERAS,
+        actors: CAMERAS * 3 / 5,
+        hops: 4,
+        ..WorldConfig::default()
+    });
+
+    let _guard = ENV_LOCK.lock().unwrap();
+    let mut runs: Vec<(u64, u64)> = Vec::new();
+    for threads in ["1", "4"] {
+        std::env::set_var("TMERGE_THREADS", threads);
+        runs.push(resolve(&w));
+    }
+    std::env::remove_var("TMERGE_THREADS");
+
+    let [(per_1, glob_1), (per_4, glob_4)] = runs[..] else {
+        unreachable!()
+    };
+    assert_eq!(
+        per_1, per_4,
+        "per-camera IDF1 bits diverged across TMERGE_THREADS: {per_1:#018x} != {per_4:#018x}"
+    );
+    assert_eq!(
+        glob_1, glob_4,
+        "global IDF1 bits diverged across TMERGE_THREADS: {glob_1:#018x} != {glob_4:#018x}"
+    );
+    // Sanity, so the pin can never go vacuous: the global overlay must
+    // actually improve on per-camera identity on this world.
+    assert!(
+        f64::from_bits(glob_1) > f64::from_bits(per_1),
+        "global IDF1 ({}) must exceed per-camera IDF1 ({})",
+        f64::from_bits(glob_1),
+        f64::from_bits(per_1)
+    );
+}

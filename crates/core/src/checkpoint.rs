@@ -92,12 +92,12 @@ impl Writer {
         self.put_u64(v as u64);
     }
 
-    fn put_pair(&mut self, p: TrackPair) {
+    pub(crate) fn put_pair(&mut self, p: TrackPair) {
         self.put_u64(p.lo().get());
         self.put_u64(p.hi().get());
     }
 
-    fn put_pairs(&mut self, ps: &[TrackPair]) {
+    pub(crate) fn put_pairs(&mut self, ps: &[TrackPair]) {
         self.put_u64(ps.len() as u64);
         for &p in ps {
             self.put_pair(p);
@@ -198,13 +198,13 @@ impl<'a> Reader<'a> {
         Ok(n as usize)
     }
 
-    fn take_pair(&mut self) -> Result<TrackPair> {
+    pub(crate) fn take_pair(&mut self) -> Result<TrackPair> {
         let lo = TrackId(self.take_u64()?);
         let hi = TrackId(self.take_u64()?);
         TrackPair::new(lo, hi).ok_or_else(|| corrupt("degenerate track pair"))
     }
 
-    fn take_pairs(&mut self) -> Result<Vec<TrackPair>> {
+    pub(crate) fn take_pairs(&mut self) -> Result<Vec<TrackPair>> {
         let n = self.take_len()?;
         (0..n).map(|_| self.take_pair()).collect()
     }
@@ -395,6 +395,72 @@ fn take_gate_snapshot(r: &mut Reader<'_>) -> Result<GateSnapshot> {
     })
 }
 
+/// Serializes a [`SessionSnapshot`] (clock, work counters, feature cache,
+/// gate state) into the word stream. Shared by the `TMCK` merger
+/// checkpoint and the `TMGL` global-merger checkpoint
+/// ([`crate::global`]); the byte layout is pinned by both envelopes.
+pub(crate) fn put_session_snapshot(w: &mut Writer, snap: &SessionSnapshot) {
+    w.put_f64(snap.elapsed_ms);
+    w.put_u64(snap.stats.inferences);
+    w.put_u64(snap.stats.cache_hits);
+    w.put_u64(snap.stats.distances);
+    w.put_u64(snap.stats.gpu_rounds);
+    w.put_u64(snap.stats.retries);
+    w.put_u64(snap.stats.backend_faults);
+    w.put_u64(snap.cache.len() as u64);
+    for (key, feat) in &snap.cache {
+        w.put_u64(key.track.get());
+        w.put_u64(key.frame.get());
+        w.put_u64(feat.len() as u64);
+        for &c in feat {
+            w.put_f64(c);
+        }
+    }
+    match &snap.gate {
+        Some(g) => {
+            w.put_bool(true);
+            put_gate_snapshot(w, g);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+/// The matching reader for [`put_session_snapshot`].
+pub(crate) fn take_session_snapshot(r: &mut Reader<'_>) -> Result<SessionSnapshot> {
+    let elapsed_ms = r.take_f64()?;
+    let stats = ReidStats {
+        inferences: r.take_u64()?,
+        cache_hits: r.take_u64()?,
+        distances: r.take_u64()?,
+        gpu_rounds: r.take_u64()?,
+        retries: r.take_u64()?,
+        backend_faults: r.take_u64()?,
+    };
+    let n = r.take_len()?;
+    let cache: Vec<(BoxKey, Vec<f64>)> = (0..n)
+        .map(|_| {
+            let key = BoxKey {
+                track: TrackId(r.take_u64()?),
+                frame: FrameIdx(r.take_u64()?),
+            };
+            let len = r.take_len()?;
+            let feat: Vec<f64> = (0..len).map(|_| r.take_f64()).collect::<Result<_>>()?;
+            Ok((key, feat))
+        })
+        .collect::<Result<_>>()?;
+    let gate = if r.take_bool()? {
+        Some(take_gate_snapshot(r)?)
+    } else {
+        None
+    };
+    Ok(SessionSnapshot {
+        elapsed_ms,
+        stats,
+        cache,
+        gate,
+    })
+}
+
 impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
     /// Serializes the merger's complete state. Call between `advance`
     /// calls (the merger is always consistent at those points).
@@ -465,30 +531,7 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
         w.put_u64(self.retention.pruned_seen_pairs);
         w.put_u64(self.retention.evicted_features);
 
-        let snap = self.session.snapshot();
-        w.put_f64(snap.elapsed_ms);
-        w.put_u64(snap.stats.inferences);
-        w.put_u64(snap.stats.cache_hits);
-        w.put_u64(snap.stats.distances);
-        w.put_u64(snap.stats.gpu_rounds);
-        w.put_u64(snap.stats.retries);
-        w.put_u64(snap.stats.backend_faults);
-        w.put_u64(snap.cache.len() as u64);
-        for (key, feat) in &snap.cache {
-            w.put_u64(key.track.get());
-            w.put_u64(key.frame.get());
-            w.put_u64(feat.len() as u64);
-            for &c in feat {
-                w.put_f64(c);
-            }
-        }
-        match &snap.gate {
-            Some(g) => {
-                w.put_bool(true);
-                put_gate_snapshot(&mut w, g);
-            }
-            None => w.put_bool(false),
-        }
+        put_session_snapshot(&mut w, &self.session.snapshot());
 
         // Observability recorder state: counters and sim-clock histograms
         // (the deterministic half of the recorder; wall-clock data never
@@ -615,32 +658,7 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
             evicted_features: r.take_u64()?,
         };
 
-        let elapsed_ms = r.take_f64()?;
-        let stats = ReidStats {
-            inferences: r.take_u64()?,
-            cache_hits: r.take_u64()?,
-            distances: r.take_u64()?,
-            gpu_rounds: r.take_u64()?,
-            retries: r.take_u64()?,
-            backend_faults: r.take_u64()?,
-        };
-        let n = r.take_len()?;
-        let cache: Vec<(BoxKey, Vec<f64>)> = (0..n)
-            .map(|_| {
-                let key = BoxKey {
-                    track: TrackId(r.take_u64()?),
-                    frame: FrameIdx(r.take_u64()?),
-                };
-                let len = r.take_len()?;
-                let feat: Vec<f64> = (0..len).map(|_| r.take_f64()).collect::<Result<_>>()?;
-                Ok((key, feat))
-            })
-            .collect::<Result<_>>()?;
-        let gate_snap = if r.take_bool()? {
-            Some(take_gate_snapshot(&mut r)?)
-        } else {
-            None
-        };
+        let session_snap = take_session_snapshot(&mut r)?;
 
         let n = r.take_len()?;
         let rec_counters: Vec<(String, u64)> = (0..n)
@@ -677,12 +695,7 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
             .with_obs(obs.clone())
             .with_retry_policy(robustness.retry)
             .with_gate(config.gate);
-        session.restore_snapshot(&SessionSnapshot {
-            elapsed_ms,
-            stats,
-            cache,
-            gate: gate_snap,
-        });
+        session.restore_snapshot(&session_snap);
 
         // The union-find is derived state: re-union the committed merges.
         let mut uf = UnionFind::new();

@@ -38,6 +38,7 @@ pub mod checkpoint;
 pub mod egreedy;
 mod exec;
 pub mod fleet;
+pub mod global;
 pub mod lcb;
 pub mod pairs;
 pub mod pipeline;
@@ -56,6 +57,10 @@ pub mod window;
 pub use baseline::Baseline;
 pub use egreedy::{EGreedyConfig, EpsilonGreedy};
 pub use fleet::FleetIngester;
+pub use global::{
+    compose_global_mapping, CameraTopology, GlobalConfig, GlobalDecision, GlobalMerger,
+    TravelProfile,
+};
 pub use lcb::{LcbConfig, LowerConfidenceBound};
 pub use pairs::{all_pairs, build_window_pairs, WindowPairs};
 pub use pipeline::{

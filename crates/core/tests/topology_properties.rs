@@ -1,0 +1,180 @@
+//! Property battery for the camera topology (`tm_core::global`).
+//!
+//! The travel-time profiles gate the entire cross-camera candidate space,
+//! so their algebra has to be boringly dependable:
+//!
+//! * **permutation-commutative** — a profile is a pure histogram, so the
+//!   order confirmed transits arrive in can never change it;
+//! * **prefix-stable** — observing more transits never rewrites what an
+//!   earlier prefix already recorded (histogram counts only grow, the
+//!   envelope only widens outward);
+//! * **sound under a calibrated prior** — every ground-truth transit of a
+//!   synthetic world survives the admissibility gate, cold or warm, as
+//!   long as the envelope pad covers the world's travel jitter;
+//! * **bit-exact serialization** — `to_bytes`/`from_bytes` round-trips
+//!   the topology exactly, and corrupt bytes fail typed, never panic.
+
+use proptest::prelude::*;
+use tm_core::global::{CameraTopology, GlobalConfig};
+use tm_synth::{MultiCameraWorld, WorldConfig};
+
+/// A random batch of directed transits `(from, to, dt)` over a small
+/// camera universe, with realistic tick ranges.
+fn transits_strategy() -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    proptest::collection::vec((0u64..5, 0u64..5, 1u64..500), 0..60)
+}
+
+fn config(pad: u64) -> GlobalConfig {
+    GlobalConfig {
+        prior_min_dt: 1,
+        prior_max_dt: 500,
+        min_confirmations: 3,
+        envelope_pad: pad,
+        ..GlobalConfig::default()
+    }
+}
+
+fn build(obs: &[(u64, u64, u64)]) -> CameraTopology {
+    let mut t = CameraTopology::new();
+    for &(from, to, dt) in obs {
+        t.observe(from, to, dt);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Observing the same multiset of transits in any order yields the
+    /// same topology, bit for bit.
+    #[test]
+    fn profile_updates_are_permutation_commutative(
+        obs in transits_strategy(), seed in 0u64..1000
+    ) {
+        let forward = build(&obs);
+        let mut shuffled = obs.clone();
+        // Deterministic Fisher–Yates from the proptest-drawn seed.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for i in (1..shuffled.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            shuffled.swap(i, (state as usize) % (i + 1));
+        }
+        let permuted = build(&shuffled);
+        prop_assert_eq!(&forward, &permuted);
+        prop_assert_eq!(forward.to_bytes(), permuted.to_bytes());
+    }
+
+    /// A prefix of observations is never rewritten by later ones: counts
+    /// only grow and the learned envelope only widens outward.
+    #[test]
+    fn profile_updates_are_prefix_stable(
+        obs in transits_strategy(), split in 0usize..60, pad in 0u64..50
+    ) {
+        let split = split.min(obs.len());
+        let prefix = build(&obs[..split]);
+        let full = build(&obs);
+        let cfg = config(pad);
+        for (from, to) in (0..5u64).flat_map(|a| (0..5u64).map(move |b| (a, b))) {
+            let (Some(p), Some(f)) = (prefix.profile(from, to), full.profile(from, to)) else {
+                // A pair absent from the full build must be absent from
+                // the prefix too.
+                prop_assert!(prefix.profile(from, to).is_none()
+                    || full.profile(from, to).is_some());
+                continue;
+            };
+            prop_assert!(f.count() >= p.count());
+            for (dt, n) in p.histogram() {
+                prop_assert!(f.histogram().get(dt).is_some_and(|m| m >= n));
+            }
+            let (plo, phi) = p.range().unwrap();
+            let (flo, fhi) = f.range().unwrap();
+            prop_assert!(flo <= plo && fhi >= phi);
+            // Once both sides of the gate are learned, a dt the prefix
+            // admitted via its learned envelope stays admissible.
+            if p.count() >= cfg.min_confirmations {
+                for dt in [plo, phi] {
+                    prop_assert!(full.admissible(from, to, dt, &cfg));
+                }
+            }
+        }
+    }
+
+    /// Serialization is a bit-exact involution, and truncation fails
+    /// typed rather than panicking.
+    #[test]
+    fn topology_serialization_round_trips_bit_exactly(
+        obs in transits_strategy(), cut in 1usize..64
+    ) {
+        let t = build(&obs);
+        let bytes = t.to_bytes();
+        let back = CameraTopology::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &t);
+        prop_assert_eq!(back.to_bytes(), bytes.clone());
+        if !bytes.is_empty() {
+            let cut = cut.min(bytes.len());
+            prop_assert!(CameraTopology::from_bytes(&bytes[..bytes.len() - cut]).is_err());
+        }
+    }
+
+    /// Pruning soundness on synthetic worlds: every ground-truth transit
+    /// passes the gate under the calibrated prior — both cold (no
+    /// profiles) and warm (all transits already confirmed), as long as
+    /// the pad is at least the world's travel jitter.
+    #[test]
+    fn every_true_transit_survives_the_gate(
+        cameras in 2u64..8, actors in 1u64..6, seed in 0u64..500,
+        travel_base in 20u64..120, jitter in 0u64..40
+    ) {
+        let w = MultiCameraWorld::new(WorldConfig {
+            cameras,
+            actors,
+            hops: (cameras - 1).min(3),
+            travel_base,
+            travel_jitter: jitter,
+            seed,
+            ..WorldConfig::default()
+        });
+        let horizon = w.horizon();
+        let transits = w.transits(horizon);
+        let cfg = GlobalConfig {
+            prior_min_dt: 1,
+            // A calibrated prior: generous ceiling over the worst travel.
+            prior_max_dt: travel_base + jitter + 10,
+            min_confirmations: 3,
+            envelope_pad: jitter + 1,
+            ..GlobalConfig::default()
+        };
+
+        let cold = CameraTopology::new();
+        let mut warm = CameraTopology::new();
+        for tr in &transits {
+            warm.observe(tr.from, tr.to, tr.dt());
+        }
+        for tr in &transits {
+            prop_assert!(
+                cold.admissible(tr.from, tr.to, tr.dt(), &cfg),
+                "cold gate rejected a true transit: {tr:?}"
+            );
+            prop_assert!(
+                warm.admissible(tr.from, tr.to, tr.dt(), &cfg),
+                "warm gate rejected a true transit: {tr:?}"
+            );
+        }
+    }
+}
+
+/// Corrupt (not just truncated) bytes fail typed: an inner count that
+/// disagrees with its histogram is rejected.
+#[test]
+fn inconsistent_profile_counts_are_rejected() {
+    let mut t = CameraTopology::new();
+    t.observe(0, 1, 10);
+    t.observe(0, 1, 12);
+    let mut bytes = t.to_bytes();
+    // Layout: n, from, to, count, min, max, buckets, (dt, n)… — bump the
+    // count word (offset 3×8) without touching the histogram.
+    bytes[3 * 8] = bytes[3 * 8].wrapping_add(1);
+    assert!(CameraTopology::from_bytes(&bytes).is_err());
+}

@@ -1,0 +1,118 @@
+//! Global (cross-camera) identity metrics.
+//!
+//! Per-camera IDF1 cannot see a cross-camera identity switch: each camera
+//! scores its own viewport, and an actor re-entering under a new id in a
+//! different camera costs nothing. The global variant unions all camera
+//! streams into one namespaced track set (each camera's ids lifted with
+//! [`TrackId::in_camera`], matching `tm_core::global`'s namespace) and
+//! scores it against a fleet-wide ground truth whose trajectories span
+//! cameras. Under the union, every hop an identity resolver fails to link
+//! shows up exactly like an intra-camera fragmentation — unmatched boxes —
+//! so the global-vs-per-camera IDF1 gap *is* the value of cross-camera
+//! resolution.
+//!
+//! The simulator keeps camera viewports in disjoint coordinate bands
+//! (`tm_synth::CAMERA_BAND`), so unioned boxes from different cameras can
+//! never spuriously overlap at any IoU threshold.
+
+use crate::identity::{identity_metrics, IdentityMetrics};
+use std::collections::HashMap;
+use tm_types::{Track, TrackId, TrackSet};
+
+/// Unions per-camera track sets into one fleet-wide set with each
+/// camera's track ids lifted into its namespace
+/// ([`TrackId::in_camera`]`(i)` for feed `i`). Panics never: id
+/// collisions are impossible by construction of the namespace.
+pub fn union_streams(feeds: &[TrackSet]) -> TrackSet {
+    let mut tracks: Vec<Track> = Vec::new();
+    for (camera, feed) in feeds.iter().enumerate() {
+        tracks.extend(feed.in_camera(camera as u64).into_tracks());
+    }
+    TrackSet::from_tracks(tracks)
+}
+
+/// Computes fleet-wide IDF1/IDP/IDR: unions `feeds` into the global
+/// namespace, applies `mapping` (global ids → global ids, e.g.
+/// `tm_core::global::compose_global_mapping` output; pass an empty map
+/// for the unresolved per-camera baseline), and scores against `gt`.
+pub fn global_identity_metrics(
+    gt: &TrackSet,
+    feeds: &[TrackSet],
+    mapping: &HashMap<TrackId, TrackId>,
+    iou_threshold: f64,
+) -> IdentityMetrics {
+    let unioned = union_streams(feeds);
+    let relabeled = if mapping.is_empty() {
+        unioned
+    } else {
+        unioned.relabeled(mapping)
+    };
+    identity_metrics(gt, &relabeled, iou_threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_types::{ids::classes, BBox, FrameIdx, TrackBox, CAMERA_STRIDE};
+
+    fn track(id: u64, frames: std::ops::Range<u64>, x: f64, y: f64) -> Track {
+        Track::with_boxes(
+            TrackId(id),
+            classes::PEDESTRIAN,
+            frames
+                .map(|f| TrackBox::new(FrameIdx(f), BBox::new(x, y, 10.0, 10.0)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn union_namespaces_per_camera_ids() {
+        let cam0 = TrackSet::from_tracks(vec![track(1, 0..10, 0.0, 0.0)]);
+        let cam1 = TrackSet::from_tracks(vec![track(1, 0..10, 0.0, 10_000.0)]);
+        let u = union_streams(&[cam0, cam1]);
+        assert_eq!(u.len(), 2);
+        assert!(u.get(TrackId(1)).is_some());
+        assert!(u.get(TrackId(CAMERA_STRIDE + 1)).is_some());
+    }
+
+    #[test]
+    fn unresolved_transit_caps_idf1_and_mapping_restores_it() {
+        // One actor: 10 frames in camera 0, then 10 frames in camera 1.
+        // GT is a single spanning trajectory.
+        let gt = TrackSet::from_tracks(vec![Track::with_boxes(
+            TrackId(1),
+            classes::PEDESTRIAN,
+            (0..10)
+                .map(|f| TrackBox::new(FrameIdx(f), BBox::new(0.0, 0.0, 10.0, 10.0)))
+                .chain(
+                    (20..30)
+                        .map(|f| TrackBox::new(FrameIdx(f), BBox::new(0.0, 10_000.0, 10.0, 10.0))),
+                )
+                .collect(),
+        )]);
+        let cam0 = TrackSet::from_tracks(vec![track(7, 0..10, 0.0, 0.0)]);
+        let cam1 = TrackSet::from_tracks(vec![track(9, 20..30, 0.0, 10_000.0)]);
+        let feeds = [cam0, cam1];
+
+        let before = global_identity_metrics(&gt, &feeds, &HashMap::new(), 0.5);
+        assert!(
+            (before.idf1 - 0.5).abs() < 1e-12,
+            "split identity: {before:?}"
+        );
+
+        let mut mapping = HashMap::new();
+        mapping.insert(TrackId(CAMERA_STRIDE + 9), TrackId(7));
+        let after = global_identity_metrics(&gt, &feeds, &mapping, 0.5);
+        assert_eq!(after.idf1, 1.0, "linked identity: {after:?}");
+    }
+
+    #[test]
+    fn disjoint_bands_prevent_cross_camera_box_matches() {
+        // Same (x, frame) in two cameras: without the band offset these
+        // would IoU-match; with it they never do.
+        let gt = TrackSet::from_tracks(vec![track(1, 0..10, 0.0, 0.0)]);
+        let cam1_only = TrackSet::from_tracks(vec![track(5, 0..10, 0.0, 10_000.0)]);
+        let m = global_identity_metrics(&gt, &[TrackSet::new(), cam1_only], &HashMap::new(), 0.5);
+        assert_eq!(m.idtp, 0);
+    }
+}

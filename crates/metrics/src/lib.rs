@@ -16,6 +16,7 @@
 
 pub mod clear_mot;
 pub mod correspondence;
+pub mod global;
 pub mod hota;
 pub mod identity;
 pub mod polyonymous;
@@ -23,6 +24,7 @@ pub mod stats;
 
 pub use clear_mot::{clear_mot, ClearMot, ClearMotConfig};
 pub use correspondence::Correspondence;
+pub use global::{global_identity_metrics, union_streams};
 pub use hota::{hota, hota_at, Hota};
 pub use identity::{identity_metrics, IdentityMetrics};
 pub use polyonymous::{polyonymous_rate, recall};

@@ -29,6 +29,7 @@ use crate::server::{Feed, ServeConfig, Submission, Tenant, TenantSpec, TenantSta
 use std::collections::{BTreeMap, VecDeque};
 use tm_core::checkpoint::{put_track_set, take_track_set, Reader, Writer};
 use tm_core::fleet::FleetIngester;
+use tm_core::global::GlobalMerger;
 use tm_core::selector::CandidateSelector;
 use tm_obs::Level;
 use tm_reid::{AppearanceModel, CostModel, Device, InferenceBackend};
@@ -37,7 +38,8 @@ use tm_types::{Result, TmError};
 /// `"TMSV"` in big-endian ASCII.
 const MAGIC: u64 = 0x544d_5356;
 /// Bump on any layout change; readers reject unknown versions.
-const VERSION: u64 = 1;
+/// v2 appended each tenant's optional global-merger (`TMGL`) blob.
+const VERSION: u64 = 2;
 
 fn corrupt(reason: &str) -> TmError {
     TmError::invalid("serve-checkpoint", reason)
@@ -109,6 +111,7 @@ struct TenantImage<'a> {
     feeds: Vec<Feed>,
     queue: VecDeque<Submission>,
     fleet_blob: &'a [u8],
+    global_blob: Option<&'a [u8]>,
 }
 
 fn take_tenant_image<'a>(r: &mut Reader<'a>) -> Result<TenantImage<'a>> {
@@ -156,6 +159,11 @@ fn take_tenant_image<'a>(r: &mut Reader<'a>) -> Result<TenantImage<'a>> {
         });
     }
     let fleet_blob = r.take_bytes()?;
+    let global_blob = if r.take_bool()? {
+        Some(r.take_bytes()?)
+    } else {
+        None
+    };
     Ok(TenantImage {
         spec: TenantSpec {
             id,
@@ -172,6 +180,7 @@ fn take_tenant_image<'a>(r: &mut Reader<'a>) -> Result<TenantImage<'a>> {
         feeds,
         queue,
         fleet_blob,
+        global_blob,
     })
 }
 
@@ -215,6 +224,13 @@ impl<'m, S: CandidateSelector + Send> TmServe<'m, S> {
                 put_track_set(&mut w, &sub.tracks);
             }
             w.put_bytes(&tenant.fleet.checkpoint());
+            match &tenant.global {
+                Some(global) => {
+                    w.put_bool(true);
+                    w.put_bytes(&global.checkpoint());
+                }
+                None => w.put_bool(false),
+            }
         }
         w.into_bytes()
     }
@@ -259,6 +275,7 @@ impl<'m, S: CandidateSelector + Send> TmServe<'m, S> {
 
         let mut last_id: Option<u64> = None;
         let mut dropped: Vec<u64> = Vec::new();
+        let mut shrunk_globals: Vec<u64> = Vec::new();
         let mut tenants: BTreeMap<u64, Tenant<'m, S>> = BTreeMap::new();
         // Backends are materialized per tenant and must outlive the fleet,
         // so collect them alongside; the Vec allocations live in the
@@ -274,6 +291,7 @@ impl<'m, S: CandidateSelector + Send> TmServe<'m, S> {
                 continue;
             };
             let id = image.spec.id;
+            let orig_streams = image.spec.streams;
             let obs = serve.base_obs.with_prefix(&format!("serve.tenant.{id}."));
             let make = &mut serve.make_selector;
             // Lenient prefix resume: the fleet tolerates a checkpoint with
@@ -297,11 +315,29 @@ impl<'m, S: CandidateSelector + Send> TmServe<'m, S> {
                 image.prev_elapsed_ms.truncate(streams);
                 image.queue.retain(|sub| sub.stream < streams);
             }
+            // The global overlay binds its camera count to the original
+            // stream count; a shrunk tenant invalidates its cross-camera
+            // state, so the blob is discarded (reported below, with the
+            // drops, after every recorder restore has happened).
+            let global = match image.global_blob {
+                Some(blob) if streams == orig_streams => {
+                    let selector = (serve.make_selector)(id, orig_streams);
+                    Some(tm_obs::scoped(obs.clone(), || {
+                        GlobalMerger::resume(model, session_cost, device, selector, blob)
+                    })?)
+                }
+                Some(_) => {
+                    shrunk_globals.push(id);
+                    None
+                }
+                None => None,
+            };
             tenants.insert(
                 id,
                 Tenant {
                     spec: image.spec,
                     fleet,
+                    global,
                     obs,
                     queue: image.queue,
                     feeds: image.feeds,
@@ -328,6 +364,17 @@ impl<'m, S: CandidateSelector + Send> TmServe<'m, S> {
                 serve.base_obs.log(
                     Level::Warn,
                     &format!("serve resume: dropping tenant {id} (no backends supplied)"),
+                );
+            }
+        }
+        if !shrunk_globals.is_empty() {
+            serve
+                .base_obs
+                .counter("serve.resume.dropped_globals", shrunk_globals.len() as u64);
+            for id in &shrunk_globals {
+                serve.base_obs.log(
+                    Level::Warn,
+                    &format!("serve resume: tenant {id} shrank; discarding its global state"),
                 );
             }
         }
@@ -411,6 +458,9 @@ mod tests {
         let two: [&dyn InferenceBackend; 2] = [model, model];
         serve.register(spec(7, 1), &one).unwrap();
         serve.register(spec(9, 2), &two).unwrap();
+        serve
+            .enable_global(9, tm_core::global::GlobalConfig::default())
+            .unwrap();
         for (t, frames) in [(0.0, 250), (40.0, 400)] {
             assert!(serve.submit(t, 7, 0, feed(0), frames).is_admitted());
             assert!(serve.submit(t, 9, 0, feed(1), frames).is_admitted());
@@ -437,6 +487,7 @@ mod tests {
         )
         .unwrap();
         assert!(dropped.is_empty());
+        assert!(revived.global(9).is_some(), "global overlay revived");
         assert_eq!(revived.checkpoint(), envelope, "resume is a fixpoint");
 
         // Both daemons play identical further traffic; their envelopes
@@ -475,6 +526,9 @@ mod tests {
         .unwrap();
         assert_eq!(dropped, vec![7]);
         assert_eq!(revived.tenant_ids(), vec![9]);
+        // The shrunk tenant's cross-camera state is discarded, not kept
+        // with a stale camera count.
+        assert!(revived.global(9).is_none());
         let stats = revived.stats(9).unwrap();
         assert_eq!(stats.admitted, serve.stats(9).unwrap().admitted);
         // The surviving stream's feed is intact; stream 1 is gone.

@@ -25,12 +25,13 @@ use crate::admission::{
 };
 use std::collections::{BTreeMap, VecDeque};
 use tm_core::fleet::FleetIngester;
+use tm_core::global::{compose_global_mapping, GlobalConfig, GlobalMerger};
 use tm_core::selector::CandidateSelector;
 use tm_core::stream::{RetentionSummary, StreamConfig};
 use tm_obs::{Level, Obs};
 use tm_query::{evaluate, Query, QueryAnswer};
 use tm_reid::{AppearanceModel, CostModel, Device, InferenceBackend};
-use tm_types::{FrameIdx, Result, TmError, Track, TrackSet};
+use tm_types::{FrameIdx, Result, TmError, Track, TrackId, TrackSet};
 
 fn invalid(reason: &str) -> TmError {
     TmError::invalid("serve", reason)
@@ -140,6 +141,11 @@ pub(crate) struct Feed {
 pub(crate) struct Tenant<'m, S> {
     pub(crate) spec: TenantSpec,
     pub(crate) fleet: FleetIngester<'m, S>,
+    /// Cross-camera identity resolver, when enabled for this tenant. A
+    /// pure overlay: it reads the same retained feeds the fleet advances
+    /// on and never touches shard state, so per-stream byte-identity is
+    /// unaffected.
+    pub(crate) global: Option<GlobalMerger<'m, S>>,
     /// Prefixed handle (`serve.tenant.<id>.`).
     pub(crate) obs: Obs,
     pub(crate) queue: VecDeque<Submission>,
@@ -276,6 +282,12 @@ impl<'m, S: CandidateSelector + Send> Tenant<'m, S> {
         let refs: Vec<(&TrackSet, u64)> =
             self.feeds.iter().map(|f| (&f.tracks, f.frames)).collect();
         let decisions = self.fleet.advance(&refs)?;
+        // 3b. The global overlay sees exactly the feeds the fleet saw.
+        // Shed-load does not gate it: a degraded global round stashes
+        // its pairs and re-verifies on recovery by itself.
+        if let Some(global) = self.global.as_mut() {
+            global.advance(&refs)?;
+        }
         drop(refs);
 
         // 4. SLO: mean simulated cost per decided window, per shard.
@@ -450,6 +462,7 @@ impl<'m, S: CandidateSelector + Send> TmServe<'m, S> {
             Tenant {
                 spec,
                 fleet,
+                global: None,
                 obs,
                 queue: VecDeque::new(),
                 feeds: vec![Feed::default(); spec.streams],
@@ -580,6 +593,53 @@ impl<'m, S: CandidateSelector + Send> TmServe<'m, S> {
         let t = self.tenants.get(&tenant)?;
         let f = t.feeds.get(stream)?;
         Some((&f.tracks, f.frames))
+    }
+
+    /// Enables cross-camera global identity resolution for a registered
+    /// tenant: every subsequent cycle also advances a [`GlobalMerger`]
+    /// over the tenant's retained feeds (one camera per stream). The
+    /// overlay is read-only with respect to shard state, so per-stream
+    /// decisions and mappings stay byte-identical to a fleet without it.
+    /// Enable before the first `run_once` for a deterministic replay.
+    pub fn enable_global(&mut self, tenant: u64, config: GlobalConfig) -> Result<()> {
+        let t = self
+            .tenants
+            .get_mut(&tenant)
+            .ok_or_else(|| invalid("unknown tenant"))?;
+        if t.global.is_some() {
+            return Err(invalid("global resolution already enabled"));
+        }
+        // The global selector gets the one-past-the-end stream index as
+        // its slot, so its seeding is distinct from every shard's and
+        // reproducible at resume.
+        let selector = (self.make_selector)(t.spec.id, t.spec.streams);
+        let global = tm_obs::scoped(t.obs.clone(), || {
+            GlobalMerger::new(self.model, self.session_cost, self.device, selector, config)
+        })?;
+        t.global = Some(global);
+        self.base_obs.counter("serve.tenants.global_enabled", 1);
+        Ok(())
+    }
+
+    /// A tenant's global merger, if enabled.
+    pub fn global(&self, tenant: u64) -> Option<&GlobalMerger<'m, S>> {
+        self.tenants.get(&tenant)?.global.as_ref()
+    }
+
+    /// The tenant-wide identity mapping over namespaced global ids
+    /// (stream `i`'s local ids lifted with `TrackId::in_camera(i)`):
+    /// per-shard merges composed with confirmed cross-camera links.
+    /// `None` when the tenant is unknown or global resolution is off.
+    pub fn global_mapping(
+        &mut self,
+        tenant: u64,
+    ) -> Option<std::collections::HashMap<TrackId, TrackId>> {
+        let t = self.tenants.get_mut(&tenant)?;
+        let global = t.global.as_ref()?;
+        let shards: Vec<&[tm_types::TrackPair]> = (0..t.spec.streams)
+            .map(|i| t.fleet.shard(i).accepted())
+            .collect();
+        Some(compose_global_mapping(&shards, global.accepted()))
     }
 }
 

@@ -41,9 +41,11 @@ pub mod motion;
 pub mod occlusion;
 pub mod scene;
 pub mod tenant;
+pub mod world;
 
 pub use ground_truth::{GroundTruth, GtFrame, GtInstance};
 pub use motion::MotionModel;
 pub use occlusion::{GlareEvent, Occluder};
 pub use scene::{ActorSpec, Scenario, SceneConfig};
 pub use tenant::{TenantWorkload, TenantWorkloadConfig};
+pub use world::{MultiCameraWorld, Transit, WorldConfig, CAMERA_BAND};

@@ -1,0 +1,412 @@
+//! Deterministic multi-camera worlds for cross-camera identity tests.
+//!
+//! The global merging layer (`tm-core::global`) needs a world where the
+//! *same* physical actors appear in several camera viewports, separated
+//! by calibrated travel times — the city-scale setting of Clique/TRACER
+//! (see PAPERS.md) — while each camera's own tracker still fragments
+//! them the way [`crate::TenantWorkload`] does within one viewport.
+//!
+//! [`MultiCameraWorld`] models `cameras` viewports arranged on a ring.
+//! Each actor enters some start camera, dwells there while its
+//! trajectory is cut into fixed-length fragments, then *transits* to the
+//! next camera on the ring, taking `travel_base + jitter(actor, hop)`
+//! frames door-to-door. Every quantity is a pure function of
+//! `(seed, actor, visit, frame)` — no RNG state — so per-camera feeds
+//! are **prefix-consistent** (the first `n` frames of a feed never
+//! change as the horizon grows), which is what lets soak and
+//! kill-and-resume tests regenerate feeds instead of storing them.
+//!
+//! Camera viewports use disjoint vertical coordinate bands
+//! (`y = camera * BAND + lane`), so the union of per-camera streams can
+//! be scored as one global sequence without cross-camera box collisions
+//! (two actors in different cameras can never overlap by IoU).
+//!
+//! Ground truth comes in two shapes: [`MultiCameraWorld::global_gt`]
+//! (one track per actor spanning every viewport it visits — what a
+//! perfect *global* merger recovers) and [`MultiCameraWorld::transits`]
+//! (the exit→entry record for each camera hop, against which topology
+//! pruning soundness is asserted).
+
+use tm_types::{ids::classes, BBox, FrameIdx, GtObjectId, Track, TrackBox, TrackId, TrackSet};
+
+/// Vertical pixel band reserved per camera, keeping per-camera
+/// coordinates disjoint in the union'd global stream.
+pub const CAMERA_BAND: f64 = 10_000.0;
+
+/// Tuning for a [`MultiCameraWorld`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorldConfig {
+    /// Number of camera viewports on the ring (clamped to ≥ 1).
+    pub cameras: u64,
+    /// Shared actors transiting the ring (clamped to ≥ 1).
+    pub actors: u64,
+    /// Camera-to-camera transitions each actor makes (`hops + 1` camera
+    /// visits per actor; clamped to `cameras - 1` so no actor revisits a
+    /// viewport and local track ids stay unambiguous).
+    pub hops: u64,
+    /// Frames an actor's trajectory occupies inside one viewport before
+    /// it departs (clamped to ≥ fragment length).
+    pub dwell_frames: u64,
+    /// Minimum door-to-door travel time between adjacent cameras, in
+    /// frames.
+    pub travel_base: u64,
+    /// Deterministic per-(actor, hop) spread added to `travel_base`
+    /// (uniform over `0..=travel_jitter`), giving travel-time histograms
+    /// width without RNG state.
+    pub travel_jitter: u64,
+    /// Frames per intra-camera fragment (clamped to ≥ 1).
+    pub fragment_frames: u64,
+    /// Gap between consecutive fragments of one dwell, in frames.
+    pub gap_frames: u64,
+    /// Horizontal speed in px/frame.
+    pub speed: f64,
+    /// World seed: staggers entry phases, start cameras and jitter.
+    pub seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            cameras: 10,
+            actors: 6,
+            hops: 4,
+            dwell_frames: 240,
+            travel_base: 60,
+            travel_jitter: 30,
+            fragment_frames: 90,
+            gap_frames: 30,
+            speed: 2.0,
+            seed: 7,
+        }
+    }
+}
+
+/// One ground-truth camera hop: the actor left `from` at `exit_frame`
+/// (its last visible frame there) and first appeared in `to` at
+/// `entry_frame`. `entry_frame - exit_frame` is exactly the Δt the
+/// global merger observes for the corresponding exit/entry track pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transit {
+    /// The transiting actor (world-local index, `0..actors`).
+    pub actor: u64,
+    /// Camera being left.
+    pub from: u64,
+    /// Camera being entered.
+    pub to: u64,
+    /// Last visible frame in `from`.
+    pub exit_frame: u64,
+    /// First visible frame in `to`.
+    pub entry_frame: u64,
+}
+
+impl Transit {
+    /// The travel time the topology profile for `(from, to)` learns.
+    pub fn dt(&self) -> u64 {
+        self.entry_frame - self.exit_frame
+    }
+}
+
+/// A deterministic, prefix-consistent multi-camera world. See the
+/// module docs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiCameraWorld {
+    config: WorldConfig,
+}
+
+impl MultiCameraWorld {
+    /// A world from the given tuning (see [`WorldConfig`] for clamps).
+    pub fn new(config: WorldConfig) -> Self {
+        let cameras = config.cameras.max(1);
+        let fragment_frames = config.fragment_frames.max(1);
+        let config = WorldConfig {
+            cameras,
+            actors: config.actors.max(1),
+            hops: config.hops.min(cameras - 1),
+            fragment_frames,
+            dwell_frames: config.dwell_frames.max(fragment_frames),
+            ..config
+        };
+        Self { config }
+    }
+
+    /// The effective (clamped) tuning.
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
+
+    /// The true global identity of an actor — what a perfect global
+    /// merger collapses all its per-camera fragments onto.
+    pub fn identity(actor: u64) -> GtObjectId {
+        GtObjectId(actor + 1)
+    }
+
+    /// The camera an actor occupies on its `visit`-th stop
+    /// (`0..=hops`): ring order from a seeded start camera.
+    pub fn camera_of_visit(&self, actor: u64, visit: u64) -> u64 {
+        let start = splitmix(self.config.seed ^ (actor << 8) ^ 0x5747) % self.config.cameras;
+        (start + visit) % self.config.cameras
+    }
+
+    /// First frame of an actor's `visit`-th dwell.
+    pub fn entry_frame(&self, actor: u64, visit: u64) -> u64 {
+        let c = &self.config;
+        // A small per-actor phase staggers entries so no global round
+        // boundary sees every actor arrive at once.
+        let mut t = splitmix(c.seed ^ (actor << 16) ^ 0x0EA7) % (c.gap_frames + 1).max(1);
+        for hop in 0..visit {
+            t += self.occupied_span() + self.travel_time(actor, hop);
+        }
+        t
+    }
+
+    /// Door-to-door travel time for an actor's `hop`-th transition.
+    pub fn travel_time(&self, actor: u64, hop: u64) -> u64 {
+        let c = &self.config;
+        c.travel_base
+            + splitmix(c.seed ^ (actor << 24) ^ (hop << 4) ^ 0x7124) % (c.travel_jitter + 1)
+    }
+
+    /// Frames from a dwell's entry to its last visible frame, inclusive
+    /// of fragmentation gaps: the span actually occupied by fragments
+    /// (the final partial gap is travel, not dwell).
+    fn occupied_span(&self) -> u64 {
+        let c = &self.config;
+        let period = c.fragment_frames + c.gap_frames;
+        let n_frags = c.dwell_frames.div_ceil(period);
+        (n_frags - 1) * period + c.fragment_frames
+    }
+
+    /// The first frame after every actor has completed its itinerary —
+    /// drive feeds to this horizon to observe every transit.
+    pub fn horizon(&self) -> u64 {
+        (0..self.config.actors)
+            .map(|a| self.entry_frame(a, self.config.hops) + self.occupied_span())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Tracker output for one camera covering frames `0..frames`:
+    /// per-visit fragment chains, truncated at `frames`.
+    /// Prefix-consistent: for `a ≤ b`, every track returned for `a`
+    /// appears for `b` with the identical id, class and leading boxes.
+    pub fn camera_tracks(&self, camera: u64, frames: u64) -> TrackSet {
+        let c = &self.config;
+        let period = c.fragment_frames + c.gap_frames;
+        let mut tracks = Vec::new();
+        for actor in 0..c.actors {
+            for visit in 0..=c.hops {
+                if self.camera_of_visit(actor, visit) != camera {
+                    continue;
+                }
+                let entry = self.entry_frame(actor, visit);
+                let x0 = (splitmix(c.seed ^ (actor << 32) ^ (visit << 2) ^ 0x0B0E) % 200) as f64;
+                let y = camera as f64 * CAMERA_BAND + 100.0 + actor as f64 * 100.0;
+                for k in 0.. {
+                    let start = entry + k * period;
+                    if start >= entry + c.dwell_frames || start >= frames {
+                        break;
+                    }
+                    let end = (start + c.fragment_frames).min(frames);
+                    let boxes: Vec<TrackBox> = (start..end)
+                        .map(|f| {
+                            TrackBox::new(
+                                FrameIdx(f),
+                                BBox::new(x0 + (f - entry) as f64 * c.speed, y, 40.0, 80.0),
+                            )
+                            .with_provenance(Self::identity(actor))
+                        })
+                        .collect();
+                    tracks.push(Track::with_boxes(
+                        TrackId(actor * 100_000 + visit * 1_000 + k + 1),
+                        classes::PEDESTRIAN,
+                        boxes,
+                    ));
+                }
+            }
+        }
+        TrackSet::from_tracks(tracks)
+    }
+
+    /// Every camera's feed at the same horizon, indexed by camera.
+    pub fn all_camera_tracks(&self, frames: u64) -> Vec<TrackSet> {
+        (0..self.config.cameras)
+            .map(|cam| self.camera_tracks(cam, frames))
+            .collect()
+    }
+
+    /// Ground-truth camera hops completed strictly before `frames`.
+    pub fn transits(&self, frames: u64) -> Vec<Transit> {
+        let c = &self.config;
+        let mut out = Vec::new();
+        for actor in 0..c.actors {
+            for hop in 0..c.hops {
+                let exit_frame = self.entry_frame(actor, hop) + self.occupied_span() - 1;
+                let entry_frame = self.entry_frame(actor, hop + 1);
+                if entry_frame >= frames {
+                    break;
+                }
+                out.push(Transit {
+                    actor,
+                    from: self.camera_of_visit(actor, hop),
+                    to: self.camera_of_visit(actor, hop + 1),
+                    exit_frame,
+                    entry_frame,
+                });
+            }
+        }
+        out
+    }
+
+    /// Global ground truth over the union'd streams: one track per
+    /// actor, its boxes drawn from whichever camera it occupies at each
+    /// frame (per-camera coordinate bands keep them disjoint).
+    pub fn global_gt(&self, frames: u64) -> TrackSet {
+        let c = &self.config;
+        let period = c.fragment_frames + c.gap_frames;
+        let mut tracks = Vec::new();
+        for actor in 0..c.actors {
+            let mut boxes = Vec::new();
+            for visit in 0..=c.hops {
+                let camera = self.camera_of_visit(actor, visit);
+                let entry = self.entry_frame(actor, visit);
+                let x0 = (splitmix(c.seed ^ (actor << 32) ^ (visit << 2) ^ 0x0B0E) % 200) as f64;
+                let y = camera as f64 * CAMERA_BAND + 100.0 + actor as f64 * 100.0;
+                for k in 0.. {
+                    let start = entry + k * period;
+                    if start >= entry + c.dwell_frames || start >= frames {
+                        break;
+                    }
+                    let end = (start + c.fragment_frames).min(frames);
+                    for f in start..end {
+                        boxes.push(
+                            TrackBox::new(
+                                FrameIdx(f),
+                                BBox::new(x0 + (f - entry) as f64 * c.speed, y, 40.0, 80.0),
+                            )
+                            .with_provenance(Self::identity(actor)),
+                        );
+                    }
+                }
+            }
+            if !boxes.is_empty() {
+                tracks.push(Track::with_boxes(
+                    TrackId(Self::identity(actor).get()),
+                    classes::PEDESTRIAN,
+                    boxes,
+                ));
+            }
+        }
+        TrackSet::from_tracks(tracks)
+    }
+}
+
+/// SplitMix64 finalizer (same mixing as [`crate::tenant`]; duplicated so
+/// the world generator stays dependency-free).
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> MultiCameraWorld {
+        MultiCameraWorld::new(WorldConfig::default())
+    }
+
+    #[test]
+    fn feeds_are_valid_deterministic_and_prefix_consistent() {
+        let w = world();
+        let horizon = w.horizon();
+        for cam in 0..w.config().cameras {
+            let full = w.camera_tracks(cam, horizon);
+            full.validate().unwrap();
+            assert_eq!(full, w.camera_tracks(cam, horizon));
+            let short = w.camera_tracks(cam, horizon / 2);
+            for t in short.iter() {
+                let long = full.get(t.id).expect("track vanished as the feed grew");
+                assert_eq!(long.class, t.class);
+                assert_eq!(&long.boxes[..t.boxes.len()], &t.boxes[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn transits_match_the_feeds() {
+        let w = world();
+        let horizon = w.horizon();
+        let transits = w.transits(horizon);
+        assert_eq!(
+            transits.len() as u64,
+            w.config().actors * w.config().hops,
+            "every hop completes within the horizon"
+        );
+        for tr in &transits {
+            assert_ne!(tr.from, tr.to);
+            let dt = tr.dt();
+            assert!(dt > 0, "travel takes time");
+            // The exit track's last box and the entry track's first box
+            // sit exactly at the recorded frames.
+            let from = w.camera_tracks(tr.from, horizon);
+            let to = w.camera_tracks(tr.to, horizon);
+            let ident = MultiCameraWorld::identity(tr.actor);
+            let exit = from
+                .iter()
+                .filter(|t| t.boxes[0].provenance == Some(ident))
+                .map(|t| t.last_frame().unwrap().get())
+                .max()
+                .unwrap();
+            let entry = to
+                .iter()
+                .filter(|t| t.boxes[0].provenance == Some(ident))
+                .map(|t| t.first_frame().unwrap().get())
+                .min()
+                .unwrap();
+            // The actor may visit `to` before `from` is even entered on
+            // other itineraries, so compare against this hop's frames.
+            assert!(exit >= tr.exit_frame);
+            assert!(entry <= tr.entry_frame);
+        }
+    }
+
+    #[test]
+    fn travel_times_stay_in_the_calibrated_range() {
+        let w = world();
+        let c = *w.config();
+        for tr in w.transits(w.horizon()) {
+            let dt = tr.dt();
+            assert!(
+                dt > c.travel_base && dt <= c.travel_base + c.travel_jitter + 1,
+                "dt {dt} outside calibration"
+            );
+        }
+    }
+
+    #[test]
+    fn global_gt_is_one_track_per_actor_and_valid() {
+        let w = world();
+        let gt = w.global_gt(w.horizon());
+        gt.validate().unwrap();
+        assert_eq!(gt.len() as u64, w.config().actors);
+        // GT boxes are exactly the union of the per-camera feed boxes.
+        let total: usize = w
+            .all_camera_tracks(w.horizon())
+            .iter()
+            .map(|s| s.total_boxes())
+            .sum();
+        assert_eq!(gt.total_boxes(), total);
+    }
+
+    #[test]
+    fn no_actor_revisits_a_camera() {
+        let w = world();
+        for actor in 0..w.config().actors {
+            let mut seen = std::collections::BTreeSet::new();
+            for visit in 0..=w.config().hops {
+                assert!(seen.insert(w.camera_of_visit(actor, visit)));
+            }
+        }
+    }
+}

@@ -93,6 +93,35 @@ impl FrameIdx {
     }
 }
 
+/// Per-camera [`TrackId`] namespace stride for cross-camera (global)
+/// identity resolution.
+///
+/// A fleet of cameras each assigns local track ids independently; the
+/// global merging layer works over the disjoint union of those id
+/// spaces, mapping local id `t` of camera `c` to
+/// `c * CAMERA_STRIDE + t`. Camera `0`'s namespace is the identity map,
+/// so a single-camera deployment sees exactly its local ids. Local ids
+/// must stay below the stride (2⁴⁰ ≈ 10¹²; synthetic and real trackers
+/// are far below it).
+pub const CAMERA_STRIDE: u64 = 1 << 40;
+
+impl TrackId {
+    /// This local id lifted into camera `camera`'s global namespace.
+    pub const fn in_camera(self, camera: u64) -> TrackId {
+        TrackId(camera * CAMERA_STRIDE + self.0)
+    }
+
+    /// The camera index encoded in a global (namespaced) id.
+    pub const fn camera(self) -> u64 {
+        self.0 / CAMERA_STRIDE
+    }
+
+    /// The camera-local id encoded in a global (namespaced) id.
+    pub const fn local(self) -> TrackId {
+        TrackId(self.0 % CAMERA_STRIDE)
+    }
+}
+
 /// Well-known class IDs used by the synthetic scenarios.
 pub mod classes {
     use super::ClassId;
@@ -128,6 +157,18 @@ mod tests {
         assert_eq!(FrameIdx(5).plus(3), FrameIdx(8));
         assert_eq!(FrameIdx(5).delta(FrameIdx(8)), -3);
         assert_eq!(FrameIdx(8).delta(FrameIdx(5)), 3);
+    }
+
+    #[test]
+    fn camera_namespacing_round_trips() {
+        let t = TrackId(12_345);
+        let g = t.in_camera(7);
+        assert_eq!(g.camera(), 7);
+        assert_eq!(g.local(), t);
+        // Camera 0 is the identity namespace.
+        assert_eq!(t.in_camera(0), t);
+        // Distinct cameras never collide.
+        assert_ne!(t.in_camera(1), t.in_camera(2));
     }
 
     #[test]

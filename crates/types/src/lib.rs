@@ -33,7 +33,7 @@ pub mod track;
 pub use detection::Detection;
 pub use error::{Result, TmError, TrackDefect};
 pub use geometry::{BBox, Point};
-pub use ids::{ClassId, FrameIdx, GtObjectId, TrackId};
+pub use ids::{ClassId, FrameIdx, GtObjectId, TrackId, CAMERA_STRIDE};
 pub use motchallenge::{parse_motchallenge, write_motchallenge};
 pub use pair::TrackPair;
 pub use track::{FrameIndex, Track, TrackBox, TrackSet};

@@ -304,6 +304,22 @@ impl TrackSet {
         out
     }
 
+    /// The same tracks lifted into camera `camera`'s global id namespace
+    /// (see [`crate::ids::CAMERA_STRIDE`]). Boxes and classes are
+    /// untouched; only ids move. Camera `0` is the identity map.
+    pub fn in_camera(&self, camera: u64) -> TrackSet {
+        TrackSet::from_tracks(
+            self.tracks
+                .iter()
+                .map(|t| {
+                    let mut t = t.clone();
+                    t.id = t.id.in_camera(camera);
+                    t
+                })
+                .collect(),
+        )
+    }
+
     /// Consumes the set, returning the tracks in insertion order.
     pub fn into_tracks(self) -> Vec<Track> {
         self.tracks

@@ -9,14 +9,15 @@
 use tmerge::chaos::stream::regressing_watermarks;
 use tmerge::chaos::{FaultPlan, FaultyModel, StreamFaults};
 use tmerge::core::{
-    run_pipeline, run_pipeline_with_backend, DecisionMode, FleetIngester, PipelineConfig,
-    RobustnessConfig, RobustnessReport, SelectorKind, StreamConfig, StreamingMerger, TMerge,
-    TMergeConfig,
+    run_pipeline, run_pipeline_with_backend, DecisionMode, FleetIngester, GlobalConfig,
+    GlobalMerger, PipelineConfig, RobustnessConfig, RobustnessReport, SelectorKind, StreamConfig,
+    StreamingMerger, TMerge, TMergeConfig,
 };
 use tmerge::reid::{
     AppearanceConfig, AppearanceModel, BatchConfig, BatchScheduler, BatchingBackend, CostModel,
     Device, InferenceBackend,
 };
+use tmerge::synth::{MultiCameraWorld, WorldConfig};
 use tmerge::types::{
     ids::classes, BBox, FrameIdx, GtObjectId, TmError, Track, TrackBox, TrackId, TrackSet,
 };
@@ -538,6 +539,165 @@ fn corrupt_stream_input_is_a_clean_error() {
     );
     // The merger itself is still usable with sane input.
     m.advance(&tracks, 250).unwrap();
+}
+
+/// A six-camera world with shared actors, for the cross-camera chaos
+/// tests below: small enough to resolve quickly, busy enough that the
+/// outage rounds contain in-flight transits.
+fn global_world() -> MultiCameraWorld {
+    MultiCameraWorld::new(WorldConfig {
+        cameras: 6,
+        actors: 5,
+        hops: 3,
+        ..WorldConfig::default()
+    })
+}
+
+/// The cross-camera pair space is larger than a single stream's, so the
+/// global selector gets a budget to match (an unsampled arm keeps its
+/// prior score and is rejected by the acceptance threshold).
+fn global_merger(model: &AppearanceModel) -> GlobalMerger<'_, TMerge> {
+    GlobalMerger::new(
+        model,
+        CostModel::calibrated(),
+        Device::Cpu,
+        TMerge::new(TMergeConfig {
+            tau_max: 10_000,
+            seed: 4,
+            ..TMergeConfig::default()
+        }),
+        GlobalConfig::default(),
+    )
+    .unwrap()
+}
+
+/// Acceptance: a backend outage spanning global rounds 2–3 — while actors
+/// are mid-transit between cameras — degrades exactly those rounds,
+/// accepts *nothing* provisionally (cross-camera evidence is
+/// appearance-only), and after breaker recovery plus stash
+/// re-verification converges to the identical cross-camera links,
+/// mapping and learned topology of a run that never saw a fault.
+#[test]
+fn camera_outage_mid_transit_recovers_to_the_fault_free_global_mapping() {
+    let w = global_world();
+    let horizon = w.horizon();
+    let feeds = w.all_camera_tracks(horizon);
+    let model = AppearanceModel::new(AppearanceConfig::default());
+    let refs: Vec<(&TrackSet, u64)> = feeds.iter().map(|t| (t, horizon)).collect();
+
+    let mut clean = global_merger(&model);
+    clean.finish(&refs).unwrap();
+    assert!(
+        !clean.accepted().is_empty(),
+        "the world must produce cross-camera links for this test to mean anything"
+    );
+
+    let wrapper = FaultyModel::new(&model, FaultPlan::none().with_hard_down(2, 4));
+    let mut faulty = global_merger(&model).with_backend(&wrapper);
+    for frames in [horizon / 3, 2 * horizon / 3] {
+        let step: Vec<(&TrackSet, u64)> = feeds.iter().map(|t| (t, frames)).collect();
+        faulty.advance(&step).unwrap();
+    }
+    faulty.finish(&refs).unwrap();
+
+    let degraded: Vec<u64> = faulty
+        .decisions()
+        .iter()
+        .filter(|d| d.mode == DecisionMode::Degraded)
+        .map(|d| d.round)
+        .collect();
+    assert!(
+        !degraded.is_empty(),
+        "the outage must degrade at least one round: {:?}",
+        faulty.decisions()
+    );
+    assert!(
+        degraded.iter().all(|r| *r == 2 || *r == 3),
+        "only the hard-down rounds may degrade: {degraded:?}"
+    );
+    let report = faulty.robustness();
+    assert_eq!(
+        report.degraded_windows as usize,
+        degraded.len(),
+        "{report:?}"
+    );
+    assert_eq!(
+        report.reverified_windows, report.degraded_windows,
+        "{report:?}"
+    );
+    assert!(report.breaker_trips >= 1, "{report:?}");
+    assert!(report.backend_faults > 0, "{report:?}");
+    assert_eq!(faulty.stash_len(), 0, "no round may stay stashed at finish");
+
+    assert_eq!(faulty.accepted(), clean.accepted());
+    assert_eq!(faulty.mapping(), clean.mapping());
+    assert_eq!(faulty.topology(), clean.topology());
+}
+
+/// Acceptance: killing the global merger mid-outage — degraded stash,
+/// open breaker, half-learned topology and all — and resuming from its
+/// `TMGL` checkpoint reproduces the uninterrupted faulty run byte for
+/// byte: decisions, links, counters, simulated clock bits, and the final
+/// checkpoint itself.
+#[test]
+fn global_kill_and_resume_mid_outage_is_byte_identical() {
+    let w = global_world();
+    let horizon = w.horizon();
+    let feeds = w.all_camera_tracks(horizon);
+    let model = AppearanceModel::new(AppearanceConfig::default());
+    let plan = FaultPlan::none().with_hard_down(2, 4);
+    let at = |frames: u64| -> Vec<(&TrackSet, u64)> { feeds.iter().map(|t| (t, frames)).collect() };
+
+    // Reference: one uninterrupted faulty run.
+    let wrapper = FaultyModel::new(&model, plan.clone());
+    let mut full = global_merger(&model).with_backend(&wrapper);
+    for frames in [horizon / 3, 2 * horizon / 3, horizon] {
+        full.advance(&at(frames)).unwrap();
+    }
+    full.finish(&at(horizon)).unwrap();
+
+    // Crash at 2/3 horizon: inside the outage, so the checkpoint carries
+    // a degraded stash and breaker state.
+    let bytes = {
+        let wrapper = FaultyModel::new(&model, plan.clone());
+        let mut first = global_merger(&model).with_backend(&wrapper);
+        first.advance(&at(horizon / 3)).unwrap();
+        first.advance(&at(2 * horizon / 3)).unwrap();
+        assert!(
+            first.stash_len() > 0,
+            "the crash point should be mid-outage with stashed rounds"
+        );
+        first.checkpoint()
+        // `first` is dropped here: the process is "killed".
+    };
+
+    let wrapper = FaultyModel::new(&model, plan);
+    let mut resumed = GlobalMerger::resume(
+        &model,
+        CostModel::calibrated(),
+        Device::Cpu,
+        TMerge::new(TMergeConfig {
+            tau_max: 10_000,
+            seed: 4,
+            ..TMergeConfig::default()
+        }),
+        &bytes,
+    )
+    .unwrap()
+    .with_backend(&wrapper);
+    resumed.advance(&at(horizon)).unwrap();
+    resumed.finish(&at(horizon)).unwrap();
+
+    assert_eq!(full.decisions(), resumed.decisions());
+    assert_eq!(full.accepted(), resumed.accepted());
+    assert_eq!(full.robustness(), resumed.robustness());
+    assert_eq!(full.elapsed_ms().to_bits(), resumed.elapsed_ms().to_bits());
+    assert_eq!(full.mapping(), resumed.mapping());
+    assert_eq!(
+        full.checkpoint(),
+        resumed.checkpoint(),
+        "the final checkpoints must agree byte for byte"
+    );
 }
 
 /// A feed whose watermarks occasionally regress (out-of-order delivery)
