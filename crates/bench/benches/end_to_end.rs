@@ -106,6 +106,7 @@ fn bench_selectors(c: &mut Criterion) {
                     pairs: &pairs,
                     tracks: &tracks,
                     k: 0.05,
+                    voi: None,
                 };
                 let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
                 black_box(selector.select(&input, &mut session).unwrap())

@@ -168,6 +168,7 @@ fn bench_exact_scores(c: &mut Criterion) {
         pairs: &pairs_all,
         tracks: &tracks,
         k: 1.0,
+        voi: None,
     };
     let mut group = c.benchmark_group("exact_scores");
     group.bench_function("rewrite", |b| {

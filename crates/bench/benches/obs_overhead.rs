@@ -471,6 +471,7 @@ fn bench_scorer() -> bool {
         pairs: &pairs,
         tracks: &tracks,
         k: 1.0,
+        voi: None,
     };
     let cost = CostModel::calibrated();
 

@@ -91,6 +91,7 @@ fn stream_config() -> StreamConfig {
         window_len: WINDOW_LEN,
         k: 0.2,
         gate: tm_reid::GatePolicy::Off,
+        voi: tm_core::VoiMode::Off,
     }
 }
 

@@ -84,6 +84,7 @@ fn walk(runs: &[VideoRun], gate: GatePolicy, seed: u64) -> Walk {
                 pairs: &wp.pairs,
                 tracks: &run.video.tracks,
                 k: tm_bench::experiments::sweep::K,
+                voi: None,
             };
             let before = session.elapsed_ms();
             let result = sel

@@ -164,6 +164,7 @@ fn kernels_suite(quick: bool) -> Vec<BenchCase> {
         pairs: &pairs_v,
         tracks: &tracks,
         k: 1.0,
+        voi: None,
     };
     let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
     let mut scratch = ScoreScratch::new();
@@ -373,6 +374,7 @@ fn ingest_suite(quick: bool) -> Vec<BenchCase> {
         window_len: 200,
         k: 0.2,
         gate: tm_reid::GatePolicy::Off,
+        voi: tm_core::VoiMode::Off,
     };
     let inferences = AtomicU64::new(0);
     let alloc = CountingAlloc::snapshot();

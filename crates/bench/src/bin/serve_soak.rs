@@ -52,6 +52,7 @@ fn serve_config() -> ServeConfig {
             window_len: WINDOW,
             k: 0.1,
             gate: tm_reid::GatePolicy::Off,
+            voi: tm_core::VoiMode::Off,
         },
         slo_window_ms: f64::INFINITY,
         shed_cooldown: 2,

@@ -67,6 +67,7 @@ pub fn corr_analysis(cfg: &ExpConfig) -> Vec<CorrRow> {
                     pairs: &wp.pairs,
                     tracks: &run.video.tracks,
                     k: 1.0,
+                    voi: None,
                 };
                 for (pair, score) in exact_scores(&input, &mut session).expect("valid") {
                     let pb = PairBoxes::resolve(pair, &run.video.tracks).expect("valid");

@@ -40,6 +40,7 @@ fn rec_k_for_video(run: &VideoRun, ks: &[f64]) -> Vec<f64> {
             pairs: &wp.pairs,
             tracks: &run.video.tracks,
             k: 1.0,
+            voi: None,
         };
         per_window.push(exact_scores(&input, &mut session).expect("valid pairs"));
     }

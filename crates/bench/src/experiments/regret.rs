@@ -48,6 +48,7 @@ pub fn regret_curve(cfg: &ExpConfig) -> RegretCurve {
         pairs: &wp.pairs,
         tracks: &run.video.tracks,
         k: 0.05,
+        voi: None,
     };
     let model = run.video.model();
 

@@ -133,6 +133,7 @@ pub fn run_selector_gated(
                 pairs: &wp.pairs,
                 tracks: &run.video.tracks,
                 k,
+                voi: None,
             };
             let result = selector
                 .select(&input, &mut session)

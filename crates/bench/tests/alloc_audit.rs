@@ -82,6 +82,7 @@ fn steady_state_hot_paths_allocate_nothing() {
             pairs: &pairs,
             tracks: &tracks,
             k: 1.0,
+            voi: None,
         };
         // The session persists across windows (its feature cache is the
         // cross-window reuse of §IV-B), the scratch and output are reused.

@@ -103,6 +103,7 @@ fn stream_config() -> StreamConfig {
         window_len: WINDOW_LEN,
         k: 0.2,
         gate: tm_reid::GatePolicy::Off,
+        voi: tm_core::VoiMode::Off,
     }
 }
 
@@ -279,6 +280,7 @@ fn clean_fleet_stream_matches_offline_pipeline() {
             device: Device::Cpu,
             cost: CostModel::calibrated(),
             gate: tm_reid::GatePolicy::Off,
+            voi: tm_core::VoiMode::Off,
         },
         None,
         &faulty,

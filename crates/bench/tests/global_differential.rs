@@ -59,6 +59,7 @@ fn stream_config() -> StreamConfig {
         window_len: 200,
         k: 0.2,
         gate: tm_reid::GatePolicy::Off,
+        voi: tm_core::VoiMode::Off,
     }
 }
 

@@ -51,6 +51,7 @@ fn resolve(w: &MultiCameraWorld) -> (u64, u64) {
             window_len: 200,
             k: 0.2,
             gate: tm_reid::GatePolicy::Off,
+            voi: tm_core::VoiMode::Off,
         },
         |_| selector(),
         &backends,

@@ -105,6 +105,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 2.0 / 15.0,
+            voi: None,
         };
         assert_eq!(input.m(), 2);
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
@@ -130,6 +131,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 0.1,
+            voi: None,
         };
         let mut session = ReidSession::new(&model, CostModel::calibrated(), Device::Cpu);
         let result = Baseline.select(&input, &mut session).unwrap();
@@ -145,6 +147,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 0.2,
+            voi: None,
         };
         let mut cpu = ReidSession::new(&model, CostModel::calibrated(), Device::Cpu);
         let r_cpu = Baseline.select(&input, &mut cpu).unwrap();
@@ -161,6 +164,7 @@ mod tests {
             pairs: &[],
             tracks: &tracks,
             k: 0.5,
+            voi: None,
         };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let result = Baseline.select(&input, &mut session).unwrap();

@@ -48,8 +48,11 @@ const MAGIC: u64 = 0x544d_434b;
 /// identically to an uninterrupted one. Version 5 added the serve-layer
 /// state: the shed-load flags and the retention-compaction summary, so a
 /// resumed shed tenant keeps shedding (and re-verifies on un-shed) and
-/// compaction totals survive the kill.
-const VERSION: u64 = 5;
+/// compaction totals survive the kill. Version 6 added the VoI mode word
+/// (DESIGN.md §17), so a resumed stream keeps the same selection
+/// semantics; the hints themselves are ephemeral query-layer state and are
+/// re-attached by the caller, not checkpointed.
+const VERSION: u64 = 6;
 
 fn corrupt(reason: &str) -> TmError {
     TmError::invalid("checkpoint", reason)
@@ -478,6 +481,7 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
             }
             None => w.put_bool(false),
         }
+        w.put_u64(self.config.voi.to_word());
         w.put_u64(self.stream_id);
 
         w.put_u64(self.robustness.retry.max_attempts as u64);
@@ -585,6 +589,8 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
             } else {
                 GatePolicy::Off
             },
+            voi: crate::voi::VoiMode::from_word(r.take_u64()?)
+                .ok_or_else(|| corrupt("unknown VoI mode word"))?,
         };
         let stream_id = r.take_u64()?;
         let robustness = RobustnessConfig {
@@ -722,6 +728,7 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
             shed,
             shed_recover,
             retention,
+            voi_hints: None,
             obs,
         })
     }
@@ -778,6 +785,7 @@ pub(crate) fn peek_stream_id(bytes: &[u8]) -> Result<u64> {
     if r.take_bool()? {
         take_gate_config(&mut r)?;
     }
+    r.take_u64()?; // voi mode
     r.take_u64()
 }
 
@@ -831,6 +839,7 @@ mod tests {
             window_len: 200,
             k: 0.1,
             gate: GatePolicy::Off,
+            voi: crate::voi::VoiMode::Off,
         }
     }
 

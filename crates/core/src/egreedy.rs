@@ -195,6 +195,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 1.0 / 6.0,
+            voi: None,
         };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let eg = EpsilonGreedy::new(EGreedyConfig {
@@ -216,6 +217,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 0.5,
+            voi: None,
         };
         let run = || {
             let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
@@ -239,6 +241,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 0.5,
+            voi: None,
         };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let eg = EpsilonGreedy::new(EGreedyConfig {

@@ -224,6 +224,7 @@ pub(crate) fn reverify_windows(
             pairs: item.pairs,
             tracks,
             k,
+            voi: None,
         };
         let outcome = selector.select(&input, session);
         flush_gate_obs(session, obs, selector.obs_slug());

@@ -321,6 +321,7 @@ mod tests {
             window_len: 200,
             k: 0.1,
             gate: tm_reid::GatePolicy::Off,
+            voi: crate::voi::VoiMode::Off,
         }
     }
 

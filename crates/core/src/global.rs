@@ -526,6 +526,7 @@ impl<'m, S: CandidateSelector> GlobalMerger<'m, S> {
                 pairs: &pairs,
                 tracks: combined,
                 k: self.config.k,
+                voi: None,
             };
             let outcome = self.selector.select(&input, &mut self.session);
             exec::flush_gate_obs(&mut self.session, &self.obs, self.selector.obs_slug());

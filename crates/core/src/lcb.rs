@@ -56,6 +56,12 @@ struct PairState<'a> {
     sampler: WithoutReplacement,
     n: u64,
     sum: f64,
+    /// Additive VoI rank bias (`1 - weight`, [`crate::voi`]); 0 without
+    /// hints. Added to the LCB index so exploration favors high-weight
+    /// pairs.
+    bias: f64,
+    /// Deferred by a weight-0 VoI hint: never played, never a candidate.
+    deferred: bool,
 }
 
 impl PairState<'_> {
@@ -88,18 +94,25 @@ impl CandidateSelector for LowerConfidenceBound {
         for &p in input.pairs {
             let boxes = PairBoxes::resolve(p, input.tracks)?;
             let sampler = WithoutReplacement::new(boxes.total_bbox_pairs());
+            let (bias, deferred) = match input.voi {
+                Some(h) => (h.bias(&p), h.deferred(&p)),
+                None => (0.0, false),
+            };
             states.push(PairState {
                 boxes,
                 sampler,
                 n: 0,
                 sum: 0.0,
+                bias,
+                deferred,
             });
         }
 
         let mut tau = 0u64;
-        // Initialization: play every arm once (standard UCB bootstrap).
+        // Initialization: play every arm once (standard UCB bootstrap;
+        // VoI-deferred arms are never played).
         for st in states.iter_mut() {
-            if tau >= self.config.tau_max || st.sampler.is_exhausted() {
+            if st.deferred || tau >= self.config.tau_max || st.sampler.is_exhausted() {
                 continue;
             }
             let flat = st
@@ -122,10 +135,11 @@ impl CandidateSelector for LowerConfidenceBound {
             let mut best: Option<(usize, f64)> = None;
             let log_term = 2.0 * (tau.max(2) as f64).ln();
             for (i, st) in states.iter().enumerate() {
-                if st.sampler.is_exhausted() || st.n == 0 {
+                if st.deferred || st.sampler.is_exhausted() || st.n == 0 {
                     continue;
                 }
-                let lcb = st.mean() - (log_term / st.n as f64).sqrt();
+                // The VoI bias (0 without hints) handicaps low-weight arms.
+                let lcb = st.mean() - (log_term / st.n as f64).sqrt() + st.bias;
                 if best.is_none_or(|(_, b)| lcb < b) {
                     best = Some((i, lcb));
                 }
@@ -148,11 +162,21 @@ impl CandidateSelector for LowerConfidenceBound {
 
         let scores: Vec<(TrackPair, f64)> =
             states.iter().map(|st| (st.boxes.pair, st.mean())).collect();
-        let candidates = top_m_by_score(&scores, input.m());
+        // Deferred pairs are excluded from candidacy entirely.
+        let rankable: Vec<(TrackPair, f64)> = states
+            .iter()
+            .filter(|st| !st.deferred)
+            .map(|st| (st.boxes.pair, st.mean()))
+            .collect();
+        let candidates = top_m_by_score(&rankable, input.m());
         let obs = session.obs();
         if obs.enabled() {
             obs.counter("selector.lcb.selections", 1);
             obs.counter("selector.lcb.pulls", tau);
+            let voi_deferred = states.iter().filter(|st| st.deferred).count() as u64;
+            if voi_deferred > 0 {
+                obs.counter("selector.lcb.voi_deferred", voi_deferred);
+            }
             obs.counter("selector.lcb.accepted", candidates.len() as u64);
             obs.counter(
                 "selector.lcb.rejected",
@@ -216,6 +240,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 0.1,
+            voi: None,
         };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let lcb = LowerConfidenceBound::new(LcbConfig {
@@ -237,6 +262,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 0.1,
+            voi: None,
         };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let lcb = LowerConfidenceBound::new(LcbConfig {
@@ -257,6 +283,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 0.1,
+            voi: None,
         };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let lcb = LowerConfidenceBound::new(LcbConfig {
@@ -282,6 +309,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 1.0,
+            voi: None,
         };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let lcb = LowerConfidenceBound::new(LcbConfig {
@@ -294,6 +322,36 @@ mod tests {
     }
 
     #[test]
+    fn voi_deferred_pairs_are_never_played_or_selected() {
+        let (model, tracks, pairs) = fixture();
+        let keep = TrackPair::new(TrackId(1), TrackId(2)).unwrap();
+        let mut hints = crate::voi::VoiHints::new();
+        for &p in &pairs {
+            if p != keep {
+                hints.set(p, 0.0);
+            }
+        }
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 1.0,
+            voi: Some(&hints),
+        };
+        let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+        let lcb = LowerConfidenceBound::new(LcbConfig {
+            tau_max: 10_000,
+            seed: 3,
+            record_history: false,
+        });
+        let r = lcb.select(&input, &mut session).unwrap();
+        assert_eq!(r.candidates, vec![keep]);
+        assert_eq!(
+            r.distance_evals, 100,
+            "only the undeferred pair's pool may be spent"
+        );
+    }
+
+    #[test]
     fn gpu_batching_barely_helps_lcb() {
         // The paper's point: LCB-B pays a round per iteration.
         let (model, tracks, pairs) = fixture();
@@ -301,6 +359,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 0.1,
+            voi: None,
         };
         let cfg = LcbConfig {
             tau_max: 150,

@@ -52,6 +52,7 @@ pub mod simd;
 pub mod stream;
 pub mod tmerge;
 pub mod union;
+pub mod voi;
 pub mod window;
 
 pub use baseline::Baseline;
@@ -64,8 +65,8 @@ pub use global::{
 pub use lcb::{LcbConfig, LowerConfidenceBound};
 pub use pairs::{all_pairs, build_window_pairs, WindowPairs};
 pub use pipeline::{
-    run_pipeline, run_pipeline_parallel, run_pipeline_with_backend, PipelineConfig, PipelineReport,
-    SelectorKind,
+    run_pipeline, run_pipeline_parallel, run_pipeline_with_backend, run_pipeline_with_backend_voi,
+    PipelineConfig, PipelineReport, SelectorKind,
 };
 pub use ps::{ProportionalSampling, PsConfig};
 pub use resilience::{
@@ -80,4 +81,5 @@ pub use selector::{CandidateSelector, SelectionInput, SelectionResult};
 pub use stream::{RetentionSummary, StreamConfig, StreamingMerger, WindowDecision};
 pub use tmerge::{TMerge, TMergeConfig};
 pub use union::{merge_mapping, UnionFind};
+pub use voi::{VoiHints, VoiMode};
 pub use window::{windows, Window};

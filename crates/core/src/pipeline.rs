@@ -24,6 +24,7 @@ use crate::resilience::{Breaker, RobustnessConfig, RobustnessReport};
 use crate::selector::{CandidateSelector, SelectionInput};
 use crate::tmerge::{TMerge, TMergeConfig};
 use crate::union::merge_mapping;
+use crate::voi::{VoiHints, VoiMode};
 use std::sync::Arc;
 use tm_obs::Obs;
 use tm_reid::{
@@ -55,6 +56,33 @@ impl SelectorKind {
             SelectorKind::TMerge(c) => Box::new(TMerge::new(*c)),
         }
     }
+
+    /// The per-window evaluation budget `τ_max`, for the bandit selectors
+    /// that have one (`None` for Baseline/PS, which are budgeted by `K`).
+    pub fn tau_max(&self) -> Option<u64> {
+        match self {
+            SelectorKind::Lcb(c) => Some(c.tau_max),
+            SelectorKind::TMerge(c) => Some(c.tau_max),
+            _ => None,
+        }
+    }
+
+    /// A copy with the per-window budget clamped to at most `tau` (no-op
+    /// for selectors without a `τ_max`). The anytime query driver uses this
+    /// to stop a window's selection exactly at the remaining global budget.
+    pub fn with_tau_at_most(&self, tau: u64) -> SelectorKind {
+        match *self {
+            SelectorKind::Lcb(mut c) => {
+                c.tau_max = c.tau_max.min(tau);
+                SelectorKind::Lcb(c)
+            }
+            SelectorKind::TMerge(mut c) => {
+                c.tau_max = c.tau_max.min(tau);
+                SelectorKind::TMerge(c)
+            }
+            other => other,
+        }
+    }
 }
 
 /// Pipeline configuration.
@@ -73,6 +101,10 @@ pub struct PipelineConfig {
     /// Selective feature extraction (DESIGN.md §14). `Off` (the default)
     /// is bit-identical to the pre-gating pipeline.
     pub gate: GatePolicy,
+    /// Query-driven value-of-information mode (DESIGN.md §17). `Off` (the
+    /// default) is bit-identical to the query-agnostic pipeline; `Reweight`
+    /// consumes attached [`VoiHints`] in the selectors.
+    pub voi: VoiMode,
 }
 
 impl Default for PipelineConfig {
@@ -85,6 +117,7 @@ impl Default for PipelineConfig {
             device: Device::Cpu,
             cost: CostModel::calibrated(),
             gate: GatePolicy::Off,
+            voi: VoiMode::Off,
         }
     }
 }
@@ -221,7 +254,34 @@ pub fn run_pipeline_with_backend<'m>(
     backend: &'m dyn InferenceBackend,
     robustness: &RobustnessConfig,
 ) -> Result<PipelineReport> {
+    run_pipeline_with_backend_voi(
+        tracks, n_frames, model, config, verifier, backend, robustness, None,
+    )
+}
+
+/// [`run_pipeline_with_backend`] with query-driven [`VoiHints`] attached.
+///
+/// The hints reweight (and defer) bandit arms only when `config.voi` is
+/// [`VoiMode::Reweight`]; with `VoiMode::Off` they are ignored entirely, so
+/// a caller can always attach them unconditionally. Degraded-window
+/// re-verification stays hint-free: recovered windows are re-scored at full
+/// fidelity, exactly as a healthy query-agnostic run would have.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pipeline_with_backend_voi<'m>(
+    tracks: &TrackSet,
+    n_frames: u64,
+    model: &'m AppearanceModel,
+    config: &PipelineConfig,
+    verifier: Option<&dyn Fn(&TrackPair) -> bool>,
+    backend: &'m dyn InferenceBackend,
+    robustness: &RobustnessConfig,
+    voi_hints: Option<&VoiHints>,
+) -> Result<PipelineReport> {
     tracks.validate()?;
+    let voi_active = match config.voi {
+        VoiMode::Reweight => voi_hints,
+        VoiMode::Off => None,
+    };
     let obs = tm_obs::current();
     let run_span = obs.span("pipeline.run", 0.0);
     let windows = build_window_pairs(tracks, n_frames, config.window_len)?;
@@ -276,6 +336,7 @@ pub fn run_pipeline_with_backend<'m>(
             pairs: &wp.pairs,
             tracks,
             k: config.k,
+            voi: voi_active,
         };
         let degraded = match exec::select_or_degrade(
             selector.as_ref(),
@@ -441,6 +502,7 @@ pub fn run_pipeline_parallel(
             pairs: &wp.pairs,
             tracks,
             k: config.k,
+            voi: None,
         };
         let outcome = selector.select(&input, &mut session);
         exec::flush_gate_obs(&mut session, &obs, selector.obs_slug());
@@ -550,6 +612,7 @@ mod tests {
             device: Device::Cpu,
             cost: CostModel::calibrated(),
             gate: GatePolicy::Off,
+            voi: VoiMode::Off,
         }
     }
 

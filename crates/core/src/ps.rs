@@ -190,6 +190,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 0.5,
+            voi: None,
         };
         let mut session = ReidSession::new(&model, CostModel::calibrated(), Device::Cpu);
         let ps = ProportionalSampling::new(PsConfig { eta: 0.25, seed: 1 });
@@ -205,6 +206,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 1.0,
+            voi: None,
         };
         let mut s1 = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let full = ProportionalSampling::new(PsConfig { eta: 1.0, seed: 3 })
@@ -224,6 +226,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 1.0 / 6.0,
+            voi: None,
         };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let ps = ProportionalSampling::new(PsConfig { eta: 0.3, seed: 7 });
@@ -241,6 +244,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 0.5,
+            voi: None,
         };
         let run = |seed| {
             let mut s = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
@@ -258,6 +262,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 1.0,
+            voi: None,
         };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let ps = ProportionalSampling::new(PsConfig { eta: 1e-9, seed: 0 });

@@ -444,6 +444,7 @@ mod tests {
             pairs: &ps,
             tracks: &tracks,
             k: 1.0,
+            voi: None,
         };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let scores = exact_scores(&input, &mut session).unwrap();
@@ -469,6 +470,7 @@ mod tests {
             pairs: &ps,
             tracks: &tracks,
             k: 1.0,
+            voi: None,
         };
         let mut cpu = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let seq = exact_scores(&input, &mut cpu).unwrap();
@@ -488,6 +490,7 @@ mod tests {
             pairs: &ps,
             tracks: &tracks,
             k: 1.0,
+            voi: None,
         };
         let mut session = ReidSession::new(&model, CostModel::calibrated(), Device::Cpu);
         exact_scores(&input, &mut session).unwrap();
@@ -505,6 +508,7 @@ mod tests {
             pairs: &ps,
             tracks: &tracks,
             k: 1.0,
+            voi: None,
         };
         let mut s_new = ReidSession::new(&model, CostModel::calibrated(), Device::Cpu);
         let new = exact_scores(&input, &mut s_new).unwrap();
@@ -528,6 +532,7 @@ mod tests {
             pairs: &ps,
             tracks: &tracks,
             k: 1.0,
+            voi: None,
         };
         let mut fresh_session = ReidSession::new(&model, CostModel::calibrated(), Device::Cpu);
         let fresh = exact_scores(&input, &mut fresh_session).unwrap();
@@ -558,6 +563,7 @@ mod tests {
             pairs: &ps,
             tracks: &tracks,
             k: 1.0,
+            voi: None,
         };
         let mut session = ReidSession::new(&model, CostModel::calibrated(), Device::Cpu);
         let scores = exact_scores(&input, &mut session).unwrap();
@@ -594,7 +600,7 @@ mod tests {
                         ps.push(TrackPair::new(TrackId(i + 1), TrackId(j + 1)).unwrap());
                     }
                 }
-                let input = SelectionInput { pairs: &ps, tracks: &tracks, k: 1.0 };
+                let input = SelectionInput { pairs: &ps, tracks: &tracks, k: 1.0, voi: None };
                 std::env::set_var(tm_par::THREADS_ENV, threads.to_string());
                 let mut s_new = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
                 let new = exact_scores(&input, &mut s_new).unwrap();

@@ -5,6 +5,7 @@
 //! budget parameter `K` and produces the estimated top-`⌈K·|P_c|⌉`
 //! polyonymous track-pair candidates, `P̂*_{c|K}`.
 
+use crate::voi::VoiHints;
 use std::collections::HashMap;
 use tm_reid::ReidSession;
 use tm_types::{Result, TrackPair, TrackSet};
@@ -18,6 +19,11 @@ pub struct SelectionInput<'a> {
     pub tracks: &'a TrackSet,
     /// The budget fraction `K ∈ [0, 1]`.
     pub k: f64,
+    /// Query-driven value-of-information weights ([`crate::voi`]). `None`
+    /// (the historical default) selects query-agnostically; `Some` makes
+    /// the bandit selectors prioritize high-weight pairs and skip
+    /// weight-0 (deferred) pairs entirely.
+    pub voi: Option<&'a VoiHints>,
 }
 
 impl SelectionInput<'_> {
@@ -113,24 +119,28 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 0.05,
+            voi: None,
         };
         assert_eq!(input.m(), 1); // ⌈0.5⌉
         let input = SelectionInput {
             pairs: &pairs,
             tracks: &tracks,
             k: 0.25,
+            voi: None,
         };
         assert_eq!(input.m(), 3); // ⌈2.5⌉
         let input = SelectionInput {
             pairs: &pairs,
             tracks: &tracks,
             k: 1.0,
+            voi: None,
         };
         assert_eq!(input.m(), 10);
         let input = SelectionInput {
             pairs: &pairs,
             tracks: &tracks,
             k: 0.0,
+            voi: None,
         };
         assert_eq!(input.m(), 0);
     }
@@ -143,6 +153,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 2.0,
+            voi: None,
         };
         assert_eq!(input.m(), 4);
     }

@@ -29,6 +29,7 @@ use crate::pairs::tracks_in_first_half;
 use crate::resilience::{Breaker, DecisionMode, RobustnessConfig, RobustnessReport};
 use crate::selector::{CandidateSelector, SelectionInput};
 use crate::union::UnionFind;
+use crate::voi::{VoiHints, VoiMode};
 use crate::window::Window;
 use std::collections::{BTreeSet, HashMap};
 use tm_obs::Obs;
@@ -48,6 +49,11 @@ pub struct StreamConfig {
     /// is bit-identical to the pre-gating merger. Rides the checkpoint so
     /// resumed streams keep gating identically.
     pub gate: GatePolicy,
+    /// Query-driven VoI reweighting (DESIGN.md §17). `Off` (the default)
+    /// is bit-identical to the query-agnostic merger; `Reweight` consumes
+    /// hints attached via [`StreamingMerger::set_voi_hints`]. Rides the
+    /// checkpoint so resumed streams keep the same selection semantics.
+    pub voi: VoiMode,
 }
 
 impl Default for StreamConfig {
@@ -56,6 +62,7 @@ impl Default for StreamConfig {
             window_len: 2000,
             k: 0.05,
             gate: GatePolicy::Off,
+            voi: VoiMode::Off,
         }
     }
 }
@@ -165,6 +172,11 @@ pub struct StreamingMerger<'m, S> {
     /// Degraded/re-verified/breaker counters (retry counters live on the
     /// session's stats).
     pub(crate) counters: RobustnessReport,
+    /// Query-driven VoI hints, consumed only under [`VoiMode::Reweight`].
+    /// Ephemeral: refreshed by the query layer between advances, so they do
+    /// NOT ride the checkpoint (the mode does; a resumed stream re-attaches
+    /// hints before its next window, or runs un-hinted — both sound).
+    pub(crate) voi_hints: Option<VoiHints>,
     /// Observability sink for window lifecycle events (see `tm-obs`).
     pub(crate) obs: Obs,
 }
@@ -209,6 +221,7 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
             retention: RetentionSummary::default(),
             decisions: Vec::new(),
             counters: RobustnessReport::default(),
+            voi_hints: None,
             obs: tm_obs::current(),
         })
     }
@@ -391,6 +404,7 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
                 pairs: &pairs,
                 tracks,
                 k: self.config.k,
+                voi: None,
             };
             let provisional =
                 exec::degrade_window(&input, &mut self.counters, &self.robustness, &self.obs)?;
@@ -401,10 +415,15 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
             });
             (provisional, DecisionMode::Degraded)
         } else {
+            let voi = match self.config.voi {
+                VoiMode::Reweight => self.voi_hints.as_ref(),
+                VoiMode::Off => None,
+            };
             let input = SelectionInput {
                 pairs: &pairs,
                 tracks,
                 k: self.config.k,
+                voi,
             };
             match exec::select_or_degrade(
                 &self.selector,
@@ -568,6 +587,21 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
         self.shed
     }
 
+    /// Attaches (or clears) query-driven VoI hints for subsequent windows.
+    /// Consumed only when the stream was configured with
+    /// [`VoiMode::Reweight`]; under the default [`VoiMode::Off`] hints are
+    /// ignored and the stream stays bit-identical to the query-agnostic
+    /// merger. Degraded/shed windows and re-verification always run
+    /// hint-free (full fidelity).
+    pub fn set_voi_hints(&mut self, hints: Option<VoiHints>) {
+        self.voi_hints = hints;
+    }
+
+    /// The currently attached VoI hints, if any.
+    pub fn voi_hints(&self) -> Option<&VoiHints> {
+        self.voi_hints.as_ref()
+    }
+
     /// Whether the circuit breaker is currently open.
     pub fn breaker_open(&self) -> bool {
         self.breaker.is_open()
@@ -590,6 +624,29 @@ impl<'m, S: CandidateSelector> StreamingMerger<'m, S> {
     /// Size of the cross-window pair-dedup set.
     pub fn seen_len(&self) -> usize {
         self.seen.len()
+    }
+
+    /// True when `pair` has already been examined by some processed window
+    /// (committed or stashed). Unexamined pairs are the stream's
+    /// still-plausible merge frontier — the anytime query layer's `hi`
+    /// bound is built from them.
+    pub fn pair_examined(&self, pair: &TrackPair) -> bool {
+        self.seen.contains(pair)
+    }
+
+    /// Every pair belonging to a stashed (degraded, not yet re-verified)
+    /// window. These remain undecided: re-verification re-runs the real
+    /// selector on the full pair set, so any of them may still be merged.
+    pub fn stash_pairs(&self) -> Vec<TrackPair> {
+        self.stash
+            .iter()
+            .flat_map(|sw| sw.pairs.iter().copied())
+            .collect()
+    }
+
+    /// The session's ReID work counters so far.
+    pub fn reid_stats(&self) -> tm_reid::ReidStats {
+        self.session.stats()
     }
 
     /// Features resident in the session cache.
@@ -971,6 +1028,7 @@ mod tests {
                 device: Device::Cpu,
                 cost: CostModel::calibrated(),
                 gate: GatePolicy::Off,
+                voi: VoiMode::Off,
             },
             None,
         )
@@ -996,6 +1054,7 @@ mod tests {
                 window_len: 200,
                 k: 0.1,
                 gate,
+                voi: VoiMode::Off,
             },
         )
         .unwrap();
@@ -1019,6 +1078,7 @@ mod tests {
                 device: Device::Cpu,
                 cost: CostModel::calibrated(),
                 gate,
+                voi: VoiMode::Off,
             },
             None,
         )

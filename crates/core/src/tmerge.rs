@@ -113,6 +113,11 @@ struct Arm<'a> {
     locked_in: bool,
     /// Pruned out (provably not in the top-m).
     pruned_out: bool,
+    /// Additive VoI rank bias (`1 - weight`, [`crate::voi`]); 0 without
+    /// hints. Biases exploration toward high-weight arms.
+    bias: f64,
+    /// Deferred by a weight-0 VoI hint: never played, never a candidate.
+    deferred: bool,
 }
 
 impl Arm<'_> {
@@ -141,7 +146,7 @@ impl Arm<'_> {
     }
 
     fn live(&self) -> bool {
-        !self.locked_in && !self.pruned_out && !self.sampler.is_exhausted()
+        !self.deferred && !self.locked_in && !self.pruned_out && !self.sampler.is_exhausted()
     }
 }
 
@@ -176,6 +181,10 @@ impl CandidateSelector for TMerge {
                 }
             }
             let sampler = WithoutReplacement::new(boxes.total_bbox_pairs());
+            let (bias, deferred) = match input.voi {
+                Some(h) => (h.bias(&p), h.deferred(&p)),
+                None => (0.0, false),
+            };
             arms.push(Arm {
                 boxes,
                 sampler,
@@ -188,6 +197,8 @@ impl CandidateSelector for TMerge {
                 sum: 0.0,
                 locked_in: false,
                 pruned_out: false,
+                bias,
+                deferred,
             });
         }
 
@@ -221,7 +232,10 @@ impl CandidateSelector for TMerge {
                         ),
                     )
                 })?;
-                draws.push((i, beta.sample(&mut rng)));
+                // VoI bias (0 without hints) handicaps low-weight arms:
+                // they only win a round when every high-weight arm drew
+                // badly.
+                draws.push((i, beta.sample(&mut rng) + arms[i].bias));
             }
             // Line 6: the arg-min draw; TMerge-B takes the B smallest.
             draws.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
@@ -278,6 +292,10 @@ impl CandidateSelector for TMerge {
             let pruned = arms.iter().filter(|a| a.pruned_out).count() as u64;
             obs.counter("selector.tmerge.locked_in", locked);
             obs.counter("selector.tmerge.pruned_out", pruned);
+            let voi_deferred = arms.iter().filter(|a| a.deferred).count() as u64;
+            if voi_deferred > 0 {
+                obs.counter("selector.tmerge.voi_deferred", voi_deferred);
+            }
             obs.counter("selector.tmerge.accepted", candidates.len() as u64);
             obs.counter(
                 "selector.tmerge.rejected",
@@ -323,7 +341,7 @@ fn rank_candidates(arms: &[Arm<'_>], m: usize) -> Vec<TrackPair> {
             1
         }
     };
-    let mut order: Vec<usize> = (0..arms.len()).collect();
+    let mut order: Vec<usize> = (0..arms.len()).filter(|&i| !arms[i].deferred).collect();
     order.sort_by(|&x, &y| {
         class(&arms[x])
             .cmp(&class(&arms[y]))
@@ -456,6 +474,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 2.0 / 28.0,
+            voi: None,
         };
         assert_eq!(input.m(), 2);
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
@@ -479,6 +498,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 0.1,
+            voi: None,
         };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let tm = TMerge::new(TMergeConfig {
@@ -499,6 +519,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 2.0 / 28.0,
+            voi: None,
         };
         let mut gpu = ReidSession::new(&model, CostModel::calibrated(), Device::Gpu { batch: 10 });
         let tm = TMerge::new(TMergeConfig {
@@ -543,6 +564,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 0.1,
+            voi: None,
         };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let tm = TMerge::new(TMergeConfig {
@@ -568,6 +590,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 1.0,
+            voi: None,
         };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let tm = TMerge::new(TMergeConfig {
@@ -600,6 +623,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 2.0 / 28.0,
+            voi: None,
         };
         let run = |ulb: bool| {
             let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
@@ -628,6 +652,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 0.2,
+            voi: None,
         };
         let run = || {
             let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
@@ -656,6 +681,7 @@ mod tests {
                     pairs: &[],
                     tracks: &tracks,
                     k: 0.5,
+                    voi: None,
                 },
                 &mut session,
             )
@@ -667,12 +693,81 @@ mod tests {
                     pairs: &pairs,
                     tracks: &tracks,
                     k: 0.0,
+                    voi: None,
                 },
                 &mut session,
             )
             .unwrap();
         assert!(r.candidates.is_empty());
         assert_eq!(r.distance_evals, 0);
+    }
+
+    #[test]
+    fn voi_deferred_pairs_are_never_played_or_selected() {
+        let (model, tracks, pairs) = fixture();
+        let mut hints = crate::voi::VoiHints::new();
+        for &p in &pairs {
+            if !poly_pairs().contains(&p) {
+                hints.set(p, 0.0);
+            }
+        }
+        let input = SelectionInput {
+            pairs: &pairs,
+            tracks: &tracks,
+            k: 1.0,
+            voi: Some(&hints),
+        };
+        let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+        let tm = TMerge::new(TMergeConfig {
+            tau_max: 10_000,
+            seed: 7,
+            ..Default::default()
+        });
+        let r = tm.select(&input, &mut session).unwrap();
+        // m = 28, but the 26 deferred pairs must not appear; the two live
+        // arms can spend at most their combined bbox-pair pools.
+        let mut got = r.candidates.clone();
+        got.sort();
+        assert_eq!(got, poly_pairs());
+        assert!(
+            r.distance_evals <= 200,
+            "deferred arms were played: {} evals",
+            r.distance_evals
+        );
+    }
+
+    #[test]
+    fn all_ones_hints_match_no_hints_exactly() {
+        let (model, tracks, pairs) = fixture();
+        let mut hints = crate::voi::VoiHints::new();
+        for &p in &pairs {
+            hints.set(p, 1.0);
+        }
+        let run = |voi: Option<&crate::voi::VoiHints>| {
+            let input = SelectionInput {
+                pairs: &pairs,
+                tracks: &tracks,
+                k: 0.2,
+                voi,
+            };
+            let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
+            TMerge::new(TMergeConfig {
+                tau_max: 400,
+                seed: 21,
+                ..Default::default()
+            })
+            .select(&input, &mut session)
+            .unwrap()
+        };
+        let plain = run(None);
+        let hinted = run(Some(&hints));
+        assert_eq!(plain.candidates, hinted.candidates);
+        assert_eq!(plain.distance_evals, hinted.distance_evals);
+        let mut a: Vec<_> = plain.scores.iter().collect();
+        let mut b: Vec<_> = hinted.scores.iter().collect();
+        a.sort_by_key(|(p, _)| **p);
+        b.sort_by_key(|(p, _)| **p);
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -683,6 +778,7 @@ mod tests {
             pairs: &pairs,
             tracks: &tracks,
             k: 1.0,
+            voi: None,
         };
         let mut session = ReidSession::new(&model, CostModel::zero(), Device::Cpu);
         let tm = TMerge::new(TMergeConfig {

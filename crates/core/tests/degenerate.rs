@@ -60,6 +60,7 @@ fn single_box_tracks_are_handled_by_every_selector() {
             pairs: &pairs,
             tracks: &tracks,
             k: 1.0 / 3.0,
+            voi: None,
         };
         let r = selector.select(&input, &mut session).unwrap();
         assert_eq!(r.candidates.len(), 1, "{}", selector.name());
@@ -90,6 +91,7 @@ fn false_positive_tracks_do_not_poison_selection() {
         pairs: &pairs,
         tracks: &tracks,
         k: 1.0 / 6.0,
+        voi: None,
     };
     let r = Baseline.select(&input, &mut session).unwrap();
     assert_eq!(
@@ -115,6 +117,7 @@ fn zero_and_full_k_are_consistent_for_all_selectors() {
                     pairs: &pairs,
                     tracks: &tracks,
                     k: 0.0,
+                    voi: None,
                 },
                 &mut session,
             )
@@ -126,6 +129,7 @@ fn zero_and_full_k_are_consistent_for_all_selectors() {
                     pairs: &pairs,
                     tracks: &tracks,
                     k: 1.0,
+                    voi: None,
                 },
                 &mut session,
             )
@@ -161,6 +165,7 @@ fn pipeline_survives_track_set_of_one() {
             device: Device::Cpu,
             cost: CostModel::calibrated(),
             gate: tm_reid::GatePolicy::Off,
+            voi: tm_core::VoiMode::Off,
         },
         None,
     )
@@ -210,6 +215,7 @@ fn tmerge_with_budget_one_still_returns_m_candidates() {
                 pairs: &pairs,
                 tracks: &tracks,
                 k: 2.0 / 3.0,
+                voi: None,
             },
             &mut session,
         )

@@ -64,6 +64,7 @@ fn pipeline_config() -> PipelineConfig {
         device: Device::Cpu,
         cost: CostModel::calibrated(),
         gate: GatePolicy::Off,
+        voi: tm_core::VoiMode::Off,
     }
 }
 
@@ -87,6 +88,7 @@ fn all_four_paths_agree() {
         window_len: WINDOW_LEN,
         k: K,
         gate: GatePolicy::Off,
+        voi: tm_core::VoiMode::Off,
     };
     let mut streaming = StreamingMerger::new(
         &model,
@@ -164,6 +166,7 @@ fn all_four_paths_agree_gated() {
         window_len: WINDOW_LEN,
         k: K,
         gate,
+        voi: tm_core::VoiMode::Off,
     };
     let mut streaming = StreamingMerger::new(
         &model,
@@ -235,6 +238,7 @@ fn gate_off_and_always_extract_match_ungated_exactly() {
                 window_len: WINDOW_LEN,
                 k: K,
                 gate,
+                voi: tm_core::VoiMode::Off,
             },
         )
         .unwrap()
@@ -382,7 +386,7 @@ mod gate_properties {
                 CostModel::calibrated(),
                 Device::Cpu,
                 TMerge::new(selector_config()),
-                StreamConfig { window_len: WINDOW_LEN, k: K, gate },
+                StreamConfig { window_len: WINDOW_LEN, k: K, gate, voi: tm_core::VoiMode::Off },
             )
             .unwrap()
             .with_backend(&model);

@@ -17,6 +17,7 @@ fn main() {
         pairs,
         tracks: &v.tracks,
         k: 0.05,
+        voi: None,
     };
     println!("m={}", input.m());
 

@@ -19,10 +19,14 @@
 //! through a caller-supplied track → GT-actor attribution (in this
 //! workspace, `tm_metrics::Correspondence`).
 
+pub mod anytime;
 pub mod queries;
 pub mod recall;
 pub mod region;
 
+pub use anytime::{
+    voi_hints, AnytimeAnswer, AnytimeConfig, AnytimeQuery, AnytimeStream, IntervalPoint,
+};
 pub use queries::{co_occurrence_query, count_query, evaluate, Query, QueryAnswer};
 pub use recall::{co_occurrence_recall, count_recall};
 pub use region::{region_transit_query, region_transit_recall};

@@ -1,10 +1,13 @@
 //! Query definitions and evaluation over a [`TrackSet`].
 
 use serde::{Deserialize, Serialize};
-use tm_types::{TrackId, TrackSet};
+use tm_types::{BBox, TrackId, TrackSet};
 
 /// A declarative query over track metadata.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `PartialEq` only (not `Eq`): [`Query::RegionTransit`] carries an
+/// [`BBox`] whose `f64` coordinates rule out total equality.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Query {
     /// Objects (tracks) that remain visible across **more than**
     /// `min_frames` frames (§V-H's *Count* query; 200 in the paper's
@@ -22,6 +25,15 @@ pub enum Query {
         /// Minimum joint-appearance length in frames.
         min_frames: u64,
     },
+    /// Objects whose trajectory intersects `region` in at least
+    /// `min_frames` observed frames (the spatially constrained extension
+    /// class of [`crate::region`]).
+    RegionTransit {
+        /// The spatial region of interest (frame coordinates).
+        region: BBox,
+        /// Minimum dwell time in observed frames.
+        min_frames: u64,
+    },
 }
 
 /// A query result.
@@ -32,6 +44,8 @@ pub enum QueryAnswer {
     /// The track groups satisfying a [`Query::CoOccurrence`], each sorted
     /// ascending.
     CoOccurrence(Vec<Vec<TrackId>>),
+    /// The tracks satisfying a [`Query::RegionTransit`].
+    RegionTransit(Vec<TrackId>),
 }
 
 impl QueryAnswer {
@@ -40,6 +54,7 @@ impl QueryAnswer {
         match self {
             QueryAnswer::Count(v) => v.len(),
             QueryAnswer::CoOccurrence(v) => v.len(),
+            QueryAnswer::RegionTransit(v) => v.len(),
         }
     }
 
@@ -57,6 +72,9 @@ pub fn evaluate(tracks: &TrackSet, query: Query) -> QueryAnswer {
             group_size,
             min_frames,
         } => QueryAnswer::CoOccurrence(co_occurrence_query(tracks, group_size, min_frames)),
+        Query::RegionTransit { region, min_frames } => QueryAnswer::RegionTransit(
+            crate::region::region_transit_query(tracks, &region, min_frames),
+        ),
     }
 }
 
@@ -218,5 +236,33 @@ mod tests {
             },
         );
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn evaluate_dispatches_region_transit() {
+        // Both observed boxes sit at (0,0,10,10); the region covers them,
+        // so dwell == 2 observed frames.
+        let ts = TrackSet::from_tracks(vec![track(1, 0, 300)]);
+        let inside = Query::RegionTransit {
+            region: BBox::new(0.0, 0.0, 20.0, 20.0),
+            min_frames: 2,
+        };
+        assert_eq!(
+            evaluate(&ts, inside),
+            QueryAnswer::RegionTransit(vec![TrackId(1)])
+        );
+        let strict = Query::RegionTransit {
+            region: BBox::new(0.0, 0.0, 20.0, 20.0),
+            min_frames: 3,
+        };
+        let a = evaluate(&ts, strict);
+        assert!(a.is_empty());
+        assert_eq!(a, QueryAnswer::RegionTransit(Vec::new()));
+        // Far-away region: no dwell at all.
+        let outside = Query::RegionTransit {
+            region: BBox::new(500.0, 500.0, 5.0, 5.0),
+            min_frames: 1,
+        };
+        assert!(evaluate(&ts, outside).is_empty());
     }
 }

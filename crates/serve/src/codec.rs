@@ -430,6 +430,7 @@ mod tests {
                 window_len: 200,
                 k: 0.1,
                 gate: tm_reid::GatePolicy::Off,
+                voi: tm_core::VoiMode::Off,
             },
             slo_window_ms: f64::INFINITY,
             shed_cooldown: 2,

@@ -676,6 +676,7 @@ mod tests {
                 window_len: 200,
                 k: 0.1,
                 gate: tm_reid::GatePolicy::Off,
+                voi: tm_core::VoiMode::Off,
             },
             slo_window_ms: f64::INFINITY,
             shed_cooldown: 2,
@@ -893,6 +894,56 @@ mod tests {
         );
         assert!(serve.query(4, 0, Query::Count { min_frames: 60 }).is_err());
         assert!(serve.query(3, 9, Query::Count { min_frames: 60 }).is_err());
+    }
+
+    #[test]
+    fn region_transit_queries_flow_through_the_daemon() {
+        let model = AppearanceModel::new(AppearanceConfig::default());
+        let mut serve = daemon(&model, config());
+        let backends: [&dyn InferenceBackend; 1] = [&model];
+        serve
+            .register(
+                TenantSpec {
+                    id: 7,
+                    streams: 1,
+                    admission: AdmissionConfig::default(),
+                },
+                &backends,
+            )
+            .unwrap();
+        assert!(serve.submit(0.0, 7, 0, feed(), 250).is_admitted());
+        serve.run_once(1.0).unwrap();
+        serve.run_once(2.0).unwrap();
+        // Each fragment dwells 30 frames inside the region; only the
+        // merged track clears a 40-frame dwell floor.
+        let region = BBox::new(0.0, 0.0, 1000.0, 1000.0);
+        let answer = serve
+            .query(
+                7,
+                0,
+                Query::RegionTransit {
+                    region,
+                    min_frames: 40,
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            answer,
+            QueryAnswer::RegionTransit(vec![TrackId(1)]),
+            "dwell is additive across the merged fragments"
+        );
+        // A region the feed never enters answers empty.
+        let answer = serve
+            .query(
+                7,
+                0,
+                Query::RegionTransit {
+                    region: BBox::new(5000.0, 5000.0, 10.0, 10.0),
+                    min_frames: 1,
+                },
+            )
+            .unwrap();
+        assert_eq!(answer, QueryAnswer::RegionTransit(vec![]));
     }
 
     #[test]

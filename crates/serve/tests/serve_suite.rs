@@ -41,6 +41,7 @@ fn stream_config() -> StreamConfig {
         window_len: WINDOW,
         k: 0.1,
         gate: tm_reid::GatePolicy::Off,
+        voi: tm_core::VoiMode::Off,
     }
 }
 

@@ -25,6 +25,7 @@ fn merger<'m>(
             window_len: 2000,
             k: 0.05,
             gate: tm_reid::GatePolicy::Off,
+            voi: tmerge::core::VoiMode::Off,
         },
     )?;
     Ok(match backend {

@@ -31,6 +31,7 @@ fn main() -> tm_types::Result<()> {
             window_len: 2000,
             k: 0.05,
             gate: tm_reid::GatePolicy::Off,
+            voi: tmerge::core::VoiMode::Off,
         },
     )
     .expect("valid stream configuration");

@@ -68,7 +68,7 @@ pub use tm_types as types;
 pub mod prelude {
     pub use tm_core::{
         run_pipeline, Baseline, LcbConfig, LowerConfidenceBound, PipelineConfig, PipelineReport,
-        ProportionalSampling, PsConfig, SelectorKind, TMerge, TMergeConfig,
+        ProportionalSampling, PsConfig, SelectorKind, TMerge, TMergeConfig, VoiHints, VoiMode,
     };
     pub use tm_datasets::{kitti, mot17, pathtrack, prepare};
     pub use tm_detect::{Detector, DetectorConfig};

@@ -75,6 +75,7 @@ fn stream_config() -> StreamConfig {
         window_len: WINDOW_LEN,
         k: 0.2,
         gate: tm_reid::GatePolicy::Off,
+        voi: tmerge::core::VoiMode::Off,
     }
 }
 
@@ -90,6 +91,7 @@ fn pipeline_config() -> PipelineConfig {
         device: Device::Cpu,
         cost: CostModel::calibrated(),
         gate: tm_reid::GatePolicy::Off,
+        voi: tmerge::core::VoiMode::Off,
     }
 }
 
@@ -738,4 +740,81 @@ fn regressing_watermarks_are_rejected_without_corrupting_state() {
     assert_eq!(m.accepted(), clean.accepted());
     assert_eq!(m.decisions(), clean.decisions());
     assert_eq!(m.mapping(), clean.mapping());
+}
+
+/// Acceptance: an anytime query over a stream whose ReID backend goes hard
+/// down for two windows keeps its interval sound throughout — it never
+/// excludes the fault-free answer — stops committing (and therefore stops
+/// tightening from the `lo` side) while degraded, and after breaker
+/// recovery re-verifies the stash and converges to the fault-free answer
+/// *exactly* (`lo == hi == estimate`).
+#[test]
+fn anytime_query_interval_survives_hard_down_and_recovers_exactly() {
+    use tmerge::query::{AnytimeConfig, AnytimeStream, Query};
+
+    let (model, tracks) = fixture();
+    let query = Query::Count { min_frames: 100 };
+
+    // Fault-free reference: same config, same schedule.
+    let mut clean = AnytimeStream::new(merger(&model), query, AnytimeConfig::default());
+    for frames in [300, 500, N_FRAMES] {
+        clean.advance(&tracks, frames).unwrap();
+    }
+    let clean_answer = clean.finish(&tracks, N_FRAMES).unwrap();
+    assert!(clean_answer.converged, "fault-free stream must converge");
+    let exact = clean_answer.estimate as f64;
+
+    // Windows 2 and 3 (frames 200..500) cannot reach the backend at all.
+    let wrapper = FaultyModel::new(&model, FaultPlan::none().with_hard_down(2, 4));
+    let mut faulty = AnytimeStream::new(
+        merger(&model).with_backend(&wrapper),
+        query,
+        AnytimeConfig::default(),
+    );
+
+    // Watermark 300 closes the two healthy windows 0 and 1; watermark 500
+    // closes exactly the two hard-down windows 2 and 3.
+    let p_pre = faulty.advance(&tracks, 300).unwrap();
+    let committed_pre = faulty.merger().accepted().len();
+    let p_outage = faulty.advance(&tracks, 500).unwrap();
+    // Degraded windows commit nothing: the lo side has no new merges to
+    // stand on, and the stashed pairs keep the interval open.
+    assert_eq!(
+        faulty.merger().accepted().len(),
+        committed_pre,
+        "a degraded window must not commit merges"
+    );
+    assert!(
+        faulty.merger().stash_len() > 0,
+        "the outage must stash at least one window"
+    );
+    assert!(
+        p_outage.lo < p_outage.hi,
+        "the interval must stay open while windows are stashed"
+    );
+    faulty.advance(&tracks, N_FRAMES).unwrap();
+    let answer = faulty.finish(&tracks, N_FRAMES).unwrap();
+
+    // The interval never lied: the fault-free answer sits inside every
+    // point of the degraded trajectory, including the pre-outage one.
+    for (i, p) in answer.trajectory.iter().enumerate() {
+        assert!(
+            p.lo <= exact && exact <= p.hi,
+            "point {i} [{}, {}] excludes the fault-free answer {exact} \
+             (trajectory: {:?})",
+            p.lo,
+            p.hi,
+            answer.trajectory
+        );
+    }
+    let _ = p_pre;
+
+    // Recovery re-verified the stash with the real model: exact
+    // convergence to the fault-free answer, not just containment.
+    assert!(answer.converged, "recovered stream must converge");
+    assert_eq!(answer.estimate, clean_answer.estimate);
+    assert_eq!(answer.lo.to_bits(), (exact).to_bits());
+    assert_eq!(answer.hi.to_bits(), (exact).to_bits());
+    assert_eq!(answer.answer, clean_answer.answer);
+    assert_eq!(answer.accepted, clean_answer.accepted);
 }
